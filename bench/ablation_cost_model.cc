@@ -1,0 +1,111 @@
+/// \file ablation_cost_model.cc
+/// \brief Ablation: the paper-literal cost formula (§4.2.1 as printed) vs.
+/// the refined placement-aware variant (see cost_model.h), across the
+/// paper's query sets and candidate partitionings.
+///
+/// The literal formula charges every compatible node its output_rate even
+/// when its consumer is co-located (so fully-compatible chains are
+/// over-charged) and charges an incompatible node its whole input_rate even
+/// when the input is already centralized. The table shows where the two
+/// disagree and whether the disagreement changes the chosen partitioning.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+#include "partition/search.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+void RunCase(const std::string& label, const QueryGraph& graph,
+             const std::vector<std::pair<std::string, PartitionSet>>& sets,
+             const std::map<std::string, double>& selectivities) {
+  std::printf("-- %s --\n", label.c_str());
+  SeriesTable table("Plan cost (bytes/epoch received by busiest host)",
+                    {"Partitioning", "refined", "literal", "bottleneck(refined)"});
+  table.SetValueFormat("%.3g");
+
+  SearchResult refined_best;
+  for (int variant = 0; variant < 2; ++variant) {
+    CostModel::Options options;
+    options.source_tuples_per_epoch = 1e6;
+    options.variant = variant == 0 ? CostModelVariant::kRefined
+                                   : CostModelVariant::kLiteral;
+    auto model = CostModel::Make(&graph, options);
+    if (!model.ok()) return;
+    for (const auto& [name, sel] : selectivities) {
+      model->SetSelectivity(name, sel);
+    }
+    if (variant == 0) {
+      for (const auto& [name, ps] : sets) {
+        auto refined_cost = model->Cost(ps);
+        CostModel::Options lit = options;
+        lit.variant = CostModelVariant::kLiteral;
+        auto lit_model = CostModel::Make(&graph, lit);
+        if (!lit_model.ok()) continue;
+        for (const auto& [n, sel] : selectivities) {
+          lit_model->SetSelectivity(n, sel);
+        }
+        auto literal_cost = lit_model->Cost(ps);
+        if (refined_cost.ok() && literal_cost.ok()) {
+          std::vector<std::string> cells;
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.3g",
+                        refined_cost->max_cost_bytes);
+          cells.emplace_back(buf);
+          std::snprintf(buf, sizeof(buf), "%.3g",
+                        literal_cost->max_cost_bytes);
+          cells.emplace_back(buf);
+          cells.push_back(refined_cost->bottleneck);
+          table.AddTextRow(name, cells);
+        }
+      }
+    }
+    // What does each variant's search pick?
+    PartitionSearch search(&graph, &*model);
+    auto result = search.FindOptimal();
+    if (result.ok()) {
+      if (variant == 0) refined_best = *result;
+      std::printf("%s search picks %s (cost %.3g, baseline %.3g)\n",
+                  variant == 0 ? "refined" : "literal",
+                  result->best.ToString().c_str(), result->best_cost_bytes,
+                  result->baseline_cost_bytes);
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace streampart;
+  using namespace streampart::bench;
+  std::printf("== Ablation: cost-model variants (§4.2.1) ==\n\n");
+
+  {
+    BenchSetup setup = MakeComplexSetup();
+    RunCase("Complex query set (§6.3)", *setup.graph,
+            {{"(srcIP)", PS("srcIP")},
+             {"(srcIP, destIP)", PS("srcIP, destIP")},
+             {"(destIP)", PS("destIP")}},
+            {{"flows", 0.05}, {"heavy_flows", 0.5}, {"flow_pairs", 0.2}});
+  }
+  {
+    BenchSetup setup = MakeQuerySetSetup();
+    RunCase("Query set (§6.2)", *setup.graph,
+            {{"4-tuple", PS("srcIP, destIP, srcPort, destPort")},
+             {"(srcIP&0xFFF0, destIP)", PS("srcIP & 0xFFFFFFF0, destIP")}},
+            {{"subnet_stats", 0.1}, {"web_pkts", 0.15}, {"jitter", 0.5}});
+  }
+  std::printf(
+      "Takeaway: the literal formula charges every compatible node its\n"
+      "output_rate even when the optimizer elides the union entirely, so it\n"
+      "cannot distinguish a fully compatible chain from a partially\n"
+      "compatible one — on the §6.3 set it ties (srcIP) with strictly worse\n"
+      "sets and may pick either, while the refined placement-aware variant\n"
+      "identifies (srcIP) uniquely.\n");
+  return 0;
+}

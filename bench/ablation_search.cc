@@ -1,0 +1,77 @@
+/// \file ablation_search.cc
+/// \brief Ablation: the §4.2.2 pruning heuristics (seed from leaves, expand
+/// only through parents/leaves) vs. exhaustive candidate enumeration —
+/// candidates explored and the chosen set, on growing query sets.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+#include "partition/search.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+/// Builds a query set with `width` independent aggregation towers over TCP,
+/// each: per-flow stats -> per-src rollup, plus one cross-tower self-join.
+BenchSetup MakeWideSetup(int width) {
+  BenchSetup setup;
+  setup.catalog = std::make_unique<Catalog>(MakeDefaultCatalog());
+  setup.graph = std::make_unique<QueryGraph>(setup.catalog.get());
+  for (int i = 0; i < width; ++i) {
+    std::string mask = std::to_string(0xFFFFFFFFu >> i);
+    std::string base = "t" + std::to_string(i);
+    Status st = setup.graph->AddQuery(
+        base + "_flows",
+        "SELECT tb, s, destIP, COUNT(*) as cnt FROM TCP "
+        "GROUP BY time/60 as tb, srcIP & " + mask + " as s, destIP");
+    SP_CHECK(st.ok()) << st.ToString();
+    st = setup.graph->AddQuery(
+        base + "_top",
+        "SELECT tb, s, max(cnt) as mx FROM " + base + "_flows "
+        "GROUP BY tb, s");
+    SP_CHECK(st.ok()) << st.ToString();
+  }
+  return setup;
+}
+
+}  // namespace
+
+int main() {
+  using namespace streampart;
+  using namespace streampart::bench;
+  std::printf("== Ablation: §4.2.2 search heuristics vs exhaustive ==\n\n");
+  SeriesTable table(
+      "Candidates explored (heuristic vs exhaustive), same best cost?",
+      {"#queries", "heuristic", "exhaustive", "same best", "chosen set"});
+  for (int width = 1; width <= 5; ++width) {
+    BenchSetup setup = MakeWideSetup(width);
+    CostModel::Options copts;
+    auto model = CostModel::Make(setup.graph.get(), copts);
+    if (!model.ok()) continue;
+    PartitionSearch::Options fast_opts;
+    fast_opts.use_heuristics = true;
+    PartitionSearch::Options full_opts;
+    full_opts.use_heuristics = false;
+    PartitionSearch fast(setup.graph.get(), &*model, fast_opts);
+    PartitionSearch full(setup.graph.get(), &*model, full_opts);
+    auto fast_result = fast.FindOptimal();
+    auto full_result = full.FindOptimal();
+    if (!fast_result.ok() || !full_result.ok()) continue;
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(fast_result->candidates_explored));
+    cells.push_back(std::to_string(full_result->candidates_explored));
+    cells.push_back(fast_result->best_cost_bytes ==
+                            full_result->best_cost_bytes
+                        ? "yes"
+                        : "NO");
+    cells.push_back(fast_result->best.ToString());
+    table.AddTextRow(std::to_string(2 * width), cells);
+  }
+  table.Print();
+  std::printf(
+      "The heuristics are safe because a set compatible with a node is\n"
+      "necessarily compatible with the node's predecessors (§4.2.2).\n");
+  return 0;
+}

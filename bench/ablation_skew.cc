@@ -1,0 +1,70 @@
+/// \file ablation_skew.cc
+/// \brief Ablation: load balance under traffic skew — the trade-off the
+/// paper acknowledges via FLUX (§2).
+///
+/// Query-aware hash partitioning pins each flow (or subnet) to one host, so
+/// heavy-tailed traffic can unbalance the leaves — the problem FLUX's
+/// adaptive operator-independent partitioning solves at the price of
+/// incompatibility. This bench quantifies the trade: per-host CPU imbalance
+/// (max/mean over leaf work) and aggregator network load, for round-robin vs
+/// flow-hash partitioning, across Zipf skews.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace streampart;
+  using namespace streampart::bench;
+  std::printf(
+      "== Ablation: load balance under traffic skew (cf. FLUX, paper §2) "
+      "==\n\n");
+
+  BenchSetup setup = MakeSimpleAggSetup();
+  SeriesTable table(
+      "4 hosts, suspicious-flows query; imbalance = max/mean host CPU",
+      {"zipf skew", "config", "imbalance", "max host CPU %",
+       "aggregator net tuples/s"});
+
+  for (double skew : {0.0, 0.8, 1.1, 1.4}) {
+    TraceConfig tc = SimpleAggTrace();
+    tc.duration_sec = 15;
+    tc.zipf_skew = skew;
+    ExperimentRunner runner(setup.graph.get(), "TCP", tc, CalibratedCpu());
+    for (const ExperimentConfig& config :
+         {NaiveConfig(),
+          PartitionedConfig("Partitioned",
+                            "srcIP, destIP, srcPort, destPort")}) {
+      auto run = runner.RunOne(config, 4);
+      if (!run.ok()) {
+        std::printf("error: %s\n", run.status().ToString().c_str());
+        return 1;
+      }
+      double total = 0, max_cpu = 0;
+      for (const HostMetrics& h : run->hosts) {
+        double cpu = HostCpuLoadPercent(h, runner.cpu_params(),
+                                        tc.duration_sec);
+        total += cpu;
+        max_cpu = std::max(max_cpu, cpu);
+      }
+      double mean = total / static_cast<double>(run->hosts.size());
+      char skew_buf[16], imb_buf[16], cpu_buf[16], net_buf[24];
+      std::snprintf(skew_buf, sizeof(skew_buf), "%.1f", skew);
+      std::snprintf(imb_buf, sizeof(imb_buf), "%.2f",
+                    mean > 0 ? max_cpu / mean : 0.0);
+      std::snprintf(cpu_buf, sizeof(cpu_buf), "%.1f", max_cpu);
+      std::snprintf(net_buf, sizeof(net_buf), "%.0f",
+                    HostNetworkTuplesPerSec(run->aggregator(),
+                                            tc.duration_sec));
+      table.AddTextRow(skew_buf, {config.name, imb_buf, cpu_buf, net_buf});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Takeaway: round-robin stays balanced at any skew but pays the\n"
+      "aggregator penalty everywhere; flow-hash partitioning trades bounded\n"
+      "imbalance under heavy tails for the order-of-magnitude network\n"
+      "reduction. The paper's 4-tuple keys keep the imbalance modest because\n"
+      "even heavy hitters spread across many flows.\n");
+  return 0;
+}

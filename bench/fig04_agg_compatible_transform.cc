@@ -1,0 +1,36 @@
+/// \file fig04_agg_compatible_transform.cc
+/// \brief Figure 4: the compatible-aggregation transformation of §5.2.1 —
+/// the aggregate is replicated below the merge onto every partition.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace streampart;
+  std::printf(
+      "== Figure 4: aggregation transformation for compatible nodes "
+      "(§5.2.1) ==\n   (3 hosts x 2 partitions, "
+      "PS = (srcIP, destIP, srcPort, destPort))\n\n");
+  bench::BenchSetup setup = bench::MakeSimpleAggSetup();
+  ClusterConfig cluster;
+  cluster.num_hosts = 3;
+  cluster.partitions_per_host = 2;
+
+  auto before = BuildPartitionAgnosticPlan(*setup.graph, cluster);
+  auto after = OptimizeForPartitioning(
+      *setup.graph, cluster, bench::PS("srcIP, destIP, srcPort, destPort"),
+      OptimizerOptions());
+  if (!before.ok() || !after.ok()) {
+    std::printf("error building plans\n");
+    return 1;
+  }
+  std::printf("-- Before (partition-agnostic):\n%s\n",
+              before->ToString().c_str());
+  std::printf("-- After (aggregate pushed below the merge):\n%s\n",
+              after->ToString().c_str());
+  std::printf(
+      "Data is fully aggregated (and HAVING-filtered) before being sent to\n"
+      "the central node; the merge needs no further processing (§5.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file fig07_join_transform.cc
+/// \brief Figure 7: the compatible-join transformation of §5.3 — pairwise
+/// per-partition joins replace the two central merges.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace streampart;
+  std::printf(
+      "== Figure 7: join transformation for compatible nodes (§5.3) ==\n"
+      "   (3 hosts x 1 partition, PS = (srcIP, destIP))\n\n");
+  Catalog catalog = MakeDefaultCatalog();
+  Status st = catalog.RegisterStream("UDP", MakePacketSchema());
+  QueryGraph graph(&catalog);
+  st = graph.AddQuery(
+      "matched",
+      "SELECT S1.time, S1.srcIP, S1.len + S2.len as total_len "
+      "FROM TCP S1 JOIN UDP S2 "
+      "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP and "
+      "S1.destIP = S2.destIP");
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  ClusterConfig cluster;
+  cluster.num_hosts = 3;
+  cluster.partitions_per_host = 1;
+  auto plan = OptimizeForPartitioning(graph, cluster,
+                                      bench::PS("srcIP, destIP"),
+                                      OptimizerOptions());
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan->ToString().c_str());
+  std::printf(
+      "Partition i of TCP joins partition i of UDP on its own host; only\n"
+      "join results reach the aggregator. Unmatched partitions would be\n"
+      "dropped for inner joins and NULL-padded for outer joins (§5.3).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file fig08_simple_agg_cpu.cc
+/// \brief Figure 8: CPU load on the aggregator node vs. cluster size for the
+/// §6.1 suspicious-flows aggregation under Naive / Optimized / Partitioned
+/// configurations.
+///
+/// Expected shape (paper): Naive grows roughly linearly and saturates the
+/// aggregator at 4 hosts; Optimized (per-host partial aggregation) sits
+/// 20-ish % below Naive but keeps growing linearly; Partitioned (compatible
+/// 4-tuple hash partitioning) drops with cluster size — true linear scaling.
+/// The paper also reports combined leaf-host load dropping 80.4% -> 23.9%
+/// from 1 to 4 hosts; the leaf table below mirrors that.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace streampart;
+  using namespace streampart::bench;
+  std::printf(
+      "== Figure 8: CPU load on aggregator node (simple aggregation, §6.1) "
+      "==\n");
+  TraceConfig tc = SimpleAggTrace();
+  PrintTraceNote(tc);
+
+  BenchSetup setup = MakeSimpleAggSetup();
+  ExperimentRunner runner(setup.graph.get(), "TCP", tc, CalibratedCpu());
+  std::vector<ExperimentConfig> configs = {
+      NaiveConfig(), OptimizedConfig(),
+      PartitionedConfig("Partitioned", "srcIP, destIP, srcPort, destPort")};
+  auto sweep = runner.RunSweep(configs, {1, 2, 3, 4});
+  if (!sweep.ok()) {
+    std::printf("error: %s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  PrintSweep("CPU load on aggregator node (%)", *sweep, /*metric=*/0);
+  PrintSweep("Mean CPU load on leaf nodes (%) [paper: 80.4% -> 23.9%]",
+             *sweep, /*metric=*/2);
+  std::printf(
+      "Expected shape: Naive ~linear toward overload; Optimized below Naive\n"
+      "but still linear; Partitioned flat/decreasing (paper Figure 8).\n");
+  return 0;
+}

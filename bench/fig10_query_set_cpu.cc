@@ -1,0 +1,71 @@
+/// \file fig10_query_set_cpu.cc
+/// \brief Figure 10: CPU load on the aggregator for the §6.2 query set
+/// (subnet aggregation + TCP-jitter self-join) when the hardware cannot
+/// satisfy both queries at once.
+///
+/// The optimal set (srcIP & 0xFFF0, destIP) — chosen by the §4 cost model —
+/// is compatible only with the aggregation; the suboptimal 4-tuple set only
+/// with the join. Expected shape (paper): Naive grows to ~95% at 4 hosts;
+/// suboptimal cuts ~43-47% but stays linear (the aggregation dominates);
+/// optimal is much flatter.
+
+#include <cstdio>
+
+#include "bench/figlib.h"
+#include "partition/search.h"
+
+int main() {
+  using namespace streampart;
+  using namespace streampart::bench;
+  std::printf(
+      "== Figure 10: CPU load on aggregator node (query set, §6.2) ==\n");
+  TraceConfig tc = QuerySetTrace();
+  PrintTraceNote(tc);
+
+  BenchSetup setup = MakeQuerySetSetup();
+
+  // First: let the analysis framework pick among the hardware-admissible
+  // sets, reproducing the §6.2 claim that the cost model identifies the
+  // aggregation-friendly set as globally optimal.
+  {
+    CostModel::Options copts;
+    copts.source_tuples_per_epoch = tc.packets_per_sec;
+    auto model = CostModel::Make(setup.graph.get(), copts);
+    if (model.ok()) {
+      PacketTraceGenerator sample_gen(tc);
+      TupleBatch sample;
+      Tuple t;
+      for (int i = 0; i < 50000 && sample_gen.Next(&t); ++i) {
+        sample.push_back(t);
+      }
+      (void)model->CalibrateFromTrace("TCP", sample);
+      PartitionSearch search(setup.graph.get(), &*model);
+      auto best = search.ChooseBestAmong(
+          {PS("srcIP, destIP, srcPort, destPort"),
+           PS("srcIP & 0xFFFFFFF0, destIP")});
+      if (best.ok()) {
+        std::printf("Cost model picks among admissible sets: %s\n\n",
+                    best->ToString().c_str());
+      }
+    }
+  }
+
+  ExperimentRunner runner(setup.graph.get(), "TCP", tc, CalibratedCpu());
+  std::vector<ExperimentConfig> configs = {
+      PureNaiveConfig(),  // §6.2's Naive: plain round-robin, no pre-aggregation
+      PartitionedConfig("Partitioned (suboptimal)",
+                        "srcIP, destIP, srcPort, destPort"),
+      PartitionedConfig("Partitioned (optimal)",
+                        "srcIP & 0xFFFFFFF0, destIP")};
+  auto sweep = runner.RunSweep(configs, {1, 2, 3, 4});
+  if (!sweep.ok()) {
+    std::printf("error: %s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  PrintSweep("CPU load on aggregator node (%)", *sweep, /*metric=*/0);
+  std::printf(
+      "Expected shape: Naive highest and ~linear; suboptimal well below\n"
+      "Naive but still growing (the incompatible aggregation dominates);\n"
+      "optimal flattest (paper Figure 10).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file figlib.h
+/// \brief Shared scaffolding for the figure-reproduction benches.
+///
+/// Each bench binary regenerates one figure of the paper's evaluation (§6)
+/// or one plan diagram (§3/§5). The paper drove a 4-host cluster with a
+/// one-hour trace at ~200k pkts/sec per tap pair; the simulated cluster
+/// executes every tuple through the real operators, so the benches scale the
+/// trace down (documented per bench and in EXPERIMENTS.md) while preserving
+/// the distributional properties the experiments exercise.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "dist/experiment.h"
+#include "metrics/report.h"
+#include "plan/query_graph.h"
+
+namespace streampart {
+namespace bench {
+
+/// \brief Owns the catalog + graph for one experiment's query set.
+struct BenchSetup {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<QueryGraph> graph;
+};
+
+/// \brief §6.1 workload: the suspicious-flows aggregation (OR_AGGR HAVING).
+BenchSetup MakeSimpleAggSetup();
+
+/// \brief §6.2 workload: independent subnet aggregation + jitter self-join.
+BenchSetup MakeQuerySetSetup();
+
+/// \brief §6.3 / §3.2 workload: flows -> heavy_flows -> flow_pairs, with the
+/// low-level filter σ of Figure 1 when \p with_filter is set.
+BenchSetup MakeComplexSetup(bool with_filter = false);
+
+/// \brief Parses a partitioning-set spec, aborting on error (bench inputs
+/// are static).
+PartitionSet PS(const std::string& spec);
+
+/// \brief Experiment configurations matching the paper's labels.
+ExperimentConfig NaiveConfig();               // round-robin + per-partition subs
+ExperimentConfig PureNaiveConfig();           // round-robin, no transformations
+                                              // (§6.2's Naive has no pre-agg)
+ExperimentConfig OptimizedConfig();           // round-robin + per-host subs
+ExperimentConfig PartitionedConfig(const std::string& name,
+                                   const std::string& ps_spec);
+
+/// \brief Trace defaults per experiment family. The `scale` divisor shrinks
+/// the packet rate uniformly (1 = the bench default documented in
+/// EXPERIMENTS.md).
+TraceConfig SimpleAggTrace();
+TraceConfig QuerySetTrace();
+TraceConfig ComplexTrace();
+
+/// \brief CPU model calibrated so one host at the §6.1 rate sits near the
+/// paper's ~80% single-host utilization.
+CpuCostParams CalibratedCpu();
+
+/// \brief Prints one figure's series table.
+/// \param metric 0 = aggregator CPU %, 1 = aggregator network tuples/sec,
+/// 2 = mean leaf CPU %.
+void PrintSweep(const std::string& figure_title, const SweepResult& sweep,
+                int metric, const std::string& value_format = "%.1f");
+
+/// \brief Prints the standard trace-scaling note.
+void PrintTraceNote(const TraceConfig& tc);
+
+}  // namespace bench
+}  // namespace streampart

@@ -1,0 +1,133 @@
+/// \file micro_ops.cc
+/// \brief google-benchmark microbenchmarks of the performance-critical
+/// primitives: hash partitioning, expression evaluation, tumbling
+/// aggregation, the GSQL parser, and the reconciliation algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/figlib.h"
+#include "dist/partitioner.h"
+#include "exec/local_engine.h"
+#include "parser/parser.h"
+#include "partition/search.h"
+#include "trace/trace_gen.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+TupleBatch MakePackets(size_t n) {
+  TraceConfig tc;
+  tc.duration_sec = static_cast<uint32_t>(n / 10000 + 1);
+  tc.packets_per_sec = 10000;
+  PacketTraceGenerator gen(tc);
+  TupleBatch out;
+  out.reserve(n);
+  Tuple t;
+  while (out.size() < n && gen.Next(&t)) out.push_back(std::move(t));
+  return out;
+}
+
+void BM_HashPartitioner(benchmark::State& state) {
+  TupleBatch packets = MakePackets(8192);
+  auto ps = PartitionSet::Parse("srcIP, destIP, srcPort, destPort");
+  auto part = HashPartitioner::Make(*ps, MakePacketSchema(),
+                                    static_cast<int>(state.range(0)));
+  SP_CHECK(part.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*part)->PartitionOf(packets[i]));
+    i = (i + 1) & 8191;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashPartitioner)->Arg(8)->Arg(64);
+
+void BM_RoundRobinPartitioner(benchmark::State& state) {
+  TupleBatch packets = MakePackets(8192);
+  RoundRobinPartitioner part(8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.PartitionOf(packets[i]));
+    i = (i + 1) & 8191;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundRobinPartitioner);
+
+void BM_ExprEval(benchmark::State& state) {
+  TupleBatch packets = MakePackets(8192);
+  auto expr = ParseExpression("(srcIP & 0xFFFFFFF0) + destIP + time/60");
+  SP_CHECK(expr.ok());
+  BindingContext ctx;
+  ctx.AddInput("", MakePacketSchema());
+  auto bound = (*expr)->Bind(ctx);
+  SP_CHECK(bound.ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*bound)->Eval(packets[i]));
+    i = (i + 1) & 8191;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_TumblingAggregation(benchmark::State& state) {
+  BenchSetup setup = MakeComplexSetup();
+  TupleBatch packets = MakePackets(65536);
+  for (auto _ : state) {
+    LocalEngine engine(setup.graph.get());
+    SP_CHECK(engine.Build().ok());
+    for (const Tuple& t : packets) engine.PushSource("TCP", t);
+    engine.FinishSources();
+    benchmark::DoNotOptimize(engine.TotalStats().tuples_out);
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_TumblingAggregation)->Unit(benchmark::kMillisecond);
+
+void BM_ParseAnalyzeQuery(benchmark::State& state) {
+  Catalog catalog = MakeDefaultCatalog();
+  for (auto _ : state) {
+    QueryGraph graph(&catalog);
+    Status st = graph.AddQuery(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt, SUM(len) as bytes "
+        "FROM TCP WHERE protocol = 6 "
+        "GROUP BY time/60 as tb, srcIP, destIP HAVING COUNT(*) > 2");
+    SP_CHECK(st.ok());
+    benchmark::DoNotOptimize(graph.num_queries());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseAnalyzeQuery);
+
+void BM_ReconcilePartitionSets(benchmark::State& state) {
+  auto a = PartitionSet::Parse("time/60, srcIP, destIP, srcPort");
+  auto b = PartitionSet::Parse("time/90, srcIP & 0xFFF0, destIP");
+  SP_CHECK(a.ok() && b.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReconcilePartitionSets(*a, *b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReconcilePartitionSets);
+
+void BM_PartitionSearch(benchmark::State& state) {
+  BenchSetup setup = MakeComplexSetup();
+  auto model = CostModel::Make(setup.graph.get(), CostModel::Options());
+  SP_CHECK(model.ok());
+  for (auto _ : state) {
+    PartitionSearch search(setup.graph.get(), &*model);
+    auto result = search.FindOptimal();
+    SP_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->candidates_explored);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

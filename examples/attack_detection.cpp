@@ -1,0 +1,87 @@
+/// \file attack_detection.cpp
+/// \brief The paper's motivating workload (§1, §6.1): detecting attack flows
+/// that violate the TCP protocol, identified by an abnormal OR of the TCP
+/// flags across the flow (HAVING OR_AGGR(flags) = pattern).
+///
+/// The example shows WHY query-aware partitioning matters here: with
+/// round-robin partitioning no host can apply the HAVING clause — every
+/// partial flow must cross the network — while flow-compatible hash
+/// partitioning filters at the leaves and ships only actual detections.
+
+#include <cstdio>
+
+#include "dist/experiment.h"
+#include "metrics/report.h"
+#include "partition/search.h"
+
+using namespace streampart;
+
+int main() {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+
+  // FIN|RST|URG set together never occurs in a legal TCP conversation.
+  Status st = graph.AddQuery(
+      "attacks",
+      "SELECT tb, srcIP, destIP, srcPort, destPort, "
+      "OR_AGGR(flags) as orflag, COUNT(*) as pkts, SUM(len) as bytes, "
+      "MIN(timestamp) as first_ts, MAX(timestamp) as last_ts "
+      "FROM TCP "
+      "GROUP BY time as tb, srcIP, destIP, srcPort, destPort "
+      "HAVING OR_AGGR(flags) = 41");
+  if (!st.ok()) {
+    std::printf("error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // What does the analyzer recommend?
+  auto node = graph.GetQuery("attacks");
+  auto inferred = InferNodePartitionSet(graph, *node);
+  if (!inferred.ok() || !inferred->has_value()) return 1;
+  std::printf("Inferred compatible partitioning: %s\n\n",
+              (*inferred)->ToString().c_str());
+
+  // Replay an attack-bearing trace under both partitionings.
+  TraceConfig tc;
+  tc.duration_sec = 30;
+  tc.packets_per_sec = 15000;
+  tc.num_flows = 3000;
+  tc.suspicious_fraction = 0.05;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+
+  ExperimentConfig naive;
+  naive.name = "round-robin";
+  naive.optimizer.enable_compatible_pushdown = false;
+  naive.optimizer.partial_agg = OptimizerOptions::PartialAggMode::kPerHost;
+
+  ExperimentConfig aware;
+  aware.name = "query-aware";
+  aware.ps = **inferred;
+
+  SeriesTable table("Attack detection at 4 hosts",
+                    {"Partitioning", "detections", "aggregator net tuples/s",
+                     "aggregator CPU %"});
+  table.SetValueFormat("%.0f");
+  for (const ExperimentConfig& config : {naive, aware}) {
+    auto run = runner.RunOne(config, /*num_hosts=*/4);
+    if (!run.ok()) {
+      std::printf("run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    double detections = 0;
+    for (const auto& [name, batch] : run->outputs) {
+      detections += static_cast<double>(batch.size());
+    }
+    table.AddRow(config.name,
+                 {detections,
+                  HostNetworkTuplesPerSec(run->aggregator(), tc.duration_sec),
+                  HostCpuLoadPercent(run->aggregator(), CpuCostParams(),
+                                     tc.duration_sec)});
+  }
+  table.Print();
+  std::printf(
+      "\nBoth configurations detect the same attacks; the query-aware one\n"
+      "applies HAVING at the leaves, so only true detections cross the\n"
+      "network (paper §1's motivating example).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file capacity_planner.cpp
+/// \brief Deployment planning: given a query workload and the capability of
+/// the deployed splitter hardware (paper §1: FPGA/TCAM splitters can hash
+/// TCP-header fields but not reconfigure per workload), determine
+///   (a) the analytically optimal partitioning,
+///   (b) the best partitioning the hardware can actually realize,
+///   (c) how many hosts the workload needs under each.
+
+#include <cstdio>
+
+#include "dist/experiment.h"
+#include "metrics/report.h"
+#include "partition/hardware.h"
+#include "partition/search.h"
+
+using namespace streampart;
+
+int main() {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+
+  // A small production-like workload: flow accounting, per-subnet rollup,
+  // and scan detection (sources contacting many destinations).
+  struct QueryDef {
+    const char* name;
+    const char* gsql;
+  };
+  const QueryDef kWorkload[] = {
+      {"flows",
+       "SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as pkts, "
+       "SUM(len) as bytes FROM TCP "
+       "GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort"},
+      {"subnet_traffic",
+       "SELECT tb, sub, SUM(bytes) as total FROM flows "
+       "GROUP BY tb, srcIP & 0xFFFFFF00 as sub"},
+      {"scan_suspects",
+       "SELECT tb, srcIP, COUNT(*) as fanout FROM flows "
+       "GROUP BY tb, srcIP HAVING COUNT(*) > 50"},
+  };
+  for (const QueryDef& q : kWorkload) {
+    Status st = graph.AddQuery(q.name, q.gsql);
+    if (!st.ok()) {
+      std::printf("error registering %s: %s\n", q.name,
+                  st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Calibrate selectivities from a trace sample instead of guessing.
+  TraceConfig tc;
+  tc.duration_sec = 120;
+  tc.packets_per_sec = 15000;
+  tc.num_flows = 4000;
+  PacketTraceGenerator gen(tc);
+  TupleBatch trace = gen.GenerateAll();
+
+  CostModel::Options copts;
+  copts.source_tuples_per_epoch = tc.packets_per_sec * 60.0;
+  auto model = CostModel::Make(&graph, copts);
+  if (!model.ok()) return 1;
+  if (!model->CalibrateFromTrace("TCP", trace).ok()) return 1;
+
+  // (a) analytic optimum.
+  PartitionSearch search(&graph, &*model);
+  auto found = search.FindOptimal();
+  if (!found.ok()) return 1;
+  std::printf("Analytic optimum: %s (cost %.3g bytes/epoch)\n",
+              found->best.ToString().c_str(), found->best_cost_bytes);
+
+  // (b) what the hardware can realize.
+  HardwareCapability splitter = HardwareCapability::TcpHeaderSplitter();
+  std::printf("Deployed hardware: %s\n", splitter.Describe().c_str());
+  PartitionSet deployed = found->best;
+  if (!splitter.Supports(deployed)) {
+    deployed = splitter.Restrict(deployed);
+    std::printf("Optimum not realizable; hardware restricts it to %s\n",
+                deployed.ToString().c_str());
+  } else {
+    std::printf("Optimum is realizable as-is.\n");
+  }
+
+  // (c) hosts needed: sweep cluster sizes until the busiest host has slack.
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  ExperimentConfig config;
+  config.name = "deployed";
+  config.ps = deployed;
+
+  SeriesTable table("Cluster sizing under the deployed partitioning",
+                    {"hosts", "max host CPU %", "aggregator net tuples/s"});
+  table.SetValueFormat("%.1f");
+  int recommended = -1;
+  for (int hosts : {1, 2, 3, 4, 6, 8}) {
+    auto run = runner.RunOne(config, hosts);
+    if (!run.ok()) return 1;
+    double max_cpu = 0;
+    for (const HostMetrics& h : run->hosts) {
+      max_cpu = std::max(
+          max_cpu, HostCpuLoadPercent(h, CpuCostParams(), tc.duration_sec));
+    }
+    table.AddRow(std::to_string(hosts),
+                 {max_cpu, HostNetworkTuplesPerSec(run->aggregator(),
+                                                   tc.duration_sec)});
+    if (recommended < 0 && max_cpu < 70.0) recommended = hosts;
+  }
+  table.Print();
+  if (recommended > 0) {
+    std::printf("\nRecommendation: %d host(s) keep every host under 70%% CPU.\n",
+                recommended);
+  } else {
+    std::printf("\nNo tested size keeps hosts under 70%%; scale further.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "catalog/catalog.h"
+
+#include "common/logging.h"
+
+namespace streampart {
+
+Status Catalog::RegisterStream(const std::string& name, SchemaPtr schema) {
+  if (streams_.count(name) > 0) {
+    return Status::AlreadyExists("stream '", name, "' already registered");
+  }
+  streams_[name] = std::move(schema);
+  return Status::OK();
+}
+
+Result<SchemaPtr> Catalog::GetStream(const std::string& name) const {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no source stream named '", name, "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasStream(const std::string& name) const {
+  return streams_.count(name) > 0;
+}
+
+SchemaPtr MakePacketSchema() {
+  return Schema::Make({
+      Field{"time", DataType::kUint, TemporalOrder::kIncreasing},
+      Field{"srcIP", DataType::kIp, TemporalOrder::kNone},
+      Field{"destIP", DataType::kIp, TemporalOrder::kNone},
+      Field{"srcPort", DataType::kUint, TemporalOrder::kNone},
+      Field{"destPort", DataType::kUint, TemporalOrder::kNone},
+      Field{"len", DataType::kUint, TemporalOrder::kNone},
+      Field{"flags", DataType::kUint, TemporalOrder::kNone},
+      Field{"protocol", DataType::kUint, TemporalOrder::kNone},
+      Field{"timestamp", DataType::kUint, TemporalOrder::kIncreasing},
+  });
+}
+
+Catalog MakeDefaultCatalog() {
+  Catalog catalog;
+  SchemaPtr pkt = MakePacketSchema();
+  SP_CHECK(catalog.RegisterStream("TCP", pkt).ok());
+  SP_CHECK(catalog.RegisterStream("PKT", pkt).ok());
+  return catalog;
+}
+
+}  // namespace streampart

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file catalog.h
+/// \brief Registry of source-stream schemas.
+///
+/// Source streams are the protocol feeds delivered by the capture hardware
+/// (e.g. the TCP packet stream). Derived streams — outputs of named queries —
+/// live in the query graph (plan/query_graph.h), not here.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace streampart {
+
+/// \brief Maps stream names to schemas.
+class Catalog {
+ public:
+  /// \brief Registers a source stream. Fails with AlreadyExists on
+  /// duplicates.
+  Status RegisterStream(const std::string& name, SchemaPtr schema);
+
+  /// \brief Looks up a source stream schema.
+  Result<SchemaPtr> GetStream(const std::string& name) const;
+
+  bool HasStream(const std::string& name) const;
+
+  const std::map<std::string, SchemaPtr>& streams() const { return streams_; }
+
+ private:
+  std::map<std::string, SchemaPtr> streams_;
+};
+
+/// \brief Column order of the canonical packet stream; kept in one place so
+/// trace generation, examples, and tests agree.
+enum PacketField : size_t {
+  kPktTime = 0,
+  kPktSrcIp = 1,
+  kPktDestIp = 2,
+  kPktSrcPort = 3,
+  kPktDestPort = 4,
+  kPktLen = 5,
+  kPktFlags = 6,
+  kPktProtocol = 7,
+  kPktTimestamp = 8,
+  kPktNumFields = 9,
+};
+
+/// \brief The paper's packet-stream schema:
+/// TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags,
+/// protocol, timestamp increasing). `time` is in seconds; `timestamp` is a
+/// fine-grained (microsecond) clock used by MIN/MAX aggregates.
+SchemaPtr MakePacketSchema();
+
+/// \brief Catalog pre-loaded with the packet stream under both names the
+/// paper uses ("TCP" and "PKT").
+Catalog MakeDefaultCatalog();
+
+}  // namespace streampart

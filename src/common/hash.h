@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file hash.h
+/// \brief Hashing primitives used by the partitioner and the hash-aggregation
+/// operator.
+///
+/// The stream partitioner (paper §3.3) maps a tuple to partition i when
+/// i*R/M <= H(A) < (i+1)*R/M for a hash H over the partitioning set A. We use
+/// a 64-bit finalizer-style mix (splitmix64) which spreads low-entropy inputs
+/// such as IPv4 addresses well enough to keep simulated hosts balanced.
+
+#include <cstdint>
+#include <string_view>
+
+namespace streampart {
+
+/// \brief splitmix64 finalizer; a fast, well-distributed 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// \brief FNV-1a over arbitrary bytes, finalized through Mix64.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace streampart

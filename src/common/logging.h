@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file logging.h
+/// \brief Minimal logging and invariant-checking facilities.
+///
+/// SP_CHECK(cond) aborts with a message when cond is false, and supports
+/// streaming extra context: SP_CHECK(n > 0) << "n was " << n. It is reserved
+/// for programming errors (violated invariants); anticipated failures use
+/// Status/Result instead.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace streampart {
+namespace internal {
+
+/// \brief Accumulates a message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// \brief Makes the streaming expression in SP_CHECK have type void, so the
+/// ternary's two arms agree. operator& binds looser than operator<<.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace streampart
+
+#define SP_CHECK(cond)                                              \
+  (cond) ? (void)0                                                  \
+         : ::streampart::internal::Voidify() &                      \
+               ::streampart::internal::FatalLogMessage(__FILE__, __LINE__) \
+                       .stream()                                    \
+                   << #cond << " "
+
+#define SP_DCHECK(cond) SP_CHECK(cond)

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file result.h
+/// \brief Result<T>: a value or an error Status (Arrow-style).
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace streampart {
+
+/// \brief Holds either a successfully computed value of type T or the Status
+/// describing why the computation failed.
+///
+/// Accessing the value of a failed Result aborts the process (it is a
+/// programming error; check ok() or use SP_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Aborts if \p status is OK —
+  /// a success Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SP_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status; Status::OK() if this result holds a value.
+  const Status& status() const { return status_; }
+
+  /// \brief Borrow the contained value. Requires ok().
+  const T& ValueOrDie() const& {
+    SP_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    SP_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  /// \brief Move the contained value out. Requires ok().
+  T ValueOrDie() && {
+    SP_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value, or \p alternative when this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace streampart

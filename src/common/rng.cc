@@ -1,0 +1,29 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  SP_CHECK(n > 0) << "Zipf needs at least one rank";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformReal();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size();
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace streampart

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file rng.h
+/// \brief Deterministic random-number helpers.
+///
+/// Every stochastic component (trace generation, property-test case
+/// generation) draws from a seeded Rng so experiments reproduce bit-for-bit.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace streampart {
+
+/// \brief Thin wrapper over mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// \brief Bernoulli draw with success probability \p p.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf(s, n) sampler over ranks {1..n} using precomputed CDF.
+///
+/// Used by the trace generator to model heavy-tailed flow-size and
+/// host-popularity distributions observed in backbone traffic.
+class ZipfDistribution {
+ public:
+  /// \param n number of ranks; \param s skew exponent (s=0 is uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// \brief Draws a rank in [1, n].
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace streampart

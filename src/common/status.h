@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file status.h
+/// \brief Error-handling primitives for the streampart library.
+///
+/// Library code never throws exceptions across API boundaries; fallible
+/// operations return Status (or Result<T>, see result.h). The design follows
+/// the Apache Arrow / RocksDB idiom: a small, cheaply-movable status object
+/// carrying an error code and a human-readable message.
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace streampart {
+
+/// \brief Category of a failure reported by a streampart API.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument was malformed or out of range.
+  kInvalidArgument = 1,
+  /// A named entity (stream, query, column, UDAF) was not found.
+  kNotFound = 2,
+  /// An entity with the same name already exists.
+  kAlreadyExists = 3,
+  /// GSQL text failed to lex or parse.
+  kParseError = 4,
+  /// Query text parsed but failed semantic analysis (unknown column, type
+  /// mismatch, unsupported construct).
+  kAnalysisError = 5,
+  /// The requested operation is not supported by this build.
+  kNotImplemented = 6,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal = 7,
+  /// Partitioning analysis could not produce a usable result (e.g. empty
+  /// reconciled partitioning set where one was required).
+  kPartitioningError = 8,
+  /// The simulated cluster or runtime was misconfigured.
+  kRuntimeError = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: success, or a code + message.
+///
+/// The success path stores no heap state; error state is a single
+/// heap-allocated record, so Status is one pointer wide and cheap to move.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() noexcept = default;
+
+  /// Constructs an error status. \p code must not be StatusCode::kOk.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief The status code (kOk when ok()).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// \brief The error message; empty when ok().
+  const std::string& message() const;
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message, keeping the code. No-op if ok.
+  Status WithContext(const std::string& context) const;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AnalysisError(Args&&... args) {
+    return Make(StatusCode::kAnalysisError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status PartitioningError(Args&&... args) {
+    return Make(StatusCode::kPartitioningError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status RuntimeError(Args&&... args) {
+    return Make(StatusCode::kRuntimeError, std::forward<Args>(args)...);
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsAnalysisError() const { return code() == StatusCode::kAnalysisError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsPartitioningError() const {
+    return code() == StatusCode::kPartitioningError;
+  }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream ss;
+    (ss << ... << args);
+    return Status(code, ss.str());
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+/// \brief Propagates an error status from the evaluated expression.
+#define SP_RETURN_NOT_OK(expr)                      \
+  do {                                              \
+    ::streampart::Status _sp_status = (expr);       \
+    if (!_sp_status.ok()) return _sp_status;        \
+  } while (false)
+
+#define SP_CONCAT_IMPL(x, y) x##y
+#define SP_CONCAT(x, y) SP_CONCAT_IMPL(x, y)
+
+/// \brief Evaluates a Result<T> expression; on success binds the value to
+/// \p lhs, on failure returns the error status.
+#define SP_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  SP_ASSIGN_OR_RETURN_IMPL(SP_CONCAT(_sp_result_, __LINE__), lhs, rexpr)
+
+#define SP_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace streampart

@@ -1,0 +1,96 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace streampart {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatIpv4(uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+bool ParseIpv4(std::string_view text, uint32_t* out) {
+  uint32_t parts[4];
+  int part = 0;
+  uint64_t cur = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (!have_digit || part >= 3) return false;
+      parts[part++] = static_cast<uint32_t>(cur);
+      cur = 0;
+      have_digit = false;
+    } else if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<uint64_t>(c - '0');
+      if (cur > 255) return false;
+      have_digit = true;
+    } else {
+      return false;
+    }
+  }
+  if (!have_digit || part != 3) return false;
+  parts[3] = static_cast<uint32_t>(cur);
+  *out = (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+  return true;
+}
+
+}  // namespace streampart

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file strings.h
+/// \brief Small string utilities shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streampart {
+
+/// \brief Joins \p parts with \p sep ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits \p s on \p sep; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief ASCII lower-casing (GSQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Renders an IPv4 address stored as a host-order uint32.
+std::string FormatIpv4(uint32_t ip);
+
+/// \brief Parses dotted-quad IPv4 into host-order uint32; returns false on
+/// malformed input.
+bool ParseIpv4(std::string_view text, uint32_t* out);
+
+}  // namespace streampart

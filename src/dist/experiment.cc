@@ -1,0 +1,63 @@
+#include "dist/experiment.h"
+
+namespace streampart {
+
+ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
+                                   TraceConfig trace_config,
+                                   CpuCostParams cpu_params)
+    : graph_(graph),
+      source_(std::move(source)),
+      trace_config_(trace_config),
+      cpu_params_(cpu_params) {
+  PacketTraceGenerator gen(trace_config_);
+  trace_ = gen.GenerateAll();
+}
+
+Result<ClusterRunResult> ExperimentRunner::RunOne(
+    const ExperimentConfig& config, int num_hosts, int partitions_per_host) {
+  ClusterConfig cluster;
+  cluster.num_hosts = num_hosts;
+  cluster.partitions_per_host = partitions_per_host;
+  SP_ASSIGN_OR_RETURN(
+      DistPlan plan,
+      OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
+  ClusterRuntime runtime(graph_, &plan, cluster);
+  SP_RETURN_NOT_OK(runtime.Build(config.ps));
+  for (const Tuple& t : trace_) runtime.PushSource(source_, t);
+  runtime.FinishSources();
+  return runtime.result();
+}
+
+Result<SweepResult> ExperimentRunner::RunSweep(
+    const std::vector<ExperimentConfig>& configs,
+    const std::vector<int>& host_counts, int partitions_per_host) {
+  SweepResult sweep;
+  sweep.host_counts = host_counts;
+  double duration = duration_sec();
+  for (const ExperimentConfig& config : configs) {
+    for (int hosts : host_counts) {
+      SP_ASSIGN_OR_RETURN(ClusterRunResult run,
+                          RunOne(config, hosts, partitions_per_host));
+      ExperimentPoint point;
+      point.num_hosts = hosts;
+      const HostMetrics& agg = run.aggregator(0);
+      point.aggregator_cpu_pct =
+          HostCpuLoadPercent(agg, cpu_params_, duration);
+      point.aggregator_net_tuples_sec =
+          HostNetworkTuplesPerSec(agg, duration);
+      if (hosts > 1) {
+        point.leaf_cpu_pct = 100.0 * run.LeafCpuSeconds(cpu_params_, 0) /
+                             (duration * (hosts - 1));
+      } else {
+        point.leaf_cpu_pct = point.aggregator_cpu_pct;
+      }
+      for (const auto& [name, tuples] : run.outputs) {
+        point.output_tuples += tuples.size();
+      }
+      sweep.series[config.name].push_back(point);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace streampart

@@ -1,0 +1,50 @@
+#include "dist/partitioner.h"
+
+#include "common/hash.h"
+
+namespace streampart {
+
+Result<std::unique_ptr<HashPartitioner>> HashPartitioner::Make(
+    const PartitionSet& ps, const SchemaPtr& source_schema,
+    int num_partitions) {
+  if (ps.empty()) {
+    return Status::InvalidArgument("hash partitioner needs a non-empty set");
+  }
+  if (num_partitions < 1) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  BindingContext ctx;
+  ctx.AddInput("", source_schema);
+  std::vector<ExprPtr> bound;
+  for (const ExprPtr& e : ps.ToExprs()) {
+    SP_ASSIGN_OR_RETURN(ExprPtr b, e->Bind(ctx));
+    bound.push_back(std::move(b));
+  }
+  return std::unique_ptr<HashPartitioner>(new HashPartitioner(
+      std::move(bound), num_partitions, ps.ToString()));
+}
+
+int HashPartitioner::PartitionOf(const Tuple& tuple) {
+  uint64_t h = Mix64(0x5eed5eed5eed5eedULL);
+  for (const ExprPtr& e : exprs_) {
+    h = HashCombine(h, e->Eval(tuple).Hash());
+  }
+  // Range-partition the 64-bit hash space into M equal slices (§3.3):
+  // partition = floor(h * M / 2^64).
+  return static_cast<int>(
+      (static_cast<unsigned __int128>(h) * num_partitions_) >> 64);
+}
+
+Result<std::unique_ptr<StreamPartitioner>> MakePartitioner(
+    const PartitionSet& ps, const SchemaPtr& source_schema,
+    int num_partitions) {
+  if (ps.empty()) {
+    return std::unique_ptr<StreamPartitioner>(
+        std::make_unique<RoundRobinPartitioner>(num_partitions));
+  }
+  SP_ASSIGN_OR_RETURN(std::unique_ptr<HashPartitioner> hash,
+                      HashPartitioner::Make(ps, source_schema, num_partitions));
+  return std::unique_ptr<StreamPartitioner>(std::move(hash));
+}
+
+}  // namespace streampart

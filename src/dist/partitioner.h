@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file partitioner.h
+/// \brief Stream partitioners modelling the capture-hardware splitter.
+///
+/// Paper §3.3: a tuple falls into partition i when
+/// i*R/M <= H(A) < (i+1)*R/M for a hash H over the partitioning set A —
+/// i.e. range-partitioning of the hash space into M equal slices. The
+/// query-independent baseline is round-robin (§6's "Naive" configurations).
+
+#include <memory>
+
+#include "common/result.h"
+#include "partition/partition_set.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Routes source tuples to partitions.
+class StreamPartitioner {
+ public:
+  virtual ~StreamPartitioner() = default;
+  /// \brief Partition index in [0, num_partitions) for \p tuple.
+  virtual int PartitionOf(const Tuple& tuple) = 0;
+  virtual int num_partitions() const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+/// \brief Query-independent round-robin splitter (paper's Naive baseline).
+class RoundRobinPartitioner : public StreamPartitioner {
+ public:
+  explicit RoundRobinPartitioner(int num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  int PartitionOf(const Tuple&) override {
+    int p = next_;
+    next_ = (next_ + 1) % num_partitions_;
+    return p;
+  }
+  int num_partitions() const override { return num_partitions_; }
+  std::string Describe() const override { return "round-robin"; }
+
+ private:
+  int num_partitions_;
+  int next_ = 0;
+};
+
+/// \brief Hash partitioner over a partitioning set (§3.3).
+class HashPartitioner : public StreamPartitioner {
+ public:
+  /// \brief Binds \p ps against \p source_schema. Fails if the set is empty
+  /// or references unknown columns.
+  static Result<std::unique_ptr<HashPartitioner>> Make(
+      const PartitionSet& ps, const SchemaPtr& source_schema,
+      int num_partitions);
+
+  int PartitionOf(const Tuple& tuple) override;
+  int num_partitions() const override { return num_partitions_; }
+  std::string Describe() const override { return "hash" + spec_; }
+
+ private:
+  HashPartitioner(std::vector<ExprPtr> bound_exprs, int num_partitions,
+                  std::string spec)
+      : exprs_(std::move(bound_exprs)),
+        num_partitions_(num_partitions),
+        spec_(std::move(spec)) {}
+
+  std::vector<ExprPtr> exprs_;
+  int num_partitions_;
+  std::string spec_;
+};
+
+/// \brief Builds the partitioner for a configuration: hash over \p ps when
+/// non-empty, round-robin otherwise.
+Result<std::unique_ptr<StreamPartitioner>> MakePartitioner(
+    const PartitionSet& ps, const SchemaPtr& source_schema,
+    int num_partitions);
+
+}  // namespace streampart

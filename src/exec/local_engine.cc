@@ -1,0 +1,91 @@
+#include "exec/local_engine.h"
+
+#include <set>
+
+namespace streampart {
+
+LocalEngine::LocalEngine(const QueryGraph* graph, Options options)
+    : graph_(graph), options_(options) {}
+
+Status LocalEngine::Build() {
+  if (built_) return Status::Internal("LocalEngine::Build called twice");
+  built_ = true;
+
+  // Instantiate one operator per query, in topological order.
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    SP_ASSIGN_OR_RETURN(OperatorPtr op,
+                        MakeOperator(node, &graph_->udaf_registry()));
+    ops_[node->name] = std::move(op);
+  }
+
+  // Wire edges: query input port p reads inputs[p].
+  std::set<std::string> collected;
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    Operator* op = ops_.at(node->name).get();
+    for (size_t port = 0; port < node->inputs.size(); ++port) {
+      const std::string& in = node->inputs[port];
+      if (graph_->IsSource(in)) {
+        source_consumers_[in].push_back({op, port});
+      } else {
+        ops_.at(in)->AddConsumer(op, port);
+      }
+    }
+    bool is_root = graph_->Parents(node->name).empty();
+    if (options_.collect_all || is_root) {
+      const std::string& name = node->name;
+      results_[name];  // ensure entry exists
+      op->AddSink([this, name](const Tuple& t) { results_[name].push_back(t); });
+    }
+  }
+  return Status::OK();
+}
+
+void LocalEngine::PushSource(const std::string& source, const Tuple& tuple) {
+  auto it = source_consumers_.find(source);
+  if (it == source_consumers_.end()) return;
+  for (const auto& [op, port] : it->second) op->Push(port, tuple);
+}
+
+void LocalEngine::FinishSources() {
+  for (const auto& [source, consumers] : source_consumers_) {
+    for (const auto& [op, port] : consumers) op->Finish(port);
+  }
+}
+
+const TupleBatch& LocalEngine::Results(const std::string& name) const {
+  static const TupleBatch kEmpty;
+  auto it = results_.find(name);
+  return it == results_.end() ? kEmpty : it->second;
+}
+
+Result<OpStats> LocalEngine::StatsFor(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status::NotFound("no operator for query '", name, "'");
+  }
+  return it->second->stats();
+}
+
+OpStats LocalEngine::TotalStats() const {
+  OpStats total;
+  for (const auto& [name, op] : ops_) total += op->stats();
+  return total;
+}
+
+Result<std::map<std::string, TupleBatch>> RunCentralized(
+    const QueryGraph& graph, const std::string& source,
+    const TupleBatch& tuples) {
+  LocalEngine::Options options;
+  options.collect_all = true;
+  LocalEngine engine(&graph, options);
+  SP_RETURN_NOT_OK(engine.Build());
+  for (const Tuple& t : tuples) engine.PushSource(source, t);
+  engine.FinishSources();
+  std::map<std::string, TupleBatch> out;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    out[node->name] = engine.Results(node->name);
+  }
+  return out;
+}
+
+}  // namespace streampart

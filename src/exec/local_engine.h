@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file local_engine.h
+/// \brief Centralized (single-host) execution of a whole query graph.
+///
+/// The local engine is both the reference implementation that distributed
+/// plans are validated against (partition compatibility, paper §3.4, is
+/// literally "distributed output == centralized output per window") and the
+/// per-host execution substrate of the simulated cluster.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/ops.h"
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+/// \brief Executes every query of a QueryGraph over pushed source tuples.
+class LocalEngine {
+ public:
+  struct Options {
+    /// Collect result tuples for every query (true) or only for graph roots.
+    bool collect_all = false;
+  };
+
+  /// \param graph must outlive the engine.
+  explicit LocalEngine(const QueryGraph* graph) : LocalEngine(graph, Options()) {}
+  LocalEngine(const QueryGraph* graph, Options options);
+
+  /// \brief Instantiates and wires operators. Must be called once before
+  /// pushing data.
+  Status Build();
+
+  /// \brief Pushes one tuple of source stream \p source into every consumer.
+  void PushSource(const std::string& source, const Tuple& tuple);
+
+  /// \brief Signals end-of-stream on all source streams.
+  void FinishSources();
+
+  /// \brief Collected output of query \p name (empty unless collected).
+  const TupleBatch& Results(const std::string& name) const;
+
+  /// \brief Work counters of the operator executing \p name.
+  Result<OpStats> StatsFor(const std::string& name) const;
+
+  /// \brief Aggregate stats over all operators.
+  OpStats TotalStats() const;
+
+ private:
+  const QueryGraph* graph_;
+  Options options_;
+  std::map<std::string, OperatorPtr> ops_;
+  std::map<std::string, TupleBatch> results_;
+  /// source stream -> [(consumer op, port)]
+  std::map<std::string, std::vector<std::pair<Operator*, size_t>>>
+      source_consumers_;
+  bool built_ = false;
+};
+
+/// \brief Convenience: runs \p graph over \p tuples of the single source
+/// stream \p source and returns the collected outputs of every query.
+Result<std::map<std::string, TupleBatch>> RunCentralized(
+    const QueryGraph& graph, const std::string& source,
+    const TupleBatch& tuples);
+
+}  // namespace streampart

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file operator.h
+/// \brief Push-based streaming operator interface.
+///
+/// Operators form a dataflow graph: producers Emit() tuples, which are pushed
+/// into each consumer's input port. End-of-stream is signalled per port with
+/// Finish(); an operator flushes its state and propagates Finish downstream
+/// once all of its ports have finished.
+///
+/// Every operator maintains OpStats work counters. The distributed runtime
+/// maps these counters to simulated CPU cycles (src/metrics), so operators
+/// must account their work honestly rather than being instrumented
+/// externally.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Work counters; the currency of the CPU-cost model.
+struct OpStats {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t bytes_out = 0;
+  /// Hash-table probes that found an existing group.
+  uint64_t group_probes = 0;
+  /// New groups created.
+  uint64_t group_inserts = 0;
+  /// Join pair evaluations.
+  uint64_t join_probes = 0;
+  /// Tuples evaluated against a predicate (WHERE/HAVING/residual).
+  uint64_t predicate_evals = 0;
+  /// Tuples that arrived after their tumbling window already closed and were
+  /// dropped (the Gigascope policy; nonzero indicates an unordered input).
+  uint64_t late_tuples = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    tuples_in += o.tuples_in;
+    tuples_out += o.tuples_out;
+    bytes_out += o.bytes_out;
+    group_probes += o.group_probes;
+    late_tuples += o.late_tuples;
+    group_inserts += o.group_inserts;
+    join_probes += o.join_probes;
+    predicate_evals += o.predicate_evals;
+    return *this;
+  }
+};
+
+/// \brief Base class of all streaming operators.
+class Operator {
+ public:
+  explicit Operator(size_t num_ports)
+      : finished_(num_ports, false), ports_remaining_(num_ports) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  size_t num_ports() const { return finished_.size(); }
+
+  /// \brief Delivers one tuple to \p port.
+  void Push(size_t port, const Tuple& tuple) {
+    SP_DCHECK(port < finished_.size());
+    ++stats_.tuples_in;
+    DoPush(port, tuple);
+  }
+
+  /// \brief Signals end-of-stream on \p port. When all ports have finished,
+  /// the operator flushes and propagates Finish to its consumers.
+  void Finish(size_t port) {
+    SP_DCHECK(port < finished_.size());
+    if (finished_[port]) return;
+    finished_[port] = true;
+    --ports_remaining_;
+    OnPortFinished(port);
+    if (ports_remaining_ == 0) {
+      DoFinish();
+      PropagateFinish();
+    }
+  }
+
+  /// \brief Wires this operator's output into \p consumer's \p port.
+  void AddConsumer(Operator* consumer, size_t port) {
+    consumers_.push_back({consumer, port});
+  }
+
+  /// \brief Additionally delivers output tuples to a terminal sink (result
+  /// collection, network channels in the distributed runtime).
+  void AddSink(std::function<void(const Tuple&)> sink) {
+    sinks_.push_back(std::move(sink));
+  }
+
+  /// \brief Callback run when this operator finishes (after flushing).
+  void AddFinishHook(std::function<void()> hook) {
+    finish_hooks_.push_back(std::move(hook));
+  }
+
+  const OpStats& stats() const { return stats_; }
+
+  /// \brief Human-readable operator label for plan dumps and debugging.
+  virtual std::string label() const = 0;
+
+ protected:
+  /// \brief Sends one output tuple downstream.
+  void Emit(const Tuple& tuple) {
+    ++stats_.tuples_out;
+    stats_.bytes_out += tuple.WireSize();
+    for (const auto& [op, port] : consumers_) op->Push(port, tuple);
+    for (const auto& sink : sinks_) sink(tuple);
+  }
+
+  virtual void DoPush(size_t port, const Tuple& tuple) = 0;
+  /// \brief Flush remaining state; called once after every port finished.
+  virtual void DoFinish() {}
+  /// \brief Per-port end-of-stream notification (before DoFinish).
+  virtual void OnPortFinished(size_t /*port*/) {}
+
+  OpStats stats_;
+
+ private:
+  void PropagateFinish() {
+    for (const auto& [op, port] : consumers_) op->Finish(port);
+    for (const auto& hook : finish_hooks_) hook();
+  }
+
+  std::vector<std::pair<Operator*, size_t>> consumers_;
+  std::vector<std::function<void(const Tuple&)>> sinks_;
+  std::vector<std::function<void()>> finish_hooks_;
+  std::vector<bool> finished_;
+  size_t ports_remaining_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace streampart

@@ -1,0 +1,342 @@
+#include "exec/ops.h"
+
+#include <algorithm>
+
+namespace streampart {
+
+// ---------------------------------------------------------------------------
+// SelectProjectOp
+// ---------------------------------------------------------------------------
+
+SelectProjectOp::SelectProjectOp(QueryNodePtr node)
+    : Operator(/*num_ports=*/1), node_(std::move(node)) {
+  SP_CHECK(node_->kind == QueryKind::kSelectProject)
+      << "SelectProjectOp over non-select node " << node_->name;
+}
+
+void SelectProjectOp::DoPush(size_t, const Tuple& tuple) {
+  if (node_->where) {
+    ++stats_.predicate_evals;
+    if (!node_->where->Eval(tuple).Truthy()) return;
+  }
+  Tuple out;
+  out.values().reserve(node_->outputs.size());
+  for (const NamedExpr& o : node_->outputs) out.Append(o.expr->Eval(tuple));
+  Emit(out);
+}
+
+// ---------------------------------------------------------------------------
+// AggregateOp
+// ---------------------------------------------------------------------------
+
+AggregateOp::AggregateOp(QueryNodePtr node, const UdafRegistry* registry)
+    : Operator(/*num_ports=*/1), node_(std::move(node)), registry_(registry) {
+  SP_CHECK(node_->kind == QueryKind::kAggregate)
+      << "AggregateOp over non-aggregate node " << node_->name;
+  for (const AggregateSpec& spec : node_->aggregates) {
+    agg_arg_types_.push_back(spec.args.empty() ? DataType::kNull
+                                               : spec.args[0]->result_type());
+  }
+}
+
+std::vector<std::unique_ptr<UdafState>> AggregateOp::NewStates() const {
+  std::vector<std::unique_ptr<UdafState>> states;
+  states.reserve(node_->aggregates.size());
+  for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+    auto udaf = registry_->Get(node_->aggregates[i].udaf);
+    SP_CHECK(udaf.ok()) << "unregistered UDAF " << node_->aggregates[i].udaf;
+    states.push_back((*udaf)->NewState(agg_arg_types_[i]));
+  }
+  return states;
+}
+
+void AggregateOp::DoPush(size_t, const Tuple& tuple) {
+  if (node_->where) {
+    ++stats_.predicate_evals;
+    if (!node_->where->Eval(tuple).Truthy()) return;
+  }
+  std::vector<Value> key;
+  key.reserve(node_->group_by.size());
+  for (const NamedExpr& g : node_->group_by) key.push_back(g.expr->Eval(tuple));
+
+  // Tumbling-window boundary: the temporal key advanced. Late tuples —
+  // belonging to an already-flushed window — are dropped and counted, the
+  // policy a production DSMS applies (ordered merges prevent this in
+  // well-formed plans).
+  if (node_->temporal_group_idx.has_value()) {
+    const Value& epoch = key[*node_->temporal_group_idx];
+    if (current_epoch_.has_value() && !(epoch == *current_epoch_)) {
+      if (epoch < *current_epoch_) {
+        ++stats_.late_tuples;
+        return;
+      }
+      FlushWindow();
+    }
+    current_epoch_ = epoch;
+  }
+
+  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  if (inserted) {
+    ++stats_.group_inserts;
+    it->second = NewStates();
+  } else {
+    ++stats_.group_probes;
+  }
+  for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+    const AggregateSpec& spec = node_->aggregates[i];
+    Value arg = spec.args.empty() ? Value::Null() : spec.args[0]->Eval(tuple);
+    it->second[i]->Update(arg);
+  }
+}
+
+void AggregateOp::FlushWindow() {
+  if (groups_.empty()) return;
+  // Deterministic emission: sort group keys.
+  std::vector<const GroupMap::value_type*> entries;
+  entries.reserve(groups_.size());
+  for (const auto& kv : groups_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  for (const auto* entry : entries) {
+    Tuple internal;
+    internal.values().reserve(entry->first.size() +
+                              node_->aggregates.size());
+    for (const Value& v : entry->first) internal.Append(v);
+    for (const auto& state : entry->second) internal.Append(state->Final());
+    if (node_->having) {
+      ++stats_.predicate_evals;
+      if (!node_->having->Eval(internal).Truthy()) continue;
+    }
+    Tuple out;
+    out.values().reserve(node_->outputs.size());
+    for (const NamedExpr& o : node_->outputs) {
+      out.Append(o.expr->Eval(internal));
+    }
+    Emit(out);
+  }
+  groups_.clear();
+}
+
+void AggregateOp::DoFinish() { FlushWindow(); }
+
+// ---------------------------------------------------------------------------
+// JoinOp
+// ---------------------------------------------------------------------------
+
+JoinOp::JoinOp(QueryNodePtr node)
+    : Operator(/*num_ports=*/2), node_(std::move(node)) {
+  SP_CHECK(node_->kind == QueryKind::kJoin)
+      << "JoinOp over non-join node " << node_->name;
+  for (const EquiPred& pred : node_->equi_preds) {
+    if (pred.temporal) {
+      window_left_.push_back(pred.left);
+      window_right_.push_back(pred.right);
+    } else {
+      key_left_.push_back(pred.left);
+      key_right_.push_back(pred.right);
+    }
+  }
+  left_width_ = node_->input_schemas[0]->num_fields();
+  right_width_ = node_->input_schemas[1]->num_fields();
+}
+
+std::vector<Value> JoinOp::EvalKeys(const std::vector<ExprPtr>& exprs,
+                                    const Tuple& t) const {
+  std::vector<Value> out;
+  out.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) out.push_back(e->Eval(t));
+  return out;
+}
+
+void JoinOp::DoPush(size_t port, const Tuple& tuple) {
+  std::vector<Value> wkey =
+      EvalKeys(port == 0 ? window_left_ : window_right_, tuple);
+  Window& w = windows_[wkey];
+  if (port == 0) {
+    w.left.push_back({tuple, false});
+  } else {
+    w.right.push_back({tuple, false});
+  }
+  if (!window_left_.empty()) {
+    auto& wm = watermark_[port];
+    if (!wm.has_value() || *wm < wkey) wm = wkey;
+    if (watermark_[0].has_value() && watermark_[1].has_value()) {
+      EvictBelow(std::min(*watermark_[0], *watermark_[1]));
+    }
+  }
+}
+
+void JoinOp::EvictBelow(const std::vector<Value>& min_watermark) {
+  while (!windows_.empty() && windows_.begin()->first < min_watermark) {
+    JoinWindow(&windows_.begin()->second);
+    windows_.erase(windows_.begin());
+  }
+}
+
+void JoinOp::DoFinish() {
+  // Join remaining windows in key order.
+  for (auto& [key, w] : windows_) JoinWindow(&w);
+  windows_.clear();
+}
+
+void JoinOp::EmitJoined(const Tuple& left, const Tuple& right) {
+  Tuple concat = Tuple::Concat(left, right);
+  if (node_->residual) {
+    ++stats_.predicate_evals;
+    if (!node_->residual->Eval(concat).Truthy()) return;
+  }
+  Tuple out;
+  out.values().reserve(node_->outputs.size());
+  for (const NamedExpr& o : node_->outputs) out.Append(o.expr->Eval(concat));
+  Emit(out);
+}
+
+void JoinOp::EmitPadded(const Tuple& one_side, bool is_left) {
+  Tuple padded;
+  padded.values().reserve(left_width_ + right_width_);
+  if (is_left) {
+    for (const Value& v : one_side.values()) padded.Append(v);
+    for (size_t i = 0; i < right_width_; ++i) padded.Append(Value::Null());
+  } else {
+    for (size_t i = 0; i < left_width_; ++i) padded.Append(Value::Null());
+    for (const Value& v : one_side.values()) padded.Append(v);
+  }
+  Tuple out;
+  out.values().reserve(node_->outputs.size());
+  for (const NamedExpr& o : node_->outputs) out.Append(o.expr->Eval(padded));
+  Emit(out);
+}
+
+void JoinOp::JoinWindow(Window* w) {
+  // Hash the right side on its equi keys.
+  struct VecHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      uint64_t h = Mix64(key.size());
+      for (const Value& v : key) h = HashCombine(h, v.Hash());
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, VecHash> hash;
+  for (size_t i = 0; i < w->right.size(); ++i) {
+    hash[EvalKeys(key_right_, w->right[i].tuple)].push_back(i);
+  }
+  for (BufferedTuple& lt : w->left) {
+    auto it = hash.find(EvalKeys(key_left_, lt.tuple));
+    if (it == hash.end()) continue;
+    for (size_t ri : it->second) {
+      ++stats_.join_probes;
+      BufferedTuple& rt = w->right[ri];
+      Tuple concat = Tuple::Concat(lt.tuple, rt.tuple);
+      bool pass = true;
+      if (node_->residual) {
+        ++stats_.predicate_evals;
+        pass = node_->residual->Eval(concat).Truthy();
+      }
+      if (!pass) continue;
+      lt.matched = true;
+      rt.matched = true;
+      Tuple out;
+      out.values().reserve(node_->outputs.size());
+      for (const NamedExpr& o : node_->outputs) {
+        out.Append(o.expr->Eval(concat));
+      }
+      Emit(out);
+    }
+  }
+  // Outer padding.
+  if (node_->join_type == JoinType::kLeftOuter ||
+      node_->join_type == JoinType::kFullOuter) {
+    for (const BufferedTuple& lt : w->left) {
+      if (!lt.matched) EmitPadded(lt.tuple, /*is_left=*/true);
+    }
+  }
+  if (node_->join_type == JoinType::kRightOuter ||
+      node_->join_type == JoinType::kFullOuter) {
+    for (const BufferedTuple& rt : w->right) {
+      if (!rt.matched) EmitPadded(rt.tuple, /*is_left=*/false);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MergeOp
+// ---------------------------------------------------------------------------
+
+MergeOp::MergeOp(std::string name, SchemaPtr schema, size_t num_inputs)
+    : Operator(num_inputs),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      queues_(num_inputs),
+      port_done_(num_inputs, false) {
+  for (size_t i = 0; i < schema_->num_fields(); ++i) {
+    if (schema_->field(i).is_temporal()) {
+      temporal_idx_ = static_cast<int>(i);
+      break;
+    }
+  }
+}
+
+void MergeOp::DoPush(size_t port, const Tuple& tuple) {
+  if (temporal_idx_ < 0) {
+    Emit(tuple);
+    return;
+  }
+  queues_[port].push_back(tuple);
+  Drain(/*final=*/false);
+}
+
+void MergeOp::OnPortFinished(size_t port) {
+  port_done_[port] = true;
+  if (temporal_idx_ >= 0) Drain(/*final=*/false);
+}
+
+void MergeOp::DoFinish() {
+  if (temporal_idx_ >= 0) Drain(/*final=*/true);
+}
+
+void MergeOp::Drain(bool final) {
+  const size_t t = static_cast<size_t>(temporal_idx_);
+  while (true) {
+    // Ordered merge: we can emit only when every live (unfinished) port has a
+    // tuple buffered, or when finalizing.
+    int best = -1;
+    bool blocked = false;
+    for (size_t p = 0; p < queues_.size(); ++p) {
+      if (queues_[p].empty()) {
+        if (!port_done_[p] && !final) {
+          blocked = true;
+          break;
+        }
+        continue;
+      }
+      if (best < 0 ||
+          queues_[p].front().at(t) < queues_[best].front().at(t)) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (blocked || best < 0) return;
+    Emit(queues_[best].front());
+    queues_[best].pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+Result<OperatorPtr> MakeOperator(QueryNodePtr node,
+                                 const UdafRegistry* registry) {
+  switch (node->kind) {
+    case QueryKind::kSelectProject:
+      return OperatorPtr(std::make_unique<SelectProjectOp>(std::move(node)));
+    case QueryKind::kAggregate:
+      return OperatorPtr(
+          std::make_unique<AggregateOp>(std::move(node), registry));
+    case QueryKind::kJoin:
+      return OperatorPtr(std::make_unique<JoinOp>(std::move(node)));
+  }
+  return Status::Internal("unknown query kind");
+}
+
+}  // namespace streampart

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file ops.h
+/// \brief The concrete streaming operators: selection/projection, tumbling-
+/// window aggregation, tumbling-window equijoin, and ordered merge (union).
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/udaf.h"
+#include "plan/query_node.h"
+
+namespace streampart {
+
+/// \brief Evaluates WHERE and projects the output expressions of a
+/// kSelectProject node. Stateless; always compatible with any partitioning.
+class SelectProjectOp : public Operator {
+ public:
+  explicit SelectProjectOp(QueryNodePtr node);
+
+  std::string label() const override { return "select(" + node_->name + ")"; }
+
+ protected:
+  void DoPush(size_t port, const Tuple& tuple) override;
+
+ private:
+  QueryNodePtr node_;
+};
+
+/// \brief Tumbling-window hash aggregation with GROUP BY / HAVING.
+///
+/// The window is defined by the node's temporal group key (paper §3.1): the
+/// input must be non-decreasing in that key, and a key change flushes all
+/// groups of the closing epoch. Without a temporal key the operator is
+/// blocking and flushes at end-of-stream. Groups are emitted in sorted key
+/// order so results are deterministic.
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(QueryNodePtr node, const UdafRegistry* registry);
+
+  std::string label() const override {
+    return "aggregate(" + node_->name + ")";
+  }
+
+  /// \brief Number of currently open groups (introspection for tests).
+  size_t open_groups() const { return groups_.size(); }
+
+ protected:
+  void DoPush(size_t port, const Tuple& tuple) override;
+  void DoFinish() override;
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      uint64_t h = Mix64(key.size());
+      for (const Value& v : key) h = HashCombine(h, v.Hash());
+      return static_cast<size_t>(h);
+    }
+  };
+  using GroupMap =
+      std::unordered_map<std::vector<Value>, std::vector<std::unique_ptr<UdafState>>,
+                         VecHash>;
+
+  void FlushWindow();
+  std::vector<std::unique_ptr<UdafState>> NewStates() const;
+
+  QueryNodePtr node_;
+  const UdafRegistry* registry_;
+  std::vector<DataType> agg_arg_types_;
+  GroupMap groups_;
+  std::optional<Value> current_epoch_;
+};
+
+/// \brief Tumbling-window hash equijoin (inner/left/right/full outer).
+///
+/// Temporal equality predicates define the window key; tuples buffer per
+/// window until both inputs' watermarks pass it, then the window is joined
+/// with a hash join on the remaining equality predicates, the residual
+/// predicate is applied, and (for outer joins) unmatched tuples are padded
+/// with NULLs. Without a temporal predicate the join buffers everything and
+/// runs at end-of-stream.
+class JoinOp : public Operator {
+ public:
+  explicit JoinOp(QueryNodePtr node);
+
+  std::string label() const override { return "join(" + node_->name + ")"; }
+
+ protected:
+  void DoPush(size_t port, const Tuple& tuple) override;
+  void DoFinish() override;
+
+ private:
+  struct BufferedTuple {
+    Tuple tuple;
+    bool matched = false;
+  };
+  struct Window {
+    std::vector<BufferedTuple> left;
+    std::vector<BufferedTuple> right;
+  };
+
+  std::vector<Value> EvalKeys(const std::vector<ExprPtr>& exprs,
+                              const Tuple& t) const;
+  void EvictBelow(const std::vector<Value>& min_watermark);
+  void JoinWindow(Window* w);
+  void EmitJoined(const Tuple& left, const Tuple& right);
+  void EmitPadded(const Tuple& one_side, bool is_left);
+
+  QueryNodePtr node_;
+  // Temporal-key expressions per side (define the window).
+  std::vector<ExprPtr> window_left_, window_right_;
+  // Non-temporal equi-key expressions per side (hash-join keys).
+  std::vector<ExprPtr> key_left_, key_right_;
+  std::map<std::vector<Value>, Window> windows_;
+  std::optional<std::vector<Value>> watermark_[2];
+  size_t left_width_ = 0;
+  size_t right_width_ = 0;
+};
+
+/// \brief Ordered stream union of N inputs (the merge node of paper §5.1).
+///
+/// When the schema has a temporal attribute, inputs are merged in
+/// non-decreasing order of it (each input must itself be ordered); the output
+/// is then a valid ordered stream, which downstream tumbling windows rely on.
+/// Without a temporal attribute tuples pass through unordered.
+class MergeOp : public Operator {
+ public:
+  /// \param schema the merged stream's schema. \param num_inputs ports.
+  MergeOp(std::string name, SchemaPtr schema, size_t num_inputs);
+
+  std::string label() const override { return "merge(" + name_ + ")"; }
+
+ protected:
+  void DoPush(size_t port, const Tuple& tuple) override;
+  void DoFinish() override;
+  void OnPortFinished(size_t port) override;
+
+ private:
+  void Drain(bool final);
+
+  std::string name_;
+  SchemaPtr schema_;
+  int temporal_idx_ = -1;
+  std::vector<std::deque<Tuple>> queues_;
+  std::vector<bool> port_done_;
+};
+
+/// \brief Builds the executing operator for a query node (select/aggregate/
+/// join dispatch). Merge operators are constructed directly.
+Result<OperatorPtr> MakeOperator(QueryNodePtr node,
+                                 const UdafRegistry* registry);
+
+}  // namespace streampart

@@ -1,0 +1,256 @@
+#include "exec/sliding.h"
+
+#include <algorithm>
+
+namespace streampart {
+
+SlidingAggregateOp::SlidingAggregateOp(QueryNodePtr node,
+                                       const UdafRegistry* registry,
+                                       SlidingSpec spec)
+    : Operator(/*num_ports=*/1),
+      node_(std::move(node)),
+      registry_(registry),
+      spec_(spec) {}
+
+Result<std::unique_ptr<SlidingAggregateOp>> SlidingAggregateOp::Make(
+    QueryNodePtr node, const UdafRegistry* registry, SlidingSpec spec) {
+  if (node->kind != QueryKind::kAggregate) {
+    return Status::InvalidArgument("sliding evaluation needs an aggregation");
+  }
+  if (!node->temporal_group_idx.has_value()) {
+    return Status::InvalidArgument(
+        "sliding evaluation needs a temporal (pane) group key");
+  }
+  if (spec.window_panes == 0 || spec.slide_panes == 0) {
+    return Status::InvalidArgument("window and slide must be positive");
+  }
+  const NamedExpr& pane_key = node->group_by[*node->temporal_group_idx];
+  if (pane_key.type != DataType::kUint) {
+    return Status::NotImplemented("pane key must be an unsigned integer");
+  }
+  std::unique_ptr<SlidingAggregateOp> op(
+      new SlidingAggregateOp(std::move(node), registry, spec));
+  SP_RETURN_NOT_OK(op->Init());
+  return op;
+}
+
+Status SlidingAggregateOp::Init() {
+  temporal_idx_ = *node_->temporal_group_idx;
+  for (const AggregateSpec& spec : node_->aggregates) {
+    agg_arg_types_.push_back(spec.args.empty() ? DataType::kNull
+                                               : spec.args[0]->result_type());
+    SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> udaf,
+                        registry_->Get(spec.udaf));
+    const UdafSplit& split = udaf->split();
+    SlotSplit slot;
+    slot.combine = split.combine;
+    for (size_t c = 0; c < split.sub_udafs.size(); ++c) {
+      SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> sub,
+                          registry_->Get(split.sub_udafs[c]));
+      SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> super,
+                          registry_->Get(split.super_udafs[c]));
+      std::vector<DataType> sub_args;
+      if (split.sub_udafs[c] != "count") {
+        sub_args.push_back(agg_arg_types_.back());
+      }
+      SP_ASSIGN_OR_RETURN(DataType sub_type, sub->ResultType(sub_args));
+      slot.sub_result_types.push_back(sub_type);
+      slot.sub.push_back(std::move(sub));
+      slot.super.push_back(std::move(super));
+    }
+    sub_offset_.push_back(total_components_);
+    total_components_ += slot.sub.size();
+    splits_.push_back(std::move(slot));
+  }
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<UdafState>> SlidingAggregateOp::NewSubStates()
+    const {
+  std::vector<std::unique_ptr<UdafState>> states;
+  states.reserve(total_components_);
+  for (size_t j = 0; j < splits_.size(); ++j) {
+    for (size_t c = 0; c < splits_[j].sub.size(); ++c) {
+      // "count" components take no argument; others fold the aggregate's arg.
+      states.push_back(splits_[j].sub[c]->NewState(agg_arg_types_[j]));
+    }
+  }
+  return states;
+}
+
+void SlidingAggregateOp::DoPush(size_t, const Tuple& tuple) {
+  if (node_->where) {
+    ++stats_.predicate_evals;
+    if (!node_->where->Eval(tuple).Truthy()) return;
+  }
+  // Group key without the pane slot; the pane id separately.
+  std::vector<Value> key;
+  key.reserve(node_->group_by.size() - 1);
+  uint64_t pane = 0;
+  for (size_t i = 0; i < node_->group_by.size(); ++i) {
+    Value v = node_->group_by[i].expr->Eval(tuple);
+    if (i == temporal_idx_) {
+      pane = v.AsUint64();
+    } else {
+      key.push_back(std::move(v));
+    }
+  }
+
+  if (current_pane_.has_value() && pane != *current_pane_) {
+    uint64_t closed = *current_pane_;
+    ClosePane();
+    current_pane_ = pane;
+    // Emit every window whose end pane is now complete (strictly before the
+    // newly opened pane). Large pane gaps fast-forward over windows that
+    // would cover no data.
+    while (!panes_.empty()) {
+      uint64_t front = panes_.front().first;
+      if (next_end_ < front) {
+        uint64_t steps = (front - next_end_ + spec_.slide_panes - 1) /
+                         spec_.slide_panes;
+        next_end_ += steps * spec_.slide_panes;
+      }
+      uint64_t end = next_window_end();
+      if (end >= pane) break;
+      EmitWindow(end);
+      advance_window();
+    }
+    (void)closed;
+  } else if (!current_pane_.has_value()) {
+    current_pane_ = pane;
+    // First aligned window end at or after the first pane.
+    uint64_t first = pane;
+    uint64_t aligned =
+        ((first + spec_.slide_panes) / spec_.slide_panes) * spec_.slide_panes -
+        1;
+    if (aligned < first) aligned += spec_.slide_panes;
+    next_end_ = aligned;
+  }
+
+  auto [it, inserted] = open_.try_emplace(std::move(key));
+  if (inserted) {
+    ++stats_.group_inserts;
+    it->second = NewSubStates();
+  } else {
+    ++stats_.group_probes;
+  }
+  for (size_t j = 0; j < splits_.size(); ++j) {
+    const AggregateSpec& spec = node_->aggregates[j];
+    Value arg = spec.args.empty() ? Value::Null() : spec.args[0]->Eval(tuple);
+    for (size_t c = 0; c < splits_[j].sub.size(); ++c) {
+      it->second[sub_offset_[j] + c]->Update(arg);
+    }
+  }
+}
+
+void SlidingAggregateOp::ClosePane() {
+  if (!current_pane_.has_value()) return;
+  PaneResult result;
+  for (const auto& [key, states] : open_) {
+    std::vector<Value> components;
+    components.reserve(states.size());
+    for (const auto& state : states) components.push_back(state->Final());
+    result.emplace(key, std::move(components));
+  }
+  panes_.emplace_back(*current_pane_, std::move(result));
+  open_.clear();
+  current_pane_.reset();
+}
+
+void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
+  uint64_t begin_pane =
+      end_pane >= spec_.window_panes - 1 ? end_pane - (spec_.window_panes - 1)
+                                         : 0;
+  // Collect participating panes (the deque is ordered by pane id).
+  std::vector<const PaneResult*> in_range;
+  for (const auto& [id, result] : panes_) {
+    if (id >= begin_pane && id <= end_pane) in_range.push_back(&result);
+  }
+  // Union of groups across the window, processed in sorted key order.
+  std::map<std::vector<Value>, std::vector<std::unique_ptr<UdafState>>> groups;
+  for (const PaneResult* pane : in_range) {
+    for (const auto& [key, components] : *pane) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<std::unique_ptr<UdafState>> supers;
+        supers.reserve(total_components_);
+        for (size_t j = 0; j < splits_.size(); ++j) {
+          for (size_t c = 0; c < splits_[j].super.size(); ++c) {
+            supers.push_back(
+                splits_[j].super[c]->NewState(splits_[j].sub_result_types[c]));
+          }
+        }
+        it = groups.emplace(key, std::move(supers)).first;
+      }
+      for (size_t k = 0; k < components.size(); ++k) {
+        it->second[k]->Update(components[k]);
+      }
+    }
+  }
+
+  for (const auto& [key, supers] : groups) {
+    // Combined aggregate values per original slot.
+    std::vector<Value> agg_values;
+    for (size_t j = 0; j < splits_.size(); ++j) {
+      std::vector<Value> comps;
+      for (size_t c = 0; c < splits_[j].super.size(); ++c) {
+        comps.push_back(supers[sub_offset_[j] + c]->Final());
+      }
+      if (splits_[j].combine == nullptr) {
+        agg_values.push_back(comps[0]);
+      } else {
+        std::vector<ExprPtr> lits;
+        for (const Value& v : comps) lits.push_back(Expr::Literal(v));
+        agg_values.push_back(splits_[j].combine(lits)->Eval(Tuple()));
+      }
+    }
+    // Internal tuple: group keys (pane slot = window end) + aggregates.
+    Tuple internal;
+    internal.values().reserve(node_->group_by.size() +
+                              node_->aggregates.size());
+    size_t k = 0;
+    for (size_t i = 0; i < node_->group_by.size(); ++i) {
+      if (i == temporal_idx_) {
+        internal.Append(Value::Uint(end_pane));
+      } else {
+        internal.Append(key[k++]);
+      }
+    }
+    for (Value& v : agg_values) internal.Append(std::move(v));
+    if (node_->having) {
+      ++stats_.predicate_evals;
+      if (!node_->having->Eval(internal).Truthy()) continue;
+    }
+    Tuple out;
+    out.values().reserve(node_->outputs.size());
+    for (const NamedExpr& o : node_->outputs) {
+      out.Append(o.expr->Eval(internal));
+    }
+    Emit(out);
+  }
+
+  // Evict panes no future window needs (next end = end_pane + slide).
+  uint64_t next_begin = end_pane + spec_.slide_panes >= spec_.window_panes - 1
+                            ? end_pane + spec_.slide_panes -
+                                  (spec_.window_panes - 1)
+                            : 0;
+  while (!panes_.empty() && panes_.front().first < next_begin) {
+    panes_.pop_front();
+  }
+}
+
+void SlidingAggregateOp::DoFinish() {
+  std::optional<uint64_t> last = current_pane_;
+  if (!last.has_value() && !panes_.empty()) last = panes_.back().first;
+  ClosePane();
+  if (!last.has_value()) return;
+  // Drain: emit every remaining window whose range still touches the data.
+  while (next_end_ - std::min<uint64_t>(next_end_, spec_.window_panes - 1) <=
+         *last) {
+    EmitWindow(next_end_);
+    advance_window();
+    if (panes_.empty()) break;
+  }
+}
+
+}  // namespace streampart

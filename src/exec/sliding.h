@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file sliding.h
+/// \brief Pane-based sliding-window aggregation (Li et al., "No pane, no
+/// gain", cited as [17] by the paper).
+///
+/// The paper assumes tumbling windows because sliding windows reduce to them:
+/// a sliding window of W panes advancing by S panes is evaluated by
+/// sub-aggregating each pane (a tumbling window) and super-aggregating the W
+/// most recent pane partials. This operator implements exactly that
+/// construction on top of the UDAF split registry — the same sub/super
+/// machinery the distributed optimizer uses for partial aggregation.
+///
+/// It is also why §3.5.1 excludes temporal attributes from partitioning
+/// sets: pane partials for one group must all land on one host across the
+/// whole window, and partitioning on time would reassign the group mid-
+/// window.
+///
+/// The wrapped aggregation node's temporal group key defines the *pane*
+/// (e.g. `GROUP BY time/60 as tb` makes 60-second panes); windows contain
+/// `window_panes` consecutive panes and advance every `slide_panes` panes.
+/// A window is emitted when its last pane closes, keyed by that pane's
+/// temporal value.
+
+#include <deque>
+#include <map>
+
+#include "exec/operator.h"
+#include "exec/udaf.h"
+#include "plan/query_node.h"
+
+namespace streampart {
+
+/// \brief Sliding-window evaluation parameters, in panes.
+struct SlidingSpec {
+  /// Panes per window (W). A window covers W consecutive pane values.
+  size_t window_panes = 1;
+  /// Panes between successive window ends (S). 1 = emit every pane;
+  /// window_panes = tumbling behaviour.
+  size_t slide_panes = 1;
+};
+
+/// \brief Pane-based sliding-window aggregation over a kAggregate node.
+///
+/// Requires the node to have a temporal group key (the pane key) and every
+/// aggregate to be splittable (all built-ins are). Output schema equals the
+/// node's output schema; the pane key column carries the window-end pane.
+class SlidingAggregateOp : public Operator {
+ public:
+  /// \brief Validating factory.
+  static Result<std::unique_ptr<SlidingAggregateOp>> Make(
+      QueryNodePtr node, const UdafRegistry* registry, SlidingSpec spec);
+
+  std::string label() const override {
+    return "sliding(" + node_->name + ")";
+  }
+
+ protected:
+  void DoPush(size_t port, const Tuple& tuple) override;
+  void DoFinish() override;
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      uint64_t h = Mix64(key.size());
+      for (const Value& v : key) h = HashCombine(h, v.Hash());
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Per-group accumulators for the open pane. Component c of aggregate j
+  /// lives at sub_states[sub_offset_[j] + c].
+  using PaneStates =
+      std::unordered_map<std::vector<Value>,
+                         std::vector<std::unique_ptr<UdafState>>, VecHash>;
+  /// Finalized pane: group key -> sub component values.
+  using PaneResult = std::map<std::vector<Value>, std::vector<Value>>;
+
+  SlidingAggregateOp(QueryNodePtr node, const UdafRegistry* registry,
+                     SlidingSpec spec);
+
+  Status Init();
+  std::vector<std::unique_ptr<UdafState>> NewSubStates() const;
+  void ClosePane();
+  /// Emits the window whose last pane is \p end_pane.
+  void EmitWindow(uint64_t end_pane);
+
+  QueryNodePtr node_;
+  const UdafRegistry* registry_;
+  SlidingSpec spec_;
+  size_t temporal_idx_ = 0;  // index of the pane key within group_by
+
+  // Split metadata per aggregate slot.
+  struct SlotSplit {
+    std::vector<std::shared_ptr<const Udaf>> sub;
+    std::vector<std::shared_ptr<const Udaf>> super;
+    std::vector<DataType> sub_result_types;
+    std::function<ExprPtr(const std::vector<ExprPtr>&)> combine;
+  };
+  std::vector<SlotSplit> splits_;
+  std::vector<size_t> sub_offset_;
+  size_t total_components_ = 0;
+  std::vector<DataType> agg_arg_types_;
+
+  /// Smallest aligned window end not yet emitted; aligned ends e satisfy
+  /// (e + 1) % slide_panes == 0 relative to the first observed pane.
+  uint64_t next_window_end() const { return next_end_; }
+  void advance_window() { next_end_ += spec_.slide_panes; }
+  uint64_t next_end_ = 0;
+
+  // Open pane.
+  std::optional<uint64_t> current_pane_;
+  PaneStates open_;
+  // Closed panes awaiting window completion: (pane id, partials).
+  std::deque<std::pair<uint64_t, PaneResult>> panes_;
+};
+
+}  // namespace streampart

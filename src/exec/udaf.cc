@@ -1,0 +1,257 @@
+#include "exec/udaf.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Accumulators
+// ---------------------------------------------------------------------------
+
+class CountState : public UdafState {
+ public:
+  void Update(const Value&) override { ++count_; }
+  Value Final() const override { return Value::Uint(count_); }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class SumState : public UdafState {
+ public:
+  explicit SumState(DataType arg_type) : arg_type_(arg_type) {}
+  void Update(const Value& v) override {
+    if (v.is_null()) return;
+    seen_ = true;
+    if (arg_type_ == DataType::kDouble) {
+      dsum_ += v.AsDouble();
+    } else if (arg_type_ == DataType::kInt) {
+      isum_ += v.AsInt64();
+    } else {
+      usum_ += v.AsUint64();
+    }
+  }
+  Value Final() const override {
+    if (!seen_) return Value::Null();
+    if (arg_type_ == DataType::kDouble) return Value::Double(dsum_);
+    if (arg_type_ == DataType::kInt) return Value::Int(isum_);
+    return Value::Uint(usum_);
+  }
+
+ private:
+  DataType arg_type_;
+  bool seen_ = false;
+  uint64_t usum_ = 0;
+  int64_t isum_ = 0;
+  double dsum_ = 0;
+};
+
+class MinMaxState : public UdafState {
+ public:
+  explicit MinMaxState(bool is_min) : is_min_(is_min) {}
+  void Update(const Value& v) override {
+    if (v.is_null()) return;
+    if (best_.is_null()) {
+      best_ = v;
+      return;
+    }
+    bool smaller = v < best_;
+    if (smaller == is_min_ && v != best_) best_ = v;
+  }
+  Value Final() const override { return best_; }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+class AvgState : public UdafState {
+ public:
+  void Update(const Value& v) override {
+    if (v.is_null()) return;
+    sum_ += v.AsDouble();
+    ++count_;
+  }
+  Value Final() const override {
+    return count_ == 0 ? Value::Null() : Value::Double(sum_ / count_);
+  }
+
+ private:
+  double sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+class BitAggrState : public UdafState {
+ public:
+  explicit BitAggrState(bool is_or) : is_or_(is_or), acc_(is_or ? 0 : ~0ULL) {}
+  void Update(const Value& v) override {
+    if (v.is_null()) return;
+    seen_ = true;
+    if (is_or_) {
+      acc_ |= v.AsUint64();
+    } else {
+      acc_ &= v.AsUint64();
+    }
+  }
+  Value Final() const override {
+    return seen_ ? Value::Uint(acc_) : Value::Null();
+  }
+
+ private:
+  bool is_or_;
+  bool seen_ = false;
+  uint64_t acc_;
+};
+
+// ---------------------------------------------------------------------------
+// Type functions
+// ---------------------------------------------------------------------------
+
+Result<DataType> CountType(const std::vector<DataType>& args) {
+  if (!args.empty()) {
+    return Status::AnalysisError("count(*) takes no arguments");
+  }
+  return DataType::kUint;
+}
+
+Result<DataType> NumericPassthroughType(const std::string& name,
+                                        const std::vector<DataType>& args) {
+  if (args.size() != 1) {
+    return Status::AnalysisError(name, " takes exactly one argument");
+  }
+  if (!IsNumeric(args[0])) {
+    return Status::AnalysisError(name, " requires a numeric argument, got ",
+                                 DataTypeToString(args[0]));
+  }
+  return args[0];
+}
+
+Result<DataType> AvgType(const std::vector<DataType>& args) {
+  if (args.size() != 1 || !IsNumeric(args[0])) {
+    return Status::AnalysisError("avg requires one numeric argument");
+  }
+  return DataType::kDouble;
+}
+
+Result<DataType> BitAggrType(const std::string& name,
+                             const std::vector<DataType>& args) {
+  if (args.size() != 1 || !IsIntegral(args[0])) {
+    return Status::AnalysisError(name, " requires one integral argument");
+  }
+  return DataType::kUint;
+}
+
+/// Identity split: sub = self, super = \p super_name, no combiner.
+UdafSplit SimpleSplit(const std::string& sub, const std::string& super) {
+  UdafSplit s;
+  s.sub_udafs = {sub};
+  s.super_udafs = {super};
+  s.combine = nullptr;
+  return s;
+}
+
+UdafRegistry BuildDefaultRegistry() {
+  UdafRegistry registry;
+  auto add = [&registry](std::shared_ptr<const Udaf> u) {
+    SP_CHECK(registry.Register(std::move(u)).ok());
+  };
+
+  add(std::make_shared<Udaf>(
+      "count", CountType,
+      [](DataType) { return std::make_unique<CountState>(); },
+      SimpleSplit("count", "sum")));
+
+  add(std::make_shared<Udaf>(
+      "sum",
+      [](const std::vector<DataType>& a) {
+        return NumericPassthroughType("sum", a);
+      },
+      [](DataType t) { return std::make_unique<SumState>(t); },
+      SimpleSplit("sum", "sum")));
+
+  add(std::make_shared<Udaf>(
+      "min",
+      [](const std::vector<DataType>& a) {
+        return NumericPassthroughType("min", a);
+      },
+      [](DataType) { return std::make_unique<MinMaxState>(/*is_min=*/true); },
+      SimpleSplit("min", "min")));
+
+  add(std::make_shared<Udaf>(
+      "max",
+      [](const std::vector<DataType>& a) {
+        return NumericPassthroughType("max", a);
+      },
+      [](DataType) { return std::make_unique<MinMaxState>(/*is_min=*/false); },
+      SimpleSplit("max", "max")));
+
+  {
+    // avg splits into (sum, count) subs combined as sum-of-sums over
+    // sum-of-counts.
+    UdafSplit split;
+    split.sub_udafs = {"sum", "count"};
+    split.super_udafs = {"sum", "sum"};
+    split.combine = [](const std::vector<ExprPtr>& cols) {
+      SP_CHECK(cols.size() == 2);
+      // Multiply by 1.0 to force double division.
+      ExprPtr scaled = Expr::Binary(BinaryOp::kMul, cols[0],
+                                    Expr::Literal(Value::Double(1.0)));
+      return Expr::Binary(BinaryOp::kDiv, std::move(scaled), cols[1]);
+    };
+    add(std::make_shared<Udaf>(
+        "avg", AvgType,
+        [](DataType) { return std::make_unique<AvgState>(); },
+        std::move(split)));
+  }
+
+  add(std::make_shared<Udaf>(
+      "or_aggr",
+      [](const std::vector<DataType>& a) { return BitAggrType("or_aggr", a); },
+      [](DataType) { return std::make_unique<BitAggrState>(/*is_or=*/true); },
+      SimpleSplit("or_aggr", "or_aggr")));
+
+  add(std::make_shared<Udaf>(
+      "and_aggr",
+      [](const std::vector<DataType>& a) { return BitAggrType("and_aggr", a); },
+      [](DataType) { return std::make_unique<BitAggrState>(/*is_or=*/false); },
+      SimpleSplit("and_aggr", "and_aggr")));
+
+  return registry;
+}
+
+}  // namespace
+
+const UdafRegistry& UdafRegistry::Default() {
+  static const UdafRegistry* kRegistry = new UdafRegistry(BuildDefaultRegistry());
+  return *kRegistry;
+}
+
+Status UdafRegistry::Register(std::shared_ptr<const Udaf> udaf) {
+  const std::string& name = udaf->name();
+  if (udafs_.count(name) > 0) {
+    return Status::AlreadyExists("UDAF '", name, "' already registered");
+  }
+  udafs_[name] = std::move(udaf);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Udaf>> UdafRegistry::Get(
+    const std::string& name) const {
+  auto it = udafs_.find(name);
+  if (it == udafs_.end()) {
+    return Status::NotFound("no UDAF named '", name, "'");
+  }
+  return it->second;
+}
+
+Result<DataType> UdafRegistry::ResolveCall(
+    const std::string& name, const std::vector<DataType>& arg_types) const {
+  SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> udaf, Get(name));
+  return udaf->ResultType(arg_types);
+}
+
+}  // namespace streampart

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file udaf.h
+/// \brief User-Defined Aggregate Function registry with sub/super splitting.
+///
+/// Every aggregate exposes, besides its streaming accumulator, a *split*
+/// into a sub-aggregate (evaluated per partition / per host) and a
+/// super-aggregate (combining sub results), per paper §5.2.2 and the
+/// splittable-UDAF design of Cormode et al. [10]. The partial-aggregation
+/// transform of the distributed optimizer is driven entirely by these specs,
+/// so new UDAFs become distributable by registering a split.
+///
+/// Built-ins: count, sum, min, max, avg, or_aggr, and_aggr.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace streampart {
+
+/// \brief Streaming accumulator for one (group, aggregate) pair.
+class UdafState {
+ public:
+  virtual ~UdafState() = default;
+  /// \brief Folds one input value (ignored by zero-arg aggregates like
+  /// count). NULL inputs are skipped by SQL convention except for count(*).
+  virtual void Update(const Value& v) = 0;
+  /// \brief Produces the aggregate result.
+  virtual Value Final() const = 0;
+};
+
+/// \brief How to split an aggregate into per-partition sub-aggregates and a
+/// combining super-aggregate (paper §5.2.2).
+struct UdafSplit {
+  /// Sub-aggregate UDAF names; each is applied to the original arguments
+  /// (except "count", which takes none). Usually a single entry; avg needs
+  /// two (sum and count).
+  std::vector<std::string> sub_udafs;
+  /// Super-aggregate names, positionally combining the sub columns.
+  std::vector<std::string> super_udafs;
+  /// Builds the final output expression from the super-aggregate columns;
+  /// null means the first super column is the result unchanged.
+  std::function<ExprPtr(const std::vector<ExprPtr>&)> combine;
+};
+
+/// \brief One registered aggregate function.
+class Udaf {
+ public:
+  Udaf(std::string name, std::function<Result<DataType>(const std::vector<DataType>&)> type_fn,
+       std::function<std::unique_ptr<UdafState>(DataType arg_type)> state_fn,
+       UdafSplit split)
+      : name_(std::move(name)),
+        type_fn_(std::move(type_fn)),
+        state_fn_(std::move(state_fn)),
+        split_(std::move(split)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Result type for the given argument types (validates arity).
+  Result<DataType> ResultType(const std::vector<DataType>& arg_types) const {
+    return type_fn_(arg_types);
+  }
+
+  /// \brief Fresh accumulator; \p arg_type is the single argument's type
+  /// (kNull for zero-arg aggregates).
+  std::unique_ptr<UdafState> NewState(DataType arg_type) const {
+    return state_fn_(arg_type);
+  }
+
+  const UdafSplit& split() const { return split_; }
+
+ private:
+  std::string name_;
+  std::function<Result<DataType>(const std::vector<DataType>&)> type_fn_;
+  std::function<std::unique_ptr<UdafState>(DataType)> state_fn_;
+  UdafSplit split_;
+};
+
+/// \brief Name-keyed registry of aggregates; also serves as the
+/// FunctionTypeResolver handed to expression binding.
+class UdafRegistry : public FunctionTypeResolver {
+ public:
+  /// \brief Registry pre-populated with the built-in aggregates.
+  static const UdafRegistry& Default();
+
+  /// \brief Creates an empty registry (for tests registering custom UDAFs).
+  UdafRegistry() = default;
+
+  Status Register(std::shared_ptr<const Udaf> udaf);
+
+  /// \brief Lookup by lower-case name.
+  Result<std::shared_ptr<const Udaf>> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return udafs_.count(name) > 0;
+  }
+
+  // FunctionTypeResolver:
+  Result<DataType> ResolveCall(
+      const std::string& name,
+      const std::vector<DataType>& arg_types) const override;
+  bool IsAggregate(const std::string& name) const override {
+    return Contains(name);
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<const Udaf>> udafs_;
+};
+
+}  // namespace streampart

@@ -1,0 +1,557 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace streampart {
+
+// The private-constructor access pattern: the factories need a shared_ptr of
+// a privately-constructible type, so construction goes through a friend shim.
+class ExprBuilderAccess {
+ public:
+  static std::shared_ptr<Expr> Make() { return std::shared_ptr<Expr>(new Expr()); }
+};
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShiftLeft: return "<<";
+    case BinaryOp::kShiftRight: return ">>";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+const char* UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNegate: return "-";
+    case UnaryOp::kNot: return "NOT";
+    case UnaryOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  return op >= BinaryOp::kEq && op <= BinaryOp::kGe;
+}
+bool IsLogical(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+bool IsBitwise(BinaryOp op) {
+  return op >= BinaryOp::kBitAnd && op <= BinaryOp::kShiftRight;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+ExprPtr Expr::Column(std::string qualifier, std::string name) {
+  auto e = ExprBuilderAccess::Make();
+  e->kind_ = ExprKind::kColumnRef;
+  e->qualifier_ = std::move(qualifier);
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = ExprBuilderAccess::Make();
+  e->kind_ = ExprKind::kLiteral;
+  e->result_type_ = v.type();
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  SP_CHECK(left && right) << "Binary expr with null child";
+  auto e = ExprBuilderAccess::Make();
+  e->kind_ = ExprKind::kBinary;
+  e->bin_op_ = op;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  SP_CHECK(operand != nullptr) << "Unary expr with null child";
+  auto e = ExprBuilderAccess::Make();
+  e->kind_ = ExprKind::kUnary;
+  e->un_op_ = op;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args) {
+  auto e = ExprBuilderAccess::Make();
+  e->kind_ = ExprKind::kCall;
+  e->name_ = std::move(name);
+  e->children_ = std::move(args);
+  return e;
+}
+
+bool Expr::is_bound() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return bound_index_ != kUnboundIndex;
+    case ExprKind::kLiteral:
+      return true;
+    default:
+      for (const ExprPtr& c : children_) {
+        if (!c->is_bound()) return false;
+      }
+      return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural operations
+// ---------------------------------------------------------------------------
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return qualifier_ == other.qualifier_ && name_ == other.name_;
+    case ExprKind::kLiteral:
+      return literal_ == other.literal_;
+    case ExprKind::kBinary:
+      if (bin_op_ != other.bin_op_) return false;
+      break;
+    case ExprKind::kUnary:
+      if (un_op_ != other.un_op_) return false;
+      break;
+    case ExprKind::kCall:
+      if (name_ != other.name_) return false;
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  return a->Equals(*b);
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      h = HashCombine(h, HashBytes(qualifier_));
+      h = HashCombine(h, HashBytes(name_));
+      break;
+    case ExprKind::kLiteral:
+      h = HashCombine(h, literal_.Hash());
+      break;
+    case ExprKind::kBinary:
+      h = HashCombine(h, static_cast<uint64_t>(bin_op_));
+      break;
+    case ExprKind::kUnary:
+      h = HashCombine(h, static_cast<uint64_t>(un_op_));
+      break;
+    case ExprKind::kCall:
+      h = HashCombine(h, HashBytes(name_));
+      break;
+  }
+  for (const ExprPtr& c : children_) h = HashCombine(h, c->Hash());
+  return h;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return qualifier_.empty() ? name_ : qualifier_ + "." + name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kBinary:
+      return "(" + children_[0]->ToString() + " " + BinaryOpToString(bin_op_) +
+             " " + children_[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(UnaryOpToString(un_op_)) + "(" +
+             children_[0]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out = name_ + "(";
+      if (children_.empty() && name_ == "count") out += "*";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+void Expr::CollectColumns(std::vector<const Expr*>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    out->push_back(this);
+    return;
+  }
+  for (const ExprPtr& c : children_) c->CollectColumns(out);
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind_ == ExprKind::kCall && is_aggregate_) return true;
+  for (const ExprPtr& c : children_) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+void BindingContext::AddInput(std::string qualifier, SchemaPtr schema) {
+  size_t width = schema->num_fields();
+  inputs_.push_back(Input{std::move(qualifier), std::move(schema), total_width_});
+  total_width_ += width;
+}
+
+Result<std::pair<size_t, DataType>> BindingContext::Resolve(
+    const std::string& qualifier, const std::string& name) const {
+  if (!qualifier.empty()) {
+    for (const Input& in : inputs_) {
+      if (in.qualifier == qualifier) {
+        auto idx = in.schema->FieldIndex(name);
+        if (!idx.has_value()) {
+          return Status::AnalysisError("no column '", name, "' in input '",
+                                       qualifier, "'");
+        }
+        return std::make_pair(in.offset + *idx, in.schema->field(*idx).type);
+      }
+    }
+    return Status::AnalysisError("unknown input qualifier '", qualifier, "'");
+  }
+  // Unqualified: search all inputs; error on ambiguity.
+  std::optional<std::pair<size_t, DataType>> found;
+  for (const Input& in : inputs_) {
+    auto idx = in.schema->FieldIndex(name);
+    if (idx.has_value()) {
+      if (found.has_value()) {
+        return Status::AnalysisError("ambiguous column '", name,
+                                     "': present in multiple inputs");
+      }
+      found = std::make_pair(in.offset + *idx, in.schema->field(*idx).type);
+    }
+  }
+  if (!found.has_value()) {
+    return Status::AnalysisError("unknown column '", name, "'");
+  }
+  return *found;
+}
+
+Result<ExprPtr> Expr::Bind(const BindingContext& ctx,
+                           const FunctionTypeResolver* resolver) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      SP_ASSIGN_OR_RETURN(auto resolved, ctx.Resolve(qualifier_, name_));
+      auto e = ExprBuilderAccess::Make();
+      e->kind_ = ExprKind::kColumnRef;
+      e->qualifier_ = qualifier_;
+      e->name_ = name_;
+      e->bound_index_ = resolved.first;
+      e->result_type_ = resolved.second;
+      return ExprPtr(e);
+    }
+    case ExprKind::kLiteral:
+      return ExprPtr(Expr::Literal(literal_));
+    case ExprKind::kBinary: {
+      SP_ASSIGN_OR_RETURN(ExprPtr lhs, children_[0]->Bind(ctx, resolver));
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, children_[1]->Bind(ctx, resolver));
+      DataType lt = lhs->result_type();
+      DataType rt = rhs->result_type();
+      auto e = ExprBuilderAccess::Make();
+      e->kind_ = ExprKind::kBinary;
+      e->bin_op_ = bin_op_;
+      e->children_ = {std::move(lhs), std::move(rhs)};
+      if (IsComparison(bin_op_) || IsLogical(bin_op_)) {
+        e->result_type_ = DataType::kBool;
+      } else if (IsBitwise(bin_op_)) {
+        // NULL operands (outer-join padding) pass through; they evaluate to
+        // NULL at runtime.
+        if ((!IsIntegral(lt) && lt != DataType::kNull) ||
+            (!IsIntegral(rt) && rt != DataType::kNull)) {
+          return Status::AnalysisError("bitwise operator ",
+                                       BinaryOpToString(bin_op_),
+                                       " requires integral operands");
+        }
+        e->result_type_ = DataType::kUint;
+      } else {
+        // Arithmetic with a NULL operand takes the other side's type (the
+        // runtime result is NULL); this arises from outer-join padding.
+        bool l_ok = IsNumeric(lt) || lt == DataType::kNull;
+        bool r_ok = IsNumeric(rt) || rt == DataType::kNull;
+        DataType promoted = DataType::kNull;
+        if (l_ok && r_ok) {
+          if (lt == DataType::kNull && rt == DataType::kNull) {
+            promoted = DataType::kUint;
+          } else if (lt == DataType::kNull) {
+            promoted = rt;
+          } else if (rt == DataType::kNull) {
+            promoted = lt;
+          } else {
+            promoted = PromoteNumeric(lt, rt);
+          }
+        }
+        if (promoted == DataType::kNull) {
+          return Status::AnalysisError("arithmetic operator ",
+                                       BinaryOpToString(bin_op_),
+                                       " on non-numeric operands (",
+                                       DataTypeToString(lt), ", ",
+                                       DataTypeToString(rt), ")");
+        }
+        e->result_type_ = promoted;
+      }
+      return ExprPtr(e);
+    }
+    case ExprKind::kUnary: {
+      SP_ASSIGN_OR_RETURN(ExprPtr sub, children_[0]->Bind(ctx, resolver));
+      auto e = ExprBuilderAccess::Make();
+      e->kind_ = ExprKind::kUnary;
+      e->un_op_ = un_op_;
+      switch (un_op_) {
+        case UnaryOp::kNot:
+          e->result_type_ = DataType::kBool;
+          break;
+        case UnaryOp::kBitNot:
+          if (!IsIntegral(sub->result_type())) {
+            return Status::AnalysisError("~ requires an integral operand");
+          }
+          e->result_type_ = DataType::kUint;
+          break;
+        case UnaryOp::kNegate:
+          e->result_type_ = sub->result_type() == DataType::kDouble
+                                ? DataType::kDouble
+                                : DataType::kInt;
+          break;
+      }
+      e->children_ = {std::move(sub)};
+      return ExprPtr(e);
+    }
+    case ExprKind::kCall: {
+      if (resolver == nullptr) {
+        return Status::AnalysisError("function call '", name_,
+                                     "' in a context that allows no calls");
+      }
+      std::vector<ExprPtr> bound_args;
+      std::vector<DataType> arg_types;
+      bound_args.reserve(children_.size());
+      for (const ExprPtr& a : children_) {
+        SP_ASSIGN_OR_RETURN(ExprPtr b, a->Bind(ctx, resolver));
+        arg_types.push_back(b->result_type());
+        bound_args.push_back(std::move(b));
+      }
+      SP_ASSIGN_OR_RETURN(DataType out_type,
+                          resolver->ResolveCall(name_, arg_types));
+      auto e = ExprBuilderAccess::Make();
+      e->kind_ = ExprKind::kCall;
+      e->name_ = name_;
+      e->children_ = std::move(bound_args);
+      e->is_aggregate_ = resolver->IsAggregate(name_);
+      e->result_type_ = out_type;
+      return ExprPtr(e);
+    }
+  }
+  return Status::Internal("unreachable expression kind in Bind");
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (l.type() == DataType::kDouble || r.type() == DataType::kDouble) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Double(a + b);
+      case BinaryOp::kSub: return Value::Double(a - b);
+      case BinaryOp::kMul: return Value::Double(a * b);
+      case BinaryOp::kDiv: return b == 0.0 ? Value::Null() : Value::Double(a / b);
+      case BinaryOp::kMod: return Value::Null();
+      default: return Value::Null();
+    }
+  }
+  if (l.type() == DataType::kInt || r.type() == DataType::kInt) {
+    int64_t a = l.AsInt64();
+    int64_t b = r.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(a + b);
+      case BinaryOp::kSub: return Value::Int(a - b);
+      case BinaryOp::kMul: return Value::Int(a * b);
+      case BinaryOp::kDiv: return b == 0 ? Value::Null() : Value::Int(a / b);
+      case BinaryOp::kMod: return b == 0 ? Value::Null() : Value::Int(a % b);
+      default: return Value::Null();
+    }
+  }
+  uint64_t a = l.AsUint64();
+  uint64_t b = r.AsUint64();
+  switch (op) {
+    case BinaryOp::kAdd: return Value::Uint(a + b);
+    case BinaryOp::kSub: return Value::Uint(a - b);
+    case BinaryOp::kMul: return Value::Uint(a * b);
+    case BinaryOp::kDiv: return b == 0 ? Value::Null() : Value::Uint(a / b);
+    case BinaryOp::kMod: return b == 0 ? Value::Null() : Value::Uint(a % b);
+    default: return Value::Null();
+  }
+}
+
+Value EvalBitwise(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  uint64_t a = l.AsUint64();
+  uint64_t b = r.AsUint64();
+  switch (op) {
+    case BinaryOp::kBitAnd: return Value::Uint(a & b);
+    case BinaryOp::kBitOr: return Value::Uint(a | b);
+    case BinaryOp::kBitXor: return Value::Uint(a ^ b);
+    case BinaryOp::kShiftLeft: return Value::Uint(b >= 64 ? 0 : a << b);
+    case BinaryOp::kShiftRight: return Value::Uint(b >= 64 ? 0 : a >> b);
+    default: return Value::Null();
+  }
+}
+
+int CompareValues(const Value& l, const Value& r) {
+  if (l.type() == DataType::kString && r.type() == DataType::kString) {
+    return l.string_value().compare(r.string_value());
+  }
+  if (l.type() == DataType::kDouble || r.type() == DataType::kDouble) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (l.type() == DataType::kInt || r.type() == DataType::kInt) {
+    int64_t a = l.AsInt64();
+    int64_t b = r.AsInt64();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  uint64_t a = l.AsUint64();
+  uint64_t b = r.AsUint64();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+Value EvalComparison(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  int c = CompareValues(l, r);
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(c == 0);
+    case BinaryOp::kNe: return Value::Bool(c != 0);
+    case BinaryOp::kLt: return Value::Bool(c < 0);
+    case BinaryOp::kLe: return Value::Bool(c <= 0);
+    case BinaryOp::kGt: return Value::Bool(c > 0);
+    case BinaryOp::kGe: return Value::Bool(c >= 0);
+    default: return Value::Null();
+  }
+}
+
+}  // namespace
+
+Value Expr::Eval(const Tuple& tuple) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      SP_DCHECK(bound_index_ != kUnboundIndex)
+          << "evaluating unbound column " << name_;
+      SP_DCHECK(bound_index_ < tuple.size());
+      return tuple.at(bound_index_);
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kBinary: {
+      if (IsLogical(bin_op_)) {
+        // Short-circuit with three-valued truthiness collapsed to two: NULL
+        // behaves as false, matching the filter-context semantics GSQL uses.
+        bool lv = children_[0]->Eval(tuple).Truthy();
+        if (bin_op_ == BinaryOp::kAnd) {
+          return Value::Bool(lv && children_[1]->Eval(tuple).Truthy());
+        }
+        return Value::Bool(lv || children_[1]->Eval(tuple).Truthy());
+      }
+      Value l = children_[0]->Eval(tuple);
+      Value r = children_[1]->Eval(tuple);
+      if (IsComparison(bin_op_)) return EvalComparison(bin_op_, l, r);
+      if (IsBitwise(bin_op_)) return EvalBitwise(bin_op_, l, r);
+      return EvalArithmetic(bin_op_, l, r);
+    }
+    case ExprKind::kUnary: {
+      Value v = children_[0]->Eval(tuple);
+      switch (un_op_) {
+        case UnaryOp::kNot:
+          return Value::Bool(!v.Truthy());
+        case UnaryOp::kBitNot:
+          return v.is_null() ? Value::Null() : Value::Uint(~v.AsUint64());
+        case UnaryOp::kNegate:
+          if (v.is_null()) return Value::Null();
+          if (v.type() == DataType::kDouble) return Value::Double(-v.AsDouble());
+          return Value::Int(-v.AsInt64());
+      }
+      return Value::Null();
+    }
+    case ExprKind::kCall:
+      // Aggregate calls are rewritten to column refs over aggregate slots by
+      // the plan layer; reaching here means a scalar call survived, which the
+      // engine does not evaluate directly.
+      SP_CHECK(false) << "Eval on unexpanded call '" << name_ << "'";
+  }
+  return Value::Null();
+}
+
+ExprPtr Expr::Rewrite(const ExprPtr& expr, const RewriteFn& fn) {
+  if (expr == nullptr) return nullptr;
+  ExprPtr replaced = fn(expr);
+  if (replaced != nullptr) return replaced;
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kBinary: {
+      ExprPtr l = Rewrite(expr->left(), fn);
+      ExprPtr r = Rewrite(expr->right(), fn);
+      if (l == expr->left() && r == expr->right()) return expr;
+      return Expr::Binary(expr->binary_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kUnary: {
+      ExprPtr sub = Rewrite(expr->operand(), fn);
+      if (sub == expr->operand()) return expr;
+      return Expr::Unary(expr->unary_op(), std::move(sub));
+    }
+    case ExprKind::kCall: {
+      bool changed = false;
+      std::vector<ExprPtr> args;
+      args.reserve(expr->args().size());
+      for (const ExprPtr& a : expr->args()) {
+        ExprPtr na = Rewrite(a, fn);
+        changed |= (na != a);
+        args.push_back(std::move(na));
+      }
+      if (!changed) return expr;
+      return Expr::Call(expr->call_name(), std::move(args));
+    }
+  }
+  return expr;
+}
+
+ExprPtr UintLit(uint64_t v) { return Expr::Literal(Value::Uint(v)); }
+ExprPtr IntLit(int64_t v) { return Expr::Literal(Value::Int(v)); }
+
+}  // namespace streampart

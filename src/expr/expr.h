@@ -1,0 +1,220 @@
+#pragma once
+
+/// \file expr.h
+/// \brief Scalar-expression AST for GSQL queries.
+///
+/// Expressions are immutable trees shared by shared_ptr<const Expr>. The same
+/// representation serves three roles:
+///   1. query surface syntax (SELECT/WHERE/GROUP BY/HAVING expressions),
+///   2. partitioning sets — sets of scalar expressions over source-stream
+///      attributes (paper §3.3: (sc_exp1(attr1), ..., sc_expn(attrn))),
+///   3. runtime evaluation after binding against an input schema.
+///
+/// An unbound expression refers to columns by (qualifier, name); Bind()
+/// resolves them to positional indexes and type-checks the tree, after which
+/// Eval() is infallible.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace streampart {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Node discriminator.
+enum class ExprKind : uint8_t {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kCall,
+};
+
+/// \brief Binary operators, in GSQL surface syntax order of appearance.
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor, kShiftLeft, kShiftRight,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// \brief Unary operators.
+enum class UnaryOp : uint8_t { kNegate, kNot, kBitNot };
+
+/// \brief Token for the operator ("+", "&", "AND", ...).
+const char* BinaryOpToString(BinaryOp op);
+const char* UnaryOpToString(UnaryOp op);
+
+/// \brief True for kEq..kGe.
+bool IsComparison(BinaryOp op);
+/// \brief True for kAnd/kOr.
+bool IsLogical(BinaryOp op);
+/// \brief True for the bit/shift operators.
+bool IsBitwise(BinaryOp op);
+
+/// \brief Resolves the result type of a (possibly aggregate) function call
+/// during binding. Supplied by the plan layer, which owns the UDAF registry.
+class FunctionTypeResolver {
+ public:
+  virtual ~FunctionTypeResolver() = default;
+  /// \brief Result type of calling \p name on arguments of \p arg_types.
+  virtual Result<DataType> ResolveCall(
+      const std::string& name, const std::vector<DataType>& arg_types) const = 0;
+  /// \brief True if \p name is an aggregate (UDAF) rather than a scalar
+  /// function.
+  virtual bool IsAggregate(const std::string& name) const = 0;
+};
+
+/// \brief Name-resolution scope for Bind(): one or more qualified inputs laid
+/// out consecutively in the runtime tuple (a join binds two).
+class BindingContext {
+ public:
+  /// \brief Adds an input with tuple offset = sum of prior input widths.
+  void AddInput(std::string qualifier, SchemaPtr schema);
+
+  /// \brief Resolves (qualifier, name) to absolute tuple index + type.
+  /// Unqualified names search all inputs and fail on ambiguity.
+  Result<std::pair<size_t, DataType>> Resolve(const std::string& qualifier,
+                                              const std::string& name) const;
+
+  size_t total_width() const { return total_width_; }
+  size_t num_inputs() const { return inputs_.size(); }
+  const SchemaPtr& schema(size_t i) const { return inputs_[i].schema; }
+  const std::string& qualifier(size_t i) const { return inputs_[i].qualifier; }
+  /// \brief Absolute tuple offset of input \p i.
+  size_t offset(size_t i) const { return inputs_[i].offset; }
+
+ private:
+  struct Input {
+    std::string qualifier;
+    SchemaPtr schema;
+    size_t offset;
+  };
+  std::vector<Input> inputs_;
+  size_t total_width_ = 0;
+};
+
+/// \brief Immutable scalar-expression node.
+class Expr {
+ public:
+  // ---- Factories -----------------------------------------------------
+
+  /// \brief Unbound column reference; \p qualifier may be empty.
+  static ExprPtr Column(std::string qualifier, std::string name);
+  static ExprPtr Column(std::string name) { return Column("", std::move(name)); }
+  static ExprPtr Literal(Value v);
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  /// \brief Function or aggregate call. COUNT(*) is Call("count", {}).
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+
+  // ---- Accessors ------------------------------------------------------
+
+  ExprKind kind() const { return kind_; }
+  bool is_column() const { return kind_ == ExprKind::kColumnRef; }
+  bool is_literal() const { return kind_ == ExprKind::kLiteral; }
+  bool is_binary() const { return kind_ == ExprKind::kBinary; }
+  bool is_unary() const { return kind_ == ExprKind::kUnary; }
+  bool is_call() const { return kind_ == ExprKind::kCall; }
+
+  /// Column fields (valid when is_column()).
+  const std::string& qualifier() const { return qualifier_; }
+  const std::string& column_name() const { return name_; }
+  /// Bound tuple index; kUnboundIndex when unbound.
+  size_t bound_index() const { return bound_index_; }
+  bool is_bound() const;
+
+  /// Literal value (valid when is_literal()).
+  const Value& literal() const { return literal_; }
+
+  /// Operator fields.
+  BinaryOp binary_op() const { return bin_op_; }
+  UnaryOp unary_op() const { return un_op_; }
+  const ExprPtr& left() const { return children_[0]; }
+  const ExprPtr& right() const { return children_[1]; }
+  const ExprPtr& operand() const { return children_[0]; }
+
+  /// Call fields (valid when is_call()).
+  const std::string& call_name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return children_; }
+  /// True once the binder resolved this call as an aggregate.
+  bool is_aggregate_call() const { return is_aggregate_; }
+
+  /// Result type; DataType::kNull until bound.
+  DataType result_type() const { return result_type_; }
+
+  // ---- Structural operations ------------------------------------------
+
+  /// \brief Structural equality ignoring binding state: same shape, same
+  /// names/operators/literals. Qualifier-sensitive.
+  bool Equals(const Expr& other) const;
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+
+  /// \brief Hash consistent with Equals.
+  uint64_t Hash() const;
+
+  /// \brief GSQL-ish rendering, fully parenthesized for operators:
+  /// "(time / 60)", "srcIP & 0xFFF0" prints as "(srcIP & 61440)".
+  std::string ToString() const;
+
+  /// \brief Collects (qualifier, name) of every column referenced, in
+  /// depth-first order with duplicates preserved.
+  void CollectColumns(std::vector<const Expr*>* out) const;
+
+  /// \brief True if any node is an aggregate call (requires binding or a
+  /// resolver-tagged tree; unbound trees report syntactic aggregates if
+  /// tagged by the analyzer).
+  bool ContainsAggregate() const;
+
+  // ---- Binding and evaluation -----------------------------------------
+
+  /// \brief Resolves columns against \p ctx, type-checks, and returns a new
+  /// bound tree. \p resolver may be null when the tree contains no calls.
+  Result<ExprPtr> Bind(const BindingContext& ctx,
+                       const FunctionTypeResolver* resolver = nullptr) const;
+
+  /// \brief Evaluates a bound tree against \p tuple. Infallible: runtime
+  /// anomalies (division by zero, NULL operands) yield NULL values.
+  /// Requires is_bound() on every column ref; aggregate calls must have been
+  /// replaced by column refs by the plan layer before evaluation.
+  Value Eval(const Tuple& tuple) const;
+
+  /// \brief Rewrites the tree, replacing nodes for which \p fn returns
+  /// non-null. \p fn is applied pre-order; returning null recurses.
+  using RewriteFn = std::function<ExprPtr(const ExprPtr&)>;
+  static ExprPtr Rewrite(const ExprPtr& expr, const RewriteFn& fn);
+
+  static constexpr size_t kUnboundIndex = static_cast<size_t>(-1);
+
+ private:
+  friend class ExprBuilderAccess;
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  // Column: qualifier_/name_/bound_index_. Call: name_ + children_ args.
+  std::string qualifier_;
+  std::string name_;
+  size_t bound_index_ = kUnboundIndex;
+  Value literal_;
+  BinaryOp bin_op_ = BinaryOp::kAdd;
+  UnaryOp un_op_ = UnaryOp::kNegate;
+  std::vector<ExprPtr> children_;
+  bool is_aggregate_ = false;
+  DataType result_type_ = DataType::kNull;
+};
+
+/// \brief Convenience literal builders used across tests and benches.
+ExprPtr UintLit(uint64_t v);
+ExprPtr IntLit(int64_t v);
+
+}  // namespace streampart

@@ -1,0 +1,321 @@
+#include "expr/scalar_form.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+namespace {
+
+/// lcm with overflow guard; returns 0 on overflow (callers treat 0 as fail).
+uint64_t SafeLcm(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  uint64_t g = std::gcd(a, b);
+  uint64_t q = a / g;
+  if (q > UINT64_MAX / b) return 0;
+  return q * b;
+}
+
+/// 2^k as uint64, or 0 on overflow.
+uint64_t PowerOfTwo(uint64_t k) { return k >= 64 ? 0 : (1ULL << k); }
+
+}  // namespace
+
+bool ScalarForm::Equals(const ScalarForm& other) const {
+  if (kind != other.kind) return false;
+  if (kind == ScalarFormKind::kOpaque) return Expr::Equal(opaque, other.opaque);
+  if (kind == ScalarFormKind::kIdentity) return true;
+  return param == other.param;
+}
+
+std::string ScalarForm::ToString(const std::string& attr) const {
+  switch (kind) {
+    case ScalarFormKind::kIdentity:
+      return attr;
+    case ScalarFormKind::kDiv:
+      return attr + "/" + std::to_string(param);
+    case ScalarFormKind::kMask: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "0x%llX",
+                    static_cast<unsigned long long>(param));
+      return attr + "&" + buf;
+    }
+    case ScalarFormKind::kShift:
+      return attr + ">>" + std::to_string(param);
+    case ScalarFormKind::kMod:
+      return attr + "%" + std::to_string(param);
+    case ScalarFormKind::kOpaque:
+      return opaque ? opaque->ToString() : "<opaque>";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Extracts a non-negative integer constant from a literal expression.
+std::optional<uint64_t> LiteralUint(const ExprPtr& e) {
+  if (!e || !e->is_literal()) return std::nullopt;
+  const Value& v = e->literal();
+  switch (v.type()) {
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      return v.uint_value();
+    case DataType::kInt:
+      if (v.int_value() < 0) return std::nullopt;
+      return static_cast<uint64_t>(v.int_value());
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Recursive analysis; returns the canonical form of \p expr as a function of
+/// the (already verified unique) base column.
+ScalarForm AnalyzeRec(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      return ScalarForm::Identity();
+    case ExprKind::kBinary: {
+      BinaryOp op = expr->binary_op();
+      const ExprPtr& l = expr->left();
+      const ExprPtr& r = expr->right();
+      // Recognize <subexpr> OP <literal> (and literal & subexpr for masks).
+      ExprPtr sub;
+      std::optional<uint64_t> c;
+      if ((c = LiteralUint(r)).has_value()) {
+        sub = l;
+      } else if (op == BinaryOp::kBitAnd && (c = LiteralUint(l)).has_value()) {
+        sub = r;
+      } else {
+        return ScalarForm::Opaque(expr);
+      }
+      ScalarForm inner = AnalyzeRec(sub);
+      ScalarForm outer = ScalarForm::Opaque(expr);
+      switch (op) {
+        case BinaryOp::kDiv:
+          if (*c == 0) return ScalarForm::Opaque(expr);
+          outer = (*c == 1) ? ScalarForm::Identity() : ScalarForm::Div(*c);
+          break;
+        case BinaryOp::kBitAnd:
+          outer = ScalarForm::Mask(*c);
+          break;
+        case BinaryOp::kShiftRight:
+          outer = (*c == 0) ? ScalarForm::Identity() : ScalarForm::Shift(*c);
+          break;
+        case BinaryOp::kMod:
+          if (*c == 0) return ScalarForm::Opaque(expr);
+          outer = ScalarForm::Mod(*c);
+          break;
+        default:
+          return ScalarForm::Opaque(expr);
+      }
+      return ComposeForms(outer, inner, expr);
+    }
+    default:
+      return ScalarForm::Opaque(expr);
+  }
+}
+
+}  // namespace
+
+Result<AnalyzedScalar> AnalyzeScalarExpr(const ExprPtr& expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null expression");
+  }
+  std::vector<const Expr*> cols;
+  expr->CollectColumns(&cols);
+  if (cols.empty()) {
+    return Status::AnalysisError(
+        "partitioning expression references no column: ", expr->ToString());
+  }
+  const std::string& base = cols[0]->column_name();
+  for (const Expr* c : cols) {
+    if (c->column_name() != base) {
+      return Status::AnalysisError(
+          "partitioning expression must reference exactly one attribute, "
+          "found '",
+          base, "' and '", c->column_name(), "' in ", expr->ToString());
+    }
+  }
+  AnalyzedScalar out;
+  out.base_column = base;
+  out.form = AnalyzeRec(expr);
+  return out;
+}
+
+ScalarForm ComposeForms(const ScalarForm& outer, const ScalarForm& inner,
+                        const ExprPtr& composed_expr) {
+  using K = ScalarFormKind;
+  if (inner.kind == K::kIdentity) return outer;
+  if (outer.kind == K::kIdentity) return inner;
+  if (inner.is_opaque() || outer.is_opaque()) {
+    return ScalarForm::Opaque(composed_expr);
+  }
+  switch (outer.kind) {
+    case K::kDiv:
+      // (g(x)) / c
+      if (inner.kind == K::kDiv) {
+        // (x/a)/c == x/(a*c) for non-negative integers.
+        uint64_t prod = (inner.param > UINT64_MAX / outer.param)
+                            ? 0
+                            : inner.param * outer.param;
+        if (prod == 0) return ScalarForm::Opaque(composed_expr);
+        return ScalarForm::Div(prod);
+      }
+      if (inner.kind == K::kShift) {
+        uint64_t p = PowerOfTwo(inner.param);
+        if (p == 0 || p > UINT64_MAX / outer.param) {
+          return ScalarForm::Opaque(composed_expr);
+        }
+        return ScalarForm::Div(p * outer.param);
+      }
+      return ScalarForm::Opaque(composed_expr);
+    case K::kShift:
+      if (inner.kind == K::kShift) return ScalarForm::Shift(inner.param + outer.param);
+      if (inner.kind == K::kDiv) {
+        uint64_t p = PowerOfTwo(outer.param);
+        if (p == 0 || p > UINT64_MAX / inner.param) {
+          return ScalarForm::Opaque(composed_expr);
+        }
+        return ScalarForm::Div(p * inner.param);
+      }
+      return ScalarForm::Opaque(composed_expr);
+    case K::kMask:
+      if (inner.kind == K::kMask) {
+        uint64_t m = inner.param & outer.param;
+        return ScalarForm::Mask(m);
+      }
+      return ScalarForm::Opaque(composed_expr);
+    case K::kMod:
+      if (inner.kind == K::kMod && inner.param % outer.param == 0) {
+        // (x % a) % c == x % c when c divides a.
+        return ScalarForm::Mod(outer.param);
+      }
+      return ScalarForm::Opaque(composed_expr);
+    default:
+      return ScalarForm::Opaque(composed_expr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Relations
+// ---------------------------------------------------------------------------
+
+bool IsFunctionOf(const ScalarForm& coarse, const ScalarForm& fine) {
+  using K = ScalarFormKind;
+  if (fine.kind == K::kIdentity) return true;  // anything = h(x).
+  if (coarse.Equals(fine)) return true;
+  if (coarse.is_opaque() || fine.is_opaque()) return false;
+  switch (coarse.kind) {
+    case K::kIdentity:
+      // x is a function of g(x) only when g is injective; none of the
+      // non-identity canonical forms are.
+      return false;
+    case K::kDiv:
+      if (fine.kind == K::kDiv) return coarse.param % fine.param == 0;
+      if (fine.kind == K::kShift) {
+        uint64_t p = PowerOfTwo(fine.param);
+        return p != 0 && coarse.param % p == 0;
+      }
+      return false;
+    case K::kShift:
+      if (fine.kind == K::kShift) return coarse.param >= fine.param;
+      if (fine.kind == K::kDiv) {
+        uint64_t p = PowerOfTwo(coarse.param);
+        return p != 0 && p % fine.param == 0;
+      }
+      if (fine.kind == K::kMask) {
+        // x>>k from x&m: requires every bit at position >= k present in m —
+        // domain-dependent; conservatively false.
+        return false;
+      }
+      return false;
+    case K::kMask:
+      if (fine.kind == K::kMask) {
+        return (coarse.param & fine.param) == coarse.param;
+      }
+      if (fine.kind == K::kShift) {
+        // x&m from x>>k: possible when m has no bits below k, since then
+        // x&m == ((x>>k) & (m>>k)) << k.
+        uint64_t low = (fine.param >= 64) ? ~0ULL : ((1ULL << fine.param) - 1);
+        return (coarse.param & low) == 0;
+      }
+      return false;
+    case K::kMod:
+      if (fine.kind == K::kMod) return fine.param % coarse.param == 0;
+      return false;
+    case K::kOpaque:
+      return false;
+  }
+  return false;
+}
+
+std::optional<ScalarForm> ReconcileForms(const ScalarForm& a,
+                                         const ScalarForm& b) {
+  using K = ScalarFormKind;
+  if (IsFunctionOf(a, b)) return a;
+  if (IsFunctionOf(b, a)) return b;
+  // Neither subsumes the other: look for a strict common coarsening.
+  if (a.is_opaque() || b.is_opaque()) return std::nullopt;
+  if (a.kind == K::kDiv && b.kind == K::kDiv) {
+    uint64_t l = SafeLcm(a.param, b.param);
+    if (l == 0) return std::nullopt;
+    return ScalarForm::Div(l);
+  }
+  if ((a.kind == K::kDiv && b.kind == K::kShift) ||
+      (a.kind == K::kShift && b.kind == K::kDiv)) {
+    const ScalarForm& div = a.kind == K::kDiv ? a : b;
+    const ScalarForm& shift = a.kind == K::kShift ? a : b;
+    uint64_t p = PowerOfTwo(shift.param);
+    if (p == 0) return std::nullopt;
+    uint64_t l = SafeLcm(div.param, p);
+    if (l == 0) return std::nullopt;
+    return ScalarForm::Div(l);
+  }
+  if (a.kind == K::kMask && b.kind == K::kMask) {
+    uint64_t m = a.param & b.param;
+    if (m == 0) return std::nullopt;  // Constant function: useless.
+    return ScalarForm::Mask(m);
+  }
+  if ((a.kind == K::kMask && b.kind == K::kShift) ||
+      (a.kind == K::kShift && b.kind == K::kMask)) {
+    const ScalarForm& mask = a.kind == K::kMask ? a : b;
+    const ScalarForm& shift = a.kind == K::kShift ? a : b;
+    uint64_t low = (shift.param >= 64) ? ~0ULL : ((1ULL << shift.param) - 1);
+    uint64_t m = mask.param & ~low;
+    if (m == 0) return std::nullopt;
+    return ScalarForm::Mask(m);
+  }
+  if (a.kind == K::kMod && b.kind == K::kMod) {
+    uint64_t g = std::gcd(a.param, b.param);
+    if (g <= 1) return std::nullopt;
+    return ScalarForm::Mod(g);
+  }
+  return std::nullopt;
+}
+
+ExprPtr FormToExpr(const ScalarForm& form, const std::string& column) {
+  ExprPtr col = Expr::Column(column);
+  switch (form.kind) {
+    case ScalarFormKind::kIdentity:
+      return col;
+    case ScalarFormKind::kDiv:
+      return Expr::Binary(BinaryOp::kDiv, col, UintLit(form.param));
+    case ScalarFormKind::kMask:
+      return Expr::Binary(BinaryOp::kBitAnd, col, UintLit(form.param));
+    case ScalarFormKind::kShift:
+      return Expr::Binary(BinaryOp::kShiftRight, col, UintLit(form.param));
+    case ScalarFormKind::kMod:
+      return Expr::Binary(BinaryOp::kMod, col, UintLit(form.param));
+    case ScalarFormKind::kOpaque:
+      return form.opaque;
+  }
+  return col;
+}
+
+}  // namespace streampart

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file scalar_form.h
+/// \brief Canonical forms of single-attribute scalar expressions and the
+/// reconciliation algebra of paper §4.1.
+///
+/// A partitioning-set entry is a scalar expression over one stream attribute
+/// (paper §3.3: sc_exp_i(attr_i)). Analysis reduces such expressions to a
+/// small canonical vocabulary:
+///
+///   Identity      x
+///   Div(c)        x / c            (integer division; c > 1)
+///   Mask(m)       x & m
+///   Shift(k)      x >> k           (== Div(2^k) semantically, kept distinct
+///                                   to print what the user wrote)
+///   Mod(c)        x % c
+///   Opaque(e)     anything else — reconciles only with a structurally equal
+///                 expression
+///
+/// Two relations drive everything:
+///  * IsFunctionOf(coarse, fine): coarse = h ∘ fine for some h. A partition
+///    expression p is compatible with a group-by expression g iff
+///    IsFunctionOf(p, g) — tuples agreeing on g then agree on p, so no group
+///    straddles partitions.
+///  * ReconcileForms(a, b): the finest form that is a function of both — the
+///    "least common denominator" of §4.1. Reproduces the paper's examples:
+///    Div(60) ⊕ Div(90) = Div(180); Identity ⊕ Mask(0xFFF0) = Mask(0xFFF0).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace streampart {
+
+/// \brief Kind of canonical scalar form.
+enum class ScalarFormKind : uint8_t {
+  kIdentity,
+  kDiv,
+  kMask,
+  kShift,
+  kMod,
+  kOpaque,
+};
+
+/// \brief Canonical form of a single-attribute scalar expression. The base
+/// attribute itself is tracked by the caller (AnalyzedScalar).
+struct ScalarForm {
+  ScalarFormKind kind = ScalarFormKind::kIdentity;
+  /// Divisor, mask, shift count, or modulus, by kind.
+  uint64_t param = 0;
+  /// Original expression for kOpaque (structural-equality semantics).
+  ExprPtr opaque;
+
+  static ScalarForm Identity() { return {ScalarFormKind::kIdentity, 0, nullptr}; }
+  static ScalarForm Div(uint64_t c) { return {ScalarFormKind::kDiv, c, nullptr}; }
+  static ScalarForm Mask(uint64_t m) { return {ScalarFormKind::kMask, m, nullptr}; }
+  static ScalarForm Shift(uint64_t k) { return {ScalarFormKind::kShift, k, nullptr}; }
+  static ScalarForm Mod(uint64_t c) { return {ScalarFormKind::kMod, c, nullptr}; }
+  static ScalarForm Opaque(ExprPtr e) {
+    return {ScalarFormKind::kOpaque, 0, std::move(e)};
+  }
+
+  bool is_opaque() const { return kind == ScalarFormKind::kOpaque; }
+
+  /// \brief Structural equality (opaque compares the stored expressions).
+  bool Equals(const ScalarForm& other) const;
+
+  /// \brief "x/60"-style rendering with \p attr substituted for x.
+  std::string ToString(const std::string& attr) const;
+};
+
+/// \brief Result of analyzing a candidate partitioning expression: the base
+/// attribute it references plus the canonical form applied to it.
+struct AnalyzedScalar {
+  /// Unqualified name of the single referenced column.
+  std::string base_column;
+  ScalarForm form;
+
+  std::string ToString() const { return form.ToString(base_column); }
+};
+
+/// \brief Reduces \p expr to (base attribute, canonical form). Fails when the
+/// expression references zero or more than one distinct column (a
+/// partitioning-set entry must be a scalar expression of one attribute).
+/// Expressions with one column but unrecognized structure come back as
+/// kOpaque, not as an error.
+Result<AnalyzedScalar> AnalyzeScalarExpr(const ExprPtr& expr);
+
+/// \brief Composes outer ∘ inner where both apply to the same base attribute
+/// (lineage tracing: a view column defined as g(x) referenced through f(...)
+/// yields f ∘ g). Returns kOpaque(composed expr) when the composition leaves
+/// the canonical vocabulary; \p composed_expr supplies that fallback tree.
+ScalarForm ComposeForms(const ScalarForm& outer, const ScalarForm& inner,
+                        const ExprPtr& composed_expr);
+
+/// \brief True iff \p coarse is a function of \p fine (coarse = h ∘ fine).
+bool IsFunctionOf(const ScalarForm& coarse, const ScalarForm& fine);
+
+/// \brief The finest form that is a function of both, or nullopt when the
+/// only common coarsening is the constant function (useless for
+/// partitioning). Commutative.
+std::optional<ScalarForm> ReconcileForms(const ScalarForm& a,
+                                         const ScalarForm& b);
+
+/// \brief Materializes the form back into an expression over \p column.
+ExprPtr FormToExpr(const ScalarForm& form, const std::string& column);
+
+}  // namespace streampart

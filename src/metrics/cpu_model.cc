@@ -1,0 +1,41 @@
+#include "metrics/cpu_model.h"
+
+namespace streampart {
+
+double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params) {
+  double cycles = 0;
+  cycles += params.cycles_per_source_tuple *
+            static_cast<double>(host.source_tuples);
+  cycles += params.cycles_per_tuple_in * static_cast<double>(host.ops.tuples_in);
+  cycles +=
+      params.cycles_per_tuple_out * static_cast<double>(host.ops.tuples_out);
+  cycles += params.cycles_per_byte_out * static_cast<double>(host.ops.bytes_out);
+  cycles += params.cycles_per_group_probe *
+            static_cast<double>(host.ops.group_probes);
+  cycles += params.cycles_per_group_insert *
+            static_cast<double>(host.ops.group_inserts);
+  cycles +=
+      params.cycles_per_join_probe * static_cast<double>(host.ops.join_probes);
+  cycles += params.cycles_per_predicate *
+            static_cast<double>(host.ops.predicate_evals);
+  cycles += params.cycles_per_merge_tuple *
+            static_cast<double>(host.merge_ops.tuples_in);
+  cycles += params.cycles_per_remote_tuple *
+            static_cast<double>(host.net_tuples_in);
+  cycles +=
+      params.cycles_per_remote_byte * static_cast<double>(host.net_bytes_in);
+  return cycles / params.host_clock_hz;
+}
+
+double HostCpuLoadPercent(const HostMetrics& host, const CpuCostParams& params,
+                          double duration_sec) {
+  if (duration_sec <= 0) return 0;
+  return 100.0 * HostCpuSeconds(host, params) / duration_sec;
+}
+
+double HostNetworkTuplesPerSec(const HostMetrics& host, double duration_sec) {
+  if (duration_sec <= 0) return 0;
+  return static_cast<double>(host.net_tuples_in) / duration_sec;
+}
+
+}  // namespace streampart

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file cpu_model.h
+/// \brief Simulated-CPU cost model mapping operator work counters to cycles.
+///
+/// The cluster simulation executes the real operators; what it cannot do is
+/// experience the real per-packet software overheads (NIC ring handling,
+/// memory copies, scheduling) that dominate a production DSMS — the paper
+/// opens with "even a fast 4GHz server can spend at most 26 cycles per
+/// tuple". This model restores those costs: every work counter recorded by
+/// the operators (tuples, group probes, predicate evaluations, remote-tuple
+/// receives) is charged a calibrated cycle weight. Remote tuples carry a
+/// large weight, reflecting the paper's observation that processing remote
+/// tuples costs far more than local ones.
+///
+/// Defaults are calibrated so one simulated 3 GHz host running the §6.1
+/// suspicious-flows query at ~100k packets/sec sits near the paper's 80%
+/// single-host utilization.
+
+#include <cstdint>
+
+#include "exec/operator.h"
+
+namespace streampart {
+
+/// \brief Per-event cycle weights plus host capacity.
+struct CpuCostParams {
+  /// Packet capture + decode per locally captured source tuple.
+  double cycles_per_source_tuple = 20000;
+  /// Base cost of pushing one tuple through one operator.
+  double cycles_per_tuple_in = 4000;
+  /// Cost of materializing and emitting one output tuple.
+  double cycles_per_tuple_out = 2500;
+  double cycles_per_byte_out = 40;
+  double cycles_per_group_probe = 2500;
+  double cycles_per_group_insert = 9000;
+  double cycles_per_join_probe = 4000;
+  double cycles_per_predicate = 1200;
+  /// Merge (stream union) operators mostly forward pointers; their per-tuple
+  /// cost is far below a full operator push.
+  double cycles_per_merge_tuple = 500;
+  /// Receiving + deserializing one tuple from the network (paper: "the
+  /// significant overhead involved in processing remote tuples" — kernel TCP
+  /// stack, copies and scheduling on 2003-era hardware).
+  double cycles_per_remote_tuple = 120000;
+  double cycles_per_remote_byte = 100;
+  /// Effective per-host cycle budget per second. The paper's servers are
+  /// 3.0 GHz Xeons, but a DSMS burns most cycles in capture/stack overheads
+  /// the counters above summarize coarsely; this normalized budget is
+  /// calibrated so one host at ~20k pkts/s of the §6.1 workload sits near
+  /// the paper's ~80% single-host utilization.
+  double host_clock_hz = 8.0e8;
+};
+
+/// \brief Work and traffic ledger of one simulated host.
+struct HostMetrics {
+  /// Summed operator counters of every non-merge operator on this host.
+  OpStats ops;
+  /// Merge (union) operators, accounted at the cheaper merge rate.
+  OpStats merge_ops;
+  /// Source tuples captured by this host's NIC partitions.
+  uint64_t source_tuples = 0;
+  /// Tuples/bytes received from other hosts.
+  uint64_t net_tuples_in = 0;
+  uint64_t net_bytes_in = 0;
+  /// Tuples/bytes sent to other hosts.
+  uint64_t net_tuples_out = 0;
+  uint64_t net_bytes_out = 0;
+};
+
+/// \brief Total simulated CPU-seconds consumed on a host.
+double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params);
+
+/// \brief Utilization percentage over a trace of \p duration_sec seconds.
+/// Not clamped: values above 100 mean the host would drop tuples (the paper's
+/// overloaded configurations).
+double HostCpuLoadPercent(const HostMetrics& host, const CpuCostParams& params,
+                          double duration_sec);
+
+/// \brief Network tuples/sec into a host over the trace duration — the
+/// quantity Figures 9/11/14 plot.
+double HostNetworkTuplesPerSec(const HostMetrics& host, double duration_sec);
+
+}  // namespace streampart

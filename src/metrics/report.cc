@@ -1,0 +1,65 @@
+#include "metrics/report.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace streampart {
+
+SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void SeriesTable::SetValueFormat(std::string printf_format) {
+  format_ = std::move(printf_format);
+}
+
+void SeriesTable::AddRow(const std::string& label,
+                         const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), format_.c_str(), v);
+    cells.emplace_back(buf);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void SeriesTable::AddTextRow(const std::string& label,
+                             const std::vector<std::string>& cells) {
+  std::vector<std::string> row;
+  row.push_back(label);
+  row.insert(row.end(), cells.begin(), cells.end());
+  rows_.push_back(std::move(row));
+}
+
+std::string SeriesTable::ToString() const {
+  // Column widths.
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+  std::string out = title_ + "\n";
+  std::string header;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    header += pad(columns_[i], widths[i]) + "  ";
+  }
+  out += header + "\n";
+  out += std::string(header.size(), '-') + "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      out += pad(row[i], widths[i]) + "  ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void SeriesTable::Print() const { std::cout << ToString() << std::endl; }
+
+}  // namespace streampart

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file report.h
+/// \brief Fixed-width table formatting for experiment output.
+///
+/// Every figure bench prints one SeriesTable whose rows mirror the series of
+/// the corresponding paper figure (configurations × cluster sizes), so
+/// bench_output.txt reads side-by-side against the paper.
+
+#include <string>
+#include <vector>
+
+namespace streampart {
+
+/// \brief A simple column-aligned table printer.
+class SeriesTable {
+ public:
+  /// \param title printed above the table.
+  /// \param columns header labels; first column is the row label.
+  SeriesTable(std::string title, std::vector<std::string> columns);
+
+  /// \brief Adds a data row: label plus one value per remaining column.
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// \brief Adds a preformatted row.
+  void AddTextRow(const std::string& label,
+                  const std::vector<std::string>& cells);
+
+  /// \brief Renders the table.
+  std::string ToString() const;
+
+  /// \brief Prints to stdout.
+  void Print() const;
+
+  /// \brief Number formatting for values (default "%.1f").
+  void SetValueFormat(std::string printf_format);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string format_ = "%.1f";
+};
+
+}  // namespace streampart

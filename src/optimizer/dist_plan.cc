@@ -1,0 +1,136 @@
+#include "optimizer/dist_plan.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+const char* DistOpKindToString(DistOpKind kind) {
+  switch (kind) {
+    case DistOpKind::kSource:
+      return "source";
+    case DistOpKind::kQuery:
+      return "query";
+    case DistOpKind::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+std::string DistOperator::Label() const {
+  std::string out;
+  switch (kind) {
+    case DistOpKind::kSource:
+      out = stream_name + "[part " + std::to_string(partition) + "]";
+      break;
+    case DistOpKind::kQuery:
+      out = std::string(QueryKindToString(query->kind)) + "(" + stream_name +
+            ")";
+      break;
+    case DistOpKind::kMerge:
+      out = "merge(" + stream_name + ")";
+      break;
+  }
+  out += " @host" + std::to_string(host);
+  if (kind != DistOpKind::kSource && partition >= 0) {
+    out += " [part " + std::to_string(partition) + "]";
+  }
+  return out;
+}
+
+int DistPlan::AddOp(DistOperator op) {
+  op.id = static_cast<int>(ops_.size());
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+std::vector<int> DistPlan::TopoOrder() const {
+  std::vector<int> order;
+  std::vector<int> state(ops_.size(), 0);  // 0=unvisited 1=visiting 2=done
+  std::function<void(int)> visit = [&](int id) {
+    if (!ops_[id].alive || state[id] == 2) return;
+    SP_CHECK(state[id] != 1) << "cycle in distributed plan at op " << id;
+    state[id] = 1;
+    for (int c : ops_[id].children) visit(c);
+    state[id] = 2;
+    order.push_back(id);
+  };
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].alive) visit(static_cast<int>(i));
+  }
+  return order;
+}
+
+std::vector<int> DistPlan::Consumers(int id) const {
+  std::vector<int> out;
+  for (const DistOperator& op : ops_) {
+    if (!op.alive) continue;
+    if (std::find(op.children.begin(), op.children.end(), id) !=
+        op.children.end()) {
+      out.push_back(op.id);
+    }
+  }
+  return out;
+}
+
+void DistPlan::ReplaceOp(int old_id, int new_id) {
+  for (DistOperator& op : ops_) {
+    if (!op.alive) continue;
+    for (int& c : op.children) {
+      if (c == old_id) c = new_id;
+    }
+  }
+  Kill(old_id);
+}
+
+std::vector<int> DistPlan::ProducersOf(const std::string& name) const {
+  std::vector<int> out;
+  for (const DistOperator& op : ops_) {
+    if (op.alive && op.stream_name == name) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::vector<int> DistPlan::Sinks() const {
+  std::vector<bool> consumed(ops_.size(), false);
+  for (const DistOperator& op : ops_) {
+    if (!op.alive) continue;
+    for (int c : op.children) consumed[c] = true;
+  }
+  std::vector<int> out;
+  for (const DistOperator& op : ops_) {
+    if (op.alive && !consumed[op.id]) out.push_back(op.id);
+  }
+  return out;
+}
+
+void DistPlan::PrintRec(int id, const std::string& prefix, bool last,
+                        bool is_root, std::vector<bool>* printed,
+                        std::string* out) const {
+  std::string connector = is_root ? "" : prefix + (last ? "`-- " : "|-- ");
+  std::string child_prefix = is_root ? "" : prefix + (last ? "    " : "|   ");
+  const DistOperator& op = ops_[id];
+  if ((*printed)[id]) {
+    *out += connector + "#" + std::to_string(id) + " (see above)\n";
+    return;
+  }
+  (*printed)[id] = true;
+  *out += connector + "#" + std::to_string(id) + " " + op.Label() + "\n";
+  for (size_t i = 0; i < op.children.size(); ++i) {
+    PrintRec(op.children[i], child_prefix, i + 1 == op.children.size(),
+             /*is_root=*/false, printed, out);
+  }
+}
+
+std::string DistPlan::ToString() const {
+  std::string out;
+  std::vector<bool> printed(ops_.size(), false);
+  for (int sink : Sinks()) {
+    PrintRec(sink, "", /*last=*/true, /*is_root=*/true, &printed, &out);
+  }
+  return out;
+}
+
+}  // namespace streampart

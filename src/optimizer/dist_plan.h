@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file dist_plan.h
+/// \brief Physical distributed query plans: operators placed on hosts.
+///
+/// A DistPlan is what the partition-aware optimizer (paper §5) produces and
+/// what the simulated cluster executes. Operators are:
+///   * kSource — one partition of a partitioned source stream, pinned to the
+///     host its capture NIC feeds;
+///   * kQuery  — a streaming query node (select/aggregate/join) from the
+///     logical graph or synthesized by a transformation rule;
+///   * kMerge  — ordered stream union (§5.1).
+///
+/// `partition >= 0` tags operators whose entire input derives from a single
+/// source partition — the property the Opt_Eligible tests of §5.2/§5.3 check
+/// ("each child node of M is operating on a single partition").
+
+#include <string>
+#include <vector>
+
+#include "plan/query_node.h"
+
+namespace streampart {
+
+/// \brief Operator kind in a physical plan.
+enum class DistOpKind : uint8_t { kSource, kQuery, kMerge };
+
+const char* DistOpKindToString(DistOpKind kind);
+
+/// \brief One placed operator.
+struct DistOperator {
+  int id = -1;
+  DistOpKind kind = DistOpKind::kQuery;
+  /// Logical stream this operator produces (source or query name).
+  std::string stream_name;
+  /// Semantic payload for kQuery ops.
+  QueryNodePtr query;
+  /// Output schema (used by merges and the runtime).
+  SchemaPtr schema;
+  /// Producer operator ids, positionally aligned with input ports.
+  std::vector<int> children;
+  int host = 0;
+  /// Source partition this operator's data derives from; -1 = multiple.
+  int partition = -1;
+  bool alive = true;
+
+  std::string Label() const;
+};
+
+/// \brief Cluster shape used for plan construction (paper §6: 1-4 hosts, two
+/// partitions per host, aggregator = host executing the query-tree root).
+struct ClusterConfig {
+  int num_hosts = 4;
+  int partitions_per_host = 2;
+  int aggregator_host = 0;
+
+  int num_partitions() const { return num_hosts * partitions_per_host; }
+  /// Host that partition \p p's capture NIC feeds.
+  int HostOfPartition(int p) const { return p / partitions_per_host; }
+};
+
+/// \brief A physical plan: an operator DAG with host placement.
+class DistPlan {
+ public:
+  /// \brief Adds an operator, assigning its id. Returns the id.
+  int AddOp(DistOperator op);
+
+  DistOperator& op(int id) { return ops_[id]; }
+  const DistOperator& op(int id) const { return ops_[id]; }
+  size_t size() const { return ops_.size(); }
+
+  /// \brief Ids of alive operators, children-before-parents.
+  std::vector<int> TopoOrder() const;
+
+  /// \brief Alive operators consuming \p id (an op consuming on two ports
+  /// appears once).
+  std::vector<int> Consumers(int id) const;
+
+  /// \brief Redirects every consumer edge of \p old_id to \p new_id and
+  /// tombstones \p old_id.
+  void ReplaceOp(int old_id, int new_id);
+
+  void Kill(int id) { ops_[id].alive = false; }
+
+  /// \brief Alive ops producing logical stream \p name.
+  std::vector<int> ProducersOf(const std::string& name) const;
+
+  /// \brief Alive ops with no alive consumer (plan outputs).
+  std::vector<int> Sinks() const;
+
+  /// \brief Indented tree rendering with host/partition annotations —
+  /// regenerates the paper's plan figures.
+  std::string ToString() const;
+
+ private:
+  void PrintRec(int id, const std::string& prefix, bool last, bool is_root,
+                std::vector<bool>* printed, std::string* out) const;
+
+  std::vector<DistOperator> ops_;
+};
+
+}  // namespace streampart

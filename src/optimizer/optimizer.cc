@@ -1,0 +1,484 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+// ---------------------------------------------------------------------------
+// Partition-agnostic plan (§5.1)
+// ---------------------------------------------------------------------------
+
+Result<DistPlan> BuildPartitionAgnosticPlan(const QueryGraph& graph,
+                                            const ClusterConfig& config) {
+  if (config.num_hosts < 1 || config.partitions_per_host < 1) {
+    return Status::InvalidArgument("cluster needs at least one host/partition");
+  }
+  DistPlan plan;
+  // Partitioned source streams: one kSource op per partition, shared by all
+  // consuming queries (the capture NIC fans the substream out to every
+  // subscriber process).
+  std::map<std::string, std::vector<int>> source_parts;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    for (const std::string& in : node->inputs) {
+      if (!graph.IsSource(in) || source_parts.count(in) > 0) continue;
+      SP_ASSIGN_OR_RETURN(SchemaPtr schema, graph.GetStreamSchema(in));
+      std::vector<int>& ids = source_parts[in];
+      for (int p = 0; p < config.num_partitions(); ++p) {
+        DistOperator op;
+        op.kind = DistOpKind::kSource;
+        op.stream_name = in;
+        op.schema = schema;
+        op.host = config.HostOfPartition(p);
+        op.partition = p;
+        ids.push_back(plan.AddOp(std::move(op)));
+      }
+    }
+  }
+
+  // Queries: all at the aggregator; every source-reading port gets its own
+  // merge of the partitions (paper Figure 3/6), so the §5 per-consumer
+  // merge-elimination rules apply independently per port.
+  std::map<std::string, int> producer;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    std::vector<int> children;
+    // One merge per distinct source input of this query: a self-join over a
+    // source reads the same merge on both ports (the stream ships once).
+    std::map<std::string, int> my_source_merges;
+    for (const std::string& in : node->inputs) {
+      if (graph.IsSource(in)) {
+        auto mit = my_source_merges.find(in);
+        if (mit != my_source_merges.end()) {
+          children.push_back(mit->second);
+          continue;
+        }
+        SP_ASSIGN_OR_RETURN(SchemaPtr schema, graph.GetStreamSchema(in));
+        DistOperator merge;
+        merge.kind = DistOpKind::kMerge;
+        merge.stream_name = in;
+        merge.schema = schema;
+        merge.children = source_parts.at(in);
+        merge.host = config.aggregator_host;
+        int id = plan.AddOp(std::move(merge));
+        my_source_merges[in] = id;
+        children.push_back(id);
+      } else {
+        auto it = producer.find(in);
+        if (it == producer.end()) {
+          return Status::Internal("no producer for stream '", in, "'");
+        }
+        children.push_back(it->second);
+      }
+    }
+    DistOperator op;
+    op.kind = DistOpKind::kQuery;
+    op.stream_name = node->name;
+    op.query = node;
+    op.schema = node->output_schema;
+    op.children = std::move(children);
+    op.host = config.aggregator_host;
+    producer[node->name] = plan.AddOp(std::move(op));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// DistributedOptimizer
+// ---------------------------------------------------------------------------
+
+DistributedOptimizer::DistributedOptimizer(const QueryGraph* graph,
+                                           ClusterConfig config,
+                                           PartitionSet actual_partitioning,
+                                           OptimizerOptions options)
+    : graph_(graph),
+      config_(config),
+      ps_(std::move(actual_partitioning)),
+      options_(options),
+      work_graph_(*graph) {}
+
+bool DistributedOptimizer::MergeIsPushable(const DistPlan& plan, int m_id,
+                                           int q_id) const {
+  const DistOperator& m = plan.op(m_id);
+  if (!m.alive || m.kind != DistOpKind::kMerge) return false;
+  for (int c : m.children) {
+    if (plan.op(c).partition < 0) return false;
+  }
+  std::vector<int> consumers = plan.Consumers(m_id);
+  return consumers.size() == 1 && consumers[0] == q_id;
+}
+
+Status DistributedOptimizer::TransformCompatibleUnary(DistPlan* plan,
+                                                      int q_id) {
+  // Copy: AddOp below may reallocate the op vector.
+  DistOperator q = plan->op(q_id);
+  if (q.children.size() != 1) return Status::OK();
+  int m_id = q.children[0];
+  if (!MergeIsPushable(*plan, m_id, q_id)) return Status::OK();
+  const std::vector<int> m_children = plan->op(m_id).children;
+
+  // Push a copy of Q onto each partition.
+  std::vector<int> copies;
+  for (int c : m_children) {
+    DistOperator copy;
+    copy.kind = DistOpKind::kQuery;
+    copy.stream_name = q.stream_name;
+    copy.query = q.query;
+    copy.schema = q.schema;
+    copy.children = {c};
+    copy.host = plan->op(c).host;
+    copy.partition = plan->op(c).partition;
+    copies.push_back(plan->AddOp(std::move(copy)));
+  }
+  DistOperator merged;
+  merged.kind = DistOpKind::kMerge;
+  merged.stream_name = q.stream_name;
+  merged.schema = q.schema;
+  merged.children = std::move(copies);
+  merged.host = config_.aggregator_host;
+  int m2 = plan->AddOp(std::move(merged));
+  plan->ReplaceOp(q_id, m2);
+  plan->Kill(m_id);
+  return Status::OK();
+}
+
+Result<QueryNodePtr> DistributedOptimizer::SynthesizePadding(
+    const QueryNodePtr& join, bool pad_right) {
+  const size_t kept = pad_right ? 0 : 1;
+  const size_t left_width = join->input_schemas[0]->num_fields();
+
+  auto pad = std::make_shared<QueryNode>();
+  pad->name = join->name + (pad_right ? "__pad_left_outer" : "__pad_right_outer");
+  pad->kind = QueryKind::kSelectProject;
+  pad->inputs = {join->inputs[kept]};
+  pad->aliases = {join->aliases[kept]};
+  pad->input_schemas = {join->input_schemas[kept]};
+  pad->source_stream = join->source_stream;
+  pad->output_schema = join->output_schema;
+
+  BindingContext ctx;
+  ctx.AddInput(pad->aliases[0], pad->input_schemas[0]);
+
+  for (size_t i = 0; i < join->outputs.size(); ++i) {
+    // Rewrite the join output (bound over the concatenated schema): columns
+    // of the kept side become fresh references; the padded side becomes NULL.
+    ExprPtr rewritten = Expr::Rewrite(
+        join->outputs[i].expr, [&](const ExprPtr& e) -> ExprPtr {
+          if (!e->is_column()) return nullptr;
+          size_t idx = e->bound_index();
+          bool from_left = idx < left_width;
+          if (from_left != (kept == 0)) {
+            return Expr::Literal(Value::Null());
+          }
+          size_t local = from_left ? idx : idx - left_width;
+          return Expr::Column(pad->aliases[0],
+                              pad->input_schemas[0]->field(local).name);
+        });
+    SP_ASSIGN_OR_RETURN(ExprPtr bound, rewritten->Bind(ctx));
+    NamedExpr out;
+    out.name = join->outputs[i].name;
+    out.type = join->outputs[i].type;
+    out.expr = std::move(bound);
+    pad->outputs.push_back(std::move(out));
+    pad->output_source_exprs.push_back(nullptr);
+  }
+  return QueryNodePtr(pad);
+}
+
+Status DistributedOptimizer::TransformCompatibleJoin(DistPlan* plan,
+                                                     int q_id) {
+  // Copy: AddOp below may reallocate the op vector.
+  DistOperator q = plan->op(q_id);
+  if (q.children.size() != 2) return Status::OK();
+  int m_left = q.children[0];
+  int m_right = q.children[1];
+  if (!MergeIsPushable(*plan, m_left, q_id)) return Status::OK();
+  if (m_right != m_left && !MergeIsPushable(*plan, m_right, q_id)) {
+    return Status::OK();
+  }
+
+  auto partition_map = [&](int m_id) {
+    std::map<int, int> out;  // partition -> producing op
+    for (int c : plan->op(m_id).children) out[plan->op(c).partition] = c;
+    return out;
+  };
+  std::map<int, int> left = partition_map(m_left);
+  std::map<int, int> right = partition_map(m_right);
+
+  const QueryNodePtr& node = q.query;
+  std::vector<int> pieces;
+  for (const auto& [p, left_op] : left) {
+    auto rit = right.find(p);
+    if (rit != right.end()) {
+      DistOperator copy;
+      copy.kind = DistOpKind::kQuery;
+      copy.stream_name = q.stream_name;
+      copy.query = node;
+      copy.schema = q.schema;
+      copy.children = {left_op, rit->second};
+      copy.host = plan->op(left_op).host;
+      copy.partition = p;
+      pieces.push_back(plan->AddOp(std::move(copy)));
+    } else if (node->join_type == JoinType::kLeftOuter ||
+               node->join_type == JoinType::kFullOuter) {
+      SP_ASSIGN_OR_RETURN(QueryNodePtr pad,
+                          SynthesizePadding(node, /*pad_right=*/true));
+      DistOperator pad_op;
+      pad_op.kind = DistOpKind::kQuery;
+      pad_op.stream_name = q.stream_name;
+      pad_op.query = pad;
+      pad_op.schema = q.schema;
+      pad_op.children = {left_op};
+      pad_op.host = plan->op(left_op).host;
+      pad_op.partition = p;
+      pieces.push_back(plan->AddOp(std::move(pad_op)));
+    }
+  }
+  for (const auto& [p, right_op] : right) {
+    if (left.count(p) > 0) continue;
+    if (node->join_type == JoinType::kRightOuter ||
+        node->join_type == JoinType::kFullOuter) {
+      SP_ASSIGN_OR_RETURN(QueryNodePtr pad,
+                          SynthesizePadding(node, /*pad_right=*/false));
+      DistOperator pad_op;
+      pad_op.kind = DistOpKind::kQuery;
+      pad_op.stream_name = q.stream_name;
+      pad_op.query = pad;
+      pad_op.schema = q.schema;
+      pad_op.children = {right_op};
+      pad_op.host = plan->op(right_op).host;
+      pad_op.partition = p;
+      pieces.push_back(plan->AddOp(std::move(pad_op)));
+    }
+  }
+  if (pieces.empty()) return Status::OK();
+
+  DistOperator merged;
+  merged.kind = DistOpKind::kMerge;
+  merged.stream_name = q.stream_name;
+  merged.schema = q.schema;
+  merged.children = std::move(pieces);
+  merged.host = config_.aggregator_host;
+  int m2 = plan->AddOp(std::move(merged));
+  plan->ReplaceOp(q_id, m2);
+  plan->Kill(m_left);
+  if (m_right != m_left) plan->Kill(m_right);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Partial aggregation (§5.2.2)
+// ---------------------------------------------------------------------------
+
+Result<DistributedOptimizer::SplitQueries> DistributedOptimizer::SynthesizeSplit(
+    const QueryNodePtr& node) {
+  const UdafRegistry& registry = graph_->udaf_registry();
+  std::string sub_name =
+      "__sub" + std::to_string(synth_counter_++) + "_" + node->name;
+
+  // ---- Sub-aggregate: group keys + split sub-UDAFs; WHERE pushes down,
+  // HAVING stays above (§5.2.2).
+  ParsedQuery sub;
+  sub.from = {node->parsed.from[0]};
+  sub.where = node->parsed.where;
+  for (size_t i = 0; i < node->group_by.size(); ++i) {
+    SelectItem key;
+    key.expr = node->parsed.group_by[i].expr;
+    key.alias = node->group_by[i].name;
+    sub.group_by.push_back(key);
+    sub.select_list.push_back(key);
+  }
+  // Per aggregate slot: its sub-UDAF columns, named _s<j>_<k>.
+  std::vector<std::vector<std::string>> sub_cols(node->aggregates.size());
+  for (size_t j = 0; j < node->aggregates.size(); ++j) {
+    const AggregateSpec& spec = node->aggregates[j];
+    SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> udaf,
+                        registry.Get(spec.udaf));
+    const UdafSplit& split = udaf->split();
+    for (size_t k = 0; k < split.sub_udafs.size(); ++k) {
+      SelectItem item;
+      std::vector<ExprPtr> args;
+      if (split.sub_udafs[k] != "count") args = spec.args;
+      item.expr = Expr::Call(split.sub_udafs[k], std::move(args));
+      item.alias = "_s" + std::to_string(j) + "_" + std::to_string(k);
+      sub_cols[j].push_back(item.alias);
+      sub.select_list.push_back(std::move(item));
+    }
+  }
+  SP_ASSIGN_OR_RETURN(QueryNodePtr sub_node,
+                      AnalyzeQuery(sub_name, sub, work_graph_));
+  SP_RETURN_NOT_OK(work_graph_.AddNode(sub_node));
+
+  // ---- Super-aggregate over the sub stream.
+  ParsedQuery super;
+  super.from = {TableRef{sub_name, ""}};
+  for (const NamedExpr& key : node->group_by) {
+    SelectItem item;
+    item.expr = Expr::Column(key.name);
+    item.alias = key.name;
+    super.group_by.push_back(std::move(item));
+  }
+  // Combined super expression per aggregate slot.
+  std::vector<ExprPtr> combined(node->aggregates.size());
+  for (size_t j = 0; j < node->aggregates.size(); ++j) {
+    const AggregateSpec& spec = node->aggregates[j];
+    SP_ASSIGN_OR_RETURN(std::shared_ptr<const Udaf> udaf,
+                        registry.Get(spec.udaf));
+    const UdafSplit& split = udaf->split();
+    std::vector<ExprPtr> super_calls;
+    for (size_t k = 0; k < split.super_udafs.size(); ++k) {
+      super_calls.push_back(
+          Expr::Call(split.super_udafs[k], {Expr::Column(sub_cols[j][k])}));
+    }
+    combined[j] =
+        split.combine ? split.combine(super_calls) : super_calls[0];
+  }
+  // Rewrites an internal-schema-bound expression of the original node onto
+  // the super query's scope: aggregate slots become combined super calls;
+  // group keys stay as (unbound) name references.
+  auto rewrite = [&](const ExprPtr& e) -> ExprPtr {
+    return Expr::Rewrite(e, [&](const ExprPtr& sub_e) -> ExprPtr {
+      if (!sub_e->is_column()) return nullptr;
+      for (size_t j = 0; j < node->aggregates.size(); ++j) {
+        if (sub_e->column_name() == node->aggregates[j].out_name) {
+          return combined[j];
+        }
+      }
+      return Expr::Column(sub_e->column_name());
+    });
+  };
+  for (const NamedExpr& out : node->outputs) {
+    SelectItem item;
+    item.expr = rewrite(out.expr);
+    item.alias = out.name;
+    super.select_list.push_back(std::move(item));
+  }
+  if (node->having) super.having = rewrite(node->having);
+
+  SP_ASSIGN_OR_RETURN(QueryNodePtr super_node,
+                      AnalyzeQuery(node->name, super, work_graph_));
+  return SplitQueries{std::move(sub_node), std::move(super_node)};
+}
+
+Status DistributedOptimizer::TransformPartialAggregate(DistPlan* plan,
+                                                       int q_id) {
+  // Copy: AddOp below may reallocate the op vector.
+  DistOperator q = plan->op(q_id);
+  if (q.children.size() != 1) return Status::OK();
+  int m_id = q.children[0];
+  if (!MergeIsPushable(*plan, m_id, q_id)) return Status::OK();
+  const DistOperator m_snapshot = plan->op(m_id);
+
+  SP_ASSIGN_OR_RETURN(SplitQueries split, SynthesizeSplit(q.query));
+
+  // Sub-aggregate placement.
+  std::vector<int> sub_ops;
+  if (options_.partial_agg == OptimizerOptions::PartialAggMode::kPerPartition) {
+    for (int c : m_snapshot.children) {
+      DistOperator sub;
+      sub.kind = DistOpKind::kQuery;
+      sub.stream_name = split.sub->name;
+      sub.query = split.sub;
+      sub.schema = split.sub->output_schema;
+      sub.children = {c};
+      sub.host = plan->op(c).host;
+      sub.partition = plan->op(c).partition;
+      sub_ops.push_back(plan->AddOp(std::move(sub)));
+    }
+  } else {
+    // Per host: local merge of the host's partitions, then one sub.
+    std::map<int, std::vector<int>> by_host;
+    for (int c : m_snapshot.children) {
+      by_host[plan->op(c).host].push_back(c);
+    }
+    for (const auto& [host, children] : by_host) {
+      int input = children[0];
+      if (children.size() > 1) {
+        DistOperator local_merge;
+        local_merge.kind = DistOpKind::kMerge;
+        local_merge.stream_name = m_snapshot.stream_name;
+        local_merge.schema = m_snapshot.schema;
+        local_merge.children = children;
+        local_merge.host = host;
+        input = plan->AddOp(std::move(local_merge));
+      }
+      DistOperator sub;
+      sub.kind = DistOpKind::kQuery;
+      sub.stream_name = split.sub->name;
+      sub.query = split.sub;
+      sub.schema = split.sub->output_schema;
+      sub.children = {input};
+      sub.host = host;
+      sub.partition = children.size() == 1 ? plan->op(children[0]).partition : -1;
+      sub_ops.push_back(plan->AddOp(std::move(sub)));
+    }
+  }
+
+  DistOperator top_merge;
+  top_merge.kind = DistOpKind::kMerge;
+  top_merge.stream_name = split.sub->name;
+  top_merge.schema = split.sub->output_schema;
+  top_merge.children = std::move(sub_ops);
+  top_merge.host = config_.aggregator_host;
+  int tm = plan->AddOp(std::move(top_merge));
+
+  DistOperator super;
+  super.kind = DistOpKind::kQuery;
+  super.stream_name = q.stream_name;
+  super.query = split.super;
+  super.schema = split.super->output_schema;
+  super.children = {tm};
+  super.host = config_.aggregator_host;
+  int super_id = plan->AddOp(std::move(super));
+
+  plan->ReplaceOp(q_id, super_id);
+  plan->Kill(m_id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+Result<DistPlan> DistributedOptimizer::Run() {
+  SP_ASSIGN_OR_RETURN(profiles_, ProfileGraph(*graph_));
+  SP_ASSIGN_OR_RETURN(DistPlan plan,
+                      BuildPartitionAgnosticPlan(*graph_, config_));
+
+  // Bottom-up over the original query operators (paper §5.1: topologically
+  // sorted starting with the leaves). Transformed subtrees keep their
+  // partition tags, so compatibility propagates up through chains of
+  // compatible nodes.
+  std::vector<int> order = plan.TopoOrder();
+  for (int id : order) {
+    if (!plan.op(id).alive || plan.op(id).kind != DistOpKind::kQuery) {
+      continue;
+    }
+    const QueryNodePtr& node = plan.op(id).query;
+    auto pit = profiles_.find(node->name);
+    if (pit == profiles_.end()) continue;  // synthesized op: leave in place
+    bool compatible = IsNodeCompatible(pit->second, ps_);
+    if (options_.enable_compatible_pushdown && compatible) {
+      if (node->kind == QueryKind::kJoin) {
+        SP_RETURN_NOT_OK(TransformCompatibleJoin(&plan, id));
+      } else {
+        SP_RETURN_NOT_OK(TransformCompatibleUnary(&plan, id));
+      }
+    } else if (node->kind == QueryKind::kAggregate &&
+               options_.partial_agg != OptimizerOptions::PartialAggMode::kNone) {
+      SP_RETURN_NOT_OK(TransformPartialAggregate(&plan, id));
+    }
+  }
+  return plan;
+}
+
+Result<DistPlan> OptimizeForPartitioning(const QueryGraph& graph,
+                                         const ClusterConfig& config,
+                                         const PartitionSet& actual_ps,
+                                         const OptimizerOptions& options) {
+  DistributedOptimizer optimizer(&graph, config, actual_ps, options);
+  return optimizer.Run();
+}
+
+}  // namespace streampart

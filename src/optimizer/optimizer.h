@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file optimizer.h
+/// \brief Partition-aware distributed query optimizer (paper §5).
+///
+/// The optimizer starts from the partition-agnostic plan of §5.1 (merge all
+/// partitions at the aggregator, run every query there) and applies
+/// transformation rules bottom-up. Each rule is an Opt_Eligible test plus a
+/// Transform:
+///
+///  * Compatible aggregation (§5.2.1): push a copy of the aggregate below
+///    the merge onto every partition; the merge of the fully aggregated (and
+///    HAVING-filtered) partials replaces the original node.
+///  * Partial aggregation (§5.2.2): split an *incompatible* aggregate into
+///    sub-aggregates near the data and a super-aggregate at the aggregator,
+///    using the UDAF split registry. WHERE pushes into the sub; HAVING stays
+///    in the super. Two layouts: one sub per partition (the paper's "Naive"
+///    baseline) or one sub per host over a local merge ("Optimized").
+///  * Compatible join (§5.3): pairwise per-partition joins; unmatched
+///    partitions are dropped (inner) or NULL-padded (outer).
+///  * Selection/projection (§5.4): always-compatible pushdown, which keeps
+///    the propagation going up the tree.
+///
+/// The actual partitioning set handed to the optimizer need not be the
+/// analysis framework's optimum — the rules exploit whatever the capture
+/// hardware provides (§5, "take advantage of any partitioning").
+
+#include "optimizer/dist_plan.h"
+#include "partition/compatibility.h"
+#include "partition/partition_set.h"
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+/// \brief Rule toggles; the experiment configurations of §6 map onto these.
+struct OptimizerOptions {
+  /// Apply the compatible pushdown rules (§5.2.1/§5.3/§5.4).
+  bool enable_compatible_pushdown = true;
+
+  /// Placement of sub-aggregates for the partial-aggregation rule.
+  enum class PartialAggMode {
+    kNone,          ///< rule disabled
+    kPerPartition,  ///< one sub-aggregate per partition ("Naive", Fig 8)
+    kPerHost,       ///< per host over a local merge ("Optimized", Fig 5)
+  };
+  PartialAggMode partial_agg = PartialAggMode::kNone;
+};
+
+/// \brief Builds the partition-agnostic plan of §5.1 / Figure 3: all
+/// partitions merge at the aggregator, where every query runs.
+Result<DistPlan> BuildPartitionAgnosticPlan(const QueryGraph& graph,
+                                            const ClusterConfig& config);
+
+/// \brief Runs the §5 transformation pipeline.
+class DistributedOptimizer {
+ public:
+  /// \param graph must outlive the optimizer and the produced plan (plans
+  /// share its query nodes).
+  DistributedOptimizer(const QueryGraph* graph, ClusterConfig config,
+                       PartitionSet actual_partitioning,
+                       OptimizerOptions options);
+
+  /// \brief Produces the optimized distributed plan.
+  Result<DistPlan> Run();
+
+ private:
+  Status TransformCompatibleUnary(DistPlan* plan, int q_id);
+  Status TransformCompatibleJoin(DistPlan* plan, int q_id);
+  Status TransformPartialAggregate(DistPlan* plan, int q_id);
+
+  /// True when merge \p m_id has only per-partition children and \p q_id as
+  /// its only consumer.
+  bool MergeIsPushable(const DistPlan& plan, int m_id, int q_id) const;
+
+  /// Synthesizes the sub/super pair for \p node; returns their analyzed
+  /// nodes. The sub query is registered in work_graph_ under a fresh name.
+  struct SplitQueries {
+    QueryNodePtr sub;
+    QueryNodePtr super;
+  };
+  Result<SplitQueries> SynthesizeSplit(const QueryNodePtr& node);
+
+  /// Builds a NULL-padding projection for unmatched outer-join partitions:
+  /// consumes one side of \p join and produces the join's output schema.
+  Result<QueryNodePtr> SynthesizePadding(const QueryNodePtr& join,
+                                         bool pad_right);
+
+  const QueryGraph* graph_;
+  ClusterConfig config_;
+  PartitionSet ps_;
+  OptimizerOptions options_;
+  std::map<std::string, NodePartitionProfile> profiles_;
+  /// Private extension of *graph_ holding synthesized sub-queries.
+  QueryGraph work_graph_;
+  int synth_counter_ = 0;
+};
+
+/// \brief One-call convenience wrapper.
+Result<DistPlan> OptimizeForPartitioning(const QueryGraph& graph,
+                                         const ClusterConfig& config,
+                                         const PartitionSet& actual_ps,
+                                         const OptimizerOptions& options);
+
+}  // namespace streampart

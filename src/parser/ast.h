@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file ast.h
+/// \brief Parse-tree (unbound) representation of a GSQL query.
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace streampart {
+
+/// \brief One SELECT-list or GROUP-BY item: an expression with an optional
+/// alias ("time/60 as tb").
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+
+  /// \brief The output column name: the alias if present, the column name for
+  /// a bare column reference, otherwise a synthesized name "_colN".
+  std::string OutputName(size_t position) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Join flavor of a two-input query.
+enum class JoinType : uint8_t {
+  kInner = 0,
+  kLeftOuter = 1,
+  kRightOuter = 2,
+  kFullOuter = 3,
+};
+
+const char* JoinTypeToString(JoinType type);
+
+/// \brief One FROM-clause entry: a stream (source or named query) with an
+/// optional alias.
+struct TableRef {
+  std::string stream;
+  std::string alias;
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? stream : alias;
+  }
+};
+
+/// \brief Unbound parse tree of a single GSQL statement.
+///
+/// The grammar covers the paper's query classes: selection/projection,
+/// tumbling-window aggregation with GROUP BY ... AS aliases and HAVING, and
+/// two-way (self-)joins written either with explicit JOIN or as a
+/// comma-separated FROM list with the join predicate in WHERE.
+struct ParsedQuery {
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;  // one entry, or two for a join
+  JoinType join_type = JoinType::kInner;
+  ExprPtr on;                  // JOIN ... ON predicate (may be null)
+  ExprPtr where;               // may be null
+  std::vector<SelectItem> group_by;
+  ExprPtr having;              // may be null
+
+  bool is_join() const { return from.size() == 2; }
+  bool has_group_by() const { return !group_by.empty(); }
+
+  /// \brief Round-trippable GSQL rendering (canonical formatting).
+  std::string ToString() const;
+};
+
+}  // namespace streampart

@@ -1,0 +1,268 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+
+namespace streampart {
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<end of input>";
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword " + text;
+    case TokenKind::kIntLiteral:
+      return "integer " + std::to_string(int_value);
+    case TokenKind::kFloatLiteral:
+      return "float " + std::to_string(float_value);
+    case TokenKind::kStringLiteral:
+      return "string '" + text + "'";
+    case TokenKind::kIpLiteral:
+      return "ip " + FormatIpv4(static_cast<uint32_t>(int_value));
+    default:
+      return "'" + text + "'";
+  }
+}
+
+bool IsGsqlKeyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY",  "HAVING", "AS",
+      "JOIN",   "LEFT", "RIGHT", "FULL",  "OUTER", "INNER", "ON",
+      "AND",    "OR",   "NOT",   "TRUE",  "FALSE", "NULL",
+  };
+  return kKeywords.count(ToUpper(word)) > 0;
+}
+
+namespace {
+
+struct LexState {
+  const std::string& text;
+  size_t pos = 0;
+  size_t line = 1;
+  size_t line_start = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text[pos++];
+    if (c == '\n') {
+      ++line;
+      line_start = pos;
+    }
+    return c;
+  }
+  Token StartToken(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.offset = pos;
+    t.line = line;
+    t.column = pos - line_start + 1;
+    return t;
+  }
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Attempts to lex a dotted-quad IPv4 literal starting at s.pos; the caller
+/// verified the current char is a digit. Returns true and fills \p out when
+/// the next characters form d+.d+.d+.d+ (not followed by an identifier char).
+bool TryLexIp(LexState* s, Token* out) {
+  size_t p = s->pos;
+  const std::string& t = s->text;
+  int dots = 0;
+  size_t q = p;
+  while (q < t.size() && (IsDigit(t[q]) || t[q] == '.')) {
+    if (t[q] == '.') {
+      // Reject trailing dot or consecutive dots.
+      if (q + 1 >= t.size() || !IsDigit(t[q + 1])) break;
+      ++dots;
+    }
+    ++q;
+  }
+  if (dots != 3) return false;
+  uint32_t ip = 0;
+  if (!ParseIpv4(std::string_view(t).substr(p, q - p), &ip)) return false;
+  *out = s->StartToken(TokenKind::kIpLiteral);
+  out->int_value = ip;
+  out->text = t.substr(p, q - p);
+  while (s->pos < q) s->Advance();
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexGsql(const std::string& text) {
+  std::vector<Token> tokens;
+  LexState s{text};
+  while (!s.AtEnd()) {
+    char c = s.Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      s.Advance();
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && s.Peek(1) == '-') {
+      while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      Token t = s.StartToken(TokenKind::kIdentifier);
+      std::string word;
+      while (!s.AtEnd() && IsIdentChar(s.Peek())) word += s.Advance();
+      if (IsGsqlKeyword(word)) {
+        t.kind = TokenKind::kKeyword;
+        t.text = ToUpper(word);
+      } else {
+        t.text = word;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (IsDigit(c)) {
+      Token ip_tok;
+      if (TryLexIp(&s, &ip_tok)) {
+        tokens.push_back(std::move(ip_tok));
+        continue;
+      }
+      Token t = s.StartToken(TokenKind::kIntLiteral);
+      std::string num;
+      bool is_hex = false;
+      bool is_float = false;
+      if (c == '0' && (s.Peek(1) == 'x' || s.Peek(1) == 'X')) {
+        num += s.Advance();
+        num += s.Advance();
+        is_hex = true;
+        while (!s.AtEnd() && std::isxdigit(static_cast<unsigned char>(s.Peek()))) {
+          num += s.Advance();
+        }
+        if (num.size() == 2) {
+          return Status::ParseError("malformed hex literal at line ", t.line);
+        }
+      } else {
+        while (!s.AtEnd() && IsDigit(s.Peek())) num += s.Advance();
+        if (s.Peek() == '.' && IsDigit(s.Peek(1))) {
+          is_float = true;
+          num += s.Advance();
+          while (!s.AtEnd() && IsDigit(s.Peek())) num += s.Advance();
+        }
+      }
+      if (is_float) {
+        t.kind = TokenKind::kFloatLiteral;
+        t.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoull(num.c_str(), nullptr, is_hex ? 16 : 10);
+      }
+      t.text = std::move(num);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      Token t = s.StartToken(TokenKind::kStringLiteral);
+      s.Advance();  // opening quote
+      std::string str;
+      bool closed = false;
+      while (!s.AtEnd()) {
+        char d = s.Advance();
+        if (d == '\'') {
+          closed = true;
+          break;
+        }
+        str += d;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line ",
+                                  t.line);
+      }
+      t.text = std::move(str);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    Token t = s.StartToken(TokenKind::kEof);
+    auto emit1 = [&](TokenKind k) {
+      t.kind = k;
+      t.text = std::string(1, s.Advance());
+      tokens.push_back(t);
+    };
+    auto emit2 = [&](TokenKind k) {
+      t.kind = k;
+      t.text += s.Advance();
+      t.text += s.Advance();
+      tokens.push_back(t);
+    };
+    switch (c) {
+      case ',': emit1(TokenKind::kComma); break;
+      case '.': emit1(TokenKind::kDot); break;
+      case '(': emit1(TokenKind::kLParen); break;
+      case ')': emit1(TokenKind::kRParen); break;
+      case '*': emit1(TokenKind::kStar); break;
+      case '+': emit1(TokenKind::kPlus); break;
+      case '-': emit1(TokenKind::kMinus); break;
+      case '/': emit1(TokenKind::kSlash); break;
+      case '%': emit1(TokenKind::kPercent); break;
+      case '&': emit1(TokenKind::kAmp); break;
+      case '|': emit1(TokenKind::kPipe); break;
+      case '^': emit1(TokenKind::kCaret); break;
+      case '~': emit1(TokenKind::kTilde); break;
+      case '=': emit1(TokenKind::kEq); break;
+      case '<':
+        if (s.Peek(1) == '=') {
+          emit2(TokenKind::kLe);
+        } else if (s.Peek(1) == '>') {
+          emit2(TokenKind::kNe);
+        } else if (s.Peek(1) == '<') {
+          emit2(TokenKind::kShiftLeft);
+        } else {
+          emit1(TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (s.Peek(1) == '=') {
+          emit2(TokenKind::kGe);
+        } else if (s.Peek(1) == '>') {
+          emit2(TokenKind::kShiftRight);
+        } else {
+          emit1(TokenKind::kGt);
+        }
+        break;
+      case '!':
+        if (s.Peek(1) == '=') {
+          emit2(TokenKind::kNe);
+        } else {
+          return Status::ParseError("unexpected character '!' at line ", s.line);
+        }
+        break;
+      case ';':
+        s.Advance();  // statement terminator: ignored
+        break;
+      default:
+        return Status::ParseError("unexpected character '", std::string(1, c),
+                                  "' at line ", s.line);
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = text.size();
+  eof.line = s.line;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace streampart

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file lexer.h
+/// \brief Lexer for the GSQL subset.
+///
+/// Keywords are case-insensitive. Identifiers preserve case (column names
+/// like srcIP are case-sensitive). Integer literals accept decimal and 0x
+/// hexadecimal. Dotted-quad IPv4 literals (10.1.2.3) lex as kIpLiteral.
+/// Comments: `--` to end of line.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace streampart {
+
+/// \brief Lexes \p text into a token stream terminated by kEof.
+Result<std::vector<Token>> LexGsql(const std::string& text);
+
+/// \brief True if \p word (any case) is a reserved GSQL keyword.
+bool IsGsqlKeyword(const std::string& word);
+
+}  // namespace streampart

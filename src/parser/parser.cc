@@ -1,0 +1,455 @@
+#include "parser/parser.h"
+
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace streampart {
+
+// ---------------------------------------------------------------------------
+// AST rendering
+// ---------------------------------------------------------------------------
+
+std::string SelectItem::OutputName(size_t position) const {
+  if (!alias.empty()) return alias;
+  if (expr && expr->is_column()) return expr->column_name();
+  return "_col" + std::to_string(position);
+}
+
+std::string SelectItem::ToString() const {
+  std::string out = expr ? expr->ToString() : "?";
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+const char* JoinTypeToString(JoinType type) {
+  switch (type) {
+    case JoinType::kInner: return "JOIN";
+    case JoinType::kLeftOuter: return "LEFT OUTER JOIN";
+    case JoinType::kRightOuter: return "RIGHT OUTER JOIN";
+    case JoinType::kFullOuter: return "FULL OUTER JOIN";
+  }
+  return "JOIN";
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select_list[i].ToString();
+  }
+  out += " FROM " + from[0].stream;
+  if (!from[0].alias.empty()) out += " AS " + from[0].alias;
+  if (from.size() == 2) {
+    out += std::string(" ") + JoinTypeToString(join_type) + " " +
+           from[1].stream;
+    if (!from[1].alias.empty()) out += " AS " + from[1].alias;
+    if (on) out += " ON " + on->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i].ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseStatement() {
+    SP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    ParsedQuery q;
+    SP_ASSIGN_OR_RETURN(q.select_list, ParseItemList());
+    SP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    SP_RETURN_NOT_OK(ParseFromClause(&q));
+    if (AcceptKeyword("WHERE")) {
+      SP_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      SP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      SP_ASSIGN_OR_RETURN(q.group_by, ParseItemList());
+    }
+    if (AcceptKeyword("HAVING")) {
+      SP_ASSIGN_OR_RETURN(q.having, ParseExpr());
+    }
+    if (!Peek().is(TokenKind::kEof)) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseBareExpression() {
+    SP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!Peek().is(TokenKind::kEof)) {
+      return ErrorHere("unexpected trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(TokenKind k) {
+    if (Peek().is(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected ", kw, ", found ",
+                                Peek().Describe(), " at line ", Peek().line);
+    }
+    return Status::OK();
+  }
+  Status Expect(TokenKind k, const char* what) {
+    if (!Accept(k)) {
+      return Status::ParseError("expected ", what, ", found ",
+                                Peek().Describe(), " at line ", Peek().line);
+    }
+    return Status::OK();
+  }
+  Status ErrorHere(const std::string& msg) const {
+    return Status::ParseError(msg, ": found ", Peek().Describe(), " at line ",
+                              Peek().line);
+  }
+
+  Result<std::vector<SelectItem>> ParseItemList() {
+    std::vector<SelectItem> items;
+    do {
+      SelectItem item;
+      SP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        if (!Peek().is(TokenKind::kIdentifier)) {
+          return ErrorHere("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().is(TokenKind::kIdentifier)) {
+        // Bare alias ("time/60 tb") — only when not followed by '.' (which
+        // would make it a qualified column of the next item).
+        item.alias = Advance().text;
+      }
+      items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+    return items;
+  }
+
+  Status ParseFromClause(ParsedQuery* q) {
+    SP_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    q->from.push_back(std::move(first));
+    // Comma-style join: FROM a S1, b S2.
+    if (Accept(TokenKind::kComma)) {
+      SP_ASSIGN_OR_RETURN(TableRef second, ParseTableRef());
+      q->from.push_back(std::move(second));
+      q->join_type = JoinType::kInner;
+      return Status::OK();
+    }
+    // Explicit JOIN syntax.
+    JoinType type = JoinType::kInner;
+    bool has_join = false;
+    if (AcceptKeyword("INNER")) {
+      SP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      has_join = true;
+    } else if (AcceptKeyword("LEFT")) {
+      AcceptKeyword("OUTER");
+      SP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      type = JoinType::kLeftOuter;
+      has_join = true;
+    } else if (AcceptKeyword("RIGHT")) {
+      AcceptKeyword("OUTER");
+      SP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      type = JoinType::kRightOuter;
+      has_join = true;
+    } else if (AcceptKeyword("FULL")) {
+      AcceptKeyword("OUTER");
+      SP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      type = JoinType::kFullOuter;
+      has_join = true;
+    } else if (AcceptKeyword("JOIN")) {
+      has_join = true;
+    }
+    if (has_join) {
+      SP_ASSIGN_OR_RETURN(TableRef second, ParseTableRef());
+      q->from.push_back(std::move(second));
+      q->join_type = type;
+      if (AcceptKeyword("ON")) {
+        SP_ASSIGN_OR_RETURN(q->on, ParseExpr());
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (!Peek().is(TokenKind::kIdentifier)) {
+      return ErrorHere("expected stream name");
+    }
+    TableRef ref;
+    ref.stream = Advance().text;
+    if (AcceptKeyword("AS")) {
+      if (!Peek().is(TokenKind::kIdentifier)) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().is(TokenKind::kIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // ---- Expression grammar, precedence climbing ------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      SP_ASSIGN_OR_RETURN(ExprPtr sub, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(sub));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitOr());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Accept(TokenKind::kNe)) {
+        op = BinaryOp::kNe;
+      } else if (Accept(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Accept(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else if (Accept(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Accept(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else {
+        break;
+      }
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitOr());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitXor());
+    while (Accept(TokenKind::kPipe)) {
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitXor());
+      lhs = Expr::Binary(BinaryOp::kBitOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitXor() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitAnd());
+    while (Accept(TokenKind::kCaret)) {
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitAnd());
+      lhs = Expr::Binary(BinaryOp::kBitXor, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitAnd() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseShift());
+    while (Accept(TokenKind::kAmp)) {
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseShift());
+      lhs = Expr::Binary(BinaryOp::kBitAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseShift() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kShiftLeft)) {
+        op = BinaryOp::kShiftLeft;
+      } else if (Accept(TokenKind::kShiftRight)) {
+        op = BinaryOp::kShiftRight;
+      } else {
+        break;
+      }
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Accept(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        break;
+      }
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Accept(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Accept(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      SP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      SP_ASSIGN_OR_RETURN(ExprPtr sub, ParseUnary());
+      return Expr::Unary(UnaryOp::kNegate, std::move(sub));
+    }
+    if (Accept(TokenKind::kTilde)) {
+      SP_ASSIGN_OR_RETURN(ExprPtr sub, ParseUnary());
+      return Expr::Unary(UnaryOp::kBitNot, std::move(sub));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return ExprPtr(UintLit(t.int_value));
+      case TokenKind::kFloatLiteral:
+        Advance();
+        return ExprPtr(Expr::Literal(Value::Double(t.float_value)));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return ExprPtr(Expr::Literal(Value::String(t.text)));
+      case TokenKind::kIpLiteral:
+        Advance();
+        return ExprPtr(
+            Expr::Literal(Value::Ip(static_cast<uint32_t>(t.int_value))));
+      case TokenKind::kKeyword:
+        if (t.text == "TRUE") {
+          Advance();
+          return ExprPtr(Expr::Literal(Value::Bool(true)));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return ExprPtr(Expr::Literal(Value::Bool(false)));
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return ExprPtr(Expr::Literal(Value::Null()));
+        }
+        return ErrorHere("unexpected keyword in expression");
+      case TokenKind::kLParen: {
+        Advance();
+        SP_ASSIGN_OR_RETURN(ExprPtr sub, ParseExpr());
+        SP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return sub;
+      }
+      case TokenKind::kIdentifier: {
+        std::string first = Advance().text;
+        // Function call: name(args) or name(*).
+        if (Peek().is(TokenKind::kLParen)) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Accept(TokenKind::kStar)) {
+            // COUNT(*) style.
+          } else if (!Peek().is(TokenKind::kRParen)) {
+            do {
+              SP_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+              args.push_back(std::move(a));
+            } while (Accept(TokenKind::kComma));
+          }
+          SP_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          return ExprPtr(Expr::Call(ToLower(first), std::move(args)));
+        }
+        // Qualified column: alias.column.
+        if (Peek().is(TokenKind::kDot)) {
+          Advance();
+          if (!Peek().is(TokenKind::kIdentifier)) {
+            return ErrorHere("expected column name after '.'");
+          }
+          std::string col = Advance().text;
+          return ExprPtr(Expr::Column(first, std::move(col)));
+        }
+        return ExprPtr(Expr::Column(std::move(first)));
+      }
+      default:
+        return ErrorHere("unexpected token in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& gsql) {
+  SP_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexGsql(gsql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SP_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexGsql(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareExpression();
+}
+
+}  // namespace streampart

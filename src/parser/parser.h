@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file parser.h
+/// \brief Recursive-descent parser for the GSQL subset.
+///
+/// Grammar (keywords case-insensitive):
+///
+///   query      := SELECT select_list FROM from_clause
+///                 [WHERE expr] [GROUP BY item_list] [HAVING expr]
+///   from_clause:= table_ref [join_tail | ',' table_ref]
+///   join_tail  := [INNER | {LEFT|RIGHT|FULL} [OUTER]] JOIN table_ref
+///                 [ON expr]
+///   table_ref  := identifier [[AS] identifier]
+///   item_list  := item (',' item)*
+///   item       := expr [[AS] identifier]
+///
+/// Expression precedence, loosest to tightest:
+///   OR < AND < NOT < comparison (= <> != < <= > >=) < '|' < '^' < '&'
+///      < shifts (<< >>) < additive (+ -) < multiplicative (* / %)
+///      < unary (- ~) < primary
+///
+/// Note that unlike C, bitwise operators bind tighter than comparisons, so
+/// `flags & 0x2 = 0x2` parses as `(flags & 0x2) = 0x2` (matching GSQL).
+
+#include <string>
+
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace streampart {
+
+/// \brief Parses one GSQL statement. A trailing semicolon is permitted.
+Result<ParsedQuery> ParseQuery(const std::string& gsql);
+
+/// \brief Parses a standalone scalar expression (used for partitioning-set
+/// specs such as "srcIP & 0xFFF0").
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace streampart

@@ -1,0 +1,113 @@
+#include "parser/stream_def.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace streampart {
+
+namespace {
+
+Result<DataType> TypeFromWord(const std::string& word) {
+  std::string lower = ToLower(word);
+  if (lower == "uint" || lower == "ullong" || lower == "ulong") {
+    return DataType::kUint;
+  }
+  if (lower == "int" || lower == "llong") return DataType::kInt;
+  if (lower == "double" || lower == "float") return DataType::kDouble;
+  if (lower == "bool") return DataType::kBool;
+  if (lower == "string" || lower == "v_str") return DataType::kString;
+  if (lower == "ip" || lower == "ipv4") return DataType::kIp;
+  return Status::ParseError("unknown type '", word, "'");
+}
+
+bool IsTypeWord(const std::string& word) {
+  return TypeFromWord(word).ok();
+}
+
+}  // namespace
+
+Result<StreamDef> ParseStreamDef(const std::string& text) {
+  SP_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexGsql(text));
+  size_t pos = 0;
+  auto peek = [&]() -> const Token& { return tokens[pos]; };
+  auto advance = [&]() -> const Token& {
+    return tokens[pos < tokens.size() - 1 ? pos++ : pos];
+  };
+  auto accept_word = [&](const char* word) {
+    if (peek().is(TokenKind::kIdentifier) &&
+        EqualsIgnoreCase(peek().text, word)) {
+      advance();
+      return true;
+    }
+    return false;
+  };
+
+  // Both `CREATE STREAM name (...)` and the paper's bare `name (...)`
+  // notation are accepted.
+  accept_word("create");
+  accept_word("stream");
+  if (!peek().is(TokenKind::kIdentifier)) {
+    return Status::ParseError("expected stream name, found ",
+                              peek().Describe());
+  }
+  StreamDef def;
+  def.name = advance().text;
+  if (!peek().is(TokenKind::kLParen)) {
+    return Status::ParseError("expected '(' after stream name");
+  }
+  advance();
+
+  std::vector<Field> fields;
+  std::set<std::string> names;
+  while (true) {
+    if (!peek().is(TokenKind::kIdentifier)) {
+      return Status::ParseError("expected field name, found ",
+                                peek().Describe());
+    }
+    Field field;
+    field.name = advance().text;
+    if (!names.insert(field.name).second) {
+      return Status::ParseError("duplicate field '", field.name, "'");
+    }
+    field.type = DataType::kUint;
+    field.order = TemporalOrder::kNone;
+    // Optional type word, then optional ordering word (in either order the
+    // paper writes them: "time increasing" or "time uint increasing").
+    if (peek().is(TokenKind::kIdentifier) && IsTypeWord(peek().text)) {
+      SP_ASSIGN_OR_RETURN(field.type, TypeFromWord(advance().text));
+    }
+    if (peek().is(TokenKind::kIdentifier)) {
+      if (EqualsIgnoreCase(peek().text, "increasing")) {
+        field.order = TemporalOrder::kIncreasing;
+        advance();
+      } else if (EqualsIgnoreCase(peek().text, "decreasing")) {
+        field.order = TemporalOrder::kDecreasing;
+        advance();
+      }
+    }
+    fields.push_back(std::move(field));
+    if (peek().is(TokenKind::kComma)) {
+      advance();
+      continue;
+    }
+    break;
+  }
+  if (!peek().is(TokenKind::kRParen)) {
+    return Status::ParseError("expected ')' or ',', found ",
+                              peek().Describe());
+  }
+  advance();
+  if (!peek().is(TokenKind::kEof)) {
+    return Status::ParseError("unexpected trailing input: ",
+                              peek().Describe());
+  }
+  if (fields.empty()) {
+    return Status::ParseError("stream needs at least one field");
+  }
+  def.schema = Schema::Make(std::move(fields));
+  return def;
+}
+
+}  // namespace streampart

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file stream_def.h
+/// \brief DDL for source streams: the paper's schema notation
+/// `PKT(time increasing, srcIP, destIP, len)` (§3.1), extended with types.
+///
+/// Grammar:
+///   stream_def := [CREATE] [STREAM] name '(' field (',' field)* ')'
+///   field      := name [type] [INCREASING | DECREASING]
+///   type       := UINT | INT | DOUBLE | BOOL | STRING | IP
+/// A field without a type defaults to UINT, matching the paper's examples.
+
+#include <string>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace streampart {
+
+/// \brief A parsed stream definition.
+struct StreamDef {
+  std::string name;
+  SchemaPtr schema;
+};
+
+/// \brief Parses one stream definition.
+Result<StreamDef> ParseStreamDef(const std::string& text);
+
+}  // namespace streampart

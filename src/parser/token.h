@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file token.h
+/// \brief Lexical tokens of the GSQL subset.
+
+#include <cstdint>
+#include <string>
+
+namespace streampart {
+
+/// \brief Token categories produced by the lexer.
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdentifier,   // srcIP, flows, S1 (case-preserving)
+  kKeyword,      // SELECT, FROM, ... (normalized to upper case in text)
+  kIntLiteral,   // 42, 0xFFF0
+  kFloatLiteral, // 1.5
+  kStringLiteral,// 'abc' (quotes stripped)
+  kIpLiteral,    // 10.0.0.1 (host-order uint32 in int_value)
+  // Punctuation / operators:
+  kComma, kDot, kLParen, kRParen, kStar, kPlus, kMinus, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kShiftLeft, kShiftRight,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+/// \brief One lexed token with source position for error reporting.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier/keyword/string spelling
+  uint64_t int_value = 0; // for kIntLiteral / kIpLiteral
+  double float_value = 0; // for kFloatLiteral
+  size_t offset = 0;      // byte offset in the query text
+  size_t line = 1;
+  size_t column = 1;
+
+  bool is(TokenKind k) const { return kind == k; }
+  /// \brief True when this token is the given (upper-case) keyword.
+  bool IsKeyword(const char* kw) const;
+
+  std::string Describe() const;
+};
+
+}  // namespace streampart

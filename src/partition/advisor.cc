@@ -1,0 +1,98 @@
+#include "partition/advisor.h"
+
+#include <cstdio>
+
+namespace streampart {
+
+std::string WorkloadAdvice::ToString() const {
+  std::string out;
+  char buf[160];
+  out += "=== Workload partitioning advice ===\n";
+  std::snprintf(buf, sizeof(buf),
+                "baseline (query-independent) cost: %.3g bytes/epoch\n",
+                baseline_cost_bytes);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "optimal set: %s  (cost %.3g, %zu candidates)\n",
+                optimal.ToString().c_str(), optimal_cost_bytes,
+                candidates_explored);
+  out += buf;
+  if (hardware_restricted) {
+    std::snprintf(buf, sizeof(buf),
+                  "hardware-restricted recommendation: %s  (cost %.3g)\n",
+                  recommended.ToString().c_str(), recommended_cost_bytes);
+    out += buf;
+  } else {
+    out += "recommendation: the optimal set is realizable as-is\n";
+  }
+  out += "per-query:\n";
+  for (const QueryAdvice& q : queries) {
+    std::snprintf(buf, sizeof(buf), "  %-20s %-10s prefers %-30s %s\n",
+                  q.query.c_str(), QueryKindToString(q.kind),
+                  q.preferred_set.empty() ? "(any)" : q.preferred_set.c_str(),
+                  q.compatible_with_recommendation ? "[compatible]"
+                                                   : "[INCOMPATIBLE]");
+    out += buf;
+  }
+  return out;
+}
+
+Result<WorkloadAdvice> AdviseWorkload(const QueryGraph& graph,
+                                      const AdvisorOptions& options) {
+  WorkloadAdvice advice;
+  SP_ASSIGN_OR_RETURN(CostModel model, CostModel::Make(&graph, options.cost));
+  if (options.calibration_sample != nullptr) {
+    SP_RETURN_NOT_OK(model.CalibrateFromTrace(options.calibration_source,
+                                              *options.calibration_sample));
+  }
+
+  PartitionSearch search(&graph, &model);
+  SP_ASSIGN_OR_RETURN(SearchResult found, search.FindOptimal());
+  advice.optimal = found.best;
+  advice.optimal_cost_bytes = found.best_cost_bytes;
+  advice.baseline_cost_bytes = found.baseline_cost_bytes;
+  advice.candidates_explored = found.candidates_explored;
+
+  advice.recommended = advice.optimal;
+  advice.recommended_cost_bytes = advice.optimal_cost_bytes;
+  if (options.hardware.has_value() &&
+      !options.hardware->Supports(advice.optimal)) {
+    advice.hardware_restricted = true;
+    PartitionSet restricted = options.hardware->Restrict(advice.optimal);
+    // Candidates: the restricted optimum plus the realizable restriction of
+    // each query's own set (a restriction is a subset, so it stays
+    // compatible with that query).
+    std::vector<PartitionSet> candidates;
+    if (!restricted.empty()) candidates.push_back(restricted);
+    for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+      SP_ASSIGN_OR_RETURN(auto inferred, InferNodePartitionSet(graph, node));
+      if (!inferred.has_value() || inferred->empty()) continue;
+      PartitionSet r = options.hardware->Restrict(*inferred);
+      if (!r.empty()) candidates.push_back(std::move(r));
+    }
+    if (!candidates.empty()) {
+      SP_ASSIGN_OR_RETURN(advice.recommended,
+                          search.ChooseBestAmong(candidates));
+      SP_ASSIGN_OR_RETURN(PlanCost cost, model.Cost(advice.recommended));
+      advice.recommended_cost_bytes = cost.max_cost_bytes;
+    } else {
+      advice.recommended = PartitionSet();
+      advice.recommended_cost_bytes = advice.baseline_cost_bytes;
+    }
+  }
+
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    QueryAdvice qa;
+    qa.query = node->name;
+    qa.kind = node->kind;
+    SP_ASSIGN_OR_RETURN(auto inferred, InferNodePartitionSet(graph, node));
+    if (inferred.has_value()) qa.preferred_set = inferred->ToString();
+    SP_ASSIGN_OR_RETURN(NodePartitionProfile profile,
+                        ComputeNodeProfile(graph, node));
+    qa.compatible_with_recommendation =
+        IsNodeCompatible(profile, advice.recommended);
+    advice.queries.push_back(std::move(qa));
+  }
+  return advice;
+}
+
+}  // namespace streampart

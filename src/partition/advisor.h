@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file advisor.h
+/// \brief One-call workload analysis: the operator-facing facade over the
+/// analysis framework.
+///
+/// Given a registered query set (and optionally the splitter hardware's
+/// capability and measured/assumed selectivities), the advisor answers the
+/// questions of paper §3.2's walkthrough in one report:
+///   1. which partitioning each query prefers,
+///   2. the reconciled globally optimal set and its cost,
+///   3. the best set the hardware can realize,
+///   4. which queries each candidate leaves incompatible.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "partition/hardware.h"
+#include "partition/search.h"
+
+namespace streampart {
+
+/// \brief Per-query line of the advisor report.
+struct QueryAdvice {
+  std::string query;
+  QueryKind kind = QueryKind::kSelectProject;
+  /// The query's own inferred compatible set; empty string for
+  /// always-compatible nodes.
+  std::string preferred_set;
+  /// Compatible with the recommended set?
+  bool compatible_with_recommendation = false;
+};
+
+/// \brief Full advisor output.
+struct WorkloadAdvice {
+  /// The analytic optimum of §4.2.2.
+  PartitionSet optimal;
+  double optimal_cost_bytes = 0;
+  double baseline_cost_bytes = 0;
+  /// The recommendation after applying the hardware capability (equals
+  /// `optimal` when no capability was given or the optimum is realizable).
+  PartitionSet recommended;
+  double recommended_cost_bytes = 0;
+  bool hardware_restricted = false;
+  std::vector<QueryAdvice> queries;
+  size_t candidates_explored = 0;
+
+  /// \brief Human-readable multi-line report.
+  std::string ToString() const;
+};
+
+/// \brief Advisor knobs.
+struct AdvisorOptions {
+  CostModel::Options cost;
+  /// Optional splitter capability; unrestricted when absent.
+  std::optional<HardwareCapability> hardware;
+  /// Optional trace sample for selectivity calibration (source name +
+  /// tuples). When absent, default selectivities apply.
+  const TupleBatch* calibration_sample = nullptr;
+  std::string calibration_source = "TCP";
+};
+
+/// \brief Runs the full analysis over \p graph.
+Result<WorkloadAdvice> AdviseWorkload(const QueryGraph& graph,
+                                      const AdvisorOptions& options);
+
+}  // namespace streampart

@@ -1,0 +1,117 @@
+#include "partition/compatibility.h"
+
+#include "plan/lineage.h"
+
+namespace streampart {
+
+namespace {
+
+/// True when \p base names a temporal attribute of the node's source stream.
+bool IsTemporalSourceColumn(const QueryGraph& graph,
+                            const QueryNodePtr& node,
+                            const std::string& base) {
+  auto schema = graph.GetStreamSchema(node->source_stream);
+  if (!schema.ok()) return false;
+  auto idx = (*schema)->FieldIndex(base);
+  return idx.has_value() && (*schema)->field(*idx).is_temporal();
+}
+
+/// Analyzes a source-level lineage expression into a canonical scalar,
+/// skipping nulls, multi-attribute expressions, and temporal attributes.
+std::optional<AnalyzedScalar> AnalyzeAnchor(const QueryGraph& graph,
+                                            const QueryNodePtr& node,
+                                            const ExprPtr& source_expr) {
+  if (source_expr == nullptr) return std::nullopt;
+  auto analyzed = AnalyzeScalarExpr(source_expr);
+  if (!analyzed.ok()) return std::nullopt;
+  if (IsTemporalSourceColumn(graph, node, analyzed->base_column)) {
+    return std::nullopt;  // §3.5.1: temporal attributes are excluded.
+  }
+  return *analyzed;
+}
+
+}  // namespace
+
+Result<NodePartitionProfile> ComputeNodeProfile(const QueryGraph& graph,
+                                                const QueryNodePtr& node) {
+  NodePartitionProfile profile;
+  switch (node->kind) {
+    case QueryKind::kSelectProject:
+      profile.always_compatible = true;
+      return profile;
+
+    case QueryKind::kAggregate: {
+      for (const NamedExpr& key : node->group_by) {
+        ExprPtr src = NodeExprToSource(graph, *node, key.expr);
+        auto anchor = AnalyzeAnchor(graph, node, src);
+        if (anchor.has_value()) {
+          profile.anchors.push_back({*anchor, /*exact_form=*/false});
+        }
+      }
+      return profile;
+    }
+
+    case QueryKind::kJoin: {
+      for (const EquiPred& pred : node->equi_preds) {
+        if (pred.temporal) continue;
+        auto left = AnalyzeAnchor(graph, node, pred.left_src);
+        auto right = AnalyzeAnchor(graph, node, pred.right_src);
+        if (!left.has_value() || !right.has_value()) continue;
+        // Conservative sufficiency: the two sides must compute the *same*
+        // source-level function, so equal key values imply equal partition
+        // routing (see header).
+        if (left->base_column != right->base_column ||
+            !left->form.Equals(right->form)) {
+          continue;
+        }
+        profile.anchors.push_back({*left, /*exact_form=*/true});
+      }
+      return profile;
+    }
+  }
+  return Status::Internal("unknown node kind in ComputeNodeProfile");
+}
+
+bool IsNodeCompatible(const NodePartitionProfile& profile,
+                      const PartitionSet& ps) {
+  if (ps.empty()) return false;
+  if (profile.always_compatible) return true;
+  for (const auto& [base, form] : ps.entries()) {
+    bool anchored = false;
+    for (const NodePartitionProfile::Anchor& anchor : profile.anchors) {
+      if (anchor.scalar.base_column != base) continue;
+      bool fits = anchor.exact_form ? form.Equals(anchor.scalar.form)
+                                    : IsFunctionOf(form, anchor.scalar.form);
+      if (fits) {
+        anchored = true;
+        break;
+      }
+    }
+    if (!anchored) return false;
+  }
+  return true;
+}
+
+Result<std::optional<PartitionSet>> InferNodePartitionSet(
+    const QueryGraph& graph, const QueryNodePtr& node) {
+  SP_ASSIGN_OR_RETURN(NodePartitionProfile profile,
+                      ComputeNodeProfile(graph, node));
+  if (profile.always_compatible) return std::optional<PartitionSet>();
+  std::vector<AnalyzedScalar> scalars;
+  scalars.reserve(profile.anchors.size());
+  for (const auto& anchor : profile.anchors) scalars.push_back(anchor.scalar);
+  return std::optional<PartitionSet>(PartitionSet::FromScalars(scalars));
+}
+
+Result<std::map<std::string, NodePartitionProfile>> ProfileGraph(
+    const QueryGraph& graph) {
+  std::map<std::string, NodePartitionProfile> out;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    SP_ASSIGN_OR_RETURN(NodePartitionProfile profile,
+                        ComputeNodeProfile(graph, node));
+    out.emplace(node->name, std::move(profile));
+  }
+  return out;
+}
+
+}  // namespace streampart

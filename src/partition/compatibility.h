@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file compatibility.h
+/// \brief Partition-compatibility inference for query nodes (paper §3.4-3.5).
+///
+/// Definition (§3.4): partitioning set P is compatible with query Q iff for
+/// every time window, output(Q) equals the stream union of Q run on each
+/// partition of P. Operationally:
+///
+///  * selection/projection/union: compatible with every partitioning (§3.5).
+///  * aggregation (§3.5.2): every entry of P must be a function of some
+///    group-by expression of Q, traced through lineage to source attributes.
+///  * two-way equijoin (§3.5.3): every entry of P must exactly match the
+///    source-level form of some equality predicate whose two sides trace to
+///    the *same* source-level expression (so matching tuples provably land in
+///    the same partition). Following the paper, only subsets of the
+///    predicate expressions themselves are admitted — coarsenings of a join
+///    key, though safe, are deliberately not exploited, which is what allows
+///    a partitioning to be "compatible only with the aggregation query"
+///    (§6.2).
+///
+/// Temporal attributes are excluded from inferred sets (§3.5.1): partitioning
+/// on time reassigns groups every epoch and breaks pane-based evaluation.
+
+#include <optional>
+
+#include "partition/partition_set.h"
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+/// \brief The group-by / join-key structure of a node reduced to source-level
+/// canonical scalars; the basis of both inference and the compatibility test.
+struct NodePartitionProfile {
+  struct Anchor {
+    AnalyzedScalar scalar;
+    /// Join anchors require an exact form match (paper §3.5.3 admits only
+    /// subsets of the predicate expressions themselves); aggregation anchors
+    /// admit any coarsening (any function of a group-by expression).
+    bool exact_form = false;
+  };
+  /// Source-level forms a partition expression may anchor to. For
+  /// aggregations: the non-temporal group-by keys with scalar lineage. For
+  /// joins: the non-temporal equi-keys whose sides agree at source level.
+  std::vector<Anchor> anchors;
+  /// True for selection/projection nodes: compatible with any partitioning.
+  bool always_compatible = false;
+};
+
+/// \brief Computes the profile of \p node within \p graph.
+Result<NodePartitionProfile> ComputeNodeProfile(const QueryGraph& graph,
+                                                const QueryNodePtr& node);
+
+/// \brief True iff non-empty \p ps is compatible with \p node (paper §3.4).
+/// Empty sets are compatible with nothing (no partitioning to exploit).
+bool IsNodeCompatible(const NodePartitionProfile& profile,
+                      const PartitionSet& ps);
+
+/// \brief The node's own preferred (largest inferred) compatible partitioning
+/// set — PS(Qi) of §4.2.2 step 1. nullopt for always-compatible nodes (they
+/// impose no constraint and generate no candidate). May be empty when an
+/// aggregation/join has no usable anchor.
+Result<std::optional<PartitionSet>> InferNodePartitionSet(
+    const QueryGraph& graph, const QueryNodePtr& node);
+
+/// \brief Profiles every node of the graph once (keyed by query name).
+Result<std::map<std::string, NodePartitionProfile>> ProfileGraph(
+    const QueryGraph& graph);
+
+}  // namespace streampart

@@ -1,0 +1,123 @@
+#include "partition/cost_model.h"
+
+#include <set>
+
+#include "exec/local_engine.h"
+
+namespace streampart {
+
+Result<CostModel> CostModel::Make(const QueryGraph* graph, Options options) {
+  SP_ASSIGN_OR_RETURN(auto profiles, ProfileGraph(*graph));
+  return CostModel(graph, options, std::move(profiles));
+}
+
+void CostModel::SetSelectivity(const std::string& query, double selectivity) {
+  selectivity_[query] = selectivity;
+}
+
+Status CostModel::CalibrateFromTrace(const std::string& source,
+                                     const TupleBatch& sample) {
+  LocalEngine::Options eopts;
+  eopts.collect_all = true;
+  LocalEngine engine(graph_, eopts);
+  SP_RETURN_NOT_OK(engine.Build());
+  for (const Tuple& t : sample) engine.PushSource(source, t);
+  engine.FinishSources();
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    SP_ASSIGN_OR_RETURN(OpStats stats, engine.StatsFor(node->name));
+    if (stats.tuples_in > 0) {
+      selectivity_[node->name] =
+          static_cast<double>(stats.tuples_out) /
+          static_cast<double>(stats.tuples_in);
+    }
+  }
+  return Status::OK();
+}
+
+double CostModel::SelectivityOf(const QueryNodePtr& node) const {
+  auto it = selectivity_.find(node->name);
+  if (it != selectivity_.end()) return it->second;
+  return node->kind == QueryKind::kAggregate
+             ? options_.default_aggregate_selectivity
+             : options_.default_other_selectivity;
+}
+
+Result<PlanCost> CostModel::Cost(const PartitionSet& ps) const {
+  PlanCost plan;
+  // Pass 1, bottom-up: rates, compatibility, effective locality.
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    NodeCost nc;
+    const NodePartitionProfile& profile = profiles_.at(node->name);
+    nc.compatible = IsNodeCompatible(profile, ps);
+
+    bool children_local = true;
+    for (const std::string& in : node->inputs) {
+      if (graph_->IsSource(in)) {
+        SP_ASSIGN_OR_RETURN(SchemaPtr schema, graph_->GetStreamSchema(in));
+        nc.input_tuples += options_.source_tuples_per_epoch;
+        nc.input_bytes += options_.source_tuples_per_epoch *
+                          static_cast<double>(schema->WireTupleSize());
+        // Source streams are partitioned by construction (they arrive split
+        // by the capture hardware), so they never break locality.
+        continue;
+      }
+      auto it = plan.per_node.find(in);
+      if (it == plan.per_node.end()) {
+        return Status::Internal("cost pass visited '", node->name,
+                                "' before its input '", in, "'");
+      }
+      nc.input_tuples += it->second.output_tuples;
+      nc.input_bytes += it->second.output_bytes;
+      children_local = children_local && it->second.effectively_local;
+    }
+    nc.effectively_local = nc.compatible && children_local;
+
+    double sel = SelectivityOf(node);
+    nc.output_tuples = nc.input_tuples * sel;
+    nc.output_bytes =
+        nc.output_tuples *
+        static_cast<double>(node->output_schema->WireTupleSize());
+    plan.per_node.emplace(node->name, nc);
+  }
+
+  // Pass 2: network cost per node under the selected variant.
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    NodeCost& nc = plan.per_node.at(node->name);
+    if (options_.variant == CostModelVariant::kLiteral) {
+      nc.cost_bytes = nc.compatible ? nc.output_bytes : nc.input_bytes;
+    } else {
+      if (nc.effectively_local) {
+        bool is_root = graph_->Parents(node->name).empty();
+        // Non-root local nodes feed a co-located (or remote-charging) parent;
+        // the root's final union lands on the aggregator.
+        nc.cost_bytes = is_root ? nc.output_bytes : 0;
+      } else {
+        // Runs at the aggregator: receives R per source child plus the
+        // output of every effectively-local child; centralized children are
+        // co-located and free. A self-join's repeated input ships once.
+        double received = 0;
+        std::set<std::string> seen;
+        for (const std::string& in : node->inputs) {
+          if (!seen.insert(in).second) continue;
+          if (graph_->IsSource(in)) {
+            SP_ASSIGN_OR_RETURN(SchemaPtr schema, graph_->GetStreamSchema(in));
+            received += options_.source_tuples_per_epoch *
+                        static_cast<double>(schema->WireTupleSize());
+          } else if (plan.per_node.at(in).effectively_local) {
+            received += plan.per_node.at(in).output_bytes;
+          }
+        }
+        nc.cost_bytes = received;
+      }
+    }
+    if (nc.cost_bytes >= plan.max_cost_bytes) {
+      if (nc.cost_bytes > plan.max_cost_bytes || plan.bottleneck.empty()) {
+        plan.max_cost_bytes = nc.cost_bytes;
+        plan.bottleneck = node->name;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace streampart

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file cost_model.h
+/// \brief The network-load cost model of paper §4.2.1.
+///
+/// cost(Qplan, PS) = max over query nodes of the data a single host receives
+/// over the network during one time epoch. Per node Qi the paper defines:
+///
+///   cost(Qi) = 0            if Qi processes only local data
+///            = input_rate   if Qi is incompatible with PS
+///            = output_rate  if Qi is compatible with PS
+///
+/// with output_rate(Qi) = (input_rate/in_tuple_size) * selectivity_factor *
+/// out_tuple_size and input_rate recursively R at the leaves.
+///
+/// Two variants are provided:
+///  * kLiteral — the formula exactly as printed above.
+///  * kRefined (default) — resolves the "only local data" clause by placement
+///    reasoning: a node is *effectively local* when it and its whole input
+///    chain are compatible (the optimizer pushes it onto the leaf hosts). An
+///    effectively-local non-root node costs 0 (its union is elided); an
+///    effectively-local root costs its output_rate (the final union at the
+///    aggregator); any other node runs at the aggregator and receives exactly
+///    the output of its effectively-local children plus R per source child.
+/// The ablation bench bench/ablation_cost_model contrasts the two.
+
+#include <map>
+#include <string>
+
+#include "partition/compatibility.h"
+#include "plan/query_graph.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+enum class CostModelVariant : uint8_t { kRefined, kLiteral };
+
+/// \brief Per-node outcome of a cost evaluation.
+struct NodeCost {
+  bool compatible = false;
+  /// Whole input chain compatible — node runs on the leaf hosts.
+  bool effectively_local = false;
+  double input_tuples = 0;   // tuples/epoch entering the node
+  double output_tuples = 0;  // tuples/epoch leaving the node
+  double input_bytes = 0;
+  double output_bytes = 0;
+  /// Bytes/epoch this node's host receives over the network.
+  double cost_bytes = 0;
+};
+
+/// \brief Result of costing one partitioning set against the query DAG.
+struct PlanCost {
+  /// max over nodes of cost_bytes — the objective of §4.2.1.
+  double max_cost_bytes = 0;
+  /// Node achieving the maximum.
+  std::string bottleneck;
+  std::map<std::string, NodeCost> per_node;
+};
+
+/// \brief Evaluates the §4.2.1 cost model over a query graph.
+class CostModel {
+ public:
+  struct Options {
+    /// R: source-stream tuples per time epoch.
+    double source_tuples_per_epoch = 1e6;
+    CostModelVariant variant = CostModelVariant::kRefined;
+    /// Fallback selectivity for aggregation nodes without an explicit or
+    /// calibrated estimate (output groups per input tuple).
+    double default_aggregate_selectivity = 0.1;
+    /// Fallback selectivity for join and selection nodes.
+    double default_other_selectivity = 1.0;
+  };
+
+  /// \param graph must outlive the model.
+  static Result<CostModel> Make(const QueryGraph* graph, Options options);
+
+  /// \brief Overrides the selectivity estimate of one query.
+  void SetSelectivity(const std::string& query, double selectivity);
+
+  /// \brief Derives selectivities by executing the graph centrally over a
+  /// trace sample and measuring per-operator tuples_out / tuples_in. This is
+  /// the "measured" path a deployment would use; tests use SetSelectivity.
+  Status CalibrateFromTrace(const std::string& source,
+                            const TupleBatch& sample);
+
+  /// \brief Costs the query plan under \p ps (empty = query-independent
+  /// partitioning: nothing is compatible).
+  Result<PlanCost> Cost(const PartitionSet& ps) const;
+
+  /// \brief Centralized / query-independent baseline: Cost of the empty set.
+  Result<PlanCost> BaselineCost() const { return Cost(PartitionSet()); }
+
+  const Options& options() const { return options_; }
+  const std::map<std::string, NodePartitionProfile>& profiles() const {
+    return profiles_;
+  }
+
+ private:
+  CostModel(const QueryGraph* graph, Options options,
+            std::map<std::string, NodePartitionProfile> profiles)
+      : graph_(graph),
+        options_(options),
+        profiles_(std::move(profiles)) {}
+
+  double SelectivityOf(const QueryNodePtr& node) const;
+
+  const QueryGraph* graph_;
+  Options options_;
+  std::map<std::string, NodePartitionProfile> profiles_;
+  std::map<std::string, double> selectivity_;
+};
+
+}  // namespace streampart

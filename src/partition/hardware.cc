@@ -1,0 +1,65 @@
+#include "partition/hardware.h"
+
+#include "common/strings.h"
+
+namespace streampart {
+
+HardwareCapability::HardwareCapability(std::set<std::string> columns,
+                                       std::set<ScalarFormKind> allowed_forms)
+    : columns_(std::move(columns)), allowed_forms_(std::move(allowed_forms)) {
+  allowed_forms_.insert(ScalarFormKind::kIdentity);
+}
+
+HardwareCapability HardwareCapability::TcpHeaderSplitter() {
+  return HardwareCapability(
+      {"srcIP", "destIP", "srcPort", "destPort", "protocol"},
+      {ScalarFormKind::kIdentity, ScalarFormKind::kMask,
+       ScalarFormKind::kShift});
+}
+
+bool HardwareCapability::Supports(const PartitionSet& ps) const {
+  if (ps.empty()) return true;  // round-robin is always available
+  for (const auto& [base, form] : ps.entries()) {
+    if (columns_.count(base) == 0) return false;
+    if (allowed_forms_.count(form.kind) == 0) return false;
+  }
+  return true;
+}
+
+PartitionSet HardwareCapability::Restrict(const PartitionSet& ps) const {
+  PartitionSet out;
+  for (const auto& [base, form] : ps.entries()) {
+    if (columns_.count(base) > 0 && allowed_forms_.count(form.kind) > 0) {
+      out.AddOrReconcile(base, form);
+    }
+  }
+  return out;
+}
+
+std::vector<PartitionSet> HardwareCapability::Admissible(
+    const std::vector<PartitionSet>& candidates) const {
+  std::vector<PartitionSet> out;
+  for (const PartitionSet& ps : candidates) {
+    if (Supports(ps)) out.push_back(ps);
+  }
+  return out;
+}
+
+std::string HardwareCapability::Describe() const {
+  std::vector<std::string> cols(columns_.begin(), columns_.end());
+  std::vector<std::string> forms;
+  for (ScalarFormKind kind : allowed_forms_) {
+    switch (kind) {
+      case ScalarFormKind::kIdentity: forms.push_back("identity"); break;
+      case ScalarFormKind::kDiv: forms.push_back("div"); break;
+      case ScalarFormKind::kMask: forms.push_back("mask"); break;
+      case ScalarFormKind::kShift: forms.push_back("shift"); break;
+      case ScalarFormKind::kMod: forms.push_back("mod"); break;
+      case ScalarFormKind::kOpaque: forms.push_back("opaque"); break;
+    }
+  }
+  return "splitter(columns: " + Join(cols, ", ") + "; forms: " +
+         Join(forms, ", ") + ")";
+}
+
+}  // namespace streampart

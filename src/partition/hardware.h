@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file hardware.h
+/// \brief Capability model of the line-speed splitter hardware.
+///
+/// Paper §1: the OC-768 splitter is built from FPGAs and TCAMs whose limited
+/// gate budget restricts the realizable partitionings — TCP-header fields
+/// can be hashed at line speed, simple masks are feasible, but anything
+/// requiring deeper inspection is not, and the scheme cannot be reconfigured
+/// per query workload. HardwareCapability captures which partitioning sets
+/// the deployed splitter can realize, so the optimizer can be pointed at the
+/// best *admissible* set (PartitionSearch::ChooseBestAmong) rather than the
+/// analytically optimal one.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "partition/partition_set.h"
+
+namespace streampart {
+
+/// \brief What the deployed splitter can compute per tuple at line speed.
+class HardwareCapability {
+ public:
+  /// \brief Capability that allows hashing any of \p columns with any of the
+  /// canonical form kinds in \p allowed_forms (kIdentity is always allowed).
+  HardwareCapability(std::set<std::string> columns,
+                     std::set<ScalarFormKind> allowed_forms = {});
+
+  /// \brief Convenience: TCP 5-tuple fields, identity and mask forms — the
+  /// capability the paper describes for current hardware.
+  static HardwareCapability TcpHeaderSplitter();
+
+  /// \brief True when every entry of \p ps is realizable.
+  bool Supports(const PartitionSet& ps) const;
+
+  /// \brief Drops unsupported entries of \p ps. Note the result is *coarser*
+  /// routing only if the remaining entries still anchor every query — the
+  /// caller must re-check compatibility; this merely models what the
+  /// hardware will actually do with a too-ambitious request.
+  PartitionSet Restrict(const PartitionSet& ps) const;
+
+  /// \brief Filters \p candidates down to the admissible ones.
+  std::vector<PartitionSet> Admissible(
+      const std::vector<PartitionSet>& candidates) const;
+
+  std::string Describe() const;
+
+ private:
+  std::set<std::string> columns_;
+  std::set<ScalarFormKind> allowed_forms_;
+};
+
+}  // namespace streampart

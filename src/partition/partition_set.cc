@@ -1,0 +1,114 @@
+#include "partition/partition_set.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "parser/parser.h"
+
+namespace streampart {
+
+PartitionSet PartitionSet::FromScalars(
+    const std::vector<AnalyzedScalar>& entries) {
+  PartitionSet out;
+  for (const AnalyzedScalar& e : entries) {
+    out.AddOrReconcile(e.base_column, e.form);
+  }
+  return out;
+}
+
+Result<PartitionSet> PartitionSet::Parse(const std::string& spec) {
+  PartitionSet out;
+  std::string body(StripWhitespace(spec));
+  if (!body.empty() && body.front() == '(' && body.back() == ')') {
+    body = body.substr(1, body.size() - 2);
+  }
+  if (StripWhitespace(body).empty()) return out;
+  for (const std::string& part : Split(body, ',')) {
+    SP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(std::string(
+                                          StripWhitespace(part))));
+    SP_ASSIGN_OR_RETURN(AnalyzedScalar scalar, AnalyzeScalarExpr(expr));
+    out.AddOrReconcile(scalar.base_column, scalar.form);
+  }
+  return out;
+}
+
+Result<PartitionSet> PartitionSet::FromExprs(
+    const std::vector<ExprPtr>& exprs) {
+  PartitionSet out;
+  for (const ExprPtr& e : exprs) {
+    SP_ASSIGN_OR_RETURN(AnalyzedScalar scalar, AnalyzeScalarExpr(e));
+    out.AddOrReconcile(scalar.base_column, scalar.form);
+  }
+  return out;
+}
+
+bool PartitionSet::AddOrReconcile(const std::string& base_column,
+                                  const ScalarForm& form) {
+  auto it = entries_.find(base_column);
+  if (it == entries_.end()) {
+    entries_.emplace(base_column, form);
+    return true;
+  }
+  auto reconciled = ReconcileForms(it->second, form);
+  if (!reconciled.has_value()) return false;
+  it->second = *reconciled;
+  return true;
+}
+
+const ScalarForm* PartitionSet::Find(const std::string& base_column) const {
+  auto it = entries_.find(base_column);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<ExprPtr> PartitionSet::ToExprs() const {
+  std::vector<ExprPtr> out;
+  out.reserve(entries_.size());
+  for (const auto& [base, form] : entries_) {
+    out.push_back(FormToExpr(form, base));
+  }
+  return out;
+}
+
+std::string PartitionSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(entries_.size());
+  for (const auto& [base, form] : entries_) {
+    parts.push_back(form.ToString(base));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+bool PartitionSet::Equals(const PartitionSet& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  auto it = entries_.begin();
+  auto jt = other.entries_.begin();
+  for (; it != entries_.end(); ++it, ++jt) {
+    if (it->first != jt->first || !it->second.Equals(jt->second)) return false;
+  }
+  return true;
+}
+
+uint64_t PartitionSet::Hash() const {
+  uint64_t h = Mix64(entries_.size());
+  for (const auto& [base, form] : entries_) {
+    h = HashCombine(h, HashBytes(base));
+    h = HashCombine(h, static_cast<uint64_t>(form.kind));
+    h = HashCombine(h, form.param);
+    if (form.opaque) h = HashCombine(h, form.opaque->Hash());
+  }
+  return h;
+}
+
+PartitionSet ReconcilePartitionSets(const PartitionSet& a,
+                                    const PartitionSet& b) {
+  PartitionSet out;
+  for (const auto& [base, form_a] : a.entries()) {
+    const ScalarForm* form_b = b.Find(base);
+    if (form_b == nullptr) continue;  // Not shared: drop (paper §4.1).
+    auto reconciled = ReconcileForms(form_a, *form_b);
+    if (!reconciled.has_value()) continue;  // Irreconcilable: drop.
+    out.AddOrReconcile(base, *reconciled);
+  }
+  return out;
+}
+
+}  // namespace streampart

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file partition_set.h
+/// \brief Partitioning sets (paper §3.3) and their reconciliation (§4.1).
+///
+/// A partitioning set is (sc_exp1(attr1), ..., sc_expn(attrn)) — one scalar
+/// expression per distinct source-stream attribute. Tuples are routed by
+/// hashing the vector of these expressions (see dist/partitioner.h).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/scalar_form.h"
+
+namespace streampart {
+
+/// \brief A partitioning set: base attribute -> canonical scalar form.
+///
+/// Entries are keyed by base attribute, so a set holds at most one expression
+/// per attribute (partitioning twice on the same attribute is redundant: the
+/// pair (f(x), g(x)) routes like their reconciliation when one exists, and is
+/// representable by an Opaque form otherwise).
+class PartitionSet {
+ public:
+  PartitionSet() = default;
+
+  /// \brief Builds from analyzed entries; later duplicates of a base
+  /// attribute are reconciled in (dropped if irreconcilable).
+  static PartitionSet FromScalars(const std::vector<AnalyzedScalar>& entries);
+
+  /// \brief Parses a comma-separated spec like
+  /// "srcIP & 0xFFF0, destIP" (the notation used throughout the paper).
+  static Result<PartitionSet> Parse(const std::string& spec);
+
+  /// \brief Analyzes raw expressions (each must reference one attribute).
+  static Result<PartitionSet> FromExprs(const std::vector<ExprPtr>& exprs);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  const std::map<std::string, ScalarForm>& entries() const { return entries_; }
+
+  /// \brief Adds (or reconciles in) one entry. Returns false when the
+  /// attribute is already present with an irreconcilable form (entry kept
+  /// unchanged).
+  bool AddOrReconcile(const std::string& base_column, const ScalarForm& form);
+
+  /// \brief The form for \p base_column, or null.
+  const ScalarForm* Find(const std::string& base_column) const;
+
+  /// \brief Materializes the set as expressions (hash-partitioner input).
+  std::vector<ExprPtr> ToExprs() const;
+
+  /// \brief "(srcIP&0xFFF0, destIP)"; "()" when empty.
+  std::string ToString() const;
+
+  bool Equals(const PartitionSet& other) const;
+  uint64_t Hash() const;
+
+ private:
+  std::map<std::string, ScalarForm> entries_;
+};
+
+/// \brief Reconcile_Partn_Sets (paper §4.1): the largest partitioning set
+/// compatible with everything both inputs are compatible with. Attributes
+/// present in only one set drop out; shared attributes reconcile via the
+/// scalar-form algebra (dropping the attribute when irreconcilable). An empty
+/// result means reconciliation failed.
+PartitionSet ReconcilePartitionSets(const PartitionSet& a,
+                                    const PartitionSet& b);
+
+}  // namespace streampart

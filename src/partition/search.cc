@@ -1,0 +1,144 @@
+#include "partition/search.h"
+
+#include <algorithm>
+#include <set>
+
+namespace streampart {
+
+namespace {
+
+/// One frontier element: a reconciled set plus the nodes it covers.
+struct Candidate {
+  PartitionSet ps;
+  std::set<std::string> covered;
+};
+
+/// Dedup key: partition set identity + covered nodes.
+std::string CandidateKey(const Candidate& c) {
+  std::string key = c.ps.ToString() + "|";
+  for (const std::string& n : c.covered) {
+    key += n;
+    key += ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+PartitionSearch::PartitionSearch(const QueryGraph* graph,
+                                 const CostModel* cost_model, Options options)
+    : graph_(graph), cost_model_(cost_model), options_(options) {}
+
+Result<SearchResult> PartitionSearch::FindOptimal() const {
+  SearchResult result;
+  SP_ASSIGN_OR_RETURN(PlanCost baseline, cost_model_->BaselineCost());
+  result.baseline_cost_bytes = baseline.max_cost_bytes;
+  result.best_cost_bytes = baseline.max_cost_bytes;
+
+  // Per-node inferred sets; nullopt = unconstrained (select/project).
+  std::map<std::string, PartitionSet> node_sets;
+  // "Leaf" nodes in the paper's heuristic sense: the lowest
+  // constraint-bearing nodes — no constrained node anywhere below them
+  // (selections below do not count, they are compatible with anything).
+  std::vector<std::string> leaf_nodes;
+  std::map<std::string, bool> constrained_below;
+  for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
+    SP_ASSIGN_OR_RETURN(auto inferred, InferNodePartitionSet(*graph_, node));
+    bool constrained = inferred.has_value() && !inferred->empty();
+    bool below = false;
+    for (const std::string& in : node->inputs) {
+      if (graph_->IsSource(in)) continue;
+      auto it = constrained_below.find(in);
+      if (it != constrained_below.end() && it->second) below = true;
+      if (node_sets.count(in) > 0) below = true;
+    }
+    constrained_below[node->name] = below || constrained;
+    if (constrained) {
+      node_sets.emplace(node->name, std::move(*inferred));
+      if (!below) leaf_nodes.push_back(node->name);
+    }
+  }
+
+  // Seed candidates.
+  std::vector<Candidate> frontier;
+  std::set<std::string> seen;
+  auto try_add = [&](Candidate cand, std::vector<Candidate>* out) -> Status {
+    if (cand.ps.empty()) return Status::OK();
+    std::string key = CandidateKey(cand);
+    if (seen.count(key) > 0) return Status::OK();
+    seen.insert(key);
+    SP_ASSIGN_OR_RETURN(PlanCost cost, cost_model_->Cost(cand.ps));
+    ++result.candidates_explored;
+    if (cost.max_cost_bytes < result.best_cost_bytes) {
+      result.best_cost_bytes = cost.max_cost_bytes;
+      result.best = cand.ps;
+    }
+    if (out->size() < options_.max_candidates) {
+      out->push_back(std::move(cand));
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [name, ps] : node_sets) {
+    if (options_.use_heuristics &&
+        std::find(leaf_nodes.begin(), leaf_nodes.end(), name) ==
+            leaf_nodes.end()) {
+      continue;  // Heuristic: seed from leaf nodes only.
+    }
+    SP_RETURN_NOT_OK(try_add(Candidate{ps, {name}}, &frontier));
+  }
+
+  // Iterative expansion (candidate pairs, triples, ... of §4.2.2).
+  while (!frontier.empty()) {
+    ++result.rounds;
+    std::vector<Candidate> next;
+    for (const Candidate& cand : frontier) {
+      for (const auto& [name, ps] : node_sets) {
+        if (cand.covered.count(name) > 0) continue;
+        if (options_.use_heuristics) {
+          // Expansion heuristic: the new node must be a leaf or an immediate
+          // parent of a covered node.
+          bool eligible =
+              std::find(leaf_nodes.begin(), leaf_nodes.end(), name) !=
+              leaf_nodes.end();
+          if (!eligible) {
+            auto node = graph_->GetQuery(name);
+            if (node.ok()) {
+              for (const std::string& in : (*node)->inputs) {
+                if (cand.covered.count(in) > 0) eligible = true;
+              }
+            }
+          }
+          if (!eligible) continue;
+        }
+        Candidate expanded;
+        expanded.ps = ReconcilePartitionSets(cand.ps, ps);
+        if (expanded.ps.empty()) continue;
+        expanded.covered = cand.covered;
+        expanded.covered.insert(name);
+        SP_RETURN_NOT_OK(try_add(std::move(expanded), &next));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+Result<PartitionSet> PartitionSearch::ChooseBestAmong(
+    const std::vector<PartitionSet>& allowed) const {
+  if (allowed.empty()) {
+    return Status::InvalidArgument("no admissible partitioning sets");
+  }
+  const PartitionSet* best = nullptr;
+  double best_cost = 0;
+  for (const PartitionSet& ps : allowed) {
+    SP_ASSIGN_OR_RETURN(PlanCost cost, cost_model_->Cost(ps));
+    if (best == nullptr || cost.max_cost_bytes < best_cost) {
+      best = &ps;
+      best_cost = cost.max_cost_bytes;
+    }
+  }
+  return *best;
+}
+
+}  // namespace streampart

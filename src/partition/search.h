@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file search.h
+/// \brief Optimal-partitioning search for query sets (paper §4.2.2).
+///
+/// Candidate partitioning sets are grown iteratively: start from the
+/// compatible sets of individual nodes, then reconcile candidate sets with
+/// further nodes' sets, keeping the minimum-cost candidate seen anywhere.
+/// Two pruning heuristics from the paper (valid because a set compatible
+/// with a node is necessarily compatible with the node's predecessors):
+///   * seed candidates from leaf query nodes only;
+///   * when expanding, only add a node that is an immediate parent of a
+///     covered node, or another leaf.
+/// Disabling heuristics (for the ablation bench) seeds from and expands with
+/// every constraining node.
+
+#include <vector>
+
+#include "partition/cost_model.h"
+#include "partition/partition_set.h"
+
+namespace streampart {
+
+/// \brief Outcome of the candidate search.
+struct SearchResult {
+  /// The minimum-cost partitioning set found; may be empty when no node
+  /// yields a usable set (fall back to query-independent partitioning).
+  PartitionSet best;
+  double best_cost_bytes = 0;
+  /// Cost of the empty set (centralized / query-independent baseline).
+  double baseline_cost_bytes = 0;
+  /// Candidates evaluated (cost-model invocations).
+  size_t candidates_explored = 0;
+  /// Reconciliation rounds executed.
+  size_t rounds = 0;
+};
+
+/// \brief Implements the §4.2.2 search over a costed query graph.
+class PartitionSearch {
+ public:
+  struct Options {
+    bool use_heuristics = true;
+    /// Safety bound on candidate-frontier growth.
+    size_t max_candidates = 4096;
+  };
+
+  /// \param graph and \param cost_model must outlive the search.
+  PartitionSearch(const QueryGraph* graph, const CostModel* cost_model)
+      : PartitionSearch(graph, cost_model, Options()) {}
+  PartitionSearch(const QueryGraph* graph, const CostModel* cost_model,
+                  Options options);
+
+  /// \brief Runs the full search.
+  Result<SearchResult> FindOptimal() const;
+
+  /// \brief Restricted-hardware variant: costs each admissible set and picks
+  /// the cheapest (the paper's "take advantage of any partitioning" mode,
+  /// used when the splitter hardware constrains the choices, §6.2).
+  Result<PartitionSet> ChooseBestAmong(
+      const std::vector<PartitionSet>& allowed) const;
+
+ private:
+  const QueryGraph* graph_;
+  const CostModel* cost_model_;
+  Options options_;
+};
+
+}  // namespace streampart

@@ -1,0 +1,569 @@
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "expr/scalar_form.h"
+#include "plan/lineage.h"
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+/// True if the unbound tree contains a call to a registered UDAF.
+bool ContainsUdafCall(const ExprPtr& expr, const UdafRegistry& registry) {
+  if (expr == nullptr) return false;
+  if (expr->is_call() && registry.Contains(expr->call_name())) return true;
+  if (expr->is_call()) {
+    for (const ExprPtr& a : expr->args()) {
+      if (ContainsUdafCall(a, registry)) return true;
+    }
+    return false;
+  }
+  if (expr->is_binary()) {
+    return ContainsUdafCall(expr->left(), registry) ||
+           ContainsUdafCall(expr->right(), registry);
+  }
+  if (expr->is_unary()) return ContainsUdafCall(expr->operand(), registry);
+  return false;
+}
+
+/// Splits a predicate into top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out) {
+  if (pred == nullptr) return;
+  if (pred->is_binary() && pred->binary_op() == BinaryOp::kAnd) {
+    SplitConjuncts(pred->left(), out);
+    SplitConjuncts(pred->right(), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+/// Rebuilds an AND chain from conjuncts; null for an empty list.
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const ExprPtr& c : conjuncts) {
+    out = out ? Expr::Binary(BinaryOp::kAnd, out, c) : c;
+  }
+  return out;
+}
+
+/// Assigns unique output names: preferred name, with _2/_3... suffixes on
+/// collision.
+std::string UniquifyName(const std::string& preferred,
+                         std::set<std::string>* used) {
+  std::string name = preferred;
+  int n = 2;
+  while (used->count(name) > 0) {
+    name = preferred + "_" + std::to_string(n++);
+  }
+  used->insert(name);
+  return name;
+}
+
+/// Preferred output name for a select item: alias > column name > call name >
+/// positional fallback.
+std::string PreferredName(const SelectItem& item, size_t position) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->is_column()) return item.expr->column_name();
+  if (item.expr && item.expr->is_call()) return item.expr->call_name();
+  return "_col" + std::to_string(position);
+}
+
+/// True when \p source_expr (an unbound scalar over the source stream) is a
+/// monotone function of an increasing source attribute — the condition for a
+/// derived column to act as a tumbling-window (temporal) key.
+bool IsMonotoneTemporal(const ExprPtr& source_expr,
+                        const SchemaPtr& source_schema) {
+  if (source_expr == nullptr) return false;
+  auto analyzed = AnalyzeScalarExpr(source_expr);
+  if (!analyzed.ok()) return false;
+  auto idx = source_schema->FieldIndex(analyzed->base_column);
+  if (!idx.has_value() || !source_schema->field(*idx).is_temporal()) {
+    return false;
+  }
+  switch (analyzed->form.kind) {
+    case ScalarFormKind::kIdentity:
+    case ScalarFormKind::kDiv:
+    case ScalarFormKind::kShift:
+      return true;
+    default:
+      return false;  // Mask/Mod/Opaque are not order-preserving.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(std::string name, const ParsedQuery& parsed, const QueryGraph& graph)
+      : name_(std::move(name)),
+        parsed_(parsed),
+        graph_(graph),
+        registry_(graph.udaf_registry()) {}
+
+  Result<QueryNodePtr> Run() {
+    auto node = std::make_shared<QueryNode>();
+    node->name = name_;
+    node->parsed = parsed_;
+
+    SP_RETURN_NOT_OK(ResolveInputs(node.get()));
+    SP_RETURN_NOT_OK(ClassifyKind(node.get()));
+
+    switch (node->kind) {
+      case QueryKind::kSelectProject:
+        SP_RETURN_NOT_OK(AnalyzeSelectProject(node.get()));
+        break;
+      case QueryKind::kAggregate:
+        SP_RETURN_NOT_OK(AnalyzeAggregate(node.get()));
+        break;
+      case QueryKind::kJoin:
+        SP_RETURN_NOT_OK(AnalyzeJoin(node.get()));
+        break;
+    }
+    return QueryNodePtr(node);
+  }
+
+ private:
+  Status ResolveInputs(QueryNode* node) {
+    if (parsed_.from.empty() || parsed_.from.size() > 2) {
+      return Status::AnalysisError("query must read one stream or join two");
+    }
+    for (const TableRef& ref : parsed_.from) {
+      SP_ASSIGN_OR_RETURN(SchemaPtr schema,
+                          graph_.GetStreamSchema(ref.stream));
+      node->inputs.push_back(ref.stream);
+      node->aliases.push_back(ref.EffectiveAlias());
+      node->input_schemas.push_back(std::move(schema));
+    }
+    if (node->inputs.size() == 2 &&
+        node->aliases[0] == node->aliases[1]) {
+      return Status::AnalysisError(
+          "self-join requires distinct aliases for '", node->inputs[0], "'");
+    }
+    // Ultimate source stream (left side); children already cache theirs.
+    if (graph_.IsSource(node->inputs[0])) {
+      node->source_stream = node->inputs[0];
+    } else {
+      SP_ASSIGN_OR_RETURN(QueryNodePtr child, graph_.GetQuery(node->inputs[0]));
+      node->source_stream = child->source_stream;
+    }
+    return Status::OK();
+  }
+
+  Status ClassifyKind(QueryNode* node) {
+    bool has_agg = false;
+    for (const SelectItem& item : parsed_.select_list) {
+      if (ContainsUdafCall(item.expr, registry_)) has_agg = true;
+    }
+    if (ContainsUdafCall(parsed_.having, registry_)) has_agg = true;
+    bool is_agg = parsed_.has_group_by() || has_agg;
+
+    if (node->inputs.size() == 2) {
+      if (is_agg) {
+        return Status::NotImplemented(
+            "aggregation directly over a join is not supported; register the "
+            "join as a named query and aggregate over it");
+      }
+      node->kind = QueryKind::kJoin;
+      node->join_type = parsed_.join_type;
+      return Status::OK();
+    }
+    if (parsed_.having && !is_agg) {
+      return Status::AnalysisError("HAVING requires GROUP BY or aggregates");
+    }
+    node->kind = is_agg ? QueryKind::kAggregate : QueryKind::kSelectProject;
+    return Status::OK();
+  }
+
+  /// Substitutes a bound-over-inputs expression down to source level.
+  ExprPtr BoundExprToSource(const QueryNode& node, const ExprPtr& expr) const {
+    return NodeExprToSource(graph_, node, expr);
+  }
+
+  /// Builds the output schema from named outputs + lineage-based temporal
+  /// propagation.
+  void FinalizeOutputs(QueryNode* node) {
+    SchemaPtr source_schema;
+    auto src = graph_.GetStreamSchema(node->source_stream);
+    if (src.ok()) source_schema = *src;
+    std::vector<Field> fields;
+    fields.reserve(node->outputs.size());
+    for (size_t i = 0; i < node->outputs.size(); ++i) {
+      Field f;
+      f.name = node->outputs[i].name;
+      f.type = node->outputs[i].type;
+      f.order = TemporalOrder::kNone;
+      if (source_schema &&
+          IsMonotoneTemporal(node->output_source_exprs[i], source_schema)) {
+        f.order = TemporalOrder::kIncreasing;
+      }
+      fields.push_back(std::move(f));
+    }
+    node->output_schema = Schema::Make(std::move(fields));
+  }
+
+  // ---- Selection / projection ------------------------------------------
+
+  Status AnalyzeSelectProject(QueryNode* node) {
+    BindingContext ctx;
+    ctx.AddInput(node->aliases[0], node->input_schemas[0]);
+
+    if (parsed_.where) {
+      SP_ASSIGN_OR_RETURN(node->where, parsed_.where->Bind(ctx, &registry_));
+      if (node->where->ContainsAggregate()) {
+        return Status::AnalysisError("aggregates are not allowed in WHERE");
+      }
+    }
+    std::set<std::string> used;
+    for (size_t i = 0; i < parsed_.select_list.size(); ++i) {
+      const SelectItem& item = parsed_.select_list[i];
+      SP_ASSIGN_OR_RETURN(ExprPtr bound, item.expr->Bind(ctx, &registry_));
+      NamedExpr out;
+      out.name = UniquifyName(PreferredName(item, i), &used);
+      out.type = bound->result_type();
+      out.expr = std::move(bound);
+      node->output_source_exprs.push_back(
+          BoundExprToSource(*node, out.expr));
+      node->outputs.push_back(std::move(out));
+    }
+    FinalizeOutputs(node);
+    return Status::OK();
+  }
+
+  // ---- Aggregation -------------------------------------------------------
+
+  Status AnalyzeAggregate(QueryNode* node) {
+    BindingContext ctx;
+    ctx.AddInput(node->aliases[0], node->input_schemas[0]);
+
+    if (parsed_.where) {
+      SP_ASSIGN_OR_RETURN(node->where, parsed_.where->Bind(ctx, &registry_));
+      if (node->where->ContainsAggregate()) {
+        return Status::AnalysisError("aggregates are not allowed in WHERE");
+      }
+    }
+
+    // Group-by keys.
+    std::set<std::string> group_names;
+    for (size_t i = 0; i < parsed_.group_by.size(); ++i) {
+      const SelectItem& item = parsed_.group_by[i];
+      if (ContainsUdafCall(item.expr, registry_)) {
+        return Status::AnalysisError("aggregates are not allowed in GROUP BY");
+      }
+      SP_ASSIGN_OR_RETURN(ExprPtr bound, item.expr->Bind(ctx, &registry_));
+      NamedExpr key;
+      key.name = PreferredName(item, i);
+      if (group_names.count(key.name) > 0) {
+        return Status::AnalysisError("duplicate group-by name '", key.name,
+                                     "'");
+      }
+      group_names.insert(key.name);
+      key.type = bound->result_type();
+      key.expr = std::move(bound);
+      node->group_by.push_back(std::move(key));
+    }
+
+    // Temporal (tumbling-window) key: first group key whose lineage is a
+    // monotone function of an increasing source attribute.
+    SchemaPtr source_schema;
+    {
+      auto src = graph_.GetStreamSchema(node->source_stream);
+      if (src.ok()) source_schema = *src;
+    }
+    for (size_t i = 0; i < node->group_by.size(); ++i) {
+      ExprPtr lineage = BoundExprToSource(*node, node->group_by[i].expr);
+      if (source_schema && IsMonotoneTemporal(lineage, source_schema)) {
+        node->temporal_group_idx = i;
+        break;
+      }
+    }
+
+    // Aggregate slots: every distinct UDAF call in SELECT and HAVING.
+    std::vector<ExprPtr> raw_calls;
+    auto collect = [&](const ExprPtr& e, auto&& self) -> void {
+      if (e == nullptr) return;
+      if (e->is_call() && registry_.Contains(e->call_name())) {
+        for (const ExprPtr& existing : raw_calls) {
+          if (Expr::Equal(existing, e)) return;
+        }
+        raw_calls.push_back(e);
+        return;  // Nested aggregates are invalid; args scanned at bind time.
+      }
+      if (e->is_binary()) {
+        self(e->left(), self);
+        self(e->right(), self);
+      } else if (e->is_unary()) {
+        self(e->operand(), self);
+      } else if (e->is_call()) {
+        for (const ExprPtr& a : e->args()) self(a, self);
+      }
+    };
+    for (const SelectItem& item : parsed_.select_list) {
+      collect(item.expr, collect);
+    }
+    collect(parsed_.having, collect);
+
+    for (size_t i = 0; i < raw_calls.size(); ++i) {
+      const ExprPtr& call = raw_calls[i];
+      AggregateSpec spec;
+      spec.udaf = call->call_name();
+      std::vector<DataType> arg_types;
+      for (const ExprPtr& a : call->args()) {
+        if (ContainsUdafCall(a, registry_)) {
+          return Status::AnalysisError("nested aggregate in ", call->ToString());
+        }
+        SP_ASSIGN_OR_RETURN(ExprPtr bound, a->Bind(ctx, &registry_));
+        arg_types.push_back(bound->result_type());
+        spec.args.push_back(std::move(bound));
+      }
+      SP_ASSIGN_OR_RETURN(spec.out_type,
+                          registry_.ResolveCall(spec.udaf, arg_types));
+      spec.out_name = "_a" + std::to_string(i);
+      node->aggregates.push_back(std::move(spec));
+    }
+
+    // Internal schema: group keys then aggregate slots.
+    {
+      std::vector<Field> fields;
+      for (size_t i = 0; i < node->group_by.size(); ++i) {
+        Field f;
+        f.name = node->group_by[i].name;
+        f.type = node->group_by[i].type;
+        f.order = (node->temporal_group_idx == i) ? TemporalOrder::kIncreasing
+                                                  : TemporalOrder::kNone;
+        fields.push_back(std::move(f));
+      }
+      for (const AggregateSpec& spec : node->aggregates) {
+        fields.push_back(Field{spec.out_name, spec.out_type,
+                               TemporalOrder::kNone});
+      }
+      node->internal_schema = Schema::Make(std::move(fields));
+    }
+
+    // Rewrites SELECT/HAVING trees onto the internal schema: aggregate calls
+    // become slot references; group-by expressions become key references.
+    auto rewrite_to_internal = [&](const ExprPtr& e) -> ExprPtr {
+      return Expr::Rewrite(e, [&](const ExprPtr& sub) -> ExprPtr {
+        for (size_t i = 0; i < raw_calls.size(); ++i) {
+          if (Expr::Equal(raw_calls[i], sub)) {
+            return Expr::Column(node->aggregates[i].out_name);
+          }
+        }
+        for (size_t i = 0; i < parsed_.group_by.size(); ++i) {
+          if (Expr::Equal(parsed_.group_by[i].expr, sub)) {
+            return Expr::Column(node->group_by[i].name);
+          }
+        }
+        return nullptr;
+      });
+    };
+
+    BindingContext internal_ctx;
+    internal_ctx.AddInput("", node->internal_schema);
+
+    std::set<std::string> used;
+    for (size_t i = 0; i < parsed_.select_list.size(); ++i) {
+      const SelectItem& item = parsed_.select_list[i];
+      ExprPtr rewritten = rewrite_to_internal(item.expr);
+      auto bound = rewritten->Bind(internal_ctx, &registry_);
+      if (!bound.ok()) {
+        return bound.status().WithContext(
+            "SELECT item '" + item.expr->ToString() +
+            "' must be a group-by expression or an aggregate");
+      }
+      NamedExpr out;
+      out.name = UniquifyName(PreferredName(item, i), &used);
+      out.type = (*bound)->result_type();
+      out.expr = std::move(*bound);
+      node->outputs.push_back(std::move(out));
+    }
+
+    if (parsed_.having) {
+      ExprPtr rewritten = rewrite_to_internal(parsed_.having);
+      auto bound = rewritten->Bind(internal_ctx, &registry_);
+      if (!bound.ok()) {
+        return bound.status().WithContext("in HAVING");
+      }
+      node->having = std::move(*bound);
+    }
+
+    // Lineage of outputs: substitute internal-schema columns — group keys
+    // resolve through their own lineage; aggregate slots resolve to null.
+    size_t num_groups = node->group_by.size();
+    for (const NamedExpr& out : node->outputs) {
+      ExprPtr lineage = SubstituteColumnsToSource(
+          out.expr, [&](const Expr& col) -> ExprPtr {
+            size_t idx = col.bound_index();
+            if (idx >= num_groups) return nullptr;  // aggregate slot
+            return BoundExprToSource(*node, node->group_by[idx].expr);
+          });
+      node->output_source_exprs.push_back(std::move(lineage));
+    }
+    FinalizeOutputs(node);
+    return Status::OK();
+  }
+
+  // ---- Join ---------------------------------------------------------------
+
+  /// Which input an expression's columns come from: 0 = left, 1 = right,
+  /// -1 = mixed or unresolvable.
+  Result<int> ExprSide(const QueryNode& node, const ExprPtr& e) const {
+    std::vector<const Expr*> cols;
+    e->CollectColumns(&cols);
+    if (cols.empty()) return -1;
+    int side = -2;
+    for (const Expr* c : cols) {
+      int s;
+      if (c->qualifier() == node.aliases[0]) {
+        s = 0;
+      } else if (c->qualifier() == node.aliases[1]) {
+        s = 1;
+      } else if (c->qualifier().empty()) {
+        bool in_left = node.input_schemas[0]->FieldIndex(c->column_name())
+                           .has_value();
+        bool in_right = node.input_schemas[1]->FieldIndex(c->column_name())
+                            .has_value();
+        if (in_left && in_right) {
+          return Status::AnalysisError("ambiguous column '", c->column_name(),
+                                       "' in join predicate; qualify it");
+        }
+        if (!in_left && !in_right) {
+          return Status::AnalysisError("unknown column '", c->column_name(),
+                                       "' in join predicate");
+        }
+        s = in_left ? 0 : 1;
+      } else {
+        return Status::AnalysisError("unknown qualifier '", c->qualifier(),
+                                     "'");
+      }
+      if (side == -2) {
+        side = s;
+      } else if (side != s) {
+        return -1;
+      }
+    }
+    return side;
+  }
+
+  /// True when the bound expression references at least one temporal field
+  /// of \p schema.
+  static bool ReferencesTemporal(const ExprPtr& bound, const SchemaPtr& schema) {
+    std::vector<const Expr*> cols;
+    bound->CollectColumns(&cols);
+    for (const Expr* c : cols) {
+      size_t idx = c->bound_index();
+      if (idx < schema->num_fields() && schema->field(idx).is_temporal()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Status AnalyzeJoin(QueryNode* node) {
+    BindingContext ctx_left, ctx_right, ctx_both;
+    ctx_left.AddInput(node->aliases[0], node->input_schemas[0]);
+    ctx_right.AddInput(node->aliases[1], node->input_schemas[1]);
+    ctx_both.AddInput(node->aliases[0], node->input_schemas[0]);
+    ctx_both.AddInput(node->aliases[1], node->input_schemas[1]);
+
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(parsed_.on, &conjuncts);
+    SplitConjuncts(parsed_.where, &conjuncts);
+    if (conjuncts.empty()) {
+      return Status::AnalysisError("join requires a predicate");
+    }
+
+    std::vector<ExprPtr> residual_conjuncts;
+    for (const ExprPtr& conj : conjuncts) {
+      bool handled = false;
+      if (conj->is_binary() && conj->binary_op() == BinaryOp::kEq) {
+        SP_ASSIGN_OR_RETURN(int lside, ExprSide(*node, conj->left()));
+        SP_ASSIGN_OR_RETURN(int rside, ExprSide(*node, conj->right()));
+        if (lside >= 0 && rside >= 0 && lside != rside) {
+          const ExprPtr& le = lside == 0 ? conj->left() : conj->right();
+          const ExprPtr& re = lside == 0 ? conj->right() : conj->left();
+          EquiPred pred;
+          SP_ASSIGN_OR_RETURN(pred.left, le->Bind(ctx_left, &registry_));
+          SP_ASSIGN_OR_RETURN(pred.right, re->Bind(ctx_right, &registry_));
+          pred.temporal =
+              ReferencesTemporal(pred.left, node->input_schemas[0]) &&
+              ReferencesTemporal(pred.right, node->input_schemas[1]);
+          // Source lineage of both key sides (used by partition inference).
+          pred.left_src = SubstituteColumnsToSource(
+              pred.left, [&](const Expr& col) -> ExprPtr {
+                auto r = graph_.ResolveColumnToSource(
+                    node->inputs[0],
+                    node->input_schemas[0]->field(col.bound_index()).name);
+                return r.ok() ? *r : nullptr;
+              });
+          pred.right_src = SubstituteColumnsToSource(
+              pred.right, [&](const Expr& col) -> ExprPtr {
+                auto r = graph_.ResolveColumnToSource(
+                    node->inputs[1],
+                    node->input_schemas[1]->field(col.bound_index()).name);
+                return r.ok() ? *r : nullptr;
+              });
+          node->equi_preds.push_back(std::move(pred));
+          handled = true;
+        }
+      }
+      if (!handled) residual_conjuncts.push_back(conj);
+    }
+
+    if (node->equi_preds.empty()) {
+      return Status::NotImplemented(
+          "only equi-joins are supported; no equality predicate relates the "
+          "two inputs");
+    }
+
+    ExprPtr residual_raw = AndAll(residual_conjuncts);
+    if (residual_raw) {
+      SP_ASSIGN_OR_RETURN(node->residual,
+                          residual_raw->Bind(ctx_both, &registry_));
+    }
+
+    std::set<std::string> used;
+    for (size_t i = 0; i < parsed_.select_list.size(); ++i) {
+      const SelectItem& item = parsed_.select_list[i];
+      SP_ASSIGN_OR_RETURN(ExprPtr bound, item.expr->Bind(ctx_both, &registry_));
+      if (bound->ContainsAggregate()) {
+        return Status::AnalysisError("aggregates are not allowed in a join");
+      }
+      NamedExpr out;
+      out.name = UniquifyName(PreferredName(item, i), &used);
+      out.type = bound->result_type();
+      out.expr = std::move(bound);
+      node->output_source_exprs.push_back(BoundExprToSource(*node, out.expr));
+      node->outputs.push_back(std::move(out));
+    }
+    FinalizeOutputs(node);
+    return Status::OK();
+  }
+
+  std::string name_;
+  const ParsedQuery& parsed_;
+  const QueryGraph& graph_;
+  const UdafRegistry& registry_;
+};
+
+}  // namespace
+
+Result<QueryNodePtr> AnalyzeQuery(const std::string& name,
+                                  const ParsedQuery& parsed,
+                                  const QueryGraph& graph) {
+  Analyzer analyzer(name, parsed, graph);
+  auto result = analyzer.Run();
+  if (!result.ok()) {
+    return result.status().WithContext("analyzing query '" + name + "'");
+  }
+  return result;
+}
+
+}  // namespace streampart

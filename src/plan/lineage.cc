@@ -1,0 +1,46 @@
+#include "plan/lineage.h"
+
+namespace streampart {
+
+ExprPtr SubstituteColumnsToSource(
+    const ExprPtr& expr,
+    const std::function<ExprPtr(const Expr&)>& resolve) {
+  if (expr == nullptr) return nullptr;
+  bool failed = false;
+  ExprPtr out = Expr::Rewrite(expr, [&](const ExprPtr& e) -> ExprPtr {
+    if (failed) return e;
+    if (e->is_column()) {
+      ExprPtr src = resolve(*e);
+      if (src == nullptr) {
+        failed = true;
+        return e;
+      }
+      return src;
+    }
+    if (e->is_call()) {
+      failed = true;
+      return e;
+    }
+    return nullptr;
+  });
+  return failed ? nullptr : out;
+}
+
+ExprPtr NodeExprToSource(const QueryGraph& graph, const QueryNode& node,
+                         const ExprPtr& bound_expr) {
+  return SubstituteColumnsToSource(bound_expr, [&](const Expr& col) -> ExprPtr {
+    size_t side = 0;
+    size_t local = col.bound_index();
+    if (node.input_schemas.size() == 2 &&
+        local >= node.input_schemas[0]->num_fields()) {
+      side = 1;
+      local -= node.input_schemas[0]->num_fields();
+    }
+    if (local >= node.input_schemas[side]->num_fields()) return nullptr;
+    const std::string& field = node.input_schemas[side]->field(local).name;
+    auto lineage = graph.ResolveColumnToSource(node.inputs[side], field);
+    return lineage.ok() ? *lineage : nullptr;
+  });
+}
+
+}  // namespace streampart

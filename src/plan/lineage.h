@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file lineage.h
+/// \brief Source-lineage utilities shared by the analyzer and the
+/// partitioning framework.
+
+#include "expr/expr.h"
+#include "plan/query_graph.h"
+#include "plan/query_node.h"
+
+namespace streampart {
+
+/// \brief Translates \p bound_expr — bound over \p node's (concatenated)
+/// input schemas — into an unbound scalar expression over the ultimate
+/// source stream's attributes. Returns null when any referenced column is
+/// aggregate-derived or otherwise not a pure scalar of the source.
+ExprPtr NodeExprToSource(const QueryGraph& graph, const QueryNode& node,
+                         const ExprPtr& bound_expr);
+
+/// \brief Substitutes every column reference in \p expr via \p resolve
+/// (returning null aborts the substitution). Trees containing calls resolve
+/// to null. Exposed for the analyzer.
+ExprPtr SubstituteColumnsToSource(
+    const ExprPtr& expr,
+    const std::function<ExprPtr(const Expr&)>& resolve);
+
+}  // namespace streampart

@@ -1,0 +1,65 @@
+#include "plan/printer.h"
+
+#include <set>
+
+namespace streampart {
+
+namespace {
+
+void PrintNodeRec(const QueryGraph& graph, const std::string& stream,
+                  const std::string& prefix, bool last, bool is_root,
+                  std::set<std::string>* expanded, std::string* out) {
+  std::string connector;
+  std::string child_prefix;
+  if (is_root) {
+    connector = "";
+    child_prefix = "";
+  } else {
+    connector = prefix + (last ? "`-- " : "|-- ");
+    child_prefix = prefix + (last ? "    " : "|   ");
+  }
+
+  if (graph.IsSource(stream)) {
+    *out += connector + stream + " [source]\n";
+    return;
+  }
+  auto node_result = graph.GetQuery(stream);
+  if (!node_result.ok()) {
+    *out += connector + stream + " [unknown]\n";
+    return;
+  }
+  const QueryNodePtr& node = *node_result;
+  if (expanded->count(stream) > 0) {
+    *out += connector + stream + " (see above)\n";
+    return;
+  }
+  expanded->insert(stream);
+  *out += connector + node->Summary() + "\n";
+  for (size_t i = 0; i < node->inputs.size(); ++i) {
+    PrintNodeRec(graph, node->inputs[i], child_prefix,
+                 i + 1 == node->inputs.size(), /*is_root=*/false, expanded,
+                 out);
+  }
+}
+
+}  // namespace
+
+std::string PrintQueryTree(const QueryGraph& graph, const std::string& root) {
+  std::string out;
+  std::set<std::string> expanded;
+  PrintNodeRec(graph, root, "", /*last=*/true, /*is_root=*/true, &expanded,
+               &out);
+  return out;
+}
+
+std::string PrintQueryDag(const QueryGraph& graph) {
+  std::string out;
+  std::set<std::string> expanded;
+  for (const QueryNodePtr& root : graph.Roots()) {
+    PrintNodeRec(graph, root->name, "", /*last=*/true, /*is_root=*/true,
+                 &expanded, &out);
+  }
+  return out;
+}
+
+}  // namespace streampart

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file printer.h
+/// \brief ASCII rendering of logical query DAGs (regenerates the paper's
+/// plan diagrams, e.g. Figure 1).
+
+#include <string>
+
+#include "plan/query_graph.h"
+
+namespace streampart {
+
+/// \brief Renders the full query DAG as an indented tree, roots first.
+/// Shared subtrees (a query consumed by several parents) are expanded at
+/// their first occurrence and referenced as "(see above)" afterwards.
+std::string PrintQueryDag(const QueryGraph& graph);
+
+/// \brief Renders the subtree rooted at \p root.
+std::string PrintQueryTree(const QueryGraph& graph, const std::string& root);
+
+}  // namespace streampart

@@ -1,0 +1,106 @@
+#include "plan/query_graph.h"
+
+#include <algorithm>
+
+#include "parser/parser.h"
+
+namespace streampart {
+
+QueryGraph::QueryGraph(const Catalog* catalog, const UdafRegistry* registry)
+    : catalog_(catalog),
+      registry_(registry != nullptr ? registry : &UdafRegistry::Default()) {}
+
+Status QueryGraph::AddQuery(const std::string& name, const std::string& gsql) {
+  if (catalog_->HasStream(name)) {
+    return Status::AlreadyExists("'", name, "' names a source stream");
+  }
+  if (queries_.count(name) > 0) {
+    return Status::AlreadyExists("query '", name, "' already registered");
+  }
+  SP_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(gsql));
+  SP_ASSIGN_OR_RETURN(QueryNodePtr node, AnalyzeQuery(name, parsed, *this));
+  queries_[name] = std::move(node);
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Status QueryGraph::AddNode(QueryNodePtr node) {
+  if (catalog_->HasStream(node->name) || queries_.count(node->name) > 0) {
+    return Status::AlreadyExists("'", node->name, "' already registered");
+  }
+  order_.push_back(node->name);
+  queries_[node->name] = std::move(node);
+  return Status::OK();
+}
+
+Result<QueryNodePtr> QueryGraph::GetQuery(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '", name, "'");
+  }
+  return it->second;
+}
+
+bool QueryGraph::HasQuery(const std::string& name) const {
+  return queries_.count(name) > 0;
+}
+
+Result<SchemaPtr> QueryGraph::GetStreamSchema(const std::string& name) const {
+  if (catalog_->HasStream(name)) return catalog_->GetStream(name);
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no stream or query named '", name, "'");
+  }
+  return it->second->output_schema;
+}
+
+bool QueryGraph::IsSource(const std::string& name) const {
+  return catalog_->HasStream(name);
+}
+
+std::vector<QueryNodePtr> QueryGraph::TopologicalOrder() const {
+  // Registration order is topological: a query may only reference streams
+  // that exist at its registration time.
+  std::vector<QueryNodePtr> out;
+  out.reserve(order_.size());
+  for (const std::string& name : order_) out.push_back(queries_.at(name));
+  return out;
+}
+
+std::vector<QueryNodePtr> QueryGraph::Roots() const {
+  std::vector<QueryNodePtr> out;
+  for (const std::string& name : order_) {
+    if (Parents(name).empty()) out.push_back(queries_.at(name));
+  }
+  return out;
+}
+
+std::vector<QueryNodePtr> QueryGraph::Parents(const std::string& name) const {
+  std::vector<QueryNodePtr> out;
+  for (const std::string& qname : order_) {
+    const QueryNodePtr& node = queries_.at(qname);
+    if (std::find(node->inputs.begin(), node->inputs.end(), name) !=
+        node->inputs.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+Result<ExprPtr> QueryGraph::ResolveColumnToSource(
+    const std::string& stream, const std::string& column) const {
+  if (IsSource(stream)) {
+    SP_ASSIGN_OR_RETURN(SchemaPtr schema, catalog_->GetStream(stream));
+    SP_RETURN_NOT_OK(schema->RequireFieldIndex(column).status());
+    return ExprPtr(Expr::Column(column));
+  }
+  SP_ASSIGN_OR_RETURN(QueryNodePtr node, GetQuery(stream));
+  for (size_t i = 0; i < node->outputs.size(); ++i) {
+    if (node->outputs[i].name == column) {
+      return node->output_source_exprs[i];  // may be null: aggregate-derived
+    }
+  }
+  return Status::NotFound("no column '", column, "' in query '", stream, "'");
+}
+
+}  // namespace streampart

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file query_graph.h
+/// \brief The DAG of named streaming queries (paper §4.2).
+///
+/// Queries are registered in dependency order (a query's FROM clause may name
+/// source streams or previously registered queries). The graph provides the
+/// structural services the partitioning analysis and distributed optimizer
+/// rely on: topological order, parent/child navigation, and source lineage of
+/// any derived-stream column.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/udaf.h"
+#include "plan/query_node.h"
+
+namespace streampart {
+
+/// \brief A set of named queries over a catalog of source streams.
+class QueryGraph {
+ public:
+  /// \param catalog must outlive the graph. \param registry defaults to the
+  /// built-in UDAF registry.
+  explicit QueryGraph(const Catalog* catalog,
+                      const UdafRegistry* registry = nullptr);
+
+  /// \brief Parses, analyzes, and registers \p gsql under \p name. Fails if
+  /// the name collides with a source stream or existing query, or if
+  /// analysis fails.
+  Status AddQuery(const std::string& name, const std::string& gsql);
+
+  /// \brief Registers an already analyzed node (used by tests).
+  Status AddNode(QueryNodePtr node);
+
+  Result<QueryNodePtr> GetQuery(const std::string& name) const;
+  bool HasQuery(const std::string& name) const;
+
+  /// \brief Schema of \p name, whether a source stream or a query output.
+  Result<SchemaPtr> GetStreamSchema(const std::string& name) const;
+
+  /// \brief True when \p name refers to a catalog source stream.
+  bool IsSource(const std::string& name) const;
+
+  /// \brief All nodes, children before parents.
+  std::vector<QueryNodePtr> TopologicalOrder() const;
+
+  /// \brief Queries that no other query consumes (outputs of the system).
+  std::vector<QueryNodePtr> Roots() const;
+
+  /// \brief Queries that directly consume \p name.
+  std::vector<QueryNodePtr> Parents(const std::string& name) const;
+
+  /// \brief Unbound scalar expression over the source stream computing
+  /// column \p column of stream \p stream; null Expr when the column is
+  /// aggregate-derived. Errors if the stream or column does not exist.
+  Result<ExprPtr> ResolveColumnToSource(const std::string& stream,
+                                        const std::string& column) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+  const UdafRegistry& udaf_registry() const { return *registry_; }
+  size_t num_queries() const { return order_.size(); }
+
+ private:
+  const Catalog* catalog_;
+  const UdafRegistry* registry_;
+  std::map<std::string, QueryNodePtr> queries_;
+  std::vector<std::string> order_;  // registration (== topological) order
+};
+
+/// \brief Analyzes one parsed query against the graph, producing a bound
+/// node. Exposed separately so tests can analyze without registering.
+Result<QueryNodePtr> AnalyzeQuery(const std::string& name,
+                                  const ParsedQuery& parsed,
+                                  const QueryGraph& graph);
+
+}  // namespace streampart

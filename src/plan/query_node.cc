@@ -1,0 +1,57 @@
+#include "plan/query_node.h"
+
+#include "common/strings.h"
+
+namespace streampart {
+
+const char* QueryKindToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSelectProject:
+      return "select";
+    case QueryKind::kAggregate:
+      return "aggregate";
+    case QueryKind::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string out = udaf + "(";
+  if (args.empty() && udaf == "count") out += "*";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string EquiPred::ToString() const {
+  std::string out = left->ToString() + " = " + right->ToString();
+  if (temporal) out += " [temporal]";
+  return out;
+}
+
+std::string QueryNode::Summary() const {
+  std::string out = name + ": " + QueryKindToString(kind) + "[";
+  out += Join(inputs, ", ");
+  out += "]";
+  if (kind == QueryKind::kAggregate) {
+    std::vector<std::string> keys;
+    for (const NamedExpr& g : group_by) keys.push_back(g.expr->ToString());
+    out += " group by (" + Join(keys, ", ") + ")";
+    std::vector<std::string> aggs;
+    for (const AggregateSpec& a : aggregates) aggs.push_back(a.ToString());
+    if (!aggs.empty()) out += " aggs (" + Join(aggs, ", ") + ")";
+    if (having) out += " having " + having->ToString();
+  } else if (kind == QueryKind::kJoin) {
+    std::vector<std::string> preds;
+    for (const EquiPred& p : equi_preds) preds.push_back(p.ToString());
+    out += " on (" + Join(preds, " AND ") + ")";
+  }
+  if (where) out += " where " + where->ToString();
+  return out;
+}
+
+}  // namespace streampart

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file query_node.h
+/// \brief Analyzed (bound) logical query nodes.
+///
+/// A QueryNode is the semantic form of one named GSQL query: expressions are
+/// bound to positional indexes, aggregates are extracted into slots, join
+/// predicates are decomposed into temporal / equi / residual parts, and each
+/// output column carries its *source lineage* — the scalar expression over
+/// the source stream's attributes it is derived from (or null when it is
+/// aggregate-derived). Lineage is what lets the partitioning analysis of
+/// paper §3.5 reason about arbitrarily deep query DAGs.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "parser/ast.h"
+#include "types/schema.h"
+
+namespace streampart {
+
+/// \brief Basic streaming query classes of paper §4.2 ("selection/projection,
+/// union, aggregation, and join"). Merge (union) nodes are introduced by the
+/// distributed optimizer, not by GSQL analysis.
+enum class QueryKind : uint8_t {
+  kSelectProject,
+  kAggregate,
+  kJoin,
+};
+
+const char* QueryKindToString(QueryKind kind);
+
+/// \brief A named, typed, bound output expression.
+struct NamedExpr {
+  std::string name;
+  ExprPtr expr;  // bound; evaluation context depends on the node kind
+  DataType type = DataType::kNull;
+};
+
+/// \brief One aggregate slot of an aggregation node.
+struct AggregateSpec {
+  std::string udaf;             // lower-case UDAF name
+  std::vector<ExprPtr> args;    // bound over the input schema (0 or 1 arg)
+  std::string out_name;         // internal slot name
+  DataType out_type = DataType::kNull;
+
+  std::string ToString() const;
+};
+
+/// \brief One equality conjunct of a join predicate, se(L) = se(R).
+struct EquiPred {
+  ExprPtr left;        // bound over the left input schema
+  ExprPtr right;       // bound over the right input schema
+  ExprPtr left_src;    // unbound source-level lineage of `left` (may be null)
+  ExprPtr right_src;   // unbound source-level lineage of `right` (may be null)
+  /// True when both sides reference ordered (temporal) attributes — this
+  /// conjunct defines the tumbling-window correlation (paper §3.1).
+  bool temporal = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Analyzed logical query node. Field groups apply by `kind`.
+struct QueryNode {
+  std::string name;
+  QueryKind kind = QueryKind::kSelectProject;
+  /// Original statement, kept for plan printing and re-analysis.
+  ParsedQuery parsed;
+
+  /// Child stream names (source streams or other query names); 1 entry, or 2
+  /// for joins. `aliases` are the effective FROM aliases.
+  std::vector<std::string> inputs;
+  std::vector<std::string> aliases;
+  std::vector<SchemaPtr> input_schemas;
+
+  /// Pre-aggregation / scan filter, bound over the (concatenated) input
+  /// schema. Null when absent.
+  ExprPtr where;
+
+  /// Output columns. Evaluation context: input schema for kSelectProject and
+  /// kJoin (concatenated inputs); the internal schema for kAggregate.
+  std::vector<NamedExpr> outputs;
+  SchemaPtr output_schema;
+
+  // ---- kAggregate ------------------------------------------------------
+  /// Group-by keys, bound over the input schema.
+  std::vector<NamedExpr> group_by;
+  std::vector<AggregateSpec> aggregates;
+  /// HAVING, bound over the internal schema; null when absent.
+  ExprPtr having;
+  /// Internal schema: group-by columns followed by aggregate slots.
+  SchemaPtr internal_schema;
+  /// Index into group_by of the tumbling-window (temporal) key, if any.
+  std::optional<size_t> temporal_group_idx;
+
+  // ---- kJoin -----------------------------------------------------------
+  JoinType join_type = JoinType::kInner;
+  std::vector<EquiPred> equi_preds;
+  /// Non-equality conjuncts, bound over the concatenated schema.
+  ExprPtr residual;
+
+  /// Ultimate source stream this node's data derives from (left side for
+  /// joins). The analysis framework assumes all inputs of a query set share
+  /// one partitioned source (paper §4's simplifying assumption).
+  std::string source_stream;
+
+  // ---- Lineage ---------------------------------------------------------
+  /// Per output column: an unbound scalar expression over the *source*
+  /// stream's attributes that computes this column, or null when the column
+  /// is aggregate-derived (or otherwise not a pure scalar of the source).
+  std::vector<ExprPtr> output_source_exprs;
+
+  /// \brief One-line summary, e.g.
+  /// "flows: aggregate[TCP] group by ((time / 60), srcIP, destIP)".
+  std::string Summary() const;
+};
+
+using QueryNodePtr = std::shared_ptr<const QueryNode>;
+
+}  // namespace streampart

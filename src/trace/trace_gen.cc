@@ -1,0 +1,90 @@
+#include "trace/trace_gen.h"
+
+#include "catalog/catalog.h"
+
+namespace streampart {
+
+PacketTraceGenerator::PacketTraceGenerator(const TraceConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_flows, config.zipf_skew) {
+  flows_.reserve(config_.num_flows);
+  for (uint32_t i = 0; i < config_.num_flows; ++i) {
+    flows_.push_back(MakeFlow());
+  }
+}
+
+PacketTraceGenerator::Flow PacketTraceGenerator::MakeFlow() {
+  Flow flow;
+  // Hosts live in 10.0.0.0/8, packed into /28 subnets of 16 addresses.
+  uint32_t src_host = static_cast<uint32_t>(rng_.Uniform(0, config_.num_hosts - 1));
+  uint32_t dest_host = static_cast<uint32_t>(rng_.Uniform(0, config_.num_hosts - 1));
+  flow.src_ip = 0x0A000000u | src_host;
+  flow.dest_ip = 0x0A000000u | dest_host;
+  flow.src_port = static_cast<uint16_t>(rng_.Uniform(1024, 65535));
+  // Servers concentrate on a few well-known ports.
+  static const uint16_t kServerPorts[] = {80, 443, 53, 25, 22, 8080};
+  flow.dest_port = kServerPorts[rng_.Uniform(0, 5)];
+  flow.suspicious = rng_.Chance(config_.suspicious_fraction);
+  return flow;
+}
+
+void PacketTraceGenerator::RenewFlows() {
+  size_t renewals = static_cast<size_t>(
+      config_.flow_renewal * static_cast<double>(flows_.size()));
+  for (size_t i = 0; i < renewals; ++i) {
+    size_t victim = rng_.Uniform(0, flows_.size() - 1);
+    flows_[victim] = MakeFlow();
+  }
+}
+
+bool PacketTraceGenerator::Next(Tuple* out) {
+  if (emitted_ >= total_packets()) return false;
+  uint32_t sec = static_cast<uint32_t>(emitted_ / config_.packets_per_sec);
+  if (sec != current_sec_) {
+    current_sec_ = sec;
+    RenewFlows();
+  }
+  const Flow& flow = flows_[zipf_.Sample(&rng_) - 1];
+
+  uint64_t flags;
+  if (flow.suspicious) {
+    // Attack traffic: flags drawn from subsets of the attack pattern so the
+    // per-flow OR accumulates to exactly attack_flag_pattern; single-packet
+    // flows carry the full pattern.
+    flags = config_.attack_flag_pattern;
+  } else {
+    flags = rng_.Chance(0.3) ? 0x18 : 0x10;  // PSH|ACK or ACK
+  }
+  // Heavy-tailed packet sizes: many small ACKs, some MTU-size payloads.
+  uint64_t len = rng_.Chance(0.4)
+                     ? 40
+                     : rng_.Uniform(200, 1500);
+
+  uint64_t micros_within = (emitted_ % config_.packets_per_sec) * 1000000ULL /
+                           config_.packets_per_sec;
+  Tuple t;
+  t.values().reserve(kPktNumFields);
+  t.Append(Value::Uint(sec));
+  t.Append(Value::Ip(flow.src_ip));
+  t.Append(Value::Ip(flow.dest_ip));
+  t.Append(Value::Uint(flow.src_port));
+  t.Append(Value::Uint(flow.dest_port));
+  t.Append(Value::Uint(len));
+  t.Append(Value::Uint(flags));
+  t.Append(Value::Uint(6));  // TCP
+  t.Append(Value::Uint(static_cast<uint64_t>(sec) * 1000000ULL + micros_within));
+  *out = std::move(t);
+  ++emitted_;
+  return true;
+}
+
+TupleBatch PacketTraceGenerator::GenerateAll() {
+  TupleBatch out;
+  out.reserve(total_packets());
+  Tuple t;
+  while (Next(&t)) out.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace streampart

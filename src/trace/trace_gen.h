@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file trace_gen.h
+/// \brief Synthetic packet-trace generation.
+///
+/// Substitute for the paper's one-hour AT&T data-center traces (per DESIGN.md
+/// §1): what the experiments actually exercise is the *distribution* of
+/// packets over flows — flow cardinality per epoch, heavy-tailed flow sizes,
+/// the ~5% of flows that violate the TCP flag protocol, and IP locality that
+/// makes subnet masks meaningful. The generator reproduces those properties
+/// deterministically from a seed.
+///
+/// Flows are 5-tuples (srcIP, destIP, srcPort, destPort, protocol). A table
+/// of active flows evolves by per-second renewal; each packet picks a flow by
+/// a Zipf draw (rank 1 = heaviest). Suspicious flows carry the attack flag
+/// pattern (OR of their flags matches TraceConfig::attack_flag_pattern);
+/// normal flows OR to ordinary ACK/PSH patterns.
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Knobs of the synthetic trace.
+struct TraceConfig {
+  uint64_t seed = 20080609;  // SIGMOD'08 :-)
+  /// Trace length in seconds.
+  uint32_t duration_sec = 60;
+  /// Aggregate packet rate (the paper's taps carry ~100k pkts/sec/direction;
+  /// benches scale this down and note the scaling in EXPERIMENTS.md).
+  uint32_t packets_per_sec = 100000;
+  /// Concurrently active flows.
+  uint32_t num_flows = 4000;
+  /// Fraction of the flow table replaced each second.
+  double flow_renewal = 0.05;
+  /// Zipf skew of packets over flows (0 = uniform).
+  double zipf_skew = 1.05;
+  /// Fraction of flows violating the TCP protocol (paper §6.1: ~5%).
+  double suspicious_fraction = 0.05;
+  /// Distinct hosts in the address pool (grouped into /28 subnets so that
+  /// srcIP & 0xFFFFFFF0 aggregations are meaningful).
+  uint32_t num_hosts = 1 << 12;
+  /// OR_AGGR(flags) value identifying an attack flow (FIN|RST|URG).
+  uint64_t attack_flag_pattern = 0x29;
+};
+
+/// \brief Streaming generator of packet tuples in the canonical packet
+/// schema (catalog.h), strictly non-decreasing in `time` and `timestamp`.
+class PacketTraceGenerator {
+ public:
+  explicit PacketTraceGenerator(const TraceConfig& config);
+
+  /// \brief Next packet, or false at end of trace. Tuples follow
+  /// MakePacketSchema() layout.
+  bool Next(Tuple* out);
+
+  /// \brief Generates the whole trace eagerly.
+  TupleBatch GenerateAll();
+
+  const TraceConfig& config() const { return config_; }
+
+  /// \brief Total packets the trace will contain.
+  uint64_t total_packets() const {
+    return static_cast<uint64_t>(config_.duration_sec) *
+           config_.packets_per_sec;
+  }
+
+ private:
+  struct Flow {
+    uint32_t src_ip;
+    uint32_t dest_ip;
+    uint16_t src_port;
+    uint16_t dest_port;
+    bool suspicious;
+  };
+
+  Flow MakeFlow();
+  void RenewFlows();
+
+  TraceConfig config_;
+  Rng rng_;
+  ZipfDistribution zipf_;
+  std::vector<Flow> flows_;
+  uint64_t emitted_ = 0;
+  uint32_t current_sec_ = 0;
+};
+
+}  // namespace streampart

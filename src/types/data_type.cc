@@ -1,0 +1,74 @@
+#include "types/data_type.h"
+
+namespace streampart {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kUint:
+      return "uint";
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+    case DataType::kIp:
+      return "ip";
+  }
+  return "unknown";
+}
+
+size_t DataTypeWireSize(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kUint:
+    case DataType::kInt:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kBool:
+      return 1;
+    case DataType::kString:
+      return 16;
+    case DataType::kIp:
+      return 4;
+  }
+  return 8;
+}
+
+bool IsNumeric(DataType type) {
+  switch (type) {
+    case DataType::kUint:
+    case DataType::kInt:
+    case DataType::kDouble:
+    case DataType::kIp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsIntegral(DataType type) {
+  switch (type) {
+    case DataType::kUint:
+    case DataType::kInt:
+    case DataType::kIp:
+    case DataType::kBool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DataType PromoteNumeric(DataType a, DataType b) {
+  if (!IsNumeric(a) || !IsNumeric(b)) return DataType::kNull;
+  if (a == DataType::kDouble || b == DataType::kDouble) return DataType::kDouble;
+  if (a == DataType::kInt || b == DataType::kInt) return DataType::kInt;
+  return DataType::kUint;
+}
+
+}  // namespace streampart

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file data_type.h
+/// \brief Scalar data types of the GSQL type system.
+///
+/// Network-monitoring schemas are dominated by small unsigned integers
+/// (addresses, ports, lengths, flag bytes), so the type lattice is kept
+/// deliberately small, mirroring Gigascope's.
+
+#include <cstdint>
+#include <string>
+
+namespace streampart {
+
+/// \brief Scalar type of a stream attribute or expression.
+enum class DataType : uint8_t {
+  /// Absence of a value (outer-join padding, uninitialized aggregate).
+  kNull = 0,
+  /// Unsigned 64-bit integer; also used for UINT/ULLONG GSQL columns.
+  kUint = 1,
+  /// Signed 64-bit integer.
+  kInt = 2,
+  /// IEEE-754 double.
+  kDouble = 3,
+  /// Boolean.
+  kBool = 4,
+  /// Variable-length byte string.
+  kString = 5,
+  /// IPv4 address (host-order uint32 payload, formatted dotted-quad).
+  kIp = 6,
+};
+
+/// \brief Stable lower-case name ("uint", "ip", ...).
+const char* DataTypeToString(DataType type);
+
+/// \brief Serialized width in bytes used by the network-cost model; strings
+/// report a representative average (16).
+size_t DataTypeWireSize(DataType type);
+
+/// \brief True for kUint, kInt, kDouble, kIp — types with a total order and
+/// arithmetic.
+bool IsNumeric(DataType type);
+
+/// \brief True for types representable in an integer register (kUint, kInt,
+/// kIp, kBool).
+bool IsIntegral(DataType type);
+
+/// \brief The wider of two numeric types for arithmetic promotion
+/// (double > int > uint/ip). Returns kNull when incompatible.
+DataType PromoteNumeric(DataType a, DataType b);
+
+}  // namespace streampart

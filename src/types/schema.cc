@@ -1,0 +1,71 @@
+#include "types/schema.h"
+
+#include "common/strings.h"
+
+namespace streampart {
+
+std::string Field::ToString() const {
+  std::string out = name;
+  out += " ";
+  out += DataTypeToString(type);
+  if (order == TemporalOrder::kIncreasing) out += " increasing";
+  if (order == TemporalOrder::kDecreasing) out += " decreasing";
+  return out;
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+std::shared_ptr<const Schema> Schema::Make(std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+std::optional<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::RequireFieldIndex(const std::string& name) const {
+  auto idx = FieldIndex(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column named '", name, "' in schema ",
+                            ToString());
+  }
+  return *idx;
+}
+
+std::vector<size_t> Schema::TemporalFieldIndexes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].is_temporal()) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Schema::WireTupleSize() const {
+  size_t total = 0;
+  for (const Field& f : fields_) total += DataTypeWireSize(f.type);
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) parts.push_back(f.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type ||
+        fields_[i].order != other.fields_[i].order) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace streampart

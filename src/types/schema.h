@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file schema.h
+/// \brief Stream schemas with ordered (temporal) attribute marking.
+///
+/// In the tumbling-window model (paper §3.1), one or more attributes of a
+/// stream are declared ordered — e.g. PKT(time increasing, srcIP, ...). The
+/// analysis framework excludes temporal attributes from partitioning sets
+/// (paper §3.5.1), so the schema carries the ordering property explicitly.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace streampart {
+
+/// \brief Ordering property of a stream attribute.
+enum class TemporalOrder : uint8_t {
+  kNone = 0,
+  /// Values never decrease across the stream (typical timestamp).
+  kIncreasing = 1,
+  /// Values never increase across the stream.
+  kDecreasing = 2,
+};
+
+/// \brief One attribute of a stream schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kUint;
+  TemporalOrder order = TemporalOrder::kNone;
+
+  bool is_temporal() const { return order != TemporalOrder::kNone; }
+
+  /// "time uint increasing" / "srcIP ip".
+  std::string ToString() const;
+};
+
+/// \brief An ordered list of named, typed fields.
+///
+/// Schemas are immutable after construction and shared by shared_ptr; every
+/// Tuple references the Schema it conforms to.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// \brief Named constructor returning a shared immutable schema.
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// \brief Index of the field named \p name, or nullopt.
+  std::optional<size_t> FieldIndex(const std::string& name) const;
+
+  /// \brief Field lookup that reports an error naming the missing column.
+  Result<size_t> RequireFieldIndex(const std::string& name) const;
+
+  /// \brief Indexes of all temporal (ordered) fields.
+  std::vector<size_t> TemporalFieldIndexes() const;
+
+  /// \brief Sum of wire sizes of all fields — the tuple-size estimate used by
+  /// the network-cost model (paper §4.2.1 in_tuple_size / out_tuple_size).
+  size_t WireTupleSize() const;
+
+  /// \brief "name(f1 t1, f2 t2 increasing, ...)" without a name; see
+  /// StreamDef for named rendering.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace streampart

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file serde.h
+/// \brief Binary wire format for tuples crossing host boundaries.
+///
+/// The simulated cluster actually serializes and deserializes every tuple on
+/// a cross-host edge: the byte counts feeding the network ledger are the real
+/// encoded sizes, and any value-representation bug (NULL padding from outer
+/// joins, IP vs uint confusion) surfaces as a test failure instead of hiding
+/// inside in-process pointer passing.
+///
+/// Format, per tuple: varint field count, then per value a type tag byte
+/// followed by a payload — varint for integral types, 8 raw bytes for
+/// doubles, varint length + bytes for strings, nothing for NULL.
+
+#include <string>
+
+#include "common/result.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Appends the encoding of \p tuple to \p out.
+void EncodeTuple(const Tuple& tuple, std::string* out);
+
+/// \brief Exact encoded size in bytes (without encoding).
+size_t EncodedTupleSize(const Tuple& tuple);
+
+/// \brief Decodes one tuple from \p data starting at \p *offset, advancing
+/// it. Fails on truncated or malformed input.
+Status DecodeTuple(std::string_view data, size_t* offset, Tuple* out);
+
+/// \brief One-shot round trip (encode + decode); used on simulated network
+/// edges.
+Result<Tuple> RoundTripTuple(const Tuple& tuple);
+
+/// \brief Varint primitives (LEB128), exposed for tests.
+void PutVarint(uint64_t v, std::string* out);
+Status GetVarint(std::string_view data, size_t* offset, uint64_t* out);
+
+}  // namespace streampart

@@ -1,0 +1,35 @@
+#include "types/tuple.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace streampart {
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = Mix64(values_.size());
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+size_t Tuple::WireSize() const {
+  size_t total = 0;
+  for (const Value& v : values_) total += v.WireSize();
+  return total;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return "[" + Join(parts, ", ") + "]";
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  std::vector<Value> vals;
+  vals.reserve(left.size() + right.size());
+  for (const Value& v : left.values()) vals.push_back(v);
+  for (const Value& v : right.values()) vals.push_back(v);
+  return Tuple(std::move(vals));
+}
+
+}  // namespace streampart

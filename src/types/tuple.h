@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file tuple.h
+/// \brief Tuple: a row of Values conforming to a Schema.
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace streampart {
+
+/// \brief A row flowing through operators. Values are positionally aligned
+/// with the owning stream's Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& values() { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  /// \brief Lexicographic order; used for canonical sorting in comparisons.
+  bool operator<(const Tuple& other) const {
+    const size_t n = std::min(values_.size(), other.values_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (values_[i] < other.values_[i]) return true;
+      if (other.values_[i] < values_[i]) return false;
+    }
+    return values_.size() < other.values_.size();
+  }
+
+  /// \brief Order-dependent hash of all values.
+  uint64_t Hash() const;
+
+  /// \brief Serialized size under the wire model; drives network accounting.
+  size_t WireSize() const;
+
+  /// \brief "[v1, v2, ...]".
+  std::string ToString() const;
+
+  /// \brief Concatenation of two tuples (join output assembly).
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+ private:
+  std::vector<Value> values_;
+};
+
+using TupleBatch = std::vector<Tuple>;
+
+}  // namespace streampart

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file value.h
+/// \brief Value: a dynamically typed scalar flowing through the engine.
+///
+/// A Value is a small tagged union. Integral payloads live inline; strings
+/// live in a std::string member (only materialized for string values). The
+/// engine's hot path (packet tuples) never touches the string member.
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "types/data_type.h"
+
+namespace streampart {
+
+/// \brief A dynamically typed scalar.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(DataType::kNull), u64_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Uint(uint64_t v) { return Value(DataType::kUint, v); }
+  static Value Int(int64_t v) {
+    Value out(DataType::kInt, 0);
+    out.i64_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out(DataType::kDouble, 0);
+    out.f64_ = v;
+    return out;
+  }
+  static Value Bool(bool v) {
+    return Value(DataType::kBool, v ? 1 : 0);
+  }
+  static Value Ip(uint32_t v) { return Value(DataType::kIp, v); }
+  static Value String(std::string v) {
+    Value out(DataType::kString, 0);
+    out.str_ = std::move(v);
+    return out;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  /// \brief Raw unsigned payload. Valid for kUint, kIp, kBool.
+  uint64_t uint_value() const { return u64_; }
+  int64_t int_value() const { return i64_; }
+  double double_value() const { return f64_; }
+  bool bool_value() const { return u64_ != 0; }
+  const std::string& string_value() const { return str_; }
+
+  /// \brief Numeric payload widened to int64 (kUint/kIp/kBool/kInt).
+  int64_t AsInt64() const;
+  /// \brief Numeric payload widened to uint64.
+  uint64_t AsUint64() const;
+  /// \brief Numeric payload widened to double.
+  double AsDouble() const;
+
+  /// \brief Truthiness for predicate evaluation: NULL and false are false,
+  /// non-zero numerics and non-empty strings are true.
+  bool Truthy() const;
+
+  /// \brief Structural equality: same type and same payload. NULL == NULL
+  /// (multiset comparisons in tests rely on this; SQL ternary logic is
+  /// handled at the expression-evaluation layer).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// \brief Total order over values: first by type tag, then payload.
+  /// Used for deterministic sorting of result sets in tests/benches.
+  bool operator<(const Value& other) const;
+
+  /// \brief 64-bit hash consistent with operator==.
+  uint64_t Hash() const;
+
+  /// \brief Human-readable rendering ("10.1.2.3" for IPs, "NULL", ...).
+  std::string ToString() const;
+
+  /// \brief Serialized size in bytes under the wire-size model.
+  size_t WireSize() const;
+
+ private:
+  Value(DataType type, uint64_t payload) : type_(type), u64_(payload) {}
+
+  DataType type_;
+  union {
+    uint64_t u64_;
+    int64_t i64_;
+    double f64_;
+  };
+  std::string str_;
+};
+
+}  // namespace streampart

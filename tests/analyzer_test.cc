@@ -1,0 +1,290 @@
+/// \file analyzer_test.cc
+/// \brief Semantic-analysis tests: classification, output schemas, lineage
+/// resolution through the query DAG, temporal propagation, join predicate
+/// decomposition, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "expr/scalar_form.h"
+#include "plan/lineage.h"
+#include "plan/query_graph.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  QueryNodePtr MustAdd(const std::string& name, const std::string& gsql) {
+    Status st = graph_.AddQuery(name, gsql);
+    SP_CHECK(st.ok()) << st.ToString();
+    return *graph_.GetQuery(name);
+  }
+
+  Status TryAdd(const std::string& name, const std::string& gsql) {
+    return graph_.AddQuery(name, gsql);
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Classification & shape
+// ---------------------------------------------------------------------------
+
+TEST_F(AnalyzerTest, ClassifiesKinds) {
+  EXPECT_EQ(MustAdd("s", "SELECT time, srcIP FROM TCP WHERE len > 0")->kind,
+            QueryKind::kSelectProject);
+  EXPECT_EQ(MustAdd("a", "SELECT srcIP, COUNT(*) FROM TCP GROUP BY srcIP")
+                ->kind,
+            QueryKind::kAggregate);
+  // Aggregate without GROUP BY (global aggregate).
+  EXPECT_EQ(MustAdd("g", "SELECT COUNT(*) FROM TCP")->kind,
+            QueryKind::kAggregate);
+  EXPECT_EQ(MustAdd("j",
+                    "SELECT S1.time FROM TCP S1, TCP S2 "
+                    "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP")
+                ->kind,
+            QueryKind::kJoin);
+}
+
+TEST_F(AnalyzerTest, OutputSchemaNamesAndTypes) {
+  QueryNodePtr node = MustAdd(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as cnt, SUM(len), AVG(len) FROM TCP "
+      "GROUP BY time/60 as tb, srcIP");
+  const Schema& schema = *node->output_schema;
+  ASSERT_EQ(schema.num_fields(), 5u);
+  EXPECT_EQ(schema.field(0).name, "tb");
+  EXPECT_EQ(schema.field(1).name, "srcIP");
+  EXPECT_EQ(schema.field(2).name, "cnt");
+  EXPECT_EQ(schema.field(3).name, "sum");   // call-name fallback
+  EXPECT_EQ(schema.field(4).name, "avg");
+  EXPECT_EQ(schema.field(1).type, DataType::kIp);
+  EXPECT_EQ(schema.field(2).type, DataType::kUint);
+  EXPECT_EQ(schema.field(4).type, DataType::kDouble);
+}
+
+TEST_F(AnalyzerTest, DuplicateOutputNamesGetSuffixes) {
+  MustAdd("hv", "SELECT tb, srcIP, max(len) as m FROM TCP "
+                "GROUP BY time as tb, srcIP");
+  QueryNodePtr join = MustAdd(
+      "pair", "SELECT S1.m, S2.m FROM hv S1, hv S2 "
+              "WHERE S1.tb = S2.tb and S1.srcIP = S2.srcIP");
+  EXPECT_EQ(join->output_schema->field(0).name, "m");
+  EXPECT_EQ(join->output_schema->field(1).name, "m_2");
+}
+
+TEST_F(AnalyzerTest, WherePushesIntoAggregate) {
+  QueryNodePtr node = MustAdd(
+      "f", "SELECT tb, COUNT(*) FROM TCP WHERE protocol = 6 "
+           "GROUP BY time as tb");
+  ASSERT_NE(node->where, nullptr);
+  ASSERT_NE(node->internal_schema, nullptr);
+  EXPECT_EQ(node->internal_schema->num_fields(), 2u);  // tb + count slot
+}
+
+// ---------------------------------------------------------------------------
+// Lineage & temporal propagation
+// ---------------------------------------------------------------------------
+
+TEST_F(AnalyzerTest, LineageThroughTwoLevels) {
+  MustAdd("flows", "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+                   "GROUP BY time/60 as tb, srcIP, destIP");
+  MustAdd("heavy", "SELECT tb, srcIP, max(cnt) as mx FROM flows "
+                   "GROUP BY tb, srcIP");
+  // heavy.tb resolves to time/60 at the source.
+  ASSERT_OK_AND_ASSIGN(ExprPtr tb_lineage,
+                       graph_.ResolveColumnToSource("heavy", "tb"));
+  ASSERT_NE(tb_lineage, nullptr);
+  auto analyzed = AnalyzeScalarExpr(tb_lineage);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed->base_column, "time");
+  EXPECT_TRUE(analyzed->form.Equals(ScalarForm::Div(60)));
+  // heavy.mx is aggregate-derived: null lineage.
+  ASSERT_OK_AND_ASSIGN(ExprPtr mx_lineage,
+                       graph_.ResolveColumnToSource("heavy", "mx"));
+  EXPECT_EQ(mx_lineage, nullptr);
+}
+
+TEST_F(AnalyzerTest, LineageComposesScalarExpressions) {
+  MustAdd("subnets", "SELECT time, sub FROM TCP "
+                     "GROUP BY time, srcIP & 0xFFFF0000 as sub");
+  MustAdd("coarser", "SELECT time, s2, COUNT(*) FROM subnets "
+                     "GROUP BY time, sub & 0xFF000000 as s2");
+  ASSERT_OK_AND_ASSIGN(ExprPtr lineage,
+                       graph_.ResolveColumnToSource("coarser", "s2"));
+  ASSERT_NE(lineage, nullptr);
+  auto analyzed = AnalyzeScalarExpr(lineage);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_TRUE(analyzed->form.Equals(ScalarForm::Mask(0xFF000000)))
+      << analyzed->ToString();
+}
+
+TEST_F(AnalyzerTest, TemporalPropagatesOnlyThroughMonotoneForms) {
+  QueryNodePtr node = MustAdd(
+      "mixed",
+      "SELECT t1, t2, t3, srcIP FROM TCP "
+      "GROUP BY time/60 as t1, time % 10 as t2, time & 0xFF as t3, srcIP");
+  EXPECT_TRUE(node->output_schema->field(0).is_temporal());   // monotone
+  EXPECT_FALSE(node->output_schema->field(1).is_temporal());  // mod: no
+  EXPECT_FALSE(node->output_schema->field(2).is_temporal());  // mask: no
+  EXPECT_FALSE(node->output_schema->field(3).is_temporal());
+  ASSERT_TRUE(node->temporal_group_idx.has_value());
+  EXPECT_EQ(*node->temporal_group_idx, 0u);
+}
+
+TEST_F(AnalyzerTest, SelectProjectPreservesTemporal) {
+  QueryNodePtr node =
+      MustAdd("s", "SELECT time, timestamp, srcIP FROM TCP WHERE len > 0");
+  EXPECT_TRUE(node->output_schema->field(0).is_temporal());
+  EXPECT_TRUE(node->output_schema->field(1).is_temporal());
+  EXPECT_FALSE(node->output_schema->field(2).is_temporal());
+}
+
+// ---------------------------------------------------------------------------
+// Join analysis
+// ---------------------------------------------------------------------------
+
+TEST_F(AnalyzerTest, JoinPredicateDecomposition) {
+  QueryNodePtr node = MustAdd(
+      "j",
+      "SELECT S1.time, S1.srcIP FROM TCP S1, TCP S2 "
+      "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP and "
+      "S1.len > S2.len and S1.destPort = 80");
+  // time=time (temporal), srcIP=srcIP (equi); len>len and destPort=80 are
+  // residual conjuncts.
+  ASSERT_EQ(node->equi_preds.size(), 2u);
+  EXPECT_TRUE(node->equi_preds[0].temporal);
+  EXPECT_FALSE(node->equi_preds[1].temporal);
+  ASSERT_NE(node->residual, nullptr);
+}
+
+TEST_F(AnalyzerTest, JoinSidesNormalized) {
+  // Predicate written right-to-left still lands left-expr-on-left.
+  QueryNodePtr node = MustAdd(
+      "j",
+      "SELECT S1.time FROM TCP S1, TCP S2 "
+      "WHERE S2.time = S1.time and S2.srcIP = S1.srcIP");
+  for (const EquiPred& pred : node->equi_preds) {
+    std::vector<const Expr*> cols;
+    pred.left->CollectColumns(&cols);
+    for (const Expr* c : cols) EXPECT_EQ(c->qualifier(), "S1");
+  }
+}
+
+TEST_F(AnalyzerTest, JoinEquiKeySourceLineage) {
+  MustAdd("hv", "SELECT tb, srcIP, max(len) as m FROM TCP "
+                "GROUP BY time/60 as tb, srcIP");
+  QueryNodePtr join = MustAdd(
+      "p", "SELECT S1.m FROM hv S1, hv S2 "
+           "WHERE S1.tb = S2.tb and S1.srcIP = S2.srcIP");
+  // The srcIP equi-pred's lineage is srcIP on both sides.
+  bool found = false;
+  for (const EquiPred& pred : join->equi_preds) {
+    if (pred.temporal) continue;
+    found = true;
+    ASSERT_NE(pred.left_src, nullptr);
+    ASSERT_NE(pred.right_src, nullptr);
+    EXPECT_TRUE(Expr::Equal(pred.left_src, pred.right_src));
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+TEST_F(AnalyzerTest, ErrorUnknownStream) {
+  EXPECT_TRUE(TryAdd("x", "SELECT a FROM nosuch").IsNotFound());
+}
+
+TEST_F(AnalyzerTest, ErrorUnknownColumn) {
+  Status st = TryAdd("x", "SELECT bogus FROM TCP");
+  EXPECT_TRUE(st.IsAnalysisError()) << st.ToString();
+  EXPECT_NE(st.message().find("bogus"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, ErrorAggregateInWhere) {
+  EXPECT_TRUE(TryAdd("x", "SELECT time FROM TCP WHERE COUNT(*) > 1")
+                  .IsAnalysisError());
+}
+
+TEST_F(AnalyzerTest, ErrorAggregateInGroupBy) {
+  EXPECT_TRUE(
+      TryAdd("x", "SELECT time FROM TCP GROUP BY COUNT(*)").IsAnalysisError());
+}
+
+TEST_F(AnalyzerTest, ErrorNestedAggregates) {
+  EXPECT_TRUE(TryAdd("x", "SELECT SUM(len + COUNT(*)) FROM TCP GROUP BY time")
+                  .IsAnalysisError());
+}
+
+TEST_F(AnalyzerTest, ErrorNonGroupedSelectColumn) {
+  Status st = TryAdd("x", "SELECT srcIP, COUNT(*) FROM TCP GROUP BY destIP");
+  EXPECT_TRUE(st.IsAnalysisError()) << st.ToString();
+}
+
+TEST_F(AnalyzerTest, ErrorHavingWithoutAggregation) {
+  EXPECT_TRUE(
+      TryAdd("x", "SELECT time FROM TCP HAVING time > 1").IsAnalysisError());
+}
+
+TEST_F(AnalyzerTest, ErrorSelfJoinWithoutAliases) {
+  EXPECT_TRUE(TryAdd("x",
+                     "SELECT time FROM TCP JOIN TCP "
+                     "WHERE time = time")
+                  .IsAnalysisError());
+}
+
+TEST_F(AnalyzerTest, ErrorNonEquiJoin) {
+  Status st = TryAdd("x",
+                     "SELECT S1.time FROM TCP S1, TCP S2 "
+                     "WHERE S1.len > S2.len");
+  EXPECT_TRUE(st.IsNotImplemented()) << st.ToString();
+}
+
+TEST_F(AnalyzerTest, ErrorAmbiguousJoinColumn) {
+  Status st = TryAdd("x",
+                     "SELECT S1.time FROM TCP S1, TCP S2 WHERE len = S2.len");
+  EXPECT_TRUE(st.IsAnalysisError()) << st.ToString();
+}
+
+TEST_F(AnalyzerTest, ErrorAggregationOverJoin) {
+  Status st = TryAdd("x",
+                     "SELECT COUNT(*) FROM TCP S1, TCP S2 "
+                     "WHERE S1.time = S2.time GROUP BY S1.srcIP");
+  EXPECT_TRUE(st.IsNotImplemented()) << st.ToString();
+}
+
+TEST_F(AnalyzerTest, ErrorDuplicateQueryName) {
+  MustAdd("q", "SELECT time FROM TCP");
+  EXPECT_TRUE(TryAdd("q", "SELECT time FROM TCP").IsAlreadyExists());
+  EXPECT_TRUE(TryAdd("TCP", "SELECT time FROM TCP").IsAlreadyExists());
+}
+
+// ---------------------------------------------------------------------------
+// Graph navigation
+// ---------------------------------------------------------------------------
+
+TEST_F(AnalyzerTest, RootsAndParents) {
+  MustAdd("flows", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                   "GROUP BY time/60 as tb, srcIP");
+  MustAdd("a", "SELECT tb, max(c) as m FROM flows GROUP BY tb");
+  MustAdd("b", "SELECT tb, srcIP FROM flows WHERE c > 10");
+  auto roots = graph_.Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  auto parents = graph_.Parents("flows");
+  EXPECT_EQ(parents.size(), 2u);
+  EXPECT_TRUE(graph_.Parents("a").empty());
+  // Topological order puts flows before its consumers.
+  auto order = graph_.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0]->name, "flows");
+}
+
+}  // namespace
+}  // namespace streampart

@@ -1,0 +1,147 @@
+/// \file engine_smoke_test.cc
+/// \brief End-to-end smoke tests: parse the paper's queries, analyze them,
+/// and execute them centralized over hand-built packets.
+
+#include <gtest/gtest.h>
+
+#include "exec/local_engine.h"
+#include "plan/printer.h"
+#include "plan/query_graph.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::MakePacket;
+
+class EngineSmokeTest : public ::testing::Test {
+ protected:
+  EngineSmokeTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(EngineSmokeTest, FlowsQueryAggregatesPerEpoch) {
+  ASSERT_OK(graph_.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+      "GROUP BY time/60 as tb, srcIP, destIP"));
+
+  TupleBatch packets = {
+      MakePacket(10, 0x0A000001, 0x0A000002, 1000, 80, 100),
+      MakePacket(20, 0x0A000001, 0x0A000002, 1000, 80, 200),
+      MakePacket(30, 0x0A000003, 0x0A000002, 1001, 80, 300),
+      MakePacket(70, 0x0A000001, 0x0A000002, 1000, 80, 400),  // next epoch
+  };
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       RunCentralized(graph_, "TCP", packets));
+  const TupleBatch& flows = results.at("flows");
+  ASSERT_EQ(flows.size(), 3u);
+  // Epoch 0: (10.0.0.1 -> 10.0.0.2, cnt 2), (10.0.0.3 -> 10.0.0.2, cnt 1).
+  // Epoch 1: (10.0.0.1 -> 10.0.0.2, cnt 1).
+  TupleBatch sorted = testing::Sorted(flows);
+  EXPECT_EQ(sorted[0].at(0).AsUint64(), 0u);
+  EXPECT_EQ(sorted[0].at(3).AsUint64(), 2u);
+  EXPECT_EQ(sorted[1].at(0).AsUint64(), 0u);
+  EXPECT_EQ(sorted[1].at(3).AsUint64(), 1u);
+  EXPECT_EQ(sorted[2].at(0).AsUint64(), 1u);
+  EXPECT_EQ(sorted[2].at(3).AsUint64(), 1u);
+}
+
+TEST_F(EngineSmokeTest, PaperSection32QuerySetRuns) {
+  // The §3.2 query set: flows -> heavy_flows -> flow_pairs.
+  ASSERT_OK(graph_.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+      "GROUP BY time/60 as tb, srcIP, destIP"));
+  ASSERT_OK(graph_.AddQuery(
+      "heavy_flows",
+      "SELECT tb, srcIP, max(cnt) as max_cnt FROM flows GROUP BY tb, srcIP"));
+  ASSERT_OK(graph_.AddQuery(
+      "flow_pairs",
+      "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt "
+      "FROM heavy_flows S1, heavy_flows S2 "
+      "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1"));
+
+  // Host A sends 3 packets in epoch 0 and 2 packets in epoch 1; host B only
+  // appears in epoch 0. flow_pairs should correlate host A across epochs.
+  TupleBatch packets = {
+      MakePacket(5, 0xC0A80001, 0x0A000002, 1000, 80, 100),
+      MakePacket(6, 0xC0A80001, 0x0A000002, 1000, 80, 100),
+      MakePacket(7, 0xC0A80001, 0x0A000003, 1000, 80, 100),
+      MakePacket(8, 0xC0A80002, 0x0A000002, 1000, 80, 100),
+      MakePacket(65, 0xC0A80001, 0x0A000002, 1000, 80, 100),
+      MakePacket(66, 0xC0A80001, 0x0A000002, 1000, 80, 100),
+  };
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       RunCentralized(graph_, "TCP", packets));
+
+  // flows: epoch 0 has 3 flows (A->2 x2, A->3 x1, B->2 x1) = 3 groups;
+  // epoch 1 has 1.
+  EXPECT_EQ(results.at("flows").size(), 4u);
+  // heavy_flows: epoch0 {A: max 2, B: 1}; epoch1 {A: 2}.
+  EXPECT_EQ(results.at("heavy_flows").size(), 3u);
+  // flow_pairs: A epoch1 (tb=1) joins A epoch0 (tb=0).
+  const TupleBatch& pairs = results.at("flow_pairs");
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].at(0).AsUint64(), 1u);       // tb of S1
+  EXPECT_EQ(pairs[0].at(1).uint_value(), 0xC0A80001u);
+  EXPECT_EQ(pairs[0].at(2).AsUint64(), 2u);       // S1.max_cnt (epoch 1)
+  EXPECT_EQ(pairs[0].at(3).AsUint64(), 2u);       // S2.max_cnt (epoch 0)
+}
+
+TEST_F(EngineSmokeTest, HavingFiltersSuspiciousFlows) {
+  ASSERT_OK(graph_.AddQuery(
+      "suspicious",
+      "SELECT tb, srcIP, destIP, srcPort, destPort, "
+      "OR_AGGR(flags) as orflag, COUNT(*), SUM(len) FROM TCP "
+      "GROUP BY time as tb, srcIP, destIP, srcPort, destPort "
+      "HAVING OR_AGGR(flags) = 41"));
+
+  TupleBatch packets = {
+      MakePacket(1, 1, 2, 10, 80, 100, /*flags=*/0x10),
+      MakePacket(1, 1, 2, 10, 80, 100, /*flags=*/0x10),
+      MakePacket(1, 3, 4, 11, 80, 100, /*flags=*/0x29),  // 41: suspicious
+      MakePacket(1, 5, 6, 12, 80, 100, /*flags=*/0x01),
+      MakePacket(1, 5, 6, 12, 80, 100, /*flags=*/0x28),  // OR = 0x29
+  };
+  ASSERT_OK_AND_ASSIGN(auto results,
+                       RunCentralized(graph_, "TCP", packets));
+  const TupleBatch& out = results.at("suspicious");
+  ASSERT_EQ(out.size(), 2u);
+  for (const Tuple& t : out) {
+    EXPECT_EQ(t.at(5).AsUint64(), 41u) << t.ToString();
+  }
+}
+
+TEST_F(EngineSmokeTest, PlanPrinterRendersDag) {
+  ASSERT_OK(graph_.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+      "GROUP BY time/60 as tb, srcIP, destIP"));
+  ASSERT_OK(graph_.AddQuery(
+      "heavy_flows",
+      "SELECT tb, srcIP, max(cnt) as max_cnt FROM flows GROUP BY tb, srcIP"));
+  std::string dump = PrintQueryDag(graph_);
+  EXPECT_NE(dump.find("heavy_flows"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("TCP [source]"), std::string::npos) << dump;
+}
+
+TEST_F(EngineSmokeTest, TemporalPropagationThroughViews) {
+  ASSERT_OK(graph_.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+      "GROUP BY time/60 as tb, srcIP, destIP"));
+  ASSERT_OK_AND_ASSIGN(QueryNodePtr node, graph_.GetQuery("flows"));
+  // tb = time/60 is a monotone function of the increasing `time`.
+  EXPECT_TRUE(node->output_schema->field(0).is_temporal());
+  EXPECT_FALSE(node->output_schema->field(1).is_temporal());
+  EXPECT_FALSE(node->output_schema->field(3).is_temporal());
+  // The temporal group key index is 0.
+  ASSERT_TRUE(node->temporal_group_idx.has_value());
+  EXPECT_EQ(*node->temporal_group_idx, 0u);
+}
+
+}  // namespace
+}  // namespace streampart

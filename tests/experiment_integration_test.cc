@@ -1,0 +1,166 @@
+/// \file experiment_integration_test.cc
+/// \brief Full-stack integration: the exact §6 experiment harness runs, and
+/// every configuration of every figure computes semantically identical
+/// results — the measured differences are purely about *where* work happens.
+
+#include <gtest/gtest.h>
+
+#include "dist/experiment.h"
+#include "exec/local_engine.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+/// Shared helper: run each config through the harness and check every root
+/// query's output against centralized execution.
+void ExpectAllConfigsEquivalent(const QueryGraph& graph,
+                                const std::vector<ExperimentConfig>& configs,
+                                const TraceConfig& tc, int hosts) {
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  auto central = RunCentralized(graph, "TCP", runner.trace());
+  ASSERT_TRUE(central.ok());
+  for (const ExperimentConfig& config : configs) {
+    auto run = runner.RunOne(config, hosts);
+    ASSERT_TRUE(run.ok()) << config.name << ": " << run.status().ToString();
+    for (const QueryNodePtr& root : graph.Roots()) {
+      auto it = run->outputs.find(root->name);
+      ASSERT_NE(it, run->outputs.end())
+          << config.name << " lost output stream " << root->name;
+      testing::ExpectSameMultiset(central->at(root->name), it->second,
+                                  config.name + " / " + root->name);
+    }
+  }
+}
+
+ExperimentConfig Config(const std::string& name, const std::string& ps,
+                        OptimizerOptions::PartialAggMode partial,
+                        bool pushdown) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.enable_compatible_pushdown = pushdown;
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+TEST(ExperimentIntegration, Section61ConfigsAgree) {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "suspicious",
+      "SELECT tb, srcIP, destIP, srcPort, destPort, "
+      "OR_AGGR(flags) as orflag, COUNT(*) as cnt, SUM(len) as bytes "
+      "FROM TCP GROUP BY time as tb, srcIP, destIP, srcPort, destPort "
+      "HAVING OR_AGGR(flags) = 41"));
+  TraceConfig tc;
+  tc.duration_sec = 8;
+  tc.packets_per_sec = 2500;
+  tc.num_flows = 400;
+  using Mode = OptimizerOptions::PartialAggMode;
+  ExpectAllConfigsEquivalent(
+      graph,
+      {Config("Naive", "", Mode::kPerPartition, false),
+       Config("Optimized", "", Mode::kPerHost, false),
+       Config("Partitioned", "srcIP, destIP, srcPort, destPort", Mode::kNone,
+              true)},
+      tc, 4);
+}
+
+TEST(ExperimentIntegration, Section62ConfigsAgree) {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "subnet_stats",
+      "SELECT tb, sub, destIP, COUNT(*) as cnt, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP & 0xFFFFFFF0 as sub, destIP"));
+  ASSERT_OK(graph.AddQuery(
+      "web_pkts",
+      "SELECT time, srcIP, destIP, srcPort, destPort, timestamp FROM TCP "
+      "WHERE destPort = 80"));
+  ASSERT_OK(graph.AddQuery(
+      "jitter",
+      "SELECT S1.time, S1.srcIP, S1.destIP, "
+      "S2.timestamp - S1.timestamp as delay "
+      "FROM web_pkts S1, web_pkts S2 "
+      "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP and "
+      "S1.destIP = S2.destIP and S1.srcPort = S2.srcPort and "
+      "S1.destPort = S2.destPort and S1.timestamp < S2.timestamp"));
+  TraceConfig tc;
+  tc.duration_sec = 6;
+  tc.packets_per_sec = 1500;
+  tc.num_flows = 250;
+  tc.zipf_skew = 0.8;
+  using Mode = OptimizerOptions::PartialAggMode;
+  ExpectAllConfigsEquivalent(
+      graph,
+      {Config("Naive", "", Mode::kNone, false),
+       Config("Suboptimal", "srcIP, destIP, srcPort, destPort", Mode::kNone,
+              true),
+       Config("Optimal", "srcIP & 0xFFFFFFF0, destIP", Mode::kNone, true)},
+      tc, 3);
+}
+
+TEST(ExperimentIntegration, Section63ConfigsAgree) {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "flows", "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+               "GROUP BY time/10 as tb, srcIP, destIP"));
+  ASSERT_OK(graph.AddQuery(
+      "heavy_flows", "SELECT tb, srcIP, max(cnt) as max_cnt FROM flows "
+                     "GROUP BY tb, srcIP"));
+  ASSERT_OK(graph.AddQuery(
+      "flow_pairs",
+      "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt "
+      "FROM heavy_flows S1, heavy_flows S2 "
+      "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1"));
+  TraceConfig tc;
+  tc.duration_sec = 35;  // several 10-second flow epochs
+  tc.packets_per_sec = 1200;
+  tc.num_flows = 200;
+  using Mode = OptimizerOptions::PartialAggMode;
+  ExpectAllConfigsEquivalent(
+      graph,
+      {Config("Naive", "", Mode::kPerPartition, false),
+       Config("Optimized", "", Mode::kPerHost, false),
+       Config("Partial", "srcIP, destIP", Mode::kNone, true),
+       Config("Full", "srcIP", Mode::kNone, true)},
+      tc, 4);
+}
+
+TEST(ExperimentIntegration, SweepProducesOnePointPerCell) {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "flows", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+               "GROUP BY time/10 as tb, srcIP"));
+  TraceConfig tc;
+  tc.duration_sec = 5;
+  tc.packets_per_sec = 1000;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  using Mode = OptimizerOptions::PartialAggMode;
+  auto sweep = runner.RunSweep(
+      {Config("A", "", Mode::kPerHost, false), Config("B", "srcIP",
+                                                      Mode::kNone, true)},
+      {1, 2, 4});
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->series.size(), 2u);
+  for (const auto& [name, points] : sweep->series) {
+    ASSERT_EQ(points.size(), 3u) << name;
+    EXPECT_EQ(points[0].num_hosts, 1);
+    EXPECT_EQ(points[2].num_hosts, 4);
+    // Single host: everything local.
+    EXPECT_EQ(points[0].aggregator_net_tuples_sec, 0.0) << name;
+    EXPECT_EQ(points[0].leaf_cpu_pct, points[0].aggregator_cpu_pct) << name;
+    // Output volume is configuration-independent.
+    EXPECT_EQ(points[0].output_tuples, points[2].output_tuples) << name;
+  }
+}
+
+}  // namespace
+}  // namespace streampart

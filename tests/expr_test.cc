@@ -1,0 +1,258 @@
+/// \file expr_test.cc
+/// \brief Unit tests for the expression AST: construction, structural
+/// equality/hashing, binding/type checking, evaluation semantics, and
+/// rewriting.
+
+#include <gtest/gtest.h>
+
+#include "exec/udaf.h"
+#include "expr/expr.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({
+      Field{"time", DataType::kUint, TemporalOrder::kIncreasing},
+      Field{"srcIP", DataType::kIp, TemporalOrder::kNone},
+      Field{"len", DataType::kUint, TemporalOrder::kNone},
+      Field{"ratio", DataType::kDouble, TemporalOrder::kNone},
+      Field{"name", DataType::kString, TemporalOrder::kNone},
+  });
+}
+
+Tuple TestTuple() {
+  Tuple t;
+  t.Append(Value::Uint(120));
+  t.Append(Value::Ip(0x0A000001));
+  t.Append(Value::Uint(1500));
+  t.Append(Value::Double(0.5));
+  t.Append(Value::String("alpha"));
+  return t;
+}
+
+ExprPtr BindOver(const std::string& text, const SchemaPtr& schema) {
+  auto parsed = ParseExpression(text);
+  SP_CHECK(parsed.ok()) << parsed.status().ToString();
+  BindingContext ctx;
+  ctx.AddInput("", schema);
+  auto bound = (*parsed)->Bind(ctx, &UdafRegistry::Default());
+  SP_CHECK(bound.ok()) << bound.status().ToString();
+  return *bound;
+}
+
+Value EvalText(const std::string& text) {
+  return BindOver(text, TestSchema())->Eval(TestTuple());
+}
+
+// ---------------------------------------------------------------------------
+// Construction & structure
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = Expr::Binary(BinaryOp::kDiv, Expr::Column("time"), UintLit(60));
+  ExprPtr b = Expr::Binary(BinaryOp::kDiv, Expr::Column("time"), UintLit(60));
+  ExprPtr c = Expr::Binary(BinaryOp::kDiv, Expr::Column("time"), UintLit(90));
+  EXPECT_TRUE(Expr::Equal(a, b));
+  EXPECT_FALSE(Expr::Equal(a, c));
+  EXPECT_EQ(a->Hash(), b->Hash());
+}
+
+TEST(ExprTest, QualifierSensitiveEquality) {
+  ExprPtr a = Expr::Column("S1", "srcIP");
+  ExprPtr b = Expr::Column("S2", "srcIP");
+  ExprPtr c = Expr::Column("srcIP");
+  EXPECT_FALSE(Expr::Equal(a, b));
+  EXPECT_FALSE(Expr::Equal(a, c));
+}
+
+TEST(ExprTest, ToStringRoundTripsThroughParser) {
+  const char* cases[] = {
+      "(time / 60)",
+      "((srcIP & 61440) = 4096)",
+      "((len + 1) * 2)",
+      "or_aggr(len)",
+      "(NOT((len > 100)) OR (ratio <= 0.500000))",
+      "(time % 7)",
+      "~(len)",
+  };
+  for (const char* text : cases) {
+    auto parsed = ParseExpression(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    auto reparsed = ParseExpression((*parsed)->ToString());
+    ASSERT_TRUE(reparsed.ok()) << (*parsed)->ToString();
+    EXPECT_TRUE(Expr::Equal(*parsed, *reparsed)) << text;
+  }
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto parsed = ParseExpression("S1.a + b * S1.a");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<const Expr*> cols;
+  (*parsed)->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0]->qualifier(), "S1");
+  EXPECT_EQ(cols[1]->column_name(), "b");
+}
+
+// ---------------------------------------------------------------------------
+// Binding
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, BindResolvesTypes) {
+  SchemaPtr schema = TestSchema();
+  EXPECT_EQ(BindOver("len + 1", schema)->result_type(), DataType::kUint);
+  EXPECT_EQ(BindOver("len + ratio", schema)->result_type(), DataType::kDouble);
+  EXPECT_EQ(BindOver("len > 100", schema)->result_type(), DataType::kBool);
+  EXPECT_EQ(BindOver("srcIP & 0xFF", schema)->result_type(), DataType::kUint);
+  EXPECT_EQ(BindOver("-len", schema)->result_type(), DataType::kInt);
+}
+
+TEST(ExprTest, BindRejectsUnknownColumn) {
+  auto parsed = ParseExpression("nosuch + 1");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("", TestSchema());
+  auto bound = (*parsed)->Bind(ctx);
+  EXPECT_TRUE(bound.status().IsAnalysisError());
+}
+
+TEST(ExprTest, BindRejectsBitwiseOnDouble) {
+  auto parsed = ParseExpression("ratio & 0xFF");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("", TestSchema());
+  EXPECT_TRUE((*parsed)->Bind(ctx).status().IsAnalysisError());
+}
+
+TEST(ExprTest, BindRejectsArithmeticOnString) {
+  auto parsed = ParseExpression("name + 1");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("", TestSchema());
+  EXPECT_TRUE((*parsed)->Bind(ctx).status().IsAnalysisError());
+}
+
+TEST(ExprTest, BindAmbiguousUnqualifiedColumn) {
+  auto parsed = ParseExpression("srcIP");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("S1", TestSchema());
+  ctx.AddInput("S2", TestSchema());
+  EXPECT_TRUE((*parsed)->Bind(ctx).status().IsAnalysisError());
+}
+
+TEST(ExprTest, BindQualifiedAcrossTwoInputs) {
+  auto parsed = ParseExpression("S1.len + S2.len");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("S1", TestSchema());
+  ctx.AddInput("S2", TestSchema());
+  auto bound = (*parsed)->Bind(ctx);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  Tuple both = Tuple::Concat(TestTuple(), TestTuple());
+  EXPECT_EQ((*bound)->Eval(both).AsUint64(), 3000u);
+}
+
+TEST(ExprTest, BindCallWithoutResolverFails) {
+  auto parsed = ParseExpression("count(*)");
+  ASSERT_TRUE(parsed.ok());
+  BindingContext ctx;
+  ctx.AddInput("", TestSchema());
+  EXPECT_TRUE((*parsed)->Bind(ctx, nullptr).status().IsAnalysisError());
+}
+
+TEST(ExprTest, BindTagsAggregates) {
+  ExprPtr bound = BindOver("sum(len) + 1", TestSchema());
+  EXPECT_TRUE(bound->ContainsAggregate());
+  ExprPtr scalar = BindOver("len + 1", TestSchema());
+  EXPECT_FALSE(scalar->ContainsAggregate());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, ArithmeticSemantics) {
+  EXPECT_EQ(EvalText("time / 60").AsUint64(), 2u);
+  EXPECT_EQ(EvalText("time % 50").AsUint64(), 20u);
+  EXPECT_EQ(EvalText("len - 500").AsUint64(), 1000u);
+  EXPECT_DOUBLE_EQ(EvalText("ratio * 4").AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(EvalText("len / 2 + ratio").AsDouble(), 750.5);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  EXPECT_TRUE(EvalText("len / 0").is_null());
+  EXPECT_TRUE(EvalText("len % 0").is_null());
+  EXPECT_TRUE(EvalText("ratio / 0").is_null());
+}
+
+TEST(ExprTest, BitwiseSemantics) {
+  EXPECT_EQ(EvalText("srcIP & 0xFF").AsUint64(), 1u);
+  EXPECT_EQ(EvalText("len >> 4").AsUint64(), 1500u >> 4);
+  EXPECT_EQ(EvalText("1 << 10").AsUint64(), 1024u);
+  EXPECT_EQ(EvalText("len ^ len").AsUint64(), 0u);
+  EXPECT_EQ(EvalText("len | 1").AsUint64(), 1501u);
+  // Shifts >= 64 are defined as zero, not UB.
+  EXPECT_EQ(EvalText("len >> 100").AsUint64(), 0u);
+  EXPECT_EQ(EvalText("len << 100").AsUint64(), 0u);
+}
+
+TEST(ExprTest, ComparisonSemantics) {
+  EXPECT_TRUE(EvalText("len = 1500").bool_value());
+  EXPECT_TRUE(EvalText("len <> 1501").bool_value());
+  EXPECT_TRUE(EvalText("ratio < 1").bool_value());
+  EXPECT_TRUE(EvalText("name = 'alpha'").bool_value());
+  EXPECT_FALSE(EvalText("name = 'beta'").bool_value());
+  EXPECT_TRUE(EvalText("len >= 1500").bool_value());
+  // Mixed numeric comparison promotes to double.
+  EXPECT_TRUE(EvalText("ratio < len").bool_value());
+}
+
+TEST(ExprTest, LogicalShortCircuitAndNullCollapse) {
+  EXPECT_TRUE(EvalText("len > 0 AND ratio > 0").bool_value());
+  EXPECT_TRUE(EvalText("len > 9999 OR ratio > 0").bool_value());
+  EXPECT_FALSE(EvalText("NOT (len > 0)").bool_value());
+  // NULL behaves as false in logical context (len/0 is NULL).
+  EXPECT_FALSE(EvalText("(len / 0) > 0").Truthy());
+  EXPECT_TRUE(EvalText("NOT ((len / 0) > 0)").bool_value());
+}
+
+TEST(ExprTest, NullPropagatesThroughArithmetic) {
+  EXPECT_TRUE(EvalText("(len / 0) + 1").is_null());
+  EXPECT_TRUE(EvalText("~(len / 0)").is_null());
+  EXPECT_TRUE(EvalText("(len / 0) = 5").is_null());
+}
+
+TEST(ExprTest, UnaryOperators) {
+  EXPECT_EQ(EvalText("-len").AsInt64(), -1500);
+  EXPECT_EQ(EvalText("~0").AsUint64(), ~0ULL);
+  EXPECT_DOUBLE_EQ(EvalText("-ratio").AsDouble(), -0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Rewrite
+// ---------------------------------------------------------------------------
+
+TEST(ExprTest, RewriteReplacesMatchingSubtrees) {
+  auto parsed = ParseExpression("time/60 + len");
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr target = *ParseExpression("time/60");
+  ExprPtr rewritten = Expr::Rewrite(*parsed, [&](const ExprPtr& e) -> ExprPtr {
+    return Expr::Equal(e, target) ? Expr::Column("tb") : nullptr;
+  });
+  EXPECT_EQ(rewritten->ToString(), "(tb + len)");
+}
+
+TEST(ExprTest, RewriteIdentityPreservesSharing) {
+  auto parsed = ParseExpression("a + b * c");
+  ASSERT_TRUE(parsed.ok());
+  ExprPtr same =
+      Expr::Rewrite(*parsed, [](const ExprPtr&) -> ExprPtr { return nullptr; });
+  EXPECT_EQ(same.get(), parsed->get());  // no copy when nothing changes
+}
+
+}  // namespace
+}  // namespace streampart

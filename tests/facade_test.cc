@@ -1,0 +1,153 @@
+/// \file facade_test.cc
+/// \brief Tests for the operator-facing surfaces: stream-definition DDL and
+/// the workload advisor.
+
+#include <gtest/gtest.h>
+
+#include "parser/stream_def.h"
+#include "partition/advisor.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stream DDL
+// ---------------------------------------------------------------------------
+
+TEST(StreamDefTest, PaperNotation) {
+  // §3.1: PKT(time increasing, srcIP, destIP, len).
+  ASSERT_OK_AND_ASSIGN(
+      StreamDef def,
+      ParseStreamDef("PKT2(time increasing, srcIP, destIP, len)"
+                     ));
+  EXPECT_EQ(def.name, "PKT2");
+  ASSERT_EQ(def.schema->num_fields(), 4u);
+  EXPECT_TRUE(def.schema->field(0).is_temporal());
+  EXPECT_EQ(def.schema->field(0).type, DataType::kUint);  // default type
+  EXPECT_FALSE(def.schema->field(1).is_temporal());
+}
+
+TEST(StreamDefTest, TypedFieldsAndCreateKeyword) {
+  ASSERT_OK_AND_ASSIGN(
+      StreamDef def,
+      ParseStreamDef("CREATE STREAM NETFLOW (ts uint increasing, src ip, "
+                     "ratio double, tag string, ok bool, delta int)"));
+  EXPECT_EQ(def.name, "NETFLOW");
+  EXPECT_EQ(def.schema->field(1).type, DataType::kIp);
+  EXPECT_EQ(def.schema->field(2).type, DataType::kDouble);
+  EXPECT_EQ(def.schema->field(3).type, DataType::kString);
+  EXPECT_EQ(def.schema->field(4).type, DataType::kBool);
+  EXPECT_EQ(def.schema->field(5).type, DataType::kInt);
+}
+
+TEST(StreamDefTest, Errors) {
+  EXPECT_FALSE(ParseStreamDef("PKT()").ok());
+  EXPECT_FALSE(ParseStreamDef("PKT(a, a)").ok());       // duplicate field
+  EXPECT_FALSE(ParseStreamDef("(a, b)").ok());          // no name
+  EXPECT_FALSE(ParseStreamDef("PKT(a, b) trailing").ok());
+  EXPECT_FALSE(ParseStreamDef("PKT a, b").ok());        // missing parens
+}
+
+TEST(StreamDefTest, DefinedStreamIsQueryable) {
+  ASSERT_OK_AND_ASSIGN(
+      StreamDef def,
+      ParseStreamDef("STREAM EVENTS (ts increasing, kind, host ip)"));
+  Catalog catalog;
+  ASSERT_OK(catalog.RegisterStream(def.name, def.schema));
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "by_kind", "SELECT tb, kind, COUNT(*) FROM EVENTS "
+                 "GROUP BY ts/10 as tb, kind"));
+  ASSERT_OK_AND_ASSIGN(QueryNodePtr node, graph.GetQuery("by_kind"));
+  EXPECT_TRUE(node->temporal_group_idx.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Advisor
+// ---------------------------------------------------------------------------
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void AddPaperQuerySet() {
+    ASSERT_OK(graph_.AddQuery(
+        "flows", "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+                 "GROUP BY time/60 as tb, srcIP, destIP"));
+    ASSERT_OK(graph_.AddQuery(
+        "heavy_flows", "SELECT tb, srcIP, max(cnt) as max_cnt FROM flows "
+                       "GROUP BY tb, srcIP"));
+    ASSERT_OK(graph_.AddQuery(
+        "flow_pairs",
+        "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt "
+        "FROM heavy_flows S1, heavy_flows S2 "
+        "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1"));
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(AdvisorTest, RecommendsOptimalWhenUnrestricted) {
+  AddPaperQuerySet();
+  ASSERT_OK_AND_ASSIGN(WorkloadAdvice advice,
+                       AdviseWorkload(graph_, AdvisorOptions()));
+  EXPECT_EQ(advice.optimal.ToString(), "(srcIP)");
+  EXPECT_FALSE(advice.hardware_restricted);
+  EXPECT_TRUE(advice.recommended.Equals(advice.optimal));
+  EXPECT_LT(advice.optimal_cost_bytes, advice.baseline_cost_bytes);
+  ASSERT_EQ(advice.queries.size(), 3u);
+  for (const QueryAdvice& q : advice.queries) {
+    EXPECT_TRUE(q.compatible_with_recommendation) << q.query;
+  }
+  // The report mentions the key facts.
+  std::string report = advice.ToString();
+  EXPECT_NE(report.find("(srcIP)"), std::string::npos);
+  EXPECT_NE(report.find("flow_pairs"), std::string::npos);
+}
+
+TEST_F(AdvisorTest, HardwareRestrictionFallsBackGracefully) {
+  AddPaperQuerySet();
+  AdvisorOptions options;
+  // A splitter that can only touch destIP.
+  options.hardware = HardwareCapability({"destIP"});
+  ASSERT_OK_AND_ASSIGN(WorkloadAdvice advice, AdviseWorkload(graph_, options));
+  EXPECT_TRUE(advice.hardware_restricted);
+  // Only flows can be satisfied with destIP alone.
+  EXPECT_EQ(advice.recommended.ToString(), "(destIP)");
+  int compatible = 0;
+  for (const QueryAdvice& q : advice.queries) {
+    compatible += q.compatible_with_recommendation;
+  }
+  EXPECT_EQ(compatible, 1);
+  EXPECT_GE(advice.recommended_cost_bytes, advice.optimal_cost_bytes);
+  EXPECT_LT(advice.recommended_cost_bytes, advice.baseline_cost_bytes);
+}
+
+TEST_F(AdvisorTest, CalibratesFromSample) {
+  AddPaperQuerySet();
+  TraceConfig tc;
+  tc.duration_sec = 65;
+  tc.packets_per_sec = 500;
+  PacketTraceGenerator gen(tc);
+  TupleBatch sample = gen.GenerateAll();
+  AdvisorOptions options;
+  options.calibration_sample = &sample;
+  ASSERT_OK_AND_ASSIGN(WorkloadAdvice advice, AdviseWorkload(graph_, options));
+  EXPECT_EQ(advice.optimal.ToString(), "(srcIP)");
+}
+
+TEST_F(AdvisorTest, SelectionOnlyWorkloadHasNoConstraint) {
+  ASSERT_OK(graph_.AddQuery("web",
+                            "SELECT time, srcIP FROM TCP WHERE destPort = 80"));
+  ASSERT_OK_AND_ASSIGN(WorkloadAdvice advice,
+                       AdviseWorkload(graph_, AdvisorOptions()));
+  EXPECT_TRUE(advice.optimal.empty());
+  ASSERT_EQ(advice.queries.size(), 1u);
+  EXPECT_EQ(advice.queries[0].preferred_set, "");
+}
+
+}  // namespace
+}  // namespace streampart

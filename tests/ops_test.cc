@@ -1,0 +1,351 @@
+/// \file ops_test.cc
+/// \brief Direct operator tests: select/project, tumbling aggregation
+/// (epoch flushing, HAVING), joins (window correlation, outer padding,
+/// residuals), and the ordered merge.
+
+#include <gtest/gtest.h>
+
+#include "exec/local_engine.h"
+#include "exec/ops.h"
+#include "plan/query_graph.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::MakePacket;
+
+/// Builds a one-query graph and returns the analyzed node.
+class OpsTest : public ::testing::Test {
+ protected:
+  OpsTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  QueryNodePtr Node(const std::string& name, const std::string& gsql) {
+    Status st = graph_.AddQuery(name, gsql);
+    SP_CHECK(st.ok()) << st.ToString();
+    return *graph_.GetQuery(name);
+  }
+
+  /// Runs tuples through a freshly built operator and collects output.
+  TupleBatch Run(const QueryNodePtr& node, const TupleBatch& input) {
+    auto op = MakeOperator(node, &UdafRegistry::Default());
+    SP_CHECK(op.ok());
+    TupleBatch out;
+    (*op)->AddSink([&out](const Tuple& t) { out.push_back(t); });
+    for (const Tuple& t : input) (*op)->Push(0, t);
+    (*op)->Finish(0);
+    return out;
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// ---------------------------------------------------------------------------
+// SelectProjectOp
+// ---------------------------------------------------------------------------
+
+TEST_F(OpsTest, SelectProjectFiltersAndProjects) {
+  QueryNodePtr node = Node(
+      "web", "SELECT time, srcIP, len * 2 as dlen FROM TCP "
+             "WHERE destPort = 80");
+  TupleBatch out = Run(node, {
+      MakePacket(1, 0xA, 0xB, 10, 80, 100),
+      MakePacket(2, 0xA, 0xB, 10, 443, 100),
+      MakePacket(3, 0xC, 0xB, 10, 80, 250),
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), 3u);
+  EXPECT_EQ(out[0].at(2).AsUint64(), 200u);
+  EXPECT_EQ(out[1].at(2).AsUint64(), 500u);
+}
+
+TEST_F(OpsTest, SelectProjectStatsCountPredicates) {
+  QueryNodePtr node =
+      Node("f", "SELECT time FROM TCP WHERE len > 100");
+  auto op = MakeOperator(node, &UdafRegistry::Default());
+  ASSERT_TRUE(op.ok());
+  for (int i = 0; i < 5; ++i) (*op)->Push(0, MakePacket(1, 1, 2, 3, 4, 50));
+  (*op)->Finish(0);
+  EXPECT_EQ((*op)->stats().tuples_in, 5u);
+  EXPECT_EQ((*op)->stats().predicate_evals, 5u);
+  EXPECT_EQ((*op)->stats().tuples_out, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AggregateOp
+// ---------------------------------------------------------------------------
+
+TEST_F(OpsTest, AggregateFlushesPerEpoch) {
+  QueryNodePtr node = Node(
+      "counts", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                "GROUP BY time/10 as tb, srcIP");
+  auto op = MakeOperator(node, &UdafRegistry::Default());
+  ASSERT_TRUE(op.ok());
+  TupleBatch out;
+  (*op)->AddSink([&out](const Tuple& t) { out.push_back(t); });
+
+  (*op)->Push(0, MakePacket(1, 0xA, 1, 1, 1, 10));
+  (*op)->Push(0, MakePacket(5, 0xA, 1, 1, 1, 10));
+  EXPECT_EQ(out.size(), 0u) << "window still open";
+  (*op)->Push(0, MakePacket(12, 0xA, 1, 1, 1, 10));  // epoch 0 -> 1
+  ASSERT_EQ(out.size(), 1u) << "epoch 0 flushed on boundary";
+  EXPECT_EQ(out[0].at(2).AsUint64(), 2u);
+  (*op)->Finish(0);
+  ASSERT_EQ(out.size(), 2u) << "final flush";
+  EXPECT_EQ(out[1].at(2).AsUint64(), 1u);
+}
+
+TEST_F(OpsTest, AggregateWithoutTemporalKeyIsBlocking) {
+  QueryNodePtr node = Node(
+      "by_src", "SELECT srcIP, COUNT(*) as c FROM TCP GROUP BY srcIP");
+  EXPECT_FALSE(node->temporal_group_idx.has_value());
+  auto op = MakeOperator(node, &UdafRegistry::Default());
+  ASSERT_TRUE(op.ok());
+  TupleBatch out;
+  (*op)->AddSink([&out](const Tuple& t) { out.push_back(t); });
+  (*op)->Push(0, MakePacket(1, 0xA, 1, 1, 1, 10));
+  (*op)->Push(0, MakePacket(900, 0xA, 1, 1, 1, 10));
+  EXPECT_EQ(out.size(), 0u);
+  (*op)->Finish(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(1).AsUint64(), 2u);
+}
+
+TEST_F(OpsTest, AggregateEmitsSortedGroupsWithinEpoch) {
+  QueryNodePtr node = Node(
+      "counts", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                "GROUP BY time/10 as tb, srcIP");
+  TupleBatch out = Run(node, {
+      MakePacket(1, 9, 1, 1, 1, 10),
+      MakePacket(1, 3, 1, 1, 1, 10),
+      MakePacket(1, 7, 1, 1, 1, 10),
+  });
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_LT(out[0].at(1).AsUint64(), out[1].at(1).AsUint64());
+  EXPECT_LT(out[1].at(1).AsUint64(), out[2].at(1).AsUint64());
+}
+
+TEST_F(OpsTest, HavingAppliesPerGroup) {
+  QueryNodePtr node = Node(
+      "big", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+             "GROUP BY time/10 as tb, srcIP HAVING COUNT(*) >= 2");
+  TupleBatch out = Run(node, {
+      MakePacket(1, 0xA, 1, 1, 1, 10),
+      MakePacket(2, 0xA, 1, 1, 1, 10),
+      MakePacket(3, 0xB, 1, 1, 1, 10),
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(1).uint_value(), 0xAu);
+}
+
+TEST_F(OpsTest, MultipleAggregatesShareSlots) {
+  QueryNodePtr node = Node(
+      "stats",
+      "SELECT tb, COUNT(*) as c, SUM(len) as s, MIN(len) as lo, "
+      "MAX(len) as hi, AVG(len) as mean FROM TCP GROUP BY time/10 as tb");
+  TupleBatch out = Run(node, {
+      MakePacket(1, 1, 1, 1, 1, 100),
+      MakePacket(2, 2, 2, 2, 2, 300),
+  });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(1).AsUint64(), 2u);
+  EXPECT_EQ(out[0].at(2).AsUint64(), 400u);
+  EXPECT_EQ(out[0].at(3).AsUint64(), 100u);
+  EXPECT_EQ(out[0].at(4).AsUint64(), 300u);
+  EXPECT_DOUBLE_EQ(out[0].at(5).AsDouble(), 200.0);
+}
+
+TEST_F(OpsTest, DuplicateAggregateCallsShareOneSlot) {
+  QueryNodePtr node = Node(
+      "dup",
+      "SELECT tb, COUNT(*) as a, COUNT(*) as b FROM TCP GROUP BY time as tb");
+  EXPECT_EQ(node->aggregates.size(), 1u);
+  TupleBatch out = Run(node, {MakePacket(1, 1, 1, 1, 1, 10)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(1).AsUint64(), 1u);
+  EXPECT_EQ(out[0].at(2).AsUint64(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MergeOp
+// ---------------------------------------------------------------------------
+
+TEST(MergeOpTest, OrderedMergeRespectsTemporalAttribute) {
+  SchemaPtr schema = Schema::Make({
+      Field{"t", DataType::kUint, TemporalOrder::kIncreasing},
+      Field{"v", DataType::kUint, TemporalOrder::kNone},
+  });
+  MergeOp merge("m", schema, 2);
+  TupleBatch out;
+  merge.AddSink([&out](const Tuple& t) { out.push_back(t); });
+
+  auto row = [](uint64_t t, uint64_t v) {
+    return Tuple(std::vector<Value>{Value::Uint(t), Value::Uint(v)});
+  };
+  // Port 0 runs ahead; merge must hold tuples until port 1 catches up.
+  merge.Push(0, row(5, 0));
+  merge.Push(0, row(9, 0));
+  EXPECT_EQ(out.size(), 0u);
+  merge.Push(1, row(3, 1));
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].at(0).AsUint64(), 3u);
+  merge.Push(1, row(7, 1));
+  merge.Finish(1);
+  merge.Finish(0);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].at(0).AsUint64(), out[i].at(0).AsUint64());
+  }
+}
+
+TEST(MergeOpTest, NonTemporalSchemaPassesThrough) {
+  SchemaPtr schema = Schema::Make({
+      Field{"v", DataType::kUint, TemporalOrder::kNone},
+  });
+  MergeOp merge("m", schema, 2);
+  TupleBatch out;
+  merge.AddSink([&out](const Tuple& t) { out.push_back(t); });
+  merge.Push(0, Tuple(std::vector<Value>{Value::Uint(1)}));
+  merge.Push(1, Tuple(std::vector<Value>{Value::Uint(2)}));
+  EXPECT_EQ(out.size(), 2u);  // immediate, no buffering
+}
+
+TEST(MergeOpTest, FinishedPortDoesNotBlock) {
+  SchemaPtr schema = Schema::Make({
+      Field{"t", DataType::kUint, TemporalOrder::kIncreasing},
+  });
+  MergeOp merge("m", schema, 2);
+  TupleBatch out;
+  merge.AddSink([&out](const Tuple& t) { out.push_back(t); });
+  merge.Finish(0);  // port 0 never produces
+  merge.Push(1, Tuple(std::vector<Value>{Value::Uint(4)}));
+  EXPECT_EQ(out.size(), 1u);
+  merge.Finish(1);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// JoinOp
+// ---------------------------------------------------------------------------
+
+class JoinOpTest : public OpsTest {
+ protected:
+  /// Two derived streams with (tb temporal, k, v) columns.
+  void SetUpStreams() {
+    left_ = Node("L", "SELECT tb, srcIP as k, SUM(len) as v FROM TCP "
+                      "GROUP BY time/10 as tb, srcIP");
+    right_ = Node("R", "SELECT tb, srcIP as k, COUNT(*) as v FROM TCP "
+                       "GROUP BY time/10 as tb, srcIP");
+  }
+
+  Tuple Row(uint64_t tb, uint64_t k, uint64_t v) {
+    return Tuple(std::vector<Value>{Value::Uint(tb), Value::Ip(k),
+                                    Value::Uint(v)});
+  }
+
+  TupleBatch RunJoin(const QueryNodePtr& join, const TupleBatch& left,
+                     const TupleBatch& right) {
+    JoinOp op(join);
+    TupleBatch out;
+    op.AddSink([&out](const Tuple& t) { out.push_back(t); });
+    for (const Tuple& t : left) op.Push(0, t);
+    for (const Tuple& t : right) op.Push(1, t);
+    op.Finish(0);
+    op.Finish(1);
+    return testing::Sorted(out);
+  }
+
+  QueryNodePtr left_, right_;
+};
+
+TEST_F(JoinOpTest, InnerJoinMatchesWithinWindow) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j", "SELECT L.tb, L.k, L.v, R.v FROM L, R "
+           "WHERE L.tb = R.tb and L.k = R.k");
+  TupleBatch out = RunJoin(join,
+                           {Row(0, 1, 10), Row(0, 2, 20), Row(1, 1, 30)},
+                           {Row(0, 1, 5), Row(1, 1, 6), Row(1, 3, 7)});
+  // Matches: (0,1) and (1,1). (0,2), (1,3) unmatched.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].at(2).AsUint64(), 10u);
+  EXPECT_EQ(out[0].at(3).AsUint64(), 5u);
+  EXPECT_EQ(out[1].at(2).AsUint64(), 30u);
+  EXPECT_EQ(out[1].at(3).AsUint64(), 6u);
+}
+
+TEST_F(JoinOpTest, TemporalOffsetWindows) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j2", "SELECT L.tb, L.k, L.v, R.v FROM L, R "
+            "WHERE L.tb = R.tb + 1 and L.k = R.k");
+  // L epoch 1 should match R epoch 0.
+  TupleBatch out = RunJoin(join, {Row(1, 1, 10)}, {Row(0, 1, 5), Row(1, 1, 6)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(3).AsUint64(), 5u);
+}
+
+TEST_F(JoinOpTest, LeftOuterPadsUnmatched) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j3", "SELECT L.tb, L.k, L.v, R.v FROM L LEFT OUTER JOIN R "
+            "WHERE L.tb = R.tb and L.k = R.k");
+  TupleBatch out = RunJoin(join, {Row(0, 1, 10), Row(0, 2, 20)},
+                           {Row(0, 1, 5)});
+  ASSERT_EQ(out.size(), 2u);
+  // The k=2 row is padded with NULL for R.v.
+  EXPECT_EQ(out[1].at(1).uint_value(), 2u);
+  EXPECT_TRUE(out[1].at(3).is_null());
+}
+
+TEST_F(JoinOpTest, FullOuterPadsBothSides) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j4", "SELECT L.tb, L.k, L.v, R.v FROM L FULL OUTER JOIN R "
+            "WHERE L.tb = R.tb and L.k = R.k");
+  TupleBatch out = RunJoin(join, {Row(0, 1, 10)}, {Row(0, 2, 5)});
+  ASSERT_EQ(out.size(), 2u);
+  size_t nulls = 0;
+  for (const Tuple& t : out) {
+    nulls += t.at(2).is_null();
+    nulls += t.at(3).is_null();
+  }
+  EXPECT_EQ(nulls, 2u);
+}
+
+TEST_F(JoinOpTest, ResidualPredicateFilters) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j5", "SELECT L.tb, L.k, L.v, R.v FROM L, R "
+            "WHERE L.tb = R.tb and L.k = R.k and L.v > R.v");
+  TupleBatch out = RunJoin(join, {Row(0, 1, 10), Row(0, 2, 1)},
+                           {Row(0, 1, 5), Row(0, 2, 5)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(2).AsUint64(), 10u);
+}
+
+TEST_F(JoinOpTest, WatermarkEvictsClosedWindows) {
+  SetUpStreams();
+  QueryNodePtr join = Node(
+      "j6", "SELECT L.tb, L.k, L.v, R.v FROM L, R "
+            "WHERE L.tb = R.tb and L.k = R.k");
+  JoinOp op(join);
+  TupleBatch out;
+  op.AddSink([&out](const Tuple& t) { out.push_back(t); });
+  op.Push(0, Row(0, 1, 10));
+  op.Push(1, Row(0, 1, 5));
+  EXPECT_EQ(out.size(), 0u) << "window 0 still open";
+  // Both watermarks pass window 0 -> it joins and evicts incrementally.
+  op.Push(0, Row(1, 9, 1));
+  op.Push(1, Row(1, 9, 1));
+  op.Push(0, Row(2, 9, 1));
+  op.Push(1, Row(2, 9, 1));
+  EXPECT_GE(out.size(), 1u) << "window 0 emitted before end of stream";
+  op.Finish(0);
+  op.Finish(1);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace streampart

@@ -1,0 +1,299 @@
+/// \file optimizer_test.cc
+/// \brief Distributed-optimizer structure tests: the agnostic plan shape
+/// (§5.1), each transformation rule's eligibility conditions and output
+/// shape (§5.2-5.4), synthesized sub/super queries, and the cost model's
+/// per-node numbers.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "partition/search.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void MustAdd(const std::string& name, const std::string& gsql) {
+    Status st = graph_.AddQuery(name, gsql);
+    SP_CHECK(st.ok()) << st.ToString();
+  }
+
+  PartitionSet Parse(const std::string& spec) {
+    auto r = PartitionSet::Parse(spec);
+    SP_CHECK(r.ok());
+    return *r;
+  }
+
+  /// Counts alive ops by (kind, stream) predicate.
+  int CountOps(const DistPlan& plan, DistOpKind kind,
+               const std::string& stream = "") {
+    int n = 0;
+    for (int id : plan.TopoOrder()) {
+      const DistOperator& op = plan.op(id);
+      if (op.kind == kind && (stream.empty() || op.stream_name == stream)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(OptimizerTest, AgnosticPlanShape) {
+  MustAdd("f", "SELECT tb, srcIP, COUNT(*) FROM TCP GROUP BY time as tb, srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 3;
+  cluster.partitions_per_host = 2;
+  ASSERT_OK_AND_ASSIGN(DistPlan plan,
+                       BuildPartitionAgnosticPlan(graph_, cluster));
+  EXPECT_EQ(CountOps(plan, DistOpKind::kSource), 6);
+  EXPECT_EQ(CountOps(plan, DistOpKind::kMerge), 1);
+  EXPECT_EQ(CountOps(plan, DistOpKind::kQuery), 1);
+  // Everything non-source sits on the aggregator.
+  for (int id : plan.TopoOrder()) {
+    const DistOperator& op = plan.op(id);
+    if (op.kind != DistOpKind::kSource) {
+      EXPECT_EQ(op.host, 0);
+    }
+  }
+  // Partitions map to hosts two at a time.
+  for (int id : plan.TopoOrder()) {
+    const DistOperator& op = plan.op(id);
+    if (op.kind == DistOpKind::kSource) {
+      EXPECT_EQ(op.host, op.partition / 2);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, RejectsDegenerateClusters) {
+  MustAdd("f", "SELECT time FROM TCP");
+  ClusterConfig bad;
+  bad.num_hosts = 0;
+  EXPECT_FALSE(BuildPartitionAgnosticPlan(graph_, bad).ok());
+}
+
+TEST_F(OptimizerTest, SelfJoinOverSourceSharesOneMerge) {
+  MustAdd("j",
+          "SELECT S1.time, S1.srcIP FROM TCP S1, TCP S2 "
+          "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 2;
+  ASSERT_OK_AND_ASSIGN(DistPlan plan,
+                       BuildPartitionAgnosticPlan(graph_, cluster));
+  // One shared merge: the stream ships to the aggregator once.
+  EXPECT_EQ(CountOps(plan, DistOpKind::kMerge), 1);
+  // The join's two ports reference the same child op.
+  for (int id : plan.TopoOrder()) {
+    const DistOperator& op = plan.op(id);
+    if (op.kind == DistOpKind::kQuery) {
+      ASSERT_EQ(op.children.size(), 2u);
+      EXPECT_EQ(op.children[0], op.children[1]);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, IncompatibleNodesStayPut) {
+  MustAdd("f", "SELECT tb, srcIP, COUNT(*) FROM TCP "
+               "GROUP BY time as tb, srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 2;
+  OptimizerOptions options;  // pushdown on, no partial agg
+  // destIP is not an anchor of f: nothing transforms.
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan plan,
+      OptimizeForPartitioning(graph_, cluster, Parse("destIP"), options));
+  EXPECT_EQ(CountOps(plan, DistOpKind::kQuery, "f"), 1);
+  EXPECT_EQ(CountOps(plan, DistOpKind::kMerge, "TCP"), 1);
+}
+
+TEST_F(OptimizerTest, SelectionPushdownPropagatesUpward) {
+  // σ below an aggregation: both push when the aggregation is compatible,
+  // because the σ copies keep their partition tags (§5.4's purpose).
+  MustAdd("web", "SELECT time, srcIP, len FROM TCP WHERE destPort = 80");
+  MustAdd("per_src", "SELECT tb, srcIP, SUM(len) as s FROM web "
+                     "GROUP BY time as tb, srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 2;
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan plan,
+      OptimizeForPartitioning(graph_, cluster, Parse("srcIP"),
+                              OptimizerOptions()));
+  EXPECT_EQ(CountOps(plan, DistOpKind::kQuery, "web"), 4);
+  EXPECT_EQ(CountOps(plan, DistOpKind::kQuery, "per_src"), 4);
+  // Exactly one merge remains: the final per_src union.
+  EXPECT_EQ(CountOps(plan, DistOpKind::kMerge), 1);
+}
+
+TEST_F(OptimizerTest, PartialAggSynthesizesSubSuper) {
+  MustAdd("f",
+          "SELECT tb, srcIP, COUNT(*) as c, AVG(len) as m FROM TCP "
+          "WHERE protocol = 6 "
+          "GROUP BY time as tb, srcIP HAVING COUNT(*) > 2");
+  ClusterConfig cluster;
+  cluster.num_hosts = 2;
+  OptimizerOptions options;
+  options.enable_compatible_pushdown = false;
+  options.partial_agg = OptimizerOptions::PartialAggMode::kPerHost;
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan plan,
+      OptimizeForPartitioning(graph_, cluster, PartitionSet(), options));
+
+  // Two sub-aggregates (one per host) + one super.
+  const QueryNode* sub = nullptr;
+  const QueryNode* super = nullptr;
+  int sub_count = 0;
+  for (int id : plan.TopoOrder()) {
+    const DistOperator& op = plan.op(id);
+    if (op.kind != DistOpKind::kQuery) continue;
+    if (op.stream_name == "f") {
+      super = op.query.get();
+    } else {
+      sub = op.query.get();
+      ++sub_count;
+    }
+  }
+  ASSERT_NE(sub, nullptr);
+  ASSERT_NE(super, nullptr);
+  EXPECT_EQ(sub_count, 2);
+  // WHERE pushed into the sub; HAVING stays in the super (§5.2.2).
+  EXPECT_NE(sub->where, nullptr);
+  EXPECT_EQ(sub->having, nullptr);
+  EXPECT_EQ(super->where, nullptr);
+  ASSERT_NE(super->having, nullptr);
+  // avg splits into (sum, count); the count component structurally equals
+  // COUNT(*)'s own sub, so the analyzer shares one slot: 2 distinct
+  // accumulators feed 3 sub output columns.
+  EXPECT_EQ(sub->aggregates.size(), 2u);
+  EXPECT_EQ(sub->outputs.size(), 5u);  // tb, srcIP, _s0_0, _s1_0, _s1_1
+  // The super's output schema matches the original query's.
+  auto original = graph_.GetQuery("f");
+  ASSERT_TRUE(original.ok());
+  EXPECT_TRUE(super->output_schema->Equals(*(*original)->output_schema))
+      << super->output_schema->ToString() << " vs "
+      << (*original)->output_schema->ToString();
+}
+
+TEST_F(OptimizerTest, PartialAggPerPartitionSkipsLocalMerges) {
+  MustAdd("f", "SELECT tb, srcIP, COUNT(*) FROM TCP GROUP BY time as tb, srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 2;
+  cluster.partitions_per_host = 2;
+  OptimizerOptions per_part;
+  per_part.enable_compatible_pushdown = false;
+  per_part.partial_agg = OptimizerOptions::PartialAggMode::kPerPartition;
+  OptimizerOptions per_host = per_part;
+  per_host.partial_agg = OptimizerOptions::PartialAggMode::kPerHost;
+
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan pp,
+      OptimizeForPartitioning(graph_, cluster, PartitionSet(), per_part));
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan ph,
+      OptimizeForPartitioning(graph_, cluster, PartitionSet(), per_host));
+  // Per-partition: 4 subs, merges = 1 (top). Per-host: 2 subs, merges = 3
+  // (two local + top).
+  int pp_subs = 0, ph_subs = 0;
+  for (int id : pp.TopoOrder()) {
+    const DistOperator& op = pp.op(id);
+    if (op.kind == DistOpKind::kQuery && op.stream_name != "f") ++pp_subs;
+  }
+  for (int id : ph.TopoOrder()) {
+    const DistOperator& op = ph.op(id);
+    if (op.kind == DistOpKind::kQuery && op.stream_name != "f") ++ph_subs;
+  }
+  EXPECT_EQ(pp_subs, 4);
+  EXPECT_EQ(ph_subs, 2);
+  EXPECT_EQ(CountOps(pp, DistOpKind::kMerge), 1);
+  EXPECT_EQ(CountOps(ph, DistOpKind::kMerge), 3);
+}
+
+TEST_F(OptimizerTest, JoinPushdownKeepsPairsColocated) {
+  MustAdd("hv", "SELECT tb, srcIP, max(len) as m FROM TCP "
+                "GROUP BY time as tb, srcIP");
+  MustAdd("pair", "SELECT S1.tb, S1.srcIP, S1.m, S2.m FROM hv S1, hv S2 "
+                  "WHERE S1.tb = S2.tb + 1 and S1.srcIP = S2.srcIP");
+  ClusterConfig cluster;
+  cluster.num_hosts = 3;
+  ASSERT_OK_AND_ASSIGN(
+      DistPlan plan,
+      OptimizeForPartitioning(graph_, cluster, Parse("srcIP"),
+                              OptimizerOptions()));
+  for (int id : plan.TopoOrder()) {
+    const DistOperator& op = plan.op(id);
+    if (op.kind == DistOpKind::kQuery && op.stream_name == "pair") {
+      ASSERT_EQ(op.children.size(), 2u);
+      EXPECT_EQ(plan.op(op.children[0]).partition,
+                plan.op(op.children[1]).partition);
+      EXPECT_EQ(plan.op(op.children[0]).host, op.host);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost model details
+// ---------------------------------------------------------------------------
+
+TEST_F(OptimizerTest, CostModelRates) {
+  MustAdd("f", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+               "GROUP BY time as tb, srcIP");
+  MustAdd("g", "SELECT tb, max(c) as m FROM f GROUP BY tb");
+  CostModel::Options options;
+  options.source_tuples_per_epoch = 1000;
+  ASSERT_OK_AND_ASSIGN(CostModel model, CostModel::Make(&graph_, options));
+  model.SetSelectivity("f", 0.1);
+  model.SetSelectivity("g", 0.5);
+  ASSERT_OK_AND_ASSIGN(PlanCost cost, model.Cost(Parse("srcIP")));
+  const NodeCost& f = cost.per_node.at("f");
+  const NodeCost& g = cost.per_node.at("g");
+  EXPECT_DOUBLE_EQ(f.input_tuples, 1000.0);
+  EXPECT_DOUBLE_EQ(f.output_tuples, 100.0);
+  EXPECT_DOUBLE_EQ(g.input_tuples, 100.0);
+  EXPECT_DOUBLE_EQ(g.output_tuples, 50.0);
+  EXPECT_TRUE(f.compatible);
+  EXPECT_TRUE(f.effectively_local);
+  // g groups only by tb (temporal): no anchors -> incompatible.
+  EXPECT_FALSE(g.compatible);
+  // f's cost is 0 (consumed locally by... g is central, so f ships to g and
+  // is charged at g).
+  EXPECT_DOUBLE_EQ(f.cost_bytes, 0.0);
+  EXPECT_GT(g.cost_bytes, 0.0);
+  EXPECT_EQ(cost.bottleneck, "g");
+}
+
+TEST_F(OptimizerTest, CalibrationMeasuresSelectivity) {
+  MustAdd("f", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+               "GROUP BY time/10 as tb, srcIP");
+  ASSERT_OK_AND_ASSIGN(CostModel model,
+                       CostModel::Make(&graph_, CostModel::Options()));
+  // 100 packets from 5 sources over one epoch -> selectivity 0.05.
+  TupleBatch sample;
+  for (int i = 0; i < 100; ++i) {
+    sample.push_back(
+        testing::MakePacket(1, 0xA0 + (i % 5), 0xB, 1, 2, 100));
+  }
+  ASSERT_OK(model.CalibrateFromTrace("TCP", sample));
+  ASSERT_OK_AND_ASSIGN(PlanCost cost, model.Cost(PartitionSet()));
+  EXPECT_NEAR(cost.per_node.at("f").output_tuples /
+                  cost.per_node.at("f").input_tuples,
+              0.05, 1e-9);
+}
+
+TEST_F(OptimizerTest, EmptySearchSpaceFallsBackToBaseline) {
+  // Only a temporal group key: no partitioning can help.
+  MustAdd("per_sec", "SELECT time, COUNT(*) FROM TCP GROUP BY time");
+  ASSERT_OK_AND_ASSIGN(CostModel model,
+                       CostModel::Make(&graph_, CostModel::Options()));
+  PartitionSearch search(&graph_, &model);
+  ASSERT_OK_AND_ASSIGN(SearchResult result, search.FindOptimal());
+  EXPECT_TRUE(result.best.empty());
+  EXPECT_EQ(result.best_cost_bytes, result.baseline_cost_bytes);
+}
+
+}  // namespace
+}  // namespace streampart

@@ -1,0 +1,381 @@
+/// \file partition_analysis_test.cc
+/// \brief Tests for the partitioning analysis framework (paper §3-§4):
+/// scalar-form reconciliation, compatibility inference, cost model, and the
+/// optimal-partitioning search — including every worked example in the paper.
+
+#include <gtest/gtest.h>
+
+#include "partition/search.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reconciliation algebra (§4.1)
+// ---------------------------------------------------------------------------
+
+TEST(ReconcileForms, PaperExampleTimeDivisors) {
+  // time/60 ⊕ time/90 = time/180.
+  auto r = ReconcileForms(ScalarForm::Div(60), ScalarForm::Div(90));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Equals(ScalarForm::Div(180)));
+}
+
+TEST(ReconcileForms, PaperExampleSubnetMask) {
+  // srcIP ⊕ srcIP&0xFFF0 = srcIP&0xFFF0.
+  auto r = ReconcileForms(ScalarForm::Identity(), ScalarForm::Mask(0xFFF0));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Equals(ScalarForm::Mask(0xFFF0)));
+}
+
+TEST(ReconcileForms, MaskIntersection) {
+  auto r = ReconcileForms(ScalarForm::Mask(0xFF00), ScalarForm::Mask(0x0FF0));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Equals(ScalarForm::Mask(0x0F00)));
+}
+
+TEST(ReconcileForms, DisjointMasksFail) {
+  EXPECT_FALSE(
+      ReconcileForms(ScalarForm::Mask(0xF0), ScalarForm::Mask(0x0F))
+          .has_value());
+}
+
+TEST(ReconcileForms, DivWithShift) {
+  // x/24 ⊕ x>>3 (= x/8) = x/24 (lcm(24,8)=24).
+  auto r = ReconcileForms(ScalarForm::Div(24), ScalarForm::Shift(3));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Equals(ScalarForm::Div(24)));
+}
+
+TEST(ReconcileForms, ModGcd) {
+  auto r = ReconcileForms(ScalarForm::Mod(12), ScalarForm::Mod(18));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->Equals(ScalarForm::Mod(6)));
+}
+
+TEST(ReconcileForms, CoprimeModsFail) {
+  EXPECT_FALSE(
+      ReconcileForms(ScalarForm::Mod(5), ScalarForm::Mod(7)).has_value());
+}
+
+TEST(ReconcileForms, MixedDivMaskFails) {
+  EXPECT_FALSE(
+      ReconcileForms(ScalarForm::Div(60), ScalarForm::Mask(0xFF)).has_value());
+}
+
+TEST(ReconcileForms, IsCommutative) {
+  const ScalarForm forms[] = {
+      ScalarForm::Identity(), ScalarForm::Div(60),   ScalarForm::Div(90),
+      ScalarForm::Mask(0xF0), ScalarForm::Mask(0xFF), ScalarForm::Shift(4),
+      ScalarForm::Mod(6),     ScalarForm::Mod(15),
+  };
+  for (const auto& a : forms) {
+    for (const auto& b : forms) {
+      auto ab = ReconcileForms(a, b);
+      auto ba = ReconcileForms(b, a);
+      ASSERT_EQ(ab.has_value(), ba.has_value())
+          << a.ToString("x") << " vs " << b.ToString("x");
+      if (ab.has_value()) {
+        EXPECT_TRUE(ab->Equals(*ba))
+            << a.ToString("x") << " vs " << b.ToString("x") << " -> "
+            << ab->ToString("x") << " / " << ba->ToString("x");
+      }
+    }
+  }
+}
+
+TEST(ReconcileForms, ResultIsFunctionOfBothInputs) {
+  const ScalarForm forms[] = {
+      ScalarForm::Identity(), ScalarForm::Div(60),    ScalarForm::Div(90),
+      ScalarForm::Mask(0xF0), ScalarForm::Mask(0xFFF0), ScalarForm::Shift(4),
+      ScalarForm::Mod(6),     ScalarForm::Mod(15),    ScalarForm::Div(8),
+  };
+  for (const auto& a : forms) {
+    for (const auto& b : forms) {
+      auto r = ReconcileForms(a, b);
+      if (!r.has_value()) continue;
+      EXPECT_TRUE(IsFunctionOf(*r, a))
+          << r->ToString("x") << " not fn of " << a.ToString("x");
+      EXPECT_TRUE(IsFunctionOf(*r, b))
+          << r->ToString("x") << " not fn of " << b.ToString("x");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partition sets (§3.3, §4.1)
+// ---------------------------------------------------------------------------
+
+TEST(PartitionSet, ParseAndPrint) {
+  ASSERT_OK_AND_ASSIGN(PartitionSet ps,
+                       PartitionSet::Parse("srcIP & 0xFFF0, destIP"));
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.ToString(), "(destIP, srcIP&0xFFF0)");
+}
+
+TEST(PartitionSet, PaperReconcileSimpleAttributes) {
+  // Reconcile({srcIP,destIP}, {srcIP,destIP,srcPort,destPort}) =
+  // {srcIP,destIP}.
+  ASSERT_OK_AND_ASSIGN(PartitionSet a, PartitionSet::Parse("srcIP, destIP"));
+  ASSERT_OK_AND_ASSIGN(
+      PartitionSet b,
+      PartitionSet::Parse("srcIP, destIP, srcPort, destPort"));
+  PartitionSet r = ReconcilePartitionSets(a, b);
+  EXPECT_TRUE(r.Equals(a)) << r.ToString();
+}
+
+TEST(PartitionSet, PaperReconcileScalarExpressions) {
+  // Reconcile({time/60, srcIP, destIP}, {time/90, srcIP & 0xFFF0}) =
+  // {time/180, srcIP & 0xFFF0}.
+  ASSERT_OK_AND_ASSIGN(PartitionSet a,
+                       PartitionSet::Parse("time/60, srcIP, destIP"));
+  ASSERT_OK_AND_ASSIGN(PartitionSet b,
+                       PartitionSet::Parse("time/90, srcIP & 0xFFF0"));
+  PartitionSet r = ReconcilePartitionSets(a, b);
+  ASSERT_OK_AND_ASSIGN(PartitionSet expected,
+                       PartitionSet::Parse("time/180, srcIP & 0xFFF0"));
+  EXPECT_TRUE(r.Equals(expected)) << r.ToString();
+}
+
+TEST(PartitionSet, ReconcileDisjointIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(PartitionSet a, PartitionSet::Parse("srcIP"));
+  ASSERT_OK_AND_ASSIGN(PartitionSet b, PartitionSet::Parse("destIP"));
+  EXPECT_TRUE(ReconcilePartitionSets(a, b).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Node compatibility inference (§3.5)
+// ---------------------------------------------------------------------------
+
+class CompatibilityTest : public ::testing::Test {
+ protected:
+  CompatibilityTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void AddPaperQuerySet() {
+    ASSERT_OK(graph_.AddQuery(
+        "flows",
+        "SELECT tb, srcIP, destIP, COUNT(*) as cnt FROM TCP "
+        "GROUP BY time/60 as tb, srcIP, destIP"));
+    ASSERT_OK(graph_.AddQuery(
+        "heavy_flows",
+        "SELECT tb, srcIP, max(cnt) as max_cnt FROM flows "
+        "GROUP BY tb, srcIP"));
+    ASSERT_OK(graph_.AddQuery(
+        "flow_pairs",
+        "SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt "
+        "FROM heavy_flows S1, heavy_flows S2 "
+        "WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1"));
+  }
+
+  PartitionSet Parse(const std::string& spec) {
+    auto r = PartitionSet::Parse(spec);
+    SP_CHECK(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  bool Compatible(const std::string& query, const std::string& spec) {
+    auto node = graph_.GetQuery(query);
+    SP_CHECK(node.ok());
+    auto profile = ComputeNodeProfile(graph_, *node);
+    SP_CHECK(profile.ok()) << profile.status().ToString();
+    return IsNodeCompatible(*profile, Parse(spec));
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(CompatibilityTest, InferredSetsMatchPaperSection32) {
+  AddPaperQuerySet();
+  // γ1 (flows) prefers (srcIP, destIP); γ2 and the self-join prefer (srcIP).
+  ASSERT_OK_AND_ASSIGN(auto flows_ps,
+                       InferNodePartitionSet(graph_, *graph_.GetQuery("flows")));
+  ASSERT_TRUE(flows_ps.has_value());
+  EXPECT_EQ(flows_ps->ToString(), "(destIP, srcIP)");
+
+  ASSERT_OK_AND_ASSIGN(
+      auto heavy_ps,
+      InferNodePartitionSet(graph_, *graph_.GetQuery("heavy_flows")));
+  ASSERT_TRUE(heavy_ps.has_value());
+  EXPECT_EQ(heavy_ps->ToString(), "(srcIP)");
+
+  ASSERT_OK_AND_ASSIGN(
+      auto pairs_ps,
+      InferNodePartitionSet(graph_, *graph_.GetQuery("flow_pairs")));
+  ASSERT_TRUE(pairs_ps.has_value());
+  EXPECT_EQ(pairs_ps->ToString(), "(srcIP)");
+}
+
+TEST_F(CompatibilityTest, SrcIpSatisfiesAllThreeQueries) {
+  AddPaperQuerySet();
+  EXPECT_TRUE(Compatible("flows", "srcIP"));
+  EXPECT_TRUE(Compatible("heavy_flows", "srcIP"));
+  EXPECT_TRUE(Compatible("flow_pairs", "srcIP"));
+}
+
+TEST_F(CompatibilityTest, SrcDestSatisfiesOnlyFlows) {
+  AddPaperQuerySet();
+  EXPECT_TRUE(Compatible("flows", "srcIP, destIP"));
+  EXPECT_FALSE(Compatible("heavy_flows", "srcIP, destIP"));
+  EXPECT_FALSE(Compatible("flow_pairs", "srcIP, destIP"));
+}
+
+TEST_F(CompatibilityTest, DestIpSatisfiesOnlyFlows) {
+  AddPaperQuerySet();
+  EXPECT_TRUE(Compatible("flows", "destIP"));
+  EXPECT_FALSE(Compatible("heavy_flows", "destIP"));
+  EXPECT_FALSE(Compatible("flow_pairs", "destIP"));
+}
+
+TEST_F(CompatibilityTest, CoarserMaskIsCompatibleWithFinerGrouping) {
+  AddPaperQuerySet();
+  // srcIP & 0xFFF0 is a function of srcIP, so it is compatible with the
+  // aggregations grouping on srcIP...
+  EXPECT_TRUE(Compatible("flows", "srcIP & 0xFFFFFFF0"));
+  EXPECT_TRUE(Compatible("heavy_flows", "srcIP & 0xFFFFFFF0"));
+  // ...but NOT with the join: §3.5.3 admits only subsets of the predicate
+  // expressions themselves (see compatibility.h for why the paper needs this
+  // conservatism; it is what makes the §6.2 restricted-hardware scenario
+  // meaningful).
+  EXPECT_FALSE(Compatible("flow_pairs", "srcIP & 0xFFFFFFF0"));
+  EXPECT_TRUE(Compatible("flow_pairs", "srcIP"));
+}
+
+TEST_F(CompatibilityTest, SubnetGroupingRejectsFinerPartitioning) {
+  // Grouping on srcIP & 0xFFF0: partitioning on raw srcIP would split a
+  // subnet group across partitions.
+  ASSERT_OK(graph_.AddQuery(
+      "subnets",
+      "SELECT tb, sub, destIP, COUNT(*) FROM TCP "
+      "GROUP BY time/60 as tb, srcIP & 0xFFF0 as sub, destIP"));
+  EXPECT_FALSE(Compatible("subnets", "srcIP"));
+  EXPECT_TRUE(Compatible("subnets", "srcIP & 0xFFF0"));
+  EXPECT_TRUE(Compatible("subnets", "srcIP & 0xF000"));  // coarser: fine
+  EXPECT_TRUE(Compatible("subnets", "destIP"));
+}
+
+TEST_F(CompatibilityTest, SelectionIsAlwaysCompatible) {
+  ASSERT_OK(graph_.AddQuery(
+      "web", "SELECT time, srcIP, len FROM TCP WHERE destPort = 80"));
+  EXPECT_TRUE(Compatible("web", "srcIP"));
+  EXPECT_TRUE(Compatible("web", "destIP"));
+  EXPECT_TRUE(Compatible("web", "len % 7"));
+}
+
+TEST_F(CompatibilityTest, TemporalAttributesExcludedFromInference) {
+  AddPaperQuerySet();
+  ASSERT_OK_AND_ASSIGN(auto ps,
+                       InferNodePartitionSet(graph_, *graph_.GetQuery("flows")));
+  ASSERT_TRUE(ps.has_value());
+  EXPECT_EQ(ps->Find("time"), nullptr);  // §3.5.1
+}
+
+// ---------------------------------------------------------------------------
+// Cost model + search (§4.2)
+// ---------------------------------------------------------------------------
+
+TEST_F(CompatibilityTest, SearchFindsSrcIpForPaperQuerySet) {
+  AddPaperQuerySet();
+  CostModel::Options copts;
+  copts.source_tuples_per_epoch = 1e6;
+  ASSERT_OK_AND_ASSIGN(CostModel model, CostModel::Make(&graph_, copts));
+  // Shape the selectivities like the paper's workload: flows reduces the
+  // stream heavily, heavy_flows reduces further, the join is small.
+  model.SetSelectivity("flows", 0.05);
+  model.SetSelectivity("heavy_flows", 0.5);
+  model.SetSelectivity("flow_pairs", 0.2);
+
+  PartitionSearch search(&graph_, &model);
+  ASSERT_OK_AND_ASSIGN(SearchResult result, search.FindOptimal());
+  EXPECT_EQ(result.best.ToString(), "(srcIP)");
+  EXPECT_LT(result.best_cost_bytes, result.baseline_cost_bytes);
+  EXPECT_GT(result.candidates_explored, 0u);
+}
+
+TEST_F(CompatibilityTest, CostModelRanksConfigurationsLikeThePaper) {
+  AddPaperQuerySet();
+  ASSERT_OK_AND_ASSIGN(CostModel model,
+                       CostModel::Make(&graph_, CostModel::Options()));
+  model.SetSelectivity("flows", 0.05);
+  model.SetSelectivity("heavy_flows", 0.5);
+  model.SetSelectivity("flow_pairs", 0.2);
+
+  ASSERT_OK_AND_ASSIGN(PlanCost naive, model.Cost(PartitionSet()));
+  ASSERT_OK_AND_ASSIGN(PlanCost partial, model.Cost(Parse("srcIP, destIP")));
+  ASSERT_OK_AND_ASSIGN(PlanCost full, model.Cost(Parse("srcIP")));
+  // Paper §6.3 ordering: Naive >> Partitioned(partial) > Partitioned(full).
+  EXPECT_GT(naive.max_cost_bytes, partial.max_cost_bytes);
+  EXPECT_GT(partial.max_cost_bytes, full.max_cost_bytes);
+  // Under full partitioning the bottleneck is the final flow_pairs union.
+  EXPECT_EQ(full.bottleneck, "flow_pairs");
+  // Under partial partitioning heavy_flows centralizes flows' output.
+  EXPECT_EQ(partial.bottleneck, "heavy_flows");
+}
+
+TEST_F(CompatibilityTest, ChooseBestAmongRestrictedHardware) {
+  // §6.2 scenario: the aggregation wants (srcIP&0xFFF0, destIP); the jitter
+  // self-join (over the filtered web substream) wants the 4-tuple. The
+  // hardware can do either but not both; the cost model must pick the
+  // aggregation-friendly set because centralizing the aggregation means
+  // receiving the raw stream while centralizing the join only means
+  // receiving the (much smaller) filtered substream.
+  ASSERT_OK(graph_.AddQuery(
+      "subnet_stats",
+      "SELECT tb, sub, destIP, COUNT(*), SUM(len) FROM TCP "
+      "GROUP BY time/60 as tb, srcIP & 0xFFF0 as sub, destIP"));
+  ASSERT_OK(graph_.AddQuery(
+      "web_pkts",
+      "SELECT time, srcIP, destIP, srcPort, destPort, timestamp FROM TCP "
+      "WHERE destPort = 80"));
+  ASSERT_OK(graph_.AddQuery(
+      "jitter",
+      "SELECT S1.time, S1.srcIP, S2.timestamp - S1.timestamp "
+      "FROM web_pkts S1, web_pkts S2 "
+      "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP and "
+      "S1.destIP = S2.destIP and S1.srcPort = S2.srcPort and "
+      "S1.destPort = S2.destPort"));
+  ASSERT_OK_AND_ASSIGN(CostModel model,
+                       CostModel::Make(&graph_, CostModel::Options()));
+  model.SetSelectivity("subnet_stats", 0.1);
+  model.SetSelectivity("web_pkts", 0.15);
+  model.SetSelectivity("jitter", 0.5);
+  PartitionSearch search(&graph_, &model);
+  ASSERT_OK_AND_ASSIGN(
+      PartitionSet best,
+      search.ChooseBestAmong({Parse("srcIP, destIP, srcPort, destPort"),
+                              Parse("srcIP & 0xFFF0, destIP")}));
+  EXPECT_EQ(best.ToString(), "(destIP, srcIP&0xFFF0)");
+
+  // The join anchors are the exact predicate expressions: the 4-tuple is
+  // compatible with the join, the mask set is not (§3.5.3).
+  EXPECT_TRUE(Compatible("jitter", "srcIP, destIP, srcPort, destPort"));
+  EXPECT_FALSE(Compatible("jitter", "srcIP & 0xFFF0, destIP"));
+  EXPECT_TRUE(Compatible("subnet_stats", "srcIP & 0xFFF0, destIP"));
+  EXPECT_FALSE(Compatible("subnet_stats", "srcIP, destIP, srcPort, destPort"));
+}
+
+TEST_F(CompatibilityTest, HeuristicAndExhaustiveSearchAgree) {
+  AddPaperQuerySet();
+  ASSERT_OK_AND_ASSIGN(CostModel model,
+                       CostModel::Make(&graph_, CostModel::Options()));
+  model.SetSelectivity("flows", 0.05);
+  model.SetSelectivity("heavy_flows", 0.5);
+  model.SetSelectivity("flow_pairs", 0.2);
+
+  PartitionSearch::Options fast_opts;
+  fast_opts.use_heuristics = true;
+  PartitionSearch::Options full_opts;
+  full_opts.use_heuristics = false;
+  PartitionSearch fast(&graph_, &model, fast_opts);
+  PartitionSearch full(&graph_, &model, full_opts);
+  ASSERT_OK_AND_ASSIGN(SearchResult fast_result, fast.FindOptimal());
+  ASSERT_OK_AND_ASSIGN(SearchResult full_result, full.FindOptimal());
+  EXPECT_EQ(fast_result.best_cost_bytes, full_result.best_cost_bytes);
+  EXPECT_TRUE(fast_result.best.Equals(full_result.best));
+  EXPECT_LE(fast_result.candidates_explored, full_result.candidates_explored);
+}
+
+}  // namespace
+}  // namespace streampart

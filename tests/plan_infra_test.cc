@@ -1,0 +1,188 @@
+/// \file plan_infra_test.cc
+/// \brief Infrastructure units: DistPlan graph surgery, the local engine's
+/// wiring and stats, the plan printers, and the report formatter.
+
+#include <gtest/gtest.h>
+
+#include "exec/local_engine.h"
+#include "metrics/report.h"
+#include "optimizer/dist_plan.h"
+#include "plan/printer.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::MakePacket;
+
+// ---------------------------------------------------------------------------
+// DistPlan
+// ---------------------------------------------------------------------------
+
+class DistPlanTest : public ::testing::Test {
+ protected:
+  int AddSource(DistPlan* plan, int partition, int host) {
+    DistOperator op;
+    op.kind = DistOpKind::kSource;
+    op.stream_name = "S";
+    op.partition = partition;
+    op.host = host;
+    return plan->AddOp(std::move(op));
+  }
+  int AddMerge(DistPlan* plan, std::vector<int> children,
+               const std::string& stream = "S") {
+    DistOperator op;
+    op.kind = DistOpKind::kMerge;
+    op.stream_name = stream;
+    op.children = std::move(children);
+    return plan->AddOp(std::move(op));
+  }
+};
+
+TEST_F(DistPlanTest, TopoOrderRespectsEdges) {
+  DistPlan plan;
+  int s0 = AddSource(&plan, 0, 0);
+  int s1 = AddSource(&plan, 1, 1);
+  int m = AddMerge(&plan, {s0, s1});
+  int m2 = AddMerge(&plan, {m}, "out");
+  std::vector<int> order = plan.TopoOrder();
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(s0), pos(m));
+  EXPECT_LT(pos(s1), pos(m));
+  EXPECT_LT(pos(m), pos(m2));
+}
+
+TEST_F(DistPlanTest, ConsumersAndReplace) {
+  DistPlan plan;
+  int s0 = AddSource(&plan, 0, 0);
+  int m1 = AddMerge(&plan, {s0}, "a");
+  int m2 = AddMerge(&plan, {s0}, "b");
+  auto consumers = plan.Consumers(s0);
+  EXPECT_EQ(consumers.size(), 2u);
+
+  // Replace s0 with a new source: both consumers rewire, s0 dies.
+  int s1 = AddSource(&plan, 1, 0);
+  plan.ReplaceOp(s0, s1);
+  EXPECT_FALSE(plan.op(s0).alive);
+  EXPECT_EQ(plan.op(m1).children[0], s1);
+  EXPECT_EQ(plan.op(m2).children[0], s1);
+  EXPECT_EQ(plan.Consumers(s1).size(), 2u);
+}
+
+TEST_F(DistPlanTest, SinksAndProducers) {
+  DistPlan plan;
+  int s0 = AddSource(&plan, 0, 0);
+  int m = AddMerge(&plan, {s0}, "out");
+  auto sinks = plan.Sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], m);
+  EXPECT_EQ(plan.ProducersOf("out").size(), 1u);
+  EXPECT_EQ(plan.ProducersOf("S").size(), 1u);
+  EXPECT_TRUE(plan.ProducersOf("nosuch").empty());
+}
+
+TEST_F(DistPlanTest, SharedSubtreePrintsOnce) {
+  DistPlan plan;
+  int s0 = AddSource(&plan, 0, 0);
+  int m1 = AddMerge(&plan, {s0}, "a");
+  DistOperator join;
+  join.kind = DistOpKind::kMerge;  // stands in for a 2-port consumer
+  join.stream_name = "j";
+  join.children = {m1, m1};
+  plan.AddOp(std::move(join));
+  std::string dump = plan.ToString();
+  EXPECT_NE(dump.find("(see above)"), std::string::npos) << dump;
+}
+
+// ---------------------------------------------------------------------------
+// LocalEngine
+// ---------------------------------------------------------------------------
+
+class LocalEngineTest : public ::testing::Test {
+ protected:
+  LocalEngineTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(LocalEngineTest, CollectsOnlyRootsByDefault) {
+  ASSERT_OK(graph_.AddQuery("flows",
+                            "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                            "GROUP BY time/10 as tb, srcIP"));
+  ASSERT_OK(graph_.AddQuery("tops",
+                            "SELECT tb, max(c) as m FROM flows GROUP BY tb"));
+  LocalEngine engine(&graph_);
+  ASSERT_OK(engine.Build());
+  engine.PushSource("TCP", MakePacket(1, 0xA, 1, 1, 1, 10));
+  engine.FinishSources();
+  EXPECT_TRUE(engine.Results("flows").empty());   // intermediate
+  EXPECT_EQ(engine.Results("tops").size(), 1u);   // root
+}
+
+TEST_F(LocalEngineTest, StatsPerQueryAndTotal) {
+  ASSERT_OK(graph_.AddQuery("web",
+                            "SELECT time, srcIP FROM TCP WHERE destPort = 80"));
+  LocalEngine::Options options;
+  options.collect_all = true;
+  LocalEngine engine(&graph_, options);
+  ASSERT_OK(engine.Build());
+  for (int i = 0; i < 10; ++i) {
+    engine.PushSource("TCP", MakePacket(1, 0xA, 1, 1, i % 2 ? 80 : 443, 10));
+  }
+  engine.FinishSources();
+  ASSERT_OK_AND_ASSIGN(OpStats stats, engine.StatsFor("web"));
+  EXPECT_EQ(stats.tuples_in, 10u);
+  EXPECT_EQ(stats.tuples_out, 5u);
+  EXPECT_EQ(engine.TotalStats().tuples_in, 10u);
+  EXPECT_TRUE(engine.StatsFor("nosuch").status().IsNotFound());
+}
+
+TEST_F(LocalEngineTest, UnknownSourcePushIsIgnored) {
+  ASSERT_OK(graph_.AddQuery("q", "SELECT time FROM TCP"));
+  LocalEngine engine(&graph_);
+  ASSERT_OK(engine.Build());
+  engine.PushSource("UDP", MakePacket(1, 1, 1, 1, 1, 1));  // no-op
+  engine.FinishSources();
+  EXPECT_EQ(engine.Results("q").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Printers & reports
+// ---------------------------------------------------------------------------
+
+TEST_F(LocalEngineTest, QueryTreePrinterHandlesSharedSubtrees) {
+  ASSERT_OK(graph_.AddQuery("flows",
+                            "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                            "GROUP BY time/10 as tb, srcIP"));
+  ASSERT_OK(graph_.AddQuery(
+      "pairs", "SELECT S1.tb, S1.c, S2.c FROM flows S1, flows S2 "
+               "WHERE S1.tb = S2.tb + 1 and S1.srcIP = S2.srcIP"));
+  std::string tree = PrintQueryTree(graph_, "pairs");
+  EXPECT_NE(tree.find("(see above)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("TCP [source]"), std::string::npos) << tree;
+}
+
+TEST(SeriesTableTest, AlignsColumns) {
+  SeriesTable table("Title", {"Config", "a", "bbbb"});
+  table.AddRow("longer-name", {1.25, 100.0});
+  table.AddTextRow("x", {"yes", "no"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(SeriesTableTest, CustomFormat) {
+  SeriesTable table("T", {"k", "v"});
+  table.SetValueFormat("%.0f");
+  table.AddRow("r", {1234.56});
+  EXPECT_NE(table.ToString().find("1235"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streampart

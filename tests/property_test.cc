@@ -1,0 +1,256 @@
+/// \file property_test.cc
+/// \brief Randomized property tests over generated query sets:
+///
+///  * The §3.4 definition, end to end: for a randomly generated query DAG
+///    and a randomly chosen partitioning set, if the analysis framework
+///    declares every node compatible then the optimized distributed plan's
+///    output equals centralized execution (as multisets, per window).
+///  * Partial aggregation is unconditionally output-preserving.
+///  * The reconciled set of any candidate pair is compatible with both
+///    contributors' queries.
+///
+/// Each trial is deterministic in its seed so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include "dist/experiment.h"
+#include "exec/local_engine.h"
+#include "partition/search.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+/// Deterministic generator of random (but analyzable) query sets over the
+/// packet schema.
+class QuerySetGenerator {
+ public:
+  explicit QuerySetGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// A random scalar grouping expression over a non-temporal attribute.
+  std::string RandomKeyExpr() {
+    static const char* kCols[] = {"srcIP", "destIP", "srcPort", "destPort"};
+    std::string col = kCols[rng_.Uniform(0, 3)];
+    switch (rng_.Uniform(0, 3)) {
+      case 0:
+        return col;
+      case 1: {
+        static const char* kMasks[] = {"0xFFFFFF00", "0xFFFFFFF0",
+                                       "0xFFFF0000"};
+        return col + " & " + kMasks[rng_.Uniform(0, 2)];
+      }
+      case 2:
+        return col + " >> " + std::to_string(rng_.Uniform(2, 8));
+      default:
+        return col;
+    }
+  }
+
+  /// Adds a random low-level aggregation over TCP; returns its name.
+  std::string AddLeafAggregate(QueryGraph* graph, int index) {
+    std::string name = "q" + std::to_string(index);
+    size_t num_keys = rng_.Uniform(1, 3);
+    std::string keys, key_names;
+    for (size_t i = 0; i < num_keys; ++i) {
+      std::string alias = "k" + std::to_string(i);
+      keys += ", " + RandomKeyExpr() + " as " + alias;
+      key_names += ", " + alias;
+    }
+    static const char* kAggs[] = {"COUNT(*)", "SUM(len)", "MAX(len)",
+                                  "OR_AGGR(flags)", "AVG(len)"};
+    std::string agg = kAggs[rng_.Uniform(0, 4)];
+    std::string epoch = rng_.Chance(0.5) ? "time/10" : "time";
+    std::string sql = "SELECT tb" + key_names + ", " + agg +
+                      " as v FROM TCP GROUP BY " + epoch + " as tb" + keys;
+    Status st = graph->AddQuery(name, sql);
+    SP_CHECK(st.ok()) << st.ToString() << "\n" << sql;
+    return name;
+  }
+
+  /// Adds a random rollup over \p child using a subset of its key columns.
+  std::string AddRollup(QueryGraph* graph, const std::string& child,
+                        int index) {
+    auto node = graph->GetQuery(child);
+    SP_CHECK(node.ok());
+    // Child outputs: tb, k0..kn, v.
+    std::string name = "r" + std::to_string(index);
+    size_t child_keys = (*node)->output_schema->num_fields() - 2;
+    size_t keep = rng_.Uniform(1, child_keys);
+    std::string keys;
+    for (size_t i = 0; i < keep; ++i) keys += ", k" + std::to_string(i);
+    std::string sql = "SELECT tb" + keys +
+                      ", COUNT(*) as n, MAX(v) as mx FROM " + child +
+                      " GROUP BY tb" + keys;
+    Status st = graph->AddQuery(name, sql);
+    SP_CHECK(st.ok()) << st.ToString() << "\n" << sql;
+    return name;
+  }
+
+  /// Adds a cross-epoch self-join over \p child on its k0 key; returns the
+  /// join's name.
+  std::string AddSelfJoin(QueryGraph* graph, const std::string& child,
+                          int index) {
+    std::string name = "j" + std::to_string(index);
+    std::string sql = "SELECT A.tb, A.k0, A.v, B.v FROM " + child + " A, " +
+                      child + " B WHERE A.k0 = B.k0 and A.tb = B.tb + 1";
+    Status st = graph->AddQuery(name, sql);
+    SP_CHECK(st.ok()) << st.ToString() << "\n" << sql;
+    return name;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+TupleBatch PropertyTrace(uint64_t seed) {
+  TraceConfig tc;
+  tc.seed = seed;
+  tc.duration_sec = 25;
+  tc.packets_per_sec = 600;
+  tc.num_flows = 80;
+  tc.num_hosts = 128;
+  PacketTraceGenerator gen(tc);
+  return gen.GenerateAll();
+}
+
+class RandomQuerySetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomQuerySetProperty, CompatiblePartitioningPreservesOutput) {
+  uint64_t seed = GetParam();
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  QuerySetGenerator gen(seed);
+
+  // 1-3 leaf aggregates, each possibly with a rollup and/or a cross-epoch
+  // self-join on top.
+  int num_leaves = static_cast<int>(gen.rng().Uniform(1, 3));
+  int rollup_idx = 0;
+  int join_idx = 0;
+  for (int i = 0; i < num_leaves; ++i) {
+    std::string leaf = gen.AddLeafAggregate(&graph, i);
+    if (gen.rng().Chance(0.6)) {
+      gen.AddRollup(&graph, leaf, rollup_idx++);
+    }
+    if (gen.rng().Chance(0.4)) {
+      gen.AddSelfJoin(&graph, leaf, join_idx++);
+    }
+  }
+
+  // Let the search propose a partitioning; skip trials where none exists.
+  auto model = CostModel::Make(&graph, CostModel::Options());
+  ASSERT_TRUE(model.ok());
+  PartitionSearch search(&graph, &*model);
+  auto found = search.FindOptimal();
+  ASSERT_TRUE(found.ok());
+  if (found->best.empty()) return;
+
+  // Verify the framework's claim: every node it declares compatible really
+  // is — by running the whole thing distributed and comparing.
+  auto profiles = ProfileGraph(graph);
+  ASSERT_TRUE(profiles.ok());
+  bool all_compatible = true;
+  for (const auto& [name, profile] : *profiles) {
+    if (!IsNodeCompatible(profile, found->best)) all_compatible = false;
+  }
+
+  TupleBatch trace = PropertyTrace(seed);
+  auto central = RunCentralized(graph, "TCP", trace);
+  ASSERT_TRUE(central.ok());
+
+  ClusterConfig cluster;
+  cluster.num_hosts = static_cast<int>(gen.rng().Uniform(2, 4));
+  auto plan = OptimizeForPartitioning(graph, cluster, found->best,
+                                      OptimizerOptions());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ClusterRuntime runtime(&graph, &*plan, cluster);
+  ASSERT_TRUE(runtime.Build(found->best).ok());
+  for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+  runtime.FinishSources();
+
+  for (const QueryNodePtr& root : graph.Roots()) {
+    auto it = runtime.result().outputs.find(root->name);
+    ASSERT_NE(it, runtime.result().outputs.end()) << root->name;
+    testing::ExpectSameMultiset(
+        central->at(root->name), it->second,
+        "seed " + std::to_string(seed) + " root " + root->name + " PS " +
+            found->best.ToString() +
+            (all_compatible ? " (fully compatible)" : " (partial)"));
+  }
+}
+
+TEST_P(RandomQuerySetProperty, PartialAggregationPreservesOutput) {
+  uint64_t seed = GetParam() + 1000;
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  QuerySetGenerator gen(seed);
+  std::string leaf = gen.AddLeafAggregate(&graph, 0);
+  if (gen.rng().Chance(0.5)) gen.AddRollup(&graph, leaf, 0);
+
+  TupleBatch trace = PropertyTrace(seed);
+  auto central = RunCentralized(graph, "TCP", trace);
+  ASSERT_TRUE(central.ok());
+
+  OptimizerOptions options;
+  options.enable_compatible_pushdown = false;
+  options.partial_agg = gen.rng().Chance(0.5)
+                            ? OptimizerOptions::PartialAggMode::kPerHost
+                            : OptimizerOptions::PartialAggMode::kPerPartition;
+  ClusterConfig cluster;
+  cluster.num_hosts = 3;
+  auto plan =
+      OptimizeForPartitioning(graph, cluster, PartitionSet(), options);
+  ASSERT_TRUE(plan.ok());
+  ClusterRuntime runtime(&graph, &*plan, cluster);
+  ASSERT_TRUE(runtime.Build(PartitionSet()).ok());
+  for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+  runtime.FinishSources();
+
+  for (const QueryNodePtr& root : graph.Roots()) {
+    auto it = runtime.result().outputs.find(root->name);
+    ASSERT_NE(it, runtime.result().outputs.end());
+    testing::ExpectSameMultiset(central->at(root->name), it->second,
+                                "seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(RandomQuerySetProperty, ReconciledSetsAreCompatibleWithContributors) {
+  uint64_t seed = GetParam() + 2000;
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  QuerySetGenerator gen(seed);
+  int n = static_cast<int>(gen.rng().Uniform(2, 4));
+  for (int i = 0; i < n; ++i) gen.AddLeafAggregate(&graph, i);
+
+  auto profiles = ProfileGraph(graph);
+  ASSERT_TRUE(profiles.ok());
+  std::vector<std::pair<std::string, PartitionSet>> sets;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    auto inferred = InferNodePartitionSet(graph, node);
+    ASSERT_TRUE(inferred.ok());
+    if (inferred->has_value() && !(*inferred)->empty()) {
+      sets.emplace_back(node->name, **inferred);
+      // A node is always compatible with its own inferred set.
+      EXPECT_TRUE(IsNodeCompatible(profiles->at(node->name), **inferred))
+          << node->name << " vs own set " << (*inferred)->ToString();
+    }
+  }
+  for (const auto& [name_a, ps_a] : sets) {
+    for (const auto& [name_b, ps_b] : sets) {
+      PartitionSet reconciled = ReconcilePartitionSets(ps_a, ps_b);
+      if (reconciled.empty()) continue;
+      EXPECT_TRUE(IsNodeCompatible(profiles->at(name_a), reconciled))
+          << reconciled.ToString() << " vs " << name_a;
+      EXPECT_TRUE(IsNodeCompatible(profiles->at(name_b), reconciled))
+          << reconciled.ToString() << " vs " << name_b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQuerySetProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace streampart

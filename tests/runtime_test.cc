@@ -1,0 +1,239 @@
+/// \file runtime_test.cc
+/// \brief Partitioner and cluster-runtime tests: routing semantics, balance,
+/// traffic accounting invariants, and hardware-capability modelling.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dist/experiment.h"
+#include "partition/hardware.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::MakePacket;
+
+// ---------------------------------------------------------------------------
+// Partitioners
+// ---------------------------------------------------------------------------
+
+TEST(PartitionerTest, RoundRobinCycles) {
+  RoundRobinPartitioner part(3);
+  Tuple t = MakePacket(1, 1, 2, 3, 4, 5);
+  EXPECT_EQ(part.PartitionOf(t), 0);
+  EXPECT_EQ(part.PartitionOf(t), 1);
+  EXPECT_EQ(part.PartitionOf(t), 2);
+  EXPECT_EQ(part.PartitionOf(t), 0);
+}
+
+TEST(PartitionerTest, HashIsDeterministicAndKeyed) {
+  auto ps = PartitionSet::Parse("srcIP, destIP");
+  ASSERT_TRUE(ps.ok());
+  auto part = HashPartitioner::Make(*ps, MakePacketSchema(), 8);
+  ASSERT_TRUE(part.ok());
+  Tuple a = MakePacket(1, 0xAA, 0xBB, 1, 2, 10);
+  Tuple b = MakePacket(99, 0xAA, 0xBB, 7, 9, 500);  // same key, other fields
+  EXPECT_EQ((*part)->PartitionOf(a), (*part)->PartitionOf(a));
+  EXPECT_EQ((*part)->PartitionOf(a), (*part)->PartitionOf(b))
+      << "non-key fields must not affect routing";
+  // Different keys spread over the partition space (individual pairs may
+  // collide; a run of distinct keys must not all land together).
+  std::set<int> seen;
+  for (uint32_t ip = 0; ip < 64; ++ip) {
+    seen.insert((*part)->PartitionOf(MakePacket(1, 0xAA + ip, 0xBB, 1, 2, 10)));
+  }
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(PartitionerTest, HashRespectsScalarExpressions) {
+  // Partitioning on srcIP & 0xFFFFFFF0: all hosts in a /28 go together.
+  auto ps = PartitionSet::Parse("srcIP & 0xFFFFFFF0");
+  ASSERT_TRUE(ps.ok());
+  auto part = HashPartitioner::Make(*ps, MakePacketSchema(), 8);
+  ASSERT_TRUE(part.ok());
+  int first = (*part)->PartitionOf(MakePacket(1, 0x0A000010, 1, 1, 1, 1));
+  for (uint32_t host = 0; host < 16; ++host) {
+    EXPECT_EQ((*part)->PartitionOf(MakePacket(1, 0x0A000010 | host, 1, 1, 1, 1)),
+              first);
+  }
+}
+
+TEST(PartitionerTest, HashBalancesRealisticTraffic) {
+  auto ps = PartitionSet::Parse("srcIP, destIP, srcPort, destPort");
+  ASSERT_TRUE(ps.ok());
+  const int kParts = 8;
+  auto part = HashPartitioner::Make(*ps, MakePacketSchema(), kParts);
+  ASSERT_TRUE(part.ok());
+  TraceConfig tc;
+  tc.duration_sec = 2;
+  tc.packets_per_sec = 20000;
+  PacketTraceGenerator gen(tc);
+  std::vector<uint64_t> counts(kParts, 0);
+  Tuple t;
+  uint64_t total = 0;
+  while (gen.Next(&t)) {
+    int p = (*part)->PartitionOf(t);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kParts);
+    ++counts[p];
+    ++total;
+  }
+  // No partition far off the mean (flows are skewed, so allow slack).
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, total / kParts / 3);
+    EXPECT_LT(c, total * 3 / kParts);
+  }
+}
+
+TEST(PartitionerTest, MakePartitionerDispatch) {
+  auto rr = MakePartitioner(PartitionSet(), MakePacketSchema(), 4);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ((*rr)->Describe(), "round-robin");
+  auto ps = PartitionSet::Parse("srcIP");
+  ASSERT_TRUE(ps.ok());
+  auto hash = MakePartitioner(*ps, MakePacketSchema(), 4);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_NE((*hash)->Describe().find("srcIP"), std::string::npos);
+}
+
+TEST(PartitionerTest, ErrorsOnBadInput) {
+  auto ps = PartitionSet::Parse("nosuchcol");
+  ASSERT_TRUE(ps.ok());
+  EXPECT_FALSE(HashPartitioner::Make(*ps, MakePacketSchema(), 4).ok());
+  auto good = PartitionSet::Parse("srcIP");
+  EXPECT_FALSE(HashPartitioner::Make(*good, MakePacketSchema(), 0).ok());
+  EXPECT_FALSE(
+      HashPartitioner::Make(PartitionSet(), MakePacketSchema(), 4).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hardware capability
+// ---------------------------------------------------------------------------
+
+TEST(HardwareTest, SupportsAndRestrict) {
+  HardwareCapability hw = HardwareCapability::TcpHeaderSplitter();
+  auto ok_ps = PartitionSet::Parse("srcIP & 0xFFF0, destIP");
+  auto bad_col = PartitionSet::Parse("len");
+  auto bad_form = PartitionSet::Parse("srcIP % 7");
+  ASSERT_TRUE(ok_ps.ok() && bad_col.ok() && bad_form.ok());
+  EXPECT_TRUE(hw.Supports(*ok_ps));
+  EXPECT_FALSE(hw.Supports(*bad_col));
+  EXPECT_FALSE(hw.Supports(*bad_form));
+  EXPECT_TRUE(hw.Supports(PartitionSet()));  // round-robin always possible
+
+  auto mixed = PartitionSet::Parse("srcIP, len");
+  ASSERT_TRUE(mixed.ok());
+  PartitionSet restricted = hw.Restrict(*mixed);
+  EXPECT_EQ(restricted.ToString(), "(srcIP)");
+
+  auto admissible = hw.Admissible({*ok_ps, *bad_col, *bad_form});
+  EXPECT_EQ(admissible.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster runtime accounting
+// ---------------------------------------------------------------------------
+
+class RuntimeAccountingTest : public ::testing::Test {
+ protected:
+  RuntimeAccountingTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {
+    Status st = graph_.AddQuery(
+        "flows", "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                 "GROUP BY time/10 as tb, srcIP");
+    SP_CHECK(st.ok()) << st.ToString();
+  }
+
+  ClusterRunResult Run(const PartitionSet& ps, const OptimizerOptions& options,
+                       int hosts, const TupleBatch& trace) {
+    ClusterConfig cluster;
+    cluster.num_hosts = hosts;
+    auto plan = OptimizeForPartitioning(graph_, cluster, ps, options);
+    SP_CHECK(plan.ok()) << plan.status().ToString();
+    ClusterRuntime runtime(&graph_, &*plan, cluster);
+    SP_CHECK(runtime.Build(ps).ok());
+    for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+    runtime.FinishSources();
+    return runtime.result();
+  }
+
+  TupleBatch Trace() {
+    TraceConfig tc;
+    tc.duration_sec = 5;
+    tc.packets_per_sec = 2000;
+    tc.num_flows = 100;
+    PacketTraceGenerator gen(tc);
+    return gen.GenerateAll();
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+TEST_F(RuntimeAccountingTest, BytesSentEqualBytesReceived) {
+  OptimizerOptions options;
+  options.enable_compatible_pushdown = false;
+  ClusterRunResult result = Run(PartitionSet(), options, 3, Trace());
+  uint64_t sent = 0, received = 0, sent_t = 0, received_t = 0;
+  for (const HostMetrics& h : result.hosts) {
+    sent += h.net_bytes_out;
+    received += h.net_bytes_in;
+    sent_t += h.net_tuples_out;
+    received_t += h.net_tuples_in;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(sent_t, received_t);
+  EXPECT_GT(received_t, 0u);
+}
+
+TEST_F(RuntimeAccountingTest, SourceTuplesSpreadAcrossHosts) {
+  OptimizerOptions options;
+  ClusterRunResult result =
+      Run(*PartitionSet::Parse("srcIP"), options, 4, Trace());
+  EXPECT_EQ(result.source_tuples, 10000u);
+  uint64_t total = 0;
+  for (const HostMetrics& h : result.hosts) {
+    EXPECT_GT(h.source_tuples, 0u);
+    total += h.source_tuples;
+  }
+  EXPECT_EQ(total, result.source_tuples);
+}
+
+TEST_F(RuntimeAccountingTest, CompatiblePushdownReducesAggregatorTraffic) {
+  TupleBatch trace = Trace();
+  OptimizerOptions agnostic;
+  agnostic.enable_compatible_pushdown = false;
+  OptimizerOptions aware;
+  ClusterRunResult naive = Run(PartitionSet(), agnostic, 4, trace);
+  ClusterRunResult partitioned =
+      Run(*PartitionSet::Parse("srcIP"), aware, 4, trace);
+  EXPECT_LT(partitioned.hosts[0].net_tuples_in,
+            naive.hosts[0].net_tuples_in / 2);
+}
+
+TEST_F(RuntimeAccountingTest, SingleHostHasNoNetworkTraffic) {
+  OptimizerOptions options;
+  options.enable_compatible_pushdown = false;
+  ClusterRunResult result = Run(PartitionSet(), options, 1, Trace());
+  EXPECT_EQ(result.hosts[0].net_tuples_in, 0u);
+  EXPECT_EQ(result.hosts[0].net_tuples_out, 0u);
+}
+
+TEST_F(RuntimeAccountingTest, CpuModelMonotoneInWork) {
+  HostMetrics light;
+  light.ops.tuples_in = 1000;
+  HostMetrics heavy = light;
+  heavy.ops.tuples_in = 10000;
+  heavy.net_tuples_in = 500;
+  CpuCostParams params;
+  EXPECT_GT(HostCpuSeconds(heavy, params), HostCpuSeconds(light, params));
+  EXPECT_GT(HostCpuLoadPercent(heavy, params, 10.0),
+            HostCpuLoadPercent(light, params, 10.0));
+  EXPECT_EQ(HostCpuLoadPercent(light, params, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HostNetworkTuplesPerSec(heavy, 10.0), 50.0);
+}
+
+}  // namespace
+}  // namespace streampart

@@ -1,0 +1,233 @@
+/// \file scalar_form_test.cc
+/// \brief Canonical scalar-form analysis (§3.3/§4.1 machinery): extraction
+/// from expressions, composition through lineage, the function-of relation,
+/// and algebraic properties checked over parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include "expr/scalar_form.h"
+#include "parser/parser.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+AnalyzedScalar Analyze(const std::string& text) {
+  auto parsed = ParseExpression(text);
+  SP_CHECK(parsed.ok()) << parsed.status().ToString();
+  auto analyzed = AnalyzeScalarExpr(*parsed);
+  SP_CHECK(analyzed.ok()) << analyzed.status().ToString();
+  return *analyzed;
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+TEST(ScalarFormAnalysis, ExtractsCanonicalForms) {
+  EXPECT_TRUE(Analyze("srcIP").form.Equals(ScalarForm::Identity()));
+  EXPECT_TRUE(Analyze("time / 60").form.Equals(ScalarForm::Div(60)));
+  EXPECT_TRUE(Analyze("srcIP & 0xFFF0").form.Equals(ScalarForm::Mask(0xFFF0)));
+  EXPECT_TRUE(Analyze("srcIP >> 8").form.Equals(ScalarForm::Shift(8)));
+  EXPECT_TRUE(Analyze("len % 10").form.Equals(ScalarForm::Mod(10)));
+}
+
+TEST(ScalarFormAnalysis, MaskLiteralOnEitherSide) {
+  EXPECT_TRUE(Analyze("0xFF00 & srcIP").form.Equals(ScalarForm::Mask(0xFF00)));
+}
+
+TEST(ScalarFormAnalysis, ComposedExpressions) {
+  // (time/60)/3 == time/180.
+  EXPECT_TRUE(Analyze("time / 60 / 3").form.Equals(ScalarForm::Div(180)));
+  // (srcIP >> 4) >> 4 == srcIP >> 8.
+  EXPECT_TRUE(Analyze("srcIP >> 4 >> 4").form.Equals(ScalarForm::Shift(8)));
+  // (srcIP & 0xFFF0) & 0xFF00 == srcIP & 0xFF00.
+  EXPECT_TRUE(
+      Analyze("(srcIP & 0xFFF0) & 0xFF00").form.Equals(ScalarForm::Mask(0xFF00)));
+  // (time >> 2) / 15 == time / 60.
+  EXPECT_TRUE(Analyze("(time >> 2) / 15").form.Equals(ScalarForm::Div(60)));
+  // (time / 15) >> 2 == time / 60.
+  EXPECT_TRUE(Analyze("(time / 15) >> 2").form.Equals(ScalarForm::Div(60)));
+  // (time % 100) % 10 == time % 10 (10 | 100).
+  EXPECT_TRUE(Analyze("(time % 100) % 10").form.Equals(ScalarForm::Mod(10)));
+  // Division by one is the identity.
+  EXPECT_TRUE(Analyze("time / 1").form.Equals(ScalarForm::Identity()));
+}
+
+TEST(ScalarFormAnalysis, UnrecognizedStructureIsOpaque) {
+  EXPECT_TRUE(Analyze("srcIP + 1").form.is_opaque());
+  EXPECT_TRUE(Analyze("srcIP * 3").form.is_opaque());
+  EXPECT_TRUE(Analyze("(srcIP & 0xF0) / 3").form.is_opaque());
+  EXPECT_TRUE(Analyze("(time % 7) % 3").form.is_opaque());  // 3 does not divide 7
+  EXPECT_TRUE(Analyze("60 / time").form.is_opaque());       // literal dividend
+}
+
+TEST(ScalarFormAnalysis, RejectsMultiAttributeExpressions) {
+  auto parsed = ParseExpression("srcIP + destIP");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(AnalyzeScalarExpr(*parsed).status().IsAnalysisError());
+}
+
+TEST(ScalarFormAnalysis, RejectsConstantExpressions) {
+  auto parsed = ParseExpression("1 + 2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(AnalyzeScalarExpr(*parsed).status().IsAnalysisError());
+}
+
+TEST(ScalarFormAnalysis, BaseColumnIsReported) {
+  EXPECT_EQ(Analyze("destIP & 0xFF").base_column, "destIP");
+  // The same attribute referenced twice is fine (opaque form).
+  EXPECT_EQ(Analyze("srcIP + srcIP").base_column, "srcIP");
+}
+
+// ---------------------------------------------------------------------------
+// IsFunctionOf
+// ---------------------------------------------------------------------------
+
+TEST(IsFunctionOfTest, IdentityIsFinest) {
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Div(60), ScalarForm::Identity()));
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Mask(0xF0), ScalarForm::Identity()));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Identity(), ScalarForm::Div(60)));
+}
+
+TEST(IsFunctionOfTest, DivisorDivisibility) {
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Div(180), ScalarForm::Div(60)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Div(60), ScalarForm::Div(180)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Div(90), ScalarForm::Div(60)));
+}
+
+TEST(IsFunctionOfTest, MaskSubset) {
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Mask(0xF000), ScalarForm::Mask(0xFFF0)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Mask(0xFFF0), ScalarForm::Mask(0xF000)));
+}
+
+TEST(IsFunctionOfTest, ShiftAndDivInterplay) {
+  // x>>4 == x/16; x/32 is a function of it, x/24 is not.
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Div(32), ScalarForm::Shift(4)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Div(24), ScalarForm::Shift(4)));
+  // x>>5 == x/32 is a function of x/16 and of x/32 but not of x/24.
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Shift(5), ScalarForm::Div(16)));
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Shift(5), ScalarForm::Div(32)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Shift(5), ScalarForm::Div(24)));
+}
+
+TEST(IsFunctionOfTest, MaskOfShiftNeedsClearLowBits) {
+  // x & 0xFF00 is computable from x>>8 (no bits below bit 8).
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Mask(0xFF00), ScalarForm::Shift(8)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Mask(0xFF0), ScalarForm::Shift(8)));
+}
+
+TEST(IsFunctionOfTest, ModDivisibility) {
+  EXPECT_TRUE(IsFunctionOf(ScalarForm::Mod(5), ScalarForm::Mod(10)));
+  EXPECT_FALSE(IsFunctionOf(ScalarForm::Mod(10), ScalarForm::Mod(5)));
+}
+
+TEST(IsFunctionOfTest, OpaqueOnlyEqualsItself) {
+  ScalarForm a = ScalarForm::Opaque(*ParseExpression("srcIP + 1"));
+  ScalarForm b = ScalarForm::Opaque(*ParseExpression("srcIP + 1"));
+  ScalarForm c = ScalarForm::Opaque(*ParseExpression("srcIP + 2"));
+  EXPECT_TRUE(IsFunctionOf(a, b));
+  EXPECT_FALSE(IsFunctionOf(a, c));
+  EXPECT_FALSE(IsFunctionOf(a, ScalarForm::Div(2)));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic ground truth: IsFunctionOf(f, g) must mean f(x) is determined by
+// g(x). We verify against brute-force evaluation over a domain sweep.
+// ---------------------------------------------------------------------------
+
+uint64_t ApplyForm(const ScalarForm& f, uint64_t x) {
+  switch (f.kind) {
+    case ScalarFormKind::kIdentity: return x;
+    case ScalarFormKind::kDiv: return x / f.param;
+    case ScalarFormKind::kMask: return x & f.param;
+    case ScalarFormKind::kShift: return x >> f.param;
+    case ScalarFormKind::kMod: return x % f.param;
+    case ScalarFormKind::kOpaque: return x;
+  }
+  return x;
+}
+
+class FunctionOfProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+static const ScalarForm kForms[] = {
+    ScalarForm::Identity(), ScalarForm::Div(4),    ScalarForm::Div(6),
+    ScalarForm::Div(12),    ScalarForm::Mask(0xF0), ScalarForm::Mask(0x3C),
+    ScalarForm::Shift(2),   ScalarForm::Shift(4),  ScalarForm::Mod(6),
+    ScalarForm::Mod(4),     ScalarForm::Mod(12),
+};
+
+TEST_P(FunctionOfProperty, AgreesWithBruteForce) {
+  const ScalarForm& coarse = kForms[std::get<0>(GetParam())];
+  const ScalarForm& fine = kForms[std::get<1>(GetParam())];
+  // Brute-force: does g(x) determine f(x) over the domain?
+  std::map<uint64_t, uint64_t> image;
+  bool determined = true;
+  for (uint64_t x = 0; x < 4096; ++x) {
+    uint64_t g = ApplyForm(fine, x);
+    uint64_t f = ApplyForm(coarse, x);
+    auto [it, inserted] = image.emplace(g, f);
+    if (!inserted && it->second != f) {
+      determined = false;
+      break;
+    }
+  }
+  // IsFunctionOf may be conservative (false negatives are allowed — it never
+  // claims more than it can prove) but must never report a false positive.
+  if (IsFunctionOf(coarse, fine)) {
+    EXPECT_TRUE(determined)
+        << coarse.ToString("x") << " claimed to be a function of "
+        << fine.ToString("x") << " but is not";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormPairs, FunctionOfProperty,
+    ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 11)));
+
+class ReconcileProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReconcileProperty, ReconciledFormIsCommonCoarsening) {
+  const ScalarForm& a = kForms[std::get<0>(GetParam())];
+  const ScalarForm& b = kForms[std::get<1>(GetParam())];
+  auto r = ReconcileForms(a, b);
+  if (!r.has_value()) return;
+  // The reconciled form must be a function of both inputs — verified both
+  // via the relation and by brute force.
+  EXPECT_TRUE(IsFunctionOf(*r, a));
+  EXPECT_TRUE(IsFunctionOf(*r, b));
+  for (uint64_t x = 0; x < 2048; ++x) {
+    for (uint64_t y = x + 1; y < x + 3; ++y) {
+      if (ApplyForm(a, x) == ApplyForm(a, y)) {
+        EXPECT_EQ(ApplyForm(*r, x), ApplyForm(*r, y))
+            << r->ToString("x") << " splits a group of " << a.ToString("x");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormPairs, ReconcileProperty,
+    ::testing::Combine(::testing::Range(0, 11), ::testing::Range(0, 11)));
+
+// ---------------------------------------------------------------------------
+// FormToExpr round trip
+// ---------------------------------------------------------------------------
+
+TEST(ScalarFormAnalysis, FormToExprRoundTrips) {
+  const ScalarForm forms[] = {ScalarForm::Identity(), ScalarForm::Div(60),
+                              ScalarForm::Mask(0xFFF0), ScalarForm::Shift(8),
+                              ScalarForm::Mod(10)};
+  for (const ScalarForm& form : forms) {
+    ExprPtr expr = FormToExpr(form, "srcIP");
+    auto analyzed = AnalyzeScalarExpr(expr);
+    ASSERT_TRUE(analyzed.ok());
+    EXPECT_EQ(analyzed->base_column, "srcIP");
+    EXPECT_TRUE(analyzed->form.Equals(form)) << form.ToString("srcIP");
+  }
+}
+
+}  // namespace
+}  // namespace streampart

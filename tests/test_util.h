@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file test_util.h
+/// \brief Shared helpers for the streampart test suites.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "types/tuple.h"
+
+namespace streampart {
+namespace testing {
+
+// Note: the status is copied, not bound by reference — `expr` may be
+// `SomeResultReturningCall().status()`, a reference into a temporary that
+// dies at the end of the full expression.
+#define ASSERT_OK(expr)                                               \
+  do {                                                                \
+    const ::streampart::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+#define EXPECT_OK(expr)                                               \
+  do {                                                                \
+    const ::streampart::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                          \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                              \
+  ASSERT_OK_AND_ASSIGN_IMPL(SP_CONCAT(_r_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result_name, lhs, rexpr)            \
+  auto result_name = (rexpr);                                         \
+  ASSERT_TRUE(result_name.ok()) << result_name.status().ToString();   \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// \brief Builds one packet tuple in the canonical packet-schema layout.
+inline Tuple MakePacket(uint64_t time, uint32_t src_ip, uint32_t dest_ip,
+                        uint64_t src_port, uint64_t dest_port, uint64_t len,
+                        uint64_t flags = 0x10, uint64_t protocol = 6,
+                        uint64_t timestamp = 0) {
+  Tuple t;
+  t.Append(Value::Uint(time));
+  t.Append(Value::Ip(src_ip));
+  t.Append(Value::Ip(dest_ip));
+  t.Append(Value::Uint(src_port));
+  t.Append(Value::Uint(dest_port));
+  t.Append(Value::Uint(len));
+  t.Append(Value::Uint(flags));
+  t.Append(Value::Uint(protocol));
+  t.Append(Value::Uint(timestamp == 0 ? time * 1000000 : timestamp));
+  return t;
+}
+
+/// \brief Sorts a batch for order-insensitive comparison.
+inline TupleBatch Sorted(TupleBatch batch) {
+  std::sort(batch.begin(), batch.end());
+  return batch;
+}
+
+/// \brief Renders a batch for failure messages.
+inline std::string BatchToString(const TupleBatch& batch, size_t limit = 20) {
+  std::string out;
+  for (size_t i = 0; i < batch.size() && i < limit; ++i) {
+    out += batch[i].ToString() + "\n";
+  }
+  if (batch.size() > limit) out += "... (" + std::to_string(batch.size()) + " total)\n";
+  return out;
+}
+
+/// \brief Asserts two batches are equal as multisets.
+inline void ExpectSameMultiset(const TupleBatch& expected,
+                               const TupleBatch& actual,
+                               const std::string& context = "") {
+  TupleBatch e = Sorted(expected);
+  TupleBatch a = Sorted(actual);
+  EXPECT_EQ(e.size(), a.size()) << context << "\nexpected:\n"
+                                << BatchToString(e) << "actual:\n"
+                                << BatchToString(a);
+  if (e.size() == a.size()) {
+    for (size_t i = 0; i < e.size(); ++i) {
+      if (!(e[i] == a[i])) {
+        ADD_FAILURE() << context << " first difference at row " << i
+                      << "\nexpected: " << e[i].ToString()
+                      << "\nactual:   " << a[i].ToString();
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace streampart

@@ -1,0 +1,179 @@
+/// \file trace_test.cc
+/// \brief Synthetic-trace generator tests: determinism, schema conformance,
+/// ordering, and the distributional properties the experiments rely on.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+TEST(TraceTest, DeterministicForSameSeed) {
+  TraceConfig tc;
+  tc.duration_sec = 2;
+  tc.packets_per_sec = 1000;
+  PacketTraceGenerator a(tc);
+  PacketTraceGenerator b(tc);
+  TupleBatch ta = a.GenerateAll();
+  TupleBatch tb = b.GenerateAll();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i], tb[i]) << "row " << i;
+  }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  TraceConfig tc;
+  tc.duration_sec = 1;
+  tc.packets_per_sec = 1000;
+  TraceConfig tc2 = tc;
+  tc2.seed = tc.seed + 1;
+  TupleBatch a = PacketTraceGenerator(tc).GenerateAll();
+  TupleBatch b = PacketTraceGenerator(tc2).GenerateAll();
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, ConformsToPacketSchemaAndCount) {
+  TraceConfig tc;
+  tc.duration_sec = 3;
+  tc.packets_per_sec = 500;
+  PacketTraceGenerator gen(tc);
+  EXPECT_EQ(gen.total_packets(), 1500u);
+  TupleBatch trace = gen.GenerateAll();
+  ASSERT_EQ(trace.size(), 1500u);
+  SchemaPtr schema = MakePacketSchema();
+  for (const Tuple& t : trace) {
+    ASSERT_EQ(t.size(), schema->num_fields());
+    EXPECT_EQ(t.at(kPktSrcIp).type(), DataType::kIp);
+    EXPECT_EQ(t.at(kPktProtocol).AsUint64(), 6u);
+    EXPECT_GE(t.at(kPktLen).AsUint64(), 40u);
+    EXPECT_LE(t.at(kPktLen).AsUint64(), 1500u);
+  }
+}
+
+TEST(TraceTest, TimeAndTimestampNonDecreasing) {
+  TraceConfig tc;
+  tc.duration_sec = 3;
+  tc.packets_per_sec = 2000;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].at(kPktTime).AsUint64(),
+              trace[i].at(kPktTime).AsUint64());
+    EXPECT_LE(trace[i - 1].at(kPktTimestamp).AsUint64(),
+              trace[i].at(kPktTimestamp).AsUint64());
+  }
+  // The last packet is in the last second.
+  EXPECT_EQ(trace.back().at(kPktTime).AsUint64(), 2u);
+}
+
+TEST(TraceTest, SuspiciousFlowsCarryAttackPattern) {
+  TraceConfig tc;
+  tc.duration_sec = 2;
+  tc.packets_per_sec = 5000;
+  tc.suspicious_fraction = 0.10;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  // Per-flow OR of flags equals the attack pattern for suspicious flows and
+  // a legal ACK/PSH pattern otherwise.
+  std::map<std::vector<uint64_t>, uint64_t> flow_or;
+  for (const Tuple& t : trace) {
+    std::vector<uint64_t> key = {
+        t.at(kPktSrcIp).AsUint64(), t.at(kPktDestIp).AsUint64(),
+        t.at(kPktSrcPort).AsUint64(), t.at(kPktDestPort).AsUint64()};
+    flow_or[key] |= t.at(kPktFlags).AsUint64();
+  }
+  size_t suspicious = 0;
+  for (const auto& [key, orf] : flow_or) {
+    if (orf == tc.attack_flag_pattern) {
+      ++suspicious;
+    } else {
+      EXPECT_TRUE(orf == 0x10 || orf == 0x18) << orf;
+    }
+  }
+  // Roughly the configured fraction of flows (wide tolerance: flow draws).
+  double fraction = static_cast<double>(suspicious) / flow_or.size();
+  EXPECT_GT(fraction, 0.03);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(TraceTest, FlowChurnIntroducesNewFlows) {
+  TraceConfig tc;
+  tc.duration_sec = 10;
+  tc.packets_per_sec = 3000;
+  tc.num_flows = 500;
+  tc.flow_renewal = 0.2;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  std::set<std::vector<uint64_t>> first_sec, all;
+  for (const Tuple& t : trace) {
+    std::vector<uint64_t> key = {
+        t.at(kPktSrcIp).AsUint64(), t.at(kPktDestIp).AsUint64(),
+        t.at(kPktSrcPort).AsUint64(), t.at(kPktDestPort).AsUint64()};
+    if (t.at(kPktTime).AsUint64() == 0) first_sec.insert(key);
+    all.insert(key);
+  }
+  EXPECT_GT(all.size(), first_sec.size() * 2)
+      << "renewal should introduce many new flows over 10s";
+}
+
+TEST(TraceTest, ZipfSkewConcentratesTraffic) {
+  TraceConfig tc;
+  tc.duration_sec = 2;
+  tc.packets_per_sec = 10000;
+  tc.num_flows = 1000;
+  tc.flow_renewal = 0.0;  // freeze the flow table
+  tc.zipf_skew = 1.3;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  std::map<std::vector<uint64_t>, uint64_t> counts;
+  for (const Tuple& t : trace) {
+    counts[{t.at(kPktSrcIp).AsUint64(), t.at(kPktDestIp).AsUint64(),
+            t.at(kPktSrcPort).AsUint64(), t.at(kPktDestPort).AsUint64()}]++;
+  }
+  std::vector<uint64_t> sorted;
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  // Top 10 flows carry a large multiple of the median flow's traffic.
+  uint64_t top10 = 0;
+  for (size_t i = 0; i < 10 && i < sorted.size(); ++i) top10 += sorted[i];
+  EXPECT_GT(top10, trace.size() / 10)
+      << "heavy tail: top-10 flows should carry >10% of packets";
+}
+
+TEST(TraceTest, IpsComeFromConfiguredPool) {
+  TraceConfig tc;
+  tc.duration_sec = 1;
+  tc.packets_per_sec = 2000;
+  tc.num_hosts = 256;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  for (const Tuple& t : trace) {
+    uint32_t src = static_cast<uint32_t>(t.at(kPktSrcIp).AsUint64());
+    EXPECT_EQ(src & 0xFF000000u, 0x0A000000u);  // 10.0.0.0/8
+    EXPECT_LT(src & 0x00FFFFFFu, 256u);
+  }
+}
+
+TEST(TraceTest, StreamingInterfaceMatchesEager) {
+  TraceConfig tc;
+  tc.duration_sec = 1;
+  tc.packets_per_sec = 500;
+  PacketTraceGenerator eager(tc);
+  TupleBatch all = eager.GenerateAll();
+  PacketTraceGenerator lazy(tc);
+  Tuple t;
+  size_t i = 0;
+  while (lazy.Next(&t)) {
+    ASSERT_LT(i, all.size());
+    EXPECT_EQ(t, all[i]) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, all.size());
+  EXPECT_FALSE(lazy.Next(&t)) << "exhausted generator stays exhausted";
+}
+
+}  // namespace
+}  // namespace streampart

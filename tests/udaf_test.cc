@@ -1,0 +1,188 @@
+/// \file udaf_test.cc
+/// \brief UDAF registry and accumulator tests, including the sub/super
+/// splitting property each aggregate must satisfy (§5.2.2): combining
+/// per-partition sub results through the super aggregate must equal the
+/// direct aggregate over the whole input.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/udaf.h"
+#include "tests/test_util.h"
+
+namespace streampart {
+namespace {
+
+Value RunUdaf(const std::string& name, const std::vector<Value>& inputs,
+              DataType arg_type = DataType::kUint) {
+  auto udaf = UdafRegistry::Default().Get(name);
+  SP_CHECK(udaf.ok());
+  auto state = (*udaf)->NewState(arg_type);
+  for (const Value& v : inputs) state->Update(v);
+  return state->Final();
+}
+
+TEST(UdafTest, Count) {
+  EXPECT_EQ(RunUdaf("count", {Value::Uint(1), Value::Uint(2)}).AsUint64(), 2u);
+  EXPECT_EQ(RunUdaf("count", {}).AsUint64(), 0u);
+  // count(*) counts NULLs too (it takes no argument; Update sees Null).
+  EXPECT_EQ(RunUdaf("count", {Value::Null()}).AsUint64(), 1u);
+}
+
+TEST(UdafTest, SumByType) {
+  EXPECT_EQ(RunUdaf("sum", {Value::Uint(2), Value::Uint(3)}).AsUint64(), 5u);
+  EXPECT_EQ(RunUdaf("sum", {Value::Int(-2), Value::Int(5)}, DataType::kInt)
+                .AsInt64(),
+            3);
+  EXPECT_DOUBLE_EQ(
+      RunUdaf("sum", {Value::Double(0.5), Value::Double(1.25)},
+              DataType::kDouble)
+          .AsDouble(),
+      1.75);
+  // Empty and all-NULL sums are NULL.
+  EXPECT_TRUE(RunUdaf("sum", {}).is_null());
+  EXPECT_TRUE(RunUdaf("sum", {Value::Null()}).is_null());
+  // NULLs are skipped.
+  EXPECT_EQ(RunUdaf("sum", {Value::Uint(1), Value::Null(), Value::Uint(2)})
+                .AsUint64(),
+            3u);
+}
+
+TEST(UdafTest, MinMax) {
+  std::vector<Value> vals = {Value::Uint(5), Value::Uint(1), Value::Uint(9)};
+  EXPECT_EQ(RunUdaf("min", vals).AsUint64(), 1u);
+  EXPECT_EQ(RunUdaf("max", vals).AsUint64(), 9u);
+  EXPECT_TRUE(RunUdaf("min", {}).is_null());
+}
+
+TEST(UdafTest, Avg) {
+  EXPECT_DOUBLE_EQ(
+      RunUdaf("avg", {Value::Uint(2), Value::Uint(4)}).AsDouble(), 3.0);
+  EXPECT_TRUE(RunUdaf("avg", {}).is_null());
+}
+
+TEST(UdafTest, BitAggregates) {
+  std::vector<Value> vals = {Value::Uint(0x01), Value::Uint(0x08),
+                             Value::Uint(0x20)};
+  EXPECT_EQ(RunUdaf("or_aggr", vals).AsUint64(), 0x29u);
+  EXPECT_EQ(RunUdaf("and_aggr", {Value::Uint(0x1F), Value::Uint(0x13)})
+                .AsUint64(),
+            0x13u);
+  EXPECT_TRUE(RunUdaf("or_aggr", {}).is_null());
+}
+
+TEST(UdafTest, RegistryLookupAndTypes) {
+  const UdafRegistry& registry = UdafRegistry::Default();
+  EXPECT_TRUE(registry.Contains("count"));
+  EXPECT_FALSE(registry.Contains("median"));
+  EXPECT_TRUE(registry.Get("median").status().IsNotFound());
+
+  EXPECT_EQ(*registry.ResolveCall("count", {}), DataType::kUint);
+  EXPECT_EQ(*registry.ResolveCall("sum", {DataType::kDouble}),
+            DataType::kDouble);
+  EXPECT_EQ(*registry.ResolveCall("avg", {DataType::kUint}), DataType::kDouble);
+  EXPECT_EQ(*registry.ResolveCall("min", {DataType::kIp}), DataType::kIp);
+  // Arity/type errors.
+  EXPECT_TRUE(registry.ResolveCall("count", {DataType::kUint})
+                  .status()
+                  .IsAnalysisError());
+  EXPECT_TRUE(registry.ResolveCall("sum", {DataType::kString})
+                  .status()
+                  .IsAnalysisError());
+  EXPECT_TRUE(registry.ResolveCall("or_aggr", {DataType::kDouble})
+                  .status()
+                  .IsAnalysisError());
+}
+
+TEST(UdafTest, DuplicateRegistrationRejected) {
+  UdafRegistry registry;
+  auto udaf = UdafRegistry::Default().Get("count");
+  ASSERT_TRUE(udaf.ok());
+  EXPECT_OK(registry.Register(*udaf));
+  EXPECT_TRUE(registry.Register(*udaf).IsAlreadyExists());
+}
+
+// ---------------------------------------------------------------------------
+// The splitting property (§5.2.2): for any partitioning of the input,
+// super(sub(part_1), ..., sub(part_k)) == direct(whole input).
+// ---------------------------------------------------------------------------
+
+class UdafSplitProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UdafSplitProperty, SubSuperEqualsDirect) {
+  const std::string name = GetParam();
+  const UdafRegistry& registry = UdafRegistry::Default();
+  auto udaf = registry.Get(name);
+  ASSERT_TRUE(udaf.ok());
+  const UdafSplit& split = (*udaf)->split();
+  ASSERT_FALSE(split.sub_udafs.empty());
+  ASSERT_EQ(split.sub_udafs.size(), split.super_udafs.size());
+
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random input, random partitioning into k parts.
+    size_t n = rng.Uniform(1, 60);
+    size_t k = rng.Uniform(1, 6);
+    std::vector<std::vector<Value>> parts(k);
+    std::vector<Value> all;
+    for (size_t i = 0; i < n; ++i) {
+      Value v = Value::Uint(rng.Uniform(0, 255));
+      all.push_back(v);
+      parts[rng.Uniform(0, k - 1)].push_back(v);
+    }
+
+    // Direct result.
+    Value direct = RunUdaf(name, all);
+
+    // Sub per part, then super per component.
+    std::vector<Value> super_results;
+    for (size_t c = 0; c < split.sub_udafs.size(); ++c) {
+      auto super_udaf = registry.Get(split.super_udafs[c]);
+      ASSERT_TRUE(super_udaf.ok());
+      // Type of the sub output feeds the super accumulator.
+      auto sub_probe = registry.Get(split.sub_udafs[c]);
+      ASSERT_TRUE(sub_probe.ok());
+      std::vector<DataType> sub_args;
+      if (split.sub_udafs[c] != "count") sub_args = {DataType::kUint};
+      auto sub_type = (*sub_probe)->ResultType(sub_args);
+      ASSERT_TRUE(sub_type.ok());
+      auto super_state = (*super_udaf)->NewState(*sub_type);
+      for (const auto& part : parts) {
+        if (part.empty() && split.sub_udafs[c] != "count") continue;
+        Value sub_result = RunUdaf(split.sub_udafs[c], part);
+        super_state->Update(sub_result);
+      }
+      super_results.push_back(super_state->Final());
+    }
+
+    // Combine.
+    Value combined;
+    if (split.combine == nullptr) {
+      combined = super_results[0];
+    } else {
+      std::vector<ExprPtr> literals;
+      for (const Value& v : super_results) {
+        literals.push_back(Expr::Literal(v));
+      }
+      ExprPtr expr = split.combine(literals);
+      combined = expr->Eval(Tuple());
+    }
+
+    if (direct.is_null()) {
+      EXPECT_TRUE(combined.is_null()) << name << " trial " << trial;
+    } else if (direct.type() == DataType::kDouble) {
+      EXPECT_NEAR(combined.AsDouble(), direct.AsDouble(), 1e-9)
+          << name << " trial " << trial;
+    } else {
+      EXPECT_EQ(combined.AsUint64(), direct.AsUint64())
+          << name << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, UdafSplitProperty,
+                         ::testing::Values("count", "sum", "min", "max", "avg",
+                                           "or_aggr", "and_aggr"));
+
+}  // namespace
+}  // namespace streampart
