@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sample_plan.dir/fig01_sample_plan.cc.o"
+  "CMakeFiles/fig01_sample_plan.dir/fig01_sample_plan.cc.o.d"
+  "fig01_sample_plan"
+  "fig01_sample_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sample_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

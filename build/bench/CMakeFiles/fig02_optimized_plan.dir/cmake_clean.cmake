@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_optimized_plan.dir/fig02_optimized_plan.cc.o"
+  "CMakeFiles/fig02_optimized_plan.dir/fig02_optimized_plan.cc.o.d"
+  "fig02_optimized_plan"
+  "fig02_optimized_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_optimized_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

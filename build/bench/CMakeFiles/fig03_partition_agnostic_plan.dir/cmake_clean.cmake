@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_partition_agnostic_plan.dir/fig03_partition_agnostic_plan.cc.o"
+  "CMakeFiles/fig03_partition_agnostic_plan.dir/fig03_partition_agnostic_plan.cc.o.d"
+  "fig03_partition_agnostic_plan"
+  "fig03_partition_agnostic_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_partition_agnostic_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

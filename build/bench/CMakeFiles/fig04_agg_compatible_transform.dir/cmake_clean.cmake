@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_agg_compatible_transform.dir/fig04_agg_compatible_transform.cc.o"
+  "CMakeFiles/fig04_agg_compatible_transform.dir/fig04_agg_compatible_transform.cc.o.d"
+  "fig04_agg_compatible_transform"
+  "fig04_agg_compatible_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_agg_compatible_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_agg_partial_transform.dir/fig05_agg_partial_transform.cc.o"
+  "CMakeFiles/fig05_agg_partial_transform.dir/fig05_agg_partial_transform.cc.o.d"
+  "fig05_agg_partial_transform"
+  "fig05_agg_partial_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_agg_partial_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_join_original_plan.dir/fig06_join_original_plan.cc.o"
+  "CMakeFiles/fig06_join_original_plan.dir/fig06_join_original_plan.cc.o.d"
+  "fig06_join_original_plan"
+  "fig06_join_original_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_join_original_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

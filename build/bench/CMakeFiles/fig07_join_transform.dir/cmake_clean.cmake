@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_join_transform.dir/fig07_join_transform.cc.o"
+  "CMakeFiles/fig07_join_transform.dir/fig07_join_transform.cc.o.d"
+  "fig07_join_transform"
+  "fig07_join_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_join_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_simple_agg_cpu.dir/fig08_simple_agg_cpu.cc.o"
+  "CMakeFiles/fig08_simple_agg_cpu.dir/fig08_simple_agg_cpu.cc.o.d"
+  "fig08_simple_agg_cpu"
+  "fig08_simple_agg_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_simple_agg_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

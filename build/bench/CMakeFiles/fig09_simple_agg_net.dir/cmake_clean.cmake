@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_simple_agg_net.dir/fig09_simple_agg_net.cc.o"
+  "CMakeFiles/fig09_simple_agg_net.dir/fig09_simple_agg_net.cc.o.d"
+  "fig09_simple_agg_net"
+  "fig09_simple_agg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_simple_agg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

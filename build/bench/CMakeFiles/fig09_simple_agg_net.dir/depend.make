@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_simple_agg_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_query_set_cpu.
+# This may be replaced when dependencies are built.

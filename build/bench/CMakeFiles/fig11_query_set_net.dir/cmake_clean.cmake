@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_query_set_net.dir/fig11_query_set_net.cc.o"
+  "CMakeFiles/fig11_query_set_net.dir/fig11_query_set_net.cc.o.d"
+  "fig11_query_set_net"
+  "fig11_query_set_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_query_set_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

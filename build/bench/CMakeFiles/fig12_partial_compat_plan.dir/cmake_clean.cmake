@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_partial_compat_plan.dir/fig12_partial_compat_plan.cc.o"
+  "CMakeFiles/fig12_partial_compat_plan.dir/fig12_partial_compat_plan.cc.o.d"
+  "fig12_partial_compat_plan"
+  "fig12_partial_compat_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_partial_compat_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_partial_compat_plan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_complex_set_cpu.dir/fig13_complex_set_cpu.cc.o"
+  "CMakeFiles/fig13_complex_set_cpu.dir/fig13_complex_set_cpu.cc.o.d"
+  "fig13_complex_set_cpu"
+  "fig13_complex_set_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_complex_set_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

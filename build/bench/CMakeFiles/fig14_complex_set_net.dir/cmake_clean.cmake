@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_complex_set_net.dir/fig14_complex_set_net.cc.o"
+  "CMakeFiles/fig14_complex_set_net.dir/fig14_complex_set_net.cc.o.d"
+  "fig14_complex_set_net"
+  "fig14_complex_set_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_complex_set_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

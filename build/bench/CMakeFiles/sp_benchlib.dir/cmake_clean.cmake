@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_benchlib.dir/figlib.cc.o"
+  "CMakeFiles/sp_benchlib.dir/figlib.cc.o.d"
+  "lib/libsp_benchlib.a"
+  "lib/libsp_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libsp_benchlib.a"
+)

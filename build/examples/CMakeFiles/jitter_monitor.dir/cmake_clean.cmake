@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_monitor.dir/jitter_monitor.cpp.o"
+  "CMakeFiles/jitter_monitor.dir/jitter_monitor.cpp.o.d"
+  "jitter_monitor"
+  "jitter_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streampart_cli.dir/streampart_cli.cpp.o"
+  "CMakeFiles/streampart_cli.dir/streampart_cli.cpp.o.d"
+  "streampart_cli"
+  "streampart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streampart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for streampart_cli.
+# This may be replaced when dependencies are built.

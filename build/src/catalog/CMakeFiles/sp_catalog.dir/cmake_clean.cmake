@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_catalog.dir/catalog.cc.o"
+  "CMakeFiles/sp_catalog.dir/catalog.cc.o.d"
+  "libsp_catalog.a"
+  "libsp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_common.dir/rng.cc.o"
+  "CMakeFiles/sp_common.dir/rng.cc.o.d"
+  "CMakeFiles/sp_common.dir/status.cc.o"
+  "CMakeFiles/sp_common.dir/status.cc.o.d"
+  "CMakeFiles/sp_common.dir/strings.cc.o"
+  "CMakeFiles/sp_common.dir/strings.cc.o.d"
+  "libsp_common.a"
+  "libsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

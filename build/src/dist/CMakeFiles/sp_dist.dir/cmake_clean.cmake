@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_dist.dir/cluster_runtime.cc.o"
+  "CMakeFiles/sp_dist.dir/cluster_runtime.cc.o.d"
+  "CMakeFiles/sp_dist.dir/experiment.cc.o"
+  "CMakeFiles/sp_dist.dir/experiment.cc.o.d"
+  "CMakeFiles/sp_dist.dir/partitioner.cc.o"
+  "CMakeFiles/sp_dist.dir/partitioner.cc.o.d"
+  "libsp_dist.a"
+  "libsp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_exec.dir/local_engine.cc.o"
+  "CMakeFiles/sp_exec.dir/local_engine.cc.o.d"
+  "CMakeFiles/sp_exec.dir/ops.cc.o"
+  "CMakeFiles/sp_exec.dir/ops.cc.o.d"
+  "CMakeFiles/sp_exec.dir/sliding.cc.o"
+  "CMakeFiles/sp_exec.dir/sliding.cc.o.d"
+  "libsp_exec.a"
+  "libsp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_udaf.dir/udaf.cc.o"
+  "CMakeFiles/sp_udaf.dir/udaf.cc.o.d"
+  "libsp_udaf.a"
+  "libsp_udaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_udaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

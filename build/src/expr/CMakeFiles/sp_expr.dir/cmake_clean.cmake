@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_expr.dir/expr.cc.o"
+  "CMakeFiles/sp_expr.dir/expr.cc.o.d"
+  "CMakeFiles/sp_expr.dir/scalar_form.cc.o"
+  "CMakeFiles/sp_expr.dir/scalar_form.cc.o.d"
+  "libsp_expr.a"
+  "libsp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cpu_model.cc" "src/metrics/CMakeFiles/sp_metrics.dir/cpu_model.cc.o" "gcc" "src/metrics/CMakeFiles/sp_metrics.dir/cpu_model.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/sp_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/sp_metrics.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_udaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sp_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

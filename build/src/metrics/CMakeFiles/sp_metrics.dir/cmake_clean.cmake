@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_metrics.dir/cpu_model.cc.o"
+  "CMakeFiles/sp_metrics.dir/cpu_model.cc.o.d"
+  "CMakeFiles/sp_metrics.dir/report.cc.o"
+  "CMakeFiles/sp_metrics.dir/report.cc.o.d"
+  "libsp_metrics.a"
+  "libsp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

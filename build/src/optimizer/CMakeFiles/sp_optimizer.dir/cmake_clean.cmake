@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_optimizer.dir/dist_plan.cc.o"
+  "CMakeFiles/sp_optimizer.dir/dist_plan.cc.o.d"
+  "CMakeFiles/sp_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/sp_optimizer.dir/optimizer.cc.o.d"
+  "libsp_optimizer.a"
+  "libsp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_parser.dir/lexer.cc.o"
+  "CMakeFiles/sp_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/sp_parser.dir/parser.cc.o"
+  "CMakeFiles/sp_parser.dir/parser.cc.o.d"
+  "CMakeFiles/sp_parser.dir/stream_def.cc.o"
+  "CMakeFiles/sp_parser.dir/stream_def.cc.o.d"
+  "libsp_parser.a"
+  "libsp_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

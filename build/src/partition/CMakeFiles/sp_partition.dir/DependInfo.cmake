@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/advisor.cc" "src/partition/CMakeFiles/sp_partition.dir/advisor.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/advisor.cc.o.d"
+  "/root/repo/src/partition/compatibility.cc" "src/partition/CMakeFiles/sp_partition.dir/compatibility.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/compatibility.cc.o.d"
+  "/root/repo/src/partition/cost_model.cc" "src/partition/CMakeFiles/sp_partition.dir/cost_model.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/cost_model.cc.o.d"
+  "/root/repo/src/partition/hardware.cc" "src/partition/CMakeFiles/sp_partition.dir/hardware.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/hardware.cc.o.d"
+  "/root/repo/src/partition/partition_set.cc" "src/partition/CMakeFiles/sp_partition.dir/partition_set.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/partition_set.cc.o.d"
+  "/root/repo/src/partition/search.cc" "src/partition/CMakeFiles/sp_partition.dir/search.cc.o" "gcc" "src/partition/CMakeFiles/sp_partition.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_udaf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

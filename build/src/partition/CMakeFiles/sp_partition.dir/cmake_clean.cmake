@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_partition.dir/advisor.cc.o"
+  "CMakeFiles/sp_partition.dir/advisor.cc.o.d"
+  "CMakeFiles/sp_partition.dir/compatibility.cc.o"
+  "CMakeFiles/sp_partition.dir/compatibility.cc.o.d"
+  "CMakeFiles/sp_partition.dir/cost_model.cc.o"
+  "CMakeFiles/sp_partition.dir/cost_model.cc.o.d"
+  "CMakeFiles/sp_partition.dir/hardware.cc.o"
+  "CMakeFiles/sp_partition.dir/hardware.cc.o.d"
+  "CMakeFiles/sp_partition.dir/partition_set.cc.o"
+  "CMakeFiles/sp_partition.dir/partition_set.cc.o.d"
+  "CMakeFiles/sp_partition.dir/search.cc.o"
+  "CMakeFiles/sp_partition.dir/search.cc.o.d"
+  "libsp_partition.a"
+  "libsp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

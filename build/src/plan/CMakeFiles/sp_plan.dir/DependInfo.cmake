@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/analyzer.cc" "src/plan/CMakeFiles/sp_plan.dir/analyzer.cc.o" "gcc" "src/plan/CMakeFiles/sp_plan.dir/analyzer.cc.o.d"
+  "/root/repo/src/plan/lineage.cc" "src/plan/CMakeFiles/sp_plan.dir/lineage.cc.o" "gcc" "src/plan/CMakeFiles/sp_plan.dir/lineage.cc.o.d"
+  "/root/repo/src/plan/printer.cc" "src/plan/CMakeFiles/sp_plan.dir/printer.cc.o" "gcc" "src/plan/CMakeFiles/sp_plan.dir/printer.cc.o.d"
+  "/root/repo/src/plan/query_graph.cc" "src/plan/CMakeFiles/sp_plan.dir/query_graph.cc.o" "gcc" "src/plan/CMakeFiles/sp_plan.dir/query_graph.cc.o.d"
+  "/root/repo/src/plan/query_node.cc" "src/plan/CMakeFiles/sp_plan.dir/query_node.cc.o" "gcc" "src/plan/CMakeFiles/sp_plan.dir/query_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/sp_udaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_plan.dir/analyzer.cc.o"
+  "CMakeFiles/sp_plan.dir/analyzer.cc.o.d"
+  "CMakeFiles/sp_plan.dir/lineage.cc.o"
+  "CMakeFiles/sp_plan.dir/lineage.cc.o.d"
+  "CMakeFiles/sp_plan.dir/printer.cc.o"
+  "CMakeFiles/sp_plan.dir/printer.cc.o.d"
+  "CMakeFiles/sp_plan.dir/query_graph.cc.o"
+  "CMakeFiles/sp_plan.dir/query_graph.cc.o.d"
+  "CMakeFiles/sp_plan.dir/query_node.cc.o"
+  "CMakeFiles/sp_plan.dir/query_node.cc.o.d"
+  "libsp_plan.a"
+  "libsp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

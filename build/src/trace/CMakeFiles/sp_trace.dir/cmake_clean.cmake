@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_trace.dir/trace_gen.cc.o"
+  "CMakeFiles/sp_trace.dir/trace_gen.cc.o.d"
+  "libsp_trace.a"
+  "libsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_types.dir/data_type.cc.o"
+  "CMakeFiles/sp_types.dir/data_type.cc.o.d"
+  "CMakeFiles/sp_types.dir/schema.cc.o"
+  "CMakeFiles/sp_types.dir/schema.cc.o.d"
+  "CMakeFiles/sp_types.dir/serde.cc.o"
+  "CMakeFiles/sp_types.dir/serde.cc.o.d"
+  "CMakeFiles/sp_types.dir/tuple.cc.o"
+  "CMakeFiles/sp_types.dir/tuple.cc.o.d"
+  "CMakeFiles/sp_types.dir/value.cc.o"
+  "CMakeFiles/sp_types.dir/value.cc.o.d"
+  "libsp_types.a"
+  "libsp_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_exec_test.dir/distributed_exec_test.cc.o"
+  "CMakeFiles/distributed_exec_test.dir/distributed_exec_test.cc.o.d"
+  "distributed_exec_test"
+  "distributed_exec_test.pdb"
+  "distributed_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_smoke_test.cc" "tests/CMakeFiles/engine_smoke_test.dir/engine_smoke_test.cc.o" "gcc" "tests/CMakeFiles/engine_smoke_test.dir/engine_smoke_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/sp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/sp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sp_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_udaf.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/sp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/sp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_analysis_test.dir/partition_analysis_test.cc.o"
+  "CMakeFiles/partition_analysis_test.dir/partition_analysis_test.cc.o.d"
+  "partition_analysis_test"
+  "partition_analysis_test.pdb"
+  "partition_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

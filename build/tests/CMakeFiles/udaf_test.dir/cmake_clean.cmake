@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udaf_test.dir/udaf_test.cc.o"
+  "CMakeFiles/udaf_test.dir/udaf_test.cc.o.d"
+  "udaf_test"
+  "udaf_test.pdb"
+  "udaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
