@@ -38,4 +38,28 @@ inline uint64_t HashBytes(std::string_view bytes) {
   return Mix64(h);
 }
 
+/// \brief Word-at-a-time hash for hot fixed-width keys (packed group keys).
+/// Consumes 8 bytes per step instead of FNV's byte-serial multiply chain;
+/// quality comes from the Mix64 finalizer per word. Produces different
+/// values than HashBytes — only use where the hash never leaves the process.
+inline uint64_t HashBytesWide(const char* data, size_t size) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (size * 0xff51afd7ed558ccdULL);
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= size; i += sizeof(uint64_t)) {
+    uint64_t w;
+    __builtin_memcpy(&w, data + i, sizeof(uint64_t));
+    h = (h ^ Mix64(w)) * 0x100000001b3ULL;
+  }
+  if (i < size) {
+    uint64_t tail = 0;
+    __builtin_memcpy(&tail, data + i, size - i);
+    h = (h ^ Mix64(tail)) * 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashBytesWide(std::string_view bytes) {
+  return HashBytesWide(bytes.data(), bytes.size());
+}
+
 }  // namespace streampart

@@ -1,5 +1,7 @@
 #include "dist/cluster_runtime.h"
 
+#include <optional>
+
 #include "types/serde.h"
 
 namespace streampart {
@@ -22,10 +24,14 @@ ClusterRuntime::ClusterRuntime(const QueryGraph* graph, const DistPlan* plan,
 
 void ClusterRuntime::AccountTransfer(int from_host, int to_host,
                                      const Tuple& tuple) {
-  size_t bytes = EncodedTupleSize(tuple);
-  result_.hosts[from_host].net_tuples_out++;
+  AccountTransferBatch(from_host, to_host, 1, EncodedTupleSize(tuple));
+}
+
+void ClusterRuntime::AccountTransferBatch(int from_host, int to_host,
+                                          uint64_t n, size_t bytes) {
+  result_.hosts[from_host].net_tuples_out += n;
   result_.hosts[from_host].net_bytes_out += bytes;
-  result_.hosts[to_host].net_tuples_in++;
+  result_.hosts[to_host].net_tuples_in += n;
   result_.hosts[to_host].net_bytes_in += bytes;
 }
 
@@ -66,13 +72,23 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     }
   }
 
-  // The partitioner routes over the first (and in this framework, shared)
-  // source schema. All sources use the same partitioning (paper §4's
-  // simplifying assumption).
+  // The partitioner routes over the shared source schema: all partitioned
+  // streams use the same partitioning (paper §4's simplifying assumption).
+  // Pick the schema deterministically — partition_hosts_ is an ordered map,
+  // so this is the lexicographically smallest stream name — and verify the
+  // assumption instead of trusting it.
   SchemaPtr source_schema;
+  std::string source_schema_stream;
   for (const auto& [name, hosts] : partition_hosts_) {
-    SP_ASSIGN_OR_RETURN(source_schema, graph_->GetStreamSchema(name));
-    break;
+    SP_ASSIGN_OR_RETURN(SchemaPtr schema, graph_->GetStreamSchema(name));
+    if (source_schema == nullptr) {
+      source_schema = schema;
+      source_schema_stream = name;
+    } else if (!source_schema->Equals(*schema)) {
+      return Status::InvalidArgument(
+          "partitioned sources disagree on schema: stream '", name,
+          "' differs from '", source_schema_stream, "'");
+    }
   }
   if (source_schema != nullptr) {
     int num_parts = 0;
@@ -83,7 +99,15 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
                         MakePartitioner(actual_ps, source_schema, num_parts));
   }
 
-  // Pass 2: wire edges.
+  // Pass 2: wire edges. Cross-host edges are collected per producer so each
+  // producer output is serialized and decoded exactly once no matter how
+  // many remote consumers it feeds; traffic is still accounted per edge.
+  struct RemoteEdge {
+    Operator* consumer;
+    size_t port;
+    int to_host;
+  };
+  std::map<int, std::vector<RemoteEdge>> remote_edges;  // producer id -> edges
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
     if (op.kind == DistOpKind::kSource) continue;
@@ -100,22 +124,39 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
       if (producer.host == op.host) {
         prod_instance->AddConsumer(consumer, port);
       } else {
-        // Cross-host edge: serialize across the simulated network (the
-        // receiver sees a genuinely decoded tuple), account the encoded
-        // bytes, then deliver.
-        int from = producer.host;
-        int to = op.host;
-        ClusterRuntime* self = this;
-        prod_instance->AddSink([self, from, to, consumer, port](const Tuple& t) {
-          self->AccountTransfer(from, to, t);
-          auto decoded = RoundTripTuple(t);
-          SP_CHECK(decoded.ok()) << decoded.status().ToString();
-          consumer->Push(port, *decoded);
-        });
+        remote_edges[child].push_back(RemoteEdge{consumer, port, op.host});
         prod_instance->AddFinishHook(
             [consumer, port]() { consumer->Finish(port); });
       }
     }
+  }
+  for (auto& [child, edges] : remote_edges) {
+    // One channel per producer: serialize across the simulated network (the
+    // receivers see genuinely decoded tuples), account the encoded bytes on
+    // every edge, then deliver the single decoded copy to all consumers.
+    Operator* prod_instance = instances_[child].get();
+    int from = plan_->op(child).host;
+    ClusterRuntime* self = this;
+    std::vector<RemoteEdge> shared_edges = std::move(edges);
+    prod_instance->AddSink(
+        [self, from, shared_edges](const Tuple& t) {
+          auto decoded = RoundTripTuple(t);
+          SP_CHECK(decoded.ok()) << decoded.status().ToString();
+          for (const RemoteEdge& e : shared_edges) {
+            self->AccountTransfer(from, e.to_host, t);
+            e.consumer->Push(e.port, *decoded);
+          }
+        },
+        [self, from, shared_edges](TupleSpan batch) {
+          size_t enc_bytes = 0;
+          auto decoded = RoundTripBatch(batch, &enc_bytes);
+          SP_CHECK(decoded.ok()) << decoded.status().ToString();
+          for (const RemoteEdge& e : shared_edges) {
+            self->AccountTransferBatch(from, e.to_host, batch.size(),
+                                       enc_bytes);
+            e.consumer->PushBatch(e.port, *decoded);
+          }
+        });
   }
 
   // Pass 3: sinks collect plan outputs.
@@ -140,14 +181,66 @@ void ClusterRuntime::PushSource(const std::string& source,
   int src_host = partition_hosts_.at(source)[p];
   result_.hosts[src_host].source_tuples++;
   result_.source_tuples++;
+  // Serialize at most once per tuple: traffic is accounted on every remote
+  // edge, but all remote consumers share one decoded copy.
+  std::optional<Tuple> decoded;
   for (const SourceEdge& edge : it->second[p]) {
     if (edge.consumer_host != src_host) {
       AccountTransfer(src_host, edge.consumer_host, tuple);
-      auto decoded = RoundTripTuple(tuple);
-      SP_CHECK(decoded.ok()) << decoded.status().ToString();
+      if (!decoded.has_value()) {
+        auto rt = RoundTripTuple(tuple);
+        SP_CHECK(rt.ok()) << rt.status().ToString();
+        decoded = std::move(*rt);
+      }
       edge.consumer->Push(edge.port, *decoded);
     } else {
       edge.consumer->Push(edge.port, tuple);
+    }
+  }
+}
+
+void ClusterRuntime::PushSourceBatch(const std::string& source,
+                                     TupleSpan batch) {
+  auto it = routing_.find(source);
+  if (it == routing_.end() || partitioner_ == nullptr) return;
+  const auto& partitions = it->second;
+  const std::vector<int>& hosts = partition_hosts_.at(source);
+
+  // One routing pass buckets the batch by partition; buckets are scratch
+  // storage reused across calls.
+  if (bucket_scratch_.size() < partitions.size()) {
+    bucket_scratch_.resize(partitions.size());
+  }
+  for (auto& bucket : bucket_scratch_) bucket.clear();
+  for (const Tuple& tuple : batch) {
+    int p = partitioner_->PartitionOf(tuple);
+    if (p >= static_cast<int>(partitions.size())) continue;
+    bucket_scratch_[p].push_back(tuple);
+  }
+
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    const TupleBatch& bucket = bucket_scratch_[p];
+    if (bucket.empty()) continue;
+    int src_host = hosts[p];
+    result_.hosts[src_host].source_tuples += bucket.size();
+    result_.source_tuples += bucket.size();
+    // Cross-host consumers of this partition share one encode/decode round
+    // trip per bucket; local consumers see the bucket directly.
+    std::optional<TupleBatch> decoded;
+    size_t enc_bytes = 0;
+    for (const SourceEdge& edge : partitions[p]) {
+      if (edge.consumer_host != src_host) {
+        if (!decoded.has_value()) {
+          auto rt = RoundTripBatch(bucket, &enc_bytes);
+          SP_CHECK(rt.ok()) << rt.status().ToString();
+          decoded = std::move(*rt);
+        }
+        AccountTransferBatch(src_host, edge.consumer_host, bucket.size(),
+                             enc_bytes);
+        edge.consumer->PushBatch(edge.port, *decoded);
+      } else {
+        edge.consumer->PushBatch(edge.port, bucket);
+      }
     }
   }
 }

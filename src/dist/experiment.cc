@@ -1,5 +1,7 @@
 #include "dist/experiment.h"
 
+#include <algorithm>
+
 namespace streampart {
 
 ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
@@ -14,7 +16,8 @@ ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
 }
 
 Result<ClusterRunResult> ExperimentRunner::RunOne(
-    const ExperimentConfig& config, int num_hosts, int partitions_per_host) {
+    const ExperimentConfig& config, int num_hosts, int partitions_per_host,
+    size_t batch_size) {
   ClusterConfig cluster;
   cluster.num_hosts = num_hosts;
   cluster.partitions_per_host = partitions_per_host;
@@ -23,7 +26,15 @@ Result<ClusterRunResult> ExperimentRunner::RunOne(
       OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
   ClusterRuntime runtime(graph_, &plan, cluster);
   SP_RETURN_NOT_OK(runtime.Build(config.ps));
-  for (const Tuple& t : trace_) runtime.PushSource(source_, t);
+  if (batch_size == 0) {
+    for (const Tuple& t : trace_) runtime.PushSource(source_, t);
+  } else {
+    TupleSpan all(trace_);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      runtime.PushSourceBatch(
+          source_, all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
   runtime.FinishSources();
   return runtime.result();
 }

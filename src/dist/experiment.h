@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dist/cluster_runtime.h"
+#include "exec/local_engine.h"
 #include "metrics/cpu_model.h"
 #include "optimizer/optimizer.h"
 #include "trace/trace_gen.h"
@@ -66,9 +67,13 @@ class ExperimentRunner {
                                int partitions_per_host = 2);
 
   /// \brief Runs one cell and returns the full cluster result (used by tests
-  /// and for output-equivalence checks).
+  /// and for output-equivalence checks). The trace is replayed through the
+  /// batched source path in \p batch_size chunks; batch_size 0 replays
+  /// tuple-at-a-time (the pre-vectorization path — benches compare the two,
+  /// all accounted metrics are identical either way).
   Result<ClusterRunResult> RunOne(const ExperimentConfig& config,
-                                  int num_hosts, int partitions_per_host = 2);
+                                  int num_hosts, int partitions_per_host = 2,
+                                  size_t batch_size = kDefaultSourceBatch);
 
   const TupleBatch& trace() const { return trace_; }
   const CpuCostParams& cpu_params() const { return cpu_params_; }

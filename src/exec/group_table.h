@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file group_table.h
+/// \brief Flat open-addressed hash table for packed fixed-width group keys.
+///
+/// The vectorized aggregation path probes one hash table per input tuple, so
+/// the probe is the hottest loop in the engine. A node-based
+/// std::unordered_map<std::string, ...> pays for it three times over: a
+/// byte-serial hash, a pointer chase into the bucket list, and a second
+/// chase into the heap-allocated key string. PackedKeyTable stores 64-bit
+/// hashes, keys, and mapped values in three parallel contiguous arrays with
+/// linear probing, so a probe is one hash over 8-byte words, one predictable
+/// array walk, and one memcmp against an arena slice — no per-key
+/// allocations, and Recycle() retains capacity (and hands back the mapped
+/// values for reuse) across tumbling windows.
+///
+/// Keys must all have the same byte width, fixed at first insert; the
+/// aggregate operator's packed encoding guarantees this (slot count times
+/// kPackedSlotWidth). Not a general-purpose map: no erase, values are
+/// reachable only through ForEach/Recycle.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+template <typename T>
+class PackedKeyTable {
+ public:
+  /// \brief Mapped value for \p key, inserting a default-constructed slot on
+  /// miss. \p hash must be HashBytesWide(key). \p inserted reports which.
+  T* FindOrInsert(std::string_view key, uint64_t hash, bool* inserted) {
+    if (slots_ == 0) Rehash(kMinSlots, key.size());
+    SP_DCHECK(key.size() == key_width_) << "packed key width changed";
+    hash |= kOccupied;
+    size_t idx = hash & mask_;
+    while (true) {
+      uint64_t h = hashes_[idx];
+      if (h == kEmpty) break;
+      if (h == hash &&
+          std::memcmp(keys_.data() + idx * key_width_, key.data(),
+                      key_width_) == 0) {
+        *inserted = false;
+        return &values_[idx];
+      }
+      idx = (idx + 1) & mask_;
+    }
+    if (size_ + 1 > (slots_ / 2) + (slots_ / 4)) {  // max load 0.75
+      Rehash(slots_ * 2, key_width_);
+      idx = hash & mask_;
+      while (hashes_[idx] != kEmpty) idx = (idx + 1) & mask_;
+    }
+    hashes_[idx] = hash;
+    std::memcpy(keys_.data() + idx * key_width_, key.data(), key_width_);
+    ++size_;
+    *inserted = true;
+    return &values_[idx];
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Visits every occupied slot as fn(key_view, value&). Iteration
+  /// order is unspecified (hash order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_; ++i) {
+      if (hashes_[i] != kEmpty) {
+        fn(std::string_view(keys_.data() + i * key_width_, key_width_),
+           values_[i]);
+      }
+    }
+  }
+
+  /// \brief Empties the table, keeping capacity, and moves every occupied
+  /// value into \p pool so the next window can reuse it (nullptr discards).
+  void Recycle(std::vector<T>* pool) {
+    if (size_ == 0) return;
+    for (size_t i = 0; i < slots_; ++i) {
+      if (hashes_[i] != kEmpty) {
+        if (pool != nullptr) pool->push_back(std::move(values_[i]));
+        values_[i] = T();
+        hashes_[i] = kEmpty;
+      }
+    }
+    size_ = 0;
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+  /// Forces stored hashes nonzero so 0 can mean "empty slot".
+  static constexpr uint64_t kOccupied = 1ULL << 63;
+  static constexpr size_t kMinSlots = 16;
+
+  void Rehash(size_t new_slots, size_t key_width) {
+    std::vector<uint64_t> old_hashes = std::move(hashes_);
+    std::string old_keys = std::move(keys_);
+    std::vector<T> old_values = std::move(values_);
+    size_t old_slots = slots_;
+
+    key_width_ = key_width;
+    slots_ = new_slots;
+    mask_ = new_slots - 1;
+    hashes_.assign(new_slots, kEmpty);
+    keys_.resize(new_slots * key_width_);
+    values_.clear();
+    values_.resize(new_slots);
+
+    for (size_t i = 0; i < old_slots; ++i) {
+      if (old_hashes[i] == kEmpty) continue;
+      size_t idx = old_hashes[i] & mask_;
+      while (hashes_[idx] != kEmpty) idx = (idx + 1) & mask_;
+      hashes_[idx] = old_hashes[i];
+      std::memcpy(keys_.data() + idx * key_width_,
+                  old_keys.data() + i * key_width_, key_width_);
+      values_[idx] = std::move(old_values[i]);
+    }
+  }
+
+  size_t key_width_ = 0;
+  size_t slots_ = 0;  // always zero or a power of two
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<uint64_t> hashes_;
+  std::string keys_;  // slot i's key bytes at [i * key_width_, +key_width_)
+  std::vector<T> values_;
+};
+
+}  // namespace streampart

@@ -1,5 +1,6 @@
 #include "exec/local_engine.h"
 
+#include <algorithm>
 #include <set>
 
 namespace streampart {
@@ -15,6 +16,11 @@ Status LocalEngine::Build() {
   for (const QueryNodePtr& node : graph_->TopologicalOrder()) {
     SP_ASSIGN_OR_RETURN(OperatorPtr op,
                         MakeOperator(node, &graph_->udaf_registry()));
+    if (!options_.deterministic_output) {
+      if (auto* agg = dynamic_cast<AggregateOp*>(op.get())) {
+        agg->set_sorted_flush(false);
+      }
+    }
     ops_[node->name] = std::move(op);
   }
 
@@ -44,6 +50,12 @@ void LocalEngine::PushSource(const std::string& source, const Tuple& tuple) {
   auto it = source_consumers_.find(source);
   if (it == source_consumers_.end()) return;
   for (const auto& [op, port] : it->second) op->Push(port, tuple);
+}
+
+void LocalEngine::PushSourceBatch(const std::string& source, TupleSpan batch) {
+  auto it = source_consumers_.find(source);
+  if (it == source_consumers_.end()) return;
+  for (const auto& [op, port] : it->second) op->PushBatch(port, batch);
 }
 
 void LocalEngine::FinishSources() {
@@ -79,7 +91,12 @@ Result<std::map<std::string, TupleBatch>> RunCentralized(
   options.collect_all = true;
   LocalEngine engine(&graph, options);
   SP_RETURN_NOT_OK(engine.Build());
-  for (const Tuple& t : tuples) engine.PushSource(source, t);
+  TupleSpan all(tuples);
+  for (size_t off = 0; off < all.size(); off += kDefaultSourceBatch) {
+    engine.PushSourceBatch(
+        source, all.subspan(off, std::min(kDefaultSourceBatch,
+                                          all.size() - off)));
+  }
   engine.FinishSources();
   std::map<std::string, TupleBatch> out;
   for (const QueryNodePtr& node : graph.TopologicalOrder()) {

@@ -24,6 +24,10 @@ class LocalEngine {
   struct Options {
     /// Collect result tuples for every query (true) or only for graph roots.
     bool collect_all = false;
+    /// When true (default), aggregation windows emit groups in sorted key
+    /// order. False skips the per-window sort; output order within a window
+    /// becomes unspecified (multisets and all counters are unchanged).
+    bool deterministic_output = true;
   };
 
   /// \param graph must outlive the engine.
@@ -36,6 +40,10 @@ class LocalEngine {
 
   /// \brief Pushes one tuple of source stream \p source into every consumer.
   void PushSource(const std::string& source, const Tuple& tuple);
+
+  /// \brief Pushes a batch of source tuples in one call per consumer —
+  /// the entry point of the vectorized execution path.
+  void PushSourceBatch(const std::string& source, TupleSpan batch);
 
   /// \brief Signals end-of-stream on all source streams.
   void FinishSources();
@@ -60,8 +68,14 @@ class LocalEngine {
   bool built_ = false;
 };
 
+/// \brief Default source batch size of the batched drivers (engine, cluster,
+/// benches): large enough to amortize per-call overheads, small enough to
+/// stay cache-resident.
+inline constexpr size_t kDefaultSourceBatch = 1024;
+
 /// \brief Convenience: runs \p graph over \p tuples of the single source
 /// stream \p source and returns the collected outputs of every query.
+/// Drives the batched execution path (kDefaultSourceBatch tuples per push).
 Result<std::map<std::string, TupleBatch>> RunCentralized(
     const QueryGraph& graph, const std::string& source,
     const TupleBatch& tuples);

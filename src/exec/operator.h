@@ -8,6 +8,13 @@
 /// Finish(); an operator flushes its state and propagates Finish downstream
 /// once all of its ports have finished.
 ///
+/// Two delivery granularities exist. Push()/Emit() move one tuple at a time —
+/// the reference path. PushBatch()/EmitBatch() move a contiguous TupleSpan;
+/// the default DoPushBatch falls back to a per-tuple loop, and operators with
+/// vectorized implementations override it. Both paths must account identical
+/// OpStats and produce identical outputs; tests/batch_exec_test.cc enforces
+/// this differentially.
+///
 /// Every operator maintains OpStats work counters. The distributed runtime
 /// maps these counters to simulated CPU cycles (src/metrics), so operators
 /// must account their work honestly rather than being instrumented
@@ -41,6 +48,8 @@ struct OpStats {
   /// dropped (the Gigascope policy; nonzero indicates an unordered input).
   uint64_t late_tuples = 0;
 
+  friend bool operator==(const OpStats&, const OpStats&) = default;
+
   OpStats& operator+=(const OpStats& o) {
     tuples_in += o.tuples_in;
     tuples_out += o.tuples_out;
@@ -73,6 +82,16 @@ class Operator {
     DoPush(port, tuple);
   }
 
+  /// \brief Delivers a batch of tuples to \p port in one call, amortizing
+  /// virtual dispatch and (in overriding operators) scratch allocation.
+  /// Equivalent to pushing each tuple of \p batch in order.
+  void PushBatch(size_t port, TupleSpan batch) {
+    SP_DCHECK(port < finished_.size());
+    if (batch.empty()) return;
+    stats_.tuples_in += batch.size();
+    DoPushBatch(port, batch);
+  }
+
   /// \brief Signals end-of-stream on \p port. When all ports have finished,
   /// the operator flushes and propagates Finish to its consumers.
   void Finish(size_t port) {
@@ -93,9 +112,19 @@ class Operator {
   }
 
   /// \brief Additionally delivers output tuples to a terminal sink (result
-  /// collection, network channels in the distributed runtime).
+  /// collection, network channels in the distributed runtime). The sink is
+  /// called once per tuple on both execution paths.
   void AddSink(std::function<void(const Tuple&)> sink) {
-    sinks_.push_back(std::move(sink));
+    sinks_.push_back({std::move(sink), nullptr});
+  }
+
+  /// \brief Sink with a batch-aware variant: \p per_batch receives whole
+  /// emitted batches (cross-host channels amortize serialization this way);
+  /// \p per_tuple serves the tuple-at-a-time path. Exactly one of the two is
+  /// invoked per emission.
+  void AddSink(std::function<void(const Tuple&)> per_tuple,
+               std::function<void(TupleSpan)> per_batch) {
+    sinks_.push_back({std::move(per_tuple), std::move(per_batch)});
   }
 
   /// \brief Callback run when this operator finishes (after flushing).
@@ -114,10 +143,30 @@ class Operator {
     ++stats_.tuples_out;
     stats_.bytes_out += tuple.WireSize();
     for (const auto& [op, port] : consumers_) op->Push(port, tuple);
-    for (const auto& sink : sinks_) sink(tuple);
+    for (const auto& sink : sinks_) sink.per_tuple(tuple);
+  }
+
+  /// \brief Sends a batch downstream in one consumer call per edge. Work
+  /// accounting (tuples_out/bytes_out) is identical to per-tuple Emit.
+  void EmitBatch(TupleSpan batch) {
+    if (batch.empty()) return;
+    stats_.tuples_out += batch.size();
+    for (const Tuple& t : batch) stats_.bytes_out += t.WireSize();
+    for (const auto& [op, port] : consumers_) op->PushBatch(port, batch);
+    for (const auto& sink : sinks_) {
+      if (sink.per_batch) {
+        sink.per_batch(batch);
+      } else {
+        for (const Tuple& t : batch) sink.per_tuple(t);
+      }
+    }
   }
 
   virtual void DoPush(size_t port, const Tuple& tuple) = 0;
+  /// \brief Batch delivery; the default devolves to the per-tuple path.
+  virtual void DoPushBatch(size_t port, TupleSpan batch) {
+    for (const Tuple& t : batch) DoPush(port, t);
+  }
   /// \brief Flush remaining state; called once after every port finished.
   virtual void DoFinish() {}
   /// \brief Per-port end-of-stream notification (before DoFinish).
@@ -131,8 +180,13 @@ class Operator {
     for (const auto& hook : finish_hooks_) hook();
   }
 
+  struct Sink {
+    std::function<void(const Tuple&)> per_tuple;
+    std::function<void(TupleSpan)> per_batch;  // null -> per_tuple loop
+  };
+
   std::vector<std::pair<Operator*, size_t>> consumers_;
-  std::vector<std::function<void(const Tuple&)>> sinks_;
+  std::vector<Sink> sinks_;
   std::vector<std::function<void()>> finish_hooks_;
   std::vector<bool> finished_;
   size_t ports_remaining_;

@@ -1,8 +1,91 @@
 #include "exec/ops.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace streampart {
+
+namespace {
+
+/// \brief One packed group-key slot: a type tag byte plus 8 payload bytes.
+constexpr size_t kPackedSlotWidth = 9;
+
+/// \brief True for types a packed key slot can carry (everything but
+/// variable-length strings).
+bool IsPackableType(DataType type) { return type != DataType::kString; }
+
+/// \brief Writes the tag+payload encoding of \p v at \p p (which must have
+/// kPackedSlotWidth bytes of room) and returns the advanced pointer. The
+/// encoding is invertible, so flushes can reconstruct the exact key Values,
+/// and two Values encode identically iff they compare equal.
+char* PackValueTo(const Value& v, char* p) {
+  SP_DCHECK(v.type() != DataType::kString);
+  *p++ = static_cast<char>(v.type());
+  uint64_t payload = 0;
+  switch (v.type()) {
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      payload = v.uint_value();
+      break;
+    case DataType::kInt:
+      payload = static_cast<uint64_t>(v.int_value());
+      break;
+    case DataType::kDouble: {
+      double d = v.double_value();
+      std::memcpy(&payload, &d, sizeof(double));
+      break;
+    }
+    default:
+      break;  // kNull: zero payload
+  }
+  std::memcpy(p, &payload, sizeof(uint64_t));
+  return p + sizeof(uint64_t);
+}
+
+Value DecodePackedValue(const char* p) {
+  DataType type = static_cast<DataType>(static_cast<uint8_t>(*p));
+  uint64_t payload;
+  std::memcpy(&payload, p + 1, sizeof(uint64_t));
+  switch (type) {
+    case DataType::kUint:
+      return Value::Uint(payload);
+    case DataType::kIp:
+      return Value::Ip(static_cast<uint32_t>(payload));
+    case DataType::kBool:
+      return Value::Bool(payload != 0);
+    case DataType::kInt:
+      return Value::Int(static_cast<int64_t>(payload));
+    case DataType::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(double));
+      return Value::Double(d);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+std::vector<Value> DecodePackedKey(std::string_view key) {
+  std::vector<Value> out;
+  out.reserve(key.size() / kPackedSlotWidth);
+  for (size_t off = 0; off + kPackedSlotWidth <= key.size();
+       off += kPackedSlotWidth) {
+    out.push_back(DecodePackedValue(key.data() + off));
+  }
+  return out;
+}
+
+/// \brief Bound tuple index of a bare column-reference expression, or
+/// kEvalExpr(-1) when the expression needs interpretation.
+int ColumnFastPath(const ExprPtr& expr) {
+  if (expr != nullptr && expr->is_column() && expr->is_bound()) {
+    return static_cast<int>(expr->bound_index());
+  }
+  return -1;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SelectProjectOp
@@ -12,6 +95,10 @@ SelectProjectOp::SelectProjectOp(QueryNodePtr node)
     : Operator(/*num_ports=*/1), node_(std::move(node)) {
   SP_CHECK(node_->kind == QueryKind::kSelectProject)
       << "SelectProjectOp over non-select node " << node_->name;
+  output_cols_.reserve(node_->outputs.size());
+  for (const NamedExpr& o : node_->outputs) {
+    output_cols_.push_back(ColumnFastPath(o.expr));
+  }
 }
 
 void SelectProjectOp::DoPush(size_t, const Tuple& tuple) {
@@ -25,6 +112,33 @@ void SelectProjectOp::DoPush(size_t, const Tuple& tuple) {
   Emit(out);
 }
 
+void SelectProjectOp::DoPushBatch(size_t, TupleSpan batch) {
+  // Overwrite out_batch_ slots in place instead of clear()+push_back: that
+  // pattern frees and reallocates every output tuple's value vector per
+  // batch, which dominates a cheap projection. Slots past the live prefix
+  // keep their capacity; EmitBatch only sees the prefix.
+  size_t n = 0;
+  const size_t width = node_->outputs.size();
+  for (const Tuple& tuple : batch) {
+    if (node_->where) {
+      ++stats_.predicate_evals;
+      if (!node_->where->Eval(tuple).Truthy()) continue;
+    }
+    if (n == out_batch_.size()) out_batch_.emplace_back();
+    std::vector<Value>& vals = out_batch_[n].values();
+    vals.resize(width);
+    for (size_t i = 0; i < width; ++i) {
+      if (output_cols_[i] >= 0) {
+        vals[i] = tuple.at(static_cast<size_t>(output_cols_[i]));
+      } else {
+        vals[i] = node_->outputs[i].expr->Eval(tuple);
+      }
+    }
+    ++n;
+  }
+  EmitBatch(TupleSpan(out_batch_.data(), n));
+}
+
 // ---------------------------------------------------------------------------
 // AggregateOp
 // ---------------------------------------------------------------------------
@@ -36,21 +150,96 @@ AggregateOp::AggregateOp(QueryNodePtr node, const UdafRegistry* registry)
   for (const AggregateSpec& spec : node_->aggregates) {
     agg_arg_types_.push_back(spec.args.empty() ? DataType::kNull
                                                : spec.args[0]->result_type());
+    arg_cols_.push_back(spec.args.empty() ? kNoArg
+                                          : ColumnFastPath(spec.args[0]));
+  }
+  // The packed representation requires every group-by column to have a
+  // fixed-width static type. Runtime values then have that type or are NULL
+  // (expression anomalies), both of which pack losslessly.
+  packable_ = true;
+  group_cols_.reserve(node_->group_by.size());
+  for (const NamedExpr& g : node_->group_by) {
+    if (!IsPackableType(g.type)) packable_ = false;
+    group_cols_.push_back(ColumnFastPath(g.expr));
+  }
+  out_cols_.reserve(node_->outputs.size());
+  for (const NamedExpr& o : node_->outputs) {
+    out_cols_.push_back(ColumnFastPath(o.expr));
+  }
+  key_buf_.assign(node_->group_by.size() * kPackedSlotWidth, '\0');
+  temporal_slot_ = node_->temporal_group_idx.has_value()
+                       ? static_cast<int>(*node_->temporal_group_idx)
+                       : -1;
+  static_assert(sizeof(epoch_bytes_) == kPackedSlotWidth);
+  // Resolve the UDAF definitions once; group inserts are far too hot for a
+  // registry (std::map) lookup per state.
+  udafs_.reserve(node_->aggregates.size());
+  for (const AggregateSpec& spec : node_->aggregates) {
+    auto udaf = registry_->Get(spec.udaf);
+    SP_CHECK(udaf.ok()) << "unregistered UDAF " << spec.udaf;
+    udafs_.push_back(*udaf);
   }
 }
 
 std::vector<std::unique_ptr<UdafState>> AggregateOp::NewStates() const {
   std::vector<std::unique_ptr<UdafState>> states;
-  states.reserve(node_->aggregates.size());
-  for (size_t i = 0; i < node_->aggregates.size(); ++i) {
-    auto udaf = registry_->Get(node_->aggregates[i].udaf);
-    SP_CHECK(udaf.ok()) << "unregistered UDAF " << node_->aggregates[i].udaf;
-    states.push_back((*udaf)->NewState(agg_arg_types_[i]));
+  states.reserve(udafs_.size());
+  for (size_t i = 0; i < udafs_.size(); ++i) {
+    states.push_back(udafs_[i]->NewState(agg_arg_types_[i]));
   }
   return states;
 }
 
+AggregateOp::GroupStates AggregateOp::AcquireStates() {
+  while (pool_states_ && !state_pool_.empty()) {
+    GroupStates states = std::move(state_pool_.back());
+    state_pool_.pop_back();
+    bool reset_ok = true;
+    for (const auto& state : states) reset_ok = reset_ok && state->Reset();
+    if (reset_ok) return states;
+    // A registered UDAF without in-place reset: stop pooling entirely
+    // (mixing recycled and fresh states per group would be error-prone).
+    pool_states_ = false;
+    state_pool_.clear();
+  }
+  return NewStates();
+}
+
 void AggregateOp::DoPush(size_t, const Tuple& tuple) {
+  // Stay on whichever key representation opened the current window: mixing
+  // representations mid-window would split a group across the two tables.
+  if (!packed_table_.empty()) {
+    ProcessPacked(tuple);
+  } else {
+    ProcessGeneric(tuple);
+  }
+}
+
+void AggregateOp::DoPushBatch(size_t, TupleSpan batch) {
+  if (!packable_ || !groups_.empty()) {
+    for (const Tuple& t : batch) ProcessGeneric(t);
+    return;
+  }
+  for (const Tuple& t : batch) ProcessPacked(t);
+}
+
+bool AggregateOp::AdvanceWindow(const Value& epoch) {
+  // Tumbling-window boundary: the temporal key advanced. Late tuples —
+  // belonging to an already-flushed window — are dropped and counted, the
+  // policy a production DSMS applies (ordered merges prevent this in
+  // well-formed plans).
+  if (current_epoch_.has_value() && !(epoch == *current_epoch_)) {
+    if (epoch < *current_epoch_) {
+      ++stats_.late_tuples;
+      return false;
+    }
+    FlushWindow();
+  }
+  current_epoch_ = epoch;
+  return true;
+}
+
+void AggregateOp::ProcessGeneric(const Tuple& tuple) {
   if (node_->where) {
     ++stats_.predicate_evals;
     if (!node_->where->Eval(tuple).Truthy()) return;
@@ -59,20 +248,9 @@ void AggregateOp::DoPush(size_t, const Tuple& tuple) {
   key.reserve(node_->group_by.size());
   for (const NamedExpr& g : node_->group_by) key.push_back(g.expr->Eval(tuple));
 
-  // Tumbling-window boundary: the temporal key advanced. Late tuples —
-  // belonging to an already-flushed window — are dropped and counted, the
-  // policy a production DSMS applies (ordered merges prevent this in
-  // well-formed plans).
-  if (node_->temporal_group_idx.has_value()) {
-    const Value& epoch = key[*node_->temporal_group_idx];
-    if (current_epoch_.has_value() && !(epoch == *current_epoch_)) {
-      if (epoch < *current_epoch_) {
-        ++stats_.late_tuples;
-        return;
-      }
-      FlushWindow();
-    }
-    current_epoch_ = epoch;
+  if (node_->temporal_group_idx.has_value() &&
+      !AdvanceWindow(key[*node_->temporal_group_idx])) {
+    return;
   }
 
   auto [it, inserted] = groups_.try_emplace(std::move(key));
@@ -89,33 +267,138 @@ void AggregateOp::DoPush(size_t, const Tuple& tuple) {
   }
 }
 
-void AggregateOp::FlushWindow() {
-  if (groups_.empty()) return;
-  // Deterministic emission: sort group keys.
-  std::vector<const GroupMap::value_type*> entries;
-  entries.reserve(groups_.size());
-  for (const auto& kv : groups_) entries.push_back(&kv);
-  std::sort(entries.begin(), entries.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-
-  for (const auto* entry : entries) {
-    Tuple internal;
-    internal.values().reserve(entry->first.size() +
-                              node_->aggregates.size());
-    for (const Value& v : entry->first) internal.Append(v);
-    for (const auto& state : entry->second) internal.Append(state->Final());
-    if (node_->having) {
-      ++stats_.predicate_evals;
-      if (!node_->having->Eval(internal).Truthy()) continue;
-    }
-    Tuple out;
-    out.values().reserve(node_->outputs.size());
-    for (const NamedExpr& o : node_->outputs) {
-      out.Append(o.expr->Eval(internal));
-    }
-    Emit(out);
+void AggregateOp::ProcessPacked(const Tuple& tuple) {
+  if (node_->where) {
+    ++stats_.predicate_evals;
+    if (!node_->where->Eval(tuple).Truthy()) return;
   }
-  groups_.clear();
+  // Build the packed key over the fixed-width scratch buffer with raw
+  // pointer writes, reading bare column references straight out of the
+  // tuple (no Value materialization, no per-tuple key allocation). The
+  // window check compares packed epoch bytes first: equal bytes means the
+  // epoch Value is unchanged, so the common within-window tuple skips
+  // AdvanceWindow entirely.
+  char* p = key_buf_.data();
+  const size_t num_slots = group_cols_.size();
+  for (size_t i = 0; i < num_slots; ++i) {
+    if (group_cols_[i] >= 0) {
+      p = PackValueTo(tuple.at(static_cast<size_t>(group_cols_[i])), p);
+    } else {
+      p = PackValueTo(node_->group_by[i].expr->Eval(tuple), p);
+    }
+    if (static_cast<int>(i) == temporal_slot_ &&
+        !(epoch_bytes_valid_ &&
+          std::memcmp(epoch_bytes_, p - kPackedSlotWidth,
+                      kPackedSlotWidth) == 0)) {
+      if (!AdvanceWindow(DecodePackedValue(p - kPackedSlotWidth))) return;
+      // AdvanceWindow may have flushed (invalidating the cache); the bytes
+      // just written are the new current window's epoch.
+      std::memcpy(epoch_bytes_, p - kPackedSlotWidth, kPackedSlotWidth);
+      epoch_bytes_valid_ = true;
+    }
+  }
+
+  bool inserted = false;
+  GroupStates* states = packed_table_.FindOrInsert(
+      key_buf_, HashBytesWide(key_buf_.data(), key_buf_.size()), &inserted);
+  if (inserted) {
+    ++stats_.group_inserts;
+    *states = AcquireStates();
+  } else {
+    ++stats_.group_probes;
+  }
+  for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+    if (arg_cols_[i] == kNoArg) {
+      static const Value kNullArg;
+      (*states)[i]->Update(kNullArg);
+    } else if (arg_cols_[i] >= 0) {
+      (*states)[i]->Update(tuple.at(static_cast<size_t>(arg_cols_[i])));
+    } else {
+      (*states)[i]->Update(node_->aggregates[i].args[0]->Eval(tuple));
+    }
+  }
+}
+
+void AggregateOp::FlushEntry(const std::vector<Value>& key,
+                             const GroupStates& states) {
+  std::vector<Value>& vals = internal_scratch_.values();
+  vals.resize(key.size() + states.size());
+  size_t n = 0;
+  for (const Value& v : key) vals[n++] = v;
+  for (const auto& state : states) vals[n++] = state->Final();
+  FlushInternal();
+}
+
+void AggregateOp::FlushEntryPacked(std::string_view key,
+                                   const GroupStates& states) {
+  std::vector<Value>& vals = internal_scratch_.values();
+  const size_t num_keys = key.size() / kPackedSlotWidth;
+  vals.resize(num_keys + states.size());
+  for (size_t i = 0; i < num_keys; ++i) {
+    vals[i] = DecodePackedValue(key.data() + i * kPackedSlotWidth);
+  }
+  for (size_t j = 0; j < states.size(); ++j) {
+    vals[num_keys + j] = states[j]->Final();
+  }
+  FlushInternal();
+}
+
+void AggregateOp::FlushInternal() {
+  const Tuple& internal = internal_scratch_;
+  if (node_->having) {
+    ++stats_.predicate_evals;
+    if (!node_->having->Eval(internal).Truthy()) return;
+  }
+  Tuple out;
+  out.values().reserve(node_->outputs.size());
+  for (size_t i = 0; i < node_->outputs.size(); ++i) {
+    if (out_cols_[i] >= 0) {
+      out.Append(internal.at(static_cast<size_t>(out_cols_[i])));
+    } else {
+      out.Append(node_->outputs[i].expr->Eval(internal));
+    }
+  }
+  flush_batch_.push_back(std::move(out));
+}
+
+void AggregateOp::FlushWindow() {
+  epoch_bytes_valid_ = false;  // a new window begins after any flush
+  if (groups_.empty() && packed_table_.empty()) return;
+  flush_batch_.clear();
+  if (!groups_.empty()) {
+    if (sorted_flush_) {
+      // Deterministic emission: sort group keys.
+      std::vector<const GroupMap::value_type*> entries;
+      entries.reserve(groups_.size());
+      for (const auto& kv : groups_) entries.push_back(&kv);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      for (const auto* entry : entries) FlushEntry(entry->first, entry->second);
+    } else {
+      for (const auto& kv : groups_) FlushEntry(kv.first, kv.second);
+    }
+    groups_.clear();
+  } else if (sorted_flush_) {
+    // Decode each packed key back to Values once; sorting uses the decoded
+    // keys so emission order matches the generic path exactly.
+    std::vector<std::pair<std::vector<Value>, const GroupStates*>> entries;
+    entries.reserve(packed_table_.size());
+    packed_table_.ForEach([&entries](std::string_view key, GroupStates& s) {
+      entries.emplace_back(DecodePackedKey(key), &s);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, states] : entries) FlushEntry(key, *states);
+    packed_table_.Recycle(pool_states_ ? &state_pool_ : nullptr);
+  } else {
+    // Hash-order emission: one pass over the table, decoding each key into
+    // the reused internal tuple — no key vectors, no entry list, no sort.
+    packed_table_.ForEach([this](std::string_view key, GroupStates& s) {
+      FlushEntryPacked(key, s);
+    });
+    packed_table_.Recycle(pool_states_ ? &state_pool_ : nullptr);
+  }
+  EmitBatch(flush_batch_);
 }
 
 void AggregateOp::DoFinish() { FlushWindow(); }
@@ -286,6 +569,15 @@ void MergeOp::DoPush(size_t port, const Tuple& tuple) {
   Drain(/*final=*/false);
 }
 
+void MergeOp::DoPushBatch(size_t port, TupleSpan batch) {
+  if (temporal_idx_ < 0) {
+    EmitBatch(batch);
+    return;
+  }
+  queues_[port].insert(queues_[port].end(), batch.begin(), batch.end());
+  Drain(/*final=*/false);
+}
+
 void MergeOp::OnPortFinished(size_t port) {
   port_done_[port] = true;
   if (temporal_idx_ >= 0) Drain(/*final=*/false);
@@ -297,6 +589,7 @@ void MergeOp::DoFinish() {
 
 void MergeOp::Drain(bool final) {
   const size_t t = static_cast<size_t>(temporal_idx_);
+  drain_batch_.clear();
   while (true) {
     // Ordered merge: we can emit only when every live (unfinished) port has a
     // tuple buffered, or when finalizing.
@@ -315,10 +608,12 @@ void MergeOp::Drain(bool final) {
         best = static_cast<int>(p);
       }
     }
-    if (blocked || best < 0) return;
-    Emit(queues_[best].front());
+    if (blocked || best < 0) break;
+    drain_batch_.push_back(std::move(queues_[best].front()));
     queues_[best].pop_front();
   }
+  // Tuples released by this pass travel downstream as one batch.
+  EmitBatch(drain_batch_);
 }
 
 // ---------------------------------------------------------------------------

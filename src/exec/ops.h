@@ -8,9 +8,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/group_table.h"
 #include "exec/operator.h"
 #include "exec/udaf.h"
 #include "plan/query_node.h"
@@ -19,6 +21,8 @@ namespace streampart {
 
 /// \brief Evaluates WHERE and projects the output expressions of a
 /// kSelectProject node. Stateless; always compatible with any partitioning.
+/// The batched path projects into a reused scratch batch and short-circuits
+/// bare column references past the expression interpreter.
 class SelectProjectOp : public Operator {
  public:
   explicit SelectProjectOp(QueryNodePtr node);
@@ -27,9 +31,14 @@ class SelectProjectOp : public Operator {
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
+  void DoPushBatch(size_t port, TupleSpan batch) override;
 
  private:
   QueryNodePtr node_;
+  /// Bound tuple index per output when the expression is a bare column
+  /// reference, -1 when it needs evaluation (batched path only).
+  std::vector<int> output_cols_;
+  TupleBatch out_batch_;  // scratch reused across batches
 };
 
 /// \brief Tumbling-window hash aggregation with GROUP BY / HAVING.
@@ -37,8 +46,22 @@ class SelectProjectOp : public Operator {
 /// The window is defined by the node's temporal group key (paper §3.1): the
 /// input must be non-decreasing in that key, and a key change flushes all
 /// groups of the closing epoch. Without a temporal key the operator is
-/// blocking and flushes at end-of-stream. Groups are emitted in sorted key
-/// order so results are deterministic.
+/// blocking and flushes at end-of-stream. By default groups are emitted in
+/// sorted key order so results are deterministic; set_sorted_flush(false)
+/// trades that for hash-order emission without the per-window sort.
+///
+/// Two group-key representations coexist. The per-tuple path keeps the
+/// reference representation: a freshly materialized std::vector<Value> key
+/// per input tuple, hashed value-by-value. The batched path packs the key
+/// into a fixed-width byte string (1 tag byte + 8 payload bytes per column,
+/// reusing one scratch buffer) whenever every group-by column has a
+/// fixed-width type — true of all paper workloads, whose keys are
+/// timestamps, addresses, ports, and masks — and probes a flat
+/// open-addressed table (PackedKeyTable) whose group states are recycled
+/// across windows through UdafState::Reset. String keys fall back to the
+/// generic representation. Within one window exactly one representation is
+/// active (whichever processed the window's first tuple), so mixing Push and
+/// PushBatch mid-stream never splits a group across tables.
 class AggregateOp : public Operator {
  public:
   AggregateOp(QueryNodePtr node, const UdafRegistry* registry);
@@ -47,14 +70,22 @@ class AggregateOp : public Operator {
     return "aggregate(" + node_->name + ")";
   }
 
+  /// \brief When false, window flushes skip the deterministic sort and emit
+  /// groups in hash-table order (unspecified). Counters and output multisets
+  /// are unaffected; only emission order within a window changes.
+  void set_sorted_flush(bool sorted) { sorted_flush_ = sorted; }
+
   /// \brief Number of currently open groups (introspection for tests).
-  size_t open_groups() const { return groups_.size(); }
+  size_t open_groups() const { return groups_.size() + packed_table_.size(); }
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
+  void DoPushBatch(size_t port, TupleSpan batch) override;
   void DoFinish() override;
 
  private:
+  using GroupStates = std::vector<std::unique_ptr<UdafState>>;
+
   struct VecHash {
     size_t operator()(const std::vector<Value>& key) const {
       uint64_t h = Mix64(key.size());
@@ -62,18 +93,60 @@ class AggregateOp : public Operator {
       return static_cast<size_t>(h);
     }
   };
-  using GroupMap =
-      std::unordered_map<std::vector<Value>, std::vector<std::unique_ptr<UdafState>>,
-                         VecHash>;
+  using GroupMap = std::unordered_map<std::vector<Value>, GroupStates, VecHash>;
 
+  /// Reference per-tuple processing over vector<Value> keys.
+  void ProcessGeneric(const Tuple& tuple);
+  /// Vectorized-path processing over packed keys and scratch buffers.
+  void ProcessPacked(const Tuple& tuple);
+  /// Tumbling-window boundary check; returns false when \p epoch is late
+  /// (the tuple is dropped and counted).
+  bool AdvanceWindow(const Value& epoch);
   void FlushWindow();
-  std::vector<std::unique_ptr<UdafState>> NewStates() const;
+  /// Finalizes one group into the flush scratch batch (applies HAVING).
+  void FlushEntry(const std::vector<Value>& key, const GroupStates& states);
+  /// Same, but decodes the packed key directly into the reused internal
+  /// tuple — the hash-order flush path never materializes key vectors.
+  void FlushEntryPacked(std::string_view key, const GroupStates& states);
+  /// Shared tail of the FlushEntry variants: HAVING + output projection of
+  /// the internal tuple held in internal_scratch_.
+  void FlushInternal();
+  GroupStates NewStates() const;
+  /// Fresh-or-recycled states: pops from the state pool and resets in place
+  /// when every state supports Reset, else constructs anew.
+  GroupStates AcquireStates();
 
   QueryNodePtr node_;
   const UdafRegistry* registry_;
   std::vector<DataType> agg_arg_types_;
-  GroupMap groups_;
+  /// UDAF definitions resolved once at construction (registry lookups are
+  /// std::map probes — far too slow for a per-group-insert path).
+  std::vector<std::shared_ptr<const Udaf>> udafs_;
+  GroupMap groups_;  // generic (reference) representation
+  /// Packed fixed-width representation (batched path).
+  PackedKeyTable<GroupStates> packed_table_;
+  /// Recycled GroupStates of flushed windows; refilled via UdafState::Reset.
+  std::vector<GroupStates> state_pool_;
+  bool pool_states_ = true;  // false once any state refuses Reset
   std::optional<Value> current_epoch_;
+  bool sorted_flush_ = true;
+
+  // Batched-path metadata, precomputed at construction.
+  static constexpr int kEvalExpr = -1;  // slot needs expression evaluation
+  static constexpr int kNoArg = -2;     // zero-argument aggregate (count)
+  bool packable_ = false;        // every group-by column is fixed width
+  std::vector<int> group_cols_;  // bound column index per group slot
+  std::vector<int> arg_cols_;    // bound column index per aggregate argument
+  std::vector<int> out_cols_;    // bound internal-tuple index per output
+  int temporal_slot_ = -1;       // group slot of the window key, -1 if none
+  std::string key_buf_;          // reused packed-key scratch (fixed width)
+  /// Packed bytes of the current window's epoch; lets the packed path skip
+  /// the per-tuple AdvanceWindow Value comparison (the encoding is
+  /// invertible, so equal bytes means equal epoch). Invalidated on flush.
+  char epoch_bytes_[9] = {};
+  bool epoch_bytes_valid_ = false;
+  Tuple internal_scratch_;       // reused key+aggregates tuple during flush
+  TupleBatch flush_batch_;       // reused window-flush output scratch
 };
 
 /// \brief Tumbling-window hash equijoin (inner/left/right/full outer).
@@ -137,6 +210,7 @@ class MergeOp : public Operator {
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
+  void DoPushBatch(size_t port, TupleSpan batch) override;
   void DoFinish() override;
   void OnPortFinished(size_t port) override;
 
@@ -148,6 +222,7 @@ class MergeOp : public Operator {
   int temporal_idx_ = -1;
   std::vector<std::deque<Tuple>> queues_;
   std::vector<bool> port_done_;
+  TupleBatch drain_batch_;  // scratch: tuples released by one Drain pass
 };
 
 /// \brief Builds the executing operator for a query node (select/aggregate/

@@ -79,13 +79,23 @@ std::vector<std::unique_ptr<UdafState>> SlidingAggregateOp::NewSubStates()
 }
 
 void SlidingAggregateOp::DoPush(size_t, const Tuple& tuple) {
+  ProcessTuple(tuple);
+}
+
+void SlidingAggregateOp::DoPushBatch(size_t, TupleSpan batch) {
+  for (const Tuple& t : batch) ProcessTuple(t);
+}
+
+void SlidingAggregateOp::ProcessTuple(const Tuple& tuple) {
   if (node_->where) {
     ++stats_.predicate_evals;
     if (!node_->where->Eval(tuple).Truthy()) return;
   }
-  // Group key without the pane slot; the pane id separately.
-  std::vector<Value> key;
-  key.reserve(node_->group_by.size() - 1);
+  // Group key without the pane slot; the pane id separately. The key is
+  // built in a scratch vector reused across tuples; probes of existing
+  // groups (the common case) therefore allocate nothing.
+  std::vector<Value>& key = key_scratch_;
+  key.clear();
   uint64_t pane = 0;
   for (size_t i = 0; i < node_->group_by.size(); ++i) {
     Value v = node_->group_by[i].expr->Eval(tuple);
@@ -127,10 +137,10 @@ void SlidingAggregateOp::DoPush(size_t, const Tuple& tuple) {
     next_end_ = aligned;
   }
 
-  auto [it, inserted] = open_.try_emplace(std::move(key));
-  if (inserted) {
+  auto it = open_.find(key);
+  if (it == open_.end()) {
     ++stats_.group_inserts;
-    it->second = NewSubStates();
+    it = open_.emplace(key, NewSubStates()).first;
   } else {
     ++stats_.group_probes;
   }
@@ -188,6 +198,7 @@ void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
     }
   }
 
+  window_batch_.clear();
   for (const auto& [key, supers] : groups) {
     // Combined aggregate values per original slot.
     std::vector<Value> agg_values;
@@ -226,8 +237,10 @@ void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
     for (const NamedExpr& o : node_->outputs) {
       out.Append(o.expr->Eval(internal));
     }
-    Emit(out);
+    window_batch_.push_back(std::move(out));
   }
+  // One window's results travel downstream as one batch.
+  EmitBatch(window_batch_);
 
   // Evict panes no future window needs (next end = end_pane + slide).
   uint64_t next_begin = end_pane + spec_.slide_panes >= spec_.window_panes - 1

@@ -57,6 +57,7 @@ class SlidingAggregateOp : public Operator {
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
+  void DoPushBatch(size_t port, TupleSpan batch) override;
   void DoFinish() override;
 
  private:
@@ -81,6 +82,9 @@ class SlidingAggregateOp : public Operator {
 
   Status Init();
   std::vector<std::unique_ptr<UdafState>> NewSubStates() const;
+  /// Shared per-tuple core of both execution paths; the group key is built
+  /// in a reused scratch vector (copied into the table only on insert).
+  void ProcessTuple(const Tuple& tuple);
   void ClosePane();
   /// Emits the window whose last pane is \p end_pane.
   void EmitWindow(uint64_t end_pane);
@@ -113,6 +117,9 @@ class SlidingAggregateOp : public Operator {
   PaneStates open_;
   // Closed panes awaiting window completion: (pane id, partials).
   std::deque<std::pair<uint64_t, PaneResult>> panes_;
+  // Scratch buffers reused across tuples/windows.
+  std::vector<Value> key_scratch_;
+  TupleBatch window_batch_;
 };
 
 }  // namespace streampart

@@ -16,6 +16,10 @@ class CountState : public UdafState {
  public:
   void Update(const Value&) override { ++count_; }
   Value Final() const override { return Value::Uint(count_); }
+  bool Reset() override {
+    count_ = 0;
+    return true;
+  }
 
  private:
   uint64_t count_ = 0;
@@ -41,6 +45,13 @@ class SumState : public UdafState {
     if (arg_type_ == DataType::kInt) return Value::Int(isum_);
     return Value::Uint(usum_);
   }
+  bool Reset() override {
+    seen_ = false;
+    usum_ = 0;
+    isum_ = 0;
+    dsum_ = 0;
+    return true;
+  }
 
  private:
   DataType arg_type_;
@@ -63,6 +74,10 @@ class MinMaxState : public UdafState {
     if (smaller == is_min_ && v != best_) best_ = v;
   }
   Value Final() const override { return best_; }
+  bool Reset() override {
+    best_ = Value();
+    return true;
+  }
 
  private:
   bool is_min_;
@@ -78,6 +93,11 @@ class AvgState : public UdafState {
   }
   Value Final() const override {
     return count_ == 0 ? Value::Null() : Value::Double(sum_ / count_);
+  }
+  bool Reset() override {
+    sum_ = 0;
+    count_ = 0;
+    return true;
   }
 
  private:
@@ -99,6 +119,11 @@ class BitAggrState : public UdafState {
   }
   Value Final() const override {
     return seen_ ? Value::Uint(acc_) : Value::Null();
+  }
+  bool Reset() override {
+    seen_ = false;
+    acc_ = is_or_ ? 0 : ~0ULL;
+    return true;
   }
 
  private:

@@ -34,6 +34,11 @@ class UdafState {
   virtual void Update(const Value& v) = 0;
   /// \brief Produces the aggregate result.
   virtual Value Final() const = 0;
+  /// \brief Returns the accumulator to its freshly-constructed state and
+  /// returns true, letting window flushes recycle allocations. The default
+  /// returns false (no in-place reset); callers must then construct a new
+  /// state. All built-in aggregates reset in place.
+  virtual bool Reset() { return false; }
 };
 
 /// \brief How to split an aggregate into per-partition sub-aggregates and a

@@ -66,6 +66,8 @@ struct HostMetrics {
   /// Tuples/bytes sent to other hosts.
   uint64_t net_tuples_out = 0;
   uint64_t net_bytes_out = 0;
+
+  friend bool operator==(const HostMetrics&, const HostMetrics&) = default;
 };
 
 /// \brief Total simulated CPU-seconds consumed on a host.

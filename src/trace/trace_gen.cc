@@ -79,11 +79,20 @@ bool PacketTraceGenerator::Next(Tuple* out) {
   return true;
 }
 
+size_t PacketTraceGenerator::NextBatch(TupleBatch* out, size_t max_tuples) {
+  out->clear();
+  Tuple t;
+  while (out->size() < max_tuples && Next(&t)) out->push_back(std::move(t));
+  return out->size();
+}
+
 TupleBatch PacketTraceGenerator::GenerateAll() {
   TupleBatch out;
   out.reserve(total_packets());
-  Tuple t;
-  while (Next(&t)) out.push_back(std::move(t));
+  TupleBatch chunk;
+  while (NextBatch(&chunk, 4096) > 0) {
+    for (Tuple& t : chunk) out.push_back(std::move(t));
+  }
   return out;
 }
 

@@ -56,6 +56,11 @@ class PacketTraceGenerator {
   /// MakePacketSchema() layout.
   bool Next(Tuple* out);
 
+  /// \brief Appends up to \p max_tuples next packets to \p out (which is
+  /// cleared first) and returns how many were produced; 0 at end of trace.
+  /// Batched drivers feed these directly into PushSourceBatch.
+  size_t NextBatch(TupleBatch* out, size_t max_tuples);
+
   /// \brief Generates the whole trace eagerly.
   TupleBatch GenerateAll();
 

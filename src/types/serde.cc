@@ -193,4 +193,31 @@ Result<Tuple> RoundTripTuple(const Tuple& tuple) {
   return out;
 }
 
+void EncodeBatch(TupleSpan batch, std::string* out) {
+  for (const Tuple& t : batch) EncodeTuple(t, out);
+}
+
+Result<TupleBatch> DecodeBatch(std::string_view data) {
+  TupleBatch out;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    Tuple t;
+    SP_RETURN_NOT_OK(DecodeTuple(data, &offset, &t));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<TupleBatch> RoundTripBatch(TupleSpan batch, size_t* encoded_bytes) {
+  std::string buffer;
+  EncodeBatch(batch, &buffer);
+  if (encoded_bytes != nullptr) *encoded_bytes = buffer.size();
+  SP_ASSIGN_OR_RETURN(TupleBatch out, DecodeBatch(buffer));
+  if (out.size() != batch.size()) {
+    return Status::Internal("batch round trip decoded ", out.size(), " of ",
+                            batch.size(), " tuples");
+  }
+  return out;
+}
+
 }  // namespace streampart

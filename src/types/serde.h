@@ -34,6 +34,20 @@ Status DecodeTuple(std::string_view data, size_t* offset, Tuple* out);
 /// edges.
 Result<Tuple> RoundTripTuple(const Tuple& tuple);
 
+/// \brief Appends the concatenated encodings of \p batch to \p out. The
+/// result is byte-identical to encoding each tuple individually, so network
+/// byte accounting is unchanged by batching.
+void EncodeBatch(TupleSpan batch, std::string* out);
+
+/// \brief Decodes tuples from \p data until it is exhausted.
+Result<TupleBatch> DecodeBatch(std::string_view data);
+
+/// \brief Batched round trip: one encode buffer, one decode pass — the
+/// cross-host transfer cost is paid once per batch instead of once per tuple
+/// per consumer. If \p encoded_bytes is non-null it receives the total wire
+/// size (== the sum of EncodedTupleSize over the batch).
+Result<TupleBatch> RoundTripBatch(TupleSpan batch, size_t* encoded_bytes = nullptr);
+
 /// \brief Varint primitives (LEB128), exposed for tests.
 void PutVarint(uint64_t v, std::string* out);
 Status GetVarint(std::string_view data, size_t* offset, uint64_t* out);

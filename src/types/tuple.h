@@ -3,6 +3,7 @@
 /// \file tuple.h
 /// \brief Tuple: a row of Values conforming to a Schema.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,5 +56,10 @@ class Tuple {
 };
 
 using TupleBatch = std::vector<Tuple>;
+
+/// \brief Non-owning view over a contiguous run of tuples — the unit of the
+/// batched execution path. A TupleBatch converts implicitly, and sub-ranges
+/// are taken with subspan() without copying tuples.
+using TupleSpan = std::span<const Tuple>;
 
 }  // namespace streampart

@@ -7,51 +7,6 @@
 
 namespace streampart {
 
-int64_t Value::AsInt64() const {
-  switch (type_) {
-    case DataType::kInt:
-      return i64_;
-    case DataType::kUint:
-    case DataType::kIp:
-    case DataType::kBool:
-      return static_cast<int64_t>(u64_);
-    case DataType::kDouble:
-      return static_cast<int64_t>(f64_);
-    default:
-      return 0;
-  }
-}
-
-uint64_t Value::AsUint64() const {
-  switch (type_) {
-    case DataType::kUint:
-    case DataType::kIp:
-    case DataType::kBool:
-      return u64_;
-    case DataType::kInt:
-      return static_cast<uint64_t>(i64_);
-    case DataType::kDouble:
-      return static_cast<uint64_t>(f64_);
-    default:
-      return 0;
-  }
-}
-
-double Value::AsDouble() const {
-  switch (type_) {
-    case DataType::kDouble:
-      return f64_;
-    case DataType::kInt:
-      return static_cast<double>(i64_);
-    case DataType::kUint:
-    case DataType::kIp:
-    case DataType::kBool:
-      return static_cast<double>(u64_);
-    default:
-      return 0.0;
-  }
-}
-
 bool Value::Truthy() const {
   switch (type_) {
     case DataType::kNull:

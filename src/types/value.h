@@ -53,12 +53,53 @@ class Value {
   bool bool_value() const { return u64_ != 0; }
   const std::string& string_value() const { return str_; }
 
+  // The numeric wideners are inline: aggregate accumulators call them once
+  // per input tuple, where an out-of-line call costs more than the switch.
   /// \brief Numeric payload widened to int64 (kUint/kIp/kBool/kInt).
-  int64_t AsInt64() const;
+  int64_t AsInt64() const {
+    switch (type_) {
+      case DataType::kInt:
+        return i64_;
+      case DataType::kUint:
+      case DataType::kIp:
+      case DataType::kBool:
+        return static_cast<int64_t>(u64_);
+      case DataType::kDouble:
+        return static_cast<int64_t>(f64_);
+      default:
+        return 0;
+    }
+  }
   /// \brief Numeric payload widened to uint64.
-  uint64_t AsUint64() const;
+  uint64_t AsUint64() const {
+    switch (type_) {
+      case DataType::kUint:
+      case DataType::kIp:
+      case DataType::kBool:
+        return u64_;
+      case DataType::kInt:
+        return static_cast<uint64_t>(i64_);
+      case DataType::kDouble:
+        return static_cast<uint64_t>(f64_);
+      default:
+        return 0;
+    }
+  }
   /// \brief Numeric payload widened to double.
-  double AsDouble() const;
+  double AsDouble() const {
+    switch (type_) {
+      case DataType::kDouble:
+        return f64_;
+      case DataType::kInt:
+        return static_cast<double>(i64_);
+      case DataType::kUint:
+      case DataType::kIp:
+      case DataType::kBool:
+        return static_cast<double>(u64_);
+      default:
+        return 0.0;
+    }
+  }
 
   /// \brief Truthiness for predicate evaluation: NULL and false are false,
   /// non-zero numerics and non-empty strings are true.

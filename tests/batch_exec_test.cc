@@ -1,0 +1,411 @@
+/// \file batch_exec_test.cc
+/// \brief Differential tests of the vectorized execution path.
+///
+/// The batch path (PushBatch / DoPushBatch / EmitBatch) is an optimization,
+/// not a semantic variant: for every operator it must produce the same output
+/// tuples and account the same OpStats as tuple-at-a-time Push, and the
+/// cluster's batched source routing must leave every accounted metric
+/// (source_tuples, net_tuples, net_bytes, per-host operator stats)
+/// bit-identical to the per-tuple path. These tests enforce that contract by
+/// running both paths over the same generated traces and comparing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dist/experiment.h"
+#include "exec/local_engine.h"
+#include "exec/sliding.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::MakePacket;
+
+void ExpectStatsEqual(const OpStats& expected, const OpStats& actual,
+                      const std::string& ctx) {
+  EXPECT_EQ(expected.tuples_in, actual.tuples_in) << ctx;
+  EXPECT_EQ(expected.tuples_out, actual.tuples_out) << ctx;
+  EXPECT_EQ(expected.bytes_out, actual.bytes_out) << ctx;
+  EXPECT_EQ(expected.group_probes, actual.group_probes) << ctx;
+  EXPECT_EQ(expected.group_inserts, actual.group_inserts) << ctx;
+  EXPECT_EQ(expected.join_probes, actual.join_probes) << ctx;
+  EXPECT_EQ(expected.predicate_evals, actual.predicate_evals) << ctx;
+  EXPECT_EQ(expected.late_tuples, actual.late_tuples) << ctx;
+}
+
+void ExpectSameSequence(const TupleBatch& expected, const TupleBatch& actual,
+                        const std::string& ctx) {
+  ASSERT_EQ(expected.size(), actual.size()) << ctx;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(expected[i] == actual[i])
+        << ctx << " first difference at row " << i
+        << "\nexpected: " << expected[i].ToString()
+        << "\nactual:   " << actual[i].ToString();
+  }
+}
+
+/// Output and counters of one operator run.
+struct Outcome {
+  TupleBatch out;
+  OpStats stats;
+};
+
+/// Drives \p input through \p op on port 0: tuple-at-a-time when
+/// \p batch_size is 0, otherwise PushBatch in batch_size chunks.
+Outcome Drive(Operator* op, const TupleBatch& input, size_t batch_size) {
+  Outcome outcome;
+  op->AddSink([&outcome](const Tuple& t) { outcome.out.push_back(t); });
+  if (batch_size == 0) {
+    for (const Tuple& t : input) op->Push(0, t);
+  } else {
+    TupleSpan all(input);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      op->PushBatch(0,
+                    all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
+  op->Finish(0);
+  outcome.stats = op->stats();
+  return outcome;
+}
+
+TupleBatch SmallTrace(uint32_t duration_sec = 4, uint32_t pps = 2000) {
+  TraceConfig tc;
+  tc.duration_sec = duration_sec;
+  tc.packets_per_sec = pps;
+  tc.num_flows = 300;
+  PacketTraceGenerator gen(tc);
+  return gen.GenerateAll();
+}
+
+class BatchExecTest : public ::testing::Test {
+ protected:
+  BatchExecTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  QueryNodePtr Node(const std::string& name, const std::string& gsql) {
+    Status st = graph_.AddQuery(name, gsql);
+    SP_CHECK(st.ok()) << st.ToString();
+    return *graph_.GetQuery(name);
+  }
+
+  Outcome RunOp(const QueryNodePtr& node, const TupleBatch& input,
+                size_t batch_size) {
+    auto op = MakeOperator(node, &UdafRegistry::Default());
+    SP_CHECK(op.ok()) << op.status().ToString();
+    return Drive(op->get(), input, batch_size);
+  }
+
+  /// Runs both paths at several batch sizes and requires exact equality of
+  /// output sequence and every counter.
+  void ExpectDifferentialIdentity(const QueryNodePtr& node,
+                                  const TupleBatch& input) {
+    Outcome reference = RunOp(node, input, 0);
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{1024}}) {
+      std::string ctx = node->name + " @batch=" + std::to_string(batch_size);
+      Outcome batched = RunOp(node, input, batch_size);
+      ExpectSameSequence(reference.out, batched.out, ctx);
+      ExpectStatsEqual(reference.stats, batched.stats, ctx);
+    }
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Operator-level differentials over a generated trace
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchExecTest, AggregateBatchMatchesPerTuple) {
+  // The §6.1 suspicious-flows aggregation: five group columns (all packed on
+  // the batch path), three aggregates, HAVING.
+  QueryNodePtr node = Node(
+      "suspicious",
+      "SELECT tb, srcIP, destIP, srcPort, destPort, "
+      "OR_AGGR(flags) as orflag, COUNT(*) as cnt, SUM(len) as bytes "
+      "FROM TCP GROUP BY time as tb, srcIP, destIP, srcPort, destPort "
+      "HAVING OR_AGGR(flags) = 41");
+  ExpectDifferentialIdentity(node, SmallTrace());
+}
+
+TEST_F(BatchExecTest, AggregateWithExpressionKeysMatches) {
+  // Group keys that are genuine expressions (mask, division) exercise the
+  // packed path's evaluate-then-pack slots rather than the column fast path.
+  QueryNodePtr node = Node(
+      "subnet",
+      "SELECT tb, sub, COUNT(*) as cnt, SUM(len) as bytes FROM TCP "
+      "GROUP BY time/2 as tb, srcIP & 0xFFFFFFF0 as sub");
+  ExpectDifferentialIdentity(node, SmallTrace());
+}
+
+TEST_F(BatchExecTest, SelectProjectBatchMatchesPerTuple) {
+  QueryNodePtr node = Node(
+      "web",
+      "SELECT time, srcIP, destIP, len * 2 as dlen FROM TCP "
+      "WHERE destPort = 80");
+  ExpectDifferentialIdentity(node, SmallTrace());
+}
+
+TEST_F(BatchExecTest, AggregateLateTuplesDroppedIdentically) {
+  QueryNodePtr node = Node(
+      "counts",
+      "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time as tb, srcIP");
+  // Unordered input: epoch 1 opens, a straggler from epoch 0 must be dropped
+  // (and counted) on both paths, both mid-batch and at batch boundaries.
+  TupleBatch input = {
+      MakePacket(0, 0xA, 1, 1, 1, 10), MakePacket(0, 0xB, 1, 1, 1, 10),
+      MakePacket(1, 0xA, 1, 1, 1, 10), MakePacket(0, 0xC, 1, 1, 1, 10),
+      MakePacket(1, 0xB, 1, 1, 1, 10), MakePacket(2, 0xA, 1, 1, 1, 10),
+      MakePacket(1, 0xC, 1, 1, 1, 10), MakePacket(2, 0xB, 1, 1, 1, 10),
+  };
+  Outcome reference = RunOp(node, input, 0);
+  ASSERT_GT(reference.stats.late_tuples, 0u) << "test input must be unordered";
+  for (size_t batch_size : {size_t{1}, size_t{3}, size_t{8}}) {
+    std::string ctx = "late @batch=" + std::to_string(batch_size);
+    Outcome batched = RunOp(node, input, batch_size);
+    ExpectSameSequence(reference.out, batched.out, ctx);
+    ExpectStatsEqual(reference.stats, batched.stats, ctx);
+  }
+}
+
+TEST_F(BatchExecTest, StringGroupKeysFallBackToGenericPath) {
+  // A stream with a string group column cannot use packed keys; the batch
+  // path must fall back to the generic representation and still match.
+  Catalog catalog;
+  ASSERT_OK(catalog.RegisterStream(
+      "LOG",
+      Schema::Make({{"time", DataType::kUint, TemporalOrder::kIncreasing},
+                    {"tag", DataType::kString, TemporalOrder::kNone},
+                    {"len", DataType::kUint, TemporalOrder::kNone}})));
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "tag_stats",
+      "SELECT tb, tag, COUNT(*) as c, SUM(len) as bytes FROM LOG "
+      "GROUP BY time as tb, tag"));
+  QueryNodePtr node = *graph.GetQuery("tag_stats");
+
+  const char* tags[] = {"ssh", "http", "dns", "smtp"};
+  TupleBatch input;
+  for (uint64_t time = 0; time < 6; ++time) {
+    for (int i = 0; i < 40; ++i) {
+      Tuple t;
+      t.Append(Value::Uint(time));
+      t.Append(Value::String(tags[(time + i) % 4]));
+      t.Append(Value::Uint(40 + i));
+      input.push_back(std::move(t));
+    }
+  }
+  Outcome reference = RunOp(node, input, 0);
+  ASSERT_GT(reference.out.size(), 0u);
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::string ctx = "string-keys @batch=" + std::to_string(batch_size);
+    Outcome batched = RunOp(node, input, batch_size);
+    ExpectSameSequence(reference.out, batched.out, ctx);
+    ExpectStatsEqual(reference.stats, batched.stats, ctx);
+  }
+}
+
+TEST_F(BatchExecTest, MixedPushAndPushBatchNeverSplitsGroups) {
+  // Interleaving the two delivery paths mid-window must not split a logical
+  // group across the generic and packed tables: whichever representation
+  // opens a window serves it until the flush.
+  QueryNodePtr node = Node(
+      "mixed",
+      "SELECT tb, srcIP, destIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP, destIP");
+  TupleBatch input = SmallTrace(4, 500);
+  Outcome reference = RunOp(node, input, 0);
+
+  auto op = MakeOperator(node, &UdafRegistry::Default());
+  ASSERT_TRUE(op.ok());
+  Outcome mixed;
+  (*op)->AddSink([&mixed](const Tuple& t) { mixed.out.push_back(t); });
+  TupleSpan all(input);
+  size_t off = 0;
+  bool as_batch = false;  // start per-tuple so batches land mid-window
+  while (off < all.size()) {
+    size_t n = std::min<size_t>(as_batch ? 192 : 64, all.size() - off);
+    if (as_batch) {
+      (*op)->PushBatch(0, all.subspan(off, n));
+    } else {
+      for (size_t i = 0; i < n; ++i) (*op)->Push(0, all[off + i]);
+    }
+    off += n;
+    as_batch = !as_batch;
+  }
+  (*op)->Finish(0);
+  mixed.stats = (*op)->stats();
+  ExpectSameSequence(reference.out, mixed.out, "mixed push/pushbatch");
+  ExpectStatsEqual(reference.stats, mixed.stats, "mixed push/pushbatch");
+}
+
+TEST_F(BatchExecTest, SlidingBatchMatchesPerTuple) {
+  QueryNodePtr node = Node(
+      "sliding",
+      "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP");
+  TupleBatch input = SmallTrace(8, 400);
+  auto make = [&]() {
+    auto op = SlidingAggregateOp::Make(node, &UdafRegistry::Default(),
+                                       SlidingSpec{3, 2});
+    SP_CHECK(op.ok()) << op.status().ToString();
+    return std::move(*op);
+  };
+  auto ref_op = make();
+  Outcome reference = Drive(ref_op.get(), input, 0);
+  ASSERT_GT(reference.out.size(), 0u);
+  for (size_t batch_size : {size_t{1}, size_t{7}, size_t{256}}) {
+    std::string ctx = "sliding @batch=" + std::to_string(batch_size);
+    auto batch_op = make();
+    Outcome batched = Drive(batch_op.get(), input, batch_size);
+    ExpectSameSequence(reference.out, batched.out, ctx);
+    ExpectStatsEqual(reference.stats, batched.stats, ctx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-graph differential through the local engine (covers JoinOp's default
+// batch loop and multi-operator fan-out)
+// ---------------------------------------------------------------------------
+
+struct EngineOutcome {
+  std::map<std::string, TupleBatch> results;
+  std::map<std::string, OpStats> stats;
+};
+
+EngineOutcome RunEngine(const QueryGraph& graph, const TupleBatch& trace,
+                        size_t batch_size) {
+  LocalEngine::Options options;
+  options.collect_all = true;
+  LocalEngine engine(&graph, options);
+  Status st = engine.Build();
+  SP_CHECK(st.ok()) << st.ToString();
+  if (batch_size == 0) {
+    for (const Tuple& t : trace) engine.PushSource("TCP", t);
+  } else {
+    TupleSpan all(trace);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      engine.PushSourceBatch(
+          "TCP", all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
+  engine.FinishSources();
+  EngineOutcome outcome;
+  for (const QueryNodePtr& node : graph.TopologicalOrder()) {
+    outcome.results[node->name] = engine.Results(node->name);
+    auto stats = engine.StatsFor(node->name);
+    SP_CHECK(stats.ok());
+    outcome.stats[node->name] = *stats;
+  }
+  return outcome;
+}
+
+TEST_F(BatchExecTest, EngineGraphWithJoinMatchesPerTuple) {
+  ASSERT_OK(graph_.AddQuery(
+      "web_pkts",
+      "SELECT time, srcIP, destIP, srcPort, destPort, timestamp FROM TCP "
+      "WHERE destPort = 80"));
+  ASSERT_OK(graph_.AddQuery(
+      "jitter",
+      "SELECT S1.time, S1.srcIP, S1.destIP, "
+      "S2.timestamp - S1.timestamp as delay "
+      "FROM web_pkts S1, web_pkts S2 "
+      "WHERE S1.time = S2.time and S1.srcIP = S2.srcIP and "
+      "S1.destIP = S2.destIP and S1.srcPort = S2.srcPort and "
+      "S1.destPort = S2.destPort and S1.timestamp < S2.timestamp"));
+  ASSERT_OK(graph_.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time as tb, srcIP"));
+  TupleBatch trace = SmallTrace(4, 1200);
+  EngineOutcome reference = RunEngine(graph_, trace, 0);
+  ASSERT_GT(reference.results.at("jitter").size(), 0u)
+      << "trace must produce join matches";
+  for (size_t batch_size : {size_t{7}, kDefaultSourceBatch}) {
+    std::string ctx = "engine @batch=" + std::to_string(batch_size);
+    EngineOutcome batched = RunEngine(graph_, trace, batch_size);
+    for (const auto& [name, expected] : reference.results) {
+      ExpectSameSequence(expected, batched.results.at(name),
+                         ctx + " / " + name);
+      ExpectStatsEqual(reference.stats.at(name), batched.stats.at(name),
+                       ctx + " / " + name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster differential: the batched source path must leave every accounted
+// metric bit-identical
+// ---------------------------------------------------------------------------
+
+ExperimentConfig Config(const std::string& name, const std::string& ps,
+                        OptimizerOptions::PartialAggMode partial,
+                        bool pushdown) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.enable_compatible_pushdown = pushdown;
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+TEST_F(BatchExecTest, ClusterMetricsIdenticalAcrossPaths) {
+  ASSERT_OK(graph_.AddQuery(
+      "suspicious",
+      "SELECT tb, srcIP, destIP, srcPort, destPort, "
+      "OR_AGGR(flags) as orflag, COUNT(*) as cnt, SUM(len) as bytes "
+      "FROM TCP GROUP BY time as tb, srcIP, destIP, srcPort, destPort "
+      "HAVING OR_AGGR(flags) = 41"));
+  TraceConfig tc;
+  tc.duration_sec = 5;
+  tc.packets_per_sec = 2000;
+  tc.num_flows = 300;
+  ExperimentRunner runner(&graph_, "TCP", tc, CpuCostParams());
+  using Mode = OptimizerOptions::PartialAggMode;
+  // Naive routes every source tuple cross-host to the aggregator; Optimized
+  // adds per-host partial aggregation (operator->operator remote edges);
+  // Partitioned pushes the whole aggregate down to the leaves.
+  for (const ExperimentConfig& config :
+       {Config("Naive", "", Mode::kPerPartition, false),
+        Config("Optimized", "", Mode::kPerHost, false),
+        Config("Partitioned", "srcIP, destIP, srcPort, destPort", Mode::kNone,
+               true)}) {
+    ASSERT_OK_AND_ASSIGN(ClusterRunResult per_tuple,
+                         runner.RunOne(config, 3, 2, /*batch_size=*/0));
+    for (size_t batch_size : {size_t{7}, kDefaultSourceBatch}) {
+      std::string ctx =
+          config.name + " @batch=" + std::to_string(batch_size);
+      ASSERT_OK_AND_ASSIGN(ClusterRunResult batched,
+                           runner.RunOne(config, 3, 2, batch_size));
+      EXPECT_EQ(per_tuple.source_tuples, batched.source_tuples) << ctx;
+      ASSERT_EQ(per_tuple.hosts.size(), batched.hosts.size()) << ctx;
+      for (size_t h = 0; h < per_tuple.hosts.size(); ++h) {
+        const HostMetrics& e = per_tuple.hosts[h];
+        const HostMetrics& a = batched.hosts[h];
+        std::string host_ctx = ctx + " host " + std::to_string(h);
+        EXPECT_EQ(e.source_tuples, a.source_tuples) << host_ctx;
+        EXPECT_EQ(e.net_tuples_in, a.net_tuples_in) << host_ctx;
+        EXPECT_EQ(e.net_bytes_in, a.net_bytes_in) << host_ctx;
+        EXPECT_EQ(e.net_tuples_out, a.net_tuples_out) << host_ctx;
+        EXPECT_EQ(e.net_bytes_out, a.net_bytes_out) << host_ctx;
+        ExpectStatsEqual(e.ops, a.ops, host_ctx + " ops");
+        ExpectStatsEqual(e.merge_ops, a.merge_ops, host_ctx + " merge_ops");
+        EXPECT_TRUE(e == a) << host_ctx;
+      }
+      ASSERT_EQ(per_tuple.outputs.size(), batched.outputs.size()) << ctx;
+      for (const auto& [name, expected] : per_tuple.outputs) {
+        testing::ExpectSameMultiset(expected, batched.outputs.at(name),
+                                    ctx + " / " + name);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streampart
