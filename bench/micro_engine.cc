@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/figlib.h"
 #include "exec/local_engine.h"
@@ -75,19 +76,34 @@ bool SameOutputsAsMultisets(const std::map<std::string, TupleBatch>& a,
 }
 
 /// Runs one cluster config through both source paths and checks that every
-/// accounted metric is bit-identical and outputs agree as multisets.
-bool ClusterMetricsIdentical(ExperimentRunner* runner,
-                             const ExperimentConfig& config, int hosts) {
-  auto per_tuple = runner->RunOne(config, hosts, 2, /*batch_size=*/0);
-  auto batched = runner->RunOne(config, hosts, 2, kDefaultSourceBatch);
+/// accounted metric is bit-identical, the structured run ledgers (telemetry
+/// scopes included) serialize byte-identically, and outputs agree as
+/// multisets.
+struct IdentityCheck {
+  bool metrics = false;
+  bool ledger = false;
+};
+
+IdentityCheck ClusterMetricsIdentical(ExperimentRunner* runner,
+                                      const ExperimentConfig& config,
+                                      int hosts) {
+  auto per_tuple = runner->RunCell(config, hosts, 2, /*batch_size=*/0);
+  auto batched = runner->RunCell(config, hosts, 2, kDefaultSourceBatch);
   SP_CHECK(per_tuple.ok()) << per_tuple.status().ToString();
   SP_CHECK(batched.ok()) << batched.status().ToString();
-  if (per_tuple->source_tuples != batched->source_tuples) return false;
-  if (per_tuple->hosts.size() != batched->hosts.size()) return false;
-  for (size_t h = 0; h < per_tuple->hosts.size(); ++h) {
-    if (!(per_tuple->hosts[h] == batched->hosts[h])) return false;
+  IdentityCheck check;
+  check.ledger =
+      per_tuple->ledger.ToJsonl() == batched->ledger.ToJsonl() &&
+      per_tuple->ledger.ToSummaryJson() == batched->ledger.ToSummaryJson();
+  const ClusterRunResult& a = per_tuple->result;
+  const ClusterRunResult& b = batched->result;
+  if (a.source_tuples != b.source_tuples) return check;
+  if (a.hosts.size() != b.hosts.size()) return check;
+  for (size_t h = 0; h < a.hosts.size(); ++h) {
+    if (!(a.hosts[h] == b.hosts[h])) return check;
   }
-  return SameOutputsAsMultisets(per_tuple->outputs, batched->outputs);
+  check.metrics = SameOutputsAsMultisets(a.outputs, b.outputs);
+  return check;
 }
 
 }  // namespace
@@ -137,6 +153,61 @@ int main() {
   std::printf("speedup: %.2fx (best of %d runs, %zu tuples)\n\n", speedup,
               kReps, trace.size());
 
+  // Telemetry overhead on the batched path: no registry at all, a
+  // bound-but-disabled registry (the zero-cost claim of metrics/stats.h),
+  // and a fully enabled one. Disabled must stay within noise of
+  // no-registry — the recording sites fold to one null check. The three
+  // configs run interleaved round-by-round (not in sequential blocks) so a
+  // machine-state drift hits all of them alike instead of skewing the
+  // deltas; best-of per config filters per-round noise.
+  StatsRegistry disabled_reg;
+  disabled_reg.set_enabled(false);
+  StatsRegistry enabled_reg;
+  LocalEngine::Options tel_off_opts = fast_opts;
+  tel_off_opts.stats = &disabled_reg;
+  LocalEngine::Options tel_on_opts = fast_opts;
+  tel_on_opts.stats = &enabled_reg;
+  // Overhead is the median of per-round paired deltas: each round times
+  // base / disabled / enabled back-to-back (~0.2 s apart on a 3x-denser
+  // trace, so both sides of every pair share the machine's drift phase),
+  // and the median across rounds discards the ones a scheduler event or a
+  // throttling step lands inside. Cross-round floor comparison is NOT
+  // drift-safe here; paired ratios are.
+  TraceConfig tel_tc = tc;
+  tel_tc.packets_per_sec = 3 * tc.packets_per_sec;
+  PacketTraceGenerator tel_gen(tel_tc);
+  TupleBatch tel_trace = tel_gen.GenerateAll();
+  TimedEngineRun(*setup.graph, tel_trace, kBatch, fast_opts);  // warm-up
+  constexpr int kTelReps = 36;
+  double tel_off_s = 0, tel_on_s = 0;
+  std::vector<double> off_deltas, on_deltas;
+  for (int r = 0; r < kTelReps; ++r) {
+    double base = TimedEngineRun(*setup.graph, tel_trace, kBatch, fast_opts);
+    double off = TimedEngineRun(*setup.graph, tel_trace, kBatch, tel_off_opts);
+    double on = TimedEngineRun(*setup.graph, tel_trace, kBatch, tel_on_opts);
+    off_deltas.push_back(100.0 * (off - base) / base);
+    on_deltas.push_back(100.0 * (on - base) / base);
+    if (r == 0 || off < tel_off_s) tel_off_s = off;
+    if (r == 0 || on < tel_on_s) tel_on_s = on;
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v.size() % 2 == 1 ? v[v.size() / 2]
+                             : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+  };
+  double tel_off_overhead_pct = median(off_deltas);
+  double tel_on_overhead_pct = median(on_deltas);
+  std::printf(
+      "telemetry overhead vs no registry, batched %zu-tuple trace "
+      "(compiled %s):\n",
+      tel_trace.size(), StatsRegistry::kCompiledIn ? "in" : "out");
+  std::printf("  disabled registry: %12.3f s (%+.2f%%)\n", tel_off_s,
+              tel_off_overhead_pct);
+  std::printf("  enabled registry:  %12.3f s (%+.2f%%)\n", tel_on_s,
+              tel_on_overhead_pct);
+  std::printf("  disabled-overhead < 2%%: %s\n\n",
+              tel_off_overhead_pct < 2.0 ? "yes" : "NO");
+
   // Metric identity through the cluster, on a scaled trace (the check runs
   // the slow per-tuple path once per config).
   TraceConfig id_tc = tc;
@@ -144,13 +215,17 @@ int main() {
   id_tc.packets_per_sec = 4000;
   id_tc.num_flows = 1500;
   ExperimentRunner runner(setup.graph.get(), "TCP", id_tc, CalibratedCpu());
-  bool naive_identical = ClusterMetricsIdentical(&runner, NaiveConfig(), 4);
-  bool part_identical = ClusterMetricsIdentical(
+  IdentityCheck naive_identical =
+      ClusterMetricsIdentical(&runner, NaiveConfig(), 4);
+  IdentityCheck part_identical = ClusterMetricsIdentical(
       &runner,
       PartitionedConfig("Partitioned", "srcIP, destIP, srcPort, destPort"), 4);
-  bool metrics_identical = naive_identical && part_identical;
+  bool metrics_identical = naive_identical.metrics && part_identical.metrics;
+  bool ledger_identical = naive_identical.ledger && part_identical.ledger;
   std::printf("cluster metric identity (per-tuple vs batched): %s\n",
               metrics_identical ? "IDENTICAL" : "MISMATCH");
+  std::printf("run ledger identity (per-tuple vs batched):     %s\n",
+              ledger_identical ? "IDENTICAL" : "MISMATCH");
 
   const char* path = "BENCH_engine.json";
   FILE* f = std::fopen(path, "w");
@@ -167,12 +242,24 @@ int main() {
       "%.0f},\n"
       "  \"batched\": {\"wall_s\": %.4f, \"tuples_per_sec\": %.0f},\n"
       "  \"speedup\": %.3f,\n"
-      "  \"cluster_metrics_identical\": %s\n"
+      "  \"telemetry\": {\n"
+      "    \"compiled_in\": %s,\n"
+      "    \"trace_tuples\": %zu,\n"
+      "    \"disabled\": {\"wall_s\": %.4f, \"overhead_pct\": %.2f},\n"
+      "    \"enabled\": {\"wall_s\": %.4f, \"overhead_pct\": %.2f},\n"
+      "    \"disabled_overhead_lt_2pct\": %s\n"
+      "  },\n"
+      "  \"cluster_metrics_identical\": %s,\n"
+      "  \"run_ledger_identical\": %s\n"
       "}\n",
       trace.size(), kBatch, kReps, per_tuple_s, per_tuple_tps, batched_det_s,
       batched_det_tps, batched_s, batched_tps, speedup,
-      metrics_identical ? "true" : "false");
+      StatsRegistry::kCompiledIn ? "true" : "false", tel_trace.size(),
+      tel_off_s, tel_off_overhead_pct, tel_on_s, tel_on_overhead_pct,
+      tel_off_overhead_pct < 2.0 ? "true" : "false",
+      metrics_identical ? "true" : "false",
+      ledger_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
-  return metrics_identical ? 0 : 1;
+  return metrics_identical && ledger_identical ? 0 : 1;
 }

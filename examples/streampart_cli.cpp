@@ -10,15 +10,20 @@
 ///
 /// Usage:
 ///   streampart_cli <workload-file> [--hosts N] [--ps "srcIP, destIP"]
-///                  [--run SECONDS] [--tcp-splitter]
+///                  [--run SECONDS] [--tcp-splitter] [--stats[=PATH]]
+///                  [--trace-events[=PATH]]
 ///
 /// Without --ps the advisor picks the partitioning; --tcp-splitter restricts
 /// it to what TCP-header splitter hardware can realize. --run replays a
 /// synthetic trace through the simulated cluster and reports per-host load
 /// (only meaningful for workloads over the built-in TCP/PKT schema).
+/// --stats prints the run's summary ledger JSON after a --run, or writes
+/// the full JSONL run ledger to PATH; --trace-events additionally records
+/// per-window trace events (docs/METRICS.md describes both formats).
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 
@@ -71,14 +76,50 @@ int Fail(const Status& st) {
   return 1;
 }
 
+void PrintUsage(FILE* out, const char* prog) {
+  std::fprintf(
+      out,
+      "usage: %s <workload-file> [flags]\n"
+      "\n"
+      "Loads a ';'-terminated workload file (CREATE STREAM / QUERY "
+      "statements),\n"
+      "prints the query DAG, the partitioning advice, and the distributed "
+      "plan.\n"
+      "\n"
+      "flags:\n"
+      "  --hosts N             cluster size (default 4)\n"
+      "  --ps SPEC             force a partitioning set, e.g. \"srcIP, "
+      "destIP\"\n"
+      "                        (default: the advisor's recommendation)\n"
+      "  --tcp-splitter        restrict advice to TCP-header splitter "
+      "hardware\n"
+      "  --run SECONDS         replay a synthetic trace through the "
+      "simulated\n"
+      "                        cluster and report per-host load (built-in\n"
+      "                        TCP/PKT schema only)\n"
+      "  --stats[=PATH]        with --run: print the summary ledger JSON, "
+      "or\n"
+      "                        write the full JSONL run ledger to PATH\n"
+      "  --trace-events[=PATH] like --stats, additionally recording "
+      "per-window\n"
+      "                        trace events in the JSONL ledger\n"
+      "  --help, -h            show this help and exit\n"
+      "\n"
+      "The ledger formats are documented in docs/METRICS.md.\n",
+      prog);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout, argv[0]);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <workload-file> [--hosts N] [--ps SPEC] "
-                 "[--run SECONDS] [--tcp-splitter]\n",
-                 argv[0]);
+    PrintUsage(stderr, argv[0]);
     return 2;
   }
   std::string path = argv[1];
@@ -86,6 +127,9 @@ int main(int argc, char** argv) {
   std::string ps_spec;
   int run_seconds = 0;
   bool tcp_splitter = false;
+  bool stats = false;
+  bool trace_events = false;
+  std::string stats_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
@@ -95,6 +139,15 @@ int main(int argc, char** argv) {
       run_seconds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--tcp-splitter") == 0) {
       tcp_splitter = true;
+    } else if (std::strncmp(argv[i], "--stats", 7) == 0 &&
+               (argv[i][7] == '\0' || argv[i][7] == '=')) {
+      stats = true;
+      if (argv[i][7] == '=') stats_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--trace-events", 14) == 0 &&
+               (argv[i][14] == '\0' || argv[i][14] == '=')) {
+      stats = true;
+      trace_events = true;
+      if (argv[i][14] == '=') stats_path = argv[i] + 15;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -170,6 +223,7 @@ int main(int argc, char** argv) {
     tc.packets_per_sec = 10000;
     PacketTraceGenerator gen(tc);
     ClusterRuntime runtime(&graph, &*plan, cluster);
+    if (trace_events) runtime.set_trace_events_enabled(true);
     Status st = runtime.Build(ps);
     if (!st.ok()) return Fail(st);
     Tuple t;
@@ -194,6 +248,28 @@ int main(int argc, char** argv) {
     for (const auto& [name, batch] : runtime.result().outputs) {
       std::printf("  %-20s %zu\n", name.c_str(), batch.size());
     }
+    if (stats) {
+      RunLedgerOptions lopts;
+      lopts.include_events = trace_events;
+      RunLedger ledger = runtime.MakeLedger(cpu, run_seconds, lopts);
+      ledger.SetMeta("workload", path);
+      ledger.SetMeta("epoch_unix",
+                     static_cast<uint64_t>(std::time(nullptr)));
+      if (stats_path.empty()) {
+        std::printf("\nRun ledger summary:\n%s", ledger.ToSummaryJson().c_str());
+      } else {
+        std::ofstream out(stats_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", stats_path.c_str());
+          return 1;
+        }
+        out << ledger.ToJsonl();
+        std::printf("\nwrote run ledger to %s\n", stats_path.c_str());
+      }
+    }
+  } else if (stats) {
+    std::fprintf(stderr, "--stats/--trace-events require --run\n");
+    return 2;
   }
   return 0;
 }

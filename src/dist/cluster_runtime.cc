@@ -20,6 +20,14 @@ ClusterRuntime::ClusterRuntime(const QueryGraph* graph, const DistPlan* plan,
                                const ClusterConfig& config)
     : graph_(graph), plan_(plan), config_(config) {
   result_.hosts.resize(config.num_hosts);
+  host_stats_.reserve(config.num_hosts);
+  for (int h = 0; h < config.num_hosts; ++h) {
+    host_stats_.push_back(std::make_unique<StatsRegistry>());
+  }
+}
+
+void ClusterRuntime::set_trace_events_enabled(bool enabled) {
+  for (auto& reg : host_stats_) reg->set_events_enabled(enabled);
 }
 
 void ClusterRuntime::AccountTransfer(int from_host, int to_host,
@@ -69,6 +77,19 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
             op.stream_name, op.schema, op.children.size());
         break;
       }
+    }
+  }
+
+  // Bind each instance to its host's telemetry registry. Scope names carry
+  // the plan op id so replicated operators (one per partition) stay
+  // distinguishable within a host.
+  if (telemetry_enabled_) {
+    for (int id : plan_->TopoOrder()) {
+      if (instances_[id] == nullptr) continue;
+      const DistOperator& op = plan_->op(id);
+      instances_[id]->BindTelemetry(
+          host_stats_[op.host].get(),
+          instances_[id]->label() + "#" + std::to_string(id));
     }
   }
 
@@ -266,6 +287,26 @@ void ClusterRuntime::FinishSources() {
       result_.hosts[op.host].ops += instances_[id]->stats();
     }
   }
+}
+
+RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
+                                     double duration_sec,
+                                     const RunLedgerOptions& options) const {
+  RunLedger ledger(options);
+  ledger.SetMeta("hosts", static_cast<uint64_t>(config_.num_hosts));
+  ledger.SetMeta("duration_sec", duration_sec);
+  ledger.SetMeta("source_tuples", result_.source_tuples);
+  for (size_t h = 0; h < result_.hosts.size(); ++h) {
+    ledger.AddHost(static_cast<int>(h), result_.hosts[h], params,
+                   duration_sec);
+  }
+  for (size_t h = 0; h < host_stats_.size(); ++h) {
+    ledger.AddRegistry(static_cast<int>(h), *host_stats_[h]);
+  }
+  for (const auto& [name, batch] : result_.outputs) {
+    ledger.AddOutput(name, batch.size());
+  }
+  return ledger;
 }
 
 OpStats ClusterRuntime::StatsForStream(const std::string& stream_name) const {

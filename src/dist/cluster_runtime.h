@@ -18,6 +18,7 @@
 #include "dist/partitioner.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
+#include "metrics/report.h"
 #include "optimizer/dist_plan.h"
 #include "plan/query_graph.h"
 
@@ -48,6 +49,13 @@ class ClusterRuntime {
   ClusterRuntime(const QueryGraph* graph, const DistPlan* plan,
                  const ClusterConfig& config);
 
+  /// \brief Controls per-host telemetry registries (on by default). Must be
+  /// called before Build: operators bind their instruments at build time.
+  void set_telemetry_enabled(bool enabled) { telemetry_enabled_ = enabled; }
+  /// \brief Opt-in structured trace events on every host registry
+  /// (--trace-events). Must be called before data flows.
+  void set_trace_events_enabled(bool enabled);
+
   /// \brief Instantiates operators and channels; builds the partitioner for
   /// \p actual_ps (round-robin when empty).
   Status Build(const PartitionSet& actual_ps);
@@ -70,6 +78,19 @@ class ClusterRuntime {
 
   /// \brief Per-stream summed operator stats (debugging/tests).
   OpStats StatsForStream(const std::string& stream_name) const;
+
+  /// \brief Telemetry registry of host \p host (never null; empty when
+  /// telemetry is disabled or compiled out).
+  const StatsRegistry& host_registry(int host) const {
+    return *host_stats_[host];
+  }
+
+  /// \brief Folds the run's host ledgers, the cost model, and every host's
+  /// telemetry registry into one structured RunLedger (valid after
+  /// FinishSources). Meta fields hosts/duration_sec/source_tuples are
+  /// pre-populated; callers add workload/epoch_unix and outputs as needed.
+  RunLedger MakeLedger(const CpuCostParams& params, double duration_sec,
+                       const RunLedgerOptions& options = {}) const;
 
  private:
   struct SourceEdge {
@@ -96,7 +117,12 @@ class ClusterRuntime {
   std::map<std::string, std::vector<int>> partition_hosts_;
   /// Scratch per-partition buckets reused across PushSourceBatch calls.
   std::vector<TupleBatch> bucket_scratch_;
+  /// One telemetry registry per simulated host (the registries are
+  /// single-writer: the whole simulation runs on one thread, and scope
+  /// names carry the plan op id so instances never collide).
+  std::vector<std::unique_ptr<StatsRegistry>> host_stats_;
   ClusterRunResult result_;
+  bool telemetry_enabled_ = true;
   bool built_ = false;
   bool finished_ = false;
 };

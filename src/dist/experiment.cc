@@ -18,6 +18,15 @@ ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
 Result<ClusterRunResult> ExperimentRunner::RunOne(
     const ExperimentConfig& config, int num_hosts, int partitions_per_host,
     size_t batch_size) {
+  SP_ASSIGN_OR_RETURN(
+      ExperimentCell cell,
+      RunCell(config, num_hosts, partitions_per_host, batch_size));
+  return std::move(cell.result);
+}
+
+Result<ExperimentCell> ExperimentRunner::RunCell(
+    const ExperimentConfig& config, int num_hosts, int partitions_per_host,
+    size_t batch_size, const RunLedgerOptions& ledger_options) {
   ClusterConfig cluster;
   cluster.num_hosts = num_hosts;
   cluster.partitions_per_host = partitions_per_host;
@@ -36,7 +45,11 @@ Result<ClusterRunResult> ExperimentRunner::RunOne(
     }
   }
   runtime.FinishSources();
-  return runtime.result();
+  ExperimentCell cell{runtime.result(),
+                      runtime.MakeLedger(cpu_params_, duration_sec(),
+                                         ledger_options)};
+  cell.ledger.SetMeta("config", config.name);
+  return cell;
 }
 
 Result<SweepResult> ExperimentRunner::RunSweep(
@@ -47,22 +60,30 @@ Result<SweepResult> ExperimentRunner::RunSweep(
   double duration = duration_sec();
   for (const ExperimentConfig& config : configs) {
     for (int hosts : host_counts) {
-      SP_ASSIGN_OR_RETURN(ClusterRunResult run,
-                          RunOne(config, hosts, partitions_per_host));
+      SP_ASSIGN_OR_RETURN(ExperimentCell cell,
+                          RunCell(config, hosts, partitions_per_host));
+      // Every figure quantity is read off the run ledger; the ledger rows
+      // hold the same cost-model numbers (computed by the same functions in
+      // the same order) the benches previously derived directly, so figure
+      // output is unchanged bit for bit.
+      const std::vector<LedgerHostRow>& rows = cell.ledger.hosts();
       ExperimentPoint point;
       point.num_hosts = hosts;
-      const HostMetrics& agg = run.aggregator(0);
-      point.aggregator_cpu_pct =
-          HostCpuLoadPercent(agg, cpu_params_, duration);
-      point.aggregator_net_tuples_sec =
-          HostNetworkTuplesPerSec(agg, duration);
+      point.aggregator_cpu_pct = rows[0].cpu_load_pct;
+      point.aggregator_net_tuples_sec = rows[0].net_tuples_in_per_sec;
       if (hosts > 1) {
-        point.leaf_cpu_pct = 100.0 * run.LeafCpuSeconds(cpu_params_, 0) /
-                             (duration * (hosts - 1));
+        // Matches ClusterRunResult::LeafCpuSeconds: per-host CPU-seconds
+        // summed in host order, aggregator (host 0) excluded.
+        double leaf_seconds = 0;
+        for (size_t h = 1; h < rows.size(); ++h) {
+          leaf_seconds += rows[h].cpu_seconds;
+        }
+        point.leaf_cpu_pct =
+            100.0 * leaf_seconds / (duration * (hosts - 1));
       } else {
         point.leaf_cpu_pct = point.aggregator_cpu_pct;
       }
-      for (const auto& [name, tuples] : run.outputs) {
+      for (const auto& [name, tuples] : cell.result.outputs) {
         point.output_tuples += tuples.size();
       }
       sweep.series[config.name].push_back(point);

@@ -53,6 +53,15 @@ struct SweepResult {
   std::map<std::string, std::vector<ExperimentPoint>> series;
 };
 
+/// \brief Full outcome of one experiment cell: the raw cluster result plus
+/// its structured run ledger (metrics/report.h). The ledger already folds
+/// the host ledgers, the cost model and every per-operator telemetry scope;
+/// meta fields config/hosts/duration_sec are set.
+struct ExperimentCell {
+  ClusterRunResult result;
+  RunLedger ledger;
+};
+
 /// \brief Runs configuration sweeps over a shared synthetic trace.
 class ExperimentRunner {
  public:
@@ -74,6 +83,14 @@ class ExperimentRunner {
   Result<ClusterRunResult> RunOne(const ExperimentConfig& config,
                                   int num_hosts, int partitions_per_host = 2,
                                   size_t batch_size = kDefaultSourceBatch);
+
+  /// \brief Like RunOne, but also returns the cell's run ledger. The ledger
+  /// is deterministic: RunCell at batch_size N and batch_size 0 produce
+  /// byte-identical ToJsonl() output (advisory instruments excluded).
+  Result<ExperimentCell> RunCell(const ExperimentConfig& config, int num_hosts,
+                                 int partitions_per_host = 2,
+                                 size_t batch_size = kDefaultSourceBatch,
+                                 const RunLedgerOptions& ledger_options = {});
 
   const TupleBatch& trace() const { return trace_; }
   const CpuCostParams& cpu_params() const { return cpu_params_; }

@@ -21,6 +21,9 @@ Status LocalEngine::Build() {
         agg->set_sorted_flush(false);
       }
     }
+    if (options_.stats != nullptr) {
+      op->BindTelemetry(options_.stats, op->label());
+    }
     ops_[node->name] = std::move(op);
   }
 

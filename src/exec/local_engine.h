@@ -28,6 +28,10 @@ class LocalEngine {
     /// order. False skips the per-window sort; output order within a window
     /// becomes unspecified (multisets and all counters are unchanged).
     bool deterministic_output = true;
+    /// When non-null, every operator binds a telemetry scope (named after
+    /// its label) in this registry. Null (default) means no telemetry —
+    /// the hot path stays one never-taken branch per delivery.
+    StatsRegistry* stats = nullptr;
   };
 
   /// \param graph must outlive the engine.

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "metrics/stats.h"
 #include "types/tuple.h"
 
 namespace streampart {
@@ -79,6 +80,7 @@ class Operator {
   void Push(size_t port, const Tuple& tuple) {
     SP_DCHECK(port < finished_.size());
     ++stats_.tuples_in;
+    if (telemetry_) telemetry_->ports[port].tuples_in->Inc();
     DoPush(port, tuple);
   }
 
@@ -89,6 +91,10 @@ class Operator {
     SP_DCHECK(port < finished_.size());
     if (batch.empty()) return;
     stats_.tuples_in += batch.size();
+    if (telemetry_) {
+      telemetry_->ports[port].tuples_in->Add(batch.size());
+      telemetry_->ports[port].batches_in->Inc();
+    }
     DoPushBatch(port, batch);
   }
 
@@ -102,8 +108,42 @@ class Operator {
     OnPortFinished(port);
     if (ports_remaining_ == 0) {
       DoFinish();
+      ExportTelemetry();
       PropagateFinish();
     }
+  }
+
+  /// \brief Binds this operator to telemetry scope \p scope_name of
+  /// \p registry. No-op (and zero recording cost beyond one predictable
+  /// branch per delivery) when \p registry is null, runtime-disabled, or
+  /// telemetry is compiled out. Must be called before data flows; the
+  /// OpStats work counters are exported into the scope when the operator
+  /// finishes.
+  void BindTelemetry(StatsRegistry* registry, const std::string& scope_name) {
+    if (registry == nullptr) return;
+    StatsScope* scope = registry->GetScope(scope_name);
+    if (scope == nullptr) return;  // disabled or compiled out
+    telemetry_ = std::make_unique<Telemetry>();
+    telemetry_->registry = registry;
+    telemetry_->scope = scope;
+    telemetry_->ports.resize(num_ports());
+    for (size_t p = 0; p < num_ports(); ++p) {
+      telemetry_->ports[p].tuples_in = scope->counter(stats::kPortTuplesIn, p);
+      telemetry_->ports[p].batches_in =
+          scope->counter(stats::kPortBatchesIn, p);
+    }
+    telemetry_->batches_out = scope->counter(stats::kBatchesOut);
+    // Create the OpStats mirrors eagerly so every operator exports the same
+    // instrument set regardless of observed traffic.
+    telemetry_->tuples_in = scope->counter(stats::kTuplesIn);
+    telemetry_->tuples_out = scope->counter(stats::kTuplesOut);
+    telemetry_->bytes_out = scope->counter(stats::kBytesOut);
+    telemetry_->group_probes = scope->counter(stats::kGroupProbes);
+    telemetry_->group_inserts = scope->counter(stats::kGroupInserts);
+    telemetry_->join_probes = scope->counter(stats::kJoinProbes);
+    telemetry_->predicate_evals = scope->counter(stats::kPredicateEvals);
+    telemetry_->late_tuples = scope->counter(stats::kLateTuples);
+    DoBindTelemetry(scope);
   }
 
   /// \brief Wires this operator's output into \p consumer's \p port.
@@ -152,6 +192,7 @@ class Operator {
     if (batch.empty()) return;
     stats_.tuples_out += batch.size();
     for (const Tuple& t : batch) stats_.bytes_out += t.WireSize();
+    if (telemetry_) telemetry_->batches_out->Inc();
     for (const auto& [op, port] : consumers_) op->PushBatch(port, batch);
     for (const auto& sink : sinks_) {
       if (sink.per_batch) {
@@ -171,6 +212,21 @@ class Operator {
   virtual void DoFinish() {}
   /// \brief Per-port end-of-stream notification (before DoFinish).
   virtual void OnPortFinished(size_t /*port*/) {}
+  /// \brief Hook for operator-specific instruments (window flushes, group
+  /// occupancy, join windows). Called once from BindTelemetry.
+  virtual void DoBindTelemetry(StatsScope* /*scope*/) {}
+
+  /// \brief True when structured trace events should be recorded.
+  bool trace_events_enabled() const {
+    return telemetry_ != nullptr && telemetry_->registry->events_enabled();
+  }
+  /// \brief Records one trace event (only meaningful when
+  /// trace_events_enabled()).
+  void RecordTraceEvent(const char* kind, std::string epoch, uint64_t groups,
+                        uint64_t emitted) {
+    telemetry_->registry->RecordEvent(TraceEvent{
+        telemetry_->scope->name(), kind, std::move(epoch), groups, emitted});
+  }
 
   OpStats stats_;
 
@@ -180,9 +236,43 @@ class Operator {
     for (const auto& hook : finish_hooks_) hook();
   }
 
+  /// \brief Folds the OpStats work counters into the bound scope. Runs once,
+  /// after the final flush, so the mirrors see post-flush totals.
+  void ExportTelemetry() {
+    if (!telemetry_) return;
+    telemetry_->tuples_in->Add(stats_.tuples_in);
+    telemetry_->tuples_out->Add(stats_.tuples_out);
+    telemetry_->bytes_out->Add(stats_.bytes_out);
+    telemetry_->group_probes->Add(stats_.group_probes);
+    telemetry_->group_inserts->Add(stats_.group_inserts);
+    telemetry_->join_probes->Add(stats_.join_probes);
+    telemetry_->predicate_evals->Add(stats_.predicate_evals);
+    telemetry_->late_tuples->Add(stats_.late_tuples);
+  }
+
   struct Sink {
     std::function<void(const Tuple&)> per_tuple;
     std::function<void(TupleSpan)> per_batch;  // null -> per_tuple loop
+  };
+
+  struct PortTelemetry {
+    Counter* tuples_in = nullptr;
+    Counter* batches_in = nullptr;
+  };
+  /// Live instruments; null unless BindTelemetry attached an enabled scope.
+  struct Telemetry {
+    StatsRegistry* registry = nullptr;
+    StatsScope* scope = nullptr;
+    std::vector<PortTelemetry> ports;
+    Counter* batches_out = nullptr;
+    Counter* tuples_in = nullptr;
+    Counter* tuples_out = nullptr;
+    Counter* bytes_out = nullptr;
+    Counter* group_probes = nullptr;
+    Counter* group_inserts = nullptr;
+    Counter* join_probes = nullptr;
+    Counter* predicate_evals = nullptr;
+    Counter* late_tuples = nullptr;
   };
 
   std::vector<std::pair<Operator*, size_t>> consumers_;
@@ -190,6 +280,7 @@ class Operator {
   std::vector<std::function<void()>> finish_hooks_;
   std::vector<bool> finished_;
   size_t ports_remaining_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

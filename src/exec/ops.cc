@@ -361,9 +361,25 @@ void AggregateOp::FlushInternal() {
   flush_batch_.push_back(std::move(out));
 }
 
+void AggregateOp::DoBindTelemetry(StatsScope* scope) {
+  t_window_flushes_ = scope->counter(stats::kWindowFlushes);
+  t_groups_flushed_ = scope->counter(stats::kGroupsFlushed);
+  t_window_groups_ = scope->histogram(stats::kWindowGroups);
+  t_groups_peak_ = scope->gauge(stats::kGroupsPeak);
+}
+
 void AggregateOp::FlushWindow() {
   epoch_bytes_valid_ = false;  // a new window begins after any flush
   if (groups_.empty() && packed_table_.empty()) return;
+  // Occupancy is the group count regardless of key representation, so the
+  // instruments are identical on the per-tuple and batched paths.
+  const uint64_t occupancy = groups_.size() + packed_table_.size();
+  if (t_window_flushes_ != nullptr) {
+    t_window_flushes_->Inc();
+    t_groups_flushed_->Add(occupancy);
+    t_window_groups_->Record(occupancy);
+    t_groups_peak_->SetMax(static_cast<int64_t>(occupancy));
+  }
   flush_batch_.clear();
   if (!groups_.empty()) {
     if (sorted_flush_) {
@@ -397,6 +413,12 @@ void AggregateOp::FlushWindow() {
       FlushEntryPacked(key, s);
     });
     packed_table_.Recycle(pool_states_ ? &state_pool_ : nullptr);
+  }
+  if (trace_events_enabled()) {
+    RecordTraceEvent("window_flush",
+                     current_epoch_.has_value() ? current_epoch_->ToString()
+                                                : std::string(),
+                     occupancy, flush_batch_.size());
   }
   EmitBatch(flush_batch_);
 }
@@ -450,16 +472,21 @@ void JoinOp::DoPush(size_t port, const Tuple& tuple) {
   }
 }
 
+void JoinOp::DoBindTelemetry(StatsScope* scope) {
+  t_join_windows_ = scope->counter(stats::kJoinWindows);
+  t_join_window_tuples_ = scope->histogram(stats::kJoinWindowTuples);
+}
+
 void JoinOp::EvictBelow(const std::vector<Value>& min_watermark) {
   while (!windows_.empty() && windows_.begin()->first < min_watermark) {
-    JoinWindow(&windows_.begin()->second);
+    JoinWindow(windows_.begin()->first, &windows_.begin()->second);
     windows_.erase(windows_.begin());
   }
 }
 
 void JoinOp::DoFinish() {
   // Join remaining windows in key order.
-  for (auto& [key, w] : windows_) JoinWindow(&w);
+  for (auto& [key, w] : windows_) JoinWindow(key, &w);
   windows_.clear();
 }
 
@@ -491,7 +518,13 @@ void JoinOp::EmitPadded(const Tuple& one_side, bool is_left) {
   Emit(out);
 }
 
-void JoinOp::JoinWindow(Window* w) {
+void JoinOp::JoinWindow(const std::vector<Value>& key, Window* w) {
+  const uint64_t buffered = w->left.size() + w->right.size();
+  const uint64_t out_before = stats_.tuples_out;
+  if (t_join_windows_ != nullptr) {
+    t_join_windows_->Inc();
+    t_join_window_tuples_->Record(buffered);
+  }
   // Hash the right side on its equi keys.
   struct VecHash {
     size_t operator()(const std::vector<Value>& key) const {
@@ -539,6 +572,15 @@ void JoinOp::JoinWindow(Window* w) {
     for (const BufferedTuple& rt : w->right) {
       if (!rt.matched) EmitPadded(rt.tuple, /*is_left=*/false);
     }
+  }
+  if (trace_events_enabled()) {
+    std::string epoch;
+    for (const Value& v : key) {
+      if (!epoch.empty()) epoch += ",";
+      epoch += v.ToString();
+    }
+    RecordTraceEvent("window_join", std::move(epoch), buffered,
+                     stats_.tuples_out - out_before);
   }
 }
 

@@ -82,6 +82,7 @@ class AggregateOp : public Operator {
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
   void DoFinish() override;
+  void DoBindTelemetry(StatsScope* scope) override;
 
  private:
   using GroupStates = std::vector<std::unique_ptr<UdafState>>;
@@ -147,6 +148,12 @@ class AggregateOp : public Operator {
   bool epoch_bytes_valid_ = false;
   Tuple internal_scratch_;       // reused key+aggregates tuple during flush
   TupleBatch flush_batch_;       // reused window-flush output scratch
+
+  // Telemetry instruments (null unless bound; see metrics/stats.h).
+  Counter* t_window_flushes_ = nullptr;
+  Counter* t_groups_flushed_ = nullptr;
+  Histogram* t_window_groups_ = nullptr;
+  Gauge* t_groups_peak_ = nullptr;
 };
 
 /// \brief Tumbling-window hash equijoin (inner/left/right/full outer).
@@ -166,6 +173,7 @@ class JoinOp : public Operator {
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoFinish() override;
+  void DoBindTelemetry(StatsScope* scope) override;
 
  private:
   struct BufferedTuple {
@@ -180,7 +188,7 @@ class JoinOp : public Operator {
   std::vector<Value> EvalKeys(const std::vector<ExprPtr>& exprs,
                               const Tuple& t) const;
   void EvictBelow(const std::vector<Value>& min_watermark);
-  void JoinWindow(Window* w);
+  void JoinWindow(const std::vector<Value>& key, Window* w);
   void EmitJoined(const Tuple& left, const Tuple& right);
   void EmitPadded(const Tuple& one_side, bool is_left);
 
@@ -193,6 +201,10 @@ class JoinOp : public Operator {
   std::optional<std::vector<Value>> watermark_[2];
   size_t left_width_ = 0;
   size_t right_width_ = 0;
+
+  // Telemetry instruments (null unless bound; see metrics/stats.h).
+  Counter* t_join_windows_ = nullptr;
+  Histogram* t_join_window_tuples_ = nullptr;
 };
 
 /// \brief Ordered stream union of N inputs (the merge node of paper §5.1).

@@ -153,8 +153,20 @@ void SlidingAggregateOp::ProcessTuple(const Tuple& tuple) {
   }
 }
 
+void SlidingAggregateOp::DoBindTelemetry(StatsScope* scope) {
+  t_pane_flushes_ = scope->counter(stats::kPaneFlushes);
+  t_window_flushes_ = scope->counter(stats::kWindowFlushes);
+  t_groups_flushed_ = scope->counter(stats::kGroupsFlushed);
+  t_window_groups_ = scope->histogram(stats::kWindowGroups);
+  t_groups_peak_ = scope->gauge(stats::kGroupsPeak);
+}
+
 void SlidingAggregateOp::ClosePane() {
   if (!current_pane_.has_value()) return;
+  if (t_pane_flushes_ != nullptr) {
+    t_pane_flushes_->Inc();
+    t_groups_peak_->SetMax(open_.size());
+  }
   PaneResult result;
   for (const auto& [key, states] : open_) {
     std::vector<Value> components;
@@ -198,6 +210,13 @@ void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
     }
   }
 
+  const uint64_t window_groups = groups.size();
+  if (t_window_flushes_ != nullptr) {
+    t_window_flushes_->Inc();
+    t_groups_flushed_->Add(window_groups);
+    t_window_groups_->Record(window_groups);
+  }
+
   window_batch_.clear();
   for (const auto& [key, supers] : groups) {
     // Combined aggregate values per original slot.
@@ -238,6 +257,10 @@ void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
       out.Append(o.expr->Eval(internal));
     }
     window_batch_.push_back(std::move(out));
+  }
+  if (trace_events_enabled()) {
+    RecordTraceEvent("window_flush", std::to_string(end_pane), window_groups,
+                     window_batch_.size());
   }
   // One window's results travel downstream as one batch.
   EmitBatch(window_batch_);

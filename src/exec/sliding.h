@@ -59,6 +59,7 @@ class SlidingAggregateOp : public Operator {
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
   void DoFinish() override;
+  void DoBindTelemetry(StatsScope* scope) override;
 
  private:
   struct VecHash {
@@ -120,6 +121,13 @@ class SlidingAggregateOp : public Operator {
   // Scratch buffers reused across tuples/windows.
   std::vector<Value> key_scratch_;
   TupleBatch window_batch_;
+
+  // Telemetry instruments (null unless bound; see metrics/stats.h).
+  Counter* t_pane_flushes_ = nullptr;
+  Counter* t_window_flushes_ = nullptr;
+  Counter* t_groups_flushed_ = nullptr;
+  Histogram* t_window_groups_ = nullptr;
+  Gauge* t_groups_peak_ = nullptr;
 };
 
 }  // namespace streampart

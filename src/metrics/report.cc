@@ -4,6 +4,85 @@
 #include <iostream>
 
 namespace streampart {
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStr(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+/// Deterministic double rendering for every ledger number.
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string OpStatsJson(const OpStats& s) {
+  std::string out = "{";
+  out += "\"tuples_in\":" + std::to_string(s.tuples_in);
+  out += ",\"tuples_out\":" + std::to_string(s.tuples_out);
+  out += ",\"bytes_out\":" + std::to_string(s.bytes_out);
+  out += ",\"group_probes\":" + std::to_string(s.group_probes);
+  out += ",\"group_inserts\":" + std::to_string(s.group_inserts);
+  out += ",\"join_probes\":" + std::to_string(s.join_probes);
+  out += ",\"predicate_evals\":" + std::to_string(s.predicate_evals);
+  out += ",\"late_tuples\":" + std::to_string(s.late_tuples);
+  out += "}";
+  return out;
+}
+
+std::string HostRowJson(const LedgerHostRow& row) {
+  std::string out = "{\"record\":\"host\"";
+  out += ",\"host\":" + std::to_string(row.host);
+  out += ",\"source_tuples\":" + std::to_string(row.metrics.source_tuples);
+  out += ",\"net_tuples_in\":" + std::to_string(row.metrics.net_tuples_in);
+  out += ",\"net_bytes_in\":" + std::to_string(row.metrics.net_bytes_in);
+  out += ",\"net_tuples_out\":" + std::to_string(row.metrics.net_tuples_out);
+  out += ",\"net_bytes_out\":" + std::to_string(row.metrics.net_bytes_out);
+  out += ",\"cpu_seconds\":" + JsonDouble(row.cpu_seconds);
+  out += ",\"cpu_load_pct\":" + JsonDouble(row.cpu_load_pct);
+  out += ",\"net_tuples_in_per_sec\":" + JsonDouble(row.net_tuples_in_per_sec);
+  out += ",\"ops\":" + OpStatsJson(row.metrics.ops);
+  out += ",\"merge_ops\":" + OpStatsJson(row.metrics.merge_ops);
+  out += "}";
+  return out;
+}
+
+}  // namespace
 
 SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
@@ -61,5 +140,166 @@ std::string SeriesTable::ToString() const {
 }
 
 void SeriesTable::Print() const { std::cout << ToString() << std::endl; }
+
+RunLedger::RunLedger(RunLedgerOptions options) : options_(options) {}
+
+void RunLedger::SetMeta(const std::string& key, const std::string& value) {
+  meta_[key] = JsonStr(value);
+}
+
+void RunLedger::SetMeta(const std::string& key, uint64_t value) {
+  meta_[key] = std::to_string(value);
+}
+
+void RunLedger::SetMeta(const std::string& key, double value) {
+  meta_[key] = JsonDouble(value);
+}
+
+void RunLedger::AddHost(int host, const HostMetrics& metrics,
+                        const CpuCostParams& params, double duration_sec) {
+  LedgerHostRow row;
+  row.host = host;
+  row.metrics = metrics;
+  row.cpu_seconds = HostCpuSeconds(metrics, params);
+  row.cpu_load_pct = HostCpuLoadPercent(metrics, params, duration_sec);
+  row.net_tuples_in_per_sec = HostNetworkTuplesPerSec(metrics, duration_sec);
+  hosts_.push_back(std::move(row));
+}
+
+void RunLedger::AddRegistry(int host, const StatsRegistry& registry) {
+  registry.ForEachScope([&](const StatsScope& scope) {
+    OperatorRow row;
+    row.host = host;
+    row.scope = scope.name();
+    scope.ForEach([&](const std::string& name, const StatsScope::Entry& e) {
+      if (e.def->advisory && !options_.include_advisory) return;
+      InstrumentRow inst;
+      inst.name = name;
+      switch (e.def->kind) {
+        case StatKind::kCounter:
+          inst.json = std::to_string(e.counter.value());
+          break;
+        case StatKind::kGauge:
+          inst.json = std::to_string(e.gauge.value());
+          break;
+        case StatKind::kHistogram: {
+          std::string h = "{\"count\":" + std::to_string(e.histogram.count());
+          h += ",\"sum\":" + std::to_string(e.histogram.sum());
+          h += ",\"buckets\":[";
+          bool first = true;
+          for (const auto& [bound, count] : e.histogram.NonZeroBuckets()) {
+            if (!first) h += ",";
+            first = false;
+            h += "[" + std::to_string(bound) + "," + std::to_string(count) +
+                 "]";
+          }
+          h += "]}";
+          inst.json = std::move(h);
+          break;
+        }
+      }
+      row.instruments.push_back(std::move(inst));
+    });
+    operators_.push_back(std::move(row));
+  });
+  if (options_.include_events) {
+    for (const TraceEvent& e : registry.events()) {
+      events_.push_back({host, e});
+    }
+  }
+}
+
+void RunLedger::AddOutput(const std::string& stream, uint64_t tuples) {
+  outputs_[stream] = tuples;
+}
+
+std::string RunLedger::ToJsonl() const {
+  std::string out;
+  // Record 1: run metadata.
+  out += "{\"record\":\"run\"";
+  for (const auto& [key, value] : meta_) {
+    out += "," + JsonStr(key) + ":" + value;
+  }
+  out += "}\n";
+  for (const LedgerHostRow& row : hosts_) {
+    out += HostRowJson(row) + "\n";
+  }
+  for (const OperatorRow& row : operators_) {
+    out += "{\"record\":\"operator\",\"host\":" + std::to_string(row.host);
+    out += ",\"scope\":" + JsonStr(row.scope) + ",\"stats\":{";
+    bool first = true;
+    for (const InstrumentRow& inst : row.instruments) {
+      if (!first) out += ",";
+      first = false;
+      out += JsonStr(inst.name) + ":" + inst.json;
+    }
+    out += "}}\n";
+  }
+  for (const EventRow& row : events_) {
+    out += "{\"record\":\"event\",\"host\":" + std::to_string(row.host);
+    out += ",\"scope\":" + JsonStr(row.event.scope);
+    out += ",\"kind\":" + JsonStr(row.event.kind);
+    out += ",\"epoch\":" + JsonStr(row.event.epoch);
+    out += ",\"groups\":" + std::to_string(row.event.groups);
+    out += ",\"emitted\":" + std::to_string(row.event.emitted);
+    out += "}\n";
+  }
+  for (const auto& [stream, tuples] : outputs_) {
+    out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
+    out += ",\"tuples\":" + std::to_string(tuples) + "}\n";
+  }
+  return out;
+}
+
+std::string RunLedger::ToSummaryJson() const {
+  std::string out = "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    " + JsonStr(key) + ": " + value;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"hosts\": [";
+  double total_cpu = 0;
+  uint64_t total_net_tuples = 0, total_net_bytes = 0, total_source = 0;
+  first = true;
+  for (const LedgerHostRow& row : hosts_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"host\":" + std::to_string(row.host);
+    out += ",\"cpu_seconds\":" + JsonDouble(row.cpu_seconds);
+    out += ",\"cpu_load_pct\":" + JsonDouble(row.cpu_load_pct);
+    out +=
+        ",\"net_tuples_in_per_sec\":" + JsonDouble(row.net_tuples_in_per_sec);
+    out += ",\"source_tuples\":" + std::to_string(row.metrics.source_tuples);
+    out += "}";
+    total_cpu += row.cpu_seconds;
+    total_net_tuples += row.metrics.net_tuples_in;
+    total_net_bytes += row.metrics.net_bytes_in;
+    total_source += row.metrics.source_tuples;
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"totals\": {";
+  out += "\"cpu_seconds\":" + JsonDouble(total_cpu);
+  out += ",\"source_tuples\":" + std::to_string(total_source);
+  out += ",\"net_tuples_in\":" + std::to_string(total_net_tuples);
+  out += ",\"net_bytes_in\":" + std::to_string(total_net_bytes);
+  out += ",\"operator_scopes\":" + std::to_string(operators_.size());
+  out += ",\"trace_events\":" + std::to_string(events_.size());
+  out += "}";
+  if (!outputs_.empty()) {
+    out += ",\n  \"outputs\": {";
+    first = true;
+    for (const auto& [stream, tuples] : outputs_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    " + JsonStr(stream) + ": " + std::to_string(tuples);
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
 
 }  // namespace streampart

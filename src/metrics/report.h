@@ -1,14 +1,24 @@
 #pragma once
 
 /// \file report.h
-/// \brief Fixed-width table formatting for experiment output.
+/// \brief Experiment output: fixed-width tables and the structured run
+/// ledger.
 ///
 /// Every figure bench prints one SeriesTable whose rows mirror the series of
-/// the corresponding paper figure (configurations × cluster sizes), so
-/// bench_output.txt reads side-by-side against the paper.
+/// the corresponding paper figure (configurations × cluster sizes), so the
+/// text output reads side-by-side against the paper. The RunLedger is the
+/// machine-readable companion: one JSONL stream (plus a summary JSON object)
+/// folding the per-host work/traffic ledgers, the CPU cost model, and every
+/// per-operator telemetry scope of a run. docs/METRICS.md documents the
+/// schema.
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "metrics/cpu_model.h"
+#include "metrics/stats.h"
 
 namespace streampart {
 
@@ -40,6 +50,90 @@ class SeriesTable {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
   std::string format_ = "%.1f";
+};
+
+/// \brief Ledger construction switches.
+struct RunLedgerOptions {
+  /// Include instruments marked advisory (batch-granularity dependent).
+  /// Default off so the ledger is bit-identical between the per-tuple and
+  /// batched execution paths.
+  bool include_advisory = false;
+  /// Include structured trace events (registry event logs). Events are
+  /// deterministic but verbose; --trace-events turns them on.
+  bool include_events = false;
+};
+
+/// \brief One host's row of the ledger: the raw work/traffic ledger plus the
+/// derived cost-model quantities the paper's figures plot.
+struct LedgerHostRow {
+  int host = 0;
+  HostMetrics metrics;
+  double cpu_seconds = 0;
+  double cpu_load_pct = 0;
+  double net_tuples_in_per_sec = 0;
+};
+
+/// \brief Epoch-timestamped structured record of one experiment run.
+///
+/// Deterministic by construction: meta keys, output streams, telemetry
+/// scopes and instruments serialize in name order, hosts in id order, and
+/// doubles render with "%.10g". Two runs with identical accounted work
+/// produce byte-identical ledgers (micro_engine asserts this across the
+/// per-tuple and batched execution paths).
+class RunLedger {
+ public:
+  explicit RunLedger(RunLedgerOptions options = {});
+
+  /// \brief Run-level metadata ("workload", "hosts", "epoch_unix", ...).
+  /// Pass epoch_unix = 0 when ledgers must compare byte-identical.
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMeta(const std::string& key, uint64_t value);
+  void SetMeta(const std::string& key, double value);
+
+  /// \brief Adds host \p host with derived quantities computed from the
+  /// canonical cost-model functions (HostCpuSeconds etc.), so ledger numbers
+  /// match the figure benches bit for bit.
+  void AddHost(int host, const HostMetrics& metrics,
+               const CpuCostParams& params, double duration_sec);
+
+  /// \brief Snapshots every telemetry scope of \p registry under \p host.
+  /// Advisory instruments and trace events follow the ledger options.
+  void AddRegistry(int host, const StatsRegistry& registry);
+
+  /// \brief Records the output cardinality of one sink stream.
+  void AddOutput(const std::string& stream, uint64_t tuples);
+
+  const std::vector<LedgerHostRow>& hosts() const { return hosts_; }
+
+  /// \brief Full ledger: one JSON object per line, in record order
+  /// run, host*, operator*, event*, output* (docs/METRICS.md schema).
+  std::string ToJsonl() const;
+
+  /// \brief Single JSON object: meta + per-host derived quantities +
+  /// cluster totals. The "at a glance" companion of the JSONL stream.
+  std::string ToSummaryJson() const;
+
+ private:
+  struct InstrumentRow {
+    std::string name;  // instance name (catalog name, or name.<port>)
+    std::string json;  // rendered value ("12", or a histogram object)
+  };
+  struct OperatorRow {
+    int host;
+    std::string scope;
+    std::vector<InstrumentRow> instruments;  // name order
+  };
+  struct EventRow {
+    int host;
+    TraceEvent event;
+  };
+
+  RunLedgerOptions options_;
+  std::map<std::string, std::string> meta_;  // key -> rendered JSON value
+  std::vector<LedgerHostRow> hosts_;
+  std::vector<OperatorRow> operators_;
+  std::vector<EventRow> events_;
+  std::map<std::string, uint64_t> outputs_;
 };
 
 }  // namespace streampart

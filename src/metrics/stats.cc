@@ -1,0 +1,143 @@
+#include "metrics/stats.h"
+
+namespace streampart {
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonZeroBuckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    uint64_t bound = i == 0 ? 0
+                     : i >= 64 ? ~uint64_t{0}
+                               : (uint64_t{1} << i) - 1;
+    out.emplace_back(bound, buckets_[i]);
+  }
+  return out;
+}
+
+StatsScope::Entry* StatsScope::Resolve(const StatDef& def,
+                                       std::string instance_name) {
+  auto [it, inserted] = entries_.try_emplace(std::move(instance_name));
+  if (inserted) it->second.def = &def;
+  return &it->second;
+}
+
+Counter* StatsScope::counter(const StatDef& def) {
+  return &Resolve(def, def.name)->counter;
+}
+
+Counter* StatsScope::counter(const StatDef& def, size_t port) {
+  return &Resolve(def, std::string(def.name) + "." + std::to_string(port))
+              ->counter;
+}
+
+Gauge* StatsScope::gauge(const StatDef& def) {
+  return &Resolve(def, def.name)->gauge;
+}
+
+Histogram* StatsScope::histogram(const StatDef& def) {
+  return &Resolve(def, def.name)->histogram;
+}
+
+void StatsScope::ForEach(
+    const std::function<void(const std::string&, const Entry&)>& fn) const {
+  for (const auto& [name, entry] : entries_) fn(name, entry);
+}
+
+StatsScope* StatsRegistry::GetScope(const std::string& name) {
+#if STREAMPART_TELEMETRY
+  if (!enabled()) return nullptr;
+  auto [it, inserted] = scopes_.try_emplace(name, name);
+  return &it->second;
+#else
+  (void)name;
+  return nullptr;
+#endif
+}
+
+void StatsRegistry::RecordEvent(TraceEvent event) {
+#if STREAMPART_TELEMETRY
+  if (events_enabled()) events_.push_back(std::move(event));
+#else
+  (void)event;
+#endif
+}
+
+void StatsRegistry::ForEachScope(
+    const std::function<void(const StatsScope&)>& fn) const {
+  for (const auto& [name, scope] : scopes_) fn(scope);
+}
+
+namespace stats {
+
+const StatDef kTuplesIn = {"tuples_in", StatKind::kCounter, "tuples", false,
+                           "tuples delivered to the operator (all ports)"};
+const StatDef kTuplesOut = {"tuples_out", StatKind::kCounter, "tuples", false,
+                            "tuples emitted downstream"};
+const StatDef kBytesOut = {"bytes_out", StatKind::kCounter, "bytes", false,
+                           "wire size of emitted tuples"};
+const StatDef kGroupProbes = {"group_probes", StatKind::kCounter, "probes",
+                              false,
+                              "group-table probes that found an existing "
+                              "group"};
+const StatDef kGroupInserts = {"group_inserts", StatKind::kCounter, "groups",
+                               false, "new groups created"};
+const StatDef kJoinProbes = {"join_probes", StatKind::kCounter, "pairs", false,
+                             "join pair evaluations"};
+const StatDef kPredicateEvals = {"predicate_evals", StatKind::kCounter,
+                                 "evals", false,
+                                 "WHERE/HAVING/residual predicate "
+                                 "evaluations"};
+const StatDef kLateTuples = {"late_tuples", StatKind::kCounter, "tuples",
+                             false,
+                             "tuples dropped because their tumbling window "
+                             "already closed"};
+
+const StatDef kPortTuplesIn = {"port_tuples_in", StatKind::kCounter, "tuples",
+                               false, "tuples delivered to one input port"};
+const StatDef kPortBatchesIn = {"port_batches_in", StatKind::kCounter,
+                                "batches", true,
+                                "PushBatch calls on one input port "
+                                "(delivery-granularity dependent)"};
+const StatDef kBatchesOut = {"batches_out", StatKind::kCounter, "batches",
+                             true,
+                             "EmitBatch calls issued downstream "
+                             "(delivery-granularity dependent)"};
+
+const StatDef kWindowFlushes = {"window_flushes", StatKind::kCounter,
+                                "windows", false,
+                                "non-empty tumbling/sliding windows "
+                                "finalized"};
+const StatDef kGroupsFlushed = {"groups_flushed", StatKind::kCounter,
+                                "groups", false,
+                                "group states finalized across all window "
+                                "flushes"};
+const StatDef kWindowGroups = {"window_groups", StatKind::kHistogram,
+                               "groups", false,
+                               "group-table occupancy at each window flush"};
+const StatDef kGroupsPeak = {"groups_peak", StatKind::kGauge, "groups", false,
+                             "peak open-group count over the run"};
+const StatDef kPaneFlushes = {"pane_flushes", StatKind::kCounter, "panes",
+                              false,
+                              "sliding-window panes closed (sub-aggregation "
+                              "boundaries)"};
+
+const StatDef kJoinWindows = {"join_windows", StatKind::kCounter, "windows",
+                              false, "join windows evaluated"};
+const StatDef kJoinWindowTuples = {"join_window_tuples", StatKind::kHistogram,
+                                   "tuples", false,
+                                   "buffered tuples (both sides) per join "
+                                   "window at evaluation"};
+
+const std::vector<const StatDef*>& EngineStatCatalog() {
+  static const std::vector<const StatDef*> kCatalog = {
+      &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
+      &kGroupInserts,  &kJoinProbes,   &kPredicateEvals, &kLateTuples,
+      &kPortTuplesIn,  &kPortBatchesIn, &kBatchesOut,   &kWindowFlushes,
+      &kGroupsFlushed, &kWindowGroups, &kGroupsPeak,    &kPaneFlushes,
+      &kJoinWindows,   &kJoinWindowTuples,
+  };
+  return kCatalog;
+}
+
+}  // namespace stats
+}  // namespace streampart

@@ -1,13 +1,20 @@
 /// \file metrics_test.cc
 /// \brief CPU-model accounting details, merge vs. operator rates, late-tuple
-/// policy, and the two-source distributed join path.
+/// policy, the two-source distributed join path, the per-operator telemetry
+/// registry (hand-counted traces, disabled/compiled-out behaviour, run-ledger
+/// determinism across execution paths), and the docs/METRICS.md doc-lint.
 
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 #include "dist/experiment.h"
 #include "exec/local_engine.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
 #include "tests/test_util.h"
 
 namespace streampart {
@@ -159,6 +166,225 @@ TEST(TwoSourceJoinTest, DistributedEqualsCentralized) {
   testing::ExpectSameMultiset(central.Results("matched"),
                               runtime.result().outputs.at("matched"),
                               "two-source join");
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry registry
+// ---------------------------------------------------------------------------
+
+/// Builds the §6.1-style tumbling aggregation operator over the TCP schema.
+OperatorPtr MakeFlowsOp(QueryGraph* graph) {
+  auto op = MakeOperator(*graph->GetQuery("f"), &UdafRegistry::Default());
+  SP_CHECK(op.ok()) << op.status().ToString();
+  return std::move(*op);
+}
+
+TEST(TelemetryTest, HandCountedTinyTrace) {
+  if (!StatsRegistry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery("f",
+                           "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                           "GROUP BY time/10 as tb, srcIP"));
+  OperatorPtr op = MakeFlowsOp(&graph);
+  StatsRegistry reg;
+  op->BindTelemetry(&reg, "agg");
+  StatsScope* scope = reg.GetScope("agg");
+  ASSERT_NE(scope, nullptr);
+
+  // 4 pushes: epoch 0 opens with group A; epoch 1 flushes epoch 0 and
+  // reopens A; a late epoch-0 tuple is dropped; A is probed once more.
+  op->Push(0, MakePacket(5, 0xA, 1, 1, 1, 10));   // epoch 0: insert A
+  op->Push(0, MakePacket(15, 0xA, 1, 1, 1, 10));  // flush epoch 0; insert A
+  op->Push(0, MakePacket(7, 0xB, 1, 1, 1, 10));   // LATE: dropped
+  op->Push(0, MakePacket(16, 0xA, 1, 1, 1, 10));  // probe A
+  op->Finish(0);                                  // flush epoch 1
+
+  EXPECT_EQ(scope->counter(stats::kTuplesIn)->value(), 4u);
+  EXPECT_EQ(scope->counter(stats::kPortTuplesIn, 0)->value(), 4u);
+  EXPECT_EQ(scope->counter(stats::kTuplesOut)->value(), 2u);
+  EXPECT_EQ(scope->counter(stats::kGroupInserts)->value(), 2u);
+  EXPECT_EQ(scope->counter(stats::kGroupProbes)->value(), 1u);
+  EXPECT_EQ(scope->counter(stats::kLateTuples)->value(), 1u);
+  EXPECT_EQ(scope->counter(stats::kWindowFlushes)->value(), 2u);
+  EXPECT_EQ(scope->counter(stats::kGroupsFlushed)->value(), 2u);
+  EXPECT_EQ(scope->gauge(stats::kGroupsPeak)->value(), 1);
+  Histogram* wg = scope->histogram(stats::kWindowGroups);
+  EXPECT_EQ(wg->count(), 2u);  // two windows, one group each
+  EXPECT_EQ(wg->sum(), 2u);
+}
+
+TEST(TelemetryTest, PerTupleAndBatchedDeliveriesAgree) {
+  if (!StatsRegistry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery("f",
+                           "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                           "GROUP BY time/10 as tb, srcIP"));
+  TupleBatch trace;
+  for (uint64_t t = 0; t < 40; ++t) {
+    trace.push_back(MakePacket(t, 0xA0 + t % 5, 0xB0, 1, 2, 64));
+  }
+
+  auto run = [&](bool batched) {
+    OperatorPtr op = MakeFlowsOp(&graph);
+    auto reg = std::make_unique<StatsRegistry>();
+    op->BindTelemetry(reg.get(), "agg");
+    if (batched) {
+      op->PushBatch(0, TupleSpan(trace));
+    } else {
+      for (const Tuple& t : trace) op->Push(0, t);
+    }
+    op->Finish(0);
+    return reg;
+  };
+  auto per_tuple = run(false);
+  auto batch = run(true);
+
+  // Every deterministic instrument matches; only advisory (batch-count)
+  // instruments may differ between the paths.
+  StatsScope* a = per_tuple->GetScope("agg");
+  StatsScope* b = batch->GetScope("agg");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  auto counters = [](StatsScope* scope) {
+    std::map<std::string, uint64_t> out;
+    scope->ForEach([&](const std::string& name, const StatsScope::Entry& e) {
+      if (e.def->advisory || e.def->kind != StatKind::kCounter) return;
+      out[name] = e.counter.value();
+    });
+    return out;
+  };
+  EXPECT_EQ(counters(a), counters(b));
+  EXPECT_EQ(a->counter(stats::kPortBatchesIn, 0)->value(), 0u);
+  EXPECT_EQ(b->counter(stats::kPortBatchesIn, 0)->value(), 1u);
+}
+
+TEST(TelemetryTest, DisabledRegistryHandsOutNoScopes) {
+  StatsRegistry reg;
+  reg.set_enabled(false);
+  EXPECT_EQ(reg.GetScope("agg"), nullptr);
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery("f",
+                           "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                           "GROUP BY time/10 as tb, srcIP"));
+  OperatorPtr op = MakeFlowsOp(&graph);
+  op->BindTelemetry(&reg, "agg");
+  op->Push(0, MakePacket(5, 0xA, 1, 1, 1, 10));
+  op->Finish(0);
+  // Nothing was created or recorded — the registry stays empty.
+  EXPECT_TRUE(reg.empty());
+  // OpStats accounting is independent of telemetry.
+  EXPECT_EQ(op->stats().tuples_in, 1u);
+}
+
+TEST(TelemetryTest, CompiledOutMatchesDisabledShape) {
+  // In a -DSTREAMPART_TELEMETRY=0 build this asserts the whole subsystem is
+  // inert; in a normal build it documents the equivalence the flag relies
+  // on (enabled() folds in kCompiledIn).
+  StatsRegistry reg;
+  if (StatsRegistry::kCompiledIn) {
+    EXPECT_TRUE(reg.enabled());
+    EXPECT_NE(reg.GetScope("x"), nullptr);
+  } else {
+    EXPECT_FALSE(reg.enabled());
+    EXPECT_EQ(reg.GetScope("x"), nullptr);
+    EXPECT_TRUE(reg.empty());
+  }
+}
+
+TEST(TelemetryTest, TraceEventsRecordWindowFlushes) {
+  if (!StatsRegistry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery("f",
+                           "SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+                           "GROUP BY time/10 as tb, srcIP"));
+  OperatorPtr op = MakeFlowsOp(&graph);
+  StatsRegistry reg;
+  reg.set_events_enabled(true);
+  op->BindTelemetry(&reg, "agg");
+  op->Push(0, MakePacket(5, 0xA, 1, 1, 1, 10));
+  op->Push(0, MakePacket(15, 0xA, 1, 1, 1, 10));
+  op->Finish(0);
+  ASSERT_EQ(reg.events().size(), 2u);
+  EXPECT_EQ(reg.events()[0].scope, "agg");
+  EXPECT_STREQ(reg.events()[0].kind, "window_flush");
+  EXPECT_EQ(reg.events()[0].groups, 1u);
+  EXPECT_EQ(reg.events()[0].emitted, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Run ledger
+// ---------------------------------------------------------------------------
+
+TEST(RunLedgerTest, IdenticalAcrossExecutionPaths) {
+  // The §6.1 workload through the simulated cluster, per-tuple vs batched:
+  // the default ledger (advisory instruments excluded) must serialize
+  // byte-identically.
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery("flows",
+                           "SELECT tb, srcIP, destIP, COUNT(*) as cnt "
+                           "FROM TCP GROUP BY time/10 as tb, srcIP, destIP"));
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 1000;
+  tc.num_flows = 200;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  ExperimentConfig config;
+  config.name = "RoundRobin";
+  auto per_tuple = runner.RunCell(config, 3, 2, /*batch_size=*/0);
+  auto batched = runner.RunCell(config, 3, 2, kDefaultSourceBatch);
+  ASSERT_OK(per_tuple.status());
+  ASSERT_OK(batched.status());
+  EXPECT_EQ(per_tuple->ledger.ToJsonl(), batched->ledger.ToJsonl());
+  EXPECT_EQ(per_tuple->ledger.ToSummaryJson(),
+            batched->ledger.ToSummaryJson());
+  // The ledger actually carries content: host rows plus (when telemetry is
+  // compiled in) one operator record per bound scope.
+  EXPECT_EQ(per_tuple->ledger.hosts().size(), 3u);
+  if (StatsRegistry::kCompiledIn) {
+    EXPECT_NE(per_tuple->ledger.ToJsonl().find("\"record\":\"operator\""),
+              std::string::npos);
+  }
+}
+
+TEST(RunLedgerTest, HostRowsMatchCostModel) {
+  HostMetrics h;
+  h.source_tuples = 1000;
+  h.ops.tuples_in = 1000;
+  h.ops.tuples_out = 10;
+  h.net_tuples_in = 50;
+  CpuCostParams params;
+  RunLedger ledger;
+  ledger.AddHost(0, h, params, 2.0);
+  ASSERT_EQ(ledger.hosts().size(), 1u);
+  EXPECT_EQ(ledger.hosts()[0].cpu_seconds, HostCpuSeconds(h, params));
+  EXPECT_EQ(ledger.hosts()[0].cpu_load_pct,
+            HostCpuLoadPercent(h, params, 2.0));
+  EXPECT_EQ(ledger.hosts()[0].net_tuples_in_per_sec,
+            HostNetworkTuplesPerSec(h, 2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Doc lint: every catalog instrument must appear in docs/METRICS.md.
+// ---------------------------------------------------------------------------
+
+TEST(StatsDocTest, EveryCatalogInstrumentDocumented) {
+  const std::string path = std::string(SP_SOURCE_DIR) + "/docs/METRICS.md";
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << file.rdbuf();
+  const std::string doc = buf.str();
+  for (const StatDef* def : stats::EngineStatCatalog()) {
+    EXPECT_NE(doc.find("`" + std::string(def->name) + "`"), std::string::npos)
+        << "instrument '" << def->name
+        << "' is missing from docs/METRICS.md — document it (name in "
+           "backticks) or remove it from the catalog";
+  }
 }
 
 }  // namespace
