@@ -11,7 +11,7 @@
 /// Usage:
 ///   streampart_cli <workload-file> [--hosts N] [--ps "srcIP, destIP"]
 ///                  [--run SECONDS] [--tcp-splitter] [--stats[=PATH]]
-///                  [--trace-events[=PATH]]
+///                  [--trace-events[=PATH]] [--fault-plan FILE]
 ///
 /// Without --ps the advisor picks the partitioning; --tcp-splitter restricts
 /// it to what TCP-header splitter hardware can realize. --run replays a
@@ -103,6 +103,11 @@ void PrintUsage(FILE* out, const char* prog) {
       "  --trace-events[=PATH] like --stats, additionally recording "
       "per-window\n"
       "                        trace events in the JSONL ledger\n"
+      "  --fault-plan FILE     with --run: inject the fault scenario "
+      "described\n"
+      "                        by FILE (host kills, lossy channels, bounded\n"
+      "                        queues; see docs/FAULTS.md) and report the\n"
+      "                        degradation accounting\n"
       "  --help, -h            show this help and exit\n"
       "\n"
       "The ledger formats are documented in docs/METRICS.md.\n",
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool trace_events = false;
   std::string stats_path;
+  std::string fault_plan_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
@@ -148,6 +154,10 @@ int main(int argc, char** argv) {
       stats = true;
       trace_events = true;
       if (argv[i][14] == '=') stats_path = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      fault_plan_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+      fault_plan_path = argv[i] + 13;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -224,6 +234,13 @@ int main(int argc, char** argv) {
     PacketTraceGenerator gen(tc);
     ClusterRuntime runtime(&graph, &*plan, cluster);
     if (trace_events) runtime.set_trace_events_enabled(true);
+    if (!fault_plan_path.empty()) {
+      auto fault_plan = FaultPlan::Load(fault_plan_path);
+      if (!fault_plan.ok()) return Fail(fault_plan.status());
+      std::printf("Fault plan (%s):\n%s\n", fault_plan_path.c_str(),
+                  fault_plan->ToString().c_str());
+      runtime.set_fault_plan(std::move(*fault_plan));
+    }
     Status st = runtime.Build(ps);
     if (!st.ok()) return Fail(st);
     Tuple t;
@@ -247,6 +264,36 @@ int main(int argc, char** argv) {
     std::printf("Output rows per sink:\n");
     for (const auto& [name, batch] : runtime.result().outputs) {
       std::printf("  %-20s %zu\n", name.c_str(), batch.size());
+    }
+    if (const FaultController* faults = runtime.fault_controller()) {
+      FaultSection section = faults->section(cpu.cycles_per_remote_tuple);
+      std::printf("\nFault accounting:\n");
+      std::printf("  hosts killed:            %zu\n",
+                  section.hosts_killed.size());
+      std::printf("  source tuples lost:      %llu\n",
+                  static_cast<unsigned long long>(section.source_tuples_lost));
+      std::printf("  net tuples lost:         %llu\n",
+                  static_cast<unsigned long long>(section.net_tuples_lost));
+      std::printf("  flush tuples suppressed: %llu\n",
+                  static_cast<unsigned long long>(
+                      section.flush_tuples_suppressed));
+      std::printf("  panes invalidated:       %llu\n",
+                  static_cast<unsigned long long>(section.panes_invalidated));
+      std::printf("  repartitions:            %llu (cost %.3g model cycles)\n",
+                  static_cast<unsigned long long>(section.repartitions),
+                  section.repartition_cost_cycles);
+      for (const FaultChannelRow& ch : section.channels) {
+        std::printf(
+            "  channel %d->%d: sent %llu delivered %llu dropped %llu "
+            "dup_extras %llu reordered %llu queue_dropped %llu\n",
+            ch.from_host, ch.to_host,
+            static_cast<unsigned long long>(ch.sent),
+            static_cast<unsigned long long>(ch.delivered),
+            static_cast<unsigned long long>(ch.dropped),
+            static_cast<unsigned long long>(ch.dup_extras),
+            static_cast<unsigned long long>(ch.reordered),
+            static_cast<unsigned long long>(ch.queue_dropped));
+      }
     }
     if (stats) {
       RunLedgerOptions lopts;

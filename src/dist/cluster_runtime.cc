@@ -2,9 +2,32 @@
 
 #include <optional>
 
+#include "partition/advisor.h"
 #include "types/serde.h"
 
 namespace streampart {
+
+Result<const HostMetrics*> ClusterRunResult::CheckedHost(int host) const {
+  if (host < 0 || host >= static_cast<int>(hosts.size())) {
+    return Status::InvalidArgument("host ", host, " out of range (cluster has ",
+                                   hosts.size(), " hosts)");
+  }
+  for (int dead : dead_hosts) {
+    if (dead == host) {
+      return Status::RuntimeError(
+          "host ", host,
+          " was killed by fault injection; its ledger row stops at the kill");
+    }
+  }
+  return &hosts[host];
+}
+
+const HostMetrics& ClusterRunResult::aggregator(int aggregator_host) const {
+  Result<const HostMetrics*> checked = CheckedHost(aggregator_host);
+  SP_CHECK(checked.ok()) << "aggregator unavailable: "
+                         << checked.status().ToString();
+  return **checked;
+}
 
 double ClusterRunResult::LeafCpuSeconds(const CpuCostParams& params,
                                         int aggregator_host) const {
@@ -28,6 +51,18 @@ ClusterRuntime::ClusterRuntime(const QueryGraph* graph, const DistPlan* plan,
 
 void ClusterRuntime::set_trace_events_enabled(bool enabled) {
   for (auto& reg : host_stats_) reg->set_events_enabled(enabled);
+}
+
+void ClusterRuntime::set_fault_plan(FaultPlan plan) {
+  SP_CHECK(!built_) << "set_fault_plan must precede Build";
+  if (plan.empty()) {
+    // An empty plan is inert by constraint: no controller exists, so every
+    // execution path is byte-identical to a run without the call.
+    faults_.reset();
+    return;
+  }
+  faults_ =
+      std::make_unique<FaultController>(std::move(plan), config_.num_hosts);
 }
 
 void ClusterRuntime::AccountTransfer(int from_host, int to_host,
@@ -118,17 +153,26 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     }
     SP_ASSIGN_OR_RETURN(partitioner_,
                         MakePartitioner(actual_ps, source_schema, num_parts));
+    // Retained for fault recovery: rebuilding the partitioner over
+    // surviving partitions needs the schema, the current set, the merged
+    // partition placement, and the epoch column kills key off.
+    source_schema_ = source_schema;
+    actual_ps_ = actual_ps;
+    partition_host_merged_.assign(num_parts, 0);
+    for (const auto& [name, hosts] : partition_hosts_) {
+      for (size_t p = 0; p < hosts.size(); ++p) {
+        partition_host_merged_[p] = hosts[p];
+      }
+    }
+    std::vector<size_t> temporal = source_schema->TemporalFieldIndexes();
+    source_time_idx_ =
+        temporal.empty() ? -1 : static_cast<int>(temporal.front());
   }
+  stats_folded_.assign(plan_->size(), 0);
 
   // Pass 2: wire edges. Cross-host edges are collected per producer so each
   // producer output is serialized and decoded exactly once no matter how
   // many remote consumers it feeds; traffic is still accounted per edge.
-  struct RemoteEdge {
-    Operator* consumer;
-    size_t port;
-    int to_host;
-  };
-  std::map<int, std::vector<RemoteEdge>> remote_edges;  // producer id -> edges
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
     if (op.kind == DistOpKind::kSource) continue;
@@ -145,34 +189,81 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
       if (producer.host == op.host) {
         prod_instance->AddConsumer(consumer, port);
       } else {
-        remote_edges[child].push_back(RemoteEdge{consumer, port, op.host});
-        prod_instance->AddFinishHook(
-            [consumer, port]() { consumer->Finish(port); });
+        int from = producer.host;
+        int to = op.host;
+        remote_edges_[child].push_back(RemoteEdge{consumer, port, to});
+        ClusterRuntime* self = this;
+        prod_instance->AddFinishHook([self, consumer, port, from, to]() {
+          // Deliver anything a degraded channel still holds before the port
+          // sees end-of-stream; otherwise held tuples arrive late.
+          if (self->faults_active()) self->faults_->FlushChannel(from, to);
+          consumer->Finish(port);
+        });
       }
     }
   }
-  for (auto& [child, edges] : remote_edges) {
+  for (auto& [child, edges] : remote_edges_) {
     // One channel per producer: serialize across the simulated network (the
     // receivers see genuinely decoded tuples), account the encoded bytes on
     // every edge, then deliver the single decoded copy to all consumers.
     Operator* prod_instance = instances_[child].get();
     int from = plan_->op(child).host;
     ClusterRuntime* self = this;
-    std::vector<RemoteEdge> shared_edges = std::move(edges);
+    const std::vector<RemoteEdge>* shared_edges = &edges;
     prod_instance->AddSink(
         [self, from, shared_edges](const Tuple& t) {
+          if (self->faults_active()) {
+            if (!self->faults_->host_alive(from)) {
+              // The producer's host died; its flush output is suppressed at
+              // the host boundary and accounted, not silently vanished.
+              for (size_t i = 0; i < shared_edges->size(); ++i) {
+                self->faults_->CountFlushSuppressed();
+              }
+              return;
+            }
+            auto faulty_decoded = RoundTripTuple(t);
+            SP_CHECK(faulty_decoded.ok())
+                << faulty_decoded.status().ToString();
+            for (const RemoteEdge& e : *shared_edges) {
+              self->DeliverRemoteFaulty(from, e.to_host, t, *faulty_decoded,
+                                        e.consumer, e.port);
+            }
+            return;
+          }
           auto decoded = RoundTripTuple(t);
           SP_CHECK(decoded.ok()) << decoded.status().ToString();
-          for (const RemoteEdge& e : shared_edges) {
+          for (const RemoteEdge& e : *shared_edges) {
             self->AccountTransfer(from, e.to_host, t);
             e.consumer->Push(e.port, *decoded);
           }
         },
         [self, from, shared_edges](TupleSpan batch) {
+          if (self->faults_active()) {
+            // Under faults the batch fast path degenerates to per-tuple
+            // deliveries: kills and channel faults act at tuple
+            // granularity, and the per-tuple route keeps both execution
+            // paths on the same deterministic fault sequence.
+            for (const Tuple& t : batch) {
+              if (!self->faults_->host_alive(from)) {
+                for (size_t i = 0; i < shared_edges->size(); ++i) {
+                  self->faults_->CountFlushSuppressed();
+                }
+                continue;
+              }
+              auto faulty_decoded = RoundTripTuple(t);
+              SP_CHECK(faulty_decoded.ok())
+                  << faulty_decoded.status().ToString();
+              for (const RemoteEdge& e : *shared_edges) {
+                self->DeliverRemoteFaulty(from, e.to_host, t, *faulty_decoded,
+                                          e.consumer, e.port);
+              }
+            }
+            return;
+          }
           size_t enc_bytes = 0;
           auto decoded = RoundTripBatch(batch, &enc_bytes);
           SP_CHECK(decoded.ok()) << decoded.status().ToString();
-          for (const RemoteEdge& e : shared_edges) {
+          for (const RemoteEdge& e : *shared_edges) {
             self->AccountTransferBatch(from, e.to_host, batch.size(),
                                        enc_bytes);
             e.consumer->PushBatch(e.port, *decoded);
@@ -180,26 +271,89 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
         });
   }
 
-  // Pass 3: sinks collect plan outputs.
+  // Pass 3: sinks collect plan outputs (suppressed and accounted when the
+  // sink's host died).
   for (int id : plan_->Sinks()) {
     const DistOperator& op = plan_->op(id);
     if (instances_[id] == nullptr) continue;
     std::string name = op.stream_name;
+    int sink_host = op.host;
+    ClusterRuntime* self = this;
     ClusterRunResult* result = &result_;
-    instances_[id]->AddSink([result, name](const Tuple& t) {
+    instances_[id]->AddSink([self, result, name, sink_host](const Tuple& t) {
+      if (self->faults_active() && !self->faults_->host_alive(sink_host)) {
+        self->faults_->CountFlushSuppressed();
+        return;
+      }
       result->outputs[name].push_back(t);
     });
   }
   return Status::OK();
 }
 
+void ClusterRuntime::DeliverRemoteFaulty(int from_host, int to_host,
+                                         const Tuple& wire,
+                                         const Tuple& decoded,
+                                         Operator* consumer, size_t port) {
+  size_t bytes = EncodedTupleSize(wire);
+  // Sender-side accounting happens at send time — the tuple left the host
+  // whether or not the channel later drops it. (The healthy path accounts
+  // both sides together; under faults the two sides legitimately diverge.)
+  result_.hosts[from_host].net_tuples_out += 1;
+  result_.hosts[from_host].net_bytes_out += bytes;
+  FaultChannel* channel = faults_->FindChannel(from_host, to_host);
+  if (channel == nullptr) {
+    // First use of this directed pair: the spec is resolved (and, when a
+    // channel is created, its counters bound in the sender's registry)
+    // lazily; healthy pairs never materialize a telemetry scope.
+    channel = faults_->ChannelFor(from_host, to_host, [&]() {
+      return telemetry_enabled_
+                 ? host_stats_[from_host]->GetScope(
+                       "channel#" + std::to_string(from_host) + "->" +
+                       std::to_string(to_host))
+                 : nullptr;
+    });
+  }
+  if (channel == nullptr) {
+    ReceiveRemote(to_host, decoded, bytes, consumer, port);
+    return;
+  }
+  channel->Send(decoded, [this, to_host, bytes, consumer, port](
+                             const Tuple& t) {
+    return ReceiveRemote(to_host, t, bytes, consumer, port);
+  });
+}
+
+bool ClusterRuntime::ReceiveRemote(int to_host, const Tuple& tuple,
+                                   size_t bytes, Operator* consumer,
+                                   size_t port) {
+  if (!faults_->host_alive(to_host)) {
+    faults_->CountNetTupleLost();
+    return false;
+  }
+  result_.hosts[to_host].net_tuples_in += 1;
+  result_.hosts[to_host].net_bytes_in += bytes;
+  consumer->Push(port, tuple);
+  return true;
+}
+
 void ClusterRuntime::PushSource(const std::string& source,
                                 const Tuple& tuple) {
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
+  if (faults_active()) ObserveSourceTime(tuple);
   int p = partitioner_->PartitionOf(tuple);
+  // After a repartition the partitioner spans only surviving partitions;
+  // map its index back into the original partition space.
+  if (!survivor_map_.empty()) p = survivor_map_[p];
   if (p >= static_cast<int>(it->second.size())) return;
   int src_host = partition_hosts_.at(source)[p];
+  if (faults_active() && !faults_->host_alive(src_host)) {
+    // Routed to a dead partition (recovery off, or every host dead): the
+    // tuple is lost at the tap and accounted.
+    faults_->CountSourceTupleLost();
+    return;
+  }
   result_.hosts[src_host].source_tuples++;
   result_.source_tuples++;
   // Serialize at most once per tuple: traffic is accounted on every remote
@@ -207,12 +361,17 @@ void ClusterRuntime::PushSource(const std::string& source,
   std::optional<Tuple> decoded;
   for (const SourceEdge& edge : it->second[p]) {
     if (edge.consumer_host != src_host) {
-      AccountTransfer(src_host, edge.consumer_host, tuple);
       if (!decoded.has_value()) {
         auto rt = RoundTripTuple(tuple);
         SP_CHECK(rt.ok()) << rt.status().ToString();
         decoded = std::move(*rt);
       }
+      if (faults_active()) {
+        DeliverRemoteFaulty(src_host, edge.consumer_host, tuple, *decoded,
+                            edge.consumer, edge.port);
+        continue;
+      }
+      AccountTransfer(src_host, edge.consumer_host, tuple);
       edge.consumer->Push(edge.port, *decoded);
     } else {
       edge.consumer->Push(edge.port, tuple);
@@ -222,6 +381,14 @@ void ClusterRuntime::PushSource(const std::string& source,
 
 void ClusterRuntime::PushSourceBatch(const std::string& source,
                                      TupleSpan batch) {
+  if (faults_active()) {
+    // Kills act at tuple granularity (a host can die mid-batch) and
+    // channel faults must draw the same deterministic sequence on both
+    // execution paths, so the batched route degenerates to per-tuple
+    // delivery while faults are live.
+    for (const Tuple& tuple : batch) PushSource(source, tuple);
+    return;
+  }
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
   const auto& partitions = it->second;
@@ -269,6 +436,10 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
 void ClusterRuntime::FinishSources() {
   if (finished_) return;
   finished_ = true;
+  // Deliver everything degraded channels still hold before any port sees
+  // end-of-stream (the per-edge finish hooks flush again, harmlessly, for
+  // tuples emitted during the flush cascade itself).
+  if (faults_active()) faults_->FlushAll();
   for (auto& [name, partitions] : routing_) {
     for (auto& edges : partitions) {
       for (const SourceEdge& edge : edges) {
@@ -277,16 +448,112 @@ void ClusterRuntime::FinishSources() {
     }
   }
   // Fold operator work into host ledgers; merges are accounted separately
-  // (they forward tuples rather than processing them).
+  // (they forward tuples rather than processing them). Operators on killed
+  // hosts were folded at kill time — their post-death (suppressed) flush
+  // work must not inflate the ledger.
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
     if (instances_[id] == nullptr) continue;
+    if (!stats_folded_.empty() && stats_folded_[id]) continue;
     if (op.kind == DistOpKind::kMerge) {
       result_.hosts[op.host].merge_ops += instances_[id]->stats();
     } else {
       result_.hosts[op.host].ops += instances_[id]->stats();
     }
   }
+}
+
+void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
+  if (source_time_idx_ < 0 ||
+      source_time_idx_ >= static_cast<int>(tuple.values().size())) {
+    return;
+  }
+  uint64_t time = tuple.at(source_time_idx_).AsUint64();
+  for (int host : faults_->OnSourceTime(time)) KillHost(host);
+}
+
+void ClusterRuntime::KillHost(int host) {
+  if (host < 0 || host >= config_.num_hosts) return;
+  if (!faults_->host_alive(host)) return;
+  // Deliver in-flight channel tuples while the host can still receive;
+  // everything sent before the kill instant was already "on the wire".
+  faults_->FlushAll();
+  // Record window-invalidation markers for the open state the host loses,
+  // and fold its work ledger now — post-death flush work is suppressed and
+  // must not be accounted.
+  for (int id : plan_->TopoOrder()) {
+    const DistOperator& op = plan_->op(id);
+    if (op.host != host || instances_[id] == nullptr) continue;
+    Operator::OpenState open = instances_[id]->open_state();
+    faults_->RecordInvalidation(
+        host, instances_[id]->label() + "#" + std::to_string(id), open.windows,
+        open.tuples);
+    if (op.kind == DistOpKind::kMerge) {
+      result_.hosts[host].merge_ops += instances_[id]->stats();
+    } else {
+      result_.hosts[host].ops += instances_[id]->stats();
+    }
+    stats_folded_[id] = true;
+  }
+  faults_->MarkDead(host);
+  result_.dead_hosts.push_back(host);
+  // Downstream ports fed by the dead host would otherwise wait for an EOS
+  // that can never arrive: finish them now (Finish is idempotent per port,
+  // so the end-of-run pass is unaffected).
+  for (const auto& [child, edges] : remote_edges_) {
+    if (plan_->op(child).host != host) continue;
+    for (const RemoteEdge& e : edges) {
+      if (!faults_->host_alive(e.to_host)) continue;
+      faults_->FlushChannel(host, e.to_host);
+      e.consumer->Finish(e.port);
+    }
+  }
+  for (auto& [name, partitions] : routing_) {
+    const std::vector<int>& hosts = partition_hosts_.at(name);
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (p >= hosts.size() || hosts[p] != host) continue;
+      for (const SourceEdge& edge : partitions[p]) {
+        if (!faults_->host_alive(edge.consumer_host)) continue;
+        edge.consumer->Finish(edge.port);
+      }
+    }
+  }
+  if (faults_->plan().repartition) Repartition();
+}
+
+void ClusterRuntime::Repartition() {
+  // Surviving partitions of the shared partition space, in order.
+  std::vector<int> survivors;
+  for (size_t p = 0; p < partition_host_merged_.size(); ++p) {
+    if (faults_->host_alive(partition_host_merged_[p])) {
+      survivors.push_back(static_cast<int>(p));
+    }
+  }
+  if (survivors.empty() || source_schema_ == nullptr) {
+    // Nothing to route to: keep the old map; routed tuples count lost.
+    return;
+  }
+  // Consult the advisor: the optimal set is a workload property, so this
+  // usually confirms the current set and the recovery move is a rebuild of
+  // the hash-slice map over the survivors.
+  PartitionSet ps = actual_ps_;
+  auto advice = AdviseRepartition(*graph_, actual_ps_);
+  if (advice.ok()) ps = advice->recommended;
+  auto rebuilt = MakePartitioner(ps, source_schema_,
+                                 static_cast<int>(survivors.size()));
+  if (!rebuilt.ok()) return;  // keep the old map rather than halt the run
+  partitioner_ = std::move(*rebuilt);
+  survivor_map_ = std::move(survivors);
+  actual_ps_ = ps;
+  // Survivor-side open state is realigned by the new map; its size prices
+  // the repartition in model cycles at ledger time.
+  uint64_t state_tuples = 0;
+  for (int id : plan_->TopoOrder()) {
+    const DistOperator& op = plan_->op(id);
+    if (instances_[id] == nullptr || !faults_->host_alive(op.host)) continue;
+    state_tuples += instances_[id]->open_state().tuples;
+  }
+  faults_->RecordRepartition(state_tuples);
 }
 
 RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
@@ -305,6 +572,9 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
   }
   for (const auto& [name, batch] : result_.outputs) {
     ledger.AddOutput(name, batch.size());
+  }
+  if (faults_active()) {
+    ledger.SetFaults(faults_->section(params.cycles_per_remote_tuple));
   }
   return ledger;
 }

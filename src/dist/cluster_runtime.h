@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/fault.h"
 #include "dist/partitioner.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
@@ -31,11 +32,19 @@ struct ClusterRunResult {
   std::map<std::string, TupleBatch> outputs;
   /// Total source tuples pushed.
   uint64_t source_tuples = 0;
+  /// Hosts killed by fault injection, in kill order (empty when healthy).
+  std::vector<int> dead_hosts;
 
-  /// \brief Metrics of the aggregator host.
-  const HostMetrics& aggregator(int aggregator_host = 0) const {
-    return hosts[aggregator_host];
-  }
+  /// \brief Checked host lookup: Status instead of UB on an out-of-range
+  /// host, and a loud error when the host was killed mid-run (its ledger
+  /// row stops at the kill and must not be read as a full-run measurement).
+  Result<const HostMetrics*> CheckedHost(int host) const;
+
+  /// \brief Metrics of the aggregator host. Aborts (SP_CHECK) when the
+  /// aggregator is out of range or died — a dead aggregator must fail
+  /// loudly, not return a silently truncated row.
+  const HostMetrics& aggregator(int aggregator_host = 0) const;
+
   /// \brief Combined CPU-seconds of all non-aggregator (leaf) hosts.
   double LeafCpuSeconds(const CpuCostParams& params,
                         int aggregator_host = 0) const;
@@ -55,6 +64,15 @@ class ClusterRuntime {
   /// \brief Opt-in structured trace events on every host registry
   /// (--trace-events). Must be called before data flows.
   void set_trace_events_enabled(bool enabled);
+
+  /// \brief Attaches a fault plan (dist/fault.h). Must be called before
+  /// Build. An empty plan leaves every execution path byte-identical to a
+  /// run without the call; a non-empty plan routes cross-host traffic
+  /// through the fault controller and enables kills/recovery.
+  void set_fault_plan(FaultPlan plan);
+
+  /// \brief The fault controller, or nullptr when no plan was attached.
+  const FaultController* fault_controller() const { return faults_.get(); }
 
   /// \brief Instantiates operators and channels; builds the partitioner for
   /// \p actual_ps (round-robin when empty).
@@ -98,12 +116,39 @@ class ClusterRuntime {
     size_t port;
     int consumer_host;
   };
+  struct RemoteEdge {
+    Operator* consumer;
+    size_t port;
+    int to_host;
+  };
 
   void AccountTransfer(int from_host, int to_host, const Tuple& tuple);
   /// Batched ledger update: \p n tuples totalling \p bytes encoded bytes
   /// moved from \p from_host to \p to_host.
   void AccountTransferBatch(int from_host, int to_host, uint64_t n,
                             size_t bytes);
+
+  /// True when fault injection is live (plan attached and non-empty).
+  bool faults_active() const { return faults_ != nullptr && faults_->active(); }
+  /// Routes one producer emission across a degraded (or healthy) cross-host
+  /// edge. Only called when faults are active; \p wire is the undecoded
+  /// original (sized for accounting), \p decoded the post-serde copy.
+  void DeliverRemoteFaulty(int from_host, int to_host, const Tuple& wire,
+                           const Tuple& decoded, Operator* consumer,
+                           size_t port);
+  /// Receiving side of a faulty delivery: accounts and pushes unless the
+  /// destination host is dead. Returns delivery success.
+  bool ReceiveRemote(int to_host, const Tuple& tuple, size_t bytes,
+                     Operator* consumer, size_t port);
+  /// Kills \p host now: records window invalidations, folds its ledger,
+  /// finishes downstream ports it feeds, and (if the plan allows)
+  /// repartitions over the survivors.
+  void KillHost(int host);
+  /// Rebuilds the partitioner over the surviving partitions.
+  void Repartition();
+  /// Source-time hook: drains channel queues at epoch boundaries and
+  /// executes kills that have come due.
+  void ObserveSourceTime(const Tuple& tuple);
 
   const QueryGraph* graph_;
   const DistPlan* plan_;
@@ -125,6 +170,25 @@ class ClusterRuntime {
   bool telemetry_enabled_ = true;
   bool built_ = false;
   bool finished_ = false;
+
+  // --- Fault injection (all empty/null on the healthy path) ---
+  std::unique_ptr<FaultController> faults_;
+  /// Cross-host edges per producer id (kept for kill-time port finishing).
+  std::map<int, std::vector<RemoteEdge>> remote_edges_;
+  /// Shared source schema and partition set Build resolved (for rebuilding
+  /// the partitioner over survivors).
+  SchemaPtr source_schema_;
+  PartitionSet actual_ps_;
+  /// Index of the source schema's temporal column (-1: no epoch notion,
+  /// kills never trigger).
+  int source_time_idx_ = -1;
+  /// Merged partition -> host map across streams (plan placement).
+  std::vector<int> partition_host_merged_;
+  /// After a repartition: new partitioner index -> original partition.
+  /// Empty while the original partitioner is in place.
+  std::vector<int> survivor_map_;
+  /// Operator ids whose stats were already folded at kill time.
+  std::vector<char> stats_folded_;
 };
 
 }  // namespace streampart

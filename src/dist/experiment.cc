@@ -34,6 +34,7 @@ Result<ExperimentCell> ExperimentRunner::RunCell(
       DistPlan plan,
       OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
   ClusterRuntime runtime(graph_, &plan, cluster);
+  if (!config.faults.empty()) runtime.set_fault_plan(config.faults);
   SP_RETURN_NOT_OK(runtime.Build(config.ps));
   if (batch_size == 0) {
     for (const Tuple& t : trace_) runtime.PushSource(source_, t);

@@ -29,6 +29,9 @@ struct ExperimentConfig {
   /// Source partitioning; empty = round-robin (query-independent).
   PartitionSet ps;
   OptimizerOptions optimizer;
+  /// Fault scenario (dist/fault.h); the default (empty) plan injects
+  /// nothing and leaves the run byte-identical to a fault-free one.
+  FaultPlan faults;
 };
 
 /// \brief Measurements of one (configuration, cluster size) cell.

@@ -1,0 +1,405 @@
+#include "dist/fault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace streampart {
+namespace {
+
+/// Parses one `key=value` token; returns false when the token has no '='.
+bool SplitKeyValue(std::string_view token, std::string_view* key,
+                   std::string_view* value) {
+  size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+Result<double> ParseProbability(int line_no, std::string_view key,
+                                std::string_view value) {
+  std::string buf(value);
+  errno = 0;
+  char* end = nullptr;
+  double p = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault plan line ", line_no,
+                                   ": bad number for '", std::string(key),
+                                   "': '", buf, "'");
+  }
+  // The negated form rejects NaN, which compares false against everything.
+  if (!(p >= 0 && p <= 1)) {
+    return Status::InvalidArgument("fault plan line ", line_no, ": '",
+                                   std::string(key),
+                                   "' must be a probability in [0,1], got ",
+                                   buf);
+  }
+  return p;
+}
+
+Result<uint64_t> ParseUint(int line_no, std::string_view key,
+                           std::string_view value) {
+  std::string buf(value);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end == buf.c_str() || *end != '\0' ||
+      buf.find('-') != std::string::npos) {
+    return Status::InvalidArgument("fault plan line ", line_no,
+                                   ": bad unsigned integer for '",
+                                   std::string(key), "': '", buf, "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+/// Host id or the -1 wildcard (written `*` or `-1`).
+Result<int> ParseHost(int line_no, std::string_view key,
+                      std::string_view value) {
+  if (value == "*" || value == "-1") return -1;
+  SP_ASSIGN_OR_RETURN(uint64_t v, ParseUint(line_no, key, value));
+  if (v > 1000000) {
+    return Status::InvalidArgument("fault plan line ", line_no,
+                                   ": implausible host id for '",
+                                   std::string(key), "'");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    // Tokenize on whitespace.
+    std::vector<std::string_view> tokens;
+    size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      if (i > start) tokens.push_back(line.substr(start, i - start));
+    }
+    if (tokens.empty()) continue;
+    std::string_view directive = tokens[0];
+
+    auto bad = [&](const std::string& why) {
+      return Status::InvalidArgument("fault plan line ", line_no, ": ", why);
+    };
+
+    if (directive == "seed") {
+      if (tokens.size() != 2) return bad("expected 'seed <n>'");
+      SP_ASSIGN_OR_RETURN(plan.seed, ParseUint(line_no, "seed", tokens[1]));
+    } else if (directive == "recover") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        return bad("expected 'recover on|off'");
+      }
+      plan.repartition = tokens[1] == "on";
+    } else if (directive == "kill") {
+      HostKillSpec kill;
+      bool have_host = false, have_epoch = false;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'kill'");
+        }
+        if (key == "host") {
+          SP_ASSIGN_OR_RETURN(uint64_t h, ParseUint(line_no, key, value));
+          kill.host = static_cast<int>(h);
+          have_host = true;
+        } else if (key == "epoch") {
+          SP_ASSIGN_OR_RETURN(kill.epoch, ParseUint(line_no, key, value));
+          have_epoch = true;
+        } else {
+          return bad("unknown kill key '" + std::string(key) + "'");
+        }
+      }
+      if (!have_host || !have_epoch) {
+        return bad("'kill' needs host= and epoch=");
+      }
+      plan.kills.push_back(kill);
+    } else if (directive == "channel") {
+      ChannelFaultSpec chan;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'channel'");
+        }
+        if (key == "from") {
+          SP_ASSIGN_OR_RETURN(chan.from_host, ParseHost(line_no, key, value));
+        } else if (key == "to") {
+          SP_ASSIGN_OR_RETURN(chan.to_host, ParseHost(line_no, key, value));
+        } else if (key == "drop") {
+          SP_ASSIGN_OR_RETURN(chan.drop_p, ParseProbability(line_no, key, value));
+        } else if (key == "dup") {
+          SP_ASSIGN_OR_RETURN(chan.dup_p, ParseProbability(line_no, key, value));
+        } else if (key == "reorder") {
+          SP_ASSIGN_OR_RETURN(chan.reorder_p, ParseProbability(line_no, key, value));
+        } else if (key == "queue") {
+          SP_ASSIGN_OR_RETURN(uint64_t cap, ParseUint(line_no, key, value));
+          chan.queue_capacity = static_cast<size_t>(cap);
+        } else {
+          return bad("unknown channel key '" + std::string(key) + "'");
+        }
+      }
+      plan.channels.push_back(chan);
+    } else {
+      return bad("unknown directive '" + std::string(directive) + "'");
+    }
+  }
+  return plan;
+}
+
+Result<FaultPlan> FaultPlan::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open fault plan file: ", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  out << "seed " << seed << "\n";
+  out << "recover " << (repartition ? "on" : "off") << "\n";
+  for (const HostKillSpec& k : kills) {
+    out << "kill host=" << k.host << " epoch=" << k.epoch << "\n";
+  }
+  auto host_str = [](int h) {
+    return h < 0 ? std::string("*") : std::to_string(h);
+  };
+  char num[64];
+  for (const ChannelFaultSpec& c : channels) {
+    out << "channel from=" << host_str(c.from_host)
+        << " to=" << host_str(c.to_host);
+    std::snprintf(num, sizeof(num), "%.10g", c.drop_p);
+    out << " drop=" << num;
+    std::snprintf(num, sizeof(num), "%.10g", c.dup_p);
+    out << " dup=" << num;
+    std::snprintf(num, sizeof(num), "%.10g", c.reorder_p);
+    out << " reorder=" << num;
+    out << " queue=" << c.queue_capacity << "\n";
+  }
+  return out.str();
+}
+
+FaultChannel::FaultChannel(const ChannelFaultSpec& spec, int from_host,
+                           int to_host, uint64_t plan_seed)
+    : spec_(spec),
+      rng_(HashCombine(HashCombine(Mix64(plan_seed),
+                                   static_cast<uint64_t>(from_host)),
+                       static_cast<uint64_t>(to_host))) {
+  row_.from_host = from_host;
+  row_.to_host = to_host;
+}
+
+void FaultChannel::BindTelemetry(StatsScope* scope) {
+  if (scope == nullptr) return;
+  t_sent_ = scope->counter(stats::kChanSent);
+  t_delivered_ = scope->counter(stats::kChanDelivered);
+  t_dropped_ = scope->counter(stats::kChanDropped);
+  t_dup_extras_ = scope->counter(stats::kChanDupExtras);
+  t_reordered_ = scope->counter(stats::kChanReordered);
+  t_queue_dropped_ = scope->counter(stats::kChanQueueDropped);
+}
+
+void FaultChannel::Send(const Tuple& tuple, const DeliverFn& deliver) {
+  ++row_.sent;
+  if (t_sent_) t_sent_->Inc();
+  // Stage 1: drop. Zero-rate stages skip the RNG draw entirely so an
+  // all-zero channel is observationally identical to a healthy edge.
+  if (spec_.drop_p > 0 && rng_.Chance(spec_.drop_p)) {
+    ++row_.dropped;
+    if (t_dropped_) t_dropped_->Inc();
+    return;
+  }
+  // Stage 2: duplicate (one extra copy rides the rest of the pipeline).
+  int copies = 1;
+  if (spec_.dup_p > 0 && rng_.Chance(spec_.dup_p)) {
+    copies = 2;
+    ++row_.dup_extras;
+    if (t_dup_extras_) t_dup_extras_->Inc();
+  }
+  for (int c = 0; c < copies; ++c) {
+    // Stage 3: reorder via a one-slot hold — holding the current tuple and
+    // releasing it after the next one swaps adjacent deliveries.
+    if (spec_.reorder_p > 0) {
+      if (!held_.has_value() && rng_.Chance(spec_.reorder_p)) {
+        held_ = Entry{tuple, deliver};
+        ++row_.reordered;
+        if (t_reordered_) t_reordered_->Inc();
+        continue;
+      }
+      Output(Entry{tuple, deliver});
+      if (held_.has_value()) {
+        Entry h = std::move(*held_);
+        held_.reset();
+        Output(std::move(h));
+      }
+    } else {
+      Output(Entry{tuple, deliver});
+    }
+  }
+}
+
+void FaultChannel::Output(Entry entry) {
+  if (spec_.queue_capacity == 0) {
+    DeliverNow(entry);
+    return;
+  }
+  // Bounded store-and-forward queue with a drop-oldest backpressure policy.
+  if (queue_.size() >= spec_.queue_capacity) {
+    queue_.pop_front();
+    ++row_.queue_dropped;
+    if (t_queue_dropped_) t_queue_dropped_->Inc();
+  }
+  queue_.push_back(std::move(entry));
+}
+
+void FaultChannel::DeliverNow(const Entry& entry) {
+  if (!entry.deliver(entry.tuple)) {
+    return;  // dead receiver: controller counts the loss
+  }
+  ++row_.delivered;
+  if (t_delivered_) t_delivered_->Inc();
+}
+
+void FaultChannel::DrainQueue() {
+  while (!queue_.empty()) {
+    Entry e = std::move(queue_.front());
+    queue_.pop_front();
+    DeliverNow(e);
+  }
+}
+
+void FaultChannel::Flush() {
+  DrainQueue();
+  if (held_.has_value()) {
+    Entry h = std::move(*held_);
+    held_.reset();
+    Output(std::move(h));
+    DrainQueue();
+  }
+}
+
+FaultController::FaultController(FaultPlan plan, int num_hosts)
+    : plan_(std::move(plan)),
+      active_(!plan_.empty()),
+      alive_(static_cast<size_t>(num_hosts), true),
+      kills_(plan_.kills) {
+  // Stable sort keeps plan order among kills sharing an epoch.
+  std::stable_sort(kills_.begin(), kills_.end(),
+                   [](const HostKillSpec& a, const HostKillSpec& b) {
+                     return a.epoch < b.epoch;
+                   });
+}
+
+std::vector<int> FaultController::OnSourceTime(uint64_t time) {
+  std::vector<int> due;
+  if (!active_) return due;
+  if (current_epoch_.has_value() && time <= *current_epoch_) return due;
+  current_epoch_ = time;
+  // Epoch boundary: bounded queues drain before anything dies.
+  DrainAllQueues();
+  while (kills_done_ < kills_.size() && kills_[kills_done_].epoch <= time) {
+    int host = kills_[kills_done_].host;
+    ++kills_done_;
+    if (host_alive(host)) due.push_back(host);
+  }
+  return due;
+}
+
+const ChannelFaultSpec* FaultController::FindSpec(int from_host,
+                                                 int to_host) const {
+  const ChannelFaultSpec* wildcard = nullptr;
+  for (const ChannelFaultSpec& spec : plan_.channels) {
+    bool from_ok = spec.from_host < 0 || spec.from_host == from_host;
+    bool to_ok = spec.to_host < 0 || spec.to_host == to_host;
+    if (!from_ok || !to_ok) continue;
+    if (spec.from_host == from_host && spec.to_host == to_host) return &spec;
+    if (wildcard == nullptr) wildcard = &spec;
+  }
+  return wildcard;
+}
+
+FaultChannel* FaultController::ChannelFor(
+    int from_host, int to_host,
+    const std::function<StatsScope*()>& make_scope) {
+  if (!active_) return nullptr;
+  auto it = channels_.find({from_host, to_host});
+  if (it != channels_.end()) return it->second.get();
+  const ChannelFaultSpec* spec = FindSpec(from_host, to_host);
+  if (spec == nullptr) return nullptr;
+  auto channel =
+      std::make_unique<FaultChannel>(*spec, from_host, to_host, plan_.seed);
+  if (make_scope) channel->BindTelemetry(make_scope());
+  FaultChannel* raw = channel.get();
+  channels_.emplace(std::make_pair(from_host, to_host), std::move(channel));
+  channel_order_.push_back(raw);
+  return raw;
+}
+
+FaultChannel* FaultController::FindChannel(int from_host, int to_host) {
+  auto it = channels_.find({from_host, to_host});
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+void FaultController::FlushChannel(int from_host, int to_host) {
+  if (FaultChannel* channel = FindChannel(from_host, to_host)) {
+    channel->Flush();
+  }
+}
+
+void FaultController::MarkDead(int host) {
+  SP_CHECK(host >= 0 && host < static_cast<int>(alive_.size()));
+  if (!alive_[host]) return;
+  alive_[host] = false;
+  section_.hosts_killed.push_back(host);
+}
+
+void FaultController::RecordInvalidation(int host, const std::string& scope,
+                                         uint64_t panes, uint64_t tuples) {
+  if (panes == 0 && tuples == 0) return;
+  section_.invalidations.push_back({host, scope, panes, tuples});
+  section_.panes_invalidated += panes;
+  section_.inflight_tuples_lost += tuples;
+}
+
+void FaultController::RecordRepartition(uint64_t state_tuples) {
+  ++section_.repartitions;
+  section_.repartition_state_tuples += state_tuples;
+}
+
+void FaultController::FlushAll() {
+  for (FaultChannel* channel : channel_order_) channel->Flush();
+}
+
+void FaultController::DrainAllQueues() {
+  for (auto& [key, channel] : channels_) channel->DrainQueue();
+}
+
+FaultSection FaultController::section(double cycles_per_state_tuple) const {
+  FaultSection out = section_;
+  out.active = active_;
+  out.repartition_cost_cycles =
+      static_cast<double>(out.repartition_state_tuples) *
+      cycles_per_state_tuple;
+  for (const FaultChannel* channel : channel_order_) {
+    out.channels.push_back(channel->row());
+  }
+  return out;
+}
+
+}  // namespace streampart

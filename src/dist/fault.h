@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file fault.h
+/// \brief Deterministic fault injection for the simulated cluster.
+///
+/// A FaultPlan describes what goes wrong during a run: leaf hosts killed at
+/// chosen epoch boundaries, cross-host channels degraded with per-tuple
+/// drop/duplicate/reorder probabilities, and bounded channel queues with a
+/// drop-oldest backpressure policy. The FaultController executes the plan
+/// inside ClusterRuntime and keeps exact accounting (metrics/report.h
+/// FaultSection) of every tuple lost, every open pane invalidated by a host
+/// death, and the model-cycle cost of repartitioning over the survivors.
+///
+/// Everything is seeded and deterministic: each channel draws from its own
+/// Rng seeded from (plan seed, from-host, to-host), so the fault pattern of
+/// one channel is independent of how many other channels exist and of the
+/// tuple interleaving across channels. Two runs of the same plan over the
+/// same trace produce byte-identical ledgers. An empty plan is inert — no
+/// RNG is ever constructed, no accounting recorded — so a fault-free run's
+/// ledger is byte-identical to one without the fault machinery at all.
+///
+/// docs/FAULTS.md documents the plan file format and recovery semantics.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Degradation of one directed cross-host channel. Host -1 is a
+/// wildcard matching every host, so `from=-1 to=-1` degrades all channels.
+struct ChannelFaultSpec {
+  int from_host = -1;
+  int to_host = -1;
+  double drop_p = 0;     ///< per-tuple loss probability
+  double dup_p = 0;      ///< per-tuple duplication probability (one extra copy)
+  double reorder_p = 0;  ///< per-tuple hold-back probability (adjacent swap)
+  /// When > 0, the channel stores-and-forwards through a bounded queue that
+  /// drains at epoch boundaries; overflow evicts the oldest entry.
+  size_t queue_capacity = 0;
+};
+
+/// \brief Abrupt kill of one host at an epoch boundary: the host dies
+/// before the first source tuple with temporal value >= epoch is routed.
+struct HostKillSpec {
+  int host = 0;
+  uint64_t epoch = 0;
+};
+
+/// \brief A complete, seeded fault scenario.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Rebuild the partitioner over surviving hosts on a kill (the Le Merrer
+  /// et al. recovery move). `recover off` in the plan file disables it, in
+  /// which case tuples routed to dead partitions are counted lost.
+  bool repartition = true;
+  std::vector<HostKillSpec> kills;
+  std::vector<ChannelFaultSpec> channels;
+
+  /// \brief True when the plan injects nothing (controller stays inert).
+  bool empty() const { return kills.empty() && channels.empty(); }
+
+  /// \brief Parses the line-based plan format (docs/FAULTS.md):
+  ///
+  ///     # comment
+  ///     seed 42
+  ///     recover off
+  ///     kill host=2 epoch=3
+  ///     channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64
+  static Result<FaultPlan> Parse(const std::string& text);
+
+  /// \brief Reads and parses a plan file.
+  static Result<FaultPlan> Load(const std::string& path);
+
+  /// \brief Renders the plan back into the file format (Parse(ToString())
+  /// round-trips).
+  std::string ToString() const;
+};
+
+/// \brief One degraded directed channel: the per-tuple fault pipeline
+/// drop -> duplicate -> reorder -> bounded queue, with exact accounting.
+///
+/// Deterministic composition: the channel owns an Rng seeded from
+/// (plan seed, from, to), and every probability stage skips the RNG draw
+/// entirely when its rate is zero — a channel configured with all-zero
+/// rates is observationally identical to a healthy edge.
+///
+/// Conservation invariant (asserted by the fault battery): while the
+/// receiver stays alive and after Flush(),
+///   delivered + dropped + queue_dropped == sent + dup_extras.
+class FaultChannel {
+ public:
+  /// Hands one tuple to the receiving host; returns false when the receiver
+  /// is dead (the tuple is counted net-lost by the controller, not
+  /// delivered). The function is supplied per Send — one (from, to) channel
+  /// serves every consumer edge of that directed pair — and rides along
+  /// with held/queued copies until they deliver.
+  using DeliverFn = std::function<bool(const Tuple&)>;
+
+  FaultChannel(const ChannelFaultSpec& spec, int from_host, int to_host,
+               uint64_t plan_seed);
+
+  /// \brief Pushes one tuple through the fault pipeline. Depending on the
+  /// stages it may deliver zero, one, or two copies now, or hold/queue
+  /// copies for later delivery.
+  void Send(const Tuple& tuple, const DeliverFn& deliver);
+
+  /// \brief Delivers everything queued in the bounded store-and-forward
+  /// queue (epoch boundary).
+  void DrainQueue();
+
+  /// \brief Drains the queue and releases any reorder-held tuple; called
+  /// before the receiving port finishes so no tuple is silently stranded.
+  void Flush();
+
+  int from_host() const { return row_.from_host; }
+  int to_host() const { return row_.to_host; }
+  const FaultChannelRow& row() const { return row_; }
+
+  /// \brief Binds per-channel counters (scope `channel#<from>-><to>` in the
+  /// sending host's registry). Optional; accounting also lives in row().
+  void BindTelemetry(StatsScope* scope);
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    DeliverFn deliver;
+  };
+
+  /// Post-reorder output stage: bounded queue or immediate delivery.
+  void Output(Entry entry);
+  void DeliverNow(const Entry& entry);
+
+  ChannelFaultSpec spec_;
+  FaultChannelRow row_;
+  Rng rng_;
+  std::optional<Entry> held_;  ///< reorder stage: one-slot hold
+  std::deque<Entry> queue_;    ///< bounded store-and-forward queue
+
+  // Telemetry instruments (null unless bound; see metrics/stats.h).
+  Counter* t_sent_ = nullptr;
+  Counter* t_delivered_ = nullptr;
+  Counter* t_dropped_ = nullptr;
+  Counter* t_dup_extras_ = nullptr;
+  Counter* t_reordered_ = nullptr;
+  Counter* t_queue_dropped_ = nullptr;
+};
+
+/// \brief Executes a FaultPlan: tracks host liveness, owns the degraded
+/// channels, and accumulates the ledger FaultSection. ClusterRuntime calls
+/// into it from its routing and cross-host delivery paths.
+class FaultController {
+ public:
+  FaultController(FaultPlan plan, int num_hosts);
+
+  /// \brief False for an empty plan: every hook is a no-op and the run is
+  /// byte-identical to one without the controller.
+  bool active() const { return active_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  bool host_alive(int host) const {
+    return host < 0 || host >= static_cast<int>(alive_.size()) || alive_[host];
+  }
+
+  /// \brief Source-time advance hook: when \p time enters a new epoch, all
+  /// bounded queues drain (epoch boundary), and the hosts whose kill epoch
+  /// has arrived are returned in plan order for the runtime to kill. Call
+  /// before routing the tuple carrying \p time.
+  std::vector<int> OnSourceTime(uint64_t time);
+
+  /// \brief The degraded channel for the directed pair, or nullptr when no
+  /// spec matches (healthy edge, zero overhead). Channels are created
+  /// lazily on first use from the first matching spec (an exact (from, to)
+  /// spec beats wildcards; among wildcards, spec order wins). \p make_scope
+  /// is invoked only when a channel is actually created, to bind its
+  /// counters (it may return null).
+  FaultChannel* ChannelFor(int from_host, int to_host,
+                           const std::function<StatsScope*()>& make_scope);
+
+  /// \brief The already-created channel for the pair, or nullptr.
+  FaultChannel* FindChannel(int from_host, int to_host);
+
+  /// \brief Flushes the channel of one directed pair (before finishing the
+  /// receiving port); no-op when none exists.
+  void FlushChannel(int from_host, int to_host);
+
+  /// \brief Marks \p host dead and records it in the kill order.
+  void MarkDead(int host);
+
+  /// \brief Records the open state a dead host loses (one row per stateful
+  /// operator scope with anything open).
+  void RecordInvalidation(int host, const std::string& scope, uint64_t panes,
+                          uint64_t tuples);
+
+  /// \brief Records one partitioner rebuild over \p survivor-side open
+  /// state (realigned tuples charged later at the remote-tuple weight).
+  void RecordRepartition(uint64_t state_tuples);
+
+  /// \brief Delivers everything still held in any channel.
+  void FlushAll();
+
+  /// \brief Drains the bounded queues of every channel (epoch boundary).
+  void DrainAllQueues();
+
+  // Loss accounting hooks (see FaultSection field docs).
+  void CountSourceTupleLost() { ++section_.source_tuples_lost; }
+  void CountNetTupleLost() { ++section_.net_tuples_lost; }
+  void CountFlushSuppressed() { ++section_.flush_tuples_suppressed; }
+
+  /// \brief Snapshot of the accounting (channel rows copied in creation
+  /// order). \p cycles_per_state_tuple prices the repartition state
+  /// realignment in model cycles.
+  FaultSection section(double cycles_per_state_tuple) const;
+
+ private:
+  const ChannelFaultSpec* FindSpec(int from_host, int to_host) const;
+
+  FaultPlan plan_;
+  bool active_ = false;
+  std::vector<bool> alive_;
+  std::optional<uint64_t> current_epoch_;
+  size_t kills_done_ = 0;  // kills_ is consumed in epoch order
+  std::vector<HostKillSpec> kills_;  // sorted by (epoch, plan order)
+  std::map<std::pair<int, int>, std::unique_ptr<FaultChannel>> channels_;
+  std::vector<FaultChannel*> channel_order_;  // creation order
+  FaultSection section_;
+};
+
+}  // namespace streampart

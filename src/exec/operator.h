@@ -174,6 +174,17 @@ class Operator {
 
   const OpStats& stats() const { return stats_; }
 
+  /// \brief Open (not yet flushed) state held by this operator: how many
+  /// windows/panes would be lost on an abrupt kill, and how many buffered
+  /// tuples or group states back them. Fault injection (dist/fault.h) reads
+  /// this to emit window-invalidation markers; stateless operators report
+  /// zeros.
+  struct OpenState {
+    uint64_t windows = 0;  ///< open windows/panes/queues
+    uint64_t tuples = 0;   ///< buffered tuples / group states behind them
+  };
+  virtual OpenState open_state() const { return {}; }
+
   /// \brief Human-readable operator label for plan dumps and debugging.
   virtual std::string label() const = 0;
 

@@ -78,6 +78,12 @@ class AggregateOp : public Operator {
   /// \brief Number of currently open groups (introspection for tests).
   size_t open_groups() const { return groups_.size() + packed_table_.size(); }
 
+  /// \brief The open tumbling window (if any) and its group states.
+  OpenState open_state() const override {
+    uint64_t groups = open_groups();
+    return {groups > 0 ? uint64_t{1} : uint64_t{0}, groups};
+  }
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
@@ -170,6 +176,16 @@ class JoinOp : public Operator {
 
   std::string label() const override { return "join(" + node_->name + ")"; }
 
+  /// \brief Buffered join windows and the tuples (both sides) inside them.
+  OpenState open_state() const override {
+    OpenState s;
+    s.windows = windows_.size();
+    for (const auto& [key, w] : windows_) {
+      s.tuples += w.left.size() + w.right.size();
+    }
+    return s;
+  }
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoFinish() override;
@@ -219,6 +235,13 @@ class MergeOp : public Operator {
   MergeOp(std::string name, SchemaPtr schema, size_t num_inputs);
 
   std::string label() const override { return "merge(" + name_ + ")"; }
+
+  /// \brief Tuples queued awaiting the merge watermark (no window notion).
+  OpenState open_state() const override {
+    OpenState s;
+    for (const auto& q : queues_) s.tuples += q.size();
+    return s;
+  }
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;

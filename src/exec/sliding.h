@@ -55,6 +55,16 @@ class SlidingAggregateOp : public Operator {
     return "sliding(" + node_->name + ")";
   }
 
+  /// \brief Closed-but-unemitted panes plus the open pane, and the group
+  /// states buffered inside them.
+  OpenState open_state() const override {
+    OpenState s;
+    s.windows = panes_.size() + (open_.empty() ? 0 : 1);
+    for (const auto& [pane, result] : panes_) s.tuples += result.size();
+    s.tuples += open_.size();
+    return s;
+  }
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;

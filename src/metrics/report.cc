@@ -82,6 +82,55 @@ std::string HostRowJson(const LedgerHostRow& row) {
   return out;
 }
 
+std::string FaultSectionJson(const FaultSection& f) {
+  std::string out = "{\"record\":\"faults\"";
+  out += ",\"hosts_killed\":[";
+  bool first = true;
+  for (int h : f.hosts_killed) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(h);
+  }
+  out += "]";
+  out += ",\"source_tuples_lost\":" + std::to_string(f.source_tuples_lost);
+  out += ",\"net_tuples_lost\":" + std::to_string(f.net_tuples_lost);
+  out += ",\"flush_tuples_suppressed\":" +
+         std::to_string(f.flush_tuples_suppressed);
+  out += ",\"panes_invalidated\":" + std::to_string(f.panes_invalidated);
+  out += ",\"inflight_tuples_lost\":" + std::to_string(f.inflight_tuples_lost);
+  out += ",\"repartitions\":" + std::to_string(f.repartitions);
+  out += ",\"repartition_state_tuples\":" +
+         std::to_string(f.repartition_state_tuples);
+  out += ",\"repartition_cost_cycles\":" + JsonDouble(f.repartition_cost_cycles);
+  out += ",\"invalidations\":[";
+  first = true;
+  for (const FaultInvalidationRow& row : f.invalidations) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":" + std::to_string(row.host);
+    out += ",\"scope\":" + JsonStr(row.scope);
+    out += ",\"panes\":" + std::to_string(row.panes);
+    out += ",\"tuples\":" + std::to_string(row.tuples) + "}";
+  }
+  out += "]";
+  out += ",\"channels\":[";
+  first = true;
+  for (const FaultChannelRow& row : f.channels) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"from_host\":" + std::to_string(row.from_host);
+    out += ",\"to_host\":" + std::to_string(row.to_host);
+    out += ",\"sent\":" + std::to_string(row.sent);
+    out += ",\"delivered\":" + std::to_string(row.delivered);
+    out += ",\"dropped\":" + std::to_string(row.dropped);
+    out += ",\"dup_extras\":" + std::to_string(row.dup_extras);
+    out += ",\"reordered\":" + std::to_string(row.reordered);
+    out += ",\"queue_dropped\":" + std::to_string(row.queue_dropped) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
@@ -213,6 +262,11 @@ void RunLedger::AddOutput(const std::string& stream, uint64_t tuples) {
   outputs_[stream] = tuples;
 }
 
+void RunLedger::SetFaults(FaultSection faults) {
+  if (!faults.active) return;
+  faults_ = std::move(faults);
+}
+
 std::string RunLedger::ToJsonl() const {
   std::string out;
   // Record 1: run metadata.
@@ -244,6 +298,7 @@ std::string RunLedger::ToJsonl() const {
     out += ",\"emitted\":" + std::to_string(row.event.emitted);
     out += "}\n";
   }
+  if (faults_.active) out += FaultSectionJson(faults_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
     out += ",\"tuples\":" + std::to_string(tuples) + "}\n";
@@ -288,6 +343,18 @@ std::string RunLedger::ToSummaryJson() const {
   out += ",\"operator_scopes\":" + std::to_string(operators_.size());
   out += ",\"trace_events\":" + std::to_string(events_.size());
   out += "}";
+  if (faults_.active) {
+    out += ",\n  \"faults\": {";
+    out += "\"hosts_killed\":" + std::to_string(faults_.hosts_killed.size());
+    out +=
+        ",\"source_tuples_lost\":" + std::to_string(faults_.source_tuples_lost);
+    out += ",\"net_tuples_lost\":" + std::to_string(faults_.net_tuples_lost);
+    out += ",\"panes_invalidated\":" + std::to_string(faults_.panes_invalidated);
+    out += ",\"repartitions\":" + std::to_string(faults_.repartitions);
+    out += ",\"repartition_cost_cycles\":" +
+           JsonDouble(faults_.repartition_cost_cycles);
+    out += "}";
+  }
   if (!outputs_.empty()) {
     out += ",\n  \"outputs\": {";
     first = true;

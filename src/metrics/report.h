@@ -73,6 +73,57 @@ struct LedgerHostRow {
   double net_tuples_in_per_sec = 0;
 };
 
+/// \brief Accounting of one degraded cross-host channel (dist/fault.h).
+/// Conservation invariant while every host is alive:
+/// delivered + dropped + queue_dropped == sent + dup_extras.
+struct FaultChannelRow {
+  int from_host = 0;
+  int to_host = 0;
+  uint64_t sent = 0;           ///< tuples entering the channel
+  uint64_t delivered = 0;      ///< tuples handed to a live receiver
+  uint64_t dropped = 0;        ///< lost to the per-tuple drop probability
+  uint64_t dup_extras = 0;     ///< extra copies created by duplication
+  uint64_t reordered = 0;      ///< tuples held back by the reorder stage
+  uint64_t queue_dropped = 0;  ///< drop-oldest evictions of the bounded queue
+};
+
+/// \brief One "window invalidation" marker: open state a dead host held at
+/// the moment it was killed (panes that can never be emitted).
+struct FaultInvalidationRow {
+  int host = 0;
+  std::string scope;    ///< operator scope name (label#plan-op-id)
+  uint64_t panes = 0;   ///< open windows/panes lost
+  uint64_t tuples = 0;  ///< buffered tuples / group states backing them
+};
+
+/// \brief The `faults` section of a run ledger: everything fault injection
+/// (dist/fault.h) lost, suppressed, or paid for, so degradation is
+/// measurable rather than silent. Serialized only when a non-empty
+/// FaultPlan was attached — a fault-free run's ledger is byte-identical
+/// with and without the fault machinery.
+struct FaultSection {
+  bool active = false;
+  std::vector<int> hosts_killed;  ///< kill order
+  /// Source tuples routed to a dead host's partitions (repartition off).
+  uint64_t source_tuples_lost = 0;
+  /// Cross-host deliveries whose destination host was dead.
+  uint64_t net_tuples_lost = 0;
+  /// Emissions of dead-host operators suppressed at host boundaries.
+  uint64_t flush_tuples_suppressed = 0;
+  /// Open windows/panes invalidated across all kills.
+  uint64_t panes_invalidated = 0;
+  /// Buffered tuples/groups lost inside invalidated panes.
+  uint64_t inflight_tuples_lost = 0;
+  /// Partitioner rebuilds over surviving hosts.
+  uint64_t repartitions = 0;
+  /// Survivor-side open state realigned by repartitions (tuples/groups).
+  uint64_t repartition_state_tuples = 0;
+  /// repartition_state_tuples charged at the remote-tuple cycle weight.
+  double repartition_cost_cycles = 0;
+  std::vector<FaultInvalidationRow> invalidations;
+  std::vector<FaultChannelRow> channels;  ///< configured channels, creation order
+};
+
 /// \brief Epoch-timestamped structured record of one experiment run.
 ///
 /// Deterministic by construction: meta keys, output streams, telemetry
@@ -103,7 +154,13 @@ class RunLedger {
   /// \brief Records the output cardinality of one sink stream.
   void AddOutput(const std::string& stream, uint64_t tuples);
 
+  /// \brief Attaches the fault-injection accounting. A section with
+  /// `active == false` is ignored entirely, keeping fault-free ledgers
+  /// byte-identical to runs without the fault machinery.
+  void SetFaults(FaultSection faults);
+
   const std::vector<LedgerHostRow>& hosts() const { return hosts_; }
+  const FaultSection& faults() const { return faults_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
   /// run, host*, operator*, event*, output* (docs/METRICS.md schema).
@@ -134,6 +191,7 @@ class RunLedger {
   std::vector<OperatorRow> operators_;
   std::vector<EventRow> events_;
   std::map<std::string, uint64_t> outputs_;
+  FaultSection faults_;  // serialized only when faults_.active
 };
 
 }  // namespace streampart

@@ -128,6 +128,27 @@ const StatDef kJoinWindowTuples = {"join_window_tuples", StatKind::kHistogram,
                                    "buffered tuples (both sides) per join "
                                    "window at evaluation"};
 
+const StatDef kChanSent = {"chan_sent", StatKind::kCounter, "tuples", false,
+                           "tuples entering a degraded cross-host channel"};
+const StatDef kChanDelivered = {"chan_delivered", StatKind::kCounter, "tuples",
+                                false,
+                                "channel tuples handed to a live receiver"};
+const StatDef kChanDropped = {"chan_dropped", StatKind::kCounter, "tuples",
+                              false,
+                              "channel tuples lost to the drop probability"};
+const StatDef kChanDupExtras = {"chan_dup_extras", StatKind::kCounter,
+                                "tuples", false,
+                                "extra channel tuple copies created by "
+                                "duplication"};
+const StatDef kChanReordered = {"chan_reordered", StatKind::kCounter, "tuples",
+                                false,
+                                "channel tuples held back by the reorder "
+                                "stage"};
+const StatDef kChanQueueDropped = {"chan_queue_dropped", StatKind::kCounter,
+                                   "tuples", false,
+                                   "drop-oldest evictions of a bounded "
+                                   "channel queue"};
+
 const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
@@ -135,6 +156,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kPortTuplesIn,  &kPortBatchesIn, &kBatchesOut,   &kWindowFlushes,
       &kGroupsFlushed, &kWindowGroups, &kGroupsPeak,    &kPaneFlushes,
       &kJoinWindows,   &kJoinWindowTuples,
+      &kChanSent,      &kChanDelivered, &kChanDropped,  &kChanDupExtras,
+      &kChanReordered, &kChanQueueDropped,
   };
   return kCatalog;
 }

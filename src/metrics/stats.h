@@ -239,6 +239,15 @@ extern const StatDef kPaneFlushes;   // sliding only
 extern const StatDef kJoinWindows;
 extern const StatDef kJoinWindowTuples;  // histogram
 
+// Degraded cross-host channels (dist/fault.h). Recorded under scope
+// `channel#<from>-><to>` in the sending host's registry.
+extern const StatDef kChanSent;
+extern const StatDef kChanDelivered;
+extern const StatDef kChanDropped;
+extern const StatDef kChanDupExtras;
+extern const StatDef kChanReordered;
+extern const StatDef kChanQueueDropped;
+
 /// \brief Every StatDef above, in declaration order. The doc-lint and the
 /// run-ledger schema iterate this.
 const std::vector<const StatDef*>& EngineStatCatalog();

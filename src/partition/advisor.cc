@@ -95,4 +95,40 @@ Result<WorkloadAdvice> AdviseWorkload(const QueryGraph& graph,
   return advice;
 }
 
+Result<RepartitionAdvice> AdviseRepartition(const QueryGraph& graph,
+                                            const PartitionSet& current,
+                                            const AdvisorOptions& options) {
+  RepartitionAdvice advice;
+  SP_ASSIGN_OR_RETURN(WorkloadAdvice workload, AdviseWorkload(graph, options));
+  advice.candidates_explored = workload.candidates_explored;
+  advice.recommended = workload.recommended;
+  advice.cost_bytes = workload.hardware_restricted
+                          ? workload.recommended_cost_bytes
+                          : workload.optimal_cost_bytes;
+  if (advice.recommended.Equals(current)) {
+    // Keep the incumbent: stability beats churn when the search agrees.
+    advice.recommended = current;
+    advice.changed = false;
+    return advice;
+  }
+  // An equal-cost tie also keeps the incumbent, provided it is realizable.
+  SP_ASSIGN_OR_RETURN(CostModel model, CostModel::Make(&graph, options.cost));
+  if (options.calibration_sample != nullptr) {
+    SP_RETURN_NOT_OK(model.CalibrateFromTrace(options.calibration_source,
+                                              *options.calibration_sample));
+  }
+  auto current_cost = model.Cost(current);
+  if (current_cost.ok() &&
+      current_cost->max_cost_bytes <= advice.cost_bytes &&
+      (!options.hardware.has_value() ||
+       options.hardware->Supports(current))) {
+    advice.recommended = current;
+    advice.cost_bytes = current_cost->max_cost_bytes;
+    advice.changed = false;
+    return advice;
+  }
+  advice.changed = true;
+  return advice;
+}
+
 }  // namespace streampart

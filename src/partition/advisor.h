@@ -65,4 +65,30 @@ struct AdvisorOptions {
 Result<WorkloadAdvice> AdviseWorkload(const QueryGraph& graph,
                                       const AdvisorOptions& options);
 
+/// \brief Recovery-time re-search result (surviving-host repartitioning).
+struct RepartitionAdvice {
+  /// The set to rebuild the partitioner with over the surviving hosts.
+  PartitionSet recommended;
+  /// False when the current set is kept (still optimal — reusing it avoids
+  /// needless partition-map churn during recovery).
+  bool changed = false;
+  double cost_bytes = 0;
+  size_t candidates_explored = 0;
+};
+
+/// \brief Re-runs the §4.2.2 search when the cluster loses hosts, answering
+/// "which partition set should the rebuilt (smaller) partitioner use?".
+///
+/// The optimal *set* is a property of the query workload, not of the host
+/// count — what shrinks is the partition space the set is hashed into — so
+/// this usually confirms \p current and the recovery move is just a
+/// rebuild of the hash-slice map over the survivors. The entry point
+/// still re-searches (hardware capability included) so a plan whose
+/// current set was hardware- or operator-constrained can pick a better one
+/// when the workload allows it; `changed` tells the runtime whether
+/// survivor-side state must be realigned.
+Result<RepartitionAdvice> AdviseRepartition(const QueryGraph& graph,
+                                            const PartitionSet& current,
+                                            const AdvisorOptions& options = {});
+
 }  // namespace streampart

@@ -1,0 +1,440 @@
+/// \file fault_injection_test.cc
+/// \brief Differential battery for the fault-injection harness (dist/fault.h).
+///
+/// The harness is held to the same standard as the batch execution path: it
+/// must be a pure overlay. An empty FaultPlan leaves runs byte-identical to
+/// runs without the fault machinery; an all-zero-rate channel is
+/// observationally a healthy edge; a host killed at epoch E with recovery off
+/// equals a run over the trace with that host's post-E tuples removed; and
+/// every injected loss is accounted exactly (conservation: delivered +
+/// dropped + queue_dropped == sent + dup_extras while the receiver lives).
+/// A golden-ledger regression pins the full JSONL serialization of one
+/// faulty scenario.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "dist/experiment.h"
+#include "dist/partitioner.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::ExpectSameMultiset;
+using Mode = OptimizerOptions::PartialAggMode;
+
+ExperimentConfig Config(const std::string& name, const std::string& ps,
+                        Mode partial, bool pushdown) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.enable_compatible_pushdown = pushdown;
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+FaultPlan Plan(const std::string& text) {
+  auto plan = FaultPlan::Parse(text);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TupleBatch SmallTrace(uint32_t duration_sec = 4, uint32_t pps = 1000) {
+  TraceConfig tc;
+  tc.duration_sec = duration_sec;
+  tc.packets_per_sec = pps;
+  tc.num_flows = 300;
+  PacketTraceGenerator gen(tc);
+  return gen.GenerateAll();
+}
+
+/// Result + ledger of one direct cluster run (bypasses ExperimentRunner so
+/// tests can replay arbitrary — e.g. truncated — traces).
+struct DirectRun {
+  ClusterRunResult result;
+  RunLedger ledger;
+};
+
+/// Runs \p trace through a fresh cluster. \p attach_plan distinguishes
+/// "fault plan attached" (even an empty one) from "no set_fault_plan call" —
+/// the empty-plan identity test needs both sides.
+DirectRun RunCluster(const QueryGraph& graph, const ExperimentConfig& config,
+                     int num_hosts, const TupleBatch& trace, size_t batch_size,
+                     double duration_sec, bool attach_plan) {
+  ClusterConfig cluster;
+  cluster.num_hosts = num_hosts;
+  cluster.partitions_per_host = 2;
+  auto plan =
+      OptimizeForPartitioning(graph, cluster, config.ps, config.optimizer);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  ClusterRuntime runtime(&graph, &*plan, cluster);
+  if (attach_plan) runtime.set_fault_plan(config.faults);
+  Status st = runtime.Build(config.ps);
+  SP_CHECK(st.ok()) << st.ToString();
+  if (batch_size == 0) {
+    for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+  } else {
+    TupleSpan all(trace);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      runtime.PushSourceBatch(
+          "TCP", all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
+  runtime.FinishSources();
+  return DirectRun{runtime.result(),
+                   runtime.MakeLedger(CpuCostParams(), duration_sec)};
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void AddFlows() {
+    ASSERT_OK(graph_.AddQuery(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+        "GROUP BY time as tb, srcIP"));
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Identity: the fault machinery is invisible until a plan injects something
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, EmptyPlanLedgerByteIdenticalOnBothPaths) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config = Config("Optimized", "", Mode::kPerHost, false);
+  for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+    std::string ctx = "@batch=" + std::to_string(batch_size);
+    DirectRun healthy = RunCluster(graph_, config, 3, trace, batch_size, 4.0,
+                                   /*attach_plan=*/false);
+    DirectRun inert = RunCluster(graph_, config, 3, trace, batch_size, 4.0,
+                                 /*attach_plan=*/true);  // FaultPlan{} attached
+    EXPECT_EQ(healthy.ledger.ToJsonl(), inert.ledger.ToJsonl()) << ctx;
+    EXPECT_EQ(healthy.ledger.ToSummaryJson(), inert.ledger.ToSummaryJson())
+        << ctx;
+    EXPECT_TRUE(healthy.result.dead_hosts.empty()) << ctx;
+    EXPECT_TRUE(inert.result.dead_hosts.empty()) << ctx;
+  }
+}
+
+TEST_F(FaultInjectionTest, ZeroRateChannelEqualsHealthyRun) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig healthy_config =
+      Config("Naive", "", Mode::kPerPartition, false);
+  ExperimentConfig faulty_config = healthy_config;
+  faulty_config.faults = Plan("channel from=* to=* drop=0 dup=0 reorder=0");
+
+  DirectRun healthy = RunCluster(graph_, healthy_config, 3, trace, 0, 4.0,
+                                 /*attach_plan=*/false);
+  for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+    std::string ctx = "@batch=" + std::to_string(batch_size);
+    DirectRun faulty = RunCluster(graph_, faulty_config, 3, trace, batch_size,
+                                  4.0, /*attach_plan=*/true);
+    EXPECT_EQ(healthy.result.source_tuples, faulty.result.source_tuples)
+        << ctx;
+    ASSERT_EQ(healthy.result.hosts.size(), faulty.result.hosts.size()) << ctx;
+    for (size_t h = 0; h < healthy.result.hosts.size(); ++h) {
+      EXPECT_TRUE(healthy.result.hosts[h] == faulty.result.hosts[h])
+          << ctx << " host " << h;
+    }
+    for (const auto& [name, expected] : healthy.result.outputs) {
+      ExpectSameMultiset(expected, faulty.result.outputs.at(name),
+                         ctx + " / " + name);
+    }
+    // The channels exist (the wildcard spec matched) but pass everything.
+    const FaultSection& section = faulty.ledger.faults();
+    ASSERT_TRUE(section.active) << ctx;
+    ASSERT_FALSE(section.channels.empty()) << ctx;
+    for (const FaultChannelRow& row : section.channels) {
+      EXPECT_EQ(row.sent, row.delivered) << ctx;
+      EXPECT_EQ(row.dropped, 0u) << ctx;
+      EXPECT_EQ(row.dup_extras, 0u) << ctx;
+      EXPECT_EQ(row.reordered, 0u) << ctx;
+      EXPECT_EQ(row.queue_dropped, 0u) << ctx;
+      EXPECT_GT(row.sent, 0u) << ctx;
+    }
+    EXPECT_EQ(section.source_tuples_lost, 0u) << ctx;
+    EXPECT_EQ(section.net_tuples_lost, 0u) << ctx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conservation: every injected fault is accounted, deterministically
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, LossyChannelConservationAndDeterminism) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults =
+      Plan("seed 7\nchannel from=* to=* drop=0.2 dup=0.1 reorder=0.3 queue=32");
+
+  DirectRun per_tuple = RunCluster(graph_, config, 3, trace, 0, 4.0,
+                                   /*attach_plan=*/true);
+  const FaultSection& section = per_tuple.ledger.faults();
+  ASSERT_TRUE(section.active);
+  ASSERT_FALSE(section.channels.empty());
+  uint64_t total_sent = 0, total_delivered = 0;
+  for (const FaultChannelRow& row : section.channels) {
+    std::string ctx = "channel " + std::to_string(row.from_host) + "->" +
+                      std::to_string(row.to_host);
+    // No host dies in this scenario, so conservation is exact.
+    EXPECT_EQ(row.delivered + row.dropped + row.queue_dropped,
+              row.sent + row.dup_extras)
+        << ctx;
+    EXPECT_GT(row.sent, 0u) << ctx;
+    EXPECT_GT(row.dropped, 0u) << ctx;
+    EXPECT_GT(row.dup_extras, 0u) << ctx;
+    EXPECT_GT(row.reordered, 0u) << ctx;
+    total_sent += row.sent;
+    total_delivered += row.delivered;
+  }
+  // The channel counters and the host net ledgers describe the same traffic:
+  // senders account at send time, receivers at actual delivery.
+  uint64_t net_out = 0, net_in = 0;
+  for (const HostMetrics& m : per_tuple.result.hosts) {
+    net_out += m.net_tuples_out;
+    net_in += m.net_tuples_in;
+  }
+  EXPECT_EQ(net_out, total_sent);
+  EXPECT_EQ(net_in, total_delivered);
+
+  // Deterministic: the same plan over the same trace yields byte-identical
+  // ledgers, on the per-tuple path, on the batched path, and across reruns.
+  DirectRun rerun = RunCluster(graph_, config, 3, trace, 0, 4.0, true);
+  EXPECT_EQ(per_tuple.ledger.ToJsonl(), rerun.ledger.ToJsonl());
+  DirectRun batched =
+      RunCluster(graph_, config, 3, trace, kDefaultSourceBatch, 4.0, true);
+  EXPECT_EQ(per_tuple.ledger.ToJsonl(), batched.ledger.ToJsonl());
+  EXPECT_EQ(per_tuple.ledger.ToSummaryJson(), batched.ledger.ToSummaryJson());
+}
+
+// ---------------------------------------------------------------------------
+// Host kills
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, KillWithoutRecoveryEqualsTruncatedTrace) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  // Hash-partitioned so routing is content-based: removing tuples from the
+  // trace must not re-route the remainder (round-robin would).
+  ExperimentConfig config = Config("Hash", "srcIP", Mode::kNone, false);
+  ExperimentConfig faulty_config = config;
+  faulty_config.faults = Plan("recover off\nkill host=2 epoch=2");
+
+  DirectRun faulty = RunCluster(graph_, faulty_config, 3, trace, 0, 4.0,
+                                /*attach_plan=*/true);
+  ASSERT_EQ(faulty.result.dead_hosts, std::vector<int>{2});
+
+  // Baseline: the same run over the trace minus exactly the tuples the dead
+  // host's partitions would have captured from epoch 2 on.
+  ASSERT_OK_AND_ASSIGN(PartitionSet ps, PartitionSet::Parse("srcIP"));
+  ASSERT_OK_AND_ASSIGN(SchemaPtr schema, catalog_.GetStream("TCP"));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<StreamPartitioner> partitioner,
+                       MakePartitioner(ps, schema, /*num_partitions=*/6));
+  ClusterConfig shape;
+  shape.num_hosts = 3;
+  shape.partitions_per_host = 2;
+  TupleBatch truncated;
+  uint64_t removed = 0;
+  for (const Tuple& t : trace) {
+    int host = shape.HostOfPartition(partitioner->PartitionOf(t));
+    if (host == 2 && t.at(0).AsUint64() >= 2) {
+      ++removed;
+      continue;
+    }
+    truncated.push_back(t);
+  }
+  ASSERT_GT(removed, 0u);
+  DirectRun baseline = RunCluster(graph_, config, 3, truncated, 0, 4.0,
+                                  /*attach_plan=*/false);
+
+  // Surviving hosts saw, forwarded, and processed exactly the same tuples.
+  for (int h : {0, 1}) {
+    EXPECT_TRUE(faulty.result.hosts[h] == baseline.result.hosts[h])
+        << "host " << h;
+  }
+  for (const auto& [name, expected] : baseline.result.outputs) {
+    ExpectSameMultiset(expected, faulty.result.outputs.at(name), name);
+  }
+  const FaultSection& section = faulty.ledger.faults();
+  EXPECT_EQ(section.source_tuples_lost, removed);
+  EXPECT_EQ(section.repartitions, 0u);
+  EXPECT_EQ(faulty.result.source_tuples, baseline.result.source_tuples);
+
+  // The dead host's row must not be readable as a full-run measurement.
+  EXPECT_OK(faulty.result.CheckedHost(0).status());
+  Result<const HostMetrics*> dead = faulty.result.CheckedHost(2);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST_F(FaultInjectionTest, RepartitionRecoveryLosesNoSourceTuples) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig healthy_config = Config("Hash", "srcIP", Mode::kNone, false);
+  ExperimentConfig faulty_config = healthy_config;
+  faulty_config.faults = Plan("kill host=1 epoch=2");  // recover on (default)
+
+  DirectRun healthy = RunCluster(graph_, healthy_config, 3, trace, 0, 4.0,
+                                 /*attach_plan=*/false);
+  DirectRun faulty = RunCluster(graph_, faulty_config, 3, trace, 0, 4.0,
+                                /*attach_plan=*/true);
+  ASSERT_EQ(faulty.result.dead_hosts, std::vector<int>{1});
+
+  // The partitioner was rebuilt over the survivors: every source tuple still
+  // reaches the (alive) aggregator, so the query answer is loss-free.
+  const FaultSection& section = faulty.ledger.faults();
+  EXPECT_EQ(section.repartitions, 1u);
+  EXPECT_EQ(section.source_tuples_lost, 0u);
+  EXPECT_EQ(section.net_tuples_lost, 0u);
+  EXPECT_EQ(faulty.result.source_tuples, trace.size());
+  ExpectSameMultiset(healthy.result.outputs.at("flows"),
+                     faulty.result.outputs.at("flows"), "flows");
+  // Survivor-side open state priced at the remote-tuple weight.
+  EXPECT_EQ(section.repartition_cost_cycles,
+            static_cast<double>(section.repartition_state_tuples) *
+                CpuCostParams().cycles_per_remote_tuple);
+}
+
+TEST_F(FaultInjectionTest, KilledAggregatorSuppressesAndAccountsOutput) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config = Config("Hash", "srcIP", Mode::kNone, false);
+  ExperimentConfig faulty_config = config;
+  faulty_config.faults = Plan("recover off\nkill host=0 epoch=2");
+
+  DirectRun healthy =
+      RunCluster(graph_, config, 3, trace, 0, 4.0, /*attach_plan=*/false);
+  DirectRun faulty = RunCluster(graph_, faulty_config, 3, trace, 0, 4.0,
+                                /*attach_plan=*/true);
+  ASSERT_EQ(faulty.result.dead_hosts, std::vector<int>{0});
+  const FaultSection& section = faulty.ledger.faults();
+  // Leaves kept forwarding into the void; the dead aggregator's flush output
+  // was suppressed at the host boundary — all of it accounted, none silent.
+  EXPECT_GT(section.net_tuples_lost, 0u);
+  EXPECT_GT(section.flush_tuples_suppressed, 0u);
+  auto it = faulty.result.outputs.find("flows");
+  uint64_t produced = it == faulty.result.outputs.end() ? 0 : it->second.size();
+  EXPECT_LT(produced, healthy.result.outputs.at("flows").size());
+  EXPECT_FALSE(faulty.result.CheckedHost(0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ClusterRunResult checked access (regression: aggregator() used unchecked
+// indexing and read a truncated row as a full-run measurement)
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRunResultTest, CheckedHostRejectsOutOfRangeAndDeadHosts) {
+  ClusterRunResult result;
+  result.hosts.resize(3);
+  result.hosts[2].source_tuples = 42;
+  result.dead_hosts.push_back(1);
+
+  Result<const HostMetrics*> out_of_range = result.CheckedHost(7);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_FALSE(result.CheckedHost(-1).ok());
+
+  Result<const HostMetrics*> dead = result.CheckedHost(1);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kRuntimeError);
+
+  ASSERT_OK_AND_ASSIGN(const HostMetrics* alive, result.CheckedHost(2));
+  EXPECT_EQ(alive, &result.hosts[2]);
+  EXPECT_EQ(alive->source_tuples, 42u);
+  // A healthy aggregator is still directly readable.
+  EXPECT_EQ(&result.aggregator(2), &result.hosts[2]);
+}
+
+TEST(ClusterRunResultDeathTest, DeadAggregatorFailsLoudly) {
+  ClusterRunResult result;
+  result.hosts.resize(2);
+  result.dead_hosts.push_back(0);
+  EXPECT_DEATH(result.aggregator(), "aggregator unavailable");
+  ClusterRunResult empty;
+  EXPECT_DEATH(empty.aggregator(), "aggregator unavailable");
+}
+
+// ---------------------------------------------------------------------------
+// Golden-ledger regression: the full JSONL serialization of one faulty
+// scenario is pinned byte-for-byte (set SP_REGENERATE_GOLDEN=1 to refresh
+// after an intentional schema change).
+// ---------------------------------------------------------------------------
+
+TEST(FaultGoldenTest, LedgerMatchesGoldenFile) {
+  if (!StatsRegistry::kCompiledIn) {
+    GTEST_SKIP() << "telemetry compiled out: operator records absent";
+  }
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP"));
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 500;
+  tc.num_flows = 100;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  ExperimentConfig config = Config("fault_golden", "srcIP", Mode::kNone, false);
+  config.faults = Plan(
+      "seed 42\n"
+      "kill host=1 epoch=3\n"
+      "channel from=2 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64\n");
+  ASSERT_OK_AND_ASSIGN(ExperimentCell cell,
+                       runner.RunCell(config, 3, 2, /*batch_size=*/0));
+  std::string actual = cell.ledger.ToJsonl();
+
+  const std::string path =
+      std::string(SP_SOURCE_DIR) + "/tests/golden/fault_scenario.jsonl";
+  if (std::getenv("SP_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with SP_REGENERATE_GOLDEN=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  // Exact, name-ordered comparison; report the first differing line.
+  if (actual != expected) {
+    std::istringstream a(actual), e(expected);
+    std::string aline, eline;
+    int line = 0;
+    while (true) {
+      ++line;
+      bool more_a = static_cast<bool>(std::getline(a, aline));
+      bool more_e = static_cast<bool>(std::getline(e, eline));
+      if (!more_a && !more_e) break;
+      if (!more_a) aline = "<eof>";
+      if (!more_e) eline = "<eof>";
+      ASSERT_EQ(eline, aline) << "golden mismatch at line " << line;
+      if (!more_a || !more_e) break;
+    }
+    FAIL() << "ledger differs from golden file " << path;
+  }
+}
+
+}  // namespace
+}  // namespace streampart
