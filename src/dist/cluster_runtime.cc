@@ -158,10 +158,22 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     // partition placement, and the epoch column kills key off.
     source_schema_ = source_schema;
     actual_ps_ = actual_ps;
-    partition_host_merged_.assign(num_parts, 0);
+    // All streams must agree on partition -> host placement, or the merged
+    // map (and Repartition()'s survivor computation over it) would be wrong
+    // for every stream but the last. Verify, like the shared-schema check
+    // above, instead of letting the last stream win silently.
+    partition_host_merged_.assign(num_parts, -1);
     for (const auto& [name, hosts] : partition_hosts_) {
       for (size_t p = 0; p < hosts.size(); ++p) {
-        partition_host_merged_[p] = hosts[p];
+        if (partition_host_merged_[p] < 0) {
+          partition_host_merged_[p] = hosts[p];
+        } else if (partition_host_merged_[p] != hosts[p]) {
+          return Status::InvalidArgument(
+              "partitioned sources disagree on placement: stream '", name,
+              "' puts partition ", p, " on host ", hosts[p],
+              " but another stream placed it on host ",
+              partition_host_merged_[p]);
+        }
       }
     }
     std::vector<size_t> temporal = source_schema->TemporalFieldIndexes();

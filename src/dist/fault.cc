@@ -180,15 +180,18 @@ std::string FaultPlan::ToString() const {
   auto host_str = [](int h) {
     return h < 0 ? std::string("*") : std::to_string(h);
   };
+  // 17 significant digits: the shortest precision guaranteed to round-trip
+  // any double, so Parse(ToString()) restores bit-identical probabilities
+  // (anything less would silently shift the RNG draw sequence).
   char num[64];
   for (const ChannelFaultSpec& c : channels) {
     out << "channel from=" << host_str(c.from_host)
         << " to=" << host_str(c.to_host);
-    std::snprintf(num, sizeof(num), "%.10g", c.drop_p);
+    std::snprintf(num, sizeof(num), "%.17g", c.drop_p);
     out << " drop=" << num;
-    std::snprintf(num, sizeof(num), "%.10g", c.dup_p);
+    std::snprintf(num, sizeof(num), "%.17g", c.dup_p);
     out << " dup=" << num;
-    std::snprintf(num, sizeof(num), "%.10g", c.reorder_p);
+    std::snprintf(num, sizeof(num), "%.17g", c.reorder_p);
     out << " reorder=" << num;
     out << " queue=" << c.queue_capacity << "\n";
   }
@@ -383,11 +386,23 @@ void FaultController::RecordRepartition(uint64_t state_tuples) {
 }
 
 void FaultController::FlushAll() {
-  for (FaultChannel* channel : channel_order_) channel->Flush();
+  // Index-based on purpose: delivering a held/queued tuple can re-enter the
+  // controller (a consumer push may synchronously emit on a cross-host edge
+  // and lazily create a new channel via ChannelFor, growing channel_order_).
+  // A range-for would be UB on reallocation; indexing is safe and
+  // self-correcting — channels born during the cascade get flushed too.
+  for (size_t i = 0; i < channel_order_.size(); ++i) {
+    channel_order_[i]->Flush();
+  }
 }
 
 void FaultController::DrainAllQueues() {
-  for (auto& [key, channel] : channels_) channel->DrainQueue();
+  // Same re-entrancy hazard as FlushAll: draining delivers tuples, which can
+  // create channels mid-loop. Index over the creation-order vector so new
+  // channels are neither skipped nor iterated through invalid state.
+  for (size_t i = 0; i < channel_order_.size(); ++i) {
+    channel_order_[i]->DrainQueue();
+  }
 }
 
 FaultSection FaultController::section(double cycles_per_state_tuple) const {

@@ -177,6 +177,11 @@ class FaultController {
   /// bounded queues drain (epoch boundary), and the hosts whose kill epoch
   /// has arrived are returned in plan order for the runtime to kill. Call
   /// before routing the tuple carrying \p time.
+  ///
+  /// Every distinct (strictly increasing) temporal value is its own epoch.
+  /// On traces with near-unique timestamps this makes bounded queues drain
+  /// at almost every tuple — see docs/FAULTS.md ("What an 'epoch' is") for
+  /// the granularity caveat on `queue=` plans.
   std::vector<int> OnSourceTime(uint64_t time);
 
   /// \brief The degraded channel for the directed pair, or nullptr when no

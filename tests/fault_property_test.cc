@@ -120,11 +120,12 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
       ChannelFaultSpec spec;
       spec.from_host = static_cast<int>(rng.Uniform(0, 4)) - 1;  // -1..3
       spec.to_host = static_cast<int>(rng.Uniform(0, 4)) - 1;
-      // Probabilities on a 1/1024 grid: exact in binary, so "%.10g" text
-      // round-trips to the identical double.
-      spec.drop_p = static_cast<double>(rng.Uniform(0, 1024)) / 1024.0;
-      spec.dup_p = static_cast<double>(rng.Uniform(0, 1024)) / 1024.0;
-      spec.reorder_p = static_cast<double>(rng.Uniform(0, 1024)) / 1024.0;
+      // Arbitrary doubles, not a friendly grid: these need the full 17
+      // significant digits to round-trip, so any regression to a shorter
+      // ToString precision fails the bit-exact comparisons below.
+      spec.drop_p = rng.UniformReal();
+      spec.dup_p = rng.UniformReal();
+      spec.reorder_p = rng.UniformReal();
       spec.queue_capacity = rng.Uniform(0, 128);
       plan.channels.push_back(spec);
     }
@@ -218,6 +219,60 @@ TEST(FaultChannelPropertyTest, DeadReceiverConservesWithRefusals) {
     spec.queue_capacity = rng.Chance(0.5) ? 8 : 0;
     DriveChannel(spec, /*seed=*/rng.Uniform(1, 1u << 20), /*n=*/200,
                  /*receiver_alive=*/false);
+  }
+}
+
+TEST(FaultControllerTest, FlushAllSurvivesChannelCreationMidCascade) {
+  // Regression: delivering a queued tuple during FlushAll can re-enter the
+  // controller — a consumer push may synchronously emit on a cross-host
+  // edge whose directed pair has never been used, and with a wildcard spec
+  // that first use creates a channel, growing channel_order_ while FlushAll
+  // iterates it. A range-for over the vector was UB on reallocation; the
+  // index-based loop must both survive and flush the newborn channels.
+  FaultPlan plan;
+  ChannelFaultSpec spec;
+  spec.queue_capacity = 64;  // queue everything so FlushAll has work to do
+  plan.channels.push_back(spec);  // wildcard: matches every directed pair
+  FaultController controller(std::move(plan), /*num_hosts=*/64);
+
+  Tuple packet = MakePacket(0, 1, 2, 1, 1, 64);
+  uint64_t leaf_deliveries = 0;
+  auto leaf_deliver = [&](const Tuple&) {
+    ++leaf_deliveries;
+    return true;
+  };
+  // Each delivery on the primary channel (0, 1) sends on a fresh pair
+  // (1, next_host), forcing a channel creation per flushed tuple — far more
+  // growth than any vector reallocation policy can absorb in place.
+  int next_host = 2;
+  auto cascading_deliver = [&](const Tuple& t) {
+    if (next_host < 64) {
+      FaultChannel* born = controller.ChannelFor(1, next_host++, nullptr);
+      EXPECT_NE(born, nullptr);
+      if (born != nullptr) {
+        born->Send(t, leaf_deliver);  // queued; only FlushAll can release it
+      }
+    }
+    return true;
+  };
+  FaultChannel* primary = controller.ChannelFor(0, 1, nullptr);
+  ASSERT_NE(primary, nullptr);
+  const int kTuples = 40;
+  for (int i = 0; i < kTuples; ++i) {
+    primary->Send(packet, cascading_deliver);
+  }
+  controller.FlushAll();
+  // Every tuple delivered on the primary channel spawned one channel whose
+  // queued tuple must also have been flushed — nothing stranded.
+  EXPECT_EQ(primary->row().delivered, static_cast<uint64_t>(kTuples));
+  EXPECT_EQ(leaf_deliveries, static_cast<uint64_t>(kTuples));
+  FaultSection section = controller.section(/*cycles_per_state_tuple=*/0);
+  EXPECT_EQ(section.channels.size(), static_cast<size_t>(1 + kTuples));
+  for (const FaultChannelRow& row : section.channels) {
+    EXPECT_EQ(row.delivered + row.dropped + row.queue_dropped,
+              row.sent + row.dup_extras)
+        << "stranded tuples on channel " << row.from_host << "->"
+        << row.to_host;
   }
 }
 
