@@ -12,6 +12,7 @@
 ///   streampart_cli <workload-file> [--hosts N] [--ps "srcIP, destIP"]
 ///                  [--run SECONDS] [--tcp-splitter] [--stats[=PATH]]
 ///                  [--trace-events[=PATH]] [--fault-plan FILE]
+///                  [--recover] [--checkpoint-interval N] [--epoch-width N]
 ///
 /// Without --ps the advisor picks the partitioning; --tcp-splitter restricts
 /// it to what TCP-header splitter hardware can realize. --run replays a
@@ -22,6 +23,7 @@
 /// per-window trace events (docs/METRICS.md describes both formats).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -76,6 +78,19 @@ int Fail(const Status& st) {
   return 1;
 }
 
+/// Strict positive-integer flag value: rejects empty strings, trailing
+/// garbage, signs, and zero.
+bool ParsePositiveInt(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v == 0) return false;
+  *out = v;
+  return true;
+}
+
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(
       out,
@@ -108,6 +123,18 @@ void PrintUsage(FILE* out, const char* prog) {
       "                        by FILE (host kills, lossy channels, bounded\n"
       "                        queues; see docs/FAULTS.md) and report the\n"
       "                        degradation accounting\n"
+      "  --recover             with --run: enable lossless recovery "
+      "(epoch-aligned\n"
+      "                        checkpoints, acked retransmission, state "
+      "migration\n"
+      "                        on kills; docs/FAULTS.md \"Lossless "
+      "recovery\")\n"
+      "  --checkpoint-interval N\n"
+      "                        checkpoint every N epochs (implies --recover;\n"
+      "                        overrides the fault plan's `ckpt` directive)\n"
+      "  --epoch-width N       timestamp stride per epoch (overrides the "
+      "fault\n"
+      "                        plan's `epoch_width` directive)\n"
       "  --help, -h            show this help and exit\n"
       "\n"
       "The ledger formats are documented in docs/METRICS.md.\n",
@@ -136,6 +163,9 @@ int main(int argc, char** argv) {
   bool trace_events = false;
   std::string stats_path;
   std::string fault_plan_path;
+  bool recover = false;
+  uint64_t checkpoint_interval = 0;
+  uint64_t epoch_width = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
@@ -158,6 +188,33 @@ int main(int argc, char** argv) {
       fault_plan_path = argv[++i];
     } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
       fault_plan_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0 ||
+               std::strncmp(argv[i], "--checkpoint-interval=", 22) == 0) {
+      const char* value = argv[i][21] == '=' ? argv[i] + 22
+                          : i + 1 < argc    ? argv[++i]
+                                            : nullptr;
+      if (!ParsePositiveInt(value, &checkpoint_interval)) {
+        std::fprintf(stderr,
+                     "--checkpoint-interval expects a positive integer "
+                     "(epochs), got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
+      recover = true;
+    } else if (std::strcmp(argv[i], "--epoch-width") == 0 ||
+               std::strncmp(argv[i], "--epoch-width=", 14) == 0) {
+      const char* value = argv[i][13] == '=' ? argv[i] + 14
+                          : i + 1 < argc    ? argv[++i]
+                                            : nullptr;
+      if (!ParsePositiveInt(value, &epoch_width)) {
+        std::fprintf(stderr,
+                     "--epoch-width expects a positive integer (timestamp "
+                     "units per epoch), got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -234,12 +291,26 @@ int main(int argc, char** argv) {
     PacketTraceGenerator gen(tc);
     ClusterRuntime runtime(&graph, &*plan, cluster);
     if (trace_events) runtime.set_trace_events_enabled(true);
+    FaultPlan fault_plan;
     if (!fault_plan_path.empty()) {
-      auto fault_plan = FaultPlan::Load(fault_plan_path);
-      if (!fault_plan.ok()) return Fail(fault_plan.status());
+      auto loaded = FaultPlan::Load(fault_plan_path);
+      if (!loaded.ok()) return Fail(loaded.status());
+      fault_plan = std::move(*loaded);
       std::printf("Fault plan (%s):\n%s\n", fault_plan_path.c_str(),
-                  fault_plan->ToString().c_str());
-      runtime.set_fault_plan(std::move(*fault_plan));
+                  fault_plan.ToString().c_str());
+    }
+    // CLI recovery flags override the plan's directives; --recover alone
+    // enables recovery at the default interval.
+    if (recover && checkpoint_interval == 0 &&
+        fault_plan.checkpoint_interval == 0) {
+      checkpoint_interval = RecoveryConfig().checkpoint_interval;
+    }
+    if (checkpoint_interval > 0) {
+      fault_plan.checkpoint_interval = checkpoint_interval;
+    }
+    if (epoch_width > 0) fault_plan.epoch_width = epoch_width;
+    if (!fault_plan.empty() || fault_plan.checkpoint_interval > 0) {
+      runtime.set_fault_plan(std::move(fault_plan));
     }
     Status st = runtime.Build(ps);
     if (!st.ok()) return Fail(st);
@@ -285,15 +356,54 @@ int main(int argc, char** argv) {
       for (const FaultChannelRow& ch : section.channels) {
         std::printf(
             "  channel %d->%d: sent %llu delivered %llu dropped %llu "
-            "dup_extras %llu reordered %llu queue_dropped %llu\n",
+            "dup_extras %llu reordered %llu queue_dropped %llu "
+            "retransmitted %llu\n",
             ch.from_host, ch.to_host,
             static_cast<unsigned long long>(ch.sent),
             static_cast<unsigned long long>(ch.delivered),
             static_cast<unsigned long long>(ch.dropped),
             static_cast<unsigned long long>(ch.dup_extras),
             static_cast<unsigned long long>(ch.reordered),
-            static_cast<unsigned long long>(ch.queue_dropped));
+            static_cast<unsigned long long>(ch.queue_dropped),
+            static_cast<unsigned long long>(ch.retransmitted));
       }
+    }
+    if (const RecoveryCoordinator* rec = runtime.recovery_coordinator()) {
+      RecoverySection r = rec->section(cpu.cycles_per_checkpoint_byte);
+      std::printf("\nRecovery accounting (interval %llu epochs, width %llu):\n",
+                  static_cast<unsigned long long>(r.checkpoint_interval),
+                  static_cast<unsigned long long>(r.epoch_width));
+      std::printf(
+          "  checkpoints:       %llu rounds, %llu bytes (%llu ops "
+          "serialized, %llu skipped)\n",
+          static_cast<unsigned long long>(r.checkpoints),
+          static_cast<unsigned long long>(r.checkpoint_bytes),
+          static_cast<unsigned long long>(r.ops_serialized),
+          static_cast<unsigned long long>(r.ops_skipped));
+      std::printf(
+          "  migrations:        %llu ops (%llu restores, %llu bytes "
+          "restored)\n",
+          static_cast<unsigned long long>(r.ops_migrated),
+          static_cast<unsigned long long>(r.restores),
+          static_cast<unsigned long long>(r.restored_bytes));
+      std::printf(
+          "  replay:            %llu tuples replayed, %llu re-emissions "
+          "suppressed\n",
+          static_cast<unsigned long long>(r.replayed_tuples),
+          static_cast<unsigned long long>(r.replay_suppressed));
+      std::printf(
+          "  retransmissions:   %llu sent, %llu duplicates discarded, "
+          "%llu escalated\n",
+          static_cast<unsigned long long>(r.retx_sent),
+          static_cast<unsigned long long>(r.retx_dup_discarded),
+          static_cast<unsigned long long>(r.retx_escalated));
+      std::printf(
+          "  reliable delivery: %llu sent, %llu applied, quiesced: %s\n",
+          static_cast<unsigned long long>(r.reliable_sent),
+          static_cast<unsigned long long>(r.reliable_applied),
+          rec->Quiesced() ? "yes" : "no");
+      std::printf("  checkpoint cost:   %.3g model cycles\n",
+                  r.checkpoint_cost_cycles);
     }
     if (stats) {
       RunLedgerOptions lopts;
@@ -314,8 +424,10 @@ int main(int argc, char** argv) {
         std::printf("\nwrote run ledger to %s\n", stats_path.c_str());
       }
     }
-  } else if (stats) {
-    std::fprintf(stderr, "--stats/--trace-events require --run\n");
+  } else if (stats || recover || epoch_width > 0) {
+    std::fprintf(stderr,
+                 "--stats/--trace-events/--recover/--checkpoint-interval/"
+                 "--epoch-width require --run\n");
     return 2;
   }
   return 0;

@@ -1,7 +1,9 @@
 #include "dist/cluster_runtime.h"
 
+#include <algorithm>
 #include <optional>
 
+#include "metrics/stats.h"
 #include "partition/advisor.h"
 #include "types/serde.h"
 
@@ -55,6 +57,17 @@ void ClusterRuntime::set_trace_events_enabled(bool enabled) {
 
 void ClusterRuntime::set_fault_plan(FaultPlan plan) {
   SP_CHECK(!built_) << "set_fault_plan must precede Build";
+  recovery_.reset();
+  if (plan.checkpoint_interval > 0) {
+    // Lossless recovery is independent of the fault machinery proper: a plan
+    // that only sets `ckpt` runs checkpoints and acked edges with no kills
+    // and no degraded channels (the differential baseline for the recovery
+    // battery).
+    RecoveryConfig rc;
+    rc.checkpoint_interval = plan.checkpoint_interval;
+    rc.epoch_width = plan.epoch_width;
+    recovery_ = std::make_unique<RecoveryCoordinator>(rc);
+  }
   if (plan.empty()) {
     // An empty plan is inert by constraint: no controller exists, so every
     // execution path is byte-identical to a run without the call.
@@ -78,15 +91,45 @@ void ClusterRuntime::AccountTransferBatch(int from_host, int to_host,
   result_.hosts[to_host].net_bytes_in += bytes;
 }
 
+int ClusterRuntime::ProducerHost(const EdgeKey& key) const {
+  if (key.producer >= 0) return op_host_[key.producer];
+  int p = -key.producer - 1;
+  return partition_host_merged_[p];
+}
+
+OperatorPtr ClusterRuntime::MakeInstance(int id) {
+  const DistOperator& op = plan_->op(id);
+  if (op.kind == DistOpKind::kMerge) {
+    return std::make_unique<MergeOp>(op.stream_name, op.schema,
+                                     op.children.size());
+  }
+  auto made = MakeOperator(op.query, &graph_->udaf_registry());
+  SP_CHECK(made.ok()) << "rebuilding operator " << id
+                      << " for migration failed: " << made.status().ToString();
+  return std::move(*made);
+}
+
+void ClusterRuntime::BindInstanceTelemetry(int id) {
+  if (!telemetry_enabled_) return;
+  // Scope names carry the plan op id so replicated operators (one per
+  // partition) stay distinguishable within a host, and a migrated replica
+  // never collides with the target's own operators.
+  instances_[id]->BindTelemetry(
+      host_stats_[op_host_[id]].get(),
+      instances_[id]->label() + "#" + std::to_string(id));
+}
+
 Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
   if (built_) return Status::Internal("ClusterRuntime::Build called twice");
   built_ = true;
 
   instances_.resize(plan_->size());
+  op_host_.assign(plan_->size(), 0);
 
   // Pass 1: instantiate operators (sources have no instance).
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
+    op_host_[id] = op.host;
     switch (op.kind) {
       case DistOpKind::kSource: {
         auto& hosts = partition_hosts_[op.stream_name];
@@ -115,16 +158,10 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     }
   }
 
-  // Bind each instance to its host's telemetry registry. Scope names carry
-  // the plan op id so replicated operators (one per partition) stay
-  // distinguishable within a host.
+  // Bind each instance to its host's telemetry registry.
   if (telemetry_enabled_) {
     for (int id : plan_->TopoOrder()) {
-      if (instances_[id] == nullptr) continue;
-      const DistOperator& op = plan_->op(id);
-      instances_[id]->BindTelemetry(
-          host_stats_[op.host].get(),
-          instances_[id]->label() + "#" + std::to_string(id));
+      if (instances_[id] != nullptr) BindInstanceTelemetry(id);
     }
   }
 
@@ -182,178 +219,544 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
   }
   stats_folded_.assign(plan_->size(), 0);
 
-  // Pass 2: wire edges. Cross-host edges are collected per producer so each
-  // producer output is serialized and decoded exactly once no matter how
-  // many remote consumers it feeds; traffic is still accounted per edge.
+  // Pass 2: collect edges per producer id. Cross-host edges are grouped so
+  // each producer output is serialized and decoded exactly once no matter
+  // how many remote consumers it feeds; traffic is still accounted per edge.
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
     if (op.kind == DistOpKind::kSource) continue;
-    Operator* consumer = instances_[id].get();
     for (size_t port = 0; port < op.children.size(); ++port) {
       int child = op.children[port];
       const DistOperator& producer = plan_->op(child);
       if (producer.kind == DistOpKind::kSource) {
         routing_[producer.stream_name][producer.partition].push_back(
-            SourceEdge{consumer, port, op.host});
+            Edge{id, port});
         continue;
       }
-      Operator* prod_instance = instances_[child].get();
       if (producer.host == op.host) {
-        prod_instance->AddConsumer(consumer, port);
+        local_edges_[child].push_back(Edge{id, port});
       } else {
-        int from = producer.host;
-        int to = op.host;
-        remote_edges_[child].push_back(RemoteEdge{consumer, port, to});
-        ClusterRuntime* self = this;
-        prod_instance->AddFinishHook([self, consumer, port, from, to]() {
-          // Deliver anything a degraded channel still holds before the port
-          // sees end-of-stream; otherwise held tuples arrive late.
-          if (self->faults_active()) self->faults_->FlushChannel(from, to);
-          consumer->Finish(port);
-        });
+        remote_edges_[child].push_back(Edge{id, port});
       }
     }
   }
-  for (auto& [child, edges] : remote_edges_) {
-    // One channel per producer: serialize across the simulated network (the
-    // receivers see genuinely decoded tuples), account the encoded bytes on
-    // every edge, then deliver the single decoded copy to all consumers.
-    Operator* prod_instance = instances_[child].get();
-    int from = plan_->op(child).host;
-    ClusterRuntime* self = this;
-    const std::vector<RemoteEdge>* shared_edges = &edges;
-    prod_instance->AddSink(
-        [self, from, shared_edges](const Tuple& t) {
-          if (self->faults_active()) {
-            if (!self->faults_->host_alive(from)) {
-              // The producer's host died; its flush output is suppressed at
-              // the host boundary and accounted, not silently vanished.
-              for (size_t i = 0; i < shared_edges->size(); ++i) {
-                self->faults_->CountFlushSuppressed();
-              }
-              return;
-            }
-            auto faulty_decoded = RoundTripTuple(t);
-            SP_CHECK(faulty_decoded.ok())
-                << faulty_decoded.status().ToString();
-            for (const RemoteEdge& e : *shared_edges) {
-              self->DeliverRemoteFaulty(from, e.to_host, t, *faulty_decoded,
-                                        e.consumer, e.port);
-            }
-            return;
-          }
-          auto decoded = RoundTripTuple(t);
-          SP_CHECK(decoded.ok()) << decoded.status().ToString();
-          for (const RemoteEdge& e : *shared_edges) {
-            self->AccountTransfer(from, e.to_host, t);
-            e.consumer->Push(e.port, *decoded);
-          }
-        },
-        [self, from, shared_edges](TupleSpan batch) {
-          if (self->faults_active()) {
-            // Under faults the batch fast path degenerates to per-tuple
-            // deliveries: kills and channel faults act at tuple
-            // granularity, and the per-tuple route keeps both execution
-            // paths on the same deterministic fault sequence.
-            for (const Tuple& t : batch) {
-              if (!self->faults_->host_alive(from)) {
-                for (size_t i = 0; i < shared_edges->size(); ++i) {
-                  self->faults_->CountFlushSuppressed();
-                }
-                continue;
-              }
-              auto faulty_decoded = RoundTripTuple(t);
-              SP_CHECK(faulty_decoded.ok())
-                  << faulty_decoded.status().ToString();
-              for (const RemoteEdge& e : *shared_edges) {
-                self->DeliverRemoteFaulty(from, e.to_host, t, *faulty_decoded,
-                                          e.consumer, e.port);
-              }
-            }
-            return;
-          }
-          size_t enc_bytes = 0;
-          auto decoded = RoundTripBatch(batch, &enc_bytes);
-          SP_CHECK(decoded.ok()) << decoded.status().ToString();
-          for (const RemoteEdge& e : *shared_edges) {
-            self->AccountTransferBatch(from, e.to_host, batch.size(),
-                                       enc_bytes);
-            e.consumer->PushBatch(e.port, *decoded);
-          }
-        });
+  // Pass 2b: wire each producer — local edges, then remote finish hooks,
+  // then the (single, shared) remote sink. MigrateHost repeats exactly this
+  // sequence for rebuilt instances so migrated wiring is order-identical.
+  for (int child : plan_->TopoOrder()) {
+    if (instances_[child] == nullptr) continue;
+    if (auto it = local_edges_.find(child); it != local_edges_.end()) {
+      for (const Edge& e : it->second) WireLocalEdge(child, e.consumer, e.port);
+    }
+    if (auto it = remote_edges_.find(child); it != remote_edges_.end()) {
+      for (const Edge& e : it->second) {
+        AddRemoteFinishHook(child, e.consumer, e.port);
+      }
+      AttachRemoteSinks(child);
+    }
   }
 
   // Pass 3: sinks collect plan outputs (suppressed and accounted when the
   // sink's host died).
   for (int id : plan_->Sinks()) {
-    const DistOperator& op = plan_->op(id);
     if (instances_[id] == nullptr) continue;
-    std::string name = op.stream_name;
-    int sink_host = op.host;
-    ClusterRuntime* self = this;
-    ClusterRunResult* result = &result_;
-    instances_[id]->AddSink([self, result, name, sink_host](const Tuple& t) {
-      if (self->faults_active() && !self->faults_->host_alive(sink_host)) {
-        self->faults_->CountFlushSuppressed();
-        return;
-      }
-      result->outputs[name].push_back(t);
-    });
+    sink_ids_.push_back(id);
+    AttachResultSink(id);
   }
   return Status::OK();
 }
 
-void ClusterRuntime::DeliverRemoteFaulty(int from_host, int to_host,
-                                         const Tuple& wire,
-                                         const Tuple& decoded,
-                                         Operator* consumer, size_t port) {
+void ClusterRuntime::WireLocalEdge(int producer, int consumer, size_t port) {
+  Operator* prod = instances_[producer].get();
+  if (!recovery_active()) {
+    prod->AddConsumer(instances_[consumer].get(), port);
+    return;
+  }
+  // Under recovery local edges deliver through a logging sink: every applied
+  // tuple lands in the consumer's delivery log (the replay source after a
+  // migration), and replay itself mutes the edge — the consumer replays its
+  // own log, so producer re-emissions must not double-deliver. Local edges
+  // connect same-host operators, so both endpoints always migrate together
+  // and the edge itself can never lose a tuple.
+  ClusterRuntime* self = this;
+  prod->AddSink([self, consumer, port](const Tuple& t) {
+    if (self->replaying_) return;
+    self->recovery_->LogDelivery(consumer, port, t);
+    self->instances_[consumer]->Push(port, t);
+  });
+  prod->AddFinishHook([self, consumer, port]() {
+    self->instances_[consumer]->Finish(port);
+  });
+}
+
+void ClusterRuntime::AddRemoteFinishHook(int producer, int consumer,
+                                         size_t port) {
+  Operator* prod = instances_[producer].get();
+  ClusterRuntime* self = this;
+  if (recovery_active()) {
+    prod->AddFinishHook([self, producer, consumer, port]() {
+      // Deliver anything a degraded channel still holds, then escalate
+      // whatever is still unacked (dropped in flight), so the port sees
+      // every tuple before end-of-stream.
+      int from = self->op_host_[producer];
+      int to = self->op_host_[consumer];
+      if (self->faults_active()) self->faults_->FlushChannel(from, to);
+      self->recovery_->DrainEdgePending(
+          EdgeKey{producer, consumer, port},
+          [self](const RecoveryCoordinator::RetxItem& item) {
+            self->ResendEntry(item);
+          });
+      self->instances_[consumer]->Finish(port);
+    });
+    return;
+  }
+  int from = plan_->op(producer).host;
+  int to = plan_->op(consumer).host;
+  prod->AddFinishHook([self, consumer, port, from, to]() {
+    // Deliver anything a degraded channel still holds before the port sees
+    // end-of-stream; otherwise held tuples arrive late.
+    if (self->faults_active()) self->faults_->FlushChannel(from, to);
+    self->instances_[consumer]->Finish(port);
+  });
+}
+
+void ClusterRuntime::AttachRemoteSinks(int child) {
+  Operator* prod = instances_[child].get();
+  ClusterRuntime* self = this;
+  if (recovery_active()) {
+    // Per-tuple only: acked edges sequence, log and (during replay)
+    // suppress at tuple granularity. EmitBatch falls back to a per-tuple
+    // loop over this sink; only the advisory batch counters differ.
+    prod->AddSink([self, child](const Tuple& t) {
+      self->EmitRemoteReliable(child, t);
+    });
+    return;
+  }
+  const std::vector<Edge>* shared_edges = &remote_edges_[child];
+  int from = plan_->op(child).host;
+  prod->AddSink(
+      [self, from, shared_edges](const Tuple& t) {
+        if (self->faults_active()) {
+          if (!self->faults_->host_alive(from)) {
+            // The producer's host died; its flush output is suppressed at
+            // the host boundary and accounted, not silently vanished.
+            for (size_t i = 0; i < shared_edges->size(); ++i) {
+              self->faults_->CountFlushSuppressed();
+            }
+            return;
+          }
+          auto faulty_decoded = RoundTripTuple(t);
+          SP_CHECK(faulty_decoded.ok()) << faulty_decoded.status().ToString();
+          for (const Edge& e : *shared_edges) {
+            self->DeliverRemoteFaulty(from, t, *faulty_decoded, e.consumer,
+                                      e.port);
+          }
+          return;
+        }
+        auto decoded = RoundTripTuple(t);
+        SP_CHECK(decoded.ok()) << decoded.status().ToString();
+        for (const Edge& e : *shared_edges) {
+          self->AccountTransfer(from, self->op_host_[e.consumer], t);
+          self->instances_[e.consumer]->Push(e.port, *decoded);
+        }
+      },
+      [self, from, shared_edges](TupleSpan batch) {
+        if (self->faults_active()) {
+          // Under faults the batch fast path degenerates to per-tuple
+          // deliveries: kills and channel faults act at tuple granularity,
+          // and the per-tuple route keeps both execution paths on the same
+          // deterministic fault sequence.
+          for (const Tuple& t : batch) {
+            if (!self->faults_->host_alive(from)) {
+              for (size_t i = 0; i < shared_edges->size(); ++i) {
+                self->faults_->CountFlushSuppressed();
+              }
+              continue;
+            }
+            auto faulty_decoded = RoundTripTuple(t);
+            SP_CHECK(faulty_decoded.ok())
+                << faulty_decoded.status().ToString();
+            for (const Edge& e : *shared_edges) {
+              self->DeliverRemoteFaulty(from, t, *faulty_decoded, e.consumer,
+                                        e.port);
+            }
+          }
+          return;
+        }
+        size_t enc_bytes = 0;
+        auto decoded = RoundTripBatch(batch, &enc_bytes);
+        SP_CHECK(decoded.ok()) << decoded.status().ToString();
+        for (const Edge& e : *shared_edges) {
+          self->AccountTransferBatch(from, self->op_host_[e.consumer],
+                                     batch.size(), enc_bytes);
+          self->instances_[e.consumer]->PushBatch(e.port, *decoded);
+        }
+      });
+}
+
+void ClusterRuntime::AttachResultSink(int id) {
+  std::string name = plan_->op(id).stream_name;
+  ClusterRuntime* self = this;
+  if (recovery_active()) {
+    instances_[id]->AddSink([self, id, name](const Tuple& t) {
+      if (self->faults_ != nullptr &&
+          !self->faults_->host_alive(self->op_host_[id])) {
+        // No survivor existed to migrate onto: like the lossy path, flush
+        // output of a dead host is suppressed and accounted.
+        self->faults_->CountFlushSuppressed();
+        return;
+      }
+      uint64_t idx = self->instances_[id]->stats().tuples_out;
+      if (self->recovery_->Suppress(id, idx)) return;
+      self->result_.outputs[name].push_back(t);
+    });
+    return;
+  }
+  int sink_host = plan_->op(id).host;
+  ClusterRunResult* result = &result_;
+  instances_[id]->AddSink([self, result, name, sink_host](const Tuple& t) {
+    if (self->faults_active() && !self->faults_->host_alive(sink_host)) {
+      self->faults_->CountFlushSuppressed();
+      return;
+    }
+    result->outputs[name].push_back(t);
+  });
+}
+
+FaultChannel* ClusterRuntime::ChannelForPair(int from_host, int to_host) {
+  if (faults_ == nullptr || !faults_->active()) return nullptr;
+  FaultChannel* channel = faults_->FindChannel(from_host, to_host);
+  if (channel != nullptr) return channel;
+  // First use of this directed pair: the spec is resolved (and, when a
+  // channel is created, its counters bound in the sender's registry)
+  // lazily; healthy pairs never materialize a telemetry scope.
+  return faults_->ChannelFor(from_host, to_host, [&]() {
+    return telemetry_enabled_
+               ? host_stats_[from_host]->GetScope(
+                     "channel#" + std::to_string(from_host) + "->" +
+                     std::to_string(to_host))
+               : nullptr;
+  });
+}
+
+void ClusterRuntime::DeliverRemoteFaulty(int from_host, const Tuple& wire,
+                                         const Tuple& decoded, int consumer,
+                                         size_t port) {
   size_t bytes = EncodedTupleSize(wire);
   // Sender-side accounting happens at send time — the tuple left the host
   // whether or not the channel later drops it. (The healthy path accounts
   // both sides together; under faults the two sides legitimately diverge.)
   result_.hosts[from_host].net_tuples_out += 1;
   result_.hosts[from_host].net_bytes_out += bytes;
-  FaultChannel* channel = faults_->FindChannel(from_host, to_host);
+  FaultChannel* channel = ChannelForPair(from_host, op_host_[consumer]);
   if (channel == nullptr) {
-    // First use of this directed pair: the spec is resolved (and, when a
-    // channel is created, its counters bound in the sender's registry)
-    // lazily; healthy pairs never materialize a telemetry scope.
-    channel = faults_->ChannelFor(from_host, to_host, [&]() {
-      return telemetry_enabled_
-                 ? host_stats_[from_host]->GetScope(
-                       "channel#" + std::to_string(from_host) + "->" +
-                       std::to_string(to_host))
-                 : nullptr;
-    });
-  }
-  if (channel == nullptr) {
-    ReceiveRemote(to_host, decoded, bytes, consumer, port);
+    ReceiveRemote(decoded, bytes, consumer, port);
     return;
   }
-  channel->Send(decoded, [this, to_host, bytes, consumer, port](
-                             const Tuple& t) {
-    return ReceiveRemote(to_host, t, bytes, consumer, port);
+  channel->Send(decoded, [this, bytes, consumer, port](const Tuple& t) {
+    return ReceiveRemote(t, bytes, consumer, port);
   });
 }
 
-bool ClusterRuntime::ReceiveRemote(int to_host, const Tuple& tuple,
-                                   size_t bytes, Operator* consumer,
-                                   size_t port) {
+bool ClusterRuntime::ReceiveRemote(const Tuple& tuple, size_t bytes,
+                                   int consumer, size_t port) {
+  int to_host = op_host_[consumer];
   if (!faults_->host_alive(to_host)) {
     faults_->CountNetTupleLost();
     return false;
   }
   result_.hosts[to_host].net_tuples_in += 1;
   result_.hosts[to_host].net_bytes_in += bytes;
-  consumer->Push(port, tuple);
+  instances_[consumer]->Push(port, tuple);
   return true;
+}
+
+void ClusterRuntime::BumpCheckpointStat(int host, const StatDef& def,
+                                        uint64_t n) {
+  if (!telemetry_enabled_ || n == 0) return;
+  StatsScope* scope =
+      host_stats_[host]->GetScope("checkpoint#" + std::to_string(host));
+  if (scope == nullptr) return;
+  scope->counter(def)->Add(n);
+}
+
+void ClusterRuntime::BumpChannelStat(int from_host, int to_host,
+                                     const StatDef& def) {
+  if (!telemetry_enabled_) return;
+  StatsScope* scope = host_stats_[from_host]->GetScope(
+      "channel#" + std::to_string(from_host) + "->" +
+      std::to_string(to_host));
+  if (scope == nullptr) return;
+  scope->counter(def)->Inc();
+}
+
+void ClusterRuntime::EmitRemoteReliable(int child, const Tuple& t) {
+  if (faults_ != nullptr && !faults_->host_alive(op_host_[child])) {
+    // No survivor existed to migrate onto; flush output is suppressed at
+    // the host boundary like the lossy path.
+    for (size_t i = 0; i < remote_edges_[child].size(); ++i) {
+      faults_->CountFlushSuppressed();
+    }
+    return;
+  }
+  // Replay re-emission: the restored instance reproduces outputs it already
+  // published before the kill. Downstream hosts saw them; drop by index.
+  uint64_t idx = instances_[child]->stats().tuples_out;
+  if (recovery_->Suppress(child, idx)) return;
+  int from = op_host_[child];
+  auto decoded = RoundTripTuple(t);
+  SP_CHECK(decoded.ok()) << decoded.status().ToString();
+  for (const Edge& e : remote_edges_[child]) {
+    SendReliable(child, from, t, *decoded, e.consumer, e.port);
+  }
+}
+
+void ClusterRuntime::SendReliable(int producer_key, int from,
+                                  const Tuple& wire, const Tuple& decoded,
+                                  int consumer, size_t port) {
+  EdgeKey key{producer_key, consumer, port};
+  int to = op_host_[consumer];
+  if (from == to) {
+    // A same-host edge (source-local, or collapsed by migration): keep the
+    // sequencing — the edge may still have in-flight predecessors from
+    // before a collapse, and applies must stay in order — but skip the
+    // network and its accounting.
+    uint64_t seq = recovery_->RecordSend(key, decoded, 0);
+    DeliverReliable(key, seq, decoded, 0, false);
+    return;
+  }
+  size_t bytes = EncodedTupleSize(wire);
+  uint64_t seq = recovery_->RecordSend(key, decoded, bytes);
+  result_.hosts[from].net_tuples_out += 1;
+  result_.hosts[from].net_bytes_out += bytes;
+  FaultChannel* channel = ChannelForPair(from, to);
+  if (channel == nullptr) {
+    DeliverReliable(key, seq, decoded, bytes, true);
+    return;
+  }
+  ClusterRuntime* self = this;
+  uint64_t cap_bytes = bytes;
+  channel->Send(decoded, [self, key, seq, cap_bytes](const Tuple& t) {
+    self->DeliverReliable(key, seq, t, cap_bytes, true);
+    // The arrival itself always "succeeds": duplicate discard and ordering
+    // happen above the channel, in the coordinator.
+    return true;
+  });
+}
+
+void ClusterRuntime::DeliverReliable(const EdgeKey& key, uint64_t seq,
+                                     const Tuple& tuple, size_t bytes,
+                                     bool account) {
+  int consumer = key.consumer;
+  if (account) {
+    // Receiver-side accounting per arrival, duplicates included — the bytes
+    // crossed the network either way. The host is resolved at delivery
+    // time: the consumer may have migrated while the tuple was in flight.
+    int to = op_host_[consumer];
+    result_.hosts[to].net_tuples_in += 1;
+    result_.hosts[to].net_bytes_in += bytes;
+  }
+  ClusterRuntime* self = this;
+  bool fresh = recovery_->Deliver(
+      key, seq, tuple, [self, consumer](size_t port, const Tuple& t) {
+        self->recovery_->LogDelivery(consumer, port, t);
+        self->instances_[consumer]->Push(port, t);
+      });
+  if (!fresh && account) {
+    BumpChannelStat(ProducerHost(key), op_host_[consumer],
+                    stats::kChanRetxDupDiscarded);
+  }
+}
+
+void ClusterRuntime::ResendEntry(const RecoveryCoordinator::RetxItem& item) {
+  int from = ProducerHost(item.key);
+  int to = op_host_[item.key.consumer];
+  if (from == to) {
+    // Migration collapsed the edge while this tuple was in flight; any
+    // channel copy can only arrive as a duplicate now. Deliver directly.
+    recovery_->CountEscalated();
+    DeliverReliable(item.key, item.seq, item.tuple, 0, false);
+    return;
+  }
+  // A resend is a fresh transfer: the sender pays net-out again (the
+  // channel conservation identity is over sends, so it is unaffected).
+  result_.hosts[from].net_tuples_out += 1;
+  result_.hosts[from].net_bytes_out += item.bytes;
+  if (!item.escalate) {
+    recovery_->CountRetxSent();
+    FaultChannel* channel = ChannelForPair(from, to);
+    if (channel != nullptr) {
+      channel->CountRetransmit();
+      EdgeKey key = item.key;
+      uint64_t seq = item.seq;
+      uint64_t bytes = item.bytes;
+      ClusterRuntime* self = this;
+      channel->Send(item.tuple, [self, key, seq, bytes](const Tuple& t) {
+        self->DeliverReliable(key, seq, t, bytes, true);
+        return true;
+      });
+      return;
+    }
+    // The pair is healthy now (e.g. the consumer migrated off the degraded
+    // link): the retransmit delivers directly like any healthy send.
+    DeliverReliable(item.key, item.seq, item.tuple, item.bytes, true);
+    return;
+  }
+  // Attempts exhausted: escalate to the out-of-band reliable path (a direct
+  // delivery), so no tuple is ever lost to a persistently lossy channel.
+  BumpChannelStat(from, to, stats::kChanRetxEscalated);
+  recovery_->CountEscalated();
+  DeliverReliable(item.key, item.seq, item.tuple, item.bytes, true);
+}
+
+void ClusterRuntime::DoCheckpoint() {
+  recovery_->BeginCheckpoint();
+  std::vector<char> host_touched(config_.num_hosts, 0);
+  for (int id : plan_->TopoOrder()) {
+    if (instances_[id] == nullptr) continue;
+    int host = op_host_[id];
+    if (faults_ != nullptr && !faults_->host_alive(host)) continue;
+    host_touched[host] = 1;
+    if (!recovery_->ShouldSerialize(id)) {
+      // Incremental: nothing was delivered to this operator since its last
+      // snapshot, so the stored blob is still exact.
+      recovery_->CountSkipped();
+      BumpCheckpointStat(host, stats::kCkptOpsSkipped, 1);
+      continue;
+    }
+    std::string payload;
+    instances_[id]->CheckpointState(&payload);
+    size_t stored = recovery_->StoreBlob(id, std::move(payload),
+                                         instances_[id]->stats().tuples_out);
+    result_.hosts[host].ckpt_bytes += stored;
+    BumpCheckpointStat(host, stats::kCkptOpsSerialized, 1);
+    BumpCheckpointStat(host, stats::kCkptBytes, stored);
+  }
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    if (host_touched[h]) BumpCheckpointStat(h, stats::kCkptSnapshots, 1);
+  }
+}
+
+void ClusterRuntime::MigrateHost(int host) {
+  // Lowest-id surviving host hosts the dead host's operators.
+  int target = -1;
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    if (h != host && faults_->host_alive(h)) {
+      target = h;
+      break;
+    }
+  }
+  faults_->MarkDead(host);
+  result_.dead_hosts.push_back(host);
+  if (target < 0) {
+    // No survivor: nothing to migrate onto. Fold the work ledgers (outputs
+    // are suppressed at the sinks) and leave the instances in place.
+    for (int id : plan_->TopoOrder()) {
+      if (instances_[id] == nullptr || op_host_[id] != host) continue;
+      if (plan_->op(id).kind == DistOpKind::kMerge) {
+        result_.hosts[host].merge_ops += instances_[id]->stats();
+      } else {
+        result_.hosts[host].ops += instances_[id]->stats();
+      }
+      stats_folded_[id] = true;
+    }
+    return;
+  }
+
+  // Operators to migrate, in topo order: upstream replacements exist before
+  // anything replays into their consumers.
+  std::vector<int> migrated;
+  for (int id : plan_->TopoOrder()) {
+    if (instances_[id] != nullptr && op_host_[id] == host) {
+      migrated.push_back(id);
+    }
+  }
+
+  // The dead instance's work folds into the dead host's ledger row (work it
+  // really performed); the replacement folds into the target at end of run.
+  // Replay re-emissions of outputs already published before the kill are
+  // suppressed by output index — the new instance's emission numbering
+  // restarts at the snapshot point.
+  for (int id : migrated) {
+    if (plan_->op(id).kind == DistOpKind::kMerge) {
+      result_.hosts[host].merge_ops += instances_[id]->stats();
+    } else {
+      result_.hosts[host].ops += instances_[id]->stats();
+    }
+    recovery_->SetSuppression(id, instances_[id]->stats().tuples_out -
+                                      recovery_->CheckpointTuplesOut(id));
+  }
+
+  // Re-home the dead host's source partitions: the tap keeps feeding the
+  // same partitions, now served by the target.
+  for (auto& [name, hosts] : partition_hosts_) {
+    for (int& h : hosts) {
+      if (h == host) h = target;
+    }
+  }
+  for (int& h : partition_host_merged_) {
+    if (h == host) h = target;
+  }
+
+  // Rebuild each operator on the target from its last snapshot.
+  for (int id : migrated) {
+    instances_[id] = MakeInstance(id);
+    op_host_[id] = target;
+    BindInstanceTelemetry(id);
+    recovery_->CountMigratedOp();
+    if (recovery_->HasBlob(id)) {
+      Status restored =
+          instances_[id]->RestoreState(recovery_->BlobPayload(id));
+      SP_CHECK(restored.ok())
+          << "restoring op " << id
+          << " from checkpoint failed: " << restored.ToString();
+      uint64_t bytes = recovery_->BlobStoredBytes(id);
+      recovery_->CountRestore(bytes);
+      result_.hosts[target].ckpt_restored_bytes += bytes;
+      BumpCheckpointStat(target, stats::kCkptRestores, 1);
+      BumpCheckpointStat(target, stats::kCkptRestoredBytes, bytes);
+      recovery_->ResetCheckpointTuplesOut(id);
+    }
+  }
+
+  // Rewire the replacements in exactly Build's per-producer order.
+  for (int id : migrated) {
+    if (auto it = local_edges_.find(id); it != local_edges_.end()) {
+      for (const Edge& e : it->second) WireLocalEdge(id, e.consumer, e.port);
+    }
+    if (auto it = remote_edges_.find(id); it != remote_edges_.end()) {
+      for (const Edge& e : it->second) {
+        AddRemoteFinishHook(id, e.consumer, e.port);
+      }
+      AttachRemoteSinks(id);
+    }
+    if (std::find(sink_ids_.begin(), sink_ids_.end(), id) !=
+        sink_ids_.end()) {
+      AttachResultSink(id);
+    }
+  }
+
+  // Replay each operator's post-snapshot delivery suffix, in original
+  // arrival order. Local-edge sinks are muted (each migrated consumer
+  // replays its own log) and external re-emissions are suppressed by index,
+  // so replay has no side effects outside the restored instances.
+  replaying_ = true;
+  for (int id : migrated) {
+    const auto& log = recovery_->DeliveryLog(id);
+    for (const RecoveryCoordinator::Delivery& d : log) {
+      instances_[id]->Push(d.port, d.tuple);
+    }
+    recovery_->CountReplayedTuples(log.size());
+    BumpCheckpointStat(target, stats::kCkptReplayedTuples, log.size());
+  }
+  replaying_ = false;
 }
 
 void ClusterRuntime::PushSource(const std::string& source,
                                 const Tuple& tuple) {
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
-  if (faults_active()) ObserveSourceTime(tuple);
+  if (faults_active() || recovery_active()) ObserveSourceTime(tuple);
   int p = partitioner_->PartitionOf(tuple);
   // After a repartition the partitioner spans only surviving partitions;
   // map its index back into the original partition space.
@@ -371,33 +774,52 @@ void ClusterRuntime::PushSource(const std::string& source,
   // Serialize at most once per tuple: traffic is accounted on every remote
   // edge, but all remote consumers share one decoded copy.
   std::optional<Tuple> decoded;
-  for (const SourceEdge& edge : it->second[p]) {
-    if (edge.consumer_host != src_host) {
+  for (const Edge& edge : it->second[p]) {
+    int to_host = op_host_[edge.consumer];
+    if (recovery_active()) {
+      // Every source edge is acked and sequenced (same-host edges skip the
+      // network but keep their ordering), so a later migration can always
+      // recover in-flight tuples.
+      if (to_host == src_host) {
+        SendReliable(-(p + 1), src_host, tuple, tuple, edge.consumer,
+                     edge.port);
+        continue;
+      }
+      if (!decoded.has_value()) {
+        auto rt = RoundTripTuple(tuple);
+        SP_CHECK(rt.ok()) << rt.status().ToString();
+        decoded = std::move(*rt);
+      }
+      SendReliable(-(p + 1), src_host, tuple, *decoded, edge.consumer,
+                   edge.port);
+      continue;
+    }
+    if (to_host != src_host) {
       if (!decoded.has_value()) {
         auto rt = RoundTripTuple(tuple);
         SP_CHECK(rt.ok()) << rt.status().ToString();
         decoded = std::move(*rt);
       }
       if (faults_active()) {
-        DeliverRemoteFaulty(src_host, edge.consumer_host, tuple, *decoded,
-                            edge.consumer, edge.port);
+        DeliverRemoteFaulty(src_host, tuple, *decoded, edge.consumer,
+                            edge.port);
         continue;
       }
-      AccountTransfer(src_host, edge.consumer_host, tuple);
-      edge.consumer->Push(edge.port, *decoded);
+      AccountTransfer(src_host, to_host, tuple);
+      instances_[edge.consumer]->Push(edge.port, *decoded);
     } else {
-      edge.consumer->Push(edge.port, tuple);
+      instances_[edge.consumer]->Push(edge.port, tuple);
     }
   }
 }
 
 void ClusterRuntime::PushSourceBatch(const std::string& source,
                                      TupleSpan batch) {
-  if (faults_active()) {
-    // Kills act at tuple granularity (a host can die mid-batch) and
-    // channel faults must draw the same deterministic sequence on both
-    // execution paths, so the batched route degenerates to per-tuple
-    // delivery while faults are live.
+  if (faults_active() || recovery_active()) {
+    // Kills act at tuple granularity (a host can die mid-batch), channel
+    // faults must draw the same deterministic sequence on both execution
+    // paths, and acked edges sequence per tuple — so the batched route
+    // degenerates to per-tuple delivery while either is live.
     for (const Tuple& tuple : batch) PushSource(source, tuple);
     return;
   }
@@ -428,18 +850,18 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
     // trip per bucket; local consumers see the bucket directly.
     std::optional<TupleBatch> decoded;
     size_t enc_bytes = 0;
-    for (const SourceEdge& edge : partitions[p]) {
-      if (edge.consumer_host != src_host) {
+    for (const Edge& edge : partitions[p]) {
+      int to_host = op_host_[edge.consumer];
+      if (to_host != src_host) {
         if (!decoded.has_value()) {
           auto rt = RoundTripBatch(bucket, &enc_bytes);
           SP_CHECK(rt.ok()) << rt.status().ToString();
           decoded = std::move(*rt);
         }
-        AccountTransferBatch(src_host, edge.consumer_host, bucket.size(),
-                             enc_bytes);
-        edge.consumer->PushBatch(edge.port, *decoded);
+        AccountTransferBatch(src_host, to_host, bucket.size(), enc_bytes);
+        instances_[edge.consumer]->PushBatch(edge.port, *decoded);
       } else {
-        edge.consumer->PushBatch(edge.port, bucket);
+        instances_[edge.consumer]->PushBatch(edge.port, bucket);
       }
     }
   }
@@ -450,27 +872,35 @@ void ClusterRuntime::FinishSources() {
   finished_ = true;
   // Deliver everything degraded channels still hold before any port sees
   // end-of-stream (the per-edge finish hooks flush again, harmlessly, for
-  // tuples emitted during the flush cascade itself).
+  // tuples emitted during the flush cascade itself), then escalate whatever
+  // is still unacked — nothing may stay stranded in a sender buffer.
   if (faults_active()) faults_->FlushAll();
+  if (recovery_active()) {
+    recovery_->DrainAllPending(
+        [this](const RecoveryCoordinator::RetxItem& item) {
+          ResendEntry(item);
+        });
+  }
   for (auto& [name, partitions] : routing_) {
     for (auto& edges : partitions) {
-      for (const SourceEdge& edge : edges) {
-        edge.consumer->Finish(edge.port);
+      for (const Edge& edge : edges) {
+        instances_[edge.consumer]->Finish(edge.port);
       }
     }
   }
   // Fold operator work into host ledgers; merges are accounted separately
   // (they forward tuples rather than processing them). Operators on killed
   // hosts were folded at kill time — their post-death (suppressed) flush
-  // work must not inflate the ledger.
+  // work must not inflate the ledger — and a migrated replacement folds
+  // into the host that actually ran it.
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
     if (instances_[id] == nullptr) continue;
     if (!stats_folded_.empty() && stats_folded_[id]) continue;
     if (op.kind == DistOpKind::kMerge) {
-      result_.hosts[op.host].merge_ops += instances_[id]->stats();
+      result_.hosts[op_host_[id]].merge_ops += instances_[id]->stats();
     } else {
-      result_.hosts[op.host].ops += instances_[id]->stats();
+      result_.hosts[op_host_[id]].ops += instances_[id]->stats();
     }
   }
 }
@@ -481,7 +911,23 @@ void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
     return;
   }
   uint64_t time = tuple.at(source_time_idx_).AsUint64();
-  for (int host : faults_->OnSourceTime(time)) KillHost(host);
+  // Order matters: the fault controller drains reorder/queue deliveries for
+  // the closing epoch first (arrivals ack their sender buffers), then due
+  // retransmits fire, then a due checkpoint snapshots the settled state,
+  // then kills execute — a kill at epoch E sees E's checkpoint.
+  std::vector<int> due_kills;
+  if (faults_active()) due_kills = faults_->OnSourceTime(time);
+  if (recovery_active()) {
+    uint64_t eid = time / recovery_->config().epoch_width;
+    if (recovery_->AdvanceEpoch(eid)) {
+      recovery_->ScanRetransmits(
+          eid, [this](const RecoveryCoordinator::RetxItem& item) {
+            ResendEntry(item);
+          });
+      if (recovery_->CheckpointDue()) DoCheckpoint();
+    }
+  }
+  for (int host : due_kills) KillHost(host);
 }
 
 void ClusterRuntime::KillHost(int host) {
@@ -490,12 +936,16 @@ void ClusterRuntime::KillHost(int host) {
   // Deliver in-flight channel tuples while the host can still receive;
   // everything sent before the kill instant was already "on the wire".
   faults_->FlushAll();
+  if (recovery_active()) {
+    MigrateHost(host);
+    return;
+  }
   // Record window-invalidation markers for the open state the host loses,
   // and fold its work ledger now — post-death flush work is suppressed and
   // must not be accounted.
   for (int id : plan_->TopoOrder()) {
     const DistOperator& op = plan_->op(id);
-    if (op.host != host || instances_[id] == nullptr) continue;
+    if (op_host_[id] != host || instances_[id] == nullptr) continue;
     Operator::OpenState open = instances_[id]->open_state();
     faults_->RecordInvalidation(
         host, instances_[id]->label() + "#" + std::to_string(id), open.windows,
@@ -513,20 +963,21 @@ void ClusterRuntime::KillHost(int host) {
   // that can never arrive: finish them now (Finish is idempotent per port,
   // so the end-of-run pass is unaffected).
   for (const auto& [child, edges] : remote_edges_) {
-    if (plan_->op(child).host != host) continue;
-    for (const RemoteEdge& e : edges) {
-      if (!faults_->host_alive(e.to_host)) continue;
-      faults_->FlushChannel(host, e.to_host);
-      e.consumer->Finish(e.port);
+    if (op_host_[child] != host) continue;
+    for (const Edge& e : edges) {
+      int to_host = op_host_[e.consumer];
+      if (!faults_->host_alive(to_host)) continue;
+      faults_->FlushChannel(host, to_host);
+      instances_[e.consumer]->Finish(e.port);
     }
   }
   for (auto& [name, partitions] : routing_) {
     const std::vector<int>& hosts = partition_hosts_.at(name);
     for (size_t p = 0; p < partitions.size(); ++p) {
       if (p >= hosts.size() || hosts[p] != host) continue;
-      for (const SourceEdge& edge : partitions[p]) {
-        if (!faults_->host_alive(edge.consumer_host)) continue;
-        edge.consumer->Finish(edge.port);
+      for (const Edge& edge : partitions[p]) {
+        if (!faults_->host_alive(op_host_[edge.consumer])) continue;
+        instances_[edge.consumer]->Finish(edge.port);
       }
     }
   }
@@ -561,8 +1012,9 @@ void ClusterRuntime::Repartition() {
   // the repartition in model cycles at ledger time.
   uint64_t state_tuples = 0;
   for (int id : plan_->TopoOrder()) {
-    const DistOperator& op = plan_->op(id);
-    if (instances_[id] == nullptr || !faults_->host_alive(op.host)) continue;
+    if (instances_[id] == nullptr || !faults_->host_alive(op_host_[id])) {
+      continue;
+    }
     state_tuples += instances_[id]->open_state().tuples;
   }
   faults_->RecordRepartition(state_tuples);
@@ -587,6 +1039,9 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
   }
   if (faults_active()) {
     ledger.SetFaults(faults_->section(params.cycles_per_remote_tuple));
+  }
+  if (recovery_active()) {
+    ledger.SetRecovery(recovery_->section(params.cycles_per_checkpoint_byte));
   }
   return ledger;
 }

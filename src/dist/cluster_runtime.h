@@ -9,17 +9,25 @@
 /// partitioner, and collects per-host work/traffic ledgers. Per DESIGN.md,
 /// the operators do genuine computation over genuine tuples — the simulation
 /// only substitutes cycle accounting for wall-clock execution.
+///
+/// Edges are id-resolved: wiring lambdas capture plan operator ids and look
+/// up instances and hosts at delivery time, so lossless recovery
+/// (dist/checkpoint.h) can replace a dead host's instances and re-home them
+/// on a survivor without rewiring captured pointers. On the healthy path the
+/// lookups resolve to the build-time placement, byte-identically.
 
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dist/checkpoint.h"
 #include "dist/fault.h"
 #include "dist/partitioner.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
 #include "metrics/report.h"
+#include "metrics/stats.h"
 #include "optimizer/dist_plan.h"
 #include "plan/query_graph.h"
 
@@ -68,11 +76,20 @@ class ClusterRuntime {
   /// \brief Attaches a fault plan (dist/fault.h). Must be called before
   /// Build. An empty plan leaves every execution path byte-identical to a
   /// run without the call; a non-empty plan routes cross-host traffic
-  /// through the fault controller and enables kills/recovery.
+  /// through the fault controller and enables kills/recovery. A plan with
+  /// `checkpoint_interval > 0` additionally enables lossless recovery
+  /// (dist/checkpoint.h): epoch-aligned state snapshots, acked retransmit
+  /// buffers on every edge, and state migration instead of window
+  /// invalidation when a host dies.
   void set_fault_plan(FaultPlan plan);
 
   /// \brief The fault controller, or nullptr when no plan was attached.
   const FaultController* fault_controller() const { return faults_.get(); }
+  /// \brief The recovery coordinator, or nullptr when the plan did not
+  /// configure a checkpoint interval.
+  const RecoveryCoordinator* recovery_coordinator() const {
+    return recovery_.get();
+  }
 
   /// \brief Instantiates operators and channels; builds the partitioner for
   /// \p actual_ps (round-robin when empty).
@@ -111,15 +128,12 @@ class ClusterRuntime {
                        const RunLedgerOptions& options = {}) const;
 
  private:
-  struct SourceEdge {
-    Operator* consumer;
+  /// One wired edge, id-resolved (see file comment): the consuming
+  /// operator's plan id plus its input port. Instances and hosts are looked
+  /// up at delivery time via instances_/op_host_.
+  struct Edge {
+    int consumer;
     size_t port;
-    int consumer_host;
-  };
-  struct RemoteEdge {
-    Operator* consumer;
-    size_t port;
-    int to_host;
   };
 
   void AccountTransfer(int from_host, int to_host, const Tuple& tuple);
@@ -130,35 +144,96 @@ class ClusterRuntime {
 
   /// True when fault injection is live (plan attached and non-empty).
   bool faults_active() const { return faults_ != nullptr && faults_->active(); }
+  /// True when lossless recovery is configured (checkpoint_interval > 0).
+  bool recovery_active() const { return recovery_ != nullptr; }
+  /// Current host of plan operator \p id (build placement until migration).
+  int OpHost(int id) const { return op_host_[id]; }
+  /// Current host of an acked edge's producer: an operator's host, or the
+  /// (possibly re-homed) host of a source partition.
+  int ProducerHost(const EdgeKey& key) const;
+
+  /// Rebuilds the operator instance of plan op \p id (migration restore).
+  OperatorPtr MakeInstance(int id);
+  /// Binds instance \p id into its current host's registry.
+  void BindInstanceTelemetry(int id);
+  /// Wires the local edge producer -> (consumer, port). Healthy: a direct
+  /// consumer link. Under recovery: a logging sink plus a finish hook, so
+  /// every delivery lands in the consumer's delivery log and replay can mute
+  /// the edge.
+  void WireLocalEdge(int producer, int consumer, size_t port);
+  /// Adds the end-of-stream hook for the remote edge producer -> (consumer,
+  /// port): flush the channel (and drain the edge's retransmit buffer) before
+  /// the consumer's port finishes.
+  void AddRemoteFinishHook(int producer, int consumer, size_t port);
+  /// Attaches producer \p child's cross-host output sink (serialize once,
+  /// deliver to every remote consumer edge).
+  void AttachRemoteSinks(int child);
+  /// Attaches the result-collection sink of plan sink \p id.
+  void AttachResultSink(int id);
+
+  /// The degraded channel for the pair (created lazily, counters bound in
+  /// the sender's registry), or nullptr for healthy pairs / no controller.
+  FaultChannel* ChannelForPair(int from_host, int to_host);
   /// Routes one producer emission across a degraded (or healthy) cross-host
-  /// edge. Only called when faults are active; \p wire is the undecoded
+  /// edge — the lossy (non-recovery) path. \p wire is the undecoded
   /// original (sized for accounting), \p decoded the post-serde copy.
-  void DeliverRemoteFaulty(int from_host, int to_host, const Tuple& wire,
-                           const Tuple& decoded, Operator* consumer,
-                           size_t port);
+  void DeliverRemoteFaulty(int from_host, const Tuple& wire,
+                           const Tuple& decoded, int consumer, size_t port);
   /// Receiving side of a faulty delivery: accounts and pushes unless the
   /// destination host is dead. Returns delivery success.
-  bool ReceiveRemote(int to_host, const Tuple& tuple, size_t bytes,
-                     Operator* consumer, size_t port);
-  /// Kills \p host now: records window invalidations, folds its ledger,
-  /// finishes downstream ports it feeds, and (if the plan allows)
-  /// repartitions over the survivors.
+  bool ReceiveRemote(const Tuple& tuple, size_t bytes, int consumer,
+                     size_t port);
+
+  // --- Lossless recovery (dist/checkpoint.h) ---
+  /// Cross-host emission under recovery: suppress replay re-emissions, then
+  /// send each remote edge reliably.
+  void EmitRemoteReliable(int child, const Tuple& tuple);
+  /// Sends one tuple over the acked edge (producer_key, consumer, port):
+  /// assigns a sequence number, buffers for retransmission, and routes
+  /// through the degraded channel (or directly). Migration-collapsed edges
+  /// (from == to) keep their sequencing but skip the network.
+  void SendReliable(int producer_key, int from, const Tuple& wire,
+                    const Tuple& decoded, int consumer, size_t port);
+  /// Receiving side of an acked edge: acks the sender buffer, discards
+  /// duplicates, applies in sequence order (log + push).
+  void DeliverReliable(const EdgeKey& key, uint64_t seq, const Tuple& tuple,
+                       size_t bytes, bool account);
+  /// Executes one due retransmission: back through the channel, or directly
+  /// when escalated / migration-collapsed.
+  void ResendEntry(const RecoveryCoordinator::RetxItem& item);
+  /// Serializes every (changed) operator state into the checkpoint store.
+  void DoCheckpoint();
+  /// Recovery flavor of a host kill: rebuild the dead host's operators on a
+  /// survivor from the last checkpoint and replay their delivery logs.
+  void MigrateHost(int host);
+  /// Bumps a counter in the per-host `checkpoint#<host>` telemetry scope.
+  void BumpCheckpointStat(int host, const StatDef& def, uint64_t n);
+  /// Bumps a counter in the sender-side `channel#<from>-><to>` scope.
+  void BumpChannelStat(int from_host, int to_host, const StatDef& def);
+
+  /// Kills \p host now. Lossy path: records window invalidations, folds its
+  /// ledger, finishes downstream ports it feeds, and (if the plan allows)
+  /// repartitions over the survivors. Recovery path: MigrateHost.
   void KillHost(int host);
-  /// Rebuilds the partitioner over the surviving partitions.
+  /// Rebuilds the partitioner over the surviving partitions (lossy path).
   void Repartition();
-  /// Source-time hook: drains channel queues at epoch boundaries and
-  /// executes kills that have come due.
+  /// Source-time hook: drains channel queues at epoch boundaries, advances
+  /// the recovery epoch (retransmit scan + due checkpoints), and executes
+  /// kills that have come due.
   void ObserveSourceTime(const Tuple& tuple);
 
   const QueryGraph* graph_;
   const DistPlan* plan_;
   ClusterConfig config_;
   std::unique_ptr<StreamPartitioner> partitioner_;
-  /// Operator instances indexed by plan op id (null for sources/dead ops).
+  /// Operator instances indexed by plan op id (null for sources; replaced
+  /// in place by migration).
   std::vector<OperatorPtr> instances_;
+  /// Current host of each plan op (build placement; migration re-homes).
+  std::vector<int> op_host_;
   /// Routing: source stream name -> per-partition consumer edges.
-  std::map<std::string, std::vector<std::vector<SourceEdge>>> routing_;
-  /// Host of each source partition, per stream.
+  std::map<std::string, std::vector<std::vector<Edge>>> routing_;
+  /// Host of each source partition, per stream (migration re-homes).
   std::map<std::string, std::vector<int>> partition_hosts_;
   /// Scratch per-partition buckets reused across PushSourceBatch calls.
   std::vector<TupleBatch> bucket_scratch_;
@@ -173,8 +248,12 @@ class ClusterRuntime {
 
   // --- Fault injection (all empty/null on the healthy path) ---
   std::unique_ptr<FaultController> faults_;
-  /// Cross-host edges per producer id (kept for kill-time port finishing).
-  std::map<int, std::vector<RemoteEdge>> remote_edges_;
+  /// Same-host edges per producer id (wiring + migration rewiring).
+  std::map<int, std::vector<Edge>> local_edges_;
+  /// Cross-host edges per producer id.
+  std::map<int, std::vector<Edge>> remote_edges_;
+  /// Plan sink ids (result sinks re-attach after migration).
+  std::vector<int> sink_ids_;
   /// Shared source schema and partition set Build resolved (for rebuilding
   /// the partitioner over survivors).
   SchemaPtr source_schema_;
@@ -182,13 +261,21 @@ class ClusterRuntime {
   /// Index of the source schema's temporal column (-1: no epoch notion,
   /// kills never trigger).
   int source_time_idx_ = -1;
-  /// Merged partition -> host map across streams (plan placement).
+  /// Merged partition -> host map across streams (plan placement;
+  /// migration re-homes).
   std::vector<int> partition_host_merged_;
   /// After a repartition: new partitioner index -> original partition.
   /// Empty while the original partitioner is in place.
   std::vector<int> survivor_map_;
   /// Operator ids whose stats were already folded at kill time.
   std::vector<char> stats_folded_;
+
+  // --- Lossless recovery (null when checkpoint_interval == 0) ---
+  std::unique_ptr<RecoveryCoordinator> recovery_;
+  /// True while migration replays delivery logs: local-edge sinks are muted
+  /// (each consumer replays its own log) and external sinks rely on
+  /// suppression windows.
+  bool replaying_ = false;
 };
 
 }  // namespace streampart

@@ -34,7 +34,11 @@ Result<ExperimentCell> ExperimentRunner::RunCell(
       DistPlan plan,
       OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
   ClusterRuntime runtime(graph_, &plan, cluster);
-  if (!config.faults.empty()) runtime.set_fault_plan(config.faults);
+  // A checkpoint-only plan injects no faults (empty() is true) but still
+  // arms the recovery machinery.
+  if (!config.faults.empty() || config.faults.checkpoint_interval > 0) {
+    runtime.set_fault_plan(config.faults);
+  }
   SP_RETURN_NOT_OK(runtime.Build(config.ps));
   if (batch_size == 0) {
     for (const Tuple& t : trace_) runtime.PushSource(source_, t);

@@ -102,6 +102,21 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
     if (directive == "seed") {
       if (tokens.size() != 2) return bad("expected 'seed <n>'");
       SP_ASSIGN_OR_RETURN(plan.seed, ParseUint(line_no, "seed", tokens[1]));
+    } else if (directive == "ckpt") {
+      if (tokens.size() != 2) return bad("expected 'ckpt <interval-epochs>'");
+      SP_ASSIGN_OR_RETURN(plan.checkpoint_interval,
+                          ParseUint(line_no, "ckpt", tokens[1]));
+      if (plan.checkpoint_interval == 0) {
+        return bad("'ckpt' interval must be >= 1 epoch (omit the line to "
+                   "disable checkpointing)");
+      }
+    } else if (directive == "epoch_width") {
+      if (tokens.size() != 2) return bad("expected 'epoch_width <stride>'");
+      SP_ASSIGN_OR_RETURN(plan.epoch_width,
+                          ParseUint(line_no, "epoch_width", tokens[1]));
+      if (plan.epoch_width == 0) {
+        return bad("'epoch_width' must be >= 1 timestamp unit");
+      }
     } else if (directive == "recover") {
       if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
         return bad("expected 'recover on|off'");
@@ -174,6 +189,10 @@ std::string FaultPlan::ToString() const {
   std::ostringstream out;
   out << "seed " << seed << "\n";
   out << "recover " << (repartition ? "on" : "off") << "\n";
+  // Recovery directives print only when non-default so pre-recovery plan
+  // files round-trip byte-identically.
+  if (checkpoint_interval != 0) out << "ckpt " << checkpoint_interval << "\n";
+  if (epoch_width != 1) out << "epoch_width " << epoch_width << "\n";
   for (const HostKillSpec& k : kills) {
     out << "kill host=" << k.host << " epoch=" << k.epoch << "\n";
   }
@@ -216,6 +235,12 @@ void FaultChannel::BindTelemetry(StatsScope* scope) {
   t_dup_extras_ = scope->counter(stats::kChanDupExtras);
   t_reordered_ = scope->counter(stats::kChanReordered);
   t_queue_dropped_ = scope->counter(stats::kChanQueueDropped);
+  t_retransmitted_ = scope->counter(stats::kChanRetxSent);
+}
+
+void FaultChannel::CountRetransmit() {
+  ++row_.retransmitted;
+  if (t_retransmitted_) t_retransmitted_->Inc();
 }
 
 void FaultChannel::Send(const Tuple& tuple, const DeliverFn& deliver) {
@@ -312,10 +337,17 @@ FaultController::FaultController(FaultPlan plan, int num_hosts)
 std::vector<int> FaultController::OnSourceTime(uint64_t time) {
   std::vector<int> due;
   if (!active_) return due;
-  if (current_epoch_.has_value() && time <= *current_epoch_) return due;
-  current_epoch_ = time;
-  // Epoch boundary: bounded queues drain before anything dies.
-  DrainAllQueues();
+  if (current_time_.has_value() && time <= *current_time_) return due;
+  current_time_ = time;
+  // Epoch boundary (epoch id = time / epoch_width): bounded queues drain
+  // before anything dies. With the default width of 1 the id advances on
+  // every distinct timestamp, exactly the original behaviour.
+  uint64_t width = plan_.epoch_width == 0 ? 1 : plan_.epoch_width;
+  uint64_t eid = time / width;
+  if (!current_eid_.has_value() || eid > *current_eid_) {
+    current_eid_ = eid;
+    DrainAllQueues();
+  }
   while (kills_done_ < kills_.size() && kills_[kills_done_].epoch <= time) {
     int host = kills_[kills_done_].host;
     ++kills_done_;

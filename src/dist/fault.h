@@ -65,6 +65,18 @@ struct FaultPlan {
   /// et al. recovery move). `recover off` in the plan file disables it, in
   /// which case tuples routed to dead partitions are counted lost.
   bool repartition = true;
+  /// Lossless recovery (dist/checkpoint.h): when > 0, the runtime snapshots
+  /// every operator's state each `checkpoint_interval` epochs, routes
+  /// cross-host traffic through acked retransmit buffers, and migrates a
+  /// killed host's operators to a survivor instead of invalidating their
+  /// windows. 0 (the default) keeps the lossy PR-3 semantics byte-identical.
+  uint64_t checkpoint_interval = 0;
+  /// Minimum timestamp stride per epoch: source times t and t' share an
+  /// epoch iff t / epoch_width == t' / epoch_width. Width 1 (the default)
+  /// keeps the original every-distinct-timestamp epoch granularity; larger
+  /// widths make bounded `queue=` channels and ack/checkpoint epochs
+  /// meaningful on near-unique-timestamp traces (docs/FAULTS.md).
+  uint64_t epoch_width = 1;
   std::vector<HostKillSpec> kills;
   std::vector<ChannelFaultSpec> channels;
 
@@ -76,6 +88,8 @@ struct FaultPlan {
   ///     # comment
   ///     seed 42
   ///     recover off
+  ///     ckpt 4
+  ///     epoch_width 60
   ///     kill host=2 epoch=3
   ///     channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64
   static Result<FaultPlan> Parse(const std::string& text);
@@ -132,6 +146,13 @@ class FaultChannel {
   /// sending host's registry). Optional; accounting also lives in row().
   void BindTelemetry(StatsScope* scope);
 
+  /// \brief Records one retransmission routed through this channel: the
+  /// recovery coordinator (dist/checkpoint.h) resent an unacked tuple. The
+  /// resend itself is a fresh Send, so the conservation invariant
+  /// delivered + dropped + queue_dropped == sent + dup_extras is unchanged;
+  /// `retransmitted` just marks how many of the sends were second tries.
+  void CountRetransmit();
+
  private:
   struct Entry {
     Tuple tuple;
@@ -155,6 +176,7 @@ class FaultChannel {
   Counter* t_dup_extras_ = nullptr;
   Counter* t_reordered_ = nullptr;
   Counter* t_queue_dropped_ = nullptr;
+  Counter* t_retransmitted_ = nullptr;
 };
 
 /// \brief Executes a FaultPlan: tracks host liveness, owns the degraded
@@ -173,15 +195,19 @@ class FaultController {
     return host < 0 || host >= static_cast<int>(alive_.size()) || alive_[host];
   }
 
-  /// \brief Source-time advance hook: when \p time enters a new epoch, all
-  /// bounded queues drain (epoch boundary), and the hosts whose kill epoch
-  /// has arrived are returned in plan order for the runtime to kill. Call
-  /// before routing the tuple carrying \p time.
+  /// \brief Source-time advance hook: when \p time enters a new epoch
+  /// (epoch id = time / plan().epoch_width), all bounded queues drain
+  /// (epoch boundary); hosts whose kill time has arrived are returned in
+  /// plan order for the runtime to kill. Call before routing the tuple
+  /// carrying \p time. Kill epochs compare against the raw timestamp
+  /// regardless of epoch_width, so `kill epoch=` plans mean the same thing
+  /// at every width.
   ///
-  /// Every distinct (strictly increasing) temporal value is its own epoch.
-  /// On traces with near-unique timestamps this makes bounded queues drain
-  /// at almost every tuple — see docs/FAULTS.md ("What an 'epoch' is") for
-  /// the granularity caveat on `queue=` plans.
+  /// With the default epoch_width of 1 every distinct (strictly increasing)
+  /// temporal value is its own epoch; on traces with near-unique timestamps
+  /// this makes bounded queues drain at almost every tuple. A larger
+  /// `epoch_width` coarsens the stride — see docs/FAULTS.md ("What an
+  /// 'epoch' is").
   std::vector<int> OnSourceTime(uint64_t time);
 
   /// \brief The degraded channel for the directed pair, or nullptr when no
@@ -234,7 +260,10 @@ class FaultController {
   FaultPlan plan_;
   bool active_ = false;
   std::vector<bool> alive_;
-  std::optional<uint64_t> current_epoch_;
+  /// Last observed source timestamp (kills key off the raw time).
+  std::optional<uint64_t> current_time_;
+  /// Last observed epoch id (time / epoch_width); queue drains key off it.
+  std::optional<uint64_t> current_eid_;
   size_t kills_done_ = 0;  // kills_ is consumed in epoch order
   std::vector<HostKillSpec> kills_;  // sorted by (epoch, plan order)
   std::map<std::pair<int, int>, std::unique_ptr<FaultChannel>> channels_;

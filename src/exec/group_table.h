@@ -79,6 +79,17 @@ class PackedKeyTable {
     }
   }
 
+  /// \brief Read-only ForEach (checkpoint serialization).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_; ++i) {
+      if (hashes_[i] != kEmpty) {
+        fn(std::string_view(keys_.data() + i * key_width_, key_width_),
+           values_[i]);
+      }
+    }
+  }
+
   /// \brief Empties the table, keeping capacity, and moves every occupied
   /// value into \p pool so the next window can reuse it (nullptr discards).
   void Recycle(std::vector<T>* pool) {

@@ -24,9 +24,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/result.h"
 #include "metrics/stats.h"
 #include "types/tuple.h"
 
@@ -184,6 +186,31 @@ class Operator {
     uint64_t tuples = 0;   ///< buffered tuples / group states behind them
   };
   virtual OpenState open_state() const { return {}; }
+
+  /// \brief Appends a compact, deterministic encoding of this operator's
+  /// volatile state (open windows, group tables, buffered tuples, UDAF
+  /// partials) to \p out. RestoreState() on a freshly-constructed operator
+  /// of the same plan node must reproduce the state exactly: feeding both
+  /// operators the same subsequent input yields identical emissions, and
+  /// Checkpoint-Restore-Checkpoint round-trips byte-identically. The
+  /// default encodes nothing — correct for stateless operators only.
+  ///
+  /// The encoding is a per-operator payload; the checkpoint coordinator
+  /// (dist/checkpoint.h) adds the versioned header and per-partition
+  /// framing around it.
+  virtual void CheckpointState(std::string* out) const { (void)out; }
+
+  /// \brief Restores the state encoded by CheckpointState() into this
+  /// freshly-constructed operator. Fails (without side-effect guarantees)
+  /// on truncated or malformed input; must consume \p data exactly.
+  virtual Status RestoreState(std::string_view data) {
+    if (!data.empty()) {
+      return Status::InvalidArgument(label(),
+                                     " holds no state but checkpoint has ",
+                                     data.size(), " bytes");
+    }
+    return Status::OK();
+  }
 
   /// \brief Human-readable operator label for plan dumps and debugging.
   virtual std::string label() const = 0;

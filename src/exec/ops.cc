@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "types/serde.h"
+
 namespace streampart {
 
 namespace {
@@ -425,6 +427,118 @@ void AggregateOp::FlushWindow() {
 
 void AggregateOp::DoFinish() { FlushWindow(); }
 
+void AggregateOp::CheckpointState(std::string* out) const {
+  // Layout: u8 has-epoch [value], varint generic-group count then per group
+  // (varint key arity, key values, accumulator blobs), varint packed-entry
+  // count then per entry (raw fixed-width key bytes, accumulator blobs).
+  // Both tables are walked in sorted key order so the bytes are a pure
+  // function of the logical state, independent of hash-table history.
+  out->push_back(current_epoch_.has_value() ? 1 : 0);
+  if (current_epoch_.has_value()) EncodeValue(*current_epoch_, out);
+
+  std::vector<const GroupMap::value_type*> entries;
+  entries.reserve(groups_.size());
+  for (const auto& kv : groups_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  PutVarint(entries.size(), out);
+  for (const auto* entry : entries) {
+    PutVarint(entry->first.size(), out);
+    for (const Value& v : entry->first) EncodeValue(v, out);
+    for (const auto& state : entry->second) state->Save(out);
+  }
+
+  std::vector<std::pair<std::string_view, const GroupStates*>> packed;
+  packed.reserve(packed_table_.size());
+  packed_table_.ForEach(
+      [&packed](std::string_view key, const GroupStates& states) {
+        packed.emplace_back(key, &states);
+      });
+  std::sort(packed.begin(), packed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutVarint(packed.size(), out);
+  for (const auto& [key, states] : packed) {
+    out->append(key.data(), key.size());
+    for (const auto& state : *states) state->Save(out);
+  }
+}
+
+Status AggregateOp::RestoreState(std::string_view data) {
+  groups_.clear();
+  packed_table_.Recycle(nullptr);
+  state_pool_.clear();
+  current_epoch_.reset();
+  epoch_bytes_valid_ = false;
+
+  size_t offset = 0;
+  if (data.empty()) {
+    return Status::InvalidArgument(label(), ": empty checkpoint blob");
+  }
+  if (data[offset++] != 0) {
+    Value epoch;
+    SP_RETURN_NOT_OK(DecodeValue(data, &offset, &epoch));
+    current_epoch_ = std::move(epoch);
+  }
+
+  uint64_t generic = 0;
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &generic));
+  if (generic > data.size()) {
+    return Status::InvalidArgument(label(), ": implausible group count ",
+                                   generic);
+  }
+  for (uint64_t g = 0; g < generic; ++g) {
+    uint64_t arity = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &arity));
+    if (arity > data.size()) {
+      return Status::InvalidArgument(label(), ": implausible key arity ",
+                                     arity);
+    }
+    std::vector<Value> key(arity);
+    for (Value& v : key) SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+    GroupStates states = NewStates();
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (!states[i]->Load(data, &offset)) {
+        return Status::InvalidArgument(label(), ": malformed accumulator ", i,
+                                       " (", node_->aggregates[i].udaf, ")");
+      }
+    }
+    if (!groups_.try_emplace(std::move(key), std::move(states)).second) {
+      return Status::InvalidArgument(label(),
+                                     ": duplicate group key in checkpoint");
+    }
+  }
+
+  uint64_t packed = 0;
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &packed));
+  const size_t width = node_->group_by.size() * kPackedSlotWidth;
+  for (uint64_t g = 0; g < packed; ++g) {
+    if (offset + width > data.size()) {
+      return Status::InvalidArgument(label(), ": truncated packed key");
+    }
+    std::string_view key = data.substr(offset, width);
+    offset += width;
+    bool inserted = false;
+    GroupStates* states = packed_table_.FindOrInsert(
+        key, HashBytesWide(key.data(), key.size()), &inserted);
+    if (!inserted) {
+      return Status::InvalidArgument(label(),
+                                     ": duplicate packed key in checkpoint");
+    }
+    *states = NewStates();
+    for (size_t i = 0; i < states->size(); ++i) {
+      if (!(*states)[i]->Load(data, &offset)) {
+        return Status::InvalidArgument(label(), ": malformed accumulator ", i,
+                                       " (", node_->aggregates[i].udaf, ")");
+      }
+    }
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument(label(), ": checkpoint has ",
+                                   data.size() - offset, " trailing bytes");
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // JoinOp
 // ---------------------------------------------------------------------------
@@ -584,6 +698,100 @@ void JoinOp::JoinWindow(const std::vector<Value>& key, Window* w) {
   }
 }
 
+void JoinOp::CheckpointState(std::string* out) const {
+  // Layout: per side u8 has-watermark [varint arity, values], varint window
+  // count then per window (varint key arity, key values, per side varint
+  // tuple count then tuple + u8 matched). windows_ is a std::map, so the
+  // walk is already in deterministic key order.
+  for (const auto& wm : watermark_) {
+    out->push_back(wm.has_value() ? 1 : 0);
+    if (wm.has_value()) {
+      PutVarint(wm->size(), out);
+      for (const Value& v : *wm) EncodeValue(v, out);
+    }
+  }
+  PutVarint(windows_.size(), out);
+  for (const auto& [key, w] : windows_) {
+    PutVarint(key.size(), out);
+    for (const Value& v : key) EncodeValue(v, out);
+    for (const std::vector<BufferedTuple>* side : {&w.left, &w.right}) {
+      PutVarint(side->size(), out);
+      for (const BufferedTuple& bt : *side) {
+        EncodeTuple(bt.tuple, out);
+        out->push_back(bt.matched ? 1 : 0);
+      }
+    }
+  }
+}
+
+Status JoinOp::RestoreState(std::string_view data) {
+  windows_.clear();
+  watermark_[0].reset();
+  watermark_[1].reset();
+
+  size_t offset = 0;
+  for (auto& wm : watermark_) {
+    if (offset >= data.size()) {
+      return Status::InvalidArgument(label(), ": truncated watermark flag");
+    }
+    if (data[offset++] != 0) {
+      uint64_t arity = 0;
+      SP_RETURN_NOT_OK(GetVarint(data, &offset, &arity));
+      if (arity > data.size()) {
+        return Status::InvalidArgument(label(),
+                                       ": implausible watermark arity ", arity);
+      }
+      std::vector<Value> key(arity);
+      for (Value& v : key) SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+      wm = std::move(key);
+    }
+  }
+  uint64_t num_windows = 0;
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &num_windows));
+  if (num_windows > data.size()) {
+    return Status::InvalidArgument(label(), ": implausible window count ",
+                                   num_windows);
+  }
+  for (uint64_t i = 0; i < num_windows; ++i) {
+    uint64_t arity = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &arity));
+    if (arity > data.size()) {
+      return Status::InvalidArgument(label(), ": implausible key arity ",
+                                     arity);
+    }
+    std::vector<Value> key(arity);
+    for (Value& v : key) SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+    Window w;
+    for (std::vector<BufferedTuple>* side : {&w.left, &w.right}) {
+      uint64_t count = 0;
+      SP_RETURN_NOT_OK(GetVarint(data, &offset, &count));
+      if (count > data.size()) {
+        return Status::InvalidArgument(label(), ": implausible tuple count ",
+                                       count);
+      }
+      side->reserve(count);
+      for (uint64_t t = 0; t < count; ++t) {
+        BufferedTuple bt;
+        SP_RETURN_NOT_OK(DecodeTuple(data, &offset, &bt.tuple));
+        if (offset >= data.size()) {
+          return Status::InvalidArgument(label(), ": truncated matched flag");
+        }
+        bt.matched = data[offset++] != 0;
+        side->push_back(std::move(bt));
+      }
+    }
+    if (!windows_.emplace(std::move(key), std::move(w)).second) {
+      return Status::InvalidArgument(label(),
+                                     ": duplicate window key in checkpoint");
+    }
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument(label(), ": checkpoint has ",
+                                   data.size() - offset, " trailing bytes");
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // MergeOp
 // ---------------------------------------------------------------------------
@@ -656,6 +864,43 @@ void MergeOp::Drain(bool final) {
   }
   // Tuples released by this pass travel downstream as one batch.
   EmitBatch(drain_batch_);
+}
+
+void MergeOp::CheckpointState(std::string* out) const {
+  // Layout: per port u8 done + varint queue length + queued tuples, in port
+  // order (deterministic: the queues are FIFO).
+  for (size_t p = 0; p < queues_.size(); ++p) {
+    out->push_back(port_done_[p] ? 1 : 0);
+    PutVarint(queues_[p].size(), out);
+    for (const Tuple& t : queues_[p]) EncodeTuple(t, out);
+  }
+}
+
+Status MergeOp::RestoreState(std::string_view data) {
+  size_t offset = 0;
+  for (size_t p = 0; p < queues_.size(); ++p) {
+    queues_[p].clear();
+    if (offset >= data.size()) {
+      return Status::InvalidArgument(label(), ": truncated port ", p);
+    }
+    port_done_[p] = data[offset++] != 0;
+    uint64_t count = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &count));
+    if (count > data.size()) {
+      return Status::InvalidArgument(label(), ": implausible queue length ",
+                                     count);
+    }
+    for (uint64_t t = 0; t < count; ++t) {
+      Tuple tuple;
+      SP_RETURN_NOT_OK(DecodeTuple(data, &offset, &tuple));
+      queues_[p].push_back(std::move(tuple));
+    }
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument(label(), ": checkpoint has ",
+                                   data.size() - offset, " trailing bytes");
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

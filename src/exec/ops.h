@@ -84,6 +84,9 @@ class AggregateOp : public Operator {
     return {groups > 0 ? uint64_t{1} : uint64_t{0}, groups};
   }
 
+  void CheckpointState(std::string* out) const override;
+  Status RestoreState(std::string_view data) override;
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
@@ -186,6 +189,9 @@ class JoinOp : public Operator {
     return s;
   }
 
+  void CheckpointState(std::string* out) const override;
+  Status RestoreState(std::string_view data) override;
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoFinish() override;
@@ -242,6 +248,9 @@ class MergeOp : public Operator {
     for (const auto& q : queues_) s.tuples += q.size();
     return s;
   }
+
+  void CheckpointState(std::string* out) const override;
+  Status RestoreState(std::string_view data) override;
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "types/serde.h"
+
 namespace streampart {
 
 SlidingAggregateOp::SlidingAggregateOp(QueryNodePtr node,
@@ -273,6 +275,139 @@ void SlidingAggregateOp::EmitWindow(uint64_t end_pane) {
   while (!panes_.empty() && panes_.front().first < next_begin) {
     panes_.pop_front();
   }
+}
+
+void SlidingAggregateOp::CheckpointState(std::string* out) const {
+  // Layout: u8 has-open-pane [varint pane id], varint next_end_, varint
+  // open-group count then per group (varint key arity, key values, one blob
+  // per sub-component), varint closed-pane count then per pane (varint id,
+  // varint group count, per group: key arity + values, varint component
+  // count + component values). The open table is walked in sorted key order
+  // so the bytes are a pure function of the logical state.
+  out->push_back(current_pane_.has_value() ? 1 : 0);
+  if (current_pane_.has_value()) PutVarint(*current_pane_, out);
+  PutVarint(next_end_, out);
+
+  std::vector<const PaneStates::value_type*> entries;
+  entries.reserve(open_.size());
+  for (const auto& kv : open_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  PutVarint(entries.size(), out);
+  for (const auto* entry : entries) {
+    PutVarint(entry->first.size(), out);
+    for (const Value& v : entry->first) EncodeValue(v, out);
+    for (const auto& state : entry->second) state->Save(out);
+  }
+
+  PutVarint(panes_.size(), out);
+  for (const auto& [id, result] : panes_) {
+    PutVarint(id, out);
+    PutVarint(result.size(), out);
+    for (const auto& [key, components] : result) {
+      PutVarint(key.size(), out);
+      for (const Value& v : key) EncodeValue(v, out);
+      PutVarint(components.size(), out);
+      for (const Value& v : components) EncodeValue(v, out);
+    }
+  }
+}
+
+Status SlidingAggregateOp::RestoreState(std::string_view data) {
+  current_pane_.reset();
+  next_end_ = 0;
+  open_.clear();
+  panes_.clear();
+
+  size_t offset = 0;
+  if (data.empty()) {
+    return Status::InvalidArgument(label(), ": empty checkpoint blob");
+  }
+  if (data[offset++] != 0) {
+    uint64_t pane = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &pane));
+    current_pane_ = pane;
+  }
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &next_end_));
+
+  uint64_t open_groups = 0;
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &open_groups));
+  if (open_groups > data.size()) {
+    return Status::InvalidArgument(label(), ": implausible group count ",
+                                   open_groups);
+  }
+  for (uint64_t g = 0; g < open_groups; ++g) {
+    uint64_t arity = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &arity));
+    if (arity > data.size()) {
+      return Status::InvalidArgument(label(), ": implausible key arity ",
+                                     arity);
+    }
+    std::vector<Value> key(arity);
+    for (Value& v : key) SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+    std::vector<std::unique_ptr<UdafState>> states = NewSubStates();
+    for (size_t i = 0; i < states.size(); ++i) {
+      if (!states[i]->Load(data, &offset)) {
+        return Status::InvalidArgument(label(), ": malformed sub-accumulator ",
+                                       i);
+      }
+    }
+    if (!open_.emplace(std::move(key), std::move(states)).second) {
+      return Status::InvalidArgument(label(),
+                                     ": duplicate group key in checkpoint");
+    }
+  }
+
+  uint64_t num_panes = 0;
+  SP_RETURN_NOT_OK(GetVarint(data, &offset, &num_panes));
+  if (num_panes > data.size()) {
+    return Status::InvalidArgument(label(), ": implausible pane count ",
+                                   num_panes);
+  }
+  for (uint64_t p = 0; p < num_panes; ++p) {
+    uint64_t id = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &id));
+    uint64_t groups = 0;
+    SP_RETURN_NOT_OK(GetVarint(data, &offset, &groups));
+    if (groups > data.size()) {
+      return Status::InvalidArgument(label(), ": implausible group count ",
+                                     groups);
+    }
+    PaneResult result;
+    for (uint64_t g = 0; g < groups; ++g) {
+      uint64_t arity = 0;
+      SP_RETURN_NOT_OK(GetVarint(data, &offset, &arity));
+      if (arity > data.size()) {
+        return Status::InvalidArgument(label(), ": implausible key arity ",
+                                       arity);
+      }
+      std::vector<Value> key(arity);
+      for (Value& v : key) SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+      uint64_t comps = 0;
+      SP_RETURN_NOT_OK(GetVarint(data, &offset, &comps));
+      if (comps > data.size()) {
+        return Status::InvalidArgument(label(), ": implausible component count ",
+                                       comps);
+      }
+      std::vector<Value> components(comps);
+      for (Value& v : components) {
+        SP_RETURN_NOT_OK(DecodeValue(data, &offset, &v));
+      }
+      if (!result.emplace(std::move(key), std::move(components)).second) {
+        return Status::InvalidArgument(label(),
+                                       ": duplicate group key in pane ", id);
+      }
+    }
+    if (!panes_.empty() && panes_.back().first >= id) {
+      return Status::InvalidArgument(label(), ": pane ids out of order");
+    }
+    panes_.emplace_back(id, std::move(result));
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument(label(), ": checkpoint has ",
+                                   data.size() - offset, " trailing bytes");
+  }
+  return Status::OK();
 }
 
 void SlidingAggregateOp::DoFinish() {

@@ -65,6 +65,9 @@ class SlidingAggregateOp : public Operator {
     return s;
   }
 
+  void CheckpointState(std::string* out) const override;
+  Status RestoreState(std::string_view data) override;
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;

@@ -1,12 +1,38 @@
 #include "exec/udaf.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
+#include "types/serde.h"
 
 namespace streampart {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Accumulator serde helpers (checkpointing). Built on the wire-format
+// primitives of types/serde.h so the encodings stay deterministic and
+// compact; the bool-returning readers fold Status into the UdafState::Load
+// contract.
+// ---------------------------------------------------------------------------
+
+bool ReadVarint(std::string_view data, size_t* offset, uint64_t* out) {
+  return GetVarint(data, offset, out).ok();
+}
+
+void PutDouble(double d, std::string* out) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &d, sizeof(double));
+  out->append(buf, sizeof(double));
+}
+
+bool ReadDouble(std::string_view data, size_t* offset, double* out) {
+  if (*offset + sizeof(double) > data.size()) return false;
+  std::memcpy(out, data.data() + *offset, sizeof(double));
+  *offset += sizeof(double);
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // Accumulators
@@ -19,6 +45,10 @@ class CountState : public UdafState {
   bool Reset() override {
     count_ = 0;
     return true;
+  }
+  void Save(std::string* out) const override { PutVarint(count_, out); }
+  bool Load(std::string_view data, size_t* offset) override {
+    return ReadVarint(data, offset, &count_);
   }
 
  private:
@@ -52,6 +82,26 @@ class SumState : public UdafState {
     dsum_ = 0;
     return true;
   }
+  void Save(std::string* out) const override {
+    // Final() already encodes (seen_, the active sum) losslessly per
+    // arg_type_, so the checkpoint is just that value.
+    EncodeValue(Final(), out);
+  }
+  bool Load(std::string_view data, size_t* offset) override {
+    Value v;
+    if (!DecodeValue(data, offset, &v).ok()) return false;
+    Reset();
+    if (v.is_null()) return true;
+    seen_ = true;
+    if (arg_type_ == DataType::kDouble) {
+      dsum_ = v.AsDouble();
+    } else if (arg_type_ == DataType::kInt) {
+      isum_ = v.AsInt64();
+    } else {
+      usum_ = v.AsUint64();
+    }
+    return true;
+  }
 
  private:
   DataType arg_type_;
@@ -78,6 +128,10 @@ class MinMaxState : public UdafState {
     best_ = Value();
     return true;
   }
+  void Save(std::string* out) const override { EncodeValue(best_, out); }
+  bool Load(std::string_view data, size_t* offset) override {
+    return DecodeValue(data, offset, &best_).ok();
+  }
 
  private:
   bool is_min_;
@@ -98,6 +152,14 @@ class AvgState : public UdafState {
     sum_ = 0;
     count_ = 0;
     return true;
+  }
+  void Save(std::string* out) const override {
+    PutDouble(sum_, out);
+    PutVarint(count_, out);
+  }
+  bool Load(std::string_view data, size_t* offset) override {
+    return ReadDouble(data, offset, &sum_) &&
+           ReadVarint(data, offset, &count_);
   }
 
  private:
@@ -124,6 +186,15 @@ class BitAggrState : public UdafState {
     seen_ = false;
     acc_ = is_or_ ? 0 : ~0ULL;
     return true;
+  }
+  void Save(std::string* out) const override {
+    out->push_back(seen_ ? 1 : 0);
+    PutVarint(acc_, out);
+  }
+  bool Load(std::string_view data, size_t* offset) override {
+    if (*offset >= data.size()) return false;
+    seen_ = data[(*offset)++] != 0;
+    return ReadVarint(data, offset, &acc_);
   }
 
  private:

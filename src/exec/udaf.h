@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -39,6 +40,21 @@ class UdafState {
   /// returns false (no in-place reset); callers must then construct a new
   /// state. All built-in aggregates reset in place.
   virtual bool Reset() { return false; }
+
+  /// \brief Appends a compact, deterministic encoding of the accumulator to
+  /// \p out (operator checkpointing, exec/operator.h). Load() on a fresh
+  /// state of the same UDAF and argument type must restore it exactly:
+  /// Save-Load-Save round-trips byte-identically. The defaults encode
+  /// nothing / consume nothing, which is only correct for stateless
+  /// accumulators; every built-in overrides both.
+  virtual void Save(std::string* out) const { (void)out; }
+  /// \brief Restores the accumulator from \p data at \p *offset, advancing
+  /// it. Returns false on truncated or malformed input.
+  virtual bool Load(std::string_view data, size_t* offset) {
+    (void)data;
+    (void)offset;
+    return true;
+  }
 };
 
 /// \brief How to split an aggregate into per-partition sub-aggregates and a

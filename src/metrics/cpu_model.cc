@@ -24,6 +24,8 @@ double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params) {
             static_cast<double>(host.net_tuples_in);
   cycles +=
       params.cycles_per_remote_byte * static_cast<double>(host.net_bytes_in);
+  cycles += params.cycles_per_checkpoint_byte *
+            static_cast<double>(host.ckpt_bytes + host.ckpt_restored_bytes);
   return cycles / params.host_clock_hz;
 }
 

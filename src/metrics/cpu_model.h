@@ -44,6 +44,11 @@ struct CpuCostParams {
   /// stack, copies and scheduling on 2003-era hardware).
   double cycles_per_remote_tuple = 120000;
   double cycles_per_remote_byte = 100;
+  /// Serializing one operator-state byte into (or out of) the checkpoint
+  /// store (dist/checkpoint.h). Charged on ckpt_bytes + ckpt_restored_bytes,
+  /// so checkpoint overhead shows up in the same cpu_seconds currency the
+  /// figures plot.
+  double cycles_per_checkpoint_byte = 50;
   /// Effective per-host cycle budget per second. The paper's servers are
   /// 3.0 GHz Xeons, but a DSMS burns most cycles in capture/stack overheads
   /// the counters above summarize coarsely; this normalized budget is
@@ -66,6 +71,10 @@ struct HostMetrics {
   /// Tuples/bytes sent to other hosts.
   uint64_t net_tuples_out = 0;
   uint64_t net_bytes_out = 0;
+  /// Operator-state bytes this host serialized into the checkpoint store.
+  uint64_t ckpt_bytes = 0;
+  /// Operator-state bytes restored onto this host during migration.
+  uint64_t ckpt_restored_bytes = 0;
 
   friend bool operator==(const HostMetrics&, const HostMetrics&) = default;
 };

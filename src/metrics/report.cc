@@ -78,6 +78,9 @@ std::string HostRowJson(const LedgerHostRow& row) {
   out += ",\"net_tuples_in_per_sec\":" + JsonDouble(row.net_tuples_in_per_sec);
   out += ",\"ops\":" + OpStatsJson(row.metrics.ops);
   out += ",\"merge_ops\":" + OpStatsJson(row.metrics.merge_ops);
+  out += ",\"ckpt_bytes\":" + std::to_string(row.metrics.ckpt_bytes);
+  out += ",\"ckpt_restored_bytes\":" +
+         std::to_string(row.metrics.ckpt_restored_bytes);
   out += "}";
   return out;
 }
@@ -125,9 +128,33 @@ std::string FaultSectionJson(const FaultSection& f) {
     out += ",\"dropped\":" + std::to_string(row.dropped);
     out += ",\"dup_extras\":" + std::to_string(row.dup_extras);
     out += ",\"reordered\":" + std::to_string(row.reordered);
-    out += ",\"queue_dropped\":" + std::to_string(row.queue_dropped) + "}";
+    out += ",\"queue_dropped\":" + std::to_string(row.queue_dropped);
+    out += ",\"retransmitted\":" + std::to_string(row.retransmitted) + "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string RecoverySectionJson(const RecoverySection& r) {
+  std::string out = "{\"record\":\"recovery\"";
+  out += ",\"checkpoint_interval\":" + std::to_string(r.checkpoint_interval);
+  out += ",\"epoch_width\":" + std::to_string(r.epoch_width);
+  out += ",\"checkpoints\":" + std::to_string(r.checkpoints);
+  out += ",\"ops_serialized\":" + std::to_string(r.ops_serialized);
+  out += ",\"ops_skipped\":" + std::to_string(r.ops_skipped);
+  out += ",\"checkpoint_bytes\":" + std::to_string(r.checkpoint_bytes);
+  out += ",\"restores\":" + std::to_string(r.restores);
+  out += ",\"restored_bytes\":" + std::to_string(r.restored_bytes);
+  out += ",\"replayed_tuples\":" + std::to_string(r.replayed_tuples);
+  out += ",\"replay_suppressed\":" + std::to_string(r.replay_suppressed);
+  out += ",\"ops_migrated\":" + std::to_string(r.ops_migrated);
+  out += ",\"retx_sent\":" + std::to_string(r.retx_sent);
+  out += ",\"retx_dup_discarded\":" + std::to_string(r.retx_dup_discarded);
+  out += ",\"retx_escalated\":" + std::to_string(r.retx_escalated);
+  out += ",\"reliable_sent\":" + std::to_string(r.reliable_sent);
+  out += ",\"reliable_applied\":" + std::to_string(r.reliable_applied);
+  out += ",\"checkpoint_cost_cycles\":" + JsonDouble(r.checkpoint_cost_cycles);
+  out += "}";
   return out;
 }
 
@@ -267,6 +294,11 @@ void RunLedger::SetFaults(FaultSection faults) {
   faults_ = std::move(faults);
 }
 
+void RunLedger::SetRecovery(RecoverySection recovery) {
+  if (!recovery.active) return;
+  recovery_ = std::move(recovery);
+}
+
 std::string RunLedger::ToJsonl() const {
   std::string out;
   // Record 1: run metadata.
@@ -299,6 +331,7 @@ std::string RunLedger::ToJsonl() const {
     out += "}\n";
   }
   if (faults_.active) out += FaultSectionJson(faults_) + "\n";
+  if (recovery_.active) out += RecoverySectionJson(recovery_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
     out += ",\"tuples\":" + std::to_string(tuples) + "}\n";
@@ -353,6 +386,21 @@ std::string RunLedger::ToSummaryJson() const {
     out += ",\"repartitions\":" + std::to_string(faults_.repartitions);
     out += ",\"repartition_cost_cycles\":" +
            JsonDouble(faults_.repartition_cost_cycles);
+    out += "}";
+  }
+  if (recovery_.active) {
+    out += ",\n  \"recovery\": {";
+    out += "\"checkpoints\":" + std::to_string(recovery_.checkpoints);
+    out += ",\"checkpoint_bytes\":" +
+           std::to_string(recovery_.checkpoint_bytes);
+    out += ",\"ops_migrated\":" + std::to_string(recovery_.ops_migrated);
+    out += ",\"replayed_tuples\":" + std::to_string(recovery_.replayed_tuples);
+    out += ",\"retx_sent\":" + std::to_string(recovery_.retx_sent);
+    out += ",\"reliable_sent\":" + std::to_string(recovery_.reliable_sent);
+    out += ",\"reliable_applied\":" +
+           std::to_string(recovery_.reliable_applied);
+    out += ",\"checkpoint_cost_cycles\":" +
+           JsonDouble(recovery_.checkpoint_cost_cycles);
     out += "}";
   }
   if (!outputs_.empty()) {

@@ -85,6 +85,10 @@ struct FaultChannelRow {
   uint64_t dup_extras = 0;     ///< extra copies created by duplication
   uint64_t reordered = 0;      ///< tuples held back by the reorder stage
   uint64_t queue_dropped = 0;  ///< drop-oldest evictions of the bounded queue
+  /// Sends that were retransmissions of an unacked tuple (lossless-recovery
+  /// runs only). Each retransmission is a fresh Send, so the conservation
+  /// invariant above is unchanged.
+  uint64_t retransmitted = 0;
 };
 
 /// \brief One "window invalidation" marker: open state a dead host held at
@@ -124,6 +128,38 @@ struct FaultSection {
   std::vector<FaultChannelRow> channels;  ///< configured channels, creation order
 };
 
+/// \brief The `recovery` section of a run ledger: everything the lossless
+/// recovery machinery (dist/checkpoint.h) snapshotted, retransmitted,
+/// migrated and replayed, plus its model-cycle price. Serialized only when a
+/// checkpoint interval was configured — lossy and fault-free runs stay
+/// byte-identical to runs without the recovery machinery.
+///
+/// Zero-unrecovered-loss identity (asserted by the recovery battery): after
+/// a completed run, reliable_sent == reliable_applied — every tuple entrusted
+/// to an acked edge was applied at its consumer exactly once.
+struct RecoverySection {
+  bool active = false;
+  uint64_t checkpoint_interval = 0;  ///< epochs between snapshots
+  uint64_t epoch_width = 1;          ///< timestamp stride per epoch
+  uint64_t checkpoints = 0;          ///< checkpoint rounds taken
+  uint64_t ops_serialized = 0;       ///< operator states serialized
+  uint64_t ops_skipped = 0;          ///< unchanged states skipped (incremental)
+  uint64_t checkpoint_bytes = 0;     ///< serialized state bytes stored
+  uint64_t restores = 0;             ///< operator states restored at migration
+  uint64_t restored_bytes = 0;       ///< state bytes read back at migration
+  uint64_t replayed_tuples = 0;      ///< post-checkpoint tuples replayed
+  uint64_t replay_suppressed = 0;    ///< replay re-emissions suppressed at sinks
+  uint64_t ops_migrated = 0;         ///< operators moved off dead hosts
+  uint64_t retx_sent = 0;            ///< retransmissions routed via channels
+  uint64_t retx_dup_discarded = 0;   ///< duplicate arrivals discarded by seq
+  uint64_t retx_escalated = 0;       ///< direct deliveries after attempt cap
+  uint64_t reliable_sent = 0;        ///< tuples entering acked edges
+  uint64_t reliable_applied = 0;     ///< tuples applied at consumers
+  /// (checkpoint_bytes + restored_bytes) priced at the checkpoint-byte
+  /// cycle weight (CpuCostParams::cycles_per_checkpoint_byte).
+  double checkpoint_cost_cycles = 0;
+};
+
 /// \brief Epoch-timestamped structured record of one experiment run.
 ///
 /// Deterministic by construction: meta keys, output streams, telemetry
@@ -159,11 +195,17 @@ class RunLedger {
   /// byte-identical to runs without the fault machinery.
   void SetFaults(FaultSection faults);
 
+  /// \brief Attaches the lossless-recovery accounting. Like SetFaults, a
+  /// section with `active == false` is ignored entirely.
+  void SetRecovery(RecoverySection recovery);
+
   const std::vector<LedgerHostRow>& hosts() const { return hosts_; }
   const FaultSection& faults() const { return faults_; }
+  const RecoverySection& recovery() const { return recovery_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
-  /// run, host*, operator*, event*, output* (docs/METRICS.md schema).
+  /// run, host*, operator*, event*, faults?, recovery?, output*
+  /// (docs/METRICS.md schema).
   std::string ToJsonl() const;
 
   /// \brief Single JSON object: meta + per-host derived quantities +
@@ -191,7 +233,8 @@ class RunLedger {
   std::vector<OperatorRow> operators_;
   std::vector<EventRow> events_;
   std::map<std::string, uint64_t> outputs_;
-  FaultSection faults_;  // serialized only when faults_.active
+  FaultSection faults_;        // serialized only when faults_.active
+  RecoverySection recovery_;   // serialized only when recovery_.active
 };
 
 }  // namespace streampart

@@ -149,6 +149,48 @@ const StatDef kChanQueueDropped = {"chan_queue_dropped", StatKind::kCounter,
                                    "drop-oldest evictions of a bounded "
                                    "channel queue"};
 
+const StatDef kChanRetxSent = {"chan_retx_sent", StatKind::kCounter, "tuples",
+                               false,
+                               "unacked tuples resent through the channel "
+                               "after a retransmit timeout"};
+const StatDef kChanRetxDupDiscarded = {"chan_retx_dup_discarded",
+                                       StatKind::kCounter, "tuples", false,
+                                       "arrivals discarded by the receiver "
+                                       "as already-applied duplicates"};
+const StatDef kChanRetxEscalated = {"chan_retx_escalated", StatKind::kCounter,
+                                    "tuples", false,
+                                    "unacked tuples delivered directly after "
+                                    "exhausting bounded retransmit attempts"};
+
+const StatDef kCkptSnapshots = {"ckpt_snapshots", StatKind::kCounter,
+                                "snapshots", false,
+                                "epoch-aligned checkpoint rounds the host "
+                                "participated in"};
+const StatDef kCkptOpsSerialized = {"ckpt_ops_serialized", StatKind::kCounter,
+                                    "operators", false,
+                                    "operator states serialized into the "
+                                    "checkpoint store"};
+const StatDef kCkptOpsSkipped = {"ckpt_ops_skipped", StatKind::kCounter,
+                                 "operators", false,
+                                 "operator snapshots skipped because the "
+                                 "state was unchanged (incremental "
+                                 "checkpointing)"};
+const StatDef kCkptBytes = {"ckpt_bytes", StatKind::kCounter, "bytes", false,
+                            "serialized operator-state bytes written to the "
+                            "checkpoint store"};
+const StatDef kCkptRestores = {"ckpt_restores", StatKind::kCounter,
+                               "operators", false,
+                               "operator states restored from the checkpoint "
+                               "store during migration"};
+const StatDef kCkptRestoredBytes = {"ckpt_restored_bytes", StatKind::kCounter,
+                                    "bytes", false,
+                                    "serialized operator-state bytes read "
+                                    "back during migration"};
+const StatDef kCkptReplayedTuples = {"ckpt_replayed_tuples",
+                                     StatKind::kCounter, "tuples", false,
+                                     "post-checkpoint tuples replayed into "
+                                     "migrated operators from delivery logs"};
+
 const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
@@ -158,6 +200,9 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kJoinWindows,   &kJoinWindowTuples,
       &kChanSent,      &kChanDelivered, &kChanDropped,  &kChanDupExtras,
       &kChanReordered, &kChanQueueDropped,
+      &kChanRetxSent,  &kChanRetxDupDiscarded, &kChanRetxEscalated,
+      &kCkptSnapshots, &kCkptOpsSerialized, &kCkptOpsSkipped, &kCkptBytes,
+      &kCkptRestores,  &kCkptRestoredBytes, &kCkptReplayedTuples,
   };
   return kCatalog;
 }

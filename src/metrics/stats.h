@@ -248,6 +248,23 @@ extern const StatDef kChanDupExtras;
 extern const StatDef kChanReordered;
 extern const StatDef kChanQueueDropped;
 
+// Acked-channel retransmission (dist/checkpoint.h). kChanRetxSent lives in
+// the channel scope `channel#<from>-><to>`; the dup-discard / escalation
+// counters are recorded by the runtime under the same scope.
+extern const StatDef kChanRetxSent;
+extern const StatDef kChanRetxDupDiscarded;
+extern const StatDef kChanRetxEscalated;
+
+// Checkpoint / recovery coordinator (dist/checkpoint.h). Recorded under
+// scope `checkpoint#<host>` in the owning host's registry.
+extern const StatDef kCkptSnapshots;
+extern const StatDef kCkptOpsSerialized;
+extern const StatDef kCkptOpsSkipped;
+extern const StatDef kCkptBytes;
+extern const StatDef kCkptRestores;
+extern const StatDef kCkptRestoredBytes;
+extern const StatDef kCkptReplayedTuples;
+
 /// \brief Every StatDef above, in declaration order. The doc-lint and the
 /// run-ledger schema iterate this.
 const std::vector<const StatDef*>& EngineStatCatalog();

@@ -1,5 +1,6 @@
 #include "partition/advisor.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace streampart {
@@ -118,8 +119,14 @@ Result<RepartitionAdvice> AdviseRepartition(const QueryGraph& graph,
                                               *options.calibration_sample));
   }
   auto current_cost = model.Cost(current);
+  // A challenger must beat the incumbent by more than the amortized one-off
+  // cost of moving survivor-side state to the new slicing: repartitioning
+  // during recovery is not free, and a marginal win is churn.
+  double move_penalty =
+      options.state_move_bytes /
+      std::max(1.0, options.state_move_amortize_epochs);
   if (current_cost.ok() &&
-      current_cost->max_cost_bytes <= advice.cost_bytes &&
+      current_cost->max_cost_bytes <= advice.cost_bytes + move_penalty &&
       (!options.hardware.has_value() ||
        options.hardware->Supports(current))) {
     advice.recommended = current;

@@ -59,6 +59,15 @@ struct AdvisorOptions {
   /// tuples). When absent, default selectivities apply.
   const TupleBatch* calibration_sample = nullptr;
   std::string calibration_source = "TCP";
+  /// Recovery-aware repartitioning: switching away from the incumbent set
+  /// forces survivor-side operator state to be re-sliced and moved, so
+  /// AdviseRepartition charges a candidate this many one-off bytes (e.g.
+  /// the last checkpoint's stored size) before it may displace the
+  /// incumbent. 0 (the default) disables the penalty.
+  double state_move_bytes = 0;
+  /// Epochs the one-off move cost is amortized over when comparing against
+  /// the per-epoch traffic cost.
+  double state_move_amortize_epochs = 16;
 };
 
 /// \brief Runs the full analysis over \p graph.

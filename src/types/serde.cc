@@ -53,59 +53,124 @@ int64_t UnZigZag(uint64_t v) {
 
 }  // namespace
 
+void EncodeValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      PutVarint(v.uint_value(), out);
+      break;
+    case DataType::kInt:
+      PutVarint(ZigZag(v.int_value()), out);
+      break;
+    case DataType::kDouble: {
+      double d = v.double_value();
+      char buf[sizeof(double)];
+      std::memcpy(buf, &d, sizeof(double));
+      out->append(buf, sizeof(double));
+      break;
+    }
+    case DataType::kString:
+      PutVarint(v.string_value().size(), out);
+      out->append(v.string_value());
+      break;
+  }
+}
+
+size_t EncodedValueSize(const Value& v) {
+  size_t n = 1;  // tag
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      n += VarintSize(v.uint_value());
+      break;
+    case DataType::kInt:
+      n += VarintSize(ZigZag(v.int_value()));
+      break;
+    case DataType::kDouble:
+      n += sizeof(double);
+      break;
+    case DataType::kString:
+      n += VarintSize(v.string_value().size()) + v.string_value().size();
+      break;
+  }
+  return n;
+}
+
+Status DecodeValue(std::string_view data, size_t* offset, Value* out) {
+  if (*offset >= data.size()) {
+    return Status::InvalidArgument("truncated value");
+  }
+  DataType type = static_cast<DataType>(data[(*offset)++]);
+  switch (type) {
+    case DataType::kNull:
+      *out = Value::Null();
+      break;
+    case DataType::kUint: {
+      uint64_t v;
+      SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
+      *out = Value::Uint(v);
+      break;
+    }
+    case DataType::kIp: {
+      uint64_t v;
+      SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
+      *out = Value::Ip(static_cast<uint32_t>(v));
+      break;
+    }
+    case DataType::kBool: {
+      uint64_t v;
+      SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
+      *out = Value::Bool(v != 0);
+      break;
+    }
+    case DataType::kInt: {
+      uint64_t v;
+      SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
+      *out = Value::Int(UnZigZag(v));
+      break;
+    }
+    case DataType::kDouble: {
+      if (*offset + sizeof(double) > data.size()) {
+        return Status::InvalidArgument("truncated double");
+      }
+      double d;
+      std::memcpy(&d, data.data() + *offset, sizeof(double));
+      *offset += sizeof(double);
+      *out = Value::Double(d);
+      break;
+    }
+    case DataType::kString: {
+      uint64_t len;
+      SP_RETURN_NOT_OK(GetVarint(data, offset, &len));
+      if (*offset + len > data.size()) {
+        return Status::InvalidArgument("truncated string of length ", len);
+      }
+      *out = Value::String(std::string(data.substr(*offset, len)));
+      *offset += len;
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown type tag ",
+                                     static_cast<int>(type));
+  }
+  return Status::OK();
+}
+
 void EncodeTuple(const Tuple& tuple, std::string* out) {
   PutVarint(tuple.size(), out);
-  for (const Value& v : tuple.values()) {
-    out->push_back(static_cast<char>(v.type()));
-    switch (v.type()) {
-      case DataType::kNull:
-        break;
-      case DataType::kUint:
-      case DataType::kIp:
-      case DataType::kBool:
-        PutVarint(v.uint_value(), out);
-        break;
-      case DataType::kInt:
-        PutVarint(ZigZag(v.int_value()), out);
-        break;
-      case DataType::kDouble: {
-        double d = v.double_value();
-        char buf[sizeof(double)];
-        std::memcpy(buf, &d, sizeof(double));
-        out->append(buf, sizeof(double));
-        break;
-      }
-      case DataType::kString:
-        PutVarint(v.string_value().size(), out);
-        out->append(v.string_value());
-        break;
-    }
-  }
+  for (const Value& v : tuple.values()) EncodeValue(v, out);
 }
 
 size_t EncodedTupleSize(const Tuple& tuple) {
   size_t n = VarintSize(tuple.size());
-  for (const Value& v : tuple.values()) {
-    n += 1;  // tag
-    switch (v.type()) {
-      case DataType::kNull:
-        break;
-      case DataType::kUint:
-      case DataType::kIp:
-      case DataType::kBool:
-        n += VarintSize(v.uint_value());
-        break;
-      case DataType::kInt:
-        n += VarintSize(ZigZag(v.int_value()));
-        break;
-      case DataType::kDouble:
-        n += sizeof(double);
-        break;
-      case DataType::kString:
-        n += VarintSize(v.string_value().size()) + v.string_value().size();
-        break;
-    }
-  }
+  for (const Value& v : tuple.values()) n += EncodedValueSize(v);
   return n;
 }
 
@@ -118,63 +183,12 @@ Status DecodeTuple(std::string_view data, size_t* offset, Tuple* out) {
   std::vector<Value> values;
   values.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    if (*offset >= data.size()) {
-      return Status::InvalidArgument("truncated tuple at field ", i);
+    Value v;
+    Status st = DecodeValue(data, offset, &v);
+    if (!st.ok()) {
+      return Status::InvalidArgument("field ", i, ": ", st.message());
     }
-    DataType type = static_cast<DataType>(data[(*offset)++]);
-    switch (type) {
-      case DataType::kNull:
-        values.push_back(Value::Null());
-        break;
-      case DataType::kUint: {
-        uint64_t v;
-        SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
-        values.push_back(Value::Uint(v));
-        break;
-      }
-      case DataType::kIp: {
-        uint64_t v;
-        SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
-        values.push_back(Value::Ip(static_cast<uint32_t>(v)));
-        break;
-      }
-      case DataType::kBool: {
-        uint64_t v;
-        SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
-        values.push_back(Value::Bool(v != 0));
-        break;
-      }
-      case DataType::kInt: {
-        uint64_t v;
-        SP_RETURN_NOT_OK(GetVarint(data, offset, &v));
-        values.push_back(Value::Int(UnZigZag(v)));
-        break;
-      }
-      case DataType::kDouble: {
-        if (*offset + sizeof(double) > data.size()) {
-          return Status::InvalidArgument("truncated double");
-        }
-        double d;
-        std::memcpy(&d, data.data() + *offset, sizeof(double));
-        *offset += sizeof(double);
-        values.push_back(Value::Double(d));
-        break;
-      }
-      case DataType::kString: {
-        uint64_t len;
-        SP_RETURN_NOT_OK(GetVarint(data, offset, &len));
-        if (*offset + len > data.size()) {
-          return Status::InvalidArgument("truncated string of length ", len);
-        }
-        values.push_back(
-            Value::String(std::string(data.substr(*offset, len))));
-        *offset += len;
-        break;
-      }
-      default:
-        return Status::InvalidArgument("unknown type tag ",
-                                       static_cast<int>(type));
-    }
+    values.push_back(std::move(v));
   }
   *out = Tuple(std::move(values));
   return Status::OK();

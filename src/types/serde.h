@@ -20,6 +20,19 @@
 
 namespace streampart {
 
+/// \brief Appends the encoding of one value (tag byte + payload) to \p out.
+/// The per-value building block of the tuple format; operator checkpoints
+/// (exec/operator.h CheckpointState) reuse it for group keys and UDAF
+/// partials so state blobs share the wire format's determinism guarantees.
+void EncodeValue(const Value& v, std::string* out);
+
+/// \brief Exact encoded size of one value in bytes (without encoding).
+size_t EncodedValueSize(const Value& v);
+
+/// \brief Decodes one value from \p data starting at \p *offset, advancing
+/// it. Fails on truncated or malformed input.
+Status DecodeValue(std::string_view data, size_t* offset, Value* out);
+
 /// \brief Appends the encoding of \p tuple to \p out.
 void EncodeTuple(const Tuple& tuple, std::string* out);
 

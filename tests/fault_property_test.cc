@@ -35,12 +35,16 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
       "# scenario: lose a leaf, degrade the backbone\n"
       "seed 42\n"
       "recover off\n"
+      "ckpt 4\n"
+      "epoch_width 60\n"
       "kill host=2 epoch=3\n"
       "channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64\n"
       "channel from=* to=* drop=0.5\n");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 42u);
   EXPECT_FALSE(plan->repartition);
+  EXPECT_EQ(plan->checkpoint_interval, 4u);
+  EXPECT_EQ(plan->epoch_width, 60u);
   ASSERT_EQ(plan->kills.size(), 1u);
   EXPECT_EQ(plan->kills[0].host, 2);
   EXPECT_EQ(plan->kills[0].epoch, 3u);
@@ -64,6 +68,10 @@ TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
       "channel from=1 to=0 drop=1.5\n",  // probability out of range
       "channel from=1 to=0 drop=-0.1\n",
       "channel queue=abc\n",
+      "ckpt\n",            // missing interval
+      "ckpt 0\n",          // zero interval (omit the line instead)
+      "ckpt nope\n",       // not a number
+      "epoch_width 0\n",   // zero stride
       "warp host=1\n",  // unknown directive
   };
   for (const char* text : bad) {
@@ -110,6 +118,8 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
     FaultPlan plan;
     plan.seed = rng.Uniform(0, 1u << 30);
     plan.repartition = rng.Chance(0.5);
+    plan.checkpoint_interval = rng.Chance(0.5) ? rng.Uniform(1, 16) : 0;
+    plan.epoch_width = rng.Uniform(1, 120);
     size_t kills = rng.Uniform(0, 3);
     for (size_t k = 0; k < kills; ++k) {
       plan.kills.push_back({static_cast<int>(rng.Uniform(0, 7)),
@@ -134,6 +144,8 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
                              << plan.ToString();
     EXPECT_EQ(parsed->seed, plan.seed);
     EXPECT_EQ(parsed->repartition, plan.repartition);
+    EXPECT_EQ(parsed->checkpoint_interval, plan.checkpoint_interval);
+    EXPECT_EQ(parsed->epoch_width, plan.epoch_width);
     ASSERT_EQ(parsed->kills.size(), plan.kills.size());
     for (size_t k = 0; k < plan.kills.size(); ++k) {
       EXPECT_EQ(parsed->kills[k].host, plan.kills[k].host);
