@@ -1,0 +1,182 @@
+/// \file micro_overload.cc
+/// \brief Cost and fidelity of the overload-control subsystem
+/// (dist/overload.h). Two gates, mirroring the tests/overload_test.cc
+/// differential battery:
+///
+///  (a) zero overhead when no budget binds — a run whose per-epoch budget
+///      always covers the load must produce a ledger byte-identical to a run
+///      without any budget at all, on both execution paths;
+///  (b) bounded error when shedding — a run under a binding budget with
+///      keep-1-in-m shedding must report a Horvitz–Thompson error bound that
+///      actually contains the COUNT and SUM answer error.
+///
+/// Results go to stdout and BENCH_overload.json; the run fails (exit 1) if
+/// either gate does not hold.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/figlib.h"
+#include "catalog/catalog.h"
+#include "dist/experiment.h"
+#include "plan/query_graph.h"
+#include "trace/trace_gen.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+double SumField(const TupleBatch& tuples, size_t field) {
+  double total = 0;
+  for (const Tuple& t : tuples) {
+    total += static_cast<double>(t.at(field).AsUint64());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  Status st = graph.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP");
+  SP_CHECK(st.ok()) << st.ToString();
+
+  TraceConfig tc;
+  tc.duration_sec = 6;
+  tc.packets_per_sec = 2000;
+  tc.num_flows = 300;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  constexpr int kHosts = 3;
+
+  ExperimentConfig hash;
+  hash.name = "Hash";
+  auto ps = PartitionSet::Parse("srcIP");
+  SP_CHECK(ps.ok());
+  hash.ps = *ps;
+  hash.optimizer.partial_agg = OptimizerOptions::PartialAggMode::kNone;
+
+  std::printf("Overload-control micro-benchmark: flows COUNT/SUM, Hash srcIP\n");
+  PrintTraceNote(tc);
+  std::printf("hosts: %d, trace: %zu tuples\n\n", kHosts,
+              runner.trace().size());
+
+  // Gate (a): a covering budget is a pure overlay. The guard never trips at
+  // cycles=1e15, so the controller stays disengaged and the ledger must not
+  // betray that the machinery was armed.
+  ExperimentConfig covered = hash;
+  covered.name = "Hash";  // same name: ledger meta must match byte-for-byte
+  auto covered_plan = FaultPlan::Parse("budget host=* cycles=1e15\n");
+  SP_CHECK(covered_plan.ok()) << covered_plan.status().ToString();
+  covered.faults = *covered_plan;
+
+  bool identical = true;
+  double wall_base_s = 0, wall_covered_s = 0;
+  for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto base = runner.RunCell(hash, kHosts, 2, batch_size);
+    auto t1 = std::chrono::steady_clock::now();
+    auto with = runner.RunCell(covered, kHosts, 2, batch_size);
+    auto t2 = std::chrono::steady_clock::now();
+    SP_CHECK(base.ok()) << base.status().ToString();
+    SP_CHECK(with.ok()) << with.status().ToString();
+    bool same = base->ledger.ToJsonl() == with->ledger.ToJsonl() &&
+                base->ledger.ToSummaryJson() == with->ledger.ToSummaryJson();
+    identical = identical && same;
+    wall_base_s += std::chrono::duration<double>(t1 - t0).count();
+    wall_covered_s += std::chrono::duration<double>(t2 - t1).count();
+    std::printf("covering budget, batch=%zu: ledger %s\n", batch_size,
+                same ? "byte-identical" : "DIVERGED");
+  }
+  std::printf("wall: baseline %.3f s, covered budget %.3f s\n\n", wall_base_s,
+              wall_covered_s);
+
+  // Gate (b): a binding budget with keep-1-in-4 shedding. The leaves get
+  // budgets well under their per-epoch demand; host 0 (the aggregator) pays
+  // for remote arrivals the admission guard does not control, so it stays
+  // unbudgeted. queue=0 defers without evicting, keeping the sampling bound
+  // the only source of error.
+  ExperimentConfig shed = hash;
+  shed.name = "Hash";
+  auto shed_plan = FaultPlan::Parse(
+      "seed 11\n"
+      "budget host=1 cycles=3.5e6 reserve=0.05\n"
+      "budget host=2 cycles=3.5e6 reserve=0.05\n"
+      "shed m=4\n");
+  SP_CHECK(shed_plan.ok()) << shed_plan.status().ToString();
+  shed.faults = *shed_plan;
+  auto shed_cell = runner.RunCell(shed, kHosts, 2, /*batch_size=*/0);
+  SP_CHECK(shed_cell.ok()) << shed_cell.status().ToString();
+
+  const OverloadSection& ov = shed_cell->ledger.overload();
+  SP_CHECK(ov.engaged) << "the binding budget must engage the controller";
+  SP_CHECK(ov.shed_tuples > 0) << "the shed plan must actually shed";
+
+  double true_count = static_cast<double>(runner.trace().size());
+  double true_sum = SumField(runner.trace(), kPktLen);
+  double sq_sum = 0;
+  for (const Tuple& t : runner.trace()) {
+    double v = static_cast<double>(t.at(kPktLen).AsUint64());
+    sq_sum += v * v;
+  }
+  double dispersion =
+      std::sqrt(sq_sum / true_count) / (true_sum / true_count);
+
+  double est_count = 0, est_sum = 0;
+  auto it = shed_cell->result.outputs.find("flows");
+  if (it != shed_cell->result.outputs.end()) {
+    est_count = SumField(it->second, 2);
+    est_sum = SumField(it->second, 3);
+  }
+  double count_err = std::abs(est_count - true_count) / true_count;
+  double sum_err = std::abs(est_sum - true_sum) / true_sum;
+  double bound = ov.shed_rel_error_bound;
+  bool within = bound > 0 && count_err <= bound &&
+                sum_err <= bound * dispersion;
+
+  std::printf("shed run (m=%llu): shed %llu of %llu tuples, deferred %llu\n",
+              static_cast<unsigned long long>(ov.max_shed_m),
+              static_cast<unsigned long long>(ov.shed_tuples),
+              static_cast<unsigned long long>(ov.intake_offered),
+              static_cast<unsigned long long>(ov.intake_deferred));
+  std::printf("reported bound: %.4f (SUM scaled by dispersion %.3f)\n", bound,
+              dispersion);
+  std::printf("COUNT rel error: %.4f (%s), SUM rel error: %.4f (%s)\n",
+              count_err, count_err <= bound ? "within" : "OUT OF BOUND",
+              sum_err,
+              sum_err <= bound * dispersion ? "within" : "OUT OF BOUND");
+  std::printf("\ncovered-budget ledger identical: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("shed error within reported bound: %s\n", within ? "yes" : "NO");
+
+  const char* path = "BENCH_overload.json";
+  FILE* f = std::fopen(path, "w");
+  SP_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"workload\": \"flows count_sum hash_srcip\",\n"
+      "  \"hosts\": %d,\n"
+      "  \"trace_tuples\": %zu,\n"
+      "  \"covered_budget\": {\"ledger_identical\": %s, "
+      "\"wall_baseline_s\": %.4f, \"wall_covered_s\": %.4f},\n"
+      "  \"shed\": {\"m\": %llu, \"shed_tuples\": %llu, "
+      "\"intake_deferred\": %llu, \"reported_bound\": %.6f, "
+      "\"dispersion\": %.6f, \"count_rel_err\": %.6f, "
+      "\"sum_rel_err\": %.6f, \"within_bound\": %s}\n"
+      "}\n",
+      kHosts, runner.trace().size(), identical ? "true" : "false", wall_base_s,
+      wall_covered_s, static_cast<unsigned long long>(ov.max_shed_m),
+      static_cast<unsigned long long>(ov.shed_tuples),
+      static_cast<unsigned long long>(ov.intake_deferred), bound, dispersion,
+      count_err, sum_err, within ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return identical && within ? 0 : 1;
+}

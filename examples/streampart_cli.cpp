@@ -121,8 +121,11 @@ void PrintUsage(FILE* out, const char* prog) {
       "  --fault-plan FILE     with --run: inject the fault scenario "
       "described\n"
       "                        by FILE (host kills, lossy channels, bounded\n"
-      "                        queues; see docs/FAULTS.md) and report the\n"
-      "                        degradation accounting\n"
+      "                        queues, per-host cycle budgets, load "
+      "shedding;\n"
+      "                        see docs/FAULTS.md) and report the "
+      "degradation\n"
+      "                        and overload accounting\n"
       "  --recover             with --run: enable lossless recovery "
       "(epoch-aligned\n"
       "                        checkpoints, acked retransmission, state "
@@ -309,7 +312,8 @@ int main(int argc, char** argv) {
       fault_plan.checkpoint_interval = checkpoint_interval;
     }
     if (epoch_width > 0) fault_plan.epoch_width = epoch_width;
-    if (!fault_plan.empty() || fault_plan.checkpoint_interval > 0) {
+    if (!fault_plan.empty() || fault_plan.checkpoint_interval > 0 ||
+        fault_plan.overload_enabled()) {
       runtime.set_fault_plan(std::move(fault_plan));
     }
     Status st = runtime.Build(ps);
@@ -366,6 +370,50 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(ch.reordered),
             static_cast<unsigned long long>(ch.queue_dropped),
             static_cast<unsigned long long>(ch.retransmitted));
+      }
+    }
+    if (const OverloadController* overload = runtime.overload_controller()) {
+      OverloadSection ov = overload->section();
+      std::printf("\nOverload accounting (%s):\n",
+                  ov.engaged ? "engaged" : "armed, never intervened");
+      std::printf(
+          "  intake:            %llu offered, %llu processed, %llu deferred\n",
+          static_cast<unsigned long long>(ov.intake_offered),
+          static_cast<unsigned long long>(ov.intake_processed),
+          static_cast<unsigned long long>(ov.intake_deferred));
+      std::printf(
+          "  shed:              %llu tuples over %llu epochs (max m=%llu), "
+          "%llu queue-dropped\n",
+          static_cast<unsigned long long>(ov.shed_tuples),
+          static_cast<unsigned long long>(ov.shed_epochs),
+          static_cast<unsigned long long>(ov.max_shed_m),
+          static_cast<unsigned long long>(ov.bp_queue_dropped));
+      if (ov.shed_tuples > 0) {
+        std::printf(
+            "  error bound:       %.4g relative (3-sigma, COUNT-style; "
+            "est. %.0f source tuples)\n",
+            ov.shed_rel_error_bound, ov.estimated_source_tuples);
+      }
+      std::printf("  exact:             %s\n", ov.exact ? "yes" : "no");
+      for (const std::string& reason : ov.inexact_reasons) {
+        std::printf("    reason: %s\n", reason.c_str());
+      }
+      std::printf(
+          "  skew moves:        %llu executed (%.3g state bytes), "
+          "%llu advice-only\n",
+          static_cast<unsigned long long>(ov.skew_repartitions),
+          ov.skew_move_cost_bytes,
+          static_cast<unsigned long long>(ov.skew_advice_only));
+      for (const OverloadHostRow& h : ov.hosts) {
+        std::printf(
+            "  host %d: budget %.3g cycles/epoch (reserve %.2g), "
+            "%llu deferrals, %llu queue-dropped, %llu over-budget epochs, "
+            "peak %.3g cycles\n",
+            h.host, h.budget_cycles, h.reserve,
+            static_cast<unsigned long long>(h.guard_deferrals),
+            static_cast<unsigned long long>(h.queue_dropped),
+            static_cast<unsigned long long>(h.over_budget_epochs),
+            h.max_epoch_cycles);
       }
     }
     if (const RecoveryCoordinator* rec = runtime.recovery_coordinator()) {

@@ -68,6 +68,13 @@ void ClusterRuntime::set_fault_plan(FaultPlan plan) {
     rc.epoch_width = plan.epoch_width;
     recovery_ = std::make_unique<RecoveryCoordinator>(rc);
   }
+  overload_.reset();
+  if (plan.overload_enabled()) {
+    // Budget/shed directives arm overload control even when the plan
+    // injects no faults (empty() below); a budget-only plan runs with an
+    // overload controller and no fault controller.
+    overload_ = std::make_unique<OverloadController>(plan, config_.num_hosts);
+  }
   if (plan.empty()) {
     // An empty plan is inert by constraint: no controller exists, so every
     // execution path is byte-identical to a run without the call.
@@ -263,7 +270,99 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     sink_ids_.push_back(id);
     AttachResultSink(id);
   }
+
+  if (overload_ != nullptr) {
+    SP_RETURN_NOT_OK(overload_->Validate());
+    overload_->set_cycles_probe(
+        [this](int host) { return ModelCyclesNow(host); });
+    if (telemetry_enabled_) {
+      overload_->set_scope_maker([this](int host) {
+        return host_stats_[host]->GetScope("overload#" +
+                                           std::to_string(host));
+      });
+    }
+    BindShedWeights();
+  }
   return Status::OK();
+}
+
+void ClusterRuntime::BindShedWeights() {
+  shed_bound_.assign(plan_->size(), 0);
+  if (!overload_->shed_armed()) return;
+  // Walk downstream from every source through weight-transparent operators
+  // (merges and stateless select/project) to the FIRST stateful operator on
+  // each path — the shed point's weight consumer. Binding only the first
+  // one is essential: a super-aggregate consumes already-scaled partials
+  // and must never scale again.
+  std::vector<char> visited(plan_->size(), 0);
+  std::deque<int> queue;
+  for (int id : plan_->TopoOrder()) {
+    if (plan_->op(id).kind != DistOpKind::kSource) continue;
+    for (int c : plan_->Consumers(id)) {
+      if (!visited[c]) {
+        visited[c] = 1;
+        queue.push_back(c);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    int id = queue.front();
+    queue.pop_front();
+    const DistOperator& op = plan_->op(id);
+    bool pass_through =
+        op.kind == DistOpKind::kMerge ||
+        (op.kind == DistOpKind::kQuery && op.query != nullptr &&
+         op.query->kind == QueryKind::kSelectProject);
+    if (pass_through) {
+      for (int c : plan_->Consumers(id)) {
+        if (!visited[c]) {
+          visited[c] = 1;
+          queue.push_back(c);
+        }
+      }
+      continue;
+    }
+    Operator* inst = instances_[id].get();
+    if (inst == nullptr) continue;
+    if (inst->BindShedWeight(overload_->shed_weight())) {
+      shed_bound_[id] = 1;
+      if (!inst->ShedSampleable()) {
+        overload_->AddInexactReason(
+            inst->label() +
+            ": non-sampleable aggregate in the shed path (no computed "
+            "bound)");
+      }
+    } else if (!inst->ShedSampleable()) {
+      overload_->AddInexactReason(
+          inst->label() + ": shed tuples break pairings (no computed bound)");
+    } else {
+      overload_->AddInexactReason(
+          inst->label() + ": cannot consume Horvitz-Thompson weights");
+    }
+    // Stop here either way: everything downstream sees partials.
+  }
+}
+
+void ClusterRuntime::RebindShedWeight(int id) {
+  if (overload_ == nullptr || shed_bound_.empty() || !shed_bound_[id]) return;
+  instances_[id]->BindShedWeight(overload_->shed_weight());
+}
+
+double ClusterRuntime::ModelCyclesNow(int host) const {
+  // The host's ledger row carries capture/network/checkpoint counters (and
+  // operator work folded at kill/migration time); live instances still hold
+  // their own stats until FinishSources folds them.
+  HostMetrics m = result_.hosts[host];
+  for (size_t id = 0; id < instances_.size(); ++id) {
+    if (instances_[id] == nullptr || op_host_[id] != host) continue;
+    if (!stats_folded_.empty() && stats_folded_[id]) continue;
+    if (plan_->op(static_cast<int>(id)).kind == DistOpKind::kMerge) {
+      m.merge_ops += instances_[id]->stats();
+    } else {
+      m.ops += instances_[id]->stats();
+    }
+  }
+  return HostCycles(m, cost_params_);
 }
 
 void ClusterRuntime::WireLocalEdge(int producer, int consumer, size_t port) {
@@ -703,6 +802,7 @@ void ClusterRuntime::MigrateHost(int host) {
     instances_[id] = MakeInstance(id);
     op_host_[id] = target;
     BindInstanceTelemetry(id);
+    RebindShedWeight(id);
     recovery_->CountMigratedOp();
     if (recovery_->HasBlob(id)) {
       Status restored =
@@ -756,7 +856,9 @@ void ClusterRuntime::PushSource(const std::string& source,
                                 const Tuple& tuple) {
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
-  if (faults_active() || recovery_active()) ObserveSourceTime(tuple);
+  if (faults_active() || recovery_active() || overload_active()) {
+    ObserveSourceTime(tuple);
+  }
   int p = partitioner_->PartitionOf(tuple);
   // After a repartition the partitioner spans only surviving partitions;
   // map its index back into the original partition space.
@@ -769,6 +871,44 @@ void ClusterRuntime::PushSource(const std::string& source,
     faults_->CountSourceTupleLost();
     return;
   }
+  if (overload_active()) {
+    switch (overload_->Admit(src_host, p)) {
+      case OverloadController::Admission::kShed:
+        // Shed before capture: the tuple never costs a cycle and never
+        // enters source_tuples — exactly what a tap-level shed point saves.
+        return;
+      case OverloadController::Admission::kDefer:
+        overload_->PushDeferred(src_host, source, tuple);
+        return;
+      case OverloadController::Admission::kProcess:
+        break;
+    }
+  }
+  DeliverSource(source, p, src_host, tuple);
+}
+
+void ClusterRuntime::RouteAdmitted(const std::string& source,
+                                   const Tuple& tuple) {
+  // A deferred tuple re-enters here: partition and host are resolved fresh
+  // (a skew move or repartition may have re-homed them while it was
+  // parked), and admission/epoch hooks are skipped — it was already counted
+  // processed when taken from the queue.
+  auto it = routing_.find(source);
+  if (it == routing_.end() || partitioner_ == nullptr) return;
+  int p = partitioner_->PartitionOf(tuple);
+  if (!survivor_map_.empty()) p = survivor_map_[p];
+  if (p >= static_cast<int>(it->second.size())) return;
+  int src_host = partition_hosts_.at(source)[p];
+  if (faults_active() && !faults_->host_alive(src_host)) {
+    faults_->CountSourceTupleLost();
+    return;
+  }
+  DeliverSource(source, p, src_host, tuple);
+}
+
+void ClusterRuntime::DeliverSource(const std::string& source, int p,
+                                   int src_host, const Tuple& tuple) {
+  auto it = routing_.find(source);
   result_.hosts[src_host].source_tuples++;
   result_.source_tuples++;
   // Serialize at most once per tuple: traffic is accounted on every remote
@@ -815,11 +955,12 @@ void ClusterRuntime::PushSource(const std::string& source,
 
 void ClusterRuntime::PushSourceBatch(const std::string& source,
                                      TupleSpan batch) {
-  if (faults_active() || recovery_active()) {
+  if (faults_active() || recovery_active() || overload_active()) {
     // Kills act at tuple granularity (a host can die mid-batch), channel
     // faults must draw the same deterministic sequence on both execution
-    // paths, and acked edges sequence per tuple — so the batched route
-    // degenerates to per-tuple delivery while either is live.
+    // paths, acked edges sequence per tuple, and shed/budget admission is a
+    // per-tuple decision — so the batched route degenerates to per-tuple
+    // delivery while any of them is live.
     for (const Tuple& tuple : batch) PushSource(source, tuple);
     return;
   }
@@ -870,6 +1011,24 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
 void ClusterRuntime::FinishSources() {
   if (finished_) return;
   finished_ = true;
+  if (overload_active()) {
+    // Close the final streaming epoch, then drain any remaining deferred
+    // backlog across synthetic trailing epochs — each opens a fresh budget,
+    // so at least one tuple admits per pass and the bounded queues empty in
+    // finitely many rounds. The end-of-run operator flush below is outside
+    // budget enforcement: capture has stopped, so there is no input left to
+    // defer or shed against.
+    if (overload_->epoch_open()) {
+      overload_->CloseEpoch(
+          [this](int partition) { return partition_host_merged_[partition]; });
+    }
+    while (overload_->HasDeferred()) {
+      overload_->BeginEpoch(overload_->current_epoch() + 1);
+      DrainDeferredQueues();
+      overload_->CloseEpoch(
+          [this](int partition) { return partition_host_merged_[partition]; });
+    }
+  }
   // Deliver everything degraded channels still hold before any port sees
   // end-of-stream (the per-edge finish hooks flush again, harmlessly, for
   // tuples emitted during the flush cascade itself), then escalate whatever
@@ -927,7 +1086,184 @@ void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
       if (recovery_->CheckpointDue()) DoCheckpoint();
     }
   }
+  // Overload epochs settle after fault/recovery housekeeping (drained
+  // queues and due checkpoints charge the epoch they belong to) and before
+  // kills, so a kill at the boundary sees the closed epoch's charges.
+  if (overload_active()) OverloadOnTime(time);
   for (int host : due_kills) KillHost(host);
+}
+
+void ClusterRuntime::OverloadOnTime(uint64_t time) {
+  uint64_t eid = time / overload_->epoch_width();
+  if (!overload_->EpochBoundary(eid)) return;
+  if (overload_->epoch_open()) {
+    std::optional<SkewMove> move = overload_->CloseEpoch(
+        [this](int partition) { return partition_host_merged_[partition]; });
+    if (move.has_value()) ExecuteSkewMove(*move);
+  }
+  // Bases snapshot after a skew move executes, so the move's restore/replay
+  // cost is charged to the epoch it happened in, not smeared forward.
+  overload_->BeginEpoch(eid);
+  DrainDeferredQueues();
+}
+
+void ClusterRuntime::DrainDeferredQueues() {
+  // Deferred tuples re-admit before the new epoch's fresh tuples, oldest
+  // first, each re-checked against the fresh budget (a tuple can park
+  // across several epochs under sustained overload). Re-admitted tuples may
+  // be late for their original window downstream; the aggregate counts them
+  // late_tuples — deferral trades loss for staleness, it cannot rewind
+  // time.
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    DeferredTuple d;
+    while (overload_->TakeDeferred(h, &d)) {
+      RouteAdmitted(d.source, d.tuple);
+    }
+  }
+}
+
+void ClusterRuntime::ExecuteSkewMove(const SkewMove& move) {
+  if (!recovery_active() ||
+      (faults_ != nullptr && !faults_->host_alive(move.to_host))) {
+    // No state-migration machinery (or no live target): record the advice
+    // instead of moving blind — a lossy move would invalidate open windows,
+    // which is worse than running hot.
+    overload_->RecordSkewAdviceOnly();
+    return;
+  }
+  // Price the move in the advisor's state_move currency: the bytes of the
+  // partition's checkpointed state that must cross the network.
+  double move_bytes = 0;
+  for (int id : plan_->TopoOrder()) {
+    if (instances_[id] == nullptr) continue;
+    if (plan_->op(id).partition != move.partition) continue;
+    if (recovery_->HasBlob(id)) {
+      move_bytes += static_cast<double>(recovery_->BlobStoredBytes(id));
+    }
+  }
+  // Gate on amortized cost: moving pays off only if the state transfer
+  // (store + restore at the checkpoint byte rate) amortized over the
+  // advisor's horizon undercuts the relief — the cycles the hot host ran
+  // over budget last epoch.
+  AdvisorOptions options;
+  options.state_move_bytes = move_bytes;
+  double move_cycles =
+      2.0 * move_bytes * cost_params_.cycles_per_checkpoint_byte;
+  double relief = overload_->LastEpochOverrun(move.from_host);
+  if (relief <= 0 ||
+      move_cycles > relief * options.state_move_amortize_epochs) {
+    overload_->RecordSkewAdviceOnly();
+    return;
+  }
+  // Consult the advisor with the penalty attached: a candidate partition
+  // set must beat the incumbent by more than the amortized move cost to
+  // displace it. The placement move below keeps the incumbent set either
+  // way — the set is a workload property; what the hotspot skews is
+  // placement.
+  auto advice = AdviseRepartition(*graph_, actual_ps_, options);
+  if (advice.ok() && advice->changed) {
+    // The workload itself wants a different set even after paying for the
+    // move; defer to the kill-path Repartition machinery rather than mixing
+    // a set change into a placement move. Advice-only for this epoch.
+    overload_->RecordSkewAdviceOnly();
+    return;
+  }
+  if (MigratePartition(move.partition, move.to_host)) {
+    overload_->RecordSkewMove(move.from_host, move.partition, move_bytes);
+  } else {
+    overload_->RecordSkewAdviceOnly();
+  }
+}
+
+bool ClusterRuntime::MigratePartition(int partition, int target) {
+  if (!recovery_active()) return false;
+  if (partition < 0 ||
+      partition >= static_cast<int>(partition_host_merged_.size())) {
+    return false;
+  }
+  // Operators whose entire input derives from this partition, in topo order
+  // (upstream replacements exist before anything replays into consumers).
+  // Partition-tagged chains move as a unit, so build-time local edges stay
+  // intra-chain and remote edges re-resolve hosts at delivery time.
+  std::vector<int> migrated;
+  for (int id : plan_->TopoOrder()) {
+    if (instances_[id] != nullptr && plan_->op(id).partition == partition &&
+        op_host_[id] != target) {
+      migrated.push_back(id);
+    }
+  }
+  if (migrated.empty() && partition_host_merged_[partition] == target) {
+    return false;
+  }
+  // Work done so far folds into the host that actually did it; replay
+  // re-emissions of already-published outputs are suppressed by index,
+  // exactly as in MigrateHost.
+  for (int id : migrated) {
+    int old_host = op_host_[id];
+    if (plan_->op(id).kind == DistOpKind::kMerge) {
+      result_.hosts[old_host].merge_ops += instances_[id]->stats();
+    } else {
+      result_.hosts[old_host].ops += instances_[id]->stats();
+    }
+    recovery_->SetSuppression(id, instances_[id]->stats().tuples_out -
+                                      recovery_->CheckpointTuplesOut(id));
+  }
+  // Re-home the partition: the tap keeps feeding it, now on the target.
+  for (auto& [name, hosts] : partition_hosts_) {
+    if (partition < static_cast<int>(hosts.size())) {
+      hosts[partition] = target;
+    }
+  }
+  partition_host_merged_[partition] = target;
+  // Rebuild each operator on the target from its last snapshot.
+  for (int id : migrated) {
+    instances_[id] = MakeInstance(id);
+    op_host_[id] = target;
+    BindInstanceTelemetry(id);
+    RebindShedWeight(id);
+    recovery_->CountMigratedOp();
+    if (recovery_->HasBlob(id)) {
+      Status restored =
+          instances_[id]->RestoreState(recovery_->BlobPayload(id));
+      SP_CHECK(restored.ok())
+          << "restoring op " << id
+          << " for partition move failed: " << restored.ToString();
+      uint64_t bytes = recovery_->BlobStoredBytes(id);
+      recovery_->CountRestore(bytes);
+      result_.hosts[target].ckpt_restored_bytes += bytes;
+      BumpCheckpointStat(target, stats::kCkptRestores, 1);
+      BumpCheckpointStat(target, stats::kCkptRestoredBytes, bytes);
+      recovery_->ResetCheckpointTuplesOut(id);
+    }
+  }
+  // Rewire in exactly Build's per-producer order, then replay each
+  // operator's post-snapshot delivery suffix with side effects muted.
+  for (int id : migrated) {
+    if (auto it = local_edges_.find(id); it != local_edges_.end()) {
+      for (const Edge& e : it->second) WireLocalEdge(id, e.consumer, e.port);
+    }
+    if (auto it = remote_edges_.find(id); it != remote_edges_.end()) {
+      for (const Edge& e : it->second) {
+        AddRemoteFinishHook(id, e.consumer, e.port);
+      }
+      AttachRemoteSinks(id);
+    }
+    if (std::find(sink_ids_.begin(), sink_ids_.end(), id) !=
+        sink_ids_.end()) {
+      AttachResultSink(id);
+    }
+  }
+  replaying_ = true;
+  for (int id : migrated) {
+    const auto& log = recovery_->DeliveryLog(id);
+    for (const RecoveryCoordinator::Delivery& d : log) {
+      instances_[id]->Push(d.port, d.tuple);
+    }
+    recovery_->CountReplayedTuples(log.size());
+    BumpCheckpointStat(target, stats::kCkptReplayedTuples, log.size());
+  }
+  replaying_ = false;
+  return true;
 }
 
 void ClusterRuntime::KillHost(int host) {
@@ -1042,6 +1378,11 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
   }
   if (recovery_active()) {
     ledger.SetRecovery(recovery_->section(params.cycles_per_checkpoint_byte));
+  }
+  if (overload_active()) {
+    // SetOverload drops disengaged sections, so a run whose budget always
+    // covered the load serializes byte-identically to a budget-free run.
+    ledger.SetOverload(overload_->section());
   }
   return ledger;
 }

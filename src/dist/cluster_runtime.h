@@ -23,6 +23,7 @@
 
 #include "dist/checkpoint.h"
 #include "dist/fault.h"
+#include "dist/overload.h"
 #include "dist/partitioner.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
@@ -80,8 +81,15 @@ class ClusterRuntime {
   /// `checkpoint_interval > 0` additionally enables lossless recovery
   /// (dist/checkpoint.h): epoch-aligned state snapshots, acked retransmit
   /// buffers on every edge, and state migration instead of window
-  /// invalidation when a host dies.
+  /// invalidation when a host dies. A plan with budget/shed directives arms
+  /// the overload controller (dist/overload.h).
   void set_fault_plan(FaultPlan plan);
+
+  /// \brief Cost-model parameters the overload controller charges budgets
+  /// in. Defaults to CpuCostParams{}; callers that pass custom params to
+  /// MakeLedger should set the same ones here before Build so budget
+  /// enforcement and the ledger agree on the cycle currency.
+  void set_cost_params(const CpuCostParams& params) { cost_params_ = params; }
 
   /// \brief The fault controller, or nullptr when no plan was attached.
   const FaultController* fault_controller() const { return faults_.get(); }
@@ -89,6 +97,11 @@ class ClusterRuntime {
   /// configure a checkpoint interval.
   const RecoveryCoordinator* recovery_coordinator() const {
     return recovery_.get();
+  }
+  /// \brief The overload controller, or nullptr when the plan carried no
+  /// budget/shed directives.
+  const OverloadController* overload_controller() const {
+    return overload_.get();
   }
 
   /// \brief Instantiates operators and channels; builds the partitioner for
@@ -146,6 +159,8 @@ class ClusterRuntime {
   bool faults_active() const { return faults_ != nullptr && faults_->active(); }
   /// True when lossless recovery is configured (checkpoint_interval > 0).
   bool recovery_active() const { return recovery_ != nullptr; }
+  /// True when the plan armed budgets or shedding (dist/overload.h).
+  bool overload_active() const { return overload_ != nullptr; }
   /// Current host of plan operator \p id (build placement until migration).
   int OpHost(int id) const { return op_host_[id]; }
   /// Current host of an acked edge's producer: an operator's host, or the
@@ -211,6 +226,37 @@ class ClusterRuntime {
   /// Bumps a counter in the sender-side `channel#<from>-><to>` scope.
   void BumpChannelStat(int from_host, int to_host, const StatDef& def);
 
+  // --- Overload control (dist/overload.h) ---
+  /// Live model-cycle total charged to \p host: its ledger row plus the
+  /// live (unfolded) stats of every operator instance currently homed on
+  /// it, priced with cost_params_. The budget guard's currency.
+  double ModelCyclesNow(int host) const;
+  /// Epoch hook for the overload controller: closes/opens budget epochs,
+  /// executes proposed skew moves, and drains defer queues.
+  void OverloadOnTime(uint64_t time);
+  /// Re-admits deferred tuples on every host while budgets allow.
+  void DrainDeferredQueues();
+  /// Routes one tuple that already passed admission (fresh partition
+  /// resolution — a skew move may have re-homed it while parked).
+  void RouteAdmitted(const std::string& source, const Tuple& tuple);
+  /// Shared tail of PushSource/RouteAdmitted: capture accounting plus the
+  /// per-edge delivery loop for partition \p p on \p src_host.
+  void DeliverSource(const std::string& source, int p, int src_host,
+                     const Tuple& tuple);
+  /// Validates and prices a proposed hot-partition move, then executes it
+  /// through MigratePartition or records it advice-only.
+  void ExecuteSkewMove(const SkewMove& move);
+  /// Migrates every operator of source partition \p partition onto
+  /// \p target via the recovery machinery (checkpoint restore + delivery-log
+  /// replay, like MigrateHost). Returns false when recovery is not active.
+  bool MigratePartition(int partition, int target);
+  /// Binds the controller's live Horvitz–Thompson weight to the first
+  /// stateful operator downstream of each source (recording inexact reasons
+  /// for operators that cannot consume it).
+  void BindShedWeights();
+  /// Re-binds the shed weight on a rebuilt (migrated) instance.
+  void RebindShedWeight(int id);
+
   /// Kills \p host now. Lossy path: records window invalidations, folds its
   /// ledger, finishes downstream ports it feeds, and (if the plan allows)
   /// repartitions over the survivors. Recovery path: MigrateHost.
@@ -269,6 +315,14 @@ class ClusterRuntime {
   std::vector<int> survivor_map_;
   /// Operator ids whose stats were already folded at kill time.
   std::vector<char> stats_folded_;
+
+  // --- Overload control (null when the plan has no budget/shed) ---
+  std::unique_ptr<OverloadController> overload_;
+  /// Cycle weights budgets are charged in (set_cost_params).
+  CpuCostParams cost_params_;
+  /// Plan op ids whose instance consumed the shed weight at Build; a
+  /// migrated rebuild must re-bind (empty when shedding is unarmed).
+  std::vector<char> shed_bound_;
 
   // --- Lossless recovery (null when checkpoint_interval == 0) ---
   std::unique_ptr<RecoveryCoordinator> recovery_;

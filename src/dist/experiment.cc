@@ -34,9 +34,13 @@ Result<ExperimentCell> ExperimentRunner::RunCell(
       DistPlan plan,
       OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
   ClusterRuntime runtime(graph_, &plan, cluster);
+  // Budgets are charged in the same cycle currency the ledger reports.
+  runtime.set_cost_params(cpu_params_);
   // A checkpoint-only plan injects no faults (empty() is true) but still
-  // arms the recovery machinery.
-  if (!config.faults.empty() || config.faults.checkpoint_interval > 0) {
+  // arms the recovery machinery; likewise a budget/shed-only plan arms the
+  // overload controller.
+  if (!config.faults.empty() || config.faults.checkpoint_interval > 0 ||
+      config.faults.overload_enabled()) {
     runtime.set_fault_plan(config.faults);
   }
   SP_RETURN_NOT_OK(runtime.Build(config.ps));

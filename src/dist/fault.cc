@@ -170,6 +170,66 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
         }
       }
       plan.channels.push_back(chan);
+    } else if (directive == "budget") {
+      HostBudgetSpec budget;
+      bool have_cycles = false;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'budget'");
+        }
+        if (key == "host") {
+          SP_ASSIGN_OR_RETURN(budget.host, ParseHost(line_no, key, value));
+        } else if (key == "cycles") {
+          std::string buf(value);
+          errno = 0;
+          char* end = nullptr;
+          double cycles = std::strtod(buf.c_str(), &end);
+          if (errno != 0 || end == buf.c_str() || *end != '\0' ||
+              !(cycles > 0)) {
+            return bad("'cycles' must be a positive number, got '" + buf +
+                       "'");
+          }
+          budget.cycles = cycles;
+          have_cycles = true;
+        } else if (key == "queue") {
+          SP_ASSIGN_OR_RETURN(uint64_t cap, ParseUint(line_no, key, value));
+          budget.queue_capacity = static_cast<size_t>(cap);
+        } else if (key == "reserve") {
+          SP_ASSIGN_OR_RETURN(budget.reserve,
+                              ParseProbability(line_no, key, value));
+          if (budget.reserve >= 1) {
+            return bad("'reserve' must leave a usable budget (< 1)");
+          }
+        } else {
+          return bad("unknown budget key '" + std::string(key) + "'");
+        }
+      }
+      if (!have_cycles) return bad("'budget' needs cycles=");
+      plan.budgets.push_back(budget);
+    } else if (directive == "shed") {
+      if (plan.shed.enabled()) return bad("duplicate 'shed' directive");
+      if (tokens.size() != 2) {
+        return bad("expected 'shed m=<keep-1-in-m>' or 'shed max_m=<cap>'");
+      }
+      std::string_view key, value;
+      if (!SplitKeyValue(tokens[1], &key, &value)) {
+        return bad("expected key=value token after 'shed'");
+      }
+      if (key == "m") {
+        SP_ASSIGN_OR_RETURN(plan.shed.fixed_m,
+                            ParseUint(line_no, key, value));
+        if (plan.shed.fixed_m < 2) {
+          return bad("'shed m' must be >= 2 (keep 1 tuple in m)");
+        }
+      } else if (key == "max_m") {
+        SP_ASSIGN_OR_RETURN(plan.shed.max_m, ParseUint(line_no, key, value));
+        if (plan.shed.max_m < 2) {
+          return bad("'shed max_m' must be >= 2");
+        }
+      } else {
+        return bad("unknown shed key '" + std::string(key) + "'");
+      }
     } else {
       return bad("unknown directive '" + std::string(directive) + "'");
     }
@@ -214,6 +274,16 @@ std::string FaultPlan::ToString() const {
     out << " reorder=" << num;
     out << " queue=" << c.queue_capacity << "\n";
   }
+  for (const HostBudgetSpec& b : budgets) {
+    out << "budget host=" << host_str(b.host);
+    std::snprintf(num, sizeof(num), "%.17g", b.cycles);
+    out << " cycles=" << num;
+    out << " queue=" << b.queue_capacity;
+    std::snprintf(num, sizeof(num), "%.17g", b.reserve);
+    out << " reserve=" << num << "\n";
+  }
+  if (shed.fixed_m > 0) out << "shed m=" << shed.fixed_m << "\n";
+  if (shed.max_m > 0) out << "shed max_m=" << shed.max_m << "\n";
   return out.str();
 }
 

@@ -58,6 +58,34 @@ struct HostKillSpec {
   uint64_t epoch = 0;
 };
 
+/// \brief Per-epoch CPU cycle budget for one host (or every host via the -1
+/// wildcard). When an epoch's charged model cycles would exceed the budget,
+/// the overload controller (dist/overload.h) defers the offending source
+/// tuples into a bounded per-host backpressure queue (drop-oldest) and, when
+/// a shed policy is armed, sheds tuples at the tap with Horvitz–Thompson
+/// scale-up for sampleable aggregates.
+struct HostBudgetSpec {
+  int host = -1;  ///< -1 matches every host the plan doesn't name explicitly
+  double cycles = 0;  ///< model cycles per epoch; must be > 0
+  /// Backpressure queue capacity (deferred source tuples); overflow evicts
+  /// the oldest entry with exact accounting. 0 = unbounded deferral.
+  size_t queue_capacity = 0;
+  /// Headroom fraction reserved below the budget: the hard per-tuple guard
+  /// trips at cycles*(1-reserve), so a single tuple's cost overshoot stays
+  /// inside the reserve and the charged total never crosses `cycles`.
+  double reserve = 0.05;
+};
+
+/// \brief Tap-level shedding policy: keep 1 tuple in `m` (uniform, seeded,
+/// integer Horvitz–Thompson weight m). Exactly one of fixed_m / max_m is
+/// set: `shed m=M` sheds at the fixed rate for the whole run; `shed max_m=M`
+/// lets the controller adapt m per epoch from measured demand, capped at M.
+struct ShedSpec {
+  uint64_t fixed_m = 0;  ///< fixed keep-1-in-m; 0 = not fixed
+  uint64_t max_m = 0;    ///< adaptive cap; 0 = not adaptive
+  bool enabled() const { return fixed_m > 0 || max_m > 0; }
+};
+
 /// \brief A complete, seeded fault scenario.
 struct FaultPlan {
   uint64_t seed = 1;
@@ -79,9 +107,18 @@ struct FaultPlan {
   uint64_t epoch_width = 1;
   std::vector<HostKillSpec> kills;
   std::vector<ChannelFaultSpec> channels;
+  /// Per-host per-epoch CPU budgets (overload control; dist/overload.h).
+  std::vector<HostBudgetSpec> budgets;
+  /// Tap-level shedding policy (inert unless budgets force it or fixed).
+  ShedSpec shed;
 
   /// \brief True when the plan injects nothing (controller stays inert).
+  /// Budgets/shedding are deliberately excluded: a budget-only plan arms the
+  /// overload controller but no fault controller.
   bool empty() const { return kills.empty() && channels.empty(); }
+
+  /// \brief True when the plan arms the overload controller.
+  bool overload_enabled() const { return !budgets.empty() || shed.enabled(); }
 
   /// \brief Parses the line-based plan format (docs/FAULTS.md):
   ///
@@ -92,6 +129,8 @@ struct FaultPlan {
   ///     epoch_width 60
   ///     kill host=2 epoch=3
   ///     channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64
+  ///     budget host=1 cycles=5e8 queue=256 reserve=0.05
+  ///     shed m=4            # or: shed max_m=64
   static Result<FaultPlan> Parse(const std::string& text);
 
   /// \brief Reads and parses a plan file.

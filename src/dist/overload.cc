@@ -1,0 +1,342 @@
+#include "dist/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streampart {
+
+namespace {
+/// Consecutive over-budget epochs before a hotspot counts as sustained.
+constexpr uint64_t kSkewStreak = 2;
+/// Epochs to wait after proposing a move before proposing another.
+constexpr uint64_t kSkewCooldown = 2;
+}  // namespace
+
+OverloadController::OverloadController(const FaultPlan& plan, int num_hosts)
+    : epoch_width_(plan.epoch_width),
+      shed_(plan.shed),
+      budgets_(std::max(num_hosts, 0)),
+      // Distinct deterministic stream: the golden-ratio mix keeps the shed
+      // sequence decorrelated from the per-channel fault RNGs, which seed
+      // from (plan seed, from, to) directly.
+      rng_(plan.seed * 0x9E3779B97F4A7C15ULL + 0x5ED),
+      epoch_base_(budgets_.size(), 0),
+      last_epoch_charge_(budgets_.size(), 0),
+      over_streak_(budgets_.size(), 0),
+      defer_(budgets_.size()),
+      instruments_(budgets_.size()) {
+  // Exact host specs beat the -1 wildcard; among specs of equal precedence
+  // the last one wins (mirrors FaultController's channel-spec resolution
+  // order closely enough to be unsurprising in plan files).
+  for (const HostBudgetSpec& spec : plan.budgets) {
+    if (spec.host >= 0) continue;
+    for (ResolvedBudget& b : budgets_) {
+      b.present = true;
+      b.cycles = spec.cycles;
+      b.reserve = spec.reserve;
+      b.effective = spec.cycles * (1.0 - spec.reserve);
+      b.queue_capacity = spec.queue_capacity;
+    }
+  }
+  for (const HostBudgetSpec& spec : plan.budgets) {
+    if (spec.host < 0 || spec.host >= static_cast<int>(budgets_.size())) {
+      continue;  // range-checked by Validate()
+    }
+    ResolvedBudget& b = budgets_[spec.host];
+    b.present = true;
+    b.cycles = spec.cycles;
+    b.reserve = spec.reserve;
+    b.effective = spec.cycles * (1.0 - spec.reserve);
+    b.queue_capacity = spec.queue_capacity;
+  }
+  if (shed_.fixed_m > 0) shed_weight_ = shed_.fixed_m;
+  // Budgeted hosts get their ledger rows up front, in id order, so the
+  // section's host array is deterministic no matter which host engages
+  // first.
+  for (size_t h = 0; h < budgets_.size(); ++h) {
+    if (!budgets_[h].present) continue;
+    OverloadHostRow row;
+    row.host = static_cast<int>(h);
+    row.budget_cycles = budgets_[h].cycles;
+    row.reserve = budgets_[h].reserve;
+    host_rows_.push_back(row);
+  }
+}
+
+Status OverloadController::Validate() const {
+  // The constructor resolved in-range specs; re-walk nothing — Build passes
+  // the original plan's error surface through here instead, so keep the
+  // checks that need cluster context only.
+  if (shed_.max_m > 0) {
+    bool any_budget = false;
+    for (const ResolvedBudget& b : budgets_) any_budget |= b.present;
+    if (!any_budget) {
+      return Status::InvalidArgument(
+          "shed max_m requires at least one budget directive: adaptive "
+          "shedding derives its rate from measured demand against a budget");
+    }
+  }
+  return Status::OK();
+}
+
+void OverloadController::AddInexactReason(const std::string& reason) {
+  for (const std::string& existing : inexact_reasons_) {
+    if (existing == reason) return;
+  }
+  inexact_reasons_.push_back(reason);
+}
+
+bool OverloadController::GuardTripped(int host) const {
+  if (host < 0 || host >= static_cast<int>(budgets_.size())) return false;
+  const ResolvedBudget& b = budgets_[host];
+  if (!b.present) return false;
+  return cycles_(host) - epoch_base_[host] >= b.effective;
+}
+
+OverloadController::HostInstruments& OverloadController::Instruments(
+    int host) {
+  HostInstruments& ins = instruments_[host];
+  if (!ins.bound) {
+    ins.bound = true;
+    StatsScope* scope = scope_maker_ ? scope_maker_(host) : nullptr;
+    if (scope != nullptr) {
+      ins.shed = scope->counter(stats::kShedTuples);
+      ins.deferrals = scope->counter(stats::kBudgetDeferrals);
+      ins.queue_dropped = scope->counter(stats::kBudgetQueueDropped);
+      ins.over_epochs = scope->counter(stats::kBudgetOverEpochs);
+      ins.skew_moves = scope->counter(stats::kSkewMoves);
+    }
+  }
+  return ins;
+}
+
+OverloadHostRow& OverloadController::HostRow(int host) {
+  for (OverloadHostRow& row : host_rows_) {
+    if (row.host == host) return row;
+  }
+  // Unbudgeted host recording an event (shed attribution): append a row
+  // with a zero budget. Kept deterministic by only ever being reached for
+  // hosts in intake order... which is data-dependent, so sort at section().
+  OverloadHostRow row;
+  row.host = host;
+  host_rows_.push_back(row);
+  return host_rows_.back();
+}
+
+OverloadController::Admission OverloadController::Admit(int host,
+                                                        int partition) {
+  ++offered_;
+  if (partition >= 0) ++epoch_partition_intake_[partition];
+  if (shed_weight_ > 1) {
+    // Keep-1-in-m: each tuple survives with probability 1/m independently,
+    // so the kept tuples form a Horvitz–Thompson sample with weight m.
+    if (rng_.Uniform(1, shed_weight_) != 1) {
+      ++shed_tuples_;
+      engaged_ = true;
+      if (Counter* c = Instruments(host).shed) c->Inc();
+      return Admission::kShed;
+    }
+  }
+  if (GuardTripped(host)) {
+    ++deferred_events_;
+    engaged_ = true;
+    HostRow(host).guard_deferrals++;
+    if (Counter* c = Instruments(host).deferrals) c->Inc();
+    return Admission::kDefer;
+  }
+  ++processed_;
+  ++epoch_kept_;
+  return Admission::kProcess;
+}
+
+void OverloadController::PushDeferred(int host, std::string source,
+                                      Tuple tuple) {
+  std::deque<DeferredTuple>& q = defer_[host];
+  size_t cap = budgets_[host].present ? budgets_[host].queue_capacity : 0;
+  if (cap > 0 && q.size() >= cap) {
+    q.pop_front();  // drop-oldest, like the degraded channels' bounded queues
+    ++queue_dropped_;
+    HostRow(host).queue_dropped++;
+    if (Counter* c = Instruments(host).queue_dropped) c->Inc();
+  }
+  q.push_back(DeferredTuple{std::move(source), std::move(tuple)});
+}
+
+bool OverloadController::TakeDeferred(int host, DeferredTuple* out) {
+  std::deque<DeferredTuple>& q = defer_[host];
+  if (q.empty() || GuardTripped(host)) return false;
+  *out = std::move(q.front());
+  q.pop_front();
+  ++processed_;
+  ++epoch_kept_;
+  return true;
+}
+
+bool OverloadController::HasDeferred() const {
+  for (const std::deque<DeferredTuple>& q : defer_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+bool OverloadController::EpochBoundary(uint64_t eid) const {
+  return !epoch_open_ || eid != current_eid_;
+}
+
+std::optional<SkewMove> OverloadController::CloseEpoch(
+    const std::function<int(int partition)>& partition_host) {
+  epoch_open_ = false;
+  for (size_t h = 0; h < budgets_.size(); ++h) {
+    double charge = cycles_(static_cast<int>(h)) - epoch_base_[h];
+    last_epoch_charge_[h] = charge;
+    if (!budgets_[h].present) continue;
+    EpochChargeRow row;
+    row.host = static_cast<int>(h);
+    row.epoch = current_eid_;
+    row.cycles = charge;
+    row.budget = budgets_[h].cycles;
+    row.over_budget = charge > budgets_[h].cycles;
+    rows_.push_back(row);
+    OverloadHostRow& host_row = HostRow(static_cast<int>(h));
+    host_row.max_epoch_cycles = std::max(host_row.max_epoch_cycles, charge);
+    if (row.over_budget) {
+      engaged_ = true;
+      host_row.over_budget_epochs++;
+      over_streak_[h]++;
+      if (Counter* c = Instruments(static_cast<int>(h)).over_epochs) c->Inc();
+    } else {
+      over_streak_[h] = 0;
+    }
+  }
+  // Horvitz–Thompson bookkeeping: this epoch kept epoch_kept_ tuples at
+  // weight m, estimating k*m true tuples with variance k*m*(m-1).
+  double m = static_cast<double>(shed_weight_);
+  ht_est_n_ += static_cast<double>(epoch_kept_) * m;
+  if (shed_weight_ > 1) {
+    ++shed_epochs_;
+    max_shed_m_ = std::max(max_shed_m_, shed_weight_);
+    ht_var_acc_ += static_cast<double>(epoch_kept_) * m * (m - 1.0);
+  }
+
+  // Skew detection: a host over budget kSkewStreak epochs in a row whose
+  // intake concentrates on one partition gets that partition proposed for
+  // migration to the least-loaded host.
+  if (skew_cooldown_ > 0) {
+    --skew_cooldown_;
+    return std::nullopt;
+  }
+  int hot_host = -1;
+  double hot_charge = 0;
+  for (size_t h = 0; h < budgets_.size(); ++h) {
+    if (!budgets_[h].present || over_streak_[h] < kSkewStreak) continue;
+    if (hot_host < 0 || last_epoch_charge_[h] > hot_charge) {
+      hot_host = static_cast<int>(h);
+      hot_charge = last_epoch_charge_[h];
+    }
+  }
+  if (hot_host < 0) return std::nullopt;
+  int hot_partition = -1;
+  uint64_t hot_intake = 0;
+  for (const auto& [p, intake] : epoch_partition_intake_) {
+    if (partition_host(p) != hot_host) continue;
+    if (intake > hot_intake) {
+      hot_partition = p;
+      hot_intake = intake;
+    }
+  }
+  if (hot_partition < 0) return std::nullopt;
+  int target = -1;
+  double target_charge = 0;
+  for (size_t h = 0; h < last_epoch_charge_.size(); ++h) {
+    if (static_cast<int>(h) == hot_host) continue;
+    if (target < 0 || last_epoch_charge_[h] < target_charge) {
+      target = static_cast<int>(h);
+      target_charge = last_epoch_charge_[h];
+    }
+  }
+  if (target < 0) return std::nullopt;
+  skew_cooldown_ = kSkewCooldown;
+  over_streak_[hot_host] = 0;  // the move resets the sustained-overload clock
+  return SkewMove{hot_host, hot_partition, target};
+}
+
+void OverloadController::BeginEpoch(uint64_t eid) {
+  epoch_open_ = true;
+  current_eid_ = eid;
+  if (shed_.max_m > 0) {
+    // Adapt from measured demand: last epoch's charge covered only the kept
+    // 1-in-m fraction, so charge * m estimates the unshed demand. Pick the
+    // smallest m that fits the tightest budgeted host, capped at max_m.
+    uint64_t next_m = 1;
+    for (size_t h = 0; h < budgets_.size(); ++h) {
+      if (!budgets_[h].present || budgets_[h].effective <= 0) continue;
+      double demand =
+          last_epoch_charge_[h] * static_cast<double>(shed_weight_);
+      if (demand > budgets_[h].effective) {
+        uint64_t need = static_cast<uint64_t>(
+            std::ceil(demand / budgets_[h].effective));
+        next_m = std::max(next_m, need);
+      }
+    }
+    shed_weight_ = std::min<uint64_t>(std::max<uint64_t>(next_m, 1),
+                                      shed_.max_m);
+  }
+  for (size_t h = 0; h < epoch_base_.size(); ++h) {
+    epoch_base_[h] = cycles_(static_cast<int>(h));
+  }
+  epoch_partition_intake_.clear();
+  epoch_kept_ = 0;
+}
+
+void OverloadController::RecordSkewMove(int from_host, int partition,
+                                        double move_cost_bytes) {
+  engaged_ = true;
+  ++skew_repartitions_;
+  if (Counter* c = Instruments(from_host).skew_moves) c->Inc();
+  skew_moved_partitions_.push_back(partition);
+  skew_move_cost_bytes_ += move_cost_bytes;
+}
+
+void OverloadController::RecordSkewAdviceOnly() {
+  engaged_ = true;
+  ++skew_advice_only_;
+}
+
+double OverloadController::LastEpochOverrun(int host) const {
+  if (host < 0 || host >= static_cast<int>(budgets_.size())) return 0;
+  if (!budgets_[host].present) return 0;
+  return std::max(0.0, last_epoch_charge_[host] - budgets_[host].cycles);
+}
+
+OverloadSection OverloadController::section() const {
+  OverloadSection s;
+  s.active = true;
+  s.engaged = engaged_;
+  s.intake_offered = offered_;
+  s.intake_processed = processed_;
+  s.intake_deferred = deferred_events_;
+  s.shed_tuples = shed_tuples_;
+  s.bp_queue_dropped = queue_dropped_;
+  s.shed_epochs = shed_epochs_;
+  s.max_shed_m = max_shed_m_;
+  // Tuples the tap knowingly dropped (queue evictions) are counted exactly;
+  // shed tuples enter through the scaled estimate.
+  s.estimated_source_tuples = ht_est_n_ + static_cast<double>(queue_dropped_);
+  if (ht_est_n_ > 0 && ht_var_acc_ > 0) {
+    s.shed_rel_error_bound = 3.0 * std::sqrt(ht_var_acc_) / ht_est_n_;
+  }
+  s.exact = shed_tuples_ == 0 && queue_dropped_ == 0;
+  if (!s.exact || shed_tuples_ > 0) s.inexact_reasons = inexact_reasons_;
+  s.skew_repartitions = skew_repartitions_;
+  s.skew_moved_partitions = skew_moved_partitions_;
+  s.skew_move_cost_bytes = skew_move_cost_bytes_;
+  s.skew_advice_only = skew_advice_only_;
+  s.hosts = host_rows_;
+  std::sort(s.hosts.begin(), s.hosts.end(),
+            [](const OverloadHostRow& a, const OverloadHostRow& b) {
+              return a.host < b.host;
+            });
+  return s;
+}
+
+}  // namespace streampart

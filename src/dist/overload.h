@@ -1,0 +1,247 @@
+#pragma once
+
+/// \file overload.h
+/// \brief Graceful degradation under overload: per-host per-epoch CPU cycle
+/// budgets, bounded backpressure queues, deterministic load shedding with
+/// Horvitz–Thompson scale-up, and skew detection feeding hot-partition moves.
+///
+/// A production DSMS that cannot keep up with its input does not get to
+/// pause the network; it must degrade. The OverloadController gives each
+/// simulated host a per-epoch cycle budget (priced in the same model cycles
+/// as metrics/cpu_model.h) and enforces it at the capture tap in three
+/// escalating stages:
+///
+///   1. **Backpressure**: when a host's charged cycles for the current epoch
+///      reach the guard threshold `cycles * (1 - reserve)`, further source
+///      tuples routed to it are parked in a bounded per-host defer queue and
+///      re-admitted at the next epoch boundary (re-checked against the fresh
+///      budget). Queue overflow evicts the oldest entry with exact
+///      accounting (`bp_queue_dropped`) — the drop-oldest policy of the
+///      degraded channels, applied to intake.
+///   2. **Shedding**: when the plan arms a shed policy, the tap keeps 1
+///      tuple in `m` (uniform, seeded, deterministic) and exposes the
+///      integer Horvitz–Thompson weight `m` to downstream aggregates
+///      (Operator::BindShedWeight), so SUM/COUNT-style answers are scaled
+///      estimates carrying a computed 3-sigma relative error bound in the
+///      ledger. `m` changes only at epoch boundaries: `shed m=M` fixes it,
+///      `shed max_m=M` adapts it from the previous epoch's measured demand.
+///   3. **Skew repartitioning**: a host over budget for two consecutive
+///      epochs with a dominant hot partition triggers a proposal to move
+///      that partition to the least-loaded host, priced against the
+///      advisor's `state_move_bytes` penalty and executed through the
+///      recovery machinery's state migration (ClusterRuntime).
+///
+/// Shedding never silently crosses a non-sampleable operator: at Build time
+/// the runtime binds the shed weight to the first stateful operator
+/// downstream of each source and records an `inexact_reasons` entry (and
+/// `exact = false`) whenever that operator cannot consume weights (joins,
+/// sliding windows) or mixes non-sampleable UDAFs (MIN/MAX).
+///
+/// Everything is deterministic: the shed RNG is seeded from the plan seed,
+/// budgets charge model cycles (not wall clock), and a run whose budget
+/// always covered the load leaves the controller disengaged — its ledger is
+/// byte-identical to a run without budgets (the leg-1 differential gate).
+///
+/// docs/FAULTS.md ("Overload and graceful degradation") documents the plan
+/// directives, the shed-point selection, and the error-bound math.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/fault.h"
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief One source tuple parked in a host's backpressure defer queue.
+struct DeferredTuple {
+  std::string source;
+  Tuple tuple;
+};
+
+/// \brief One closed epoch's charge against a host (test/introspection
+/// probe; only budgeted hosts get rows).
+struct EpochChargeRow {
+  int host = 0;
+  uint64_t epoch = 0;
+  double cycles = 0;       ///< model cycles charged during the epoch
+  double budget = 0;       ///< the host's per-epoch budget
+  bool over_budget = false;
+};
+
+/// \brief A hot-partition move proposed by the skew detector. The runtime
+/// validates it (recovery machinery present, target alive) and either
+/// executes it via state migration or records it as advice-only.
+struct SkewMove {
+  int from_host = 0;
+  int partition = 0;
+  int to_host = 0;
+};
+
+/// \brief Executes the budget/shed directives of a FaultPlan. Owned by
+/// ClusterRuntime; every hook is called from the single simulation thread.
+class OverloadController {
+ public:
+  /// Live model-cycle total of one host (runtime-supplied closure over the
+  /// host ledger plus live operator stats).
+  using CyclesProbe = std::function<double(int host)>;
+  /// Lazily materializes the telemetry scope `overload#<host>`; may return
+  /// null (telemetry off). Invoked only when a host first records an event,
+  /// so a disengaged controller creates no scopes.
+  using ScopeMaker = std::function<StatsScope*(int host)>;
+
+  /// Copies the plan's budgets/shed/seed/epoch_width; \p num_hosts bounds
+  /// the per-host tables. Call Validate() from Build for error reporting.
+  OverloadController(const FaultPlan& plan, int num_hosts);
+
+  /// \brief Checks budget host ranges and policy consistency (adaptive
+  /// shedding needs at least one budget to adapt against).
+  Status Validate() const;
+
+  void set_cycles_probe(CyclesProbe probe) { cycles_ = std::move(probe); }
+  void set_scope_maker(ScopeMaker maker) { scope_maker_ = std::move(maker); }
+
+  uint64_t epoch_width() const { return epoch_width_; }
+  /// True when a shed policy is armed (weights must be bound at Build).
+  bool shed_armed() const { return shed_.enabled(); }
+  /// The live Horvitz–Thompson weight downstream aggregates read through
+  /// Operator::BindShedWeight. Stable address for the controller's lifetime.
+  const uint64_t* shed_weight() const { return &shed_weight_; }
+
+  /// \brief Records a Build-time reason why shed answers carry no computed
+  /// bound (deduplicated; sets exact=false once shedding engages).
+  void AddInexactReason(const std::string& reason);
+
+  // --- Tap hooks -----------------------------------------------------------
+
+  enum class Admission {
+    kProcess,  ///< route the tuple now
+    kShed,     ///< shed at the tap (no capture cost, accounted)
+    kDefer     ///< park in the host's defer queue (caller calls PushDeferred)
+  };
+
+  /// \brief Admission decision for one source tuple routed to \p host /
+  /// \p partition. Counts intake, draws the seeded shed decision, and checks
+  /// the host's epoch budget guard.
+  Admission Admit(int host, int partition);
+
+  /// \brief Parks a deferred tuple; evicts the oldest entry when the host's
+  /// bounded queue is full (exact accounting).
+  void PushDeferred(int host, std::string source, Tuple tuple);
+
+  /// \brief Pops the next deferred tuple of \p host if the epoch budget
+  /// still allows processing it; false when the queue is empty or the guard
+  /// has tripped again. Counts the tuple processed.
+  bool TakeDeferred(int host, DeferredTuple* out);
+
+  bool HasDeferred() const;
+
+  // --- Epoch hooks ---------------------------------------------------------
+
+  /// \brief True when \p eid differs from the open epoch (or none is open).
+  bool EpochBoundary(uint64_t eid) const;
+  bool epoch_open() const { return epoch_open_; }
+  /// The most recently opened epoch id (valid after the first BeginEpoch).
+  uint64_t current_epoch() const { return current_eid_; }
+
+  /// \brief Closes the open epoch: records per-host charges and over-budget
+  /// streaks, folds the epoch's Horvitz–Thompson variance contribution, and
+  /// (when a sustained hotspot exists) proposes a hot-partition move.
+  /// \p partition_host maps a partition to its current home host.
+  std::optional<SkewMove> CloseEpoch(
+      const std::function<int(int partition)>& partition_host);
+
+  /// \brief Opens epoch \p eid: snapshots per-host cycle bases (so migration
+  /// and flush work between epochs charges the epoch it occurs in), adapts
+  /// the shed rate from last epoch's demand, and resets per-epoch counters.
+  void BeginEpoch(uint64_t eid);
+
+  // --- Skew accounting (runtime reports back) ------------------------------
+
+  void RecordSkewMove(int from_host, int partition, double move_cost_bytes);
+  void RecordSkewAdviceOnly();
+  /// Last closed epoch's charge above budget on \p host (0 when under).
+  double LastEpochOverrun(int host) const;
+
+  // --- Ledger --------------------------------------------------------------
+
+  /// \brief Assembles the ledger section. `engaged` is false when the
+  /// controller never intervened (leg-1 byte-identity).
+  OverloadSection section() const;
+
+  /// \brief Per-(host, epoch) charges, in close order (differential tests).
+  const std::vector<EpochChargeRow>& charge_rows() const { return rows_; }
+
+ private:
+  struct ResolvedBudget {
+    bool present = false;
+    double cycles = 0;
+    double effective = 0;  ///< cycles * (1 - reserve): the guard threshold
+    double reserve = 0;
+    size_t queue_capacity = 0;
+  };
+  /// Lazily bound per-host instruments (all null until the first event).
+  struct HostInstruments {
+    bool bound = false;
+    Counter* shed = nullptr;
+    Counter* deferrals = nullptr;
+    Counter* queue_dropped = nullptr;
+    Counter* over_epochs = nullptr;
+    Counter* skew_moves = nullptr;
+  };
+
+  bool GuardTripped(int host) const;
+  HostInstruments& Instruments(int host);
+  OverloadHostRow& HostRow(int host);
+
+  // Plan-derived configuration.
+  uint64_t epoch_width_ = 1;
+  ShedSpec shed_;
+  std::vector<ResolvedBudget> budgets_;  ///< by host (wildcard resolved)
+  Rng rng_;
+
+  CyclesProbe cycles_;
+  ScopeMaker scope_maker_;
+
+  // Live state.
+  uint64_t shed_weight_ = 1;  ///< current keep-1-in-m (1 = keep all)
+  bool epoch_open_ = false;
+  uint64_t current_eid_ = 0;
+  std::vector<double> epoch_base_;        ///< per-host cycles at epoch open
+  std::vector<double> last_epoch_charge_; ///< per-host charge of last epoch
+  std::vector<uint64_t> over_streak_;     ///< consecutive over-budget epochs
+  std::vector<std::deque<DeferredTuple>> defer_;
+  std::map<int, uint64_t> epoch_partition_intake_;
+  uint64_t epoch_kept_ = 0;  ///< tuples processed in the open epoch
+  uint64_t skew_cooldown_ = 0;
+
+  // Section accumulators.
+  bool engaged_ = false;
+  uint64_t offered_ = 0;
+  uint64_t processed_ = 0;
+  uint64_t deferred_events_ = 0;
+  uint64_t shed_tuples_ = 0;
+  uint64_t queue_dropped_ = 0;
+  uint64_t shed_epochs_ = 0;
+  uint64_t max_shed_m_ = 0;
+  double ht_var_acc_ = 0;  ///< sum over epochs of k*m*(m-1)
+  double ht_est_n_ = 0;    ///< sum over epochs of k*m
+  std::vector<std::string> inexact_reasons_;
+  uint64_t skew_repartitions_ = 0;
+  std::vector<int> skew_moved_partitions_;
+  double skew_move_cost_bytes_ = 0;
+  uint64_t skew_advice_only_ = 0;
+  std::vector<OverloadHostRow> host_rows_;  ///< budgeted hosts, id order
+  std::vector<EpochChargeRow> rows_;
+  std::vector<HostInstruments> instruments_;
+};
+
+}  // namespace streampart

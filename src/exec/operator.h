@@ -212,6 +212,25 @@ class Operator {
     return Status::OK();
   }
 
+  /// \brief Binds the ambient Horvitz–Thompson shed weight (dist/overload.h):
+  /// \p weight points at the controller's current keep-1-in-m factor, valid
+  /// for the operator's lifetime. Returns true when this operator consumes
+  /// the weight (applies it to its accumulators); stateless and
+  /// weight-oblivious operators return false and the runtime keeps searching
+  /// downstream. Only the *first* weight-consuming operator on each path
+  /// from a source is bound, so partials emitted upstream are never scaled
+  /// twice.
+  virtual bool BindShedWeight(const uint64_t* weight) {
+    (void)weight;
+    return false;
+  }
+
+  /// \brief False when tuples shed upstream of this operator degrade its
+  /// answer without a computable Horvitz–Thompson bound (joins, and
+  /// aggregates containing non-sampleable UDAFs). The overload controller
+  /// marks such runs `exact=false` in the ledger.
+  virtual bool ShedSampleable() const { return true; }
+
   /// \brief Human-readable operator label for plan dumps and debugging.
   virtual std::string label() const = 0;
 

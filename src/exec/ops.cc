@@ -262,10 +262,17 @@ void AggregateOp::ProcessGeneric(const Tuple& tuple) {
   } else {
     ++stats_.group_probes;
   }
+  // Ambient shed weight: while the overload controller keeps 1 tuple in m,
+  // each admitted tuple stands for m observations (Horvitz–Thompson).
+  const uint64_t w = shed_weight_ != nullptr ? *shed_weight_ : 1;
   for (size_t i = 0; i < node_->aggregates.size(); ++i) {
     const AggregateSpec& spec = node_->aggregates[i];
     Value arg = spec.args.empty() ? Value::Null() : spec.args[0]->Eval(tuple);
-    it->second[i]->Update(arg);
+    if (w > 1) {
+      it->second[i]->UpdateWeighted(arg, w);
+    } else {
+      it->second[i]->Update(arg);
+    }
   }
 }
 
@@ -309,6 +316,22 @@ void AggregateOp::ProcessPacked(const Tuple& tuple) {
   } else {
     ++stats_.group_probes;
   }
+  const uint64_t w = shed_weight_ != nullptr ? *shed_weight_ : 1;
+  if (w > 1) {
+    for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+      if (arg_cols_[i] == kNoArg) {
+        static const Value kNullArg;
+        (*states)[i]->UpdateWeighted(kNullArg, w);
+      } else if (arg_cols_[i] >= 0) {
+        (*states)[i]->UpdateWeighted(tuple.at(static_cast<size_t>(arg_cols_[i])),
+                                     w);
+      } else {
+        (*states)[i]->UpdateWeighted(node_->aggregates[i].args[0]->Eval(tuple),
+                                     w);
+      }
+    }
+    return;
+  }
   for (size_t i = 0; i < node_->aggregates.size(); ++i) {
     if (arg_cols_[i] == kNoArg) {
       static const Value kNullArg;
@@ -319,6 +342,13 @@ void AggregateOp::ProcessPacked(const Tuple& tuple) {
       (*states)[i]->Update(node_->aggregates[i].args[0]->Eval(tuple));
     }
   }
+}
+
+bool AggregateOp::ShedSampleable() const {
+  for (const auto& udaf : udafs_) {
+    if (!udaf->sampleable()) return false;
+  }
+  return true;
 }
 
 void AggregateOp::FlushEntry(const std::vector<Value>& key,

@@ -87,6 +87,17 @@ class AggregateOp : public Operator {
   void CheckpointState(std::string* out) const override;
   Status RestoreState(std::string_view data) override;
 
+  /// \brief Accepts the ambient shed weight: while *weight == m > 1, every
+  /// update folds its value as m observations (UdafState::UpdateWeighted).
+  /// Weight-insensitive accumulators (min/max, bit aggregates) ignore the
+  /// scale-up; ShedSampleable() reports whether all of this node's UDAFs
+  /// scale correctly.
+  bool BindShedWeight(const uint64_t* weight) override {
+    shed_weight_ = weight;
+    return true;
+  }
+  bool ShedSampleable() const override;
+
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
@@ -140,6 +151,8 @@ class AggregateOp : public Operator {
   bool pool_states_ = true;  // false once any state refuses Reset
   std::optional<Value> current_epoch_;
   bool sorted_flush_ = true;
+  /// Ambient Horvitz–Thompson scale factor (null or 1 = no shedding).
+  const uint64_t* shed_weight_ = nullptr;
 
   // Batched-path metadata, precomputed at construction.
   static constexpr int kEvalExpr = -1;  // slot needs expression evaluation
@@ -191,6 +204,9 @@ class JoinOp : public Operator {
 
   void CheckpointState(std::string* out) const override;
   Status RestoreState(std::string_view data) override;
+
+  /// Shed tuples break join pairings with no computable bound.
+  bool ShedSampleable() const override { return false; }
 
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;

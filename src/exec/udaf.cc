@@ -41,6 +41,9 @@ bool ReadDouble(std::string_view data, size_t* offset, double* out) {
 class CountState : public UdafState {
  public:
   void Update(const Value&) override { ++count_; }
+  void UpdateWeighted(const Value&, uint64_t weight) override {
+    count_ += weight;
+  }
   Value Final() const override { return Value::Uint(count_); }
   bool Reset() override {
     count_ = 0;
@@ -67,6 +70,20 @@ class SumState : public UdafState {
       isum_ += v.AsInt64();
     } else {
       usum_ += v.AsUint64();
+    }
+  }
+  void UpdateWeighted(const Value& v, uint64_t weight) override {
+    if (v.is_null()) return;
+    seen_ = true;
+    // Integer weights keep integer sums exact: sum scales by w with no
+    // float round-trip, so an unshed run (w == 1 everywhere) is bit-equal
+    // to plain Update.
+    if (arg_type_ == DataType::kDouble) {
+      dsum_ += v.AsDouble() * static_cast<double>(weight);
+    } else if (arg_type_ == DataType::kInt) {
+      isum_ += v.AsInt64() * static_cast<int64_t>(weight);
+    } else {
+      usum_ += v.AsUint64() * weight;
     }
   }
   Value Final() const override {
@@ -144,6 +161,11 @@ class AvgState : public UdafState {
     if (v.is_null()) return;
     sum_ += v.AsDouble();
     ++count_;
+  }
+  void UpdateWeighted(const Value& v, uint64_t weight) override {
+    if (v.is_null()) return;
+    sum_ += v.AsDouble() * static_cast<double>(weight);
+    count_ += weight;
   }
   Value Final() const override {
     return count_ == 0 ? Value::Null() : Value::Double(sum_ / count_);
@@ -259,7 +281,7 @@ UdafRegistry BuildDefaultRegistry() {
   add(std::make_shared<Udaf>(
       "count", CountType,
       [](DataType) { return std::make_unique<CountState>(); },
-      SimpleSplit("count", "sum")));
+      SimpleSplit("count", "sum"), /*sampleable=*/true));
 
   add(std::make_shared<Udaf>(
       "sum",
@@ -267,7 +289,7 @@ UdafRegistry BuildDefaultRegistry() {
         return NumericPassthroughType("sum", a);
       },
       [](DataType t) { return std::make_unique<SumState>(t); },
-      SimpleSplit("sum", "sum")));
+      SimpleSplit("sum", "sum"), /*sampleable=*/true));
 
   add(std::make_shared<Udaf>(
       "min",
@@ -301,7 +323,7 @@ UdafRegistry BuildDefaultRegistry() {
     add(std::make_shared<Udaf>(
         "avg", AvgType,
         [](DataType) { return std::make_unique<AvgState>(); },
-        std::move(split)));
+        std::move(split), /*sampleable=*/true));
   }
 
   add(std::make_shared<Udaf>(

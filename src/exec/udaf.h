@@ -33,6 +33,16 @@ class UdafState {
   /// \brief Folds one input value (ignored by zero-arg aggregates like
   /// count). NULL inputs are skipped by SQL convention except for count(*).
   virtual void Update(const Value& v) = 0;
+  /// \brief Folds \p v as if it had been observed \p weight times — the
+  /// Horvitz–Thompson scale-up applied when load shedding keeps 1 tuple in m
+  /// (dist/overload.h). The default ignores the weight, which is the correct
+  /// passthrough for weight-insensitive accumulators (min/max, bit OR/AND):
+  /// their answers under shedding are degraded-but-unbiased-by-scaling, and
+  /// the run is marked inexact instead. Sampleable aggregates override.
+  virtual void UpdateWeighted(const Value& v, uint64_t weight) {
+    (void)weight;
+    Update(v);
+  }
   /// \brief Produces the aggregate result.
   virtual Value Final() const = 0;
   /// \brief Returns the accumulator to its freshly-constructed state and
@@ -76,13 +86,19 @@ class Udaf {
  public:
   Udaf(std::string name, std::function<Result<DataType>(const std::vector<DataType>&)> type_fn,
        std::function<std::unique_ptr<UdafState>(DataType arg_type)> state_fn,
-       UdafSplit split)
+       UdafSplit split, bool sampleable = false)
       : name_(std::move(name)),
         type_fn_(std::move(type_fn)),
         state_fn_(std::move(state_fn)),
-        split_(std::move(split)) {}
+        split_(std::move(split)),
+        sampleable_(sampleable) {}
 
   const std::string& name() const { return name_; }
+
+  /// \brief True when the aggregate scales correctly under uniform tuple
+  /// shedding via UpdateWeighted (count/sum/avg). Non-sampleable aggregates
+  /// (min/max, or_aggr/and_aggr) force shed runs to be marked inexact.
+  bool sampleable() const { return sampleable_; }
 
   /// \brief Result type for the given argument types (validates arity).
   Result<DataType> ResultType(const std::vector<DataType>& arg_types) const {
@@ -102,6 +118,7 @@ class Udaf {
   std::function<Result<DataType>(const std::vector<DataType>&)> type_fn_;
   std::function<std::unique_ptr<UdafState>(DataType)> state_fn_;
   UdafSplit split_;
+  bool sampleable_ = false;
 };
 
 /// \brief Name-keyed registry of aggregates; also serves as the

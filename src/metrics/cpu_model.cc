@@ -2,7 +2,7 @@
 
 namespace streampart {
 
-double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params) {
+double HostCycles(const HostMetrics& host, const CpuCostParams& params) {
   double cycles = 0;
   cycles += params.cycles_per_source_tuple *
             static_cast<double>(host.source_tuples);
@@ -26,7 +26,11 @@ double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params) {
       params.cycles_per_remote_byte * static_cast<double>(host.net_bytes_in);
   cycles += params.cycles_per_checkpoint_byte *
             static_cast<double>(host.ckpt_bytes + host.ckpt_restored_bytes);
-  return cycles / params.host_clock_hz;
+  return cycles;
+}
+
+double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params) {
+  return HostCycles(host, params) / params.host_clock_hz;
 }
 
 double HostCpuLoadPercent(const HostMetrics& host, const CpuCostParams& params,

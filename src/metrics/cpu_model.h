@@ -79,7 +79,12 @@ struct HostMetrics {
   friend bool operator==(const HostMetrics&, const HostMetrics&) = default;
 };
 
-/// \brief Total simulated CPU-seconds consumed on a host.
+/// \brief Total simulated model cycles charged to a host — the budget
+/// currency of the overload controller (dist/overload.h).
+double HostCycles(const HostMetrics& host, const CpuCostParams& params);
+
+/// \brief Total simulated CPU-seconds consumed on a host
+/// (HostCycles / host_clock_hz).
 double HostCpuSeconds(const HostMetrics& host, const CpuCostParams& params);
 
 /// \brief Utilization percentage over a trace of \p duration_sec seconds.

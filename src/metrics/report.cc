@@ -158,6 +158,56 @@ std::string RecoverySectionJson(const RecoverySection& r) {
   return out;
 }
 
+std::string OverloadSectionJson(const OverloadSection& o) {
+  std::string out = "{\"record\":\"overload\"";
+  out += ",\"intake_offered\":" + std::to_string(o.intake_offered);
+  out += ",\"intake_processed\":" + std::to_string(o.intake_processed);
+  out += ",\"intake_deferred\":" + std::to_string(o.intake_deferred);
+  out += ",\"shed_tuples\":" + std::to_string(o.shed_tuples);
+  out += ",\"bp_queue_dropped\":" + std::to_string(o.bp_queue_dropped);
+  out += ",\"shed_epochs\":" + std::to_string(o.shed_epochs);
+  out += ",\"max_shed_m\":" + std::to_string(o.max_shed_m);
+  out += ",\"estimated_source_tuples\":" +
+         JsonDouble(o.estimated_source_tuples);
+  out += ",\"shed_rel_error_bound\":" + JsonDouble(o.shed_rel_error_bound);
+  out += std::string(",\"exact\":") + (o.exact ? "true" : "false");
+  out += ",\"inexact_reasons\":[";
+  bool first = true;
+  for (const std::string& reason : o.inexact_reasons) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonStr(reason);
+  }
+  out += "]";
+  out += ",\"skew_repartitions\":" + std::to_string(o.skew_repartitions);
+  out += ",\"skew_moved_partitions\":[";
+  first = true;
+  for (int p : o.skew_moved_partitions) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(p);
+  }
+  out += "]";
+  out += ",\"skew_move_cost_bytes\":" + JsonDouble(o.skew_move_cost_bytes);
+  out += ",\"skew_advice_only\":" + std::to_string(o.skew_advice_only);
+  out += ",\"hosts\":[";
+  first = true;
+  for (const OverloadHostRow& row : o.hosts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":" + std::to_string(row.host);
+    out += ",\"budget_cycles\":" + JsonDouble(row.budget_cycles);
+    out += ",\"reserve\":" + JsonDouble(row.reserve);
+    out += ",\"guard_deferrals\":" + std::to_string(row.guard_deferrals);
+    out += ",\"queue_dropped\":" + std::to_string(row.queue_dropped);
+    out += ",\"over_budget_epochs\":" +
+           std::to_string(row.over_budget_epochs);
+    out += ",\"max_epoch_cycles\":" + JsonDouble(row.max_epoch_cycles) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
@@ -299,6 +349,11 @@ void RunLedger::SetRecovery(RecoverySection recovery) {
   recovery_ = std::move(recovery);
 }
 
+void RunLedger::SetOverload(OverloadSection overload) {
+  if (!overload.active || !overload.engaged) return;
+  overload_ = std::move(overload);
+}
+
 std::string RunLedger::ToJsonl() const {
   std::string out;
   // Record 1: run metadata.
@@ -332,6 +387,7 @@ std::string RunLedger::ToJsonl() const {
   }
   if (faults_.active) out += FaultSectionJson(faults_) + "\n";
   if (recovery_.active) out += RecoverySectionJson(recovery_) + "\n";
+  if (overload_.engaged) out += OverloadSectionJson(overload_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
     out += ",\"tuples\":" + std::to_string(tuples) + "}\n";
@@ -401,6 +457,21 @@ std::string RunLedger::ToSummaryJson() const {
            std::to_string(recovery_.reliable_applied);
     out += ",\"checkpoint_cost_cycles\":" +
            JsonDouble(recovery_.checkpoint_cost_cycles);
+    out += "}";
+  }
+  if (overload_.engaged) {
+    out += ",\n  \"overload\": {";
+    out += "\"shed_tuples\":" + std::to_string(overload_.shed_tuples);
+    out += ",\"intake_deferred\":" +
+           std::to_string(overload_.intake_deferred);
+    out += ",\"bp_queue_dropped\":" +
+           std::to_string(overload_.bp_queue_dropped);
+    out += ",\"max_shed_m\":" + std::to_string(overload_.max_shed_m);
+    out += ",\"shed_rel_error_bound\":" +
+           JsonDouble(overload_.shed_rel_error_bound);
+    out += std::string(",\"exact\":") + (overload_.exact ? "true" : "false");
+    out += ",\"skew_repartitions\":" +
+           std::to_string(overload_.skew_repartitions);
     out += "}";
   }
   if (!outputs_.empty()) {

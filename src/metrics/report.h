@@ -160,6 +160,61 @@ struct RecoverySection {
   double checkpoint_cost_cycles = 0;
 };
 
+/// \brief One budgeted host's row of the overload section.
+struct OverloadHostRow {
+  int host = 0;
+  double budget_cycles = 0;  ///< per-epoch cycle budget from the plan
+  double reserve = 0;        ///< guard headroom fraction
+  uint64_t guard_deferrals = 0;   ///< tuples deferred by the budget guard
+  uint64_t queue_dropped = 0;     ///< drop-oldest evictions of the defer queue
+  uint64_t over_budget_epochs = 0;  ///< epochs whose charge exceeded budget
+  double max_epoch_cycles = 0;    ///< largest cycles charged in any epoch
+};
+
+/// \brief The `overload` section of a run ledger: what the overload
+/// controller (dist/overload.h) deferred, dropped, or shed, and the
+/// Horvitz–Thompson error bound shed answers carry. `active` means the
+/// controller was armed (budget/shed directives present); `engaged` means it
+/// actually intervened. Serialized only when engaged, so a run whose budget
+/// always covered the load stays byte-identical to a run without budgets —
+/// the differential battery's leg-1 gate.
+///
+/// Intake conservation identity (asserted by the fault battery): after a
+/// completed run, intake_processed + shed_tuples + bp_queue_dropped ==
+/// intake_offered. Shedding happens at the tap, before channels, so the
+/// channel-level identity delivered + dropped + queue_dropped ==
+/// sent + dup_extras is untouched.
+struct OverloadSection {
+  bool active = false;
+  bool engaged = false;
+  uint64_t intake_offered = 0;    ///< source tuples presented at the tap
+  uint64_t intake_processed = 0;  ///< tuples admitted (now or after deferral)
+  uint64_t intake_deferred = 0;   ///< guard deferrals (tuple may process later)
+  uint64_t shed_tuples = 0;       ///< tuples shed at the tap
+  uint64_t bp_queue_dropped = 0;  ///< defer-queue drop-oldest evictions
+  uint64_t shed_epochs = 0;       ///< epochs that ran with shed rate m > 1
+  uint64_t max_shed_m = 0;        ///< largest keep-1-in-m used
+  /// Horvitz–Thompson estimate of the true (unshed) tuple count feeding the
+  /// bound below: sum over epochs of kept*m plus unshed intake.
+  double estimated_source_tuples = 0;
+  /// 3-sigma relative error bound on COUNT-style answers:
+  /// 3*sqrt(sum_i k_i*m_i*(m_i-1)) / estimated_source_tuples (docs/FAULTS.md
+  /// derives it; SUM bounds scale by the summed attribute's dispersion).
+  double shed_rel_error_bound = 0;
+  /// False when shed tuples crossed a non-sampleable operator (MIN/MAX,
+  /// joins, or an unbindable first stateful op) — the answers are then
+  /// degraded without a computed bound.
+  bool exact = true;
+  std::vector<std::string> inexact_reasons;  ///< why exact is false
+  uint64_t skew_repartitions = 0;  ///< hot-partition moves executed
+  std::vector<int> skew_moved_partitions;  ///< partitions moved, in order
+  double skew_move_cost_bytes = 0;  ///< advisor-priced state-move bytes
+  /// Sustained hotspots detected but not movable (no recovery machinery or
+  /// no underloaded target); advice recorded instead of executed.
+  uint64_t skew_advice_only = 0;
+  std::vector<OverloadHostRow> hosts;  ///< budgeted hosts, id order
+};
+
 /// \brief Epoch-timestamped structured record of one experiment run.
 ///
 /// Deterministic by construction: meta keys, output streams, telemetry
@@ -199,12 +254,18 @@ class RunLedger {
   /// section with `active == false` is ignored entirely.
   void SetRecovery(RecoverySection recovery);
 
+  /// \brief Attaches the overload-control accounting. A section that never
+  /// engaged (no shed/defer/drop/skew event) is ignored entirely, keeping
+  /// covered-budget runs byte-identical to budget-free runs.
+  void SetOverload(OverloadSection overload);
+
   const std::vector<LedgerHostRow>& hosts() const { return hosts_; }
   const FaultSection& faults() const { return faults_; }
   const RecoverySection& recovery() const { return recovery_; }
+  const OverloadSection& overload() const { return overload_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
-  /// run, host*, operator*, event*, faults?, recovery?, output*
+  /// run, host*, operator*, event*, faults?, recovery?, overload?, output*
   /// (docs/METRICS.md schema).
   std::string ToJsonl() const;
 
@@ -235,6 +296,7 @@ class RunLedger {
   std::map<std::string, uint64_t> outputs_;
   FaultSection faults_;        // serialized only when faults_.active
   RecoverySection recovery_;   // serialized only when recovery_.active
+  OverloadSection overload_;   // serialized only when overload_.engaged
 };
 
 }  // namespace streampart

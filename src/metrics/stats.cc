@@ -191,6 +191,27 @@ const StatDef kCkptReplayedTuples = {"ckpt_replayed_tuples",
                                      "post-checkpoint tuples replayed into "
                                      "migrated operators from delivery logs"};
 
+const StatDef kShedTuples = {"shed_tuples", StatKind::kCounter, "tuples",
+                             false,
+                             "source tuples shed at the capture tap by the "
+                             "keep-1-in-m policy before any capture cost"};
+const StatDef kBudgetDeferrals = {"budget_deferrals", StatKind::kCounter,
+                                  "tuples", false,
+                                  "source tuples parked in the host's "
+                                  "backpressure queue by the epoch budget "
+                                  "guard"};
+const StatDef kBudgetQueueDropped = {"budget_queue_dropped",
+                                     StatKind::kCounter, "tuples", false,
+                                     "drop-oldest evictions of the host's "
+                                     "bounded backpressure queue"};
+const StatDef kBudgetOverEpochs = {"budget_over_epochs", StatKind::kCounter,
+                                   "epochs", false,
+                                   "epochs whose charged model cycles "
+                                   "exceeded the host's budget"};
+const StatDef kSkewMoves = {"skew_moves", StatKind::kCounter, "moves", false,
+                            "hot partitions migrated off this host by the "
+                            "skew detector"};
+
 const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
@@ -203,6 +224,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kChanRetxSent,  &kChanRetxDupDiscarded, &kChanRetxEscalated,
       &kCkptSnapshots, &kCkptOpsSerialized, &kCkptOpsSkipped, &kCkptBytes,
       &kCkptRestores,  &kCkptRestoredBytes, &kCkptReplayedTuples,
+      &kShedTuples,    &kBudgetDeferrals, &kBudgetQueueDropped,
+      &kBudgetOverEpochs, &kSkewMoves,
   };
   return kCatalog;
 }

@@ -265,6 +265,15 @@ extern const StatDef kCkptRestores;
 extern const StatDef kCkptRestoredBytes;
 extern const StatDef kCkptReplayedTuples;
 
+// Overload control (dist/overload.h). Recorded under scope
+// `overload#<host>` in the host's registry, bound lazily on the first
+// event so disengaged runs create no scope.
+extern const StatDef kShedTuples;
+extern const StatDef kBudgetDeferrals;
+extern const StatDef kBudgetQueueDropped;
+extern const StatDef kBudgetOverEpochs;
+extern const StatDef kSkewMoves;
+
 /// \brief Every StatDef above, in declaration order. The doc-lint and the
 /// run-ledger schema iterate this.
 const std::vector<const StatDef*>& EngineStatCatalog();

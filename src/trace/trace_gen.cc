@@ -1,5 +1,8 @@
 #include "trace/trace_gen.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "catalog/catalog.h"
 
 namespace streampart {
@@ -11,6 +14,15 @@ PacketTraceGenerator::PacketTraceGenerator(const TraceConfig& config)
   flows_.reserve(config_.num_flows);
   for (uint32_t i = 0; i < config_.num_flows; ++i) {
     flows_.push_back(MakeFlow());
+  }
+  if (config_.bursty()) {
+    for (uint32_t s = 0; s < config_.duration_sec; ++s) {
+      total_packets_ += SecQuota(s);
+    }
+    sec_quota_ = config_.duration_sec > 0 ? SecQuota(0) : 0;
+  } else {
+    total_packets_ = static_cast<uint64_t>(config_.duration_sec) *
+                     config_.packets_per_sec;
   }
 }
 
@@ -30,22 +42,75 @@ PacketTraceGenerator::Flow PacketTraceGenerator::MakeFlow() {
 }
 
 void PacketTraceGenerator::RenewFlows() {
+  // Hot flows are pinned at the front of the table and never renewed; with
+  // the mode off, `pinned` is 0 and the draw below is the legacy one.
+  size_t pinned = config_.hot_mass > 0
+                      ? std::min<size_t>(config_.hot_flows, flows_.size())
+                      : 0;
+  if (pinned >= flows_.size()) return;
   size_t renewals = static_cast<size_t>(
       config_.flow_renewal * static_cast<double>(flows_.size()));
   for (size_t i = 0; i < renewals; ++i) {
-    size_t victim = rng_.Uniform(0, flows_.size() - 1);
+    size_t victim = pinned + rng_.Uniform(0, flows_.size() - 1 - pinned);
     flows_[victim] = MakeFlow();
   }
 }
 
+double PacketTraceGenerator::HotMass(uint32_t sec) const {
+  if (config_.hot_mass <= 0 || sec < config_.hot_start_sec) return 0;
+  if (config_.hot_ramp_sec == 0) return config_.hot_mass;
+  double t = static_cast<double>(sec - config_.hot_start_sec) /
+             static_cast<double>(config_.hot_ramp_sec);
+  return config_.hot_mass * std::min(1.0, t);
+}
+
+uint64_t PacketTraceGenerator::SecQuota(uint32_t sec) const {
+  double mult =
+      sec >= config_.hot_start_sec ? config_.burst_multiplier : 1.0;
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(config_.packets_per_sec * mult)));
+}
+
+std::vector<uint32_t> PacketTraceGenerator::hot_src_ips() const {
+  std::vector<uint32_t> ips;
+  if (config_.hot_mass <= 0) return ips;
+  size_t pinned = std::min<size_t>(config_.hot_flows, flows_.size());
+  for (size_t i = 0; i < pinned; ++i) ips.push_back(flows_[i].src_ip);
+  return ips;
+}
+
 bool PacketTraceGenerator::Next(Tuple* out) {
-  if (emitted_ >= total_packets()) return false;
-  uint32_t sec = static_cast<uint32_t>(emitted_ / config_.packets_per_sec);
-  if (sec != current_sec_) {
-    current_sec_ = sec;
-    RenewFlows();
+  if (emitted_ >= total_packets_) return false;
+  uint64_t micros_within;
+  if (config_.bursty()) {
+    if (idx_in_sec_ >= sec_quota_) {
+      ++current_sec_;
+      idx_in_sec_ = 0;
+      sec_quota_ = SecQuota(current_sec_);
+      RenewFlows();
+    }
+    micros_within = idx_in_sec_ * 1000000ULL / sec_quota_;
+  } else {
+    uint32_t psec = static_cast<uint32_t>(emitted_ / config_.packets_per_sec);
+    if (psec != current_sec_) {
+      current_sec_ = psec;
+      RenewFlows();
+    }
+    micros_within = (emitted_ % config_.packets_per_sec) * 1000000ULL /
+                    config_.packets_per_sec;
   }
-  const Flow& flow = flows_[zipf_.Sample(&rng_) - 1];
+  uint32_t sec = current_sec_;
+  const Flow* flow_ptr;
+  double mass = HotMass(sec);
+  if (mass > 0 && rng_.Chance(mass)) {
+    size_t pinned = std::min<size_t>(config_.hot_flows, flows_.size());
+    flow_ptr = &flows_[rng_.Uniform(0, pinned - 1)];
+    ++hot_emitted_;
+  } else {
+    flow_ptr = &flows_[zipf_.Sample(&rng_) - 1];
+  }
+  const Flow& flow = *flow_ptr;
 
   uint64_t flags;
   if (flow.suspicious) {
@@ -61,8 +126,6 @@ bool PacketTraceGenerator::Next(Tuple* out) {
                      ? 40
                      : rng_.Uniform(200, 1500);
 
-  uint64_t micros_within = (emitted_ % config_.packets_per_sec) * 1000000ULL /
-                           config_.packets_per_sec;
   Tuple t;
   t.values().reserve(kPktNumFields);
   t.Append(Value::Uint(sec));
@@ -76,6 +139,7 @@ bool PacketTraceGenerator::Next(Tuple* out) {
   t.Append(Value::Uint(static_cast<uint64_t>(sec) * 1000000ULL + micros_within));
   *out = std::move(t);
   ++emitted_;
+  ++idx_in_sec_;
   return true;
 }
 

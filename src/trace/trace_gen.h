@@ -44,6 +44,30 @@ struct TraceConfig {
   uint32_t num_hosts = 1 << 12;
   /// OR_AGGR(flags) value identifying an attack flow (FIN|RST|URG).
   uint64_t attack_flag_pattern = 0x29;
+
+  // --- Heavy-hitter / bursty overload mode -------------------------------
+  // All knobs default to "off"; with the mode off the generator draws the
+  // exact same RNG sequence as before these fields existed, so pre-existing
+  // traces are byte-identical.
+
+  /// Fraction of packets concentrated onto the pinned hot flows once the
+  /// ramp completes (0 disables the hot-key draw entirely).
+  double hot_mass = 0;
+  /// Number of pinned hot flows: the first `hot_flows` flow-table entries,
+  /// which are excluded from per-second renewal while the mode is active so
+  /// the hot keys stay stable for the whole trace.
+  uint32_t hot_flows = 4;
+  /// Second at which the hot window (mass ramp + burst) begins.
+  uint32_t hot_start_sec = 0;
+  /// Seconds over which the hot mass ramps linearly from 0 up to hot_mass;
+  /// 0 makes the full mass arrive at hot_start_sec as a step.
+  uint32_t hot_ramp_sec = 0;
+  /// Packet-rate multiplier applied to every second inside the hot window
+  /// (a per-epoch burst; 1.0 disables).
+  double burst_multiplier = 1.0;
+
+  /// \brief True when any heavy-hitter/burst knob is engaged.
+  bool bursty() const { return hot_mass > 0 || burst_multiplier != 1.0; }
 };
 
 /// \brief Streaming generator of packet tuples in the canonical packet
@@ -66,11 +90,15 @@ class PacketTraceGenerator {
 
   const TraceConfig& config() const { return config_; }
 
-  /// \brief Total packets the trace will contain.
-  uint64_t total_packets() const {
-    return static_cast<uint64_t>(config_.duration_sec) *
-           config_.packets_per_sec;
-  }
+  /// \brief Total packets the trace will contain (burst seconds included).
+  uint64_t total_packets() const { return total_packets_; }
+
+  /// \brief Packets emitted so far through the hot-key draw (0 unless
+  /// TraceConfig::hot_mass > 0). Lets tests assert the configured mass.
+  uint64_t hot_packets() const { return hot_emitted_; }
+
+  /// \brief Source IPs of the pinned hot flows (empty when hot_mass == 0).
+  std::vector<uint32_t> hot_src_ips() const;
 
  private:
   struct Flow {
@@ -83,6 +111,10 @@ class PacketTraceGenerator {
 
   Flow MakeFlow();
   void RenewFlows();
+  /// Hot-key probability mass in effect during \p sec (the linear ramp).
+  double HotMass(uint32_t sec) const;
+  /// Packets scheduled for \p sec (burst multiplier applied in-window).
+  uint64_t SecQuota(uint32_t sec) const;
 
   TraceConfig config_;
   Rng rng_;
@@ -90,6 +122,11 @@ class PacketTraceGenerator {
   std::vector<Flow> flows_;
   uint64_t emitted_ = 0;
   uint32_t current_sec_ = 0;
+  uint64_t total_packets_ = 0;
+  // Bursty-mode bookkeeping (unused on the legacy fixed-rate path).
+  uint64_t idx_in_sec_ = 0;
+  uint64_t sec_quota_ = 0;
+  uint64_t hot_emitted_ = 0;
 };
 
 }  // namespace streampart

@@ -338,6 +338,53 @@ TEST_F(FaultInjectionTest, KilledAggregatorSuppressesAndAccountsOutput) {
 }
 
 // ---------------------------------------------------------------------------
+// Epoch stride (regression: queues drained on every distinct timestamp, so
+// `queue=` was inert on near-unique-timestamp traces — docs/FAULTS.md
+// "What an 'epoch' is")
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, QueueCapBindsOnHighResolutionTraceWithEpochWidth) {
+  AddFlows();
+  // Near-unique timestamps: every tuple advances the temporal column, so at
+  // the default epoch_width each tuple is its own epoch.
+  TupleBatch trace;
+  Rng ip_rng(23);
+  for (uint64_t t = 0; t < 300; ++t) {
+    trace.push_back(::streampart::testing::MakePacket(
+        t, 0x0A000000u | static_cast<uint32_t>(ip_rng.Uniform(0, 63)),
+        0x0A000001u, 1234, 80, 64));
+  }
+  ExperimentConfig config = Config("Hash", "srcIP", Mode::kNone, false);
+  auto total_queue_dropped = [](const DirectRun& run) {
+    uint64_t dropped = 0, sent = 0;
+    for (const FaultChannelRow& row : run.ledger.faults().channels) {
+      dropped += row.queue_dropped;
+      sent += row.sent;
+    }
+    EXPECT_GT(sent, 0u) << "scenario never exercised the bounded queue";
+    return dropped;
+  };
+
+  // Width 1: the queue drains at every distinct timestamp and (with one
+  // group per window) can never accumulate past its capacity.
+  ExperimentConfig narrow = config;
+  narrow.faults = Plan("channel from=* to=* queue=2\n");
+  DirectRun narrow_run = RunCluster(graph_, narrow, 3, trace, 0, 4.0,
+                                    /*attach_plan=*/true);
+  EXPECT_EQ(total_queue_dropped(narrow_run), 0u)
+      << "near-unique timestamps drain the queue before it can fill";
+
+  // Width 50: fifty timestamps share an epoch, the drain stride is fifty
+  // windows' worth of partials, and a capacity-2 queue must evict.
+  ExperimentConfig wide = config;
+  wide.faults = Plan("channel from=* to=* queue=2\nepoch_width 50\n");
+  DirectRun wide_run = RunCluster(graph_, wide, 3, trace, 0, 4.0,
+                                  /*attach_plan=*/true);
+  EXPECT_GT(total_queue_dropped(wide_run), 0u)
+      << "the widened epoch stride must let the bounded queue bind";
+}
+
+// ---------------------------------------------------------------------------
 // ClusterRunResult checked access (regression: aggregator() used unchecked
 // indexing and read a truncated row as a full-run measurement)
 // ---------------------------------------------------------------------------

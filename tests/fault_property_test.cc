@@ -39,7 +39,10 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
       "epoch_width 60\n"
       "kill host=2 epoch=3\n"
       "channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64\n"
-      "channel from=* to=* drop=0.5\n");
+      "channel from=* to=* drop=0.5\n"
+      "budget host=1 cycles=5e8 queue=256 reserve=0.1\n"
+      "budget host=* cycles=1e9\n"
+      "shed max_m=64\n");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 42u);
   EXPECT_FALSE(plan->repartition);
@@ -55,6 +58,17 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
   EXPECT_EQ(plan->channels[0].queue_capacity, 64u);
   EXPECT_EQ(plan->channels[1].from_host, -1);
   EXPECT_EQ(plan->channels[1].to_host, -1);
+  ASSERT_EQ(plan->budgets.size(), 2u);
+  EXPECT_EQ(plan->budgets[0].host, 1);
+  EXPECT_DOUBLE_EQ(plan->budgets[0].cycles, 5e8);
+  EXPECT_EQ(plan->budgets[0].queue_capacity, 256u);
+  EXPECT_DOUBLE_EQ(plan->budgets[0].reserve, 0.1);
+  EXPECT_EQ(plan->budgets[1].host, -1);  // wildcard
+  EXPECT_TRUE(plan->shed.enabled());
+  EXPECT_EQ(plan->shed.fixed_m, 0u);
+  EXPECT_EQ(plan->shed.max_m, 64u);
+  EXPECT_TRUE(plan->overload_enabled());
+  EXPECT_FALSE(plan->empty()) << "kills/channels still make the plan faulty";
 }
 
 TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
@@ -73,6 +87,14 @@ TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
       "ckpt nope\n",       // not a number
       "epoch_width 0\n",   // zero stride
       "warp host=1\n",  // unknown directive
+      "budget host=1\n",                 // missing cycles
+      "budget cycles=0\n",               // budget must be positive
+      "budget host=1 cycles=1e6 reserve=1\n",  // no usable budget left
+      "budget host=1 cycles=1e6 warp=2\n",     // unknown budget key
+      "shed\n",                          // missing policy
+      "shed m=1\n",                      // keep-1-in-1 is not shedding
+      "shed max_m=1\n",
+      "shed m=2 max_m=4\n",              // mutually exclusive forms
   };
   for (const char* text : bad) {
     auto plan = FaultPlan::Parse(text);
@@ -139,6 +161,24 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
       spec.queue_capacity = rng.Uniform(0, 128);
       plan.channels.push_back(spec);
     }
+    size_t budgets = rng.Uniform(0, 2);
+    for (size_t b = 0; b < budgets; ++b) {
+      HostBudgetSpec budget;
+      budget.host = static_cast<int>(rng.Uniform(0, 4)) - 1;  // -1..3
+      // Arbitrary positive doubles: cycles and reserve need the 17-digit
+      // ToString precision just like the channel probabilities.
+      budget.cycles = rng.UniformReal() * 1e9 + 1.0;
+      budget.queue_capacity = rng.Uniform(0, 512);
+      budget.reserve = rng.UniformReal() * 0.9;
+      plan.budgets.push_back(budget);
+    }
+    if (rng.Chance(0.5)) {
+      if (rng.Chance(0.5)) {
+        plan.shed.fixed_m = rng.Uniform(2, 64);
+      } else {
+        plan.shed.max_m = rng.Uniform(2, 64);
+      }
+    }
     auto parsed = FaultPlan::Parse(plan.ToString());
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\nplan:\n"
                              << plan.ToString();
@@ -161,6 +201,16 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
       EXPECT_EQ(parsed->channels[c].queue_capacity,
                 plan.channels[c].queue_capacity);
     }
+    ASSERT_EQ(parsed->budgets.size(), plan.budgets.size());
+    for (size_t b = 0; b < plan.budgets.size(); ++b) {
+      EXPECT_EQ(parsed->budgets[b].host, plan.budgets[b].host);
+      EXPECT_EQ(parsed->budgets[b].cycles, plan.budgets[b].cycles);
+      EXPECT_EQ(parsed->budgets[b].queue_capacity,
+                plan.budgets[b].queue_capacity);
+      EXPECT_EQ(parsed->budgets[b].reserve, plan.budgets[b].reserve);
+    }
+    EXPECT_EQ(parsed->shed.fixed_m, plan.shed.fixed_m);
+    EXPECT_EQ(parsed->shed.max_m, plan.shed.max_m);
   }
 }
 
@@ -343,6 +393,22 @@ TEST(FaultClusterPropertyTest, RandomPlansRunToCompletionWithExactAccounting) {
     spec.reorder_p = static_cast<double>(rng.Uniform(0, 3)) / 10.0;
     spec.queue_capacity = rng.Chance(0.5) ? rng.Uniform(1, 64) : 0;
     plan.channels.push_back(spec);
+    // Compose overload control into half the scenarios: a wildcard budget
+    // tight enough to bind on some epochs, optionally with shedding.
+    if (rng.Chance(0.5)) {
+      HostBudgetSpec budget;
+      budget.cycles = 1e6 * static_cast<double>(rng.Uniform(1, 10));
+      budget.queue_capacity = rng.Chance(0.5) ? rng.Uniform(1, 32) : 0;
+      budget.reserve = 0.05;
+      plan.budgets.push_back(budget);
+      if (rng.Chance(0.5)) {
+        if (rng.Chance(0.5)) {
+          plan.shed.fixed_m = rng.Uniform(2, 8);
+        } else {
+          plan.shed.max_m = rng.Uniform(2, 64);
+        }
+      }
+    }
 
     ExperimentConfig config;
     config.name = "fuzz";
@@ -372,6 +438,27 @@ TEST(FaultClusterPropertyTest, RandomPlansRunToCompletionWithExactAccounting) {
     EXPECT_EQ(refused, section.net_tuples_lost) << ctx;
     EXPECT_EQ(section.hosts_killed.size(), cell.result.dead_hosts.size())
         << ctx;
+    // Tap conservation: everything offered at the intake tap was processed,
+    // shed, or evicted from a backpressure queue — shedding happens before
+    // channels, so the channel identity above is untouched by it. (A
+    // never-engaged controller leaves the section zeroed; 0 == 0 is the
+    // correct statement of "no intervention".)
+    const OverloadSection& overload = cell.ledger.overload();
+    EXPECT_EQ(overload.intake_processed + overload.shed_tuples +
+                  overload.bp_queue_dropped,
+              overload.intake_offered)
+        << ctx;
+    if (plan.overload_enabled()) {
+      // With shedding armed the run is marked inexact the moment a tuple is
+      // shed, never silently. (This COUNT query is fully sampleable, so no
+      // inexact *reason* is attached — the HT bound covers it.)
+      if (overload.shed_tuples > 0) {
+        EXPECT_FALSE(overload.exact) << ctx;
+        EXPECT_GT(overload.estimated_source_tuples, 0.0) << ctx;
+      }
+    } else {
+      EXPECT_FALSE(overload.engaged) << ctx;
+    }
   }
 }
 

@@ -1,0 +1,358 @@
+/// \file overload_test.cc
+/// \brief Differential battery for the overload-control subsystem
+/// (dist/overload.h): per-host epoch budgets, backpressure deferral,
+/// Horvitz–Thompson load shedding, and skew-adaptive hot-partition moves.
+///
+/// Three legs, mirroring docs/FAULTS.md "Overload and graceful degradation":
+///  1. A budget that always covers the load leaves the ledger byte-identical
+///     to a run without budgets, on both execution paths (pure overlay).
+///  2. A binding budget keeps every epoch's charged cycles within the budget,
+///     conserves tuples at the intake tap, and shed SUM/COUNT answers land
+///     inside the ledger-reported relative error bound.
+///  3. A sustained hotspot triggers a skew repartition that brings the hot
+///     host back under budget, with the PR4 recovery machinery still
+///     lossless for the (unshed) stream across the migration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/experiment.h"
+#include "dist/partitioner.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+using ::streampart::testing::ExpectSameMultiset;
+using Mode = OptimizerOptions::PartialAggMode;
+
+ExperimentConfig Config(const std::string& name, const std::string& ps,
+                        Mode partial) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+FaultPlan Plan(const std::string& text) {
+  auto plan = FaultPlan::Parse(text);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+/// Everything a leg needs from one run: the runtime dies at the end of the
+/// helper, so the controller's introspection state is copied out.
+struct OverloadRun {
+  ClusterRunResult result;
+  RunLedger ledger;
+  std::vector<EpochChargeRow> charge_rows;
+  OverloadSection section;
+};
+
+OverloadRun RunCluster(const QueryGraph& graph, const ExperimentConfig& config,
+                       int num_hosts, const TupleBatch& trace,
+                       size_t batch_size, bool attach_plan) {
+  ClusterConfig cluster;
+  cluster.num_hosts = num_hosts;
+  cluster.partitions_per_host = 2;
+  auto plan =
+      OptimizeForPartitioning(graph, cluster, config.ps, config.optimizer);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  ClusterRuntime runtime(&graph, &*plan, cluster);
+  runtime.set_cost_params(CpuCostParams());
+  if (attach_plan) runtime.set_fault_plan(config.faults);
+  Status st = runtime.Build(config.ps);
+  SP_CHECK(st.ok()) << st.ToString();
+  if (batch_size == 0) {
+    for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+  } else {
+    TupleSpan all(trace);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      runtime.PushSourceBatch(
+          "TCP", all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
+  runtime.FinishSources();
+  OverloadRun run{runtime.result(),
+                  runtime.MakeLedger(CpuCostParams(), /*duration_sec=*/4.0),
+                  {},
+                  {}};
+  if (const OverloadController* ctl = runtime.overload_controller()) {
+    run.charge_rows = ctl->charge_rows();
+    run.section = ctl->section();
+  }
+  return run;
+}
+
+/// Sums the COUNT and SUM aggregates over every output row of `flows`
+/// (schema: tb, srcIP, c, bytes).
+void SumOutputs(const ClusterRunResult& result, double* count, double* sum) {
+  *count = 0;
+  *sum = 0;
+  auto it = result.outputs.find("flows");
+  if (it == result.outputs.end()) return;
+  for (const Tuple& t : it->second) {
+    *count += static_cast<double>(t.at(2).AsUint64());
+    *sum += static_cast<double>(t.at(3).AsUint64());
+  }
+}
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  OverloadTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void AddFlows() {
+    ASSERT_OK(graph_.AddQuery(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+        "GROUP BY time as tb, srcIP"));
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// ---------------------------------------------------------------------------
+// Leg 1: a covering budget is a pure overlay
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadTest, CoveringBudgetLedgerByteIdenticalOnBothPaths) {
+  AddFlows();
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 1000;
+  tc.num_flows = 300;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+  ExperimentConfig baseline = Config("Hash", "srcIP", Mode::kNone);
+  ExperimentConfig budgeted = baseline;
+  // Far beyond any epoch's real cost: the guard never trips, nothing sheds,
+  // the controller never engages, and the ledger must not betray that the
+  // machinery was armed at all.
+  budgeted.faults = Plan("budget host=* cycles=1e15 queue=8 reserve=0.5\n");
+  for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+    std::string ctx = "@batch=" + std::to_string(batch_size);
+    OverloadRun plain = RunCluster(graph_, baseline, 3, trace, batch_size,
+                                   /*attach_plan=*/false);
+    OverloadRun covered = RunCluster(graph_, budgeted, 3, trace, batch_size,
+                                     /*attach_plan=*/true);
+    EXPECT_EQ(plain.ledger.ToJsonl(), covered.ledger.ToJsonl()) << ctx;
+    EXPECT_EQ(plain.ledger.ToSummaryJson(), covered.ledger.ToSummaryJson())
+        << ctx;
+    // The controller ran (it charged every epoch) but never intervened.
+    EXPECT_FALSE(covered.section.engaged) << ctx;
+    EXPECT_TRUE(covered.section.exact) << ctx;
+    EXPECT_FALSE(covered.charge_rows.empty()) << ctx;
+    for (const EpochChargeRow& row : covered.charge_rows) {
+      EXPECT_LE(row.cycles, row.budget) << ctx << " epoch " << row.epoch;
+      EXPECT_FALSE(row.over_budget) << ctx << " epoch " << row.epoch;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 2: a binding budget enforces itself, conserves, and bounds the error
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadTest, BindingBudgetEnforcesChargesConservesAndBoundsError) {
+  AddFlows();
+  TraceConfig tc;
+  tc.duration_sec = 6;
+  tc.packets_per_sec = 2000;
+  tc.num_flows = 300;
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+
+  // True (unshed) totals are direct functions of the trace: COUNT(*) sums to
+  // the trace size, SUM(len) to the summed lengths; the dispersion of `len`
+  // scales the COUNT bound into the SUM bound (docs/FAULTS.md).
+  double true_count = static_cast<double>(trace.size());
+  double true_sum = 0, sq_sum = 0;
+  for (const Tuple& t : trace) {
+    double v = static_cast<double>(t.at(kPktLen).AsUint64());
+    true_sum += v;
+    sq_sum += v * v;
+  }
+  double mean = true_sum / true_count;
+  double dispersion = std::sqrt(sq_sum / true_count) / mean;
+
+  ExperimentConfig config = Config("Hash", "srcIP", Mode::kNone);
+  // The leaves (hosts 1, 2) get budgets well under their per-epoch demand —
+  // even after 1-in-4 shedding — so the guard trips every epoch. Host 0 is
+  // deliberately unbudgeted: its load is remote arrivals the admission guard
+  // does not control. Unbounded defer queue (queue=0): evictions would make
+  // answers drift beyond the sampling bound, which leg 2 pins.
+  const double kBudget = 3.5e6;
+  config.faults = Plan(
+      "seed 11\n"
+      "budget host=1 cycles=3.5e6 reserve=0.05\n"
+      "budget host=2 cycles=3.5e6 reserve=0.05\n"
+      "shed m=4\n");
+  OverloadRun run = RunCluster(graph_, config, 3, trace, /*batch_size=*/0,
+                               /*attach_plan=*/true);
+
+  const OverloadSection& s = run.section;
+  ASSERT_TRUE(s.engaged);
+  // The budget genuinely bound: tuples were deferred, and shedding ran.
+  EXPECT_GT(s.intake_deferred, 0u);
+  EXPECT_GT(s.shed_tuples, 0u);
+  EXPECT_EQ(s.bp_queue_dropped, 0u) << "queue=0 defers without evicting";
+  EXPECT_FALSE(s.exact);
+  EXPECT_EQ(s.max_shed_m, 4u);
+
+  // (a) Every budgeted epoch's charge stays within the budget: the guard
+  // trips at cycles*(1-reserve) and the reserve absorbs the per-admission
+  // overshoot.
+  ASSERT_FALSE(run.charge_rows.empty());
+  std::map<int, size_t> epochs_per_host;
+  for (const EpochChargeRow& row : run.charge_rows) {
+    EXPECT_LE(row.cycles, row.budget)
+        << "host " << row.host << " epoch " << row.epoch;
+    EXPECT_DOUBLE_EQ(row.budget, kBudget);
+    ++epochs_per_host[row.host];
+  }
+  // Both budgeted hosts charged every trace epoch (plus end-of-run drain
+  // epochs for the deferred backlog).
+  EXPECT_GE(epochs_per_host[1], static_cast<size_t>(tc.duration_sec));
+  EXPECT_GE(epochs_per_host[2], static_cast<size_t>(tc.duration_sec));
+
+  // (b) Tap conservation, exactly.
+  EXPECT_EQ(s.intake_processed + s.shed_tuples + s.bp_queue_dropped,
+            s.intake_offered);
+  EXPECT_EQ(s.intake_offered, trace.size());
+
+  // (c) The scaled answers land inside the ledger-reported bound. The bound
+  // is 3-sigma on COUNT-style answers; SUM scales by the dispersion of the
+  // summed attribute.
+  ASSERT_GT(s.shed_rel_error_bound, 0.0);
+  EXPECT_LT(s.shed_rel_error_bound, 0.2) << "bound should be tight at n~12k";
+  double est_count = 0, est_sum = 0;
+  SumOutputs(run.result, &est_count, &est_sum);
+  EXPECT_LE(std::abs(est_count - true_count) / true_count,
+            s.shed_rel_error_bound)
+      << "COUNT estimate " << est_count << " vs true " << true_count;
+  EXPECT_LE(std::abs(est_sum - true_sum) / true_sum,
+            s.shed_rel_error_bound * dispersion)
+      << "SUM estimate " << est_sum << " vs true " << true_sum;
+  // The HT estimate of the source-tuple count agrees with the truth within
+  // the same bound.
+  EXPECT_LE(std::abs(s.estimated_source_tuples - true_count) / true_count,
+            s.shed_rel_error_bound);
+
+  // Determinism: the same plan over the same trace reproduces the ledger.
+  OverloadRun rerun = RunCluster(graph_, config, 3, trace, 0, true);
+  EXPECT_EQ(run.ledger.ToJsonl(), rerun.ledger.ToJsonl());
+}
+
+// ---------------------------------------------------------------------------
+// Leg 3: a sustained hotspot repartitions itself back under budget
+// ---------------------------------------------------------------------------
+
+TEST_F(OverloadTest, HotspotTriggersSkewMoveBackUnderBudgetLossless) {
+  AddFlows();
+  // A bursty trace whose hot key concentrates on one partition. The hot host
+  // must be a leaf: host 0's load is remote arrivals, which the admission
+  // guard cannot shed. Scan seeds for a hot flow that hashes to a leaf.
+  TraceConfig tc;
+  tc.duration_sec = 8;
+  tc.packets_per_sec = 3000;
+  tc.num_flows = 200;
+  tc.hot_mass = 0.55;
+  tc.hot_flows = 1;
+  tc.hot_start_sec = 2;
+  ASSERT_OK_AND_ASSIGN(PartitionSet ps, PartitionSet::Parse("srcIP"));
+  ASSERT_OK_AND_ASSIGN(SchemaPtr schema, catalog_.GetStream("TCP"));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<StreamPartitioner> partitioner,
+                       MakePartitioner(ps, schema, /*num_partitions=*/6));
+  ClusterConfig shape;
+  shape.num_hosts = 3;
+  shape.partitions_per_host = 2;
+  int hot_host = -1, hot_partition = -1;
+  for (uint64_t seed = tc.seed; seed < tc.seed + 16; ++seed) {
+    tc.seed = seed;
+    PacketTraceGenerator probe(tc);
+    std::vector<uint32_t> ips = probe.hot_src_ips();
+    ASSERT_EQ(ips.size(), 1u);
+    Tuple key = ::streampart::testing::MakePacket(0, ips[0], 1, 1, 1, 64);
+    hot_partition = partitioner->PartitionOf(key);
+    hot_host = shape.HostOfPartition(hot_partition);
+    if (hot_host != 0) break;
+  }
+  ASSERT_NE(hot_host, 0) << "no seed in range put the hot key on a leaf";
+  TupleBatch trace = PacketTraceGenerator(tc).GenerateAll();
+
+  // Budget the hot leaf between its normal and its hot per-epoch demand, at
+  // reserve=0 so guard-tripping epochs count over budget and feed the skew
+  // streak. ckpt 1 arms the recovery machinery the migration rides on.
+  const double kBudget = 4.5e7;
+  ExperimentConfig config = Config("Hash", "srcIP", Mode::kNone);
+  config.faults = Plan("ckpt 1\nbudget host=" + std::to_string(hot_host) +
+                       " cycles=4.5e7 reserve=0\n");
+  OverloadRun run = RunCluster(graph_, config, 3, trace, /*batch_size=*/0,
+                               /*attach_plan=*/true);
+
+  // The skew detector fired and moved the hot partition off the hot host.
+  const OverloadSection& s = run.section;
+  ASSERT_GE(s.skew_repartitions, 1u) << "sustained hotspot must repartition";
+  ASSERT_FALSE(s.skew_moved_partitions.empty());
+  EXPECT_EQ(s.skew_moved_partitions.front(), hot_partition);
+
+  // Before the move the hot host ran over budget (that is what triggered
+  // it); after the move its epochs close back under budget.
+  uint64_t last_over_epoch = 0;
+  bool saw_over = false;
+  for (const EpochChargeRow& row : run.charge_rows) {
+    if (row.host != hot_host) continue;
+    if (row.over_budget) {
+      saw_over = true;
+      last_over_epoch = std::max(last_over_epoch, row.epoch);
+    }
+  }
+  ASSERT_TRUE(saw_over);
+  size_t post_move_epochs = 0;
+  for (const EpochChargeRow& row : run.charge_rows) {
+    if (row.host != hot_host || row.epoch <= last_over_epoch + 1) continue;
+    ++post_move_epochs;
+    EXPECT_LE(row.cycles, kBudget) << "epoch " << row.epoch;
+    EXPECT_FALSE(row.over_budget) << "epoch " << row.epoch;
+  }
+  EXPECT_GT(post_move_epochs, 0u)
+      << "the hot window must outlast the move so relief is observable";
+
+  // The move was priced: state bytes are accounted (possibly zero for a
+  // stateless capture partition, but the accounting fields must be written).
+  EXPECT_EQ(s.skew_repartitions, s.skew_moved_partitions.size());
+
+  // Nothing was shed and nothing evicted (unbounded defer queue): the run
+  // stays exact, and deferred tuples drained back in-window.
+  EXPECT_EQ(s.shed_tuples, 0u);
+  EXPECT_EQ(s.bp_queue_dropped, 0u);
+  EXPECT_TRUE(s.exact);
+  EXPECT_EQ(s.intake_processed, s.intake_offered);
+
+  // PR4 recovery is still lossless across the migration: the reliable books
+  // close and the answers equal a run without any plan at all.
+  const RecoverySection& recovery = run.ledger.recovery();
+  ASSERT_TRUE(recovery.active);
+  EXPECT_EQ(recovery.reliable_sent, recovery.reliable_applied);
+  ExperimentConfig plain = Config("Hash", "srcIP", Mode::kNone);
+  OverloadRun baseline = RunCluster(graph_, plain, 3, trace, 0,
+                                    /*attach_plan=*/false);
+  ASSERT_EQ(baseline.result.outputs.count("flows"), 1u);
+  ExpectSameMultiset(baseline.result.outputs.at("flows"),
+                     run.result.outputs.at("flows"), "flows");
+}
+
+}  // namespace
+}  // namespace streampart

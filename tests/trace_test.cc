@@ -175,5 +175,137 @@ TEST(TraceTest, StreamingInterfaceMatchesEager) {
   EXPECT_FALSE(lazy.Next(&t)) << "exhausted generator stays exhausted";
 }
 
+// ---------------------------------------------------------------------------
+// Heavy-hitter / bursty overload mode
+// ---------------------------------------------------------------------------
+
+TEST(TraceBurstyTest, DisengagedKnobsLeaveTraceByteIdentical) {
+  TraceConfig legacy;
+  legacy.duration_sec = 2;
+  legacy.packets_per_sec = 2000;
+  // hot_mass == 0 and burst_multiplier == 1 keep the mode off; the other hot
+  // knobs must then be inert (no extra RNG draws, same schedule).
+  TraceConfig idle = legacy;
+  idle.hot_flows = 64;
+  idle.hot_start_sec = 1;
+  idle.hot_ramp_sec = 5;
+  ASSERT_FALSE(idle.bursty());
+  TupleBatch a = PacketTraceGenerator(legacy).GenerateAll();
+  TupleBatch b = PacketTraceGenerator(idle).GenerateAll();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << "row " << i;
+}
+
+TEST(TraceBurstyTest, DeterministicForSameSeed) {
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 2000;
+  tc.hot_mass = 0.5;
+  tc.hot_start_sec = 1;
+  tc.hot_ramp_sec = 2;
+  tc.burst_multiplier = 2.0;
+  ASSERT_TRUE(tc.bursty());
+  PacketTraceGenerator a(tc);
+  PacketTraceGenerator b(tc);
+  TupleBatch ta = a.GenerateAll();
+  TupleBatch tb = b.GenerateAll();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta[i], tb[i]) << "row " << i;
+  EXPECT_EQ(a.hot_packets(), b.hot_packets());
+  EXPECT_EQ(a.hot_src_ips(), b.hot_src_ips());
+}
+
+TEST(TraceBurstyTest, HotKeyMassMatchesConfiguration) {
+  TraceConfig tc;
+  tc.duration_sec = 6;
+  tc.packets_per_sec = 5000;
+  tc.num_flows = 500;
+  tc.flow_renewal = 0.1;
+  tc.hot_mass = 0.6;
+  tc.hot_flows = 3;
+  tc.hot_start_sec = 2;  // step: full mass from second 2 on
+  PacketTraceGenerator gen(tc);
+  TupleBatch trace = gen.GenerateAll();
+
+  // Expected hot draws: seconds 2..5 each route hot_mass of their quota.
+  double expected = 4.0 * tc.packets_per_sec * tc.hot_mass;
+  double actual = static_cast<double>(gen.hot_packets());
+  EXPECT_GT(actual, expected * 0.9);
+  EXPECT_LT(actual, expected * 1.1);
+
+  // The hot draws land on the pinned flows: those flows' packet share is at
+  // least the hot mass (the Zipf path can add more on top).
+  std::vector<uint32_t> hot_ips = gen.hot_src_ips();
+  ASSERT_EQ(hot_ips.size(), 3u);
+  std::set<uint64_t> hot(hot_ips.begin(), hot_ips.end());
+  uint64_t hot_window_total = 0, hot_window_on_hot_ips = 0;
+  for (const Tuple& t : trace) {
+    if (t.at(kPktTime).AsUint64() < tc.hot_start_sec) continue;
+    ++hot_window_total;
+    if (hot.count(t.at(kPktSrcIp).AsUint64())) ++hot_window_on_hot_ips;
+  }
+  EXPECT_GE(static_cast<double>(hot_window_on_hot_ips),
+            static_cast<double>(gen.hot_packets()));
+  EXPECT_GT(static_cast<double>(hot_window_on_hot_ips) / hot_window_total,
+            tc.hot_mass * 0.9);
+  // Pinned flows survive renewal: the same hot IPs are reported after the
+  // whole trace was generated (renewal ran every second).
+  EXPECT_EQ(gen.hot_src_ips(), hot_ips);
+}
+
+TEST(TraceBurstyTest, RampGrowsHotMassLinearly) {
+  TraceConfig tc;
+  tc.duration_sec = 8;
+  tc.packets_per_sec = 4000;
+  tc.hot_mass = 0.8;
+  tc.hot_start_sec = 2;
+  tc.hot_ramp_sec = 4;  // mass 0, .2, .4, .6 over secs 2..5, then .8
+  PacketTraceGenerator gen(tc);
+  TupleBatch trace = gen.GenerateAll();
+  std::set<uint64_t> hot;
+  for (uint32_t ip : gen.hot_src_ips()) hot.insert(ip);
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> per_sec;  // hot, total
+  for (const Tuple& t : trace) {
+    auto& [h, n] = per_sec[t.at(kPktTime).AsUint64()];
+    ++n;
+    if (hot.count(t.at(kPktSrcIp).AsUint64())) ++h;
+  }
+  auto frac = [&](uint64_t sec) {
+    return static_cast<double>(per_sec[sec].first) / per_sec[sec].second;
+  };
+  // Before the window the hot flows only get their ordinary Zipf share
+  // (the pinned flows are ranks 1..hot_flows, so that share is not tiny —
+  // assert the ramp lifts well above it rather than an absolute floor).
+  EXPECT_LT(frac(1), frac(7) - 0.3);
+  // The ramp is monotone in expectation; compare well-separated points.
+  EXPECT_LT(frac(3), frac(7));
+  EXPECT_GT(frac(7), tc.hot_mass * 0.85);
+}
+
+TEST(TraceBurstyTest, BurstMultiplierScalesPerEpochQuota) {
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 1000;
+  tc.hot_start_sec = 2;
+  tc.burst_multiplier = 3.0;  // bursty() even with hot_mass == 0
+  ASSERT_TRUE(tc.bursty());
+  PacketTraceGenerator gen(tc);
+  // Seconds 0,1 at base rate; seconds 2,3 tripled.
+  EXPECT_EQ(gen.total_packets(), 2u * 1000u + 2u * 3000u);
+  TupleBatch trace = gen.GenerateAll();
+  ASSERT_EQ(trace.size(), gen.total_packets());
+  std::map<uint64_t, uint64_t> per_sec;
+  for (const Tuple& t : trace) per_sec[t.at(kPktTime).AsUint64()]++;
+  EXPECT_EQ(per_sec[0], 1000u);
+  EXPECT_EQ(per_sec[1], 1000u);
+  EXPECT_EQ(per_sec[2], 3000u);
+  EXPECT_EQ(per_sec[3], 3000u);
+  // Timestamps stay non-decreasing across the rate change.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_LE(trace[i - 1].at(kPktTimestamp).AsUint64(),
+              trace[i].at(kPktTimestamp).AsUint64());
+  }
+}
+
 }  // namespace
 }  // namespace streampart
