@@ -46,16 +46,36 @@ double TimedEngineRun(const QueryGraph& graph, const TupleBatch& trace,
   return std::chrono::duration<double>(end - start).count();
 }
 
-/// Best-of-N wall clock (minimum filters scheduler noise).
-double BestOf(const QueryGraph& graph, const TupleBatch& trace,
-              size_t batch_size, int reps,
-              const LocalEngine::Options& options) {
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.size() % 2 == 1 ? v[v.size() / 2]
+                           : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+}
+
+/// Min and median over the timed reps. The minimum filters scheduler noise
+/// (the traditional best-of protocol); the median is robust against the
+/// minimum being a lucky outlier — reporting both makes run-to-run artifact
+/// diffs interpretable. Each configuration gets its own untimed warm-up rep
+/// first, so the first timed rep never pays cold caches or allocator growth
+/// for a path the earlier configurations did not touch.
+struct RepTimes {
   double best = 0;
+  double median = 0;
+};
+
+RepTimes TimeReps(const QueryGraph& graph, const TupleBatch& trace,
+                  size_t batch_size, int reps,
+                  const LocalEngine::Options& options) {
+  TimedEngineRun(graph, trace, batch_size, options);  // per-config warm-up
+  std::vector<double> times;
+  times.reserve(reps);
   for (int r = 0; r < reps; ++r) {
-    double t = TimedEngineRun(graph, trace, batch_size, options);
-    if (r == 0 || t < best) best = t;
+    times.push_back(TimedEngineRun(graph, trace, batch_size, options));
   }
-  return best;
+  RepTimes t;
+  t.best = *std::min_element(times.begin(), times.end());
+  t.median = MedianOf(times);
+  return t;
 }
 
 bool SameOutputsAsMultisets(const std::map<std::string, TupleBatch>& a,
@@ -129,29 +149,35 @@ int main() {
   LocalEngine::Options fast_opts;
   fast_opts.deterministic_output = false;
 
-  // Warm-up (page in the trace, stabilize allocator arenas).
+  // Warm-up (page in the trace, stabilize allocator arenas). TimeReps adds
+  // a per-configuration warm-up rep on top.
   TimedEngineRun(*setup.graph, trace, kBatch, fast_opts);
 
-  double per_tuple_s = BestOf(*setup.graph, trace, 0, kReps, seed_opts);
-  double batched_det_s = BestOf(*setup.graph, trace, kBatch, kReps, seed_opts);
-  double batched_s = BestOf(*setup.graph, trace, kBatch, kReps, fast_opts);
+  RepTimes per_tuple = TimeReps(*setup.graph, trace, 0, kReps, seed_opts);
+  RepTimes batched_det =
+      TimeReps(*setup.graph, trace, kBatch, kReps, seed_opts);
+  RepTimes batched = TimeReps(*setup.graph, trace, kBatch, kReps, fast_opts);
+  double per_tuple_s = per_tuple.best;
+  double batched_det_s = batched_det.best;
+  double batched_s = batched.best;
   double n = static_cast<double>(trace.size());
   double per_tuple_tps = n / per_tuple_s;
   double batched_det_tps = n / batched_det_s;
   double batched_tps = n / batched_s;
   double speedup = per_tuple_s / batched_s;
 
-  std::printf("%-34s %12s %14s\n", "path", "wall (s)", "tuples/sec");
-  std::printf("%-34s %12.3f %14.0f\n", "tuple-at-a-time (seed)", per_tuple_s,
-              per_tuple_tps);
-  std::printf("%-34s %12.3f %14.0f\n",
+  std::printf("%-34s %12s %12s %14s\n", "path", "min (s)", "median (s)",
+              "tuples/sec");
+  std::printf("%-34s %12.3f %12.3f %14.0f\n", "tuple-at-a-time (seed)",
+              per_tuple_s, per_tuple.median, per_tuple_tps);
+  std::printf("%-34s %12.3f %12.3f %14.0f\n",
               ("batched (" + std::to_string(kBatch) + "), sorted").c_str(),
-              batched_det_s, batched_det_tps);
-  std::printf("%-34s %12.3f %14.0f\n",
+              batched_det_s, batched_det.median, batched_det_tps);
+  std::printf("%-34s %12.3f %12.3f %14.0f\n",
               ("batched (" + std::to_string(kBatch) + ")").c_str(), batched_s,
-              batched_tps);
-  std::printf("speedup: %.2fx (best of %d runs, %zu tuples)\n\n", speedup,
-              kReps, trace.size());
+              batched.median, batched_tps);
+  std::printf("speedup: %.2fx (min of %d warmed reps, %zu tuples)\n\n",
+              speedup, kReps, trace.size());
 
   // Telemetry overhead on the batched path: no registry at all, a
   // bound-but-disabled registry (the zero-cost claim of metrics/stats.h),
@@ -190,13 +216,8 @@ int main() {
     if (r == 0 || off < tel_off_s) tel_off_s = off;
     if (r == 0 || on < tel_on_s) tel_on_s = on;
   }
-  auto median = [](std::vector<double> v) {
-    std::sort(v.begin(), v.end());
-    return v.size() % 2 == 1 ? v[v.size() / 2]
-                             : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
-  };
-  double tel_off_overhead_pct = median(off_deltas);
-  double tel_on_overhead_pct = median(on_deltas);
+  double tel_off_overhead_pct = MedianOf(off_deltas);
+  double tel_on_overhead_pct = MedianOf(on_deltas);
   std::printf(
       "telemetry overhead vs no registry, batched %zu-tuple trace "
       "(compiled %s):\n",
@@ -237,10 +258,12 @@ int main() {
       "  \"trace_tuples\": %zu,\n"
       "  \"batch_size\": %zu,\n"
       "  \"reps\": %d,\n"
-      "  \"per_tuple\": {\"wall_s\": %.4f, \"tuples_per_sec\": %.0f},\n"
-      "  \"batched_deterministic\": {\"wall_s\": %.4f, \"tuples_per_sec\": "
-      "%.0f},\n"
-      "  \"batched\": {\"wall_s\": %.4f, \"tuples_per_sec\": %.0f},\n"
+      "  \"per_tuple\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
+      "\"tuples_per_sec\": %.0f},\n"
+      "  \"batched_deterministic\": {\"wall_s\": %.4f, \"wall_s_median\": "
+      "%.4f, \"tuples_per_sec\": %.0f},\n"
+      "  \"batched\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
+      "\"tuples_per_sec\": %.0f},\n"
       "  \"speedup\": %.3f,\n"
       "  \"telemetry\": {\n"
       "    \"compiled_in\": %s,\n"
@@ -252,8 +275,9 @@ int main() {
       "  \"cluster_metrics_identical\": %s,\n"
       "  \"run_ledger_identical\": %s\n"
       "}\n",
-      trace.size(), kBatch, kReps, per_tuple_s, per_tuple_tps, batched_det_s,
-      batched_det_tps, batched_s, batched_tps, speedup,
+      trace.size(), kBatch, kReps, per_tuple_s, per_tuple.median,
+      per_tuple_tps, batched_det_s, batched_det.median, batched_det_tps,
+      batched_s, batched.median, batched_tps, speedup,
       StatsRegistry::kCompiledIn ? "true" : "false", tel_trace.size(),
       tel_off_s, tel_off_overhead_pct, tel_on_s, tel_on_overhead_pct,
       tel_off_overhead_pct < 2.0 ? "true" : "false",

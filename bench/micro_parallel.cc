@@ -1,0 +1,190 @@
+/// \file micro_parallel.cc
+/// \brief Wall-clock scaling of morsel-driven parallel cluster execution
+/// (docs/THREADING.md) plus the determinism contract.
+///
+/// Replays the §6.1 suspicious-flows workload on the 4-host cluster at
+/// several worker-thread counts and records, per thread count, the best and
+/// median wall clock, the speedup over the single-threaded oracle, and —
+/// the actual contract — whether the run ledger serialized byte-identically
+/// to the oracle's. A second section repeats the identity check for a
+/// checkpoint + kill plan (epoch-barrier mode). Results go to stdout and
+/// BENCH_parallel.json.
+///
+/// Exit code: nonzero when any ledger-identity check fails (always
+/// enforced — determinism does not depend on hardware), or when
+/// --gate-speedup is given and the 4-thread speedup lands below 2x. The
+/// speedup gate is opt-in because scaling numbers are meaningless on the
+/// 1-core containers the differential batteries also run on; CI passes the
+/// flag on its 4-vCPU runners, and the gate arms only when
+/// hardware_concurrency() >= 4.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/figlib.h"
+#include "dist/experiment.h"
+#include "trace/trace_gen.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+struct TimedCell {
+  double wall_s = 0;
+  std::string jsonl;
+};
+
+/// One timed RunCell at \p threads workers; wall clock covers build + replay
+/// + finish (the whole parallel region plus the sequential scaffolding both
+/// modes share).
+TimedCell TimeCell(ExperimentRunner* runner, const ExperimentConfig& config,
+                   int threads) {
+  auto start = std::chrono::steady_clock::now();
+  auto cell = runner->RunCell(config, 4, 2, kDefaultSourceBatch, {}, threads);
+  auto end = std::chrono::steady_clock::now();
+  SP_CHECK(cell.ok()) << cell.status().ToString();
+  TimedCell out;
+  out.wall_s = std::chrono::duration<double>(end - start).count();
+  out.jsonl = cell->ledger.ToJsonl();
+  return out;
+}
+
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.size() % 2 == 1 ? v[v.size() / 2]
+                           : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+}
+
+struct ThreadRow {
+  int threads = 0;
+  double wall_s = 0;         // min of reps
+  double wall_s_median = 0;
+  double speedup = 0;        // single-threaded best / this best
+  bool ledger_identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool gate_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate-speedup") == 0) gate_speedup = true;
+  }
+  unsigned cpus = std::thread::hardware_concurrency();
+
+  BenchSetup setup = MakeSimpleAggSetup();
+  TraceConfig tc = SimpleAggTrace();
+  // Densify the trace so the parallel region dominates the fixed build +
+  // ledger cost, per-thread wall clocks resolve well above timer noise, and
+  // the morsel count (trace / 512) is large enough that worker startup and
+  // tail imbalance cannot mask the scaling.
+  tc.duration_sec = 30;
+  tc.packets_per_sec = 20000;
+  tc.num_flows = 4000;
+  ExperimentRunner runner(setup.graph.get(), "TCP", tc, CalibratedCpu());
+  ExperimentConfig config =
+      PartitionedConfig("Partitioned", "srcIP, destIP, srcPort, destPort");
+  constexpr int kReps = 3;
+  const std::vector<int> kThreads = {1, 2, 4};
+
+  std::printf("Parallel scaling: §6.1 suspicious-flows workload, 4 hosts\n");
+  PrintTraceNote(tc);
+  std::printf("hardware_concurrency: %u%s\n\n", cpus,
+              cpus < 4 ? " (scaling numbers not meaningful below 4)" : "");
+
+  TimeCell(&runner, config, 1);  // warm-up (trace pages, allocator arenas)
+  std::vector<ThreadRow> rows;
+  std::string oracle_jsonl;
+  for (int threads : kThreads) {
+    std::vector<double> times;
+    std::string jsonl;
+    for (int r = 0; r < kReps; ++r) {
+      TimedCell cell = TimeCell(&runner, config, threads);
+      times.push_back(cell.wall_s);
+      jsonl = std::move(cell.jsonl);
+    }
+    ThreadRow row;
+    row.threads = threads;
+    row.wall_s = *std::min_element(times.begin(), times.end());
+    row.wall_s_median = MedianOf(times);
+    if (threads == 1) oracle_jsonl = jsonl;
+    row.ledger_identical = jsonl == oracle_jsonl;
+    row.speedup = rows.empty() ? 1.0 : rows.front().wall_s / row.wall_s;
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%8s %12s %12s %9s %8s\n", "threads", "min (s)", "median (s)",
+              "speedup", "ledger");
+  bool all_identical = true;
+  for (const ThreadRow& row : rows) {
+    all_identical = all_identical && row.ledger_identical;
+    std::printf("%8d %12.3f %12.3f %8.2fx %8s\n", row.threads, row.wall_s,
+                row.wall_s_median, row.speedup,
+                row.ledger_identical ? "same" : "DIFFERS");
+  }
+
+  // Epoch-barrier mode: a checkpointing run with a mid-run host kill must
+  // stay byte-identical too (the exact-order replay contract).
+  ExperimentConfig barrier_config = config;
+  {
+    auto plan = FaultPlan::Parse("ckpt 4\nkill host=1 epoch=2");
+    SP_CHECK(plan.ok()) << plan.status().ToString();
+    barrier_config.faults = *plan;
+  }
+  TimedCell barrier_oracle = TimeCell(&runner, barrier_config, 1);
+  TimedCell barrier_par =
+      TimeCell(&runner, barrier_config, kThreads.back());
+  bool barrier_identical = barrier_oracle.jsonl == barrier_par.jsonl;
+  all_identical = all_identical && barrier_identical;
+  std::printf("barrier mode (ckpt+kill, %d threads): ledger %s\n",
+              kThreads.back(), barrier_identical ? "same" : "DIFFERS");
+
+  double speedup_at_4 = rows.back().speedup;
+  bool speedup_gate_armed = gate_speedup && cpus >= 4;
+  bool speedup_ok = !speedup_gate_armed || speedup_at_4 >= 2.0;
+  if (speedup_gate_armed) {
+    std::printf("speedup gate (>=2x at 4 threads): %.2fx -> %s\n",
+                speedup_at_4, speedup_ok ? "pass" : "FAIL");
+  }
+
+  const char* path = "BENCH_parallel.json";
+  FILE* f = std::fopen(path, "w");
+  SP_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"sec6.1 suspicious_flows\",\n"
+               "  \"hosts\": 4,\n"
+               "  \"trace_tuples\": %zu,\n"
+               "  \"reps\": %d,\n"
+               "  \"cpus\": %u,\n"
+               "  \"threads\": [\n",
+               runner.trace().size(), kReps, cpus);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThreadRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"wall_s\": %.4f, \"wall_s_median\": "
+                 "%.4f, \"speedup\": %.3f, \"ledger_identical\": %s}%s\n",
+                 row.threads, row.wall_s, row.wall_s_median, row.speedup,
+                 row.ledger_identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"barrier_mode\": {\"threads\": %d, \"ledger_identical\": "
+               "%s},\n"
+               "  \"ledger_identical\": %s,\n"
+               "  \"speedup_gated\": %s\n"
+               "}\n",
+               kThreads.back(), barrier_identical ? "true" : "false",
+               all_identical ? "true" : "false",
+               speedup_gate_armed ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return all_identical && speedup_ok ? 0 : 1;
+}

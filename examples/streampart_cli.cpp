@@ -10,9 +10,10 @@
 ///
 /// Usage:
 ///   streampart_cli <workload-file> [--hosts N] [--ps "srcIP, destIP"]
-///                  [--run SECONDS] [--tcp-splitter] [--stats[=PATH]]
-///                  [--trace-events[=PATH]] [--fault-plan FILE]
-///                  [--recover] [--checkpoint-interval N] [--epoch-width N]
+///                  [--run SECONDS] [--threads N] [--tcp-splitter]
+///                  [--stats[=PATH]] [--trace-events[=PATH]]
+///                  [--fault-plan FILE] [--recover]
+///                  [--checkpoint-interval N] [--epoch-width N]
 ///
 /// Without --ps the advisor picks the partitioning; --tcp-splitter restricts
 /// it to what TCP-header splitter hardware can realize. --run replays a
@@ -101,43 +102,52 @@ void PrintUsage(FILE* out, const char* prog) {
       "prints the query DAG, the partitioning advice, and the distributed "
       "plan.\n"
       "\n"
-      "flags:\n"
+      "planning flags:\n"
       "  --hosts N             cluster size (default 4)\n"
       "  --ps SPEC             force a partitioning set, e.g. \"srcIP, "
       "destIP\"\n"
       "                        (default: the advisor's recommendation)\n"
       "  --tcp-splitter        restrict advice to TCP-header splitter "
       "hardware\n"
+      "\n"
+      "simulated-run flags (all require --run):\n"
       "  --run SECONDS         replay a synthetic trace through the "
       "simulated\n"
       "                        cluster and report per-host load (built-in\n"
       "                        TCP/PKT schema only)\n"
-      "  --stats[=PATH]        with --run: print the summary ledger JSON, "
-      "or\n"
-      "                        write the full JSONL run ledger to PATH\n"
+      "  --threads N           run the cluster on N worker threads "
+      "(morsel-driven\n"
+      "                        scheduler, docs/THREADING.md); the results "
+      "and the\n"
+      "                        run ledger are byte-identical to --threads 1\n"
+      "  --stats[=PATH]        print the summary ledger JSON, or write the "
+      "full\n"
+      "                        JSONL run ledger to PATH\n"
       "  --trace-events[=PATH] like --stats, additionally recording "
       "per-window\n"
       "                        trace events in the JSONL ledger\n"
-      "  --fault-plan FILE     with --run: inject the fault scenario "
-      "described\n"
-      "                        by FILE (host kills, lossy channels, bounded\n"
-      "                        queues, per-host cycle budgets, load "
-      "shedding;\n"
-      "                        see docs/FAULTS.md) and report the "
-      "degradation\n"
-      "                        and overload accounting\n"
-      "  --recover             with --run: enable lossless recovery "
-      "(epoch-aligned\n"
-      "                        checkpoints, acked retransmission, state "
-      "migration\n"
-      "                        on kills; docs/FAULTS.md \"Lossless "
-      "recovery\")\n"
+      "\n"
+      "fault injection and overload control (docs/FAULTS.md):\n"
+      "  --fault-plan FILE     inject the fault scenario described by FILE:\n"
+      "                        host kills (`kill host=H epoch=E`), lossy/\n"
+      "                        reordering channels (`channel ... drop= dup=\n"
+      "                        reorder= queue=`), per-host cycle budgets\n"
+      "                        (`budget host=* cycles=...`), and load "
+      "shedding\n"
+      "                        (`shed m=...`); the run reports degradation "
+      "and\n"
+      "                        overload accounting\n"
+      "\n"
+      "lossless recovery (docs/FAULTS.md, \"Lossless recovery\"):\n"
+      "  --recover             enable epoch-aligned checkpoints, acked\n"
+      "                        retransmission, and state migration on kills\n"
       "  --checkpoint-interval N\n"
       "                        checkpoint every N epochs (implies --recover;\n"
       "                        overrides the fault plan's `ckpt` directive)\n"
       "  --epoch-width N       timestamp stride per epoch (overrides the "
       "fault\n"
       "                        plan's `epoch_width` directive)\n"
+      "\n"
       "  --help, -h            show this help and exit\n"
       "\n"
       "The ledger formats are documented in docs/METRICS.md.\n",
@@ -169,9 +179,22 @@ int main(int argc, char** argv) {
   bool recover = false;
   uint64_t checkpoint_interval = 0;
   uint64_t epoch_width = 0;
+  uint64_t threads = 1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 ||
+               std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const char* value = argv[i][9] == '=' ? argv[i] + 10
+                          : i + 1 < argc    ? argv[++i]
+                                            : nullptr;
+      if (!ParsePositiveInt(value, &threads)) {
+        std::fprintf(stderr,
+                     "--threads expects a positive integer (worker thread "
+                     "count; 1 = single-threaded), got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--ps") == 0 && i + 1 < argc) {
       ps_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
@@ -293,6 +316,7 @@ int main(int argc, char** argv) {
     tc.packets_per_sec = 10000;
     PacketTraceGenerator gen(tc);
     ClusterRuntime runtime(&graph, &*plan, cluster);
+    if (threads > 1) runtime.set_parallel(static_cast<int>(threads));
     if (trace_events) runtime.set_trace_events_enabled(true);
     FaultPlan fault_plan;
     if (!fault_plan_path.empty()) {
@@ -318,6 +342,11 @@ int main(int argc, char** argv) {
     }
     Status st = runtime.Build(ps);
     if (!st.ok()) return Fail(st);
+    if (threads > 1 && !runtime.parallel_active()) {
+      std::printf("note: --threads %llu fell back to single-threaded: %s\n",
+                  static_cast<unsigned long long>(threads),
+                  runtime.parallel_fallback_reason().c_str());
+    }
     Tuple t;
     while (gen.Next(&t)) {
       runtime.PushSource("TCP", t);
@@ -472,10 +501,10 @@ int main(int argc, char** argv) {
         std::printf("\nwrote run ledger to %s\n", stats_path.c_str());
       }
     }
-  } else if (stats || recover || epoch_width > 0) {
+  } else if (stats || recover || epoch_width > 0 || threads > 1) {
     std::fprintf(stderr,
                  "--stats/--trace-events/--recover/--checkpoint-interval/"
-                 "--epoch-width require --run\n");
+                 "--epoch-width/--threads require --run\n");
     return 2;
   }
   return 0;

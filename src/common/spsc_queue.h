@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file spsc_queue.h
+/// \brief Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// The inter-host channels of the parallel cluster scheduler
+/// (dist/parallel_exec.h) are SPSC by construction: each directed host pair
+/// (and each driver->host work queue) has exactly one producer and one
+/// consumer *at a time*. "At a time" because work-stealing hands a host's
+/// consumer role between threads — the host-claim CAS in the scheduler is an
+/// acquire/release handoff, so the single-consumer invariant holds across
+/// the transfer (see docs/THREADING.md).
+///
+/// Memory-order contract (the entire synchronization story of one queue):
+///  * The producer writes the slot, then publishes it with a release store
+///    of `tail_`. The consumer's acquire load of `tail_` therefore observes
+///    a fully constructed value (release/acquire pairing on `tail_`).
+///  * The consumer moves the value out, then retires the slot with a
+///    release store of `head_`. The producer's acquire load of `head_`
+///    therefore never overwrites a slot still being read (release/acquire
+///    pairing on `head_`).
+///  * Indices are monotonically increasing uint64 and are masked into the
+///    power-of-two buffer, so full/empty are `tail - head == capacity` and
+///    `tail == head` with no wraparound ambiguity.
+///
+/// TryPush/TryPop never block and never allocate after construction; the
+/// caller decides the backoff policy (the scheduler yields and drains its
+/// own inbound rings while an outbound push is full, which is what makes
+/// the ring mesh deadlock-free).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// \p capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// \brief Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // Refresh the cached head only when the ring looks full: the common
+    // case costs no cross-core traffic on head_.
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// \brief Racy emptiness probe (either side): exact for the calling role,
+  /// conservative for observers — used only to decide whether claiming a
+  /// host is worthwhile, never for correctness.
+  bool EmptyApprox() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Producer and consumer indices live on separate cache lines so the two
+  // sides never false-share; each side additionally keeps a local cache of
+  // the other's index (plain members — each is touched by one side only).
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer-owned
+  uint64_t head_cache_ = 0;                    // producer-owned cache of head_
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer-owned
+  uint64_t tail_cache_ = 0;                    // consumer-owned cache of tail_
+  alignas(64) std::vector<T> buffer_;
+  size_t mask_ = 0;
+};
+
+}  // namespace streampart

@@ -17,16 +17,17 @@ ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
 
 Result<ClusterRunResult> ExperimentRunner::RunOne(
     const ExperimentConfig& config, int num_hosts, int partitions_per_host,
-    size_t batch_size) {
+    size_t batch_size, int threads) {
   SP_ASSIGN_OR_RETURN(
       ExperimentCell cell,
-      RunCell(config, num_hosts, partitions_per_host, batch_size));
+      RunCell(config, num_hosts, partitions_per_host, batch_size, {},
+              threads));
   return std::move(cell.result);
 }
 
 Result<ExperimentCell> ExperimentRunner::RunCell(
     const ExperimentConfig& config, int num_hosts, int partitions_per_host,
-    size_t batch_size, const RunLedgerOptions& ledger_options) {
+    size_t batch_size, const RunLedgerOptions& ledger_options, int threads) {
   ClusterConfig cluster;
   cluster.num_hosts = num_hosts;
   cluster.partitions_per_host = partitions_per_host;
@@ -34,6 +35,7 @@ Result<ExperimentCell> ExperimentRunner::RunCell(
       DistPlan plan,
       OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
   ClusterRuntime runtime(graph_, &plan, cluster);
+  if (threads > 1) runtime.set_parallel(threads);
   // Budgets are charged in the same cycle currency the ledger reports.
   runtime.set_cost_params(cpu_params_);
   // A checkpoint-only plan injects no faults (empty() is true) but still

@@ -82,18 +82,23 @@ class ExperimentRunner {
   /// and for output-equivalence checks). The trace is replayed through the
   /// batched source path in \p batch_size chunks; batch_size 0 replays
   /// tuple-at-a-time (the pre-vectorization path — benches compare the two,
-  /// all accounted metrics are identical either way).
+  /// all accounted metrics are identical either way). \p threads > 1 runs
+  /// the cell in parallel mode (ClusterRuntime::set_parallel); the ledger
+  /// and outputs are byte-identical to threads == 1.
   Result<ClusterRunResult> RunOne(const ExperimentConfig& config,
                                   int num_hosts, int partitions_per_host = 2,
-                                  size_t batch_size = kDefaultSourceBatch);
+                                  size_t batch_size = kDefaultSourceBatch,
+                                  int threads = 1);
 
   /// \brief Like RunOne, but also returns the cell's run ledger. The ledger
   /// is deterministic: RunCell at batch_size N and batch_size 0 produce
-  /// byte-identical ToJsonl() output (advisory instruments excluded).
+  /// byte-identical ToJsonl() output (advisory instruments excluded), and
+  /// likewise across thread counts.
   Result<ExperimentCell> RunCell(const ExperimentConfig& config, int num_hosts,
                                  int partitions_per_host = 2,
                                  size_t batch_size = kDefaultSourceBatch,
-                                 const RunLedgerOptions& ledger_options = {});
+                                 const RunLedgerOptions& ledger_options = {},
+                                 int threads = 1);
 
   const TupleBatch& trace() const { return trace_; }
   const CpuCostParams& cpu_params() const { return cpu_params_; }

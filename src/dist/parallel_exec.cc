@@ -1,0 +1,223 @@
+#include "dist/parallel_exec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streampart {
+
+namespace {
+/// Items processed per host claim before the claim is released, so one
+/// backlogged host cannot starve the others sharing a thread.
+constexpr int kQuantum = 64;
+
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+bool ParallelExecutor::InWorker() { return tls_in_worker; }
+
+ParallelExecutor::ParallelExecutor(int num_hosts, int num_threads,
+                                   bool worker_rings, size_t work_capacity,
+                                   size_t ring_capacity, WorkFn work_fn,
+                                   RingFn ring_fn)
+    : num_hosts_(num_hosts),
+      num_threads_(num_threads),
+      worker_rings_(worker_rings),
+      work_fn_(std::move(work_fn)),
+      ring_fn_(std::move(ring_fn)),
+      stats_(static_cast<size_t>(num_hosts)) {
+  SP_CHECK(num_hosts_ > 0);
+  SP_CHECK(num_threads_ > 0);
+  work_.reserve(static_cast<size_t>(num_hosts_));
+  claims_.reserve(static_cast<size_t>(num_hosts_));
+  for (int h = 0; h < num_hosts_; ++h) {
+    work_.push_back(std::make_unique<SpscQueue<ParallelWorkItem>>(work_capacity));
+    claims_.push_back(std::make_unique<std::atomic<int>>(-1));
+  }
+  if (worker_rings_) {
+    rings_.reserve(static_cast<size_t>(num_hosts_) *
+                   static_cast<size_t>(num_hosts_));
+    for (int i = 0; i < num_hosts_ * num_hosts_; ++i) {
+      rings_.push_back(std::make_unique<SpscQueue<ParallelRingMsg>>(ring_capacity));
+    }
+  } else {
+    driver_rings_.reserve(static_cast<size_t>(num_hosts_));
+    pending_.resize(static_cast<size_t>(num_hosts_));
+    for (int h = 0; h < num_hosts_; ++h) {
+      driver_rings_.push_back(
+          std::make_unique<SpscQueue<ParallelRingMsg>>(ring_capacity));
+    }
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() { Stop(); }
+
+void ParallelExecutor::Start() {
+  SP_CHECK(!started_);
+  started_ = true;
+  threads_.reserve(static_cast<size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+void ParallelExecutor::Enqueue(int host, ParallelWorkItem&& item) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  while (!work_[static_cast<size_t>(host)]->TryPush(std::move(item))) {
+    // A full queue with a blocked driver must not wedge the staged-message
+    // path: keep the driver rings flowing while we wait.
+    if (!worker_rings_) PumpDriverRings();
+    std::this_thread::yield();
+  }
+}
+
+void ParallelExecutor::Stage(int from, int to, ParallelRingMsg&& msg) {
+  ++stats_[static_cast<size_t>(from)].staged;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  SpscQueue<ParallelRingMsg>& ring =
+      worker_rings_ ? RingFor(from, to) : *driver_rings_[static_cast<size_t>(from)];
+  while (!ring.TryPush(std::move(msg))) {
+    if (worker_rings_) {
+      // Deadlock avoidance (docs/THREADING.md): drain our own inbound
+      // traffic (we hold `from`'s claim) and, if the consumer host is
+      // unclaimed, help drain its inbound rings — one of these frees the
+      // ring that is blocking us in any cycle of blocked producers.
+      DrainInboundSome(from, kQuantum);
+      int tid = -2;  // helper claim; never equals a worker tid
+      if (to != from && TryClaim(to, tid)) {
+        DrainInboundSome(to, kQuantum);
+        ReleaseClaim(to);
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ParallelExecutor::PumpDriverRings() {
+  ParallelRingMsg msg;
+  for (int f = 0; f < num_hosts_; ++f) {
+    while (driver_rings_[static_cast<size_t>(f)]->TryPop(&msg)) {
+      pending_[static_cast<size_t>(f)].push_back(std::move(msg));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ParallelExecutor::Quiesce() {
+  for (;;) {
+    if (!worker_rings_) PumpDriverRings();
+    if (in_flight_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+void ParallelExecutor::ReplayMerged(
+    const std::function<void(ParallelRingMsg&&)>& fn) {
+  SP_CHECK(!worker_rings_);
+  std::vector<size_t> cursor(pending_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (int f = 0; f < num_hosts_; ++f) {
+      const auto& buf = pending_[static_cast<size_t>(f)];
+      size_t c = cursor[static_cast<size_t>(f)];
+      if (c >= buf.size()) continue;
+      if (best < 0) {
+        best = f;
+        continue;
+      }
+      const ParallelRingMsg& a = buf[c];
+      const ParallelRingMsg& b =
+          pending_[static_cast<size_t>(best)][cursor[static_cast<size_t>(best)]];
+      if (a.seq < b.seq || (a.seq == b.seq && a.sub < b.sub)) best = f;
+    }
+    if (best < 0) break;
+    fn(std::move(pending_[static_cast<size_t>(best)]
+                         [cursor[static_cast<size_t>(best)]++]));
+  }
+  for (auto& buf : pending_) buf.clear();
+}
+
+void ParallelExecutor::Stop() {
+  if (!started_ || threads_.empty()) return;
+  Quiesce();
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool ParallelExecutor::TryClaim(int h, int tid) {
+  int expected = -1;
+  return claims_[static_cast<size_t>(h)]->compare_exchange_strong(
+      expected, tid, std::memory_order_acq_rel, std::memory_order_relaxed);
+}
+
+void ParallelExecutor::ReleaseClaim(int h) {
+  claims_[static_cast<size_t>(h)]->store(-1, std::memory_order_release);
+}
+
+bool ParallelExecutor::DrainInboundSome(int h, int quantum) {
+  bool any = false;
+  ParallelRingMsg msg;
+  int n = 0;
+  for (int f = 0; f < num_hosts_ && n < quantum; ++f) {
+    while (n < quantum && RingFor(f, h).TryPop(&msg)) {
+      ring_fn_(h, std::move(msg));
+      in_flight_.fetch_sub(1, std::memory_order_release);
+      ++n;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool ParallelExecutor::DrainHostSome(int h, int quantum) {
+  bool any = false;
+  int n = 0;
+  // Inbound traffic first: keeps the ring mesh shallow so producers block
+  // rarely, and delivers partial aggregates before more source work piles
+  // up behind them.
+  if (worker_rings_) {
+    if (DrainInboundSome(h, quantum)) any = true;
+  }
+  ParallelWorkItem item;
+  while (n < quantum && work_[static_cast<size_t>(h)]->TryPop(&item)) {
+    HostStats& hs = stats_[static_cast<size_t>(h)];
+    ++hs.morsels;
+    hs.tuples += item.batch.size();
+    work_fn_(h, std::move(item));
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    ++n;
+    any = true;
+  }
+  return any;
+}
+
+void ParallelExecutor::WorkerLoop(int tid) {
+  tls_in_worker = true;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool did = false;
+    for (int i = 0; i < num_hosts_; ++i) {
+      // Scan all hosts starting at our preferred one; draining a host whose
+      // preferred thread is someone else counts as a steal.
+      int h = (tid + i) % num_hosts_;
+      bool has_ring_work = false;
+      if (worker_rings_) {
+        for (int f = 0; f < num_hosts_ && !has_ring_work; ++f) {
+          has_ring_work = !RingFor(f, h).EmptyApprox();
+        }
+      }
+      if (!has_ring_work && work_[static_cast<size_t>(h)]->EmptyApprox()) {
+        continue;
+      }
+      if (!TryClaim(h, tid)) continue;
+      bool any = DrainHostSome(h, kQuantum);
+      if (any && h % num_threads_ != tid) ++stats_[static_cast<size_t>(h)].steals;
+      ReleaseClaim(h);
+      if (any) did = true;
+    }
+    if (!did) std::this_thread::yield();
+  }
+  tls_in_worker = false;
+}
+
+}  // namespace streampart

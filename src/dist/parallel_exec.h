@@ -1,0 +1,194 @@
+#pragma once
+
+/// \file parallel_exec.h
+/// \brief Morsel-driven worker scheduler for the simulated cluster.
+///
+/// ParallelExecutor runs each simulated host's engine on a fixed pool of
+/// worker threads with work-stealing: every host has a driver->host SPSC
+/// work queue of morsels, and threads claim hosts (an atomic CAS per host)
+/// before touching any of that host's operator state. The claim is the
+/// single-writer guarantee: all operator instances, per-host StatsRegistry
+/// counters, and per-host recovery state are only ever touched by the
+/// thread currently holding the host's claim (or by the driver while the
+/// pool is quiesced), so none of them need to become atomic.
+///
+/// Cross-host tuple flow uses bounded lock-free SPSC rings
+/// (common/spsc_queue.h) in one of two topologies, chosen at Build time by
+/// ClusterRuntime (docs/THREADING.md has the full protocol):
+///
+///  * worker_rings = true (healthy pipeline mode): an H x H mesh of
+///    host-to-host rings. The claim holder of host `f` is the unique
+///    producer of every ring (f -> *), and the claim holder of host `t` is
+///    the unique consumer of every ring (* -> t). No barriers; consumers
+///    drain continuously.
+///
+///  * worker_rings = false (epoch-barrier mode): one ring per host carrying
+///    staged messages to the driver. The driver pumps the rings into
+///    per-host pending buffers and, at each epoch barrier, replays them in
+///    the exact global order of the single-threaded execution — every work
+///    item carries a global routing sequence number `seq`, every staged
+///    message carries (seq, sub), and ReplayMerged() is an H-way merge on
+///    that pair. Per-ring FIFO plus the merge reproduces the sequential
+///    call order byte-for-byte.
+///
+/// Deadlock freedom: a worker blocked pushing into a full outbound ring
+/// drains its own inbound rings (it holds its host's claim) and
+/// opportunistically claims the consumer host to drain that host's inbound
+/// rings; the driver blocked on a full work queue pumps the driver rings.
+/// In any cycle of blocked producers, every participant is draining the
+/// ring that feeds it, so some push always completes. All waits yield —
+/// there is no pure spinning, which keeps the scheduler healthy even with
+/// more threads than cores (or on a single-core machine).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief One unit of host work: a morsel of source tuples (pipeline mode)
+/// or a single routed tuple (barrier mode), plus the routing-edge list it
+/// fans out to. `edges` is an opaque pointer into ClusterRuntime::routing_,
+/// which is stable after Build.
+struct ParallelWorkItem {
+  const void* edges = nullptr;
+  int partition = -1;
+  int host = 0;
+  /// Global routing sequence number (barrier mode; drives replay order).
+  uint64_t seq = 0;
+  TupleBatch batch;
+};
+
+/// \brief A staged cross-host message.
+///
+/// Pipeline mode: a decoded batch for `consumer`/`port` with the sender
+/// half of the transfer already accounted (`enc_bytes` carries the wire
+/// size for the receiver half). Barrier mode: one original (wire) tuple in
+/// batch[0] whose cross-host delivery the driver replays through the exact
+/// sequential code path; `partition` >= 0 marks a source-edge send (reliable
+/// producer key -(partition+1)), otherwise `producer_op` is the emitting
+/// operator.
+struct ParallelRingMsg {
+  int consumer = -1;
+  uint32_t port = 0;
+  int from = 0;
+  int partition = -1;
+  int producer_op = -1;
+  uint64_t enc_bytes = 0;
+  uint64_t seq = 0;
+  uint32_t sub = 0;
+  /// True when `batch` is a decoded batch transfer (delivered via
+  /// PushBatch + batch accounting); false for a single wire tuple that
+  /// replays through the per-tuple delivery path.
+  bool is_batch = false;
+  TupleBatch batch;
+};
+
+class ParallelExecutor {
+ public:
+  /// Advisory per-host scheduling counters (folded into the scheduler
+  /// registry after Stop; never part of the RunLedger).
+  struct HostStats {
+    uint64_t morsels = 0;
+    uint64_t tuples = 0;
+    uint64_t staged = 0;
+    uint64_t steals = 0;
+  };
+
+  using WorkFn = std::function<void(int host, ParallelWorkItem&&)>;
+  using RingFn = std::function<void(int host, ParallelRingMsg&&)>;
+
+  /// \p ring_fn is the pipeline-mode consumer callback (unused in barrier
+  /// mode). \p work_capacity / \p ring_capacity size the SPSC queues (in
+  /// items; rounded up to powers of two).
+  ParallelExecutor(int num_hosts, int num_threads, bool worker_rings,
+                   size_t work_capacity, size_t ring_capacity, WorkFn work_fn,
+                   RingFn ring_fn);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  void Start();
+
+  /// \brief Driver side: hand a work item to \p host. Blocks (pumping
+  /// driver rings in barrier mode) while the host's queue is full.
+  void Enqueue(int host, ParallelWorkItem&& item);
+
+  /// \brief Worker side (claim of \p from held): stage a cross-host
+  /// message. Routes to ring (from -> to) in pipeline mode and to the
+  /// driver ring of \p from in barrier mode. Blocks with deadlock-avoiding
+  /// draining while full.
+  void Stage(int from, int to, ParallelRingMsg&& msg);
+
+  /// \brief Driver side: wait until every enqueued item and staged message
+  /// has been fully processed (barrier mode: pumped into pending buffers).
+  void Quiesce();
+
+  /// \brief Driver side, barrier mode, after Quiesce(): replay all pending
+  /// staged messages in ascending (seq, sub) order.
+  void ReplayMerged(const std::function<void(ParallelRingMsg&&)>& fn);
+
+  /// \brief Quiesces and joins the pool. Idempotent.
+  void Stop();
+
+  /// \brief True when the calling thread is one of this pool's workers.
+  static bool InWorker();
+
+  int num_threads() const { return num_threads_; }
+  /// Valid after Stop().
+  const std::vector<HostStats>& host_stats() const { return stats_; }
+
+ private:
+  void WorkerLoop(int tid);
+  /// Processes up to \p quantum items for claimed host \p h; returns
+  /// whether anything was processed.
+  bool DrainHostSome(int h, int quantum);
+  /// Pipeline mode: drains some inbound ring traffic of claimed host \p h.
+  bool DrainInboundSome(int h, int quantum);
+  /// Barrier mode, driver side: moves ring contents into pending_.
+  void PumpDriverRings();
+  bool TryClaim(int h, int tid);
+  void ReleaseClaim(int h);
+  SpscQueue<ParallelRingMsg>& RingFor(int from, int to) {
+    return *rings_[static_cast<size_t>(from) * static_cast<size_t>(num_hosts_) +
+                   static_cast<size_t>(to)];
+  }
+
+  const int num_hosts_;
+  const int num_threads_;
+  const bool worker_rings_;
+  WorkFn work_fn_;
+  RingFn ring_fn_;
+
+  std::vector<std::unique_ptr<SpscQueue<ParallelWorkItem>>> work_;
+  /// Pipeline mode: H x H mesh indexed [from * H + to]. Barrier mode: H
+  /// driver rings indexed [from] (the mesh is not allocated).
+  std::vector<std::unique_ptr<SpscQueue<ParallelRingMsg>>> rings_;
+  std::vector<std::unique_ptr<SpscQueue<ParallelRingMsg>>> driver_rings_;
+  /// Barrier mode: driver-side FIFO buffers, per from-host, each sorted by
+  /// (seq, sub) because stages happen in processing order.
+  std::vector<std::vector<ParallelRingMsg>> pending_;
+
+  /// Host claims: -1 free, else owning thread id. CAS(-1 -> tid) with
+  /// acq_rel publishes all prior host-state writes of the previous owner
+  /// to the next one.
+  std::vector<std::unique_ptr<std::atomic<int>>> claims_;
+
+  /// Items enqueued or staged but not yet fully processed. The driver's
+  /// acquire load pairing with worker release decrements is what makes
+  /// Quiesce() a synchronization point for all host state.
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<bool> stop_{false};
+
+  std::vector<HostStats> stats_;
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+};
+
+}  // namespace streampart

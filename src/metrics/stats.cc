@@ -212,6 +212,38 @@ const StatDef kSkewMoves = {"skew_moves", StatKind::kCounter, "moves", false,
                             "hot partitions migrated off this host by the "
                             "skew detector"};
 
+const StatDef kSchedThreads = {"sched_threads", StatKind::kCounter, "threads",
+                               true,
+                               "worker threads the parallel scheduler ran "
+                               "with"};
+const StatDef kSchedBarriers = {"sched_barriers", StatKind::kCounter,
+                                "barriers", true,
+                                "epoch barriers the driver ran (quiesce + "
+                                "exact-order replay of staged sends)"};
+const StatDef kSchedMorsels = {"sched_morsels", StatKind::kCounter, "morsels",
+                               true,
+                               "work items dispatched to host workers "
+                               "(summed over hosts)"};
+const StatDef kSchedWallMs = {"sched_wall_ms", StatKind::kGauge, "ms", true,
+                              "wall-clock of the parallel region, Build to "
+                              "pool join"};
+const StatDef kWorkerMorsels = {"worker_morsels", StatKind::kCounter,
+                                "morsels", true,
+                                "work items processed under this host's "
+                                "claim"};
+const StatDef kWorkerTuples = {"worker_tuples", StatKind::kCounter, "tuples",
+                               true,
+                               "source tuples processed under this host's "
+                               "claim"};
+const StatDef kWorkerStagedMsgs = {"worker_staged_msgs", StatKind::kCounter,
+                                   "messages", true,
+                                   "cross-host messages this host staged "
+                                   "into its SPSC rings"};
+const StatDef kWorkerSteals = {"worker_steals", StatKind::kCounter, "drains",
+                               true,
+                               "times a non-preferred thread claimed and "
+                               "drained this host's work"};
+
 const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
@@ -226,6 +258,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kCkptRestores,  &kCkptRestoredBytes, &kCkptReplayedTuples,
       &kShedTuples,    &kBudgetDeferrals, &kBudgetQueueDropped,
       &kBudgetOverEpochs, &kSkewMoves,
+      &kSchedThreads,  &kSchedBarriers, &kSchedMorsels, &kSchedWallMs,
+      &kWorkerMorsels, &kWorkerTuples, &kWorkerStagedMsgs, &kWorkerSteals,
   };
   return kCatalog;
 }

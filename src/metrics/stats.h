@@ -274,6 +274,22 @@ extern const StatDef kBudgetQueueDropped;
 extern const StatDef kBudgetOverEpochs;
 extern const StatDef kSkewMoves;
 
+// Morsel-driven parallel execution (dist/parallel_exec.h). Recorded in the
+// runtime's separate scheduler registry (ClusterRuntime::
+// scheduler_registry()) under scope `scheduler` (sched_*) and `worker#<h>`
+// (worker_*), never in the per-host registries — the RunLedger stays
+// byte-identical across execution modes. All advisory: thread counts,
+// queue traffic, and wall clocks are scheduling artifacts, not workload
+// properties.
+extern const StatDef kSchedThreads;
+extern const StatDef kSchedBarriers;
+extern const StatDef kSchedMorsels;
+extern const StatDef kSchedWallMs;  // gauge
+extern const StatDef kWorkerMorsels;
+extern const StatDef kWorkerTuples;
+extern const StatDef kWorkerStagedMsgs;
+extern const StatDef kWorkerSteals;
+
 /// \brief Every StatDef above, in declaration order. The doc-lint and the
 /// run-ledger schema iterate this.
 const std::vector<const StatDef*>& EngineStatCatalog();

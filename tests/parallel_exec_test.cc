@@ -1,0 +1,358 @@
+/// \file parallel_exec_test.cc
+/// \brief Differential battery for morsel-driven parallel execution
+/// (docs/THREADING.md).
+///
+/// The contract under test is strict: a run with set_parallel(N) produces a
+/// RunLedger byte-identical (ToJsonl and ToSummaryJson) to the
+/// single-threaded run — outputs, host ledgers, every non-advisory
+/// instrument, and the fault/recovery/overload sections. The battery covers
+/// both execution modes (healthy pipeline, controller-armed epoch barrier)
+/// across thread counts, seeds, and delivery granularities, plus the SPSC
+/// ring itself and the documented fallbacks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.h"
+#include "dist/experiment.h"
+#include "dist/partitioner.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+#include "trace/trace_gen.h"
+
+namespace streampart {
+namespace {
+
+using Mode = OptimizerOptions::PartialAggMode;
+
+// ---------------------------------------------------------------------------
+// SpscQueue unit tests
+// ---------------------------------------------------------------------------
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> q3(3);
+  EXPECT_EQ(q3.capacity(), 4u);
+  SpscQueue<int> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);
+  SpscQueue<int> q64(64);
+  EXPECT_EQ(q64.capacity(), 64u);
+}
+
+TEST(SpscQueueTest, FifoOrderAndFullEmptyAcrossWraparound) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));  // empty
+  // Several laps around the ring so head/tail wrap the capacity mask.
+  int next_push = 0, next_pop = 0;
+  for (int lap = 0; lap < 5; ++lap) {
+    while (q.TryPush(int(next_push))) ++next_push;
+    EXPECT_EQ(next_push - next_pop, 4);  // full at capacity
+    while (q.TryPop(&out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+    EXPECT_EQ(next_push, next_pop);
+  }
+}
+
+TEST(SpscQueueTest, MoveOnlyElements) {
+  SpscQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.TryPush(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscQueueTest, TwoThreadStressPreservesSequence) {
+  // One producer, one consumer, a ring much smaller than the stream: every
+  // element must arrive exactly once, in order. Run under TSan in CI, this is
+  // also the memory-order contract check.
+  constexpr uint64_t kN = 200000;
+  SpscQueue<uint64_t> q(64);
+  std::atomic<bool> fail{false};
+  std::thread consumer([&] {
+    uint64_t expect = 0, v = 0;
+    while (expect < kN) {
+      if (q.TryPop(&v)) {
+        if (v != expect) {
+          fail.store(true);
+          return;
+        }
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    while (!q.TryPush(uint64_t(i))) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery
+// ---------------------------------------------------------------------------
+
+ExperimentConfig Config(const std::string& name, const std::string& ps,
+                        Mode partial, bool pushdown) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.enable_compatible_pushdown = pushdown;
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+FaultPlan Plan(const std::string& text) {
+  auto plan = FaultPlan::Parse(text);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TupleBatch SmallTrace(uint32_t duration_sec = 4, uint32_t pps = 1000) {
+  TraceConfig tc;
+  tc.duration_sec = duration_sec;
+  tc.packets_per_sec = pps;
+  tc.num_flows = 300;
+  PacketTraceGenerator gen(tc);
+  return gen.GenerateAll();
+}
+
+struct DirectRun {
+  ClusterRunResult result;
+  RunLedger ledger;
+  bool parallel_active = false;
+  std::string fallback_reason;
+  uint64_t barriers = 0;
+};
+
+/// Runs \p trace through a fresh cluster with \p threads workers. The plan is
+/// attached whenever it is non-trivial (injects faults, checkpoints, or
+/// overload control), mirroring ExperimentRunner::RunCell.
+DirectRun RunCluster(const QueryGraph& graph, const ExperimentConfig& config,
+                     int num_hosts, const TupleBatch& trace, size_t batch_size,
+                     int threads) {
+  ClusterConfig cluster;
+  cluster.num_hosts = num_hosts;
+  cluster.partitions_per_host = 2;
+  auto plan =
+      OptimizeForPartitioning(graph, cluster, config.ps, config.optimizer);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  ClusterRuntime runtime(&graph, &*plan, cluster);
+  if (threads > 1) runtime.set_parallel(threads);
+  if (!config.faults.empty() || config.faults.checkpoint_interval > 0 ||
+      config.faults.overload_enabled()) {
+    runtime.set_fault_plan(config.faults);
+  }
+  Status st = runtime.Build(config.ps);
+  SP_CHECK(st.ok()) << st.ToString();
+  if (batch_size == 0) {
+    for (const Tuple& t : trace) runtime.PushSource("TCP", t);
+  } else {
+    TupleSpan all(trace);
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      runtime.PushSourceBatch(
+          "TCP", all.subspan(off, std::min(batch_size, all.size() - off)));
+    }
+  }
+  runtime.FinishSources();
+  DirectRun run;
+  run.result = runtime.result();
+  run.ledger = runtime.MakeLedger(CpuCostParams(), 4.0);
+  run.parallel_active = runtime.parallel_active();
+  run.fallback_reason = runtime.parallel_fallback_reason();
+  return run;
+}
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  ParallelExecTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
+
+  void AddFlows() {
+    ASSERT_OK(graph_.AddQuery(
+        "flows",
+        "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+        "GROUP BY time as tb, srcIP"));
+  }
+
+  /// Ledger byte-identity of a threads=N run against the single-threaded
+  /// oracle, on both delivery granularities.
+  void ExpectIdentical(const ExperimentConfig& config, int num_hosts,
+                       const TupleBatch& trace, int threads,
+                       bool expect_parallel, const std::string& label) {
+    for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+      std::string ctx =
+          label + " @threads=" + std::to_string(threads) +
+          " batch=" + std::to_string(batch_size);
+      DirectRun oracle =
+          RunCluster(graph_, config, num_hosts, trace, batch_size, 1);
+      DirectRun parallel =
+          RunCluster(graph_, config, num_hosts, trace, batch_size, threads);
+      EXPECT_EQ(parallel.parallel_active, expect_parallel)
+          << ctx << " fallback: " << parallel.fallback_reason;
+      EXPECT_EQ(oracle.ledger.ToJsonl(), parallel.ledger.ToJsonl()) << ctx;
+      EXPECT_EQ(oracle.ledger.ToSummaryJson(), parallel.ledger.ToSummaryJson())
+          << ctx;
+    }
+  }
+
+  Catalog catalog_;
+  QueryGraph graph_;
+};
+
+// --- Healthy pipeline mode ---
+
+TEST_F(ParallelExecTest, HealthyLedgerIdenticalAcrossThreadCounts) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config =
+      Config("Partitioned", "srcIP, destIP", Mode::kPerHost, true);
+  for (int threads : {2, 4, 8}) {
+    ExpectIdentical(config, 3, trace, threads, /*expect_parallel=*/true,
+                    "healthy-hash");
+  }
+}
+
+TEST_F(ParallelExecTest, HealthyRoundRobinLedgerIdentical) {
+  AddFlows();
+  // Round-robin partitioning maximizes cross-host merge traffic — the
+  // stress case for the pipeline ring mesh and multi-port merge confluence.
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  ExpectIdentical(config, 4, trace, 4, /*expect_parallel=*/true,
+                  "healthy-rr");
+}
+
+TEST_F(ParallelExecTest, SchedulerInstrumentsStayOutOfTheLedger) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config =
+      Config("Partitioned", "srcIP, destIP", Mode::kPerHost, true);
+  DirectRun parallel = RunCluster(graph_, config, 3, trace,
+                                  kDefaultSourceBatch, 4);
+  ASSERT_TRUE(parallel.parallel_active) << parallel.fallback_reason;
+  // Even the advisory-included ledger must not mention scheduler scopes:
+  // they live in a separate registry precisely so wall clocks and steal
+  // counts can never perturb ledger identity.
+  RunLedgerOptions advisory;
+  advisory.include_advisory = true;
+  EXPECT_EQ(parallel.ledger.ToJsonl().find("sched_"), std::string::npos);
+  EXPECT_EQ(parallel.ledger.ToJsonl().find("worker_"), std::string::npos);
+}
+
+// --- Controller-armed barrier mode ---
+
+TEST_F(ParallelExecTest, LossyChannelLedgerIdenticalAcrossSeedsAndThreads) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  for (uint32_t seed : {7u, 23u, 101u}) {
+    ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+    config.faults = Plan(
+        "seed " + std::to_string(seed) +
+        "\nchannel from=* to=* drop=0.2 dup=0.1 reorder=0.3 queue=32");
+    for (int threads : {2, 8}) {
+      ExpectIdentical(config, 3, trace, threads, /*expect_parallel=*/true,
+                      "lossy-seed" + std::to_string(seed));
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, HostKillLedgerIdentical) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  for (const char* plan :
+       {"kill host=1 epoch=2", "recover off\nkill host=2 epoch=2"}) {
+    ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+    config.faults = Plan(plan);
+    ExpectIdentical(config, 3, trace, 4, /*expect_parallel=*/true,
+                    std::string("kill[") + plan + "]");
+  }
+}
+
+TEST_F(ParallelExecTest, CheckpointRecoveryLedgerIdentical) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  // Checkpointing + mid-run kill exercises the reliable-delivery edge state,
+  // retransmission scans, epoch-aligned snapshots, and state migration — all
+  // driver-side at barriers, with worker-side SendReliable in between.
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults = Plan("ckpt 4\nkill host=1 epoch=2");
+  for (int threads : {2, 8}) {
+    ExpectIdentical(config, 3, trace, threads, /*expect_parallel=*/true,
+                    "ckpt-kill");
+  }
+}
+
+TEST_F(ParallelExecTest, LossyRecoveryLedgerIdentical) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  // Degraded channels under acked retransmission: the replay order of
+  // staged sends decides per-edge sequence numbers and channel RNG draws,
+  // so this pins the exact-order replay protocol hardest.
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults =
+      Plan("seed 7\nckpt 2\nchannel from=* to=* drop=0.15 dup=0.1 queue=32");
+  ExpectIdentical(config, 3, trace, 4, /*expect_parallel=*/true,
+                  "lossy-recovery");
+}
+
+TEST_F(ParallelExecTest, ShedOverloadLedgerIdentical) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  // Shed-only plans (no budget guard) keep deterministic parallel semantics:
+  // the keep-1-in-m tap runs at the driver's routing step.
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults = Plan("shed m=4\n");
+  ExpectIdentical(config, 3, trace, 4, /*expect_parallel=*/true, "shed");
+}
+
+// --- Documented fallbacks ---
+
+TEST_F(ParallelExecTest, BudgetPlanFallsBackToSequential) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  // The per-tuple budget guard probes live operator state mid-epoch; there
+  // is no deterministic parallel schedule for it, so Build must fall back
+  // (recording why) and the run must still match the oracle trivially.
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults = Plan("budget host=* cycles=1e15 queue=8 reserve=0.5\n");
+  DirectRun run =
+      RunCluster(graph_, config, 3, trace, kDefaultSourceBatch, 4);
+  EXPECT_FALSE(run.parallel_active);
+  EXPECT_FALSE(run.fallback_reason.empty());
+  ExpectIdentical(config, 3, trace, 4, /*expect_parallel=*/false,
+                  "budget-fallback");
+}
+
+TEST_F(ParallelExecTest, ExperimentRunnerThreadsParameterIdentical) {
+  AddFlows();
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 1000;
+  tc.num_flows = 300;
+  ExperimentRunner runner(&graph_, "TCP", tc, CpuCostParams());
+  ExperimentConfig config =
+      Config("Partitioned", "srcIP, destIP", Mode::kPerHost, true);
+  auto oracle = runner.RunCell(config, 4);
+  ASSERT_OK(oracle.status());
+  auto parallel = runner.RunCell(config, 4, 2, kDefaultSourceBatch, {}, 4);
+  ASSERT_OK(parallel.status());
+  EXPECT_EQ(oracle->ledger.ToJsonl(), parallel->ledger.ToJsonl());
+  EXPECT_EQ(oracle->ledger.ToSummaryJson(), parallel->ledger.ToSummaryJson());
+}
+
+}  // namespace
+}  // namespace streampart
