@@ -1,0 +1,205 @@
+/// \file micro_sketch.cc
+/// \brief Bytes-vs-error tradeoff of the sketch leg (docs/SKETCHES.md) at
+/// three grid widths, with the two contracts the sketch battery pins:
+///
+///  (a) every estimate the leg emits sits inside the in-ledger bound —
+///      over-count only, at most `abs_error_bound = eps * max_epoch_mass` —
+///      on both the per-tuple and batched execution paths;
+///  (b) the summaries actually pay for themselves: aggregator network
+///      bytes drop >= 5x versus raw-tuple shipping of the same
+///      partition-incompatible query.
+///
+/// Results go to stdout and BENCH_sketch.json; the run fails (exit 1) if
+/// either gate does not hold at any width.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/figlib.h"
+#include "catalog/catalog.h"
+#include "dist/experiment.h"
+#include "plan/query_graph.h"
+#include "trace/trace_gen.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+/// Group key of an output row: every column but the trailing aggregate.
+std::string RowKey(const Tuple& t) {
+  std::string key;
+  for (size_t i = 0; i + 1 < t.size(); ++i) key += t.at(i).ToString() + "|";
+  return key;
+}
+
+struct WidthResult {
+  double eps = 0;
+  uint64_t width = 0;
+  uint64_t depth = 0;
+  uint64_t summary_bytes = 0;   // aggregator net bytes under the sketch leg
+  double reduction = 0;         // raw bytes / summary bytes
+  double max_abs_err = 0;       // worst observed over-count
+  double bound = 0;             // the ledger's abs_error_bound
+  bool within_bound = false;    // gate (a), both paths
+  bool reduced_5x = false;      // gate (b)
+};
+
+}  // namespace
+
+int main() {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  // One-second epochs over srcIP groups: incompatible with the empty
+  // partitioning set below, so the optimizer's only outcomes are raw-tuple
+  // shipping (baseline) or the sketch leg (session-wide eps budget).
+  Status st = graph.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c FROM TCP GROUP BY time as tb, srcIP");
+  SP_CHECK(st.ok()) << st.ToString();
+
+  // Summary size is trace-independent (it scales with the grid, not the
+  // data), so the byte-reduction gate needs a realistic per-epoch density:
+  // 8k pkts/s over 1s epochs, still ~25x below the paper's tap rates.
+  TraceConfig tc;
+  tc.duration_sec = 8;
+  tc.packets_per_sec = 8000;
+  tc.num_flows = 300;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  constexpr int kHosts = 3;
+  constexpr int kAggregator = 0;
+
+  std::printf("Sketch-leg micro-benchmark: flows COUNT, no usable "
+              "partitioning\n");
+  PrintTraceNote(tc);
+  std::printf("hosts: %d, trace: %zu tuples\n\n", kHosts,
+              runner.trace().size());
+
+  // Baseline: raw-tuple shipping (the partition-agnostic plan). Its outputs
+  // are the exact oracle, its aggregator net bytes the shipping cost.
+  ExperimentConfig raw;
+  raw.name = "Raw";
+  raw.optimizer.enable_sketch = false;
+  auto raw_cell = runner.RunCell(raw, kHosts, 2, /*batch_size=*/0);
+  SP_CHECK(raw_cell.ok()) << raw_cell.status().ToString();
+  const uint64_t raw_bytes =
+      raw_cell->result.hosts[kAggregator].net_bytes_in;
+  std::map<std::string, uint64_t> exact;
+  auto raw_out = raw_cell->result.outputs.find("flows");
+  SP_CHECK(raw_out != raw_cell->result.outputs.end());
+  for (const Tuple& t : raw_out->second) {
+    exact[RowKey(t)] = t.at(t.size() - 1).AsUint64();
+  }
+  std::printf("raw-tuple shipping: %llu aggregator bytes, %zu exact rows\n\n",
+              static_cast<unsigned long long>(raw_bytes), exact.size());
+
+  const double kEpsWidths[] = {0.1, 0.05, 0.01};
+  WidthResult results[3];
+  bool all_gates = true;
+  for (int w = 0; w < 3; ++w) {
+    WidthResult& r = results[w];
+    r.eps = kEpsWidths[w];
+    ExperimentConfig sk;
+    sk.name = "Sketch";
+    sk.optimizer.sketch_eps = r.eps;
+    r.within_bound = true;
+    for (size_t batch_size : {size_t{0}, kDefaultSourceBatch}) {
+      auto cell = runner.RunCell(sk, kHosts, 2, batch_size);
+      SP_CHECK(cell.ok()) << cell.status().ToString();
+      const SketchSection& section = cell->ledger.sketch();
+      SP_CHECK(section.active)
+          << "optimizer did not choose the sketch leg at eps " << r.eps;
+      r.width = section.width;
+      r.depth = section.depth;
+      r.bound = section.abs_error_bound;
+      r.summary_bytes = cell->result.hosts[kAggregator].net_bytes_in;
+      auto out = cell->result.outputs.find("flows");
+      SP_CHECK(out != cell->result.outputs.end());
+      if (out->second.size() != exact.size()) {
+        std::printf("eps %.3g batch=%zu: group sets differ (%zu vs %zu)\n",
+                    r.eps, batch_size, out->second.size(), exact.size());
+        r.within_bound = false;
+        continue;
+      }
+      for (const Tuple& t : out->second) {
+        auto it = exact.find(RowKey(t));
+        if (it == exact.end()) {
+          r.within_bound = false;
+          std::printf("eps %.3g batch=%zu: spurious group %s\n", r.eps,
+                      batch_size, t.ToString().c_str());
+          break;
+        }
+        uint64_t est = t.at(t.size() - 1).AsUint64();
+        if (est < it->second) {
+          r.within_bound = false;
+          std::printf("eps %.3g batch=%zu: UNDER-COUNT in %s\n", r.eps,
+                      batch_size, t.ToString().c_str());
+          break;
+        }
+        double err = static_cast<double>(est - it->second);
+        r.max_abs_err = std::max(r.max_abs_err, err);
+        if (err > section.abs_error_bound) {
+          r.within_bound = false;
+          std::printf("eps %.3g batch=%zu: over-count %.0f beyond bound "
+                      "%.1f in %s\n",
+                      r.eps, batch_size, err, section.abs_error_bound,
+                      t.ToString().c_str());
+          break;
+        }
+      }
+    }
+    r.reduction = r.summary_bytes > 0
+                      ? static_cast<double>(raw_bytes) /
+                            static_cast<double>(r.summary_bytes)
+                      : 0;
+    r.reduced_5x = r.reduction >= 5.0;
+    all_gates = all_gates && r.within_bound && r.reduced_5x;
+    std::printf(
+        "eps %.3g (grid %llux%llu): %llu aggregator bytes (%.1fx less), "
+        "max err %.0f of bound %.1f -> %s, %s\n",
+        r.eps, static_cast<unsigned long long>(r.width),
+        static_cast<unsigned long long>(r.depth),
+        static_cast<unsigned long long>(r.summary_bytes), r.reduction,
+        r.max_abs_err, r.bound,
+        r.within_bound ? "within bound" : "OUT OF BOUND",
+        r.reduced_5x ? ">=5x reduction" : "REDUCTION BELOW 5x");
+  }
+
+  const char* path = "BENCH_sketch.json";
+  FILE* f = std::fopen(path, "w");
+  SP_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"flows count incompatible_ps\",\n"
+               "  \"hosts\": %d,\n"
+               "  \"trace_tuples\": %zu,\n"
+               "  \"raw_aggregator_bytes\": %llu,\n"
+               "  \"widths\": [\n",
+               kHosts, runner.trace().size(),
+               static_cast<unsigned long long>(raw_bytes));
+  for (int w = 0; w < 3; ++w) {
+    const WidthResult& r = results[w];
+    std::fprintf(
+        f,
+        "    {\"eps\": %.6g, \"width\": %llu, \"depth\": %llu, "
+        "\"aggregator_bytes\": %llu, \"byte_reduction\": %.3f, "
+        "\"max_abs_err\": %.1f, \"abs_error_bound\": %.3f, "
+        "\"within_bound\": %s, \"reduced_5x\": %s}%s\n",
+        r.eps, static_cast<unsigned long long>(r.width),
+        static_cast<unsigned long long>(r.depth),
+        static_cast<unsigned long long>(r.summary_bytes), r.reduction,
+        r.max_abs_err, r.bound, r.within_bound ? "true" : "false",
+        r.reduced_5x ? "true" : "false", w + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"all_gates\": %s\n"
+               "}\n",
+               all_gates ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  std::printf("all gates: %s\n", all_gates ? "PASS" : "FAIL");
+  return all_gates ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 ///                  [--stats[=PATH]] [--trace-events[=PATH]]
 ///                  [--fault-plan FILE] [--recover]
 ///                  [--checkpoint-interval N] [--epoch-width N]
+///                  [--sketch-eps E] [--sketch-confidence P] [--no-sketch]
 ///
 /// Without --ps the advisor picks the partitioning; --tcp-splitter restricts
 /// it to what TCP-header splitter hardware can realize. --run replays a
@@ -92,6 +93,17 @@ bool ParsePositiveInt(const char* text, uint64_t* out) {
   return true;
 }
 
+/// Strict open-unit-interval flag value: a double in (0, 1), no trailing
+/// garbage (the domain of both sketch error budgets and confidences).
+bool ParseUnitFraction(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v > 0) || !(v < 1)) return false;
+  *out = v;
+  return true;
+}
+
 void PrintUsage(FILE* out, const char* prog) {
   std::fprintf(
       out,
@@ -148,6 +160,19 @@ void PrintUsage(FILE* out, const char* prog) {
       "fault\n"
       "                        plan's `epoch_width` directive)\n"
       "\n"
+      "approximate answers (docs/SKETCHES.md):\n"
+      "  --sketch-eps E        session-wide relative error budget in (0,1):\n"
+      "                        lets the optimizer degrade ANY incompatible\n"
+      "                        COUNT/SUM aggregate to per-host sketch\n"
+      "                        summaries; without it only queries carrying\n"
+      "                        their own APPROX clause are eligible\n"
+      "  --sketch-confidence P bound confidence in (0,1) for queries whose\n"
+      "                        APPROX clause omits CONFIDENCE (default "
+      "0.99)\n"
+      "  --no-sketch           disable the sketch leg entirely; incompatible\n"
+      "                        aggregates fall back to partial aggregation\n"
+      "                        or raw-tuple shipping\n"
+      "\n"
       "  --help, -h            show this help and exit\n"
       "\n"
       "The ledger formats are documented in docs/METRICS.md.\n",
@@ -180,6 +205,9 @@ int main(int argc, char** argv) {
   uint64_t checkpoint_interval = 0;
   uint64_t epoch_width = 0;
   uint64_t threads = 1;
+  double sketch_eps = 0;
+  double sketch_confidence = 0;
+  bool no_sketch = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
       hosts = std::atoi(argv[++i]);
@@ -241,6 +269,32 @@ int main(int argc, char** argv) {
                      value == nullptr ? "" : value);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--sketch-eps") == 0 ||
+               std::strncmp(argv[i], "--sketch-eps=", 13) == 0) {
+      const char* value = argv[i][12] == '=' ? argv[i] + 13
+                          : i + 1 < argc    ? argv[++i]
+                                            : nullptr;
+      if (!ParseUnitFraction(value, &sketch_eps)) {
+        std::fprintf(stderr,
+                     "--sketch-eps expects a relative error in (0,1), "
+                     "got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sketch-confidence") == 0 ||
+               std::strncmp(argv[i], "--sketch-confidence=", 20) == 0) {
+      const char* value = argv[i][19] == '=' ? argv[i] + 20
+                          : i + 1 < argc    ? argv[++i]
+                                            : nullptr;
+      if (!ParseUnitFraction(value, &sketch_confidence)) {
+        std::fprintf(stderr,
+                     "--sketch-confidence expects a probability in (0,1), "
+                     "got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-sketch") == 0) {
+      no_sketch = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -304,7 +358,11 @@ int main(int argc, char** argv) {
   // Distributed plan.
   ClusterConfig cluster;
   cluster.num_hosts = hosts;
-  auto plan = OptimizeForPartitioning(graph, cluster, ps, OptimizerOptions());
+  OptimizerOptions oopts;
+  oopts.enable_sketch = !no_sketch;
+  oopts.sketch_eps = sketch_eps;
+  if (sketch_confidence > 0) oopts.sketch_confidence = sketch_confidence;
+  auto plan = OptimizeForPartitioning(graph, cluster, ps, oopts);
   if (!plan.ok()) return Fail(plan.status());
   std::printf("Distributed plan (%d hosts x %d partitions):\n%s\n", hosts,
               cluster.partitions_per_host, plan->ToString().c_str());
@@ -481,6 +539,36 @@ int main(int argc, char** argv) {
           rec->Quiesced() ? "yes" : "no");
       std::printf("  checkpoint cost:   %.3g model cycles\n",
                   r.checkpoint_cost_cycles);
+    }
+    if (SketchSection sk = runtime.MakeSketchSection(); sk.active) {
+      std::printf("\nSketch accounting (eps %.4g, confidence %.4g, grid %llux"
+                  "%llu):\n",
+                  sk.eps, sk.confidence,
+                  static_cast<unsigned long long>(sk.width),
+                  static_cast<unsigned long long>(sk.depth));
+      std::printf(
+          "  merged:            %llu summaries, %llu bytes over %llu epochs\n",
+          static_cast<unsigned long long>(sk.merged_summaries),
+          static_cast<unsigned long long>(sk.merged_bytes),
+          static_cast<unsigned long long>(sk.epochs));
+      std::printf(
+          "  estimates:         %llu (abs error bound %.4g = eps * heaviest "
+          "epoch mass %llu)\n",
+          static_cast<unsigned long long>(sk.estimates), sk.abs_error_bound,
+          static_cast<unsigned long long>(sk.max_epoch_mass));
+      std::printf("  exact:             %s\n", sk.exact ? "yes" : "no");
+      for (const std::string& reason : sk.inexact_reasons) {
+        std::printf("    reason: %s\n", reason.c_str());
+      }
+      for (const SketchHostRow& h : sk.hosts) {
+        std::printf(
+            "  host %d: %llu updates folded into %llu summaries "
+            "(%llu bytes, %llu epochs)\n",
+            h.host, static_cast<unsigned long long>(h.updates),
+            static_cast<unsigned long long>(h.summaries),
+            static_cast<unsigned long long>(h.summary_bytes),
+            static_cast<unsigned long long>(h.epochs));
+      }
     }
     if (stats) {
       RunLedgerOptions lopts;

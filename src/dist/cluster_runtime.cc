@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "exec/sketch_op.h"
 #include "metrics/stats.h"
 #include "partition/advisor.h"
 #include "types/serde.h"
@@ -21,6 +22,21 @@ constexpr size_t kMorselTuples = 512;
 /// sequential call order.
 thread_local uint64_t tls_stage_seq = 0;
 thread_local uint32_t tls_stage_sub = 0;
+
+/// Instantiates the sketch-leg operator for a plan node annotated with a
+/// SketchRole (the optimizer keeps such nodes as kQuery so only this factory
+/// dispatches on the role). Returns nullptr for unannotated nodes.
+OperatorPtr MaybeMakeSketchInstance(const DistOperator& op) {
+  if (op.sketch_role == SketchRole::kNone) return nullptr;
+  SketchSpec spec;
+  spec.eps = op.sketch_eps;
+  spec.confidence = op.sketch_confidence;
+  spec.seed = op.sketch_seed;
+  if (op.sketch_role == SketchRole::kHost) {
+    return std::make_unique<SketchOp>(op.query, spec);
+  }
+  return std::make_unique<SketchMergeOp>(op.query, spec);
+}
 }  // namespace
 
 Result<const HostMetrics*> ClusterRunResult::CheckedHost(int host) const {
@@ -135,6 +151,7 @@ OperatorPtr ClusterRuntime::MakeInstance(int id) {
     return std::make_unique<MergeOp>(op.stream_name, op.schema,
                                      op.children.size());
   }
+  if (OperatorPtr sketch = MaybeMakeSketchInstance(op)) return sketch;
   auto made = MakeOperator(op.query, &graph_->udaf_registry());
   SP_CHECK(made.ok()) << "rebuilding operator " << id
                       << " for migration failed: " << made.status().ToString();
@@ -176,6 +193,10 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
         break;
       }
       case DistOpKind::kQuery: {
+        if (OperatorPtr sketch = MaybeMakeSketchInstance(op)) {
+          instances_[id] = std::move(sketch);
+          break;
+        }
         SP_ASSIGN_OR_RETURN(
             OperatorPtr instance,
             MakeOperator(op.query, &graph_->udaf_registry()));
@@ -1900,7 +1921,57 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
     // covered the load serializes byte-identically to a budget-free run.
     ledger.SetOverload(overload_->section());
   }
+  // SetSketch drops inactive sections, so exact plans stay byte-identical.
+  ledger.SetSketch(MakeSketchSection());
   return ledger;
+}
+
+SketchSection ClusterRuntime::MakeSketchSection() const {
+  SketchSection s;
+  for (int id : plan_->TopoOrder()) {
+    const DistOperator& op = plan_->op(id);
+    if (op.sketch_role == SketchRole::kNone || instances_[id] == nullptr) {
+      continue;
+    }
+    if (op.sketch_role == SketchRole::kHost) {
+      auto* host_op = static_cast<const SketchOp*>(instances_[id].get());
+      const SketchOp::Accounting& acc = host_op->accounting();
+      SketchHostRow row;
+      row.host = op_host_[id];
+      row.updates = acc.updates;
+      row.summaries = acc.summaries;
+      row.summary_bytes = acc.summary_bytes;
+      row.epochs = acc.epochs;
+      s.hosts.push_back(row);
+      continue;
+    }
+    // The merge op carries the plan-wide error budget: every estimate it
+    // emitted over-counts by at most eps * epoch mass, so the widest band is
+    // taken over the heaviest epoch it answered.
+    auto* merge_op = static_cast<const SketchMergeOp*>(instances_[id].get());
+    const SketchMergeOp::Accounting& acc = merge_op->accounting();
+    const SketchSpec& spec = merge_op->spec();
+    sketch::CmParams grid = spec.Grid();
+    s.active = true;
+    s.eps = spec.eps;
+    s.confidence = spec.confidence;
+    s.width = grid.width;
+    s.depth = grid.depth;
+    s.merged_summaries += acc.merged_summaries;
+    s.merged_bytes += acc.merged_bytes;
+    s.epochs += acc.epochs;
+    s.estimates += acc.estimates;
+    s.max_epoch_mass = std::max(s.max_epoch_mass, acc.max_epoch_mass);
+    s.exact = false;
+  }
+  if (s.active) {
+    s.abs_error_bound =
+        s.eps * static_cast<double>(s.max_epoch_mass);
+    s.inexact_reasons.push_back(
+        "sketch leg: COUNT/SUM answers carry an eps*N per-epoch over-count "
+        "bound (never under-count)");
+  }
+  return s;
 }
 
 OpStats ClusterRuntime::StatsForStream(const std::string& stream_name) const {

@@ -165,6 +165,11 @@ class ClusterRuntime {
   RunLedger MakeLedger(const CpuCostParams& params, double duration_sec,
                        const RunLedgerOptions& options = {}) const;
 
+  /// \brief Assembles the ledger's sketch section from the plan's sketch-role
+  /// instances (host rows from SketchOp accounting, totals and the error
+  /// budget from SketchMergeOp). Inactive when the plan has no sketch leg.
+  SketchSection MakeSketchSection() const;
+
  private:
   /// One wired edge, id-resolved (see file comment): the consuming
   /// operator's plan id plus its input port. Instances and hosts are looked

@@ -208,6 +208,42 @@ std::string OverloadSectionJson(const OverloadSection& o) {
   return out;
 }
 
+std::string SketchSectionJson(const SketchSection& s) {
+  std::string out = "{\"record\":\"sketch\"";
+  out += ",\"eps\":" + JsonDouble(s.eps);
+  out += ",\"confidence\":" + JsonDouble(s.confidence);
+  out += ",\"width\":" + std::to_string(s.width);
+  out += ",\"depth\":" + std::to_string(s.depth);
+  out += ",\"merged_summaries\":" + std::to_string(s.merged_summaries);
+  out += ",\"merged_bytes\":" + std::to_string(s.merged_bytes);
+  out += ",\"epochs\":" + std::to_string(s.epochs);
+  out += ",\"estimates\":" + std::to_string(s.estimates);
+  out += ",\"max_epoch_mass\":" + std::to_string(s.max_epoch_mass);
+  out += ",\"abs_error_bound\":" + JsonDouble(s.abs_error_bound);
+  out += std::string(",\"exact\":") + (s.exact ? "true" : "false");
+  out += ",\"inexact_reasons\":[";
+  bool first = true;
+  for (const std::string& reason : s.inexact_reasons) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonStr(reason);
+  }
+  out += "]";
+  out += ",\"hosts\":[";
+  first = true;
+  for (const SketchHostRow& row : s.hosts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"host\":" + std::to_string(row.host);
+    out += ",\"updates\":" + std::to_string(row.updates);
+    out += ",\"summaries\":" + std::to_string(row.summaries);
+    out += ",\"summary_bytes\":" + std::to_string(row.summary_bytes);
+    out += ",\"epochs\":" + std::to_string(row.epochs) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 SeriesTable::SeriesTable(std::string title, std::vector<std::string> columns)
@@ -354,6 +390,11 @@ void RunLedger::SetOverload(OverloadSection overload) {
   overload_ = std::move(overload);
 }
 
+void RunLedger::SetSketch(SketchSection sketch) {
+  if (!sketch.active) return;
+  sketch_ = std::move(sketch);
+}
+
 std::string RunLedger::ToJsonl() const {
   std::string out;
   // Record 1: run metadata.
@@ -388,6 +429,7 @@ std::string RunLedger::ToJsonl() const {
   if (faults_.active) out += FaultSectionJson(faults_) + "\n";
   if (recovery_.active) out += RecoverySectionJson(recovery_) + "\n";
   if (overload_.engaged) out += OverloadSectionJson(overload_) + "\n";
+  if (sketch_.active) out += SketchSectionJson(sketch_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
     out += ",\"tuples\":" + std::to_string(tuples) + "}\n";
@@ -472,6 +514,18 @@ std::string RunLedger::ToSummaryJson() const {
     out += std::string(",\"exact\":") + (overload_.exact ? "true" : "false");
     out += ",\"skew_repartitions\":" +
            std::to_string(overload_.skew_repartitions);
+    out += "}";
+  }
+  if (sketch_.active) {
+    out += ",\n  \"sketch\": {";
+    out += "\"eps\":" + JsonDouble(sketch_.eps);
+    out += ",\"confidence\":" + JsonDouble(sketch_.confidence);
+    out += ",\"merged_summaries\":" +
+           std::to_string(sketch_.merged_summaries);
+    out += ",\"merged_bytes\":" + std::to_string(sketch_.merged_bytes);
+    out += ",\"estimates\":" + std::to_string(sketch_.estimates);
+    out += ",\"abs_error_bound\":" + JsonDouble(sketch_.abs_error_bound);
+    out += std::string(",\"exact\":") + (sketch_.exact ? "true" : "false");
     out += "}";
   }
   if (!outputs_.empty()) {

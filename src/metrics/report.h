@@ -215,6 +215,41 @@ struct OverloadSection {
   std::vector<OverloadHostRow> hosts;  ///< budgeted hosts, id order
 };
 
+/// \brief One host's sketch-leg row: what its SketchOp folded and shipped.
+struct SketchHostRow {
+  int host = 0;
+  uint64_t updates = 0;        ///< count-min point updates applied
+  uint64_t summaries = 0;      ///< summary tuples emitted
+  uint64_t summary_bytes = 0;  ///< serialized bytes of those summaries
+  uint64_t epochs = 0;         ///< epochs closed on this host
+};
+
+/// \brief The `sketch` section of a run ledger: the error budget and
+/// accounting of the sketch execution leg (exec/sketch_op.h,
+/// docs/SKETCHES.md). Serialized only when the optimizer actually chose the
+/// sketch outcome, so exact-plan ledgers are byte-identical to runs built
+/// without the sketch machinery. Answers produced through this leg are
+/// always approximate: `exact` is false and every COUNT/SUM estimate
+/// over-counts its true value by at most eps * N_epoch with probability >=
+/// confidence (and never under-counts); abs_error_bound = eps *
+/// max_epoch_mass is the widest absolute band any emitted estimate carries.
+struct SketchSection {
+  bool active = false;  ///< a sketch leg exists in the executed plan
+  double eps = 0;
+  double confidence = 0;
+  uint64_t width = 0;  ///< count-min grid columns (ceil(e/eps))
+  uint64_t depth = 0;  ///< count-min grid rows (ceil(ln(1/(1-confidence))))
+  uint64_t merged_summaries = 0;  ///< host summaries folded at the aggregator
+  uint64_t merged_bytes = 0;      ///< serialized summary bytes received
+  uint64_t epochs = 0;            ///< epochs answered
+  uint64_t estimates = 0;         ///< approximate group rows computed
+  uint64_t max_epoch_mass = 0;    ///< largest per-epoch sketch mass
+  double abs_error_bound = 0;     ///< eps * max_epoch_mass
+  bool exact = false;             ///< always false while active
+  std::vector<std::string> inexact_reasons;
+  std::vector<SketchHostRow> hosts;  ///< sketching hosts, id order
+};
+
 /// \brief Epoch-timestamped structured record of one experiment run.
 ///
 /// Deterministic by construction: meta keys, output streams, telemetry
@@ -259,14 +294,20 @@ class RunLedger {
   /// covered-budget runs byte-identical to budget-free runs.
   void SetOverload(OverloadSection overload);
 
+  /// \brief Attaches the sketch-leg accounting. A section with
+  /// `active == false` is ignored entirely, keeping exact-plan ledgers
+  /// byte-identical to runs without the sketch machinery.
+  void SetSketch(SketchSection sketch);
+
   const std::vector<LedgerHostRow>& hosts() const { return hosts_; }
   const FaultSection& faults() const { return faults_; }
   const RecoverySection& recovery() const { return recovery_; }
   const OverloadSection& overload() const { return overload_; }
+  const SketchSection& sketch() const { return sketch_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
-  /// run, host*, operator*, event*, faults?, recovery?, overload?, output*
-  /// (docs/METRICS.md schema).
+  /// run, host*, operator*, event*, faults?, recovery?, overload?, sketch?,
+  /// output* (docs/METRICS.md schema).
   std::string ToJsonl() const;
 
   /// \brief Single JSON object: meta + per-host derived quantities +
@@ -297,6 +338,7 @@ class RunLedger {
   FaultSection faults_;        // serialized only when faults_.active
   RecoverySection recovery_;   // serialized only when recovery_.active
   OverloadSection overload_;   // serialized only when overload_.engaged
+  SketchSection sketch_;       // serialized only when sketch_.active
 };
 
 }  // namespace streampart

@@ -244,6 +244,36 @@ const StatDef kWorkerSteals = {"worker_steals", StatKind::kCounter, "drains",
                                "times a non-preferred thread claimed and "
                                "drained this host's work"};
 
+const StatDef kSketchUpdates = {"sketch_updates", StatKind::kCounter,
+                                "updates", false,
+                                "count-min point updates applied by the "
+                                "host-side sketch operator"};
+const StatDef kSketchSummaries = {"sketch_summaries", StatKind::kCounter,
+                                  "summaries", false,
+                                  "per-epoch sketch summaries emitted toward "
+                                  "the aggregator"};
+const StatDef kSketchSummaryBytes = {"sketch_summary_bytes",
+                                     StatKind::kCounter, "bytes", false,
+                                     "serialized bytes of all emitted sketch "
+                                     "summaries"};
+const StatDef kSketchEpochFlushes = {"sketch_epoch_flushes",
+                                     StatKind::kCounter, "epochs", false,
+                                     "sketch epochs closed (host: summary "
+                                     "built; aggregator: estimates emitted)"};
+const StatDef kSketchMergedSummaries = {"sketch_merged_summaries",
+                                        StatKind::kCounter, "summaries",
+                                        false,
+                                        "host summaries folded into the "
+                                        "aggregator's merged sketch"};
+const StatDef kSketchMergedBytes = {"sketch_merged_bytes", StatKind::kCounter,
+                                    "bytes", false,
+                                    "serialized summary bytes received and "
+                                    "merged at the aggregator"};
+const StatDef kSketchEstimates = {"sketch_estimates", StatKind::kCounter,
+                                  "estimates", false,
+                                  "approximate group rows answered from the "
+                                  "merged sketch"};
+
 const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
@@ -260,6 +290,9 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kBudgetOverEpochs, &kSkewMoves,
       &kSchedThreads,  &kSchedBarriers, &kSchedMorsels, &kSchedWallMs,
       &kWorkerMorsels, &kWorkerTuples, &kWorkerStagedMsgs, &kWorkerSteals,
+      &kSketchUpdates, &kSketchSummaries, &kSketchSummaryBytes,
+      &kSketchEpochFlushes, &kSketchMergedSummaries, &kSketchMergedBytes,
+      &kSketchEstimates,
   };
   return kCatalog;
 }

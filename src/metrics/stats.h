@@ -290,6 +290,20 @@ extern const StatDef kWorkerTuples;
 extern const StatDef kWorkerStagedMsgs;
 extern const StatDef kWorkerSteals;
 
+// Sketch execution leg (exec/sketch_op.h, docs/SKETCHES.md). Host-side
+// SketchOp instruments (sketch_updates, sketch_summaries,
+// sketch_summary_bytes) live in its operator scope; aggregator-side
+// SketchMergeOp instruments (sketch_merged_summaries, sketch_merged_bytes,
+// sketch_estimates) in the merge operator's scope; sketch_epoch_flushes in
+// both.
+extern const StatDef kSketchUpdates;
+extern const StatDef kSketchSummaries;
+extern const StatDef kSketchSummaryBytes;
+extern const StatDef kSketchEpochFlushes;
+extern const StatDef kSketchMergedSummaries;
+extern const StatDef kSketchMergedBytes;
+extern const StatDef kSketchEstimates;
+
 /// \brief Every StatDef above, in declaration order. The doc-lint and the
 /// run-ledger schema iterate this.
 const std::vector<const StatDef*>& EngineStatCatalog();

@@ -26,8 +26,18 @@ std::string DistOperator::Label() const {
       out = stream_name + "[part " + std::to_string(partition) + "]";
       break;
     case DistOpKind::kQuery:
-      out = std::string(QueryKindToString(query->kind)) + "(" + stream_name +
-            ")";
+      switch (sketch_role) {
+        case SketchRole::kHost:
+          out = "sketch(" + stream_name + ")";
+          break;
+        case SketchRole::kMerge:
+          out = "sketch_merge(" + stream_name + ")";
+          break;
+        case SketchRole::kNone:
+          out = std::string(QueryKindToString(query->kind)) + "(" +
+                stream_name + ")";
+          break;
+      }
       break;
     case DistOpKind::kMerge:
       out = "merge(" + stream_name + ")";

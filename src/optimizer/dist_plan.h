@@ -27,6 +27,15 @@ enum class DistOpKind : uint8_t { kSource, kQuery, kMerge };
 
 const char* DistOpKindToString(DistOpKind kind);
 
+/// \brief Role of a kQuery operator inside a sketch leg (docs/SKETCHES.md).
+/// The kind stays kQuery — only the runtime's operator factory dispatches on
+/// the role — so every other plan consumer treats sketch ops like queries.
+enum class SketchRole : uint8_t {
+  kNone = 0,
+  kHost = 1,   ///< per-host summary builder (exec SketchOp)
+  kMerge = 2,  ///< aggregator summary merge + answer (exec SketchMergeOp)
+};
+
 /// \brief One placed operator.
 struct DistOperator {
   int id = -1;
@@ -43,6 +52,13 @@ struct DistOperator {
   /// Source partition this operator's data derives from; -1 = multiple.
   int partition = -1;
   bool alive = true;
+
+  /// Sketch-leg annotation (meaningful when sketch_role != kNone): the error
+  /// budget both legs must share so host summaries merge at the aggregator.
+  SketchRole sketch_role = SketchRole::kNone;
+  double sketch_eps = 0;
+  double sketch_confidence = 0;
+  uint64_t sketch_seed = 0;
 
   std::string Label() const;
 };

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "plan/query_graph.h"
+#include "sketch/sketch.h"
 
 namespace streampart {
 
@@ -438,6 +439,148 @@ Status DistributedOptimizer::TransformPartialAggregate(DistPlan* plan,
 }
 
 // ---------------------------------------------------------------------------
+// Sketch leg (the third outcome; docs/SKETCHES.md)
+// ---------------------------------------------------------------------------
+
+bool DistributedOptimizer::SketchSupportsAggregates(const QueryNode& node) {
+  if (node.aggregates.empty()) return false;
+  for (const AggregateSpec& spec : node.aggregates) {
+    if (spec.udaf == "count") continue;
+    if (spec.udaf == "sum" && !spec.args.empty()) {
+      DataType t = spec.args[0]->result_type();
+      if (t == DataType::kUint || t == DataType::kInt ||
+          t == DataType::kBool) {
+        continue;
+      }
+    }
+    return false;  // only non-negative integer masses fold into count-min
+  }
+  return true;
+}
+
+bool DistributedOptimizer::SketchBeatsShipping(const QueryNode& node,
+                                               const Schema& in_schema,
+                                               double eps,
+                                               double confidence) const {
+  // Per host, per epoch: raw shipping moves every source tuple; the sketch
+  // leg moves one summary tuple whose payload is the count-min grids plus
+  // the encoded candidate keys.
+  const sketch::CmParams grid = sketch::CmParams::FromErrorBound(
+      eps, 1.0 - confidence, options_.sketch_seed);
+  const double grid_bytes =
+      static_cast<double>(sketch::CmSketch(grid).SerializedSize());
+  // Encoded candidate key: tag + payload per non-temporal group column, plus
+  // the length prefix (serde varints average under the 10 bytes assumed).
+  const double key_bytes =
+      4.0 + 10.0 * static_cast<double>(node.group_by.size() - 1);
+  const double summary_bytes =
+      16.0 + grid_bytes * static_cast<double>(node.aggregates.size()) +
+      key_bytes * options_.sketch_epoch_groups;
+  const double sketch_cost = options_.cycles_per_remote_tuple +
+                             summary_bytes * options_.cycles_per_remote_byte;
+
+  const double tuple_bytes = static_cast<double>(in_schema.WireTupleSize());
+  const double raw_cost =
+      options_.sketch_epoch_tuples_per_host *
+      (options_.cycles_per_remote_tuple +
+       tuple_bytes * options_.cycles_per_remote_byte);
+  return sketch_cost < raw_cost;
+}
+
+Result<bool> DistributedOptimizer::TransformSketchAggregate(DistPlan* plan,
+                                                            int q_id) {
+  // Copy: AddOp below may reallocate the op vector.
+  DistOperator q = plan->op(q_id);
+  if (q.children.size() != 1) return false;
+  int m_id = q.children[0];
+  if (!MergeIsPushable(*plan, m_id, q_id)) return false;
+  const DistOperator m_snapshot = plan->op(m_id);
+
+  const QueryNodePtr& node = q.query;
+  if (!node->temporal_group_idx.has_value()) return false;
+  if (node->inputs.size() != 1) return false;
+  if (!SketchSupportsAggregates(*node)) return false;
+
+  // The error budget: the query's own APPROX clause wins; the session-wide
+  // default covers unannotated queries when the deployment opts in.
+  const double eps = node->parsed.has_approx() ? node->parsed.approx_eps
+                                               : options_.sketch_eps;
+  if (eps <= 0) return false;
+  const double confidence = node->parsed.approx_confidence > 0
+                                ? node->parsed.approx_confidence
+                                : options_.sketch_confidence;
+  if (!SketchBeatsShipping(*node, *m_snapshot.schema, eps, confidence)) {
+    return false;
+  }
+
+  // Summary stream schema: {temporal epoch, serialized summary blob}. Must
+  // agree with exec/sketch_op.h SketchSummarySchema.
+  const NamedExpr& t = node->group_by[*node->temporal_group_idx];
+  SchemaPtr summary_schema =
+      Schema::Make({{t.name, t.type, TemporalOrder::kIncreasing},
+                    {"summary", DataType::kString, TemporalOrder::kNone}});
+
+  // Per host: local merge of the host's partitions, then one SketchOp
+  // (mirrors the partial-aggregation "Optimized" layout).
+  std::map<int, std::vector<int>> by_host;
+  for (int c : m_snapshot.children) {
+    by_host[plan->op(c).host].push_back(c);
+  }
+  std::vector<int> host_ops;
+  for (const auto& [host, children] : by_host) {
+    int input = children[0];
+    if (children.size() > 1) {
+      DistOperator local_merge;
+      local_merge.kind = DistOpKind::kMerge;
+      local_merge.stream_name = m_snapshot.stream_name;
+      local_merge.schema = m_snapshot.schema;
+      local_merge.children = children;
+      local_merge.host = host;
+      input = plan->AddOp(std::move(local_merge));
+    }
+    DistOperator host_op;
+    host_op.kind = DistOpKind::kQuery;
+    host_op.stream_name = q.stream_name + "__sketch";
+    host_op.query = node;
+    host_op.schema = summary_schema;
+    host_op.children = {input};
+    host_op.host = host;
+    host_op.partition =
+        children.size() == 1 ? plan->op(children[0]).partition : -1;
+    host_op.sketch_role = SketchRole::kHost;
+    host_op.sketch_eps = eps;
+    host_op.sketch_confidence = confidence;
+    host_op.sketch_seed = options_.sketch_seed;
+    host_ops.push_back(plan->AddOp(std::move(host_op)));
+  }
+
+  DistOperator top_merge;
+  top_merge.kind = DistOpKind::kMerge;
+  top_merge.stream_name = q.stream_name + "__sketch";
+  top_merge.schema = summary_schema;
+  top_merge.children = std::move(host_ops);
+  top_merge.host = config_.aggregator_host;
+  int tm = plan->AddOp(std::move(top_merge));
+
+  DistOperator merge_op;
+  merge_op.kind = DistOpKind::kQuery;
+  merge_op.stream_name = q.stream_name;
+  merge_op.query = node;
+  merge_op.schema = node->output_schema;
+  merge_op.children = {tm};
+  merge_op.host = config_.aggregator_host;
+  merge_op.sketch_role = SketchRole::kMerge;
+  merge_op.sketch_eps = eps;
+  merge_op.sketch_confidence = confidence;
+  merge_op.sketch_seed = options_.sketch_seed;
+  int merge_id = plan->AddOp(std::move(merge_op));
+
+  plan->ReplaceOp(q_id, merge_id);
+  plan->Kill(m_id);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -465,9 +608,18 @@ Result<DistPlan> DistributedOptimizer::Run() {
       } else {
         SP_RETURN_NOT_OK(TransformCompatibleUnary(&plan, id));
       }
-    } else if (node->kind == QueryKind::kAggregate &&
-               options_.partial_agg != OptimizerOptions::PartialAggMode::kNone) {
-      SP_RETURN_NOT_OK(TransformPartialAggregate(&plan, id));
+    } else if (node->kind == QueryKind::kAggregate) {
+      // Incompatible aggregate: the sketch leg is the cheapest outcome when
+      // the query tolerates bounded error and the cost model favors summary
+      // shipping; otherwise fall back to exact partial aggregation.
+      bool sketched = false;
+      if (options_.enable_sketch) {
+        SP_ASSIGN_OR_RETURN(sketched, TransformSketchAggregate(&plan, id));
+      }
+      if (!sketched &&
+          options_.partial_agg != OptimizerOptions::PartialAggMode::kNone) {
+        SP_RETURN_NOT_OK(TransformPartialAggregate(&plan, id));
+      }
     }
   }
   return plan;

@@ -44,6 +44,28 @@ struct OptimizerOptions {
     kPerHost,       ///< per host over a local merge ("Optimized", Fig 5)
   };
   PartialAggMode partial_agg = PartialAggMode::kNone;
+
+  /// Sketch leg — the third outcome (docs/SKETCHES.md). When the compatible
+  /// rules fail on a windowed COUNT/SUM aggregate that tolerates bounded
+  /// error (an APPROX annotation, or `sketch_eps` as a session-wide budget),
+  /// and the estimated per-epoch summary bytes beat raw-tuple shipping under
+  /// the cycle/network weights below, the aggregate is degraded to per-host
+  /// sketch summaries merged at the aggregator.
+  bool enable_sketch = true;
+  /// Session-wide relative error budget for unannotated queries; 0 restricts
+  /// the rule to queries carrying their own APPROX clause.
+  double sketch_eps = 0;
+  /// Default bound confidence when the APPROX clause omits CONFIDENCE.
+  double sketch_confidence = 0.99;
+  uint64_t sketch_seed = 0x5eedc0de;
+  /// Cost-model inputs for the sketch-vs-ship comparison: expected source
+  /// tuples per host per epoch and expected distinct groups per epoch.
+  double sketch_epoch_tuples_per_host = 4096;
+  double sketch_epoch_groups = 256;
+  /// Network weights, mirroring the metrics cost model's defaults (carried
+  /// here as plain numbers so the optimizer does not depend on sp_metrics).
+  double cycles_per_remote_tuple = 120000;
+  double cycles_per_remote_byte = 100;
 };
 
 /// \brief Builds the partition-agnostic plan of §5.1 / Figure 3: all
@@ -67,6 +89,18 @@ class DistributedOptimizer {
   Status TransformCompatibleUnary(DistPlan* plan, int q_id);
   Status TransformCompatibleJoin(DistPlan* plan, int q_id);
   Status TransformPartialAggregate(DistPlan* plan, int q_id);
+  /// The third outcome: degrades an incompatible windowed COUNT/SUM
+  /// aggregate to per-host sketch summaries when the query tolerates bounded
+  /// error and the cost model favors summary shipping. Returns true when the
+  /// plan was transformed (the partial-aggregation fallback then skips).
+  Result<bool> TransformSketchAggregate(DistPlan* plan, int q_id);
+  /// Eligibility half of the sketch rule: every aggregate slot is a COUNT or
+  /// an integer SUM (the masses a count-min sketch can carry).
+  static bool SketchSupportsAggregates(const QueryNode& node);
+  /// Costing half: estimated per-host per-epoch summary cost vs raw-tuple
+  /// shipping under the options' cycle/byte weights.
+  bool SketchBeatsShipping(const QueryNode& node, const Schema& in_schema,
+                           double eps, double confidence) const;
 
   /// True when merge \p m_id has only per-partition children and \p q_id as
   /// its only consumer.

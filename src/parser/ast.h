@@ -59,8 +59,18 @@ struct ParsedQuery {
   std::vector<SelectItem> group_by;
   ExprPtr having;              // may be null
 
+  /// APPROX clause: the query tolerates bounded-error answers. `approx_eps`
+  /// is the relative error budget (0 = exact answers required);
+  /// `approx_confidence` the success probability of the bound (defaulted by
+  /// the optimizer when the clause omits CONFIDENCE). The §5 optimizer may
+  /// only choose the sketch leg (docs/SKETCHES.md) for annotated queries or
+  /// under an explicit session-wide tolerance.
+  double approx_eps = 0;
+  double approx_confidence = 0;
+
   bool is_join() const { return from.size() == 2; }
   bool has_group_by() const { return !group_by.empty(); }
+  bool has_approx() const { return approx_eps > 0; }
 
   /// \brief Round-trippable GSQL rendering (canonical formatting).
   std::string ToString() const;

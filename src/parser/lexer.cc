@@ -38,6 +38,7 @@ bool IsGsqlKeyword(const std::string& word) {
       "SELECT", "FROM", "WHERE", "GROUP", "BY",  "HAVING", "AS",
       "JOIN",   "LEFT", "RIGHT", "FULL",  "OUTER", "INNER", "ON",
       "AND",    "OR",   "NOT",   "TRUE",  "FALSE", "NULL",
+      "APPROX", "CONFIDENCE",
   };
   return kKeywords.count(ToUpper(word)) > 0;
 }

@@ -1,5 +1,7 @@
 #include "parser/parser.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 #include "parser/lexer.h"
 
@@ -54,6 +56,15 @@ std::string ParsedQuery::ToString() const {
     }
   }
   if (having) out += " HAVING " + having->ToString();
+  if (approx_eps > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " APPROX %.12g", approx_eps);
+    out += buf;
+    if (approx_confidence > 0) {
+      std::snprintf(buf, sizeof(buf), " CONFIDENCE %.12g", approx_confidence);
+      out += buf;
+    }
+  }
   return out;
 }
 
@@ -82,6 +93,22 @@ class Parser {
     }
     if (AcceptKeyword("HAVING")) {
       SP_ASSIGN_OR_RETURN(q.having, ParseExpr());
+    }
+    if (AcceptKeyword("APPROX")) {
+      SP_ASSIGN_OR_RETURN(q.approx_eps, ParseNumberLiteral("APPROX"));
+      if (q.approx_eps <= 0 || q.approx_eps >= 1) {
+        return Status::ParseError("APPROX tolerance must lie in (0, 1), got ",
+                                  q.approx_eps);
+      }
+      if (AcceptKeyword("CONFIDENCE")) {
+        SP_ASSIGN_OR_RETURN(q.approx_confidence,
+                            ParseNumberLiteral("CONFIDENCE"));
+        if (q.approx_confidence <= 0 || q.approx_confidence >= 1) {
+          return Status::ParseError(
+              "APPROX ... CONFIDENCE must lie in (0, 1), got ",
+              q.approx_confidence);
+        }
+      }
     }
     if (!Peek().is(TokenKind::kEof)) {
       return ErrorHere("unexpected trailing input");
@@ -134,6 +161,20 @@ class Parser {
   Status ErrorHere(const std::string& msg) const {
     return Status::ParseError(msg, ": found ", Peek().Describe(), " at line ",
                               Peek().line);
+  }
+
+  /// Numeric literal of the APPROX clause (int or float token).
+  Result<double> ParseNumberLiteral(const char* clause) {
+    const Token& t = Peek();
+    if (t.is(TokenKind::kFloatLiteral)) {
+      Advance();
+      return t.float_value;
+    }
+    if (t.is(TokenKind::kIntLiteral)) {
+      Advance();
+      return static_cast<double>(t.int_value);
+    }
+    return ErrorHere(std::string("expected numeric literal after ") + clause);
   }
 
   Result<std::vector<SelectItem>> ParseItemList() {

@@ -1,0 +1,337 @@
+#pragma once
+
+/// \file sketch.h
+/// \brief Mergeable bounded-error stream summaries (the third partitioning
+/// outcome's data structures).
+///
+/// When the §5 optimizer can neither find a compatible partition set nor
+/// afford raw-tuple shipping, it degrades the query to a *sketch leg*: every
+/// host folds its local share of the stream into a small summary, ships the
+/// summary instead of tuples, and the aggregator merges the summaries into a
+/// bounded-error answer (docs/SKETCHES.md). This library holds the summaries
+/// themselves, engine-independent: keys are raw bytes, timestamps are plain
+/// integers, and nothing here knows about tuples or plans.
+///
+/// Layers, bottom up:
+///
+///  * CmSketch — count-min sketch (Cormode–Muthukrishnan). Point estimates
+///    over-count by at most eps * total with probability >= 1 - delta, where
+///    eps = e / width and delta = exp(-depth). Merging is cell-wise addition:
+///    exact, commutative and associative.
+///  * EhCell — exponential histogram (Datar et al.) for sliding-window
+///    counts: EstimateSince(t) carries relative error <= 1 / (k - 1) against
+///    the true count of items with timestamp >= t. Merging concatenates the
+///    canonical bucket lists and recompresses deterministically.
+///  * EcmSketch — the ECM composition (Papapetrou et al.): a count-min grid
+///    whose cells are exponential histograms, giving per-key sliding-window
+///    estimates with both error sources combined.
+///  * HeavyHitterSketch — CmSketch plus a bounded candidate-key set; reports
+///    every key whose estimated frequency clears a phi threshold.
+///  * QuantileSketch — dyadic decomposition over a power-of-two value
+///    universe with one CmSketch per level; answers rank and quantile
+///    queries with error eps * total over log2(universe) levels.
+///
+/// All hashing is seeded and deterministic (common/hash.h Mix64 family): two
+/// sketches built with the same parameters on different hosts are mergeable,
+/// and serialization round-trips byte-identically — the property the
+/// distributed runtime's checkpoint and ledger determinism contracts rely
+/// on.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace streampart {
+namespace sketch {
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width encoding helpers (shared by every sketch's
+// serialized form; byte-order independent).
+// ---------------------------------------------------------------------------
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutBytes(std::string* out, std::string_view bytes);
+Status GetU32(std::string_view data, size_t* offset, uint32_t* v);
+Status GetU64(std::string_view data, size_t* offset, uint64_t* v);
+Status GetBytes(std::string_view data, size_t* offset, std::string* out);
+
+// ---------------------------------------------------------------------------
+// Count-min sketch
+// ---------------------------------------------------------------------------
+
+/// \brief Dimensions and hash seed of a count-min grid. Two sketches are
+/// mergeable iff their params compare equal.
+struct CmParams {
+  uint32_t width = 0;
+  uint32_t depth = 0;
+  uint64_t seed = 0;
+
+  /// \brief Smallest grid guaranteeing over-count <= eps * total with
+  /// probability >= 1 - delta: width = ceil(e / eps), depth = ceil(ln(1/delta)).
+  static CmParams FromErrorBound(double eps, double delta, uint64_t seed);
+
+  /// \brief The eps this grid guarantees (e / width); 0 when unsized.
+  double eps() const;
+  /// \brief The failure probability this grid guarantees (exp(-depth)).
+  double delta() const;
+
+  friend bool operator==(const CmParams&, const CmParams&) = default;
+};
+
+/// \brief Count-min sketch over 64-bit key hashes.
+///
+/// Estimates never under-count; the over-count is bounded by eps() * total()
+/// with probability >= 1 - delta(). Merge is cell-wise addition, so merged
+/// estimates carry the bound against the merged total.
+class CmSketch {
+ public:
+  CmSketch() = default;
+  explicit CmSketch(CmParams params);
+
+  void Update(uint64_t key_hash, uint64_t delta);
+  /// \brief Conservative update (Estan–Varghese): raises each row cell only
+  /// to Estimate() + delta instead of adding delta everywhere. Estimates
+  /// still never under-count — per row, cell >= the key's true mass is an
+  /// invariant Update and UpdateConservative both maintain — and cells are
+  /// pointwise <= the linear update's, so the eps/delta bound only tightens.
+  /// Cell-wise-addition Merge remains sound across conservatively-updated
+  /// sketches. The tradeoff: cell values become order-dependent, so only the
+  /// linear Update keeps serialize-level merge associativity.
+  void UpdateConservative(uint64_t key_hash, uint64_t delta);
+  uint64_t Estimate(uint64_t key_hash) const;
+
+  /// \brief Total mass folded in (sum of all Update deltas).
+  uint64_t total() const { return total_; }
+  const CmParams& params() const { return params_; }
+
+  /// \brief Cell-wise addition; fails unless params match.
+  Status Merge(const CmSketch& other);
+
+  void Serialize(std::string* out) const;
+  static Result<CmSketch> Deserialize(std::string_view data, size_t* offset);
+  /// \brief Exact byte size Serialize() appends.
+  size_t SerializedSize() const;
+
+  friend bool operator==(const CmSketch&, const CmSketch&) = default;
+
+ private:
+  size_t Cell(uint32_t row, uint64_t key_hash) const;
+
+  CmParams params_;
+  std::vector<uint64_t> cells_;
+  uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Exponential histogram
+// ---------------------------------------------------------------------------
+
+/// \brief Exponential histogram over timestamped unit counts.
+///
+/// Keeps at most \p k buckets per power-of-two size class; when a class
+/// overflows, its two oldest buckets merge (canonical compression, applied
+/// identically after Add and Merge, so the structure is a deterministic
+/// function of the multiset of inserted (timestamp, count) pairs — which
+/// makes Merge commutative). EstimateSince() answers "how many items carry
+/// timestamp >= t" with relative error <= 1 / (k - 1); total() is exact.
+class EhCell {
+ public:
+  EhCell() = default;
+  explicit EhCell(uint32_t k);
+
+  /// \brief Smallest per-class capacity guaranteeing relative error <= eps.
+  static uint32_t CapacityForError(double eps);
+
+  /// \brief Folds \p count items at time \p ts. Timestamps may arrive in any
+  /// order (merged summaries interleave hosts).
+  void Add(uint64_t ts, uint64_t count = 1);
+
+  uint64_t total() const { return total_; }
+  uint32_t k() const { return k_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// \brief Estimated count of items with timestamp >= \p since_ts.
+  uint64_t EstimateSince(uint64_t since_ts) const;
+
+  /// \brief Concatenates bucket lists and recompresses canonically; requires
+  /// equal k (checked by the callers that own parameterized grids).
+  void Merge(const EhCell& other);
+
+  void Serialize(std::string* out) const;
+  static Result<EhCell> Deserialize(std::string_view data, size_t* offset);
+
+  friend bool operator==(const EhCell&, const EhCell&) = default;
+
+ private:
+  struct Bucket {
+    uint64_t ts = 0;    ///< newest item timestamp in the bucket
+    uint64_t size = 0;  ///< items folded into the bucket
+    friend bool operator==(const Bucket&, const Bucket&) = default;
+  };
+
+  void Compress();
+
+  uint32_t k_ = 0;
+  std::vector<Bucket> buckets_;  ///< oldest first, canonical order
+  uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ECM sketch: count-min of exponential histograms
+// ---------------------------------------------------------------------------
+
+/// \brief Parameters of an ECM sketch: the count-min grid plus the per-cell
+/// exponential-histogram capacity.
+struct EcmParams {
+  CmParams cm;
+  uint32_t eh_k = 0;
+
+  /// \brief Grid for over-count eps_cm/delta plus window error eps_window.
+  static EcmParams FromErrorBound(double eps_cm, double delta,
+                                  double eps_window, uint64_t seed);
+
+  friend bool operator==(const EcmParams&, const EcmParams&) = default;
+};
+
+/// \brief Sliding-window count-min: each grid cell is an exponential
+/// histogram, so per-key estimates are available for any suffix window.
+/// The combined guarantee stacks both error sources: the count-min
+/// over-count (<= eps_cm * window total, probability 1 - delta) and the
+/// per-cell window approximation (relative 1 / (eh_k - 1)).
+class EcmSketch {
+ public:
+  EcmSketch() = default;
+  explicit EcmSketch(EcmParams params);
+
+  void Update(uint64_t key_hash, uint64_t ts, uint64_t count = 1);
+
+  /// \brief Estimated occurrences of \p key_hash with timestamp >= since_ts.
+  uint64_t EstimateSince(uint64_t key_hash, uint64_t since_ts) const;
+  /// \brief Estimated stream mass with timestamp >= since_ts (for bounds).
+  uint64_t TotalSince(uint64_t since_ts) const;
+
+  uint64_t total() const { return total_; }
+  const EcmParams& params() const { return params_; }
+
+  Status Merge(const EcmSketch& other);
+
+  void Serialize(std::string* out) const;
+  static Result<EcmSketch> Deserialize(std::string_view data, size_t* offset);
+
+  friend bool operator==(const EcmSketch&, const EcmSketch&) = default;
+
+ private:
+  size_t Cell(uint32_t row, uint64_t key_hash) const;
+
+  EcmParams params_;
+  std::vector<EhCell> cells_;
+  EhCell stream_;  ///< whole-stream histogram backing TotalSince
+  uint64_t total_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Heavy hitters
+// ---------------------------------------------------------------------------
+
+/// \brief Count-min sketch plus a bounded candidate-key set.
+///
+/// Every updated key joins the candidate set (evicting the smallest-estimate
+/// candidate once \p max_candidates is exceeded), so with enough room every
+/// true heavy hitter is reportable. HeavyHitters(phi) returns the candidates
+/// whose estimate clears phi * total(), largest first — over-counting means
+/// false positives are possible within the eps band but false negatives are
+/// not (for keys still in the candidate set).
+class HeavyHitterSketch {
+ public:
+  HeavyHitterSketch() = default;
+  HeavyHitterSketch(CmParams params, size_t max_candidates);
+
+  void Update(std::string_view key, uint64_t delta = 1);
+
+  struct Hitter {
+    std::string key;
+    uint64_t estimate = 0;
+    friend bool operator==(const Hitter&, const Hitter&) = default;
+  };
+  /// \brief Candidates with estimate >= phi * total(), sorted by estimate
+  /// descending then key ascending (deterministic).
+  std::vector<Hitter> HeavyHitters(double phi) const;
+
+  uint64_t total() const { return cm_.total(); }
+  const CmSketch& cm() const { return cm_; }
+  size_t num_candidates() const { return candidates_.size(); }
+
+  /// \brief Merges grids and unions candidate sets (then re-prunes).
+  Status Merge(const HeavyHitterSketch& other);
+
+  void Serialize(std::string* out) const;
+  static Result<HeavyHitterSketch> Deserialize(std::string_view data,
+                                               size_t* offset);
+
+  friend bool operator==(const HeavyHitterSketch&,
+                         const HeavyHitterSketch&) = default;
+
+ private:
+  void Prune();
+
+  CmSketch cm_;
+  uint64_t max_candidates_ = 0;
+  /// Candidate keys; estimates are recomputed from cm_ on demand, the map
+  /// only pins which keys are reportable.
+  std::map<std::string, bool> candidates_;
+};
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+/// \brief Dyadic count-min quantile sketch over [0, 2^log_universe).
+///
+/// One CmSketch per dyadic level; ranks decompose into at most
+/// log_universe node lookups, so rank estimates carry additive error
+/// log_universe * eps_level * total with high probability. Quantile(phi)
+/// descends the implicit dyadic tree greedily.
+class QuantileSketch {
+ public:
+  QuantileSketch() = default;
+  QuantileSketch(CmParams per_level, uint32_t log_universe);
+
+  /// \brief Grid sized so the *total* rank error is <= eps * total().
+  static QuantileSketch FromErrorBound(double eps, double delta,
+                                       uint32_t log_universe, uint64_t seed);
+
+  void Update(uint64_t value, uint64_t count = 1);
+
+  /// \brief Estimated number of items with value < \p value.
+  uint64_t EstimateRank(uint64_t value) const;
+  /// \brief Smallest value whose estimated rank reaches phi * total().
+  uint64_t Quantile(double phi) const;
+
+  uint64_t total() const { return total_; }
+  uint32_t log_universe() const { return log_universe_; }
+
+  Status Merge(const QuantileSketch& other);
+
+  void Serialize(std::string* out) const;
+  static Result<QuantileSketch> Deserialize(std::string_view data,
+                                            size_t* offset);
+
+  friend bool operator==(const QuantileSketch&,
+                         const QuantileSketch&) = default;
+
+ private:
+  uint64_t NodeHash(uint32_t level, uint64_t node) const;
+
+  uint32_t log_universe_ = 0;
+  std::vector<CmSketch> levels_;  ///< levels_[l] counts value >> l prefixes
+  uint64_t total_ = 0;
+};
+
+}  // namespace sketch
+}  // namespace streampart

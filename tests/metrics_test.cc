@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -385,6 +386,49 @@ TEST(StatsDocTest, EveryCatalogInstrumentDocumented) {
         << "' is missing from docs/METRICS.md — document it (name in "
            "backticks) or remove it from the catalog";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Doc lint: every local markdown link in docs/ and the README must resolve.
+// ---------------------------------------------------------------------------
+
+TEST(DocsLinkTest, EveryLocalMarkdownLinkResolves) {
+  namespace fs = std::filesystem;
+  const fs::path root(SP_SOURCE_DIR);
+  std::vector<fs::path> sources = {root / "README.md"};
+  for (const auto& entry : fs::directory_iterator(root / "docs")) {
+    if (entry.path().extension() == ".md") sources.push_back(entry.path());
+  }
+  ASSERT_GT(sources.size(), 1u) << "no docs/*.md found under " << root;
+
+  size_t links_checked = 0;
+  for (const fs::path& source : sources) {
+    std::ifstream file(source);
+    ASSERT_TRUE(file.good()) << "cannot read " << source;
+    std::stringstream buf;
+    buf << file.rdbuf();
+    const std::string text = buf.str();
+    // Markdown links: [label](target). External URLs and pure in-page
+    // anchors are skipped; everything else must name an existing file
+    // relative to the linking document.
+    for (size_t pos = text.find("]("); pos != std::string::npos;
+         pos = text.find("](", pos + 2)) {
+      size_t end = text.find(')', pos + 2);
+      if (end == std::string::npos) break;
+      std::string target = text.substr(pos + 2, end - pos - 2);
+      if (target.empty() || target[0] == '#' ||
+          target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0) {
+        continue;
+      }
+      size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target = target.substr(0, anchor);
+      EXPECT_TRUE(fs::exists(source.parent_path() / target))
+          << source.filename().string() << " links to '" << target
+          << "' which does not exist relative to " << source.parent_path();
+      ++links_checked;
+    }
+  }
+  EXPECT_GT(links_checked, 0u) << "link lint matched no links at all";
 }
 
 }  // namespace
