@@ -1,21 +1,29 @@
 /// \file micro_engine.cc
-/// \brief Engine-level microbenchmark of the vectorized execution path.
+/// \brief Engine-level microbenchmark of the vectorized execution paths.
 ///
-/// Times the §6.1 suspicious-flows workload through the local engine twice —
-/// tuple-at-a-time (the reference path, semantically the pre-vectorization
-/// engine) and batched (PushSourceBatch + packed group keys) — then checks
-/// that the batched cluster path leaves every accounted ClusterRunResult
-/// metric identical to the per-tuple path. Results go to stdout and to
-/// BENCH_engine.json (wall-clock, tuples/sec, speedup, metric identity);
-/// EXPERIMENTS.md quotes the numbers.
+/// Times the §6.1 suspicious-flows workload through the local engine three
+/// ways — tuple-at-a-time (the reference path, semantically the
+/// pre-vectorization engine), batched (PushSourceBatch + packed group keys),
+/// and columnar (PushSourceColumns over pre-transposed ColumnBatches) — plus
+/// a CNF-filter workload where the columnar clause kernels carry the run,
+/// then checks that the batched cluster path leaves every accounted
+/// ClusterRunResult metric identical to the per-tuple path. Results go to
+/// stdout and to BENCH_engine.json (wall-clock, tuples/sec, speedups, metric
+/// identity); EXPERIMENTS.md quotes the numbers.
+///
+/// With --gate-speedup the exit code additionally gates the columnar filter
+/// kernels: columnar tuples/sec must be >= 2.5x the row-batch path on the
+/// filter workload (the CI regression bar for the columnar path).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/figlib.h"
+#include "exec/column_batch.h"
 #include "exec/local_engine.h"
 #include "trace/trace_gen.h"
 
@@ -40,6 +48,49 @@ double TimedEngineRun(const QueryGraph& graph, const TupleBatch& trace,
       engine.PushSourceBatch(
           "TCP", all.subspan(off, std::min(batch_size, all.size() - off)));
     }
+  }
+  engine.FinishSources();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// The trace pre-transposed into fixed-size ColumnBatches: the columnar
+/// series models a capture source that already delivers columns (decoded
+/// DMA rings), so the transpose happens once, untimed — symmetric with the
+/// row-batch series, whose TupleSpans alias the resident trace for free.
+struct ColumnarTrace {
+  std::vector<ColumnBatch> batches;
+  SelectionVector full_sel;  // identity over batch_size rows
+  SelectionVector tail_sel;  // identity over the last (short) batch
+};
+
+ColumnarTrace TransposeTrace(const TupleBatch& trace, size_t batch_size) {
+  ColumnarTrace ct;
+  TupleSpan all(trace);
+  for (size_t off = 0; off < all.size(); off += batch_size) {
+    TupleSpan chunk = all.subspan(off, std::min(batch_size, all.size() - off));
+    ColumnBatch batch;
+    SP_CHECK(batch.FromTuples(chunk)) << "trace must be columnar-representable";
+    ct.batches.push_back(std::move(batch));
+  }
+  IdentitySelection(std::min(batch_size, all.size()), &ct.full_sel);
+  if (!ct.batches.empty()) {
+    IdentitySelection(ct.batches.back().rows(), &ct.tail_sel);
+  }
+  return ct;
+}
+
+/// One timed columnar engine run over pre-transposed batches.
+double TimedColumnarRun(const QueryGraph& graph, const ColumnarTrace& ct,
+                        const LocalEngine::Options& options) {
+  LocalEngine engine(&graph, options);
+  Status st = engine.Build();
+  SP_CHECK(st.ok()) << st.ToString();
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < ct.batches.size(); ++i) {
+    const SelectionVector& sel =
+        i + 1 == ct.batches.size() ? ct.tail_sel : ct.full_sel;
+    engine.PushSourceColumns("TCP", ct.batches[i], sel);
   }
   engine.FinishSources();
   auto end = std::chrono::steady_clock::now();
@@ -71,6 +122,20 @@ RepTimes TimeReps(const QueryGraph& graph, const TupleBatch& trace,
   times.reserve(reps);
   for (int r = 0; r < reps; ++r) {
     times.push_back(TimedEngineRun(graph, trace, batch_size, options));
+  }
+  RepTimes t;
+  t.best = *std::min_element(times.begin(), times.end());
+  t.median = MedianOf(times);
+  return t;
+}
+
+RepTimes TimeColumnarReps(const QueryGraph& graph, const ColumnarTrace& ct,
+                          int reps, const LocalEngine::Options& options) {
+  TimedColumnarRun(graph, ct, options);  // per-config warm-up
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    times.push_back(TimedColumnarRun(graph, ct, options));
   }
   RepTimes t;
   t.best = *std::min_element(times.begin(), times.end());
@@ -128,13 +193,24 @@ IdentityCheck ClusterMetricsIdentical(ExperimentRunner* runner,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool gate_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate-speedup") == 0) {
+      gate_speedup = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--gate-speedup]\n", argv[0]);
+      return 2;
+    }
+  }
+
   BenchSetup setup = MakeSimpleAggSetup();
   TraceConfig tc = SimpleAggTrace();
   PacketTraceGenerator gen(tc);
   TupleBatch trace = gen.GenerateAll();
   constexpr int kReps = 3;
   constexpr size_t kBatch = kDefaultSourceBatch;
+  ColumnarTrace col_trace = TransposeTrace(trace, kBatch);
 
   std::printf("Engine micro-benchmark: §6.1 suspicious-flows workload\n");
   PrintTraceNote(tc);
@@ -157,14 +233,19 @@ int main() {
   RepTimes batched_det =
       TimeReps(*setup.graph, trace, kBatch, kReps, seed_opts);
   RepTimes batched = TimeReps(*setup.graph, trace, kBatch, kReps, fast_opts);
+  RepTimes columnar =
+      TimeColumnarReps(*setup.graph, col_trace, kReps, fast_opts);
   double per_tuple_s = per_tuple.best;
   double batched_det_s = batched_det.best;
   double batched_s = batched.best;
+  double columnar_s = columnar.best;
   double n = static_cast<double>(trace.size());
   double per_tuple_tps = n / per_tuple_s;
   double batched_det_tps = n / batched_det_s;
   double batched_tps = n / batched_s;
+  double columnar_tps = n / columnar_s;
   double speedup = per_tuple_s / batched_s;
+  double col_agg_speedup = batched_s / columnar_s;
 
   std::printf("%-34s %12s %12s %14s\n", "path", "min (s)", "median (s)",
               "tuples/sec");
@@ -176,8 +257,45 @@ int main() {
   std::printf("%-34s %12.3f %12.3f %14.0f\n",
               ("batched (" + std::to_string(kBatch) + ")").c_str(), batched_s,
               batched.median, batched_tps);
-  std::printf("speedup: %.2fx (min of %d warmed reps, %zu tuples)\n\n",
-              speedup, kReps, trace.size());
+  std::printf("%-34s %12.3f %12.3f %14.0f\n",
+              ("columnar (" + std::to_string(kBatch) + ")").c_str(),
+              columnar_s, columnar.median, columnar_tps);
+  std::printf(
+      "speedup: %.2fx batched vs seed, %.2fx columnar vs batched "
+      "(min of %d warmed reps, %zu tuples)\n\n",
+      speedup, col_agg_speedup, kReps, trace.size());
+
+  // The CNF-filter workload: selection/projection with a three-clause WHERE,
+  // where the columnar clause kernels (cost-ordered, selection-vector
+  // compaction) do all the work. This is the workload the columnar gate
+  // measures — aggregation above is hash-table bound in every mode, filters
+  // are where column-at-a-time execution pays.
+  Catalog filter_catalog = MakeDefaultCatalog();
+  QueryGraph filter_graph(&filter_catalog);
+  {
+    Status st = filter_graph.AddQuery(
+        "big_web",
+        "SELECT time, srcIP, destIP, len FROM TCP "
+        "WHERE destPort = 80 and len > 1000 and (flags & 8) = 8");
+    SP_CHECK(st.ok()) << st.ToString();
+  }
+  TimedEngineRun(filter_graph, trace, kBatch, fast_opts);  // warm-up
+  RepTimes filter_batched =
+      TimeReps(filter_graph, trace, kBatch, kReps, fast_opts);
+  RepTimes filter_columnar =
+      TimeColumnarReps(filter_graph, col_trace, kReps, fast_opts);
+  double filter_batched_s = filter_batched.best;
+  double filter_columnar_s = filter_columnar.best;
+  double filter_batched_tps = n / filter_batched_s;
+  double filter_columnar_tps = n / filter_columnar_s;
+  double filter_speedup = filter_batched_s / filter_columnar_s;
+  std::printf("CNF-filter workload (three-clause WHERE, same trace):\n");
+  std::printf("%-34s %12.3f %12.3f %14.0f\n", "batched", filter_batched_s,
+              filter_batched.median, filter_batched_tps);
+  std::printf("%-34s %12.3f %12.3f %14.0f\n", "columnar", filter_columnar_s,
+              filter_columnar.median, filter_columnar_tps);
+  std::printf("columnar vs batched: %.2fx (gate: >= 2.5x)\n\n",
+              filter_speedup);
 
   // Telemetry overhead on the batched path: no registry at all, a
   // bound-but-disabled registry (the zero-cost claim of metrics/stats.h),
@@ -264,7 +382,20 @@ int main() {
       "%.4f, \"tuples_per_sec\": %.0f},\n"
       "  \"batched\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
       "\"tuples_per_sec\": %.0f},\n"
+      "  \"columnar\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
+      "\"tuples_per_sec\": %.0f},\n"
       "  \"speedup\": %.3f,\n"
+      "  \"columnar_speedup_vs_batched\": %.3f,\n"
+      "  \"filter_workload\": {\n"
+      "    \"query\": \"big_web cnf3\",\n"
+      "    \"batched\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
+      "\"tuples_per_sec\": %.0f},\n"
+      "    \"columnar\": {\"wall_s\": %.4f, \"wall_s_median\": %.4f, "
+      "\"tuples_per_sec\": %.0f},\n"
+      "    \"columnar_speedup_vs_batched\": %.3f,\n"
+      "    \"gate_threshold\": 2.5,\n"
+      "    \"gate_pass\": %s\n"
+      "  },\n"
       "  \"telemetry\": {\n"
       "    \"compiled_in\": %s,\n"
       "    \"trace_tuples\": %zu,\n"
@@ -277,7 +408,11 @@ int main() {
       "}\n",
       trace.size(), kBatch, kReps, per_tuple_s, per_tuple.median,
       per_tuple_tps, batched_det_s, batched_det.median, batched_det_tps,
-      batched_s, batched.median, batched_tps, speedup,
+      batched_s, batched.median, batched_tps, columnar_s, columnar.median,
+      columnar_tps, speedup, col_agg_speedup, filter_batched_s,
+      filter_batched.median, filter_batched_tps, filter_columnar_s,
+      filter_columnar.median, filter_columnar_tps, filter_speedup,
+      filter_speedup >= 2.5 ? "true" : "false",
       StatsRegistry::kCompiledIn ? "true" : "false", tel_trace.size(),
       tel_off_s, tel_off_overhead_pct, tel_on_s, tel_on_overhead_pct,
       tel_off_overhead_pct < 2.0 ? "true" : "false",
@@ -285,5 +420,11 @@ int main() {
       ledger_identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
-  return metrics_identical && ledger_identical ? 0 : 1;
+  if (!(metrics_identical && ledger_identical)) return 1;
+  if (gate_speedup && filter_speedup < 2.5) {
+    std::printf("GATE FAILED: columnar %.2fx < 2.5x over batched on the "
+                "filter workload\n", filter_speedup);
+    return 1;
+  }
+  return 0;
 }

@@ -10,7 +10,8 @@
 ///
 /// Usage:
 ///   streampart_cli <workload-file> [--hosts N] [--ps "srcIP, destIP"]
-///                  [--run SECONDS] [--threads N] [--tcp-splitter]
+///                  [--run SECONDS] [--threads N] [--exec-mode MODE]
+///                  [--tcp-splitter]
 ///                  [--stats[=PATH]] [--trace-events[=PATH]]
 ///                  [--fault-plan FILE] [--recover]
 ///                  [--checkpoint-interval N] [--epoch-width N]
@@ -132,6 +133,12 @@ void PrintUsage(FILE* out, const char* prog) {
       "                        scheduler, docs/THREADING.md); the results "
       "and the\n"
       "                        run ledger are byte-identical to --threads 1\n"
+      "  --exec-mode MODE      delivery path of the batched route: tuple, "
+      "batch\n"
+      "                        (default), or columnar "
+      "(docs/ARCHITECTURE.md);\n"
+      "                        outputs and the run ledger are byte-identical\n"
+      "                        across all three modes\n"
       "  --stats[=PATH]        print the summary ledger JSON, or write the "
       "full\n"
       "                        JSONL run ledger to PATH\n"
@@ -205,6 +212,7 @@ int main(int argc, char** argv) {
   uint64_t checkpoint_interval = 0;
   uint64_t epoch_width = 0;
   uint64_t threads = 1;
+  ExecMode exec_mode = ExecMode::kBatch;
   double sketch_eps = 0;
   double sketch_confidence = 0;
   bool no_sketch = false;
@@ -220,6 +228,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "--threads expects a positive integer (worker thread "
                      "count; 1 = single-threaded), got '%s'\n",
+                     value == nullptr ? "" : value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--exec-mode") == 0 ||
+               std::strncmp(argv[i], "--exec-mode=", 12) == 0) {
+      const char* value = argv[i][11] == '=' ? argv[i] + 12
+                          : i + 1 < argc     ? argv[++i]
+                                             : nullptr;
+      if (value == nullptr || !ParseExecMode(value, &exec_mode)) {
+        std::fprintf(stderr,
+                     "--exec-mode expects tuple, batch, or columnar, got "
+                     "'%s'\n",
                      value == nullptr ? "" : value);
         return 2;
       }
@@ -375,6 +395,7 @@ int main(int argc, char** argv) {
     PacketTraceGenerator gen(tc);
     ClusterRuntime runtime(&graph, &*plan, cluster);
     if (threads > 1) runtime.set_parallel(static_cast<int>(threads));
+    runtime.set_exec_mode(exec_mode);
     if (trace_events) runtime.set_trace_events_enabled(true);
     FaultPlan fault_plan;
     if (!fault_plan_path.empty()) {
@@ -405,12 +426,30 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(threads),
                   runtime.parallel_fallback_reason().c_str());
     }
+    // The batched route degenerates per the selected exec mode (and to
+    // per-tuple delivery while any controller is armed); all accounted
+    // metrics are identical across modes.
     Tuple t;
+    TupleBatch pending;
+    pending.reserve(kDefaultSourceBatch);
     while (gen.Next(&t)) {
-      runtime.PushSource("TCP", t);
-      runtime.PushSource("PKT", t);
+      pending.push_back(t);
+      if (pending.size() >= kDefaultSourceBatch) {
+        runtime.PushSourceBatch("TCP", pending);
+        runtime.PushSourceBatch("PKT", pending);
+        pending.clear();
+      }
+    }
+    if (!pending.empty()) {
+      runtime.PushSourceBatch("TCP", pending);
+      runtime.PushSourceBatch("PKT", pending);
     }
     runtime.FinishSources();
+    if (exec_mode == ExecMode::kColumnar &&
+        !runtime.columnar_fallback_reason().empty()) {
+      std::printf("note: --exec-mode columnar fell back to row batches: %s\n",
+                  runtime.columnar_fallback_reason().c_str());
+    }
     CpuCostParams cpu;
     SeriesTable table("Simulated run (" + std::to_string(run_seconds) +
                           "s @ 10k pkts/s)",

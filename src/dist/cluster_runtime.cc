@@ -1103,6 +1103,12 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
     for (const Tuple& tuple : batch) PushSource(source, tuple);
     return;
   }
+  if (exec_mode_ == ExecMode::kTuple) {
+    // Differential oracle mode: the batched route degenerates to the
+    // per-tuple path wholesale.
+    for (const Tuple& tuple : batch) PushSource(source, tuple);
+    return;
+  }
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
   const auto& partitions = it->second;
@@ -1126,6 +1132,14 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
     int src_host = hosts[p];
     result_.hosts[src_host].source_tuples += bucket.size();
     result_.source_tuples += bucket.size();
+    if (exec_mode_ == ExecMode::kColumnar &&
+        col_bucket_scratch_.FromTuples(bucket)) {
+      // Columnar delivery: convert the bucket to column-major form once and
+      // push borrowed views. Buckets that are not fixed-width representable
+      // fall through to the row path below.
+      DeliverBucketColumns(partitions[p], bucket.size(), src_host);
+      continue;
+    }
     // Cross-host consumers of this partition share one encode/decode round
     // trip per bucket; local consumers see the bucket directly.
     std::optional<TupleBatch> decoded;
@@ -1143,6 +1157,37 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
       } else {
         instances_[edge.consumer]->PushBatch(edge.port, bucket);
       }
+    }
+  }
+}
+
+void ClusterRuntime::DeliverBucketColumns(const std::vector<Edge>& edges,
+                                          size_t rows, int src_host) {
+  IdentitySelection(rows, &col_sel_scratch_);
+  bool remote_ready = false;
+  size_t enc_bytes = 0;
+  for (const Edge& edge : edges) {
+    int to_host = op_host_[edge.consumer];
+    if (to_host != src_host) {
+      if (!remote_ready) {
+        // Encode the columns once per bucket. The wire bytes are identical
+        // to EncodeBatch over the same rows (serde.h), so the network
+        // ledger is unchanged by the columnar path.
+        std::string wire;
+        EncodeColumns(col_bucket_scratch_, col_sel_scratch_, &wire);
+        enc_bytes = wire.size();
+        auto decoded = DecodeBatch(wire);
+        SP_CHECK(decoded.ok()) << decoded.status().ToString();
+        // Round-tripped fixed-width rows stay fixed-width.
+        SP_CHECK(col_remote_scratch_.FromTuples(*decoded));
+        remote_ready = true;
+      }
+      AccountTransferBatch(src_host, to_host, rows, enc_bytes);
+      instances_[edge.consumer]->PushColumns(edge.port, col_remote_scratch_,
+                                             col_sel_scratch_);
+    } else {
+      instances_[edge.consumer]->PushColumns(edge.port, col_bucket_scratch_,
+                                             col_sel_scratch_);
     }
   }
 }
@@ -1226,6 +1271,15 @@ void ClusterRuntime::StartParallel() {
   }
   bool controllers = faults_active() || recovery_active() || overload_active();
   parallel_mode_ = controllers ? ParallelMode::kBarrier : ParallelMode::kPipeline;
+  if (exec_mode_ == ExecMode::kColumnar) {
+    // Workers move row morsels through SPSC rings; columnar delivery is a
+    // sequential-path optimization. Outputs and the RunLedger are unchanged
+    // by this fallback (all three exec modes are differentially identical).
+    columnar_fallback_reason_ =
+        "parallel execution moves row morsels between workers; columnar "
+        "delivery applies to sequential runs only";
+    exec_mode_ = ExecMode::kBatch;
+  }
   const bool pipeline = parallel_mode_ == ParallelMode::kPipeline;
   // Barrier mode moves single tuples, so it gets deeper queues; pipeline
   // mode moves morsels, so shallow queues already hold plenty of work.

@@ -27,6 +27,7 @@
 #include "dist/overload.h"
 #include "dist/parallel_exec.h"
 #include "dist/partitioner.h"
+#include "exec/column_batch.h"
 #include "exec/ops.h"
 #include "metrics/cpu_model.h"
 #include "metrics/report.h"
@@ -76,8 +77,26 @@ class ClusterRuntime {
   /// (--trace-events). Must be called before data flows.
   void set_trace_events_enabled(bool enabled);
 
-  /// \brief Selects parallel execution (ExecMode::kParallel) with \p threads
-  /// worker threads. Must be called before Build; threads == 1 keeps the
+  /// \brief Selects the execution path PushSourceBatch drives (exec mode of
+  /// the run, docs/ARCHITECTURE.md): kBatch (default) routes row batches,
+  /// kTuple degenerates every batch to per-tuple routing (the differential
+  /// oracle), kColumnar converts each per-partition bucket to column-major
+  /// form once and delivers it via PushColumns — local consumers borrow the
+  /// columns, cross-host edges encode the columns once per bucket
+  /// (byte-identical wire accounting to the row path). Must be called before
+  /// Build. Columnar applies to the healthy sequential branch only: armed
+  /// controllers degenerate to per-tuple routing in every mode, and
+  /// set_parallel(>1) falls back to row batches with a recorded reason
+  /// (columnar_fallback_reason()).
+  void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+  ExecMode exec_mode() const { return exec_mode_; }
+  /// \brief Why a set_exec_mode(kColumnar) run fell back to row batches;
+  /// empty when columnar is active or was never requested.
+  const std::string& columnar_fallback_reason() const {
+    return columnar_fallback_reason_;
+  }
+
+  /// \brief Selects parallel execution with \p threads worker threads. Must be called before Build; threads == 1 keeps the
   /// single-threaded path (the deterministic differential oracle). The
   /// RunLedger of a parallel run is byte-identical to the single-threaded
   /// one (advisory wall-clock instruments live in the separate scheduler
@@ -281,6 +300,11 @@ class ClusterRuntime {
   /// per-edge delivery loop for partition \p p on \p src_host.
   void DeliverSource(const std::string& source, int p, int src_host,
                      const Tuple& tuple);
+  /// Columnar-mode delivery of one per-partition bucket (already converted
+  /// into col_bucket_scratch_): local consumers borrow the columns, remote
+  /// edges encode them once and push the re-columnarized decode.
+  void DeliverBucketColumns(const std::vector<Edge>& edges, size_t rows,
+                            int src_host);
   /// Validates and prices a proposed hot-partition move, then executes it
   /// through MigratePartition or records it advice-only.
   void ExecuteSkewMove(const SkewMove& move);
@@ -386,6 +410,14 @@ class ClusterRuntime {
   std::map<std::string, std::vector<int>> partition_hosts_;
   /// Scratch per-partition buckets reused across PushSourceBatch calls.
   std::vector<TupleBatch> bucket_scratch_;
+  /// Exec mode PushSourceBatch drives (set_exec_mode; kBatch default).
+  ExecMode exec_mode_ = ExecMode::kBatch;
+  std::string columnar_fallback_reason_;
+  /// Columnar-mode scratch: per-bucket column batch, its identity selection,
+  /// and the re-columnarized decode of a cross-host bucket.
+  ColumnBatch col_bucket_scratch_;
+  ColumnBatch col_remote_scratch_;
+  SelectionVector col_sel_scratch_;
   /// One telemetry registry per simulated host (the registries are
   /// single-writer: the whole simulation runs on one thread, and scope
   /// names carry the plan op id so instances never collide).

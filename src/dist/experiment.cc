@@ -17,25 +17,35 @@ ExperimentRunner::ExperimentRunner(const QueryGraph* graph, std::string source,
 
 Result<ClusterRunResult> ExperimentRunner::RunOne(
     const ExperimentConfig& config, int num_hosts, int partitions_per_host,
-    size_t batch_size, int threads) {
+    size_t batch_size, int threads, ExecMode exec_mode) {
   SP_ASSIGN_OR_RETURN(
       ExperimentCell cell,
       RunCell(config, num_hosts, partitions_per_host, batch_size, {},
-              threads));
+              threads, exec_mode));
   return std::move(cell.result);
 }
 
 Result<ExperimentCell> ExperimentRunner::RunCell(
     const ExperimentConfig& config, int num_hosts, int partitions_per_host,
-    size_t batch_size, const RunLedgerOptions& ledger_options, int threads) {
+    size_t batch_size, const RunLedgerOptions& ledger_options, int threads,
+    ExecMode exec_mode) {
   ClusterConfig cluster;
   cluster.num_hosts = num_hosts;
   cluster.partitions_per_host = partitions_per_host;
+  // Re-cost clause selectivities from the trace: a prefix of the shared
+  // trace stands in for the "trace stats" of the clause-weighting rule.
+  // trace_ outlives the optimization call below.
+  OptimizerOptions oopts = config.optimizer;
+  if (oopts.predicate_sample.empty() && !trace_.empty()) {
+    TupleSpan all(trace_);
+    oopts.predicate_sample = all.subspan(0, std::min<size_t>(1024, all.size()));
+  }
   SP_ASSIGN_OR_RETURN(
       DistPlan plan,
-      OptimizeForPartitioning(*graph_, cluster, config.ps, config.optimizer));
+      OptimizeForPartitioning(*graph_, cluster, config.ps, oopts));
   ClusterRuntime runtime(graph_, &plan, cluster);
   if (threads > 1) runtime.set_parallel(threads);
+  runtime.set_exec_mode(exec_mode);
   // Budgets are charged in the same cycle currency the ledger reports.
   runtime.set_cost_params(cpu_params_);
   // A checkpoint-only plan injects no faults (empty() is true) but still

@@ -1,0 +1,569 @@
+#include "exec/column_batch.h"
+
+#include <algorithm>
+
+#include "optimizer/filter_order.h"
+#include "types/serde.h"
+
+namespace streampart {
+
+namespace {
+
+// Cell-level widening helpers. These must produce exactly what
+// Value::AsUint64 / AsInt64 / AsDouble produce for the same cell, so the
+// columnar ladders below match the row interpreter bit-for-bit.
+uint64_t CellAsU64(DataType type, uint64_t payload) {
+  switch (type) {
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      return payload;
+    case DataType::kInt:
+      return payload;  // same two's-complement bits
+    case DataType::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(double));
+      return static_cast<uint64_t>(d);
+    }
+    default:
+      return 0;
+  }
+}
+
+int64_t CellAsI64(DataType type, uint64_t payload) {
+  switch (type) {
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+    case DataType::kInt:
+      return static_cast<int64_t>(payload);
+    case DataType::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(double));
+      return static_cast<int64_t>(d);
+    }
+    default:
+      return 0;
+  }
+}
+
+double CellAsF64(DataType type, uint64_t payload) {
+  switch (type) {
+    case DataType::kUint:
+    case DataType::kIp:
+    case DataType::kBool:
+      return static_cast<double>(payload);
+    case DataType::kInt:
+      return static_cast<double>(static_cast<int64_t>(payload));
+    case DataType::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(double));
+      return d;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+// Matches Value::Truthy for fixed-width cells: NULL is false, doubles
+// compare against 0.0 (so -0.0 is false and NaN is true), everything else
+// is nonzero-payload. For kInt the payload is the two's-complement bit
+// pattern, which is nonzero iff the signed value is.
+bool CellTruthy(const Column& c, size_t row) {
+  if (CellIsNull(c, row)) return false;
+  if (c.type == DataType::kDouble) {
+    double d;
+    std::memcpy(&d, &c.data[row], sizeof(double));
+    return d != 0.0;
+  }
+  return c.data[row] != 0;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(double));
+  return bits;
+}
+
+}  // namespace
+
+const char* ExecModeToString(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kTuple:
+      return "tuple";
+    case ExecMode::kBatch:
+      return "batch";
+    case ExecMode::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+bool ParseExecMode(std::string_view text, ExecMode* out) {
+  if (text == "tuple") {
+    *out = ExecMode::kTuple;
+  } else if (text == "batch") {
+    *out = ExecMode::kBatch;
+  } else if (text == "columnar") {
+    *out = ExecMode::kColumnar;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ColumnBatch::FromTuples(TupleSpan batch) {
+  const size_t rows = batch.size();
+  const size_t width = rows == 0 ? 0 : batch[0].size();
+  if (cols_.size() != width) {
+    cols_.clear();
+    cols_.reserve(width);
+    for (size_t j = 0; j < width; ++j) {
+      cols_.push_back(std::make_shared<Column>());
+    }
+  }
+  rows_ = rows;
+  for (size_t j = 0; j < width; ++j) {
+    Column& c = *cols_[j];
+    c.type = DataType::kNull;
+    c.data.resize(rows);
+    c.nulls.clear();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const Tuple& t = batch[r];
+    if (t.size() != width) {
+      Clear();
+      return false;
+    }
+    for (size_t j = 0; j < width; ++j) {
+      const Value& v = t.at(j);
+      Column& c = *cols_[j];
+      if (v.is_null()) {
+        c.SetNull(r, rows);
+        c.data[r] = 0;
+        continue;
+      }
+      const DataType vt = v.type();
+      if (vt == DataType::kString ||
+          (c.type != DataType::kNull && c.type != vt)) {
+        Clear();
+        return false;
+      }
+      c.type = vt;
+      c.data[r] = PackCellPayload(v);
+    }
+  }
+  return true;
+}
+
+void ColumnBatch::MaterializeRow(size_t row, Tuple* out) const {
+  std::vector<Value>& vals = out->values();
+  vals.resize(cols_.size());
+  for (size_t j = 0; j < cols_.size(); ++j) {
+    vals[j] = cols_[j]->ValueAt(row);
+  }
+}
+
+size_t ColumnBatch::RowWireBytes(size_t row) const {
+  size_t bytes = 0;
+  for (const ColumnPtr& c : cols_) {
+    bytes += DataTypeWireSize(CellIsNull(*c, row) ? DataType::kNull : c->type);
+  }
+  return bytes;
+}
+
+size_t ColumnBatch::FixedRowWireBytes() const {
+  size_t bytes = 0;
+  for (const ColumnPtr& c : cols_) bytes += DataTypeWireSize(c->type);
+  return bytes;
+}
+
+bool ColumnBatch::AnyNulls() const {
+  for (const ColumnPtr& c : cols_) {
+    if (c->has_nulls() || c->type == DataType::kNull) return true;
+  }
+  return false;
+}
+
+void EncodeColumns(const ColumnBatch& batch, const SelectionVector& sel,
+                   std::string* out) {
+  Tuple scratch;
+  for (uint32_t row : sel) {
+    batch.MaterializeRow(row, &scratch);
+    EncodeTuple(scratch, out);
+  }
+}
+
+bool ExprVectorizable(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      return expr->is_bound();
+    case ExprKind::kLiteral:
+      return expr->literal().type() != DataType::kString;
+    case ExprKind::kBinary:
+      return ExprVectorizable(expr->left()) && ExprVectorizable(expr->right());
+    case ExprKind::kUnary:
+      return ExprVectorizable(expr->operand());
+    case ExprKind::kCall:
+      return false;
+  }
+  return false;
+}
+
+ColumnEvaluator::ColumnEvaluator(ExprPtr expr) : expr_(std::move(expr)) {
+  SP_CHECK(expr_ != nullptr);
+  Flatten(expr_);
+  results_.resize(nodes_.size(), nullptr);
+}
+
+int ColumnEvaluator::Flatten(const ExprPtr& expr) {
+  Node n;
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      SP_CHECK(expr->is_bound());
+      n.code = OpCode::kColumn;
+      n.column = static_cast<size_t>(expr->bound_index());
+      break;
+    case ExprKind::kLiteral:
+      n.code = OpCode::kLiteral;
+      n.literal = expr->literal();
+      break;
+    case ExprKind::kBinary:
+      n.left = Flatten(expr->left());
+      n.right = Flatten(expr->right());
+      n.code = OpCode::kBinary;
+      n.bin_op = expr->binary_op();
+      break;
+    case ExprKind::kUnary:
+      n.left = Flatten(expr->operand());
+      n.code = OpCode::kUnary;
+      n.un_op = expr->unary_op();
+      break;
+    default:
+      SP_CHECK(false);  // kCall is not vectorizable
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+const Column* ColumnEvaluator::Evaluate(const ColumnBatch& batch,
+                                        const SelectionVector& sel) {
+  // nodes_ is in post-order, so children are always evaluated before their
+  // parent; one linear pass computes the whole program.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    results_[i] = EvalNode(i, batch, sel);
+  }
+  return results_.back();
+}
+
+void ColumnEvaluator::Filter(const ColumnBatch& batch, SelectionVector* sel) {
+  const Column* v = Evaluate(batch, *sel);
+  size_t kept = 0;
+  for (uint32_t row : *sel) {
+    if (CellTruthy(*v, row)) (*sel)[kept++] = row;
+  }
+  sel->resize(kept);
+}
+
+const Column* ColumnEvaluator::EvalNode(size_t idx, const ColumnBatch& batch,
+                                        const SelectionVector& sel) {
+  Node& n = nodes_[idx];
+  if (n.code == OpCode::kColumn) {
+    return &batch.col(n.column);
+  }
+
+  Column& out = n.scratch;
+  out.nulls.clear();
+  out.data.resize(batch.rows());
+
+  if (n.code == OpCode::kLiteral) {
+    const Value& lit = n.literal;
+    out.type = lit.type();
+    if (lit.is_null()) {
+      // All-null constant: kNull type alone marks every cell null.
+      return &out;
+    }
+    const uint64_t payload = PackCellPayload(lit);
+    for (uint32_t row : sel) out.data[row] = payload;
+    return &out;
+  }
+
+  if (n.code == OpCode::kUnary) {
+    const Column& c = *results_[n.left];
+    switch (n.un_op) {
+      case UnaryOp::kNot:
+        out.type = DataType::kBool;
+        for (uint32_t row : sel) {
+          out.data[row] = CellTruthy(c, row) ? 0 : 1;
+        }
+        return &out;
+      case UnaryOp::kBitNot:
+        out.type = DataType::kUint;
+        for (uint32_t row : sel) {
+          if (CellIsNull(c, row)) {
+            out.SetNull(row, batch.rows());
+            out.data[row] = 0;
+            continue;
+          }
+          out.data[row] = ~CellAsU64(c.type, c.data[row]);
+        }
+        return &out;
+      case UnaryOp::kNegate:
+        if (c.type == DataType::kDouble) {
+          out.type = DataType::kDouble;
+          for (uint32_t row : sel) {
+            if (CellIsNull(c, row)) {
+              out.SetNull(row, batch.rows());
+              out.data[row] = 0;
+              continue;
+            }
+            out.data[row] = DoubleBits(-CellAsF64(c.type, c.data[row]));
+          }
+        } else {
+          out.type = DataType::kInt;
+          for (uint32_t row : sel) {
+            if (CellIsNull(c, row)) {
+              out.SetNull(row, batch.rows());
+              out.data[row] = 0;
+              continue;
+            }
+            out.data[row] =
+                static_cast<uint64_t>(-CellAsI64(c.type, c.data[row]));
+          }
+        }
+        return &out;
+    }
+    SP_CHECK(false);
+  }
+
+  // Binary node.
+  const Column& l = *results_[n.left];
+  const Column& r = *results_[n.right];
+  const BinaryOp op = n.bin_op;
+
+  if (IsLogical(op)) {
+    // Expr::Eval collapses NULL to false via Truthy(), so logical results
+    // are never null and clause order cannot change a conjunction's value.
+    out.type = DataType::kBool;
+    if (op == BinaryOp::kAnd) {
+      for (uint32_t row : sel) {
+        out.data[row] = (CellTruthy(l, row) && CellTruthy(r, row)) ? 1 : 0;
+      }
+    } else {
+      for (uint32_t row : sel) {
+        out.data[row] = (CellTruthy(l, row) || CellTruthy(r, row)) ? 1 : 0;
+      }
+    }
+    return &out;
+  }
+
+  if (IsComparison(op)) {
+    // CompareValues's promotion ladder, keyed on the static column types
+    // (string columns cannot arise; null cells short-circuit before the
+    // ladder, exactly as EvalComparison nulls out on a null operand).
+    out.type = DataType::kBool;
+    const bool dbl =
+        l.type == DataType::kDouble || r.type == DataType::kDouble;
+    const bool sgn =
+        !dbl && (l.type == DataType::kInt || r.type == DataType::kInt);
+    for (uint32_t row : sel) {
+      if (CellIsNull(l, row) || CellIsNull(r, row)) {
+        out.SetNull(row, batch.rows());
+        out.data[row] = 0;
+        continue;
+      }
+      int c;
+      if (dbl) {
+        const double a = CellAsF64(l.type, l.data[row]);
+        const double b = CellAsF64(r.type, r.data[row]);
+        c = a < b ? -1 : (a > b ? 1 : 0);
+      } else if (sgn) {
+        const int64_t a = CellAsI64(l.type, l.data[row]);
+        const int64_t b = CellAsI64(r.type, r.data[row]);
+        c = a < b ? -1 : (a > b ? 1 : 0);
+      } else {
+        const uint64_t a = CellAsU64(l.type, l.data[row]);
+        const uint64_t b = CellAsU64(r.type, r.data[row]);
+        c = a < b ? -1 : (a > b ? 1 : 0);
+      }
+      bool v = false;
+      switch (op) {
+        case BinaryOp::kEq:
+          v = c == 0;
+          break;
+        case BinaryOp::kNe:
+          v = c != 0;
+          break;
+        case BinaryOp::kLt:
+          v = c < 0;
+          break;
+        case BinaryOp::kLe:
+          v = c <= 0;
+          break;
+        case BinaryOp::kGt:
+          v = c > 0;
+          break;
+        case BinaryOp::kGe:
+          v = c >= 0;
+          break;
+        default:
+          SP_CHECK(false);
+      }
+      out.data[row] = v ? 1 : 0;
+    }
+    return &out;
+  }
+
+  if (IsBitwise(op)) {
+    out.type = DataType::kUint;
+    for (uint32_t row : sel) {
+      if (CellIsNull(l, row) || CellIsNull(r, row)) {
+        out.SetNull(row, batch.rows());
+        out.data[row] = 0;
+        continue;
+      }
+      const uint64_t a = CellAsU64(l.type, l.data[row]);
+      const uint64_t b = CellAsU64(r.type, r.data[row]);
+      uint64_t v = 0;
+      switch (op) {
+        case BinaryOp::kBitAnd:
+          v = a & b;
+          break;
+        case BinaryOp::kBitOr:
+          v = a | b;
+          break;
+        case BinaryOp::kBitXor:
+          v = a ^ b;
+          break;
+        case BinaryOp::kShiftLeft:
+          v = b >= 64 ? 0 : a << b;
+          break;
+        case BinaryOp::kShiftRight:
+          v = b >= 64 ? 0 : a >> b;
+          break;
+        default:
+          SP_CHECK(false);
+      }
+      out.data[row] = v;
+    }
+    return &out;
+  }
+
+  // Arithmetic: EvalArithmetic's promotion ladder on the static column
+  // types. Null cells (and whole-column kNull operands) null the result;
+  // the ladder then degenerates to unsigned but never runs for those rows.
+  const bool dbl = l.type == DataType::kDouble || r.type == DataType::kDouble;
+  const bool sgn =
+      !dbl && (l.type == DataType::kInt || r.type == DataType::kInt);
+  out.type = dbl ? DataType::kDouble
+                 : (sgn ? DataType::kInt : DataType::kUint);
+  for (uint32_t row : sel) {
+    if (CellIsNull(l, row) || CellIsNull(r, row)) {
+      out.SetNull(row, batch.rows());
+      out.data[row] = 0;
+      continue;
+    }
+    if (dbl) {
+      const double a = CellAsF64(l.type, l.data[row]);
+      const double b = CellAsF64(r.type, r.data[row]);
+      double v = 0.0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          v = a + b;
+          break;
+        case BinaryOp::kSub:
+          v = a - b;
+          break;
+        case BinaryOp::kMul:
+          v = a * b;
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            out.SetNull(row, batch.rows());
+            out.data[row] = 0;
+            continue;
+          }
+          v = a / b;
+          break;
+        case BinaryOp::kMod:
+          // Double modulo is NULL in the row interpreter.
+          out.SetNull(row, batch.rows());
+          out.data[row] = 0;
+          continue;
+        default:
+          SP_CHECK(false);
+      }
+      out.data[row] = DoubleBits(v);
+    } else if (sgn) {
+      const int64_t a = CellAsI64(l.type, l.data[row]);
+      const int64_t b = CellAsI64(r.type, r.data[row]);
+      int64_t v = 0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          v = a + b;
+          break;
+        case BinaryOp::kSub:
+          v = a - b;
+          break;
+        case BinaryOp::kMul:
+          v = a * b;
+          break;
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out.SetNull(row, batch.rows());
+            out.data[row] = 0;
+            continue;
+          }
+          v = op == BinaryOp::kDiv ? a / b : a % b;
+          break;
+        default:
+          SP_CHECK(false);
+      }
+      out.data[row] = static_cast<uint64_t>(v);
+    } else {
+      const uint64_t a = CellAsU64(l.type, l.data[row]);
+      const uint64_t b = CellAsU64(r.type, r.data[row]);
+      uint64_t v = 0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          v = a + b;
+          break;
+        case BinaryOp::kSub:
+          v = a - b;
+          break;
+        case BinaryOp::kMul:
+          v = a * b;
+          break;
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out.SetNull(row, batch.rows());
+            out.data[row] = 0;
+            continue;
+          }
+          v = op == BinaryOp::kDiv ? a / b : a % b;
+          break;
+        default:
+          SP_CHECK(false);
+      }
+      out.data[row] = v;
+    }
+  }
+  return &out;
+}
+
+std::vector<ColumnEvaluator> CompileOrderedClauses(const ExprPtr& where) {
+  std::vector<ColumnEvaluator> out;
+  if (where == nullptr) return out;
+  // Heuristic weights order the kernels; the plan-time measured reorder
+  // (optimizer/filter_order) feeds through as the tie-break order because
+  // the sort is stable.
+  for (const ExprPtr& clause : OrderClauses(where, {})) {
+    out.emplace_back(clause);
+  }
+  return out;
+}
+
+}  // namespace streampart

@@ -61,6 +61,30 @@ void LocalEngine::PushSourceBatch(const std::string& source, TupleSpan batch) {
   for (const auto& [op, port] : it->second) op->PushBatch(port, batch);
 }
 
+void LocalEngine::PushSourceColumns(const std::string& source,
+                                    TupleSpan batch) {
+  if (batch.empty()) return;
+  auto it = source_consumers_.find(source);
+  if (it == source_consumers_.end()) return;
+  if (!source_columns_.FromTuples(batch)) {
+    // Not fixed-width representable; the row path is the oracle.
+    for (const auto& [op, port] : it->second) op->PushBatch(port, batch);
+    return;
+  }
+  IdentitySelection(batch.size(), &source_sel_);
+  for (const auto& [op, port] : it->second) {
+    op->PushColumns(port, source_columns_, source_sel_);
+  }
+}
+
+void LocalEngine::PushSourceColumns(const std::string& source,
+                                    const ColumnBatch& batch,
+                                    const SelectionVector& sel) {
+  auto it = source_consumers_.find(source);
+  if (it == source_consumers_.end()) return;
+  for (const auto& [op, port] : it->second) op->PushColumns(port, batch, sel);
+}
+
 void LocalEngine::FinishSources() {
   for (const auto& [source, consumers] : source_consumers_) {
     for (const auto& [op, port] : consumers) op->Finish(port);

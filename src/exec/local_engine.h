@@ -49,6 +49,17 @@ class LocalEngine {
   /// the entry point of the vectorized execution path.
   void PushSourceBatch(const std::string& source, TupleSpan batch);
 
+  /// \brief Columnar entry point: converts \p batch to column-major form
+  /// once and delivers it to every consumer via PushColumns. Falls back to
+  /// PushSourceBatch when the batch is not representable in fixed-width
+  /// columns (string values or ragged rows).
+  void PushSourceColumns(const std::string& source, TupleSpan batch);
+
+  /// \brief Columnar entry point over an already-built batch: delivers the
+  /// selected rows of \p batch to every consumer of \p source.
+  void PushSourceColumns(const std::string& source, const ColumnBatch& batch,
+                         const SelectionVector& sel);
+
   /// \brief Signals end-of-stream on all source streams.
   void FinishSources();
 
@@ -70,6 +81,10 @@ class LocalEngine {
   std::map<std::string, std::vector<std::pair<Operator*, size_t>>>
       source_consumers_;
   bool built_ = false;
+  // Scratch for PushSourceColumns(TupleSpan): rebuilt per call, never
+  // retained across pushes.
+  ColumnBatch source_columns_;
+  SelectionVector source_sel_;
 };
 
 /// \brief Default source batch size of the batched drivers (engine, cluster,

@@ -29,6 +29,7 @@
 
 #include "common/logging.h"
 #include "common/result.h"
+#include "exec/column_batch.h"
 #include "metrics/stats.h"
 #include "types/tuple.h"
 
@@ -100,6 +101,26 @@ class Operator {
     DoPushBatch(port, batch);
   }
 
+  /// \brief Delivers the selected rows of a column-major batch to \p port —
+  /// the third delivery granularity. Equivalent to pushing the materialized
+  /// selected rows in order; OpStats accounting is identical to PushBatch
+  /// over those rows. \p batch and \p sel are borrowed for the duration of
+  /// the call. Operators without a columnar kernel fall back to the row
+  /// path via the default DoPushColumns.
+  void PushColumns(size_t port, const ColumnBatch& batch,
+                   const SelectionVector& sel) {
+    SP_DCHECK(port < finished_.size());
+    if (sel.empty()) return;
+    stats_.tuples_in += sel.size();
+    if (telemetry_) {
+      telemetry_->ports[port].tuples_in->Add(sel.size());
+      telemetry_->ports[port].batches_in->Inc();
+      telemetry_->col_batches_in->Inc();
+      telemetry_->col_rows_in->Add(sel.size());
+    }
+    DoPushColumns(port, batch, sel);
+  }
+
   /// \brief Signals end-of-stream on \p port. When all ports have finished,
   /// the operator flushes and propagates Finish to its consumers.
   void Finish(size_t port) {
@@ -135,6 +156,9 @@ class Operator {
           scope->counter(stats::kPortBatchesIn, p);
     }
     telemetry_->batches_out = scope->counter(stats::kBatchesOut);
+    telemetry_->col_batches_in = scope->counter(stats::kColBatchesIn);
+    telemetry_->col_rows_in = scope->counter(stats::kColRowsIn);
+    telemetry_->col_fallback_rows = scope->counter(stats::kColFallbackRows);
     // Create the OpStats mirrors eagerly so every operator exports the same
     // instrument set regardless of observed traffic.
     telemetry_->tuples_in = scope->counter(stats::kTuplesIn);
@@ -260,13 +284,59 @@ class Operator {
     }
   }
 
+  /// \brief Sends the selected rows of a column-major batch downstream.
+  /// Columnar consumers receive the (batch, sel) view directly; sinks
+  /// receive materialized rows. tuples_out/bytes_out accounting equals
+  /// EmitBatch over the materialized rows.
+  void EmitColumns(const ColumnBatch& batch, const SelectionVector& sel) {
+    if (sel.empty()) return;
+    stats_.tuples_out += sel.size();
+    if (batch.AnyNulls()) {
+      for (uint32_t row : sel) stats_.bytes_out += batch.RowWireBytes(row);
+    } else {
+      stats_.bytes_out += sel.size() * batch.FixedRowWireBytes();
+    }
+    if (telemetry_) telemetry_->batches_out->Inc();
+    for (const auto& [op, port] : consumers_) op->PushColumns(port, batch, sel);
+    if (!sinks_.empty()) {
+      MaterializeSelection(batch, sel, &columnar_out_scratch_);
+      for (const auto& sink : sinks_) {
+        if (sink.per_batch) {
+          sink.per_batch(columnar_out_scratch_);
+        } else {
+          for (const Tuple& t : columnar_out_scratch_) sink.per_tuple(t);
+        }
+      }
+    }
+  }
+
   virtual void DoPush(size_t port, const Tuple& tuple) = 0;
   /// \brief Batch delivery; the default devolves to the per-tuple path.
   virtual void DoPushBatch(size_t port, TupleSpan batch) {
     for (const Tuple& t : batch) DoPush(port, t);
   }
+  /// \brief Columnar delivery; the default materializes the selected rows
+  /// and devolves to the row-batch path (counted in col_fallback_rows).
+  /// PushColumns has already accounted tuples_in, so the fallback calls
+  /// DoPushBatch directly rather than PushBatch.
+  virtual void DoPushColumns(size_t port, const ColumnBatch& batch,
+                             const SelectionVector& sel) {
+    MaterializeSelection(batch, sel, &columnar_in_scratch_);
+    if (telemetry_) telemetry_->col_fallback_rows->Add(sel.size());
+    DoPushBatch(port, columnar_in_scratch_);
+  }
   /// \brief Flush remaining state; called once after every port finished.
   virtual void DoFinish() {}
+  /// \brief Materializes the selected rows of \p batch into \p out (reused
+  /// scratch storage; slots overwritten in place).
+  static void MaterializeSelection(const ColumnBatch& batch,
+                                   const SelectionVector& sel,
+                                   TupleBatch* out) {
+    out->resize(sel.size());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      batch.MaterializeRow(sel[i], &(*out)[i]);
+    }
+  }
   /// \brief Per-port end-of-stream notification (before DoFinish).
   virtual void OnPortFinished(size_t /*port*/) {}
   /// \brief Hook for operator-specific instruments (window flushes, group
@@ -322,6 +392,9 @@ class Operator {
     StatsScope* scope = nullptr;
     std::vector<PortTelemetry> ports;
     Counter* batches_out = nullptr;
+    Counter* col_batches_in = nullptr;
+    Counter* col_rows_in = nullptr;
+    Counter* col_fallback_rows = nullptr;
     Counter* tuples_in = nullptr;
     Counter* tuples_out = nullptr;
     Counter* bytes_out = nullptr;
@@ -338,6 +411,10 @@ class Operator {
   std::vector<bool> finished_;
   size_t ports_remaining_;
   std::unique_ptr<Telemetry> telemetry_;
+  /// Reused row-materialization scratch for the columnar fallbacks: one for
+  /// incoming deliveries (default DoPushColumns), one for sink emission.
+  TupleBatch columnar_in_scratch_;
+  TupleBatch columnar_out_scratch_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -101,6 +101,24 @@ SelectProjectOp::SelectProjectOp(QueryNodePtr node)
   for (const NamedExpr& o : node_->outputs) {
     output_cols_.push_back(ColumnFastPath(o.expr));
   }
+  // Columnar eligibility: every WHERE clause and output expression must be
+  // vectorizable (string outputs disqualify via their literal/column types).
+  columnar_ok_ =
+      node_->where == nullptr || ExprVectorizable(node_->where);
+  for (const NamedExpr& o : node_->outputs) {
+    if (!ExprVectorizable(o.expr) || o.type == DataType::kString) {
+      columnar_ok_ = false;
+    }
+  }
+  if (columnar_ok_) {
+    col_where_ = CompileOrderedClauses(node_->where);
+    col_outputs_.resize(node_->outputs.size());
+    for (size_t i = 0; i < node_->outputs.size(); ++i) {
+      if (output_cols_[i] < 0) {
+        col_outputs_[i].emplace(node_->outputs[i].expr);
+      }
+    }
+  }
 }
 
 void SelectProjectOp::DoPush(size_t, const Tuple& tuple) {
@@ -139,6 +157,40 @@ void SelectProjectOp::DoPushBatch(size_t, TupleSpan batch) {
     ++n;
   }
   EmitBatch(TupleSpan(out_batch_.data(), n));
+}
+
+void SelectProjectOp::DoPushColumns(size_t port, const ColumnBatch& batch,
+                                    const SelectionVector& sel) {
+  if (!columnar_ok_) {
+    Operator::DoPushColumns(port, batch, sel);
+    return;
+  }
+  col_sel_.assign(sel.begin(), sel.end());
+  if (node_->where != nullptr) {
+    // One predicate evaluation per delivered tuple, like the row paths —
+    // clause-at-a-time filtering is an implementation detail, not extra
+    // predicate work in the cost model.
+    stats_.predicate_evals += col_sel_.size();
+    for (ColumnEvaluator& clause : col_where_) {
+      if (col_sel_.empty()) break;
+      clause.Filter(batch, &col_sel_);
+    }
+  }
+  if (col_sel_.empty()) return;
+  col_out_.Clear();
+  col_out_.SetRows(batch.rows());
+  for (size_t i = 0; i < node_->outputs.size(); ++i) {
+    if (output_cols_[i] >= 0) {
+      col_out_.AddColumn(batch.col_ptr(static_cast<size_t>(output_cols_[i])));
+    } else {
+      const Column* r = col_outputs_[i]->Evaluate(batch, col_sel_);
+      // Non-owning alias of the evaluator's scratch: downstream borrows it
+      // only for the duration of EmitColumns, and each output owns its own
+      // evaluator, so nothing is overwritten before the call returns.
+      col_out_.AddColumn(ColumnPtr(ColumnPtr(), const_cast<Column*>(r)));
+    }
+  }
+  EmitColumns(col_out_, col_sel_);
 }
 
 // ---------------------------------------------------------------------------
@@ -180,6 +232,36 @@ AggregateOp::AggregateOp(QueryNodePtr node, const UdafRegistry* registry)
     auto udaf = registry_->Get(spec.udaf);
     SP_CHECK(udaf.ok()) << "unregistered UDAF " << spec.udaf;
     udafs_.push_back(*udaf);
+  }
+  // Columnar eligibility: the packed key representation plus vectorizable
+  // WHERE, group-by, and aggregate-argument expressions. HAVING runs at
+  // flush over row tuples on every path, so it never disqualifies.
+  columnar_ok_ = packable_ && (node_->where == nullptr ||
+                               ExprVectorizable(node_->where));
+  for (const NamedExpr& g : node_->group_by) {
+    if (!ExprVectorizable(g.expr)) columnar_ok_ = false;
+  }
+  for (const AggregateSpec& spec : node_->aggregates) {
+    if (!spec.args.empty() && !ExprVectorizable(spec.args[0])) {
+      columnar_ok_ = false;
+    }
+  }
+  if (columnar_ok_) {
+    col_where_ = CompileOrderedClauses(node_->where);
+    col_group_evals_.resize(group_cols_.size());
+    for (size_t i = 0; i < group_cols_.size(); ++i) {
+      if (group_cols_[i] < 0) {
+        col_group_evals_[i].emplace(node_->group_by[i].expr);
+      }
+    }
+    col_arg_evals_.resize(arg_cols_.size());
+    for (size_t i = 0; i < arg_cols_.size(); ++i) {
+      if (arg_cols_[i] == kEvalExpr) {
+        col_arg_evals_[i].emplace(node_->aggregates[i].args[0]);
+      }
+    }
+    col_gcols_.resize(group_cols_.size(), nullptr);
+    col_acols_.resize(arg_cols_.size(), nullptr);
   }
 }
 
@@ -223,6 +305,102 @@ void AggregateOp::DoPushBatch(size_t, TupleSpan batch) {
     return;
   }
   for (const Tuple& t : batch) ProcessPacked(t);
+}
+
+void AggregateOp::DoPushColumns(size_t port, const ColumnBatch& batch,
+                                const SelectionVector& sel) {
+  // Same mixed-window rule as DoPushBatch: a window opened by the generic
+  // representation must finish on it. The fallback rematerializes rows and
+  // DoPushBatch re-applies the rule.
+  if (!columnar_ok_ || !groups_.empty()) {
+    Operator::DoPushColumns(port, batch, sel);
+    return;
+  }
+  ProcessColumns(batch, sel);
+}
+
+void AggregateOp::ProcessColumns(const ColumnBatch& batch,
+                                 const SelectionVector& sel) {
+  const SelectionVector* live = &sel;
+  if (node_->where != nullptr) {
+    stats_.predicate_evals += sel.size();
+    col_sel_.assign(sel.begin(), sel.end());
+    for (ColumnEvaluator& clause : col_where_) {
+      if (col_sel_.empty()) break;
+      clause.Filter(batch, &col_sel_);
+    }
+    live = &col_sel_;
+  }
+  if (live->empty()) return;
+  // Resolve each group slot / aggregate argument to a column once per
+  // batch: either an input column or the evaluator's result over the
+  // surviving rows.
+  const size_t num_slots = group_cols_.size();
+  for (size_t i = 0; i < num_slots; ++i) {
+    col_gcols_[i] =
+        group_cols_[i] >= 0
+            ? &batch.col(static_cast<size_t>(group_cols_[i]))
+            : col_group_evals_[i]->Evaluate(batch, *live);
+  }
+  for (size_t i = 0; i < arg_cols_.size(); ++i) {
+    if (arg_cols_[i] == kNoArg) {
+      col_acols_[i] = nullptr;
+    } else if (arg_cols_[i] >= 0) {
+      col_acols_[i] = &batch.col(static_cast<size_t>(arg_cols_[i]));
+    } else {
+      col_acols_[i] = col_arg_evals_[i]->Evaluate(batch, *live);
+    }
+  }
+  const uint64_t w = shed_weight_ != nullptr ? *shed_weight_ : 1;
+  for (uint32_t row : *live) {
+    // Pack the key straight from the cells — the column payload encoding is
+    // PackValueTo's payload encoding, so this produces byte-identical keys
+    // to the row paths.
+    char* p = key_buf_.data();
+    bool drop = false;
+    for (size_t i = 0; i < num_slots; ++i) {
+      const Column& c = *col_gcols_[i];
+      if (CellIsNull(c, row)) {
+        *p = static_cast<char>(DataType::kNull);
+        std::memset(p + 1, 0, sizeof(uint64_t));
+      } else {
+        *p = static_cast<char>(c.type);
+        std::memcpy(p + 1, &c.data[row], sizeof(uint64_t));
+      }
+      p += kPackedSlotWidth;
+      if (static_cast<int>(i) == temporal_slot_ &&
+          !(epoch_bytes_valid_ &&
+            std::memcmp(epoch_bytes_, p - kPackedSlotWidth,
+                        kPackedSlotWidth) == 0)) {
+        if (!AdvanceWindow(DecodePackedValue(p - kPackedSlotWidth))) {
+          drop = true;  // late row: dropped and counted by AdvanceWindow
+          break;
+        }
+        std::memcpy(epoch_bytes_, p - kPackedSlotWidth, kPackedSlotWidth);
+        epoch_bytes_valid_ = true;
+      }
+    }
+    if (drop) continue;
+    bool inserted = false;
+    GroupStates* states = packed_table_.FindOrInsert(
+        key_buf_, HashBytesWide(key_buf_.data(), key_buf_.size()), &inserted);
+    if (inserted) {
+      ++stats_.group_inserts;
+      *states = AcquireStates();
+    } else {
+      ++stats_.group_probes;
+    }
+    for (size_t i = 0; i < arg_cols_.size(); ++i) {
+      static const Value kNullArg;
+      const Column* ac = col_acols_[i];
+      const Value arg = ac == nullptr ? kNullArg : ac->ValueAt(row);
+      if (w > 1) {
+        (*states)[i]->UpdateWeighted(arg, w);
+      } else {
+        (*states)[i]->Update(arg);
+      }
+    }
+  }
 }
 
 bool AggregateOp::AdvanceWindow(const Value& epoch) {
@@ -856,6 +1034,15 @@ void MergeOp::DoPushBatch(size_t port, TupleSpan batch) {
   }
   queues_[port].insert(queues_[port].end(), batch.begin(), batch.end());
   Drain(/*final=*/false);
+}
+
+void MergeOp::DoPushColumns(size_t port, const ColumnBatch& batch,
+                            const SelectionVector& sel) {
+  if (temporal_idx_ < 0) {
+    EmitColumns(batch, sel);
+    return;
+  }
+  Operator::DoPushColumns(port, batch, sel);
 }
 
 void MergeOp::OnPortFinished(size_t port) {

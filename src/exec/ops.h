@@ -23,6 +23,12 @@ namespace streampart {
 /// kSelectProject node. Stateless; always compatible with any partitioning.
 /// The batched path projects into a reused scratch batch and short-circuits
 /// bare column references past the expression interpreter.
+///
+/// The columnar path runs a fused filter→project kernel: WHERE is split into
+/// cost-ordered clause kernels (optimizer/filter_order.h) that shrink the
+/// selection vector clause-at-a-time, then the projection aliases unmodified
+/// columns by pointer and evaluates computed outputs over the surviving rows
+/// only. Queries with calls or string outputs keep the row path.
 class SelectProjectOp : public Operator {
  public:
   explicit SelectProjectOp(QueryNodePtr node);
@@ -32,6 +38,8 @@ class SelectProjectOp : public Operator {
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
+  void DoPushColumns(size_t port, const ColumnBatch& batch,
+                     const SelectionVector& sel) override;
 
  private:
   QueryNodePtr node_;
@@ -39,6 +47,15 @@ class SelectProjectOp : public Operator {
   /// reference, -1 when it needs evaluation (batched path only).
   std::vector<int> output_cols_;
   TupleBatch out_batch_;  // scratch reused across batches
+
+  // Columnar-path kernels, compiled at construction.
+  bool columnar_ok_ = false;
+  std::vector<ColumnEvaluator> col_where_;  // cost-ordered WHERE clauses
+  /// Per output: evaluator for computed expressions (nullopt = bare column,
+  /// aliased straight from the input batch).
+  std::vector<std::optional<ColumnEvaluator>> col_outputs_;
+  ColumnBatch col_out_;     // projected output view (aliases + scratch)
+  SelectionVector col_sel_; // surviving-row scratch
 };
 
 /// \brief Tumbling-window hash aggregation with GROUP BY / HAVING.
@@ -101,6 +118,8 @@ class AggregateOp : public Operator {
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
+  void DoPushColumns(size_t port, const ColumnBatch& batch,
+                     const SelectionVector& sel) override;
   void DoFinish() override;
   void DoBindTelemetry(StatsScope* scope) override;
 
@@ -120,6 +139,10 @@ class AggregateOp : public Operator {
   void ProcessGeneric(const Tuple& tuple);
   /// Vectorized-path processing over packed keys and scratch buffers.
   void ProcessPacked(const Tuple& tuple);
+  /// Columnar kernel: cost-ordered WHERE filtering over the selection
+  /// vector, then packed-key grouping reading raw cells (no row
+  /// materialization). Requires columnar_ok_ and an empty generic table.
+  void ProcessColumns(const ColumnBatch& batch, const SelectionVector& sel);
   /// Tumbling-window boundary check; returns false when \p epoch is late
   /// (the tuple is dropped and counted).
   bool AdvanceWindow(const Value& epoch);
@@ -170,6 +193,17 @@ class AggregateOp : public Operator {
   bool epoch_bytes_valid_ = false;
   Tuple internal_scratch_;       // reused key+aggregates tuple during flush
   TupleBatch flush_batch_;       // reused window-flush output scratch
+
+  // Columnar-path kernels, compiled at construction.
+  bool columnar_ok_ = false;      // packable + WHERE/keys/args vectorizable
+  std::vector<ColumnEvaluator> col_where_;  // cost-ordered WHERE clauses
+  /// Per group slot / aggregate argument: evaluator for computed
+  /// expressions (nullopt = bare column or zero-argument aggregate).
+  std::vector<std::optional<ColumnEvaluator>> col_group_evals_;
+  std::vector<std::optional<ColumnEvaluator>> col_arg_evals_;
+  SelectionVector col_sel_;                // surviving-row scratch
+  std::vector<const Column*> col_gcols_;   // resolved group column per slot
+  std::vector<const Column*> col_acols_;   // resolved argument column per agg
 
   // Telemetry instruments (null unless bound; see metrics/stats.h).
   Counter* t_window_flushes_ = nullptr;
@@ -271,6 +305,10 @@ class MergeOp : public Operator {
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
+  /// Pass-through merges forward the columnar view untouched; ordered
+  /// merges need row queues and fall back to the materializing default.
+  void DoPushColumns(size_t port, const ColumnBatch& batch,
+                     const SelectionVector& sel) override;
   void DoFinish() override;
   void OnPortFinished(size_t port) override;
 

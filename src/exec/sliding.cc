@@ -6,6 +6,19 @@
 
 namespace streampart {
 
+namespace {
+
+/// \brief Bound tuple index of a bare column-reference expression, or -1
+/// when the expression needs interpretation (mirrors ops.cc).
+int ColumnFastPath(const ExprPtr& expr) {
+  if (expr != nullptr && expr->is_column() && expr->is_bound()) {
+    return static_cast<int>(expr->bound_index());
+  }
+  return -1;
+}
+
+}  // namespace
+
 SlidingAggregateOp::SlidingAggregateOp(QueryNodePtr node,
                                        const UdafRegistry* registry,
                                        SlidingSpec spec)
@@ -64,6 +77,40 @@ Status SlidingAggregateOp::Init() {
     total_components_ += slot.sub.size();
     splits_.push_back(std::move(slot));
   }
+  // Columnar eligibility mirrors AggregateOp: vectorizable WHERE, group-by,
+  // and argument expressions (the pane key is already known to be kUint).
+  columnar_ok_ = node_->where == nullptr || ExprVectorizable(node_->where);
+  for (const NamedExpr& g : node_->group_by) {
+    if (!ExprVectorizable(g.expr) || g.type == DataType::kString) {
+      columnar_ok_ = false;
+    }
+  }
+  for (const AggregateSpec& spec : node_->aggregates) {
+    if (!spec.args.empty() && !ExprVectorizable(spec.args[0])) {
+      columnar_ok_ = false;
+    }
+  }
+  if (columnar_ok_) {
+    col_where_ = CompileOrderedClauses(node_->where);
+    group_cols_.reserve(node_->group_by.size());
+    col_group_evals_.resize(node_->group_by.size());
+    for (size_t i = 0; i < node_->group_by.size(); ++i) {
+      group_cols_.push_back(ColumnFastPath(node_->group_by[i].expr));
+      if (group_cols_[i] < 0) {
+        col_group_evals_[i].emplace(node_->group_by[i].expr);
+      }
+    }
+    arg_cols_.reserve(node_->aggregates.size());
+    col_arg_evals_.resize(node_->aggregates.size());
+    for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+      const AggregateSpec& spec = node_->aggregates[i];
+      arg_cols_.push_back(spec.args.empty() ? kNoArg
+                                            : ColumnFastPath(spec.args[0]));
+      if (arg_cols_[i] == kEvalExpr) col_arg_evals_[i].emplace(spec.args[0]);
+    }
+    col_gcols_.resize(node_->group_by.size(), nullptr);
+    col_acols_.resize(node_->aggregates.size(), nullptr);
+  }
   return Status::OK();
 }
 
@@ -108,8 +155,19 @@ void SlidingAggregateOp::ProcessTuple(const Tuple& tuple) {
     }
   }
 
+  std::vector<std::unique_ptr<UdafState>>* states = AdvancePaneAndProbe(pane);
+  for (size_t j = 0; j < splits_.size(); ++j) {
+    const AggregateSpec& spec = node_->aggregates[j];
+    Value arg = spec.args.empty() ? Value::Null() : spec.args[0]->Eval(tuple);
+    for (size_t c = 0; c < splits_[j].sub.size(); ++c) {
+      (*states)[sub_offset_[j] + c]->Update(arg);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<UdafState>>* SlidingAggregateOp::AdvancePaneAndProbe(
+    uint64_t pane) {
   if (current_pane_.has_value() && pane != *current_pane_) {
-    uint64_t closed = *current_pane_;
     ClosePane();
     current_pane_ = pane;
     // Emit every window whose end pane is now complete (strictly before the
@@ -127,7 +185,6 @@ void SlidingAggregateOp::ProcessTuple(const Tuple& tuple) {
       EmitWindow(end);
       advance_window();
     }
-    (void)closed;
   } else if (!current_pane_.has_value()) {
     current_pane_ = pane;
     // First aligned window end at or after the first pane.
@@ -139,18 +196,72 @@ void SlidingAggregateOp::ProcessTuple(const Tuple& tuple) {
     next_end_ = aligned;
   }
 
-  auto it = open_.find(key);
+  auto it = open_.find(key_scratch_);
   if (it == open_.end()) {
     ++stats_.group_inserts;
-    it = open_.emplace(key, NewSubStates()).first;
+    it = open_.emplace(key_scratch_, NewSubStates()).first;
   } else {
     ++stats_.group_probes;
   }
-  for (size_t j = 0; j < splits_.size(); ++j) {
-    const AggregateSpec& spec = node_->aggregates[j];
-    Value arg = spec.args.empty() ? Value::Null() : spec.args[0]->Eval(tuple);
-    for (size_t c = 0; c < splits_[j].sub.size(); ++c) {
-      it->second[sub_offset_[j] + c]->Update(arg);
+  return &it->second;
+}
+
+void SlidingAggregateOp::DoPushColumns(size_t port, const ColumnBatch& batch,
+                                       const SelectionVector& sel) {
+  if (!columnar_ok_) {
+    Operator::DoPushColumns(port, batch, sel);
+    return;
+  }
+  ProcessColumns(batch, sel);
+}
+
+void SlidingAggregateOp::ProcessColumns(const ColumnBatch& batch,
+                                        const SelectionVector& sel) {
+  const SelectionVector* live = &sel;
+  if (node_->where != nullptr) {
+    stats_.predicate_evals += sel.size();
+    col_sel_.assign(sel.begin(), sel.end());
+    for (ColumnEvaluator& clause : col_where_) {
+      if (col_sel_.empty()) break;
+      clause.Filter(batch, &col_sel_);
+    }
+    live = &col_sel_;
+  }
+  if (live->empty()) return;
+  for (size_t i = 0; i < group_cols_.size(); ++i) {
+    col_gcols_[i] =
+        group_cols_[i] >= 0
+            ? &batch.col(static_cast<size_t>(group_cols_[i]))
+            : col_group_evals_[i]->Evaluate(batch, *live);
+  }
+  for (size_t i = 0; i < arg_cols_.size(); ++i) {
+    if (arg_cols_[i] == kNoArg) {
+      col_acols_[i] = nullptr;
+    } else if (arg_cols_[i] >= 0) {
+      col_acols_[i] = &batch.col(static_cast<size_t>(arg_cols_[i]));
+    } else {
+      col_acols_[i] = col_arg_evals_[i]->Evaluate(batch, *live);
+    }
+  }
+  for (uint32_t row : *live) {
+    key_scratch_.clear();
+    uint64_t pane = 0;
+    for (size_t i = 0; i < group_cols_.size(); ++i) {
+      const Column& c = *col_gcols_[i];
+      if (i == temporal_idx_) {
+        pane = c.ValueAt(row).AsUint64();
+      } else {
+        key_scratch_.push_back(c.ValueAt(row));
+      }
+    }
+    std::vector<std::unique_ptr<UdafState>>* states =
+        AdvancePaneAndProbe(pane);
+    for (size_t j = 0; j < splits_.size(); ++j) {
+      const Column* ac = col_acols_[j];
+      const Value arg = ac == nullptr ? Value::Null() : ac->ValueAt(row);
+      for (size_t c = 0; c < splits_[j].sub.size(); ++c) {
+        (*states)[sub_offset_[j] + c]->Update(arg);
+      }
     }
   }
 }

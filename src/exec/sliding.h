@@ -24,6 +24,7 @@
 
 #include <deque>
 #include <map>
+#include <optional>
 
 #include "exec/operator.h"
 #include "exec/udaf.h"
@@ -71,6 +72,8 @@ class SlidingAggregateOp : public Operator {
  protected:
   void DoPush(size_t port, const Tuple& tuple) override;
   void DoPushBatch(size_t port, TupleSpan batch) override;
+  void DoPushColumns(size_t port, const ColumnBatch& batch,
+                     const SelectionVector& sel) override;
   void DoFinish() override;
   void DoBindTelemetry(StatsScope* scope) override;
 
@@ -96,9 +99,18 @@ class SlidingAggregateOp : public Operator {
 
   Status Init();
   std::vector<std::unique_ptr<UdafState>> NewSubStates() const;
-  /// Shared per-tuple core of both execution paths; the group key is built
-  /// in a reused scratch vector (copied into the table only on insert).
+  /// Shared per-tuple core of the row execution paths; the group key is
+  /// built in a reused scratch vector (copied into the table only on
+  /// insert).
   void ProcessTuple(const Tuple& tuple);
+  /// Columnar kernel: cost-ordered WHERE filtering over the selection
+  /// vector, group/argument expressions evaluated as columns, then the
+  /// shared pane machinery per surviving row.
+  void ProcessColumns(const ColumnBatch& batch, const SelectionVector& sel);
+  /// Shared pane/window-advance tail of both kernels: handles pane change
+  /// (close + window emission + alignment) for \p pane, then probes open_
+  /// with key_scratch_ and returns the group's sub-component states.
+  std::vector<std::unique_ptr<UdafState>>* AdvancePaneAndProbe(uint64_t pane);
   void ClosePane();
   /// Emits the window whose last pane is \p end_pane.
   void EmitWindow(uint64_t end_pane);
@@ -134,6 +146,21 @@ class SlidingAggregateOp : public Operator {
   // Scratch buffers reused across tuples/windows.
   std::vector<Value> key_scratch_;
   TupleBatch window_batch_;
+
+  // Columnar-path kernels, compiled in Init().
+  static constexpr int kEvalExpr = -1;  // slot needs expression evaluation
+  static constexpr int kNoArg = -2;     // zero-argument aggregate (count)
+  bool columnar_ok_ = false;
+  std::vector<ColumnEvaluator> col_where_;  // cost-ordered WHERE clauses
+  /// Per group slot / aggregate argument: evaluator for computed
+  /// expressions (nullopt = bare column or zero-argument aggregate).
+  std::vector<std::optional<ColumnEvaluator>> col_group_evals_;
+  std::vector<std::optional<ColumnEvaluator>> col_arg_evals_;
+  std::vector<int> group_cols_;  // bound column index per group slot
+  std::vector<int> arg_cols_;    // bound column index per argument
+  SelectionVector col_sel_;                // surviving-row scratch
+  std::vector<const Column*> col_gcols_;   // resolved group column per slot
+  std::vector<const Column*> col_acols_;   // resolved argument column per agg
 
   // Telemetry instruments (null unless bound; see metrics/stats.h).
   Counter* t_pane_flushes_ = nullptr;

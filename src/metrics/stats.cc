@@ -103,6 +103,19 @@ const StatDef kBatchesOut = {"batches_out", StatKind::kCounter, "batches",
                              "EmitBatch calls issued downstream "
                              "(delivery-granularity dependent)"};
 
+const StatDef kColBatchesIn = {"col_batches_in", StatKind::kCounter,
+                               "batches", true,
+                               "PushColumns deliveries accepted (columnar "
+                               "path only)"};
+const StatDef kColRowsIn = {"col_rows_in", StatKind::kCounter, "tuples", true,
+                            "selected rows delivered via PushColumns "
+                            "(columnar path only)"};
+const StatDef kColFallbackRows = {"col_fallback_rows", StatKind::kCounter,
+                                  "tuples", true,
+                                  "columnar rows materialized back to the "
+                                  "row-batch path by the default "
+                                  "DoPushColumns fallback"};
+
 const StatDef kWindowFlushes = {"window_flushes", StatKind::kCounter,
                                 "windows", false,
                                 "non-empty tumbling/sliding windows "
@@ -278,7 +291,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
   static const std::vector<const StatDef*> kCatalog = {
       &kTuplesIn,      &kTuplesOut,    &kBytesOut,      &kGroupProbes,
       &kGroupInserts,  &kJoinProbes,   &kPredicateEvals, &kLateTuples,
-      &kPortTuplesIn,  &kPortBatchesIn, &kBatchesOut,   &kWindowFlushes,
+      &kPortTuplesIn,  &kPortBatchesIn, &kBatchesOut,
+      &kColBatchesIn,  &kColRowsIn,    &kColFallbackRows, &kWindowFlushes,
       &kGroupsFlushed, &kWindowGroups, &kGroupsPeak,    &kPaneFlushes,
       &kJoinWindows,   &kJoinWindowTuples,
       &kChanSent,      &kChanDelivered, &kChanDropped,  &kChanDupExtras,

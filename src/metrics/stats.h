@@ -228,6 +228,14 @@ extern const StatDef kPortTuplesIn;
 extern const StatDef kPortBatchesIn;  // advisory
 extern const StatDef kBatchesOut;     // advisory
 
+// Columnar delivery (exec/column_batch.h, Operator::PushColumns). All
+// advisory: they count delivery granularity on the columnar path and stay
+// zero on the tuple/batch paths, so default ledgers remain byte-identical
+// across execution modes.
+extern const StatDef kColBatchesIn;     // advisory
+extern const StatDef kColRowsIn;        // advisory
+extern const StatDef kColFallbackRows;  // advisory
+
 // Aggregation (AggregateOp / SlidingAggregateOp).
 extern const StatDef kWindowFlushes;
 extern const StatDef kGroupsFlushed;

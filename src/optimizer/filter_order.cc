@@ -1,0 +1,129 @@
+#include "optimizer/filter_order.h"
+
+#include <algorithm>
+
+namespace streampart {
+
+namespace {
+
+void SplitInto(const ExprPtr& predicate, std::vector<ExprPtr>* out) {
+  if (predicate == nullptr) return;
+  if (predicate->is_binary() && predicate->binary_op() == BinaryOp::kAnd) {
+    SplitInto(predicate->left(), out);
+    SplitInto(predicate->right(), out);
+    return;
+  }
+  out->push_back(predicate);
+}
+
+double NodeCount(const ExprPtr& expr) {
+  if (expr == nullptr) return 0;
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return 1;
+    case ExprKind::kBinary:
+      return 1 + NodeCount(expr->left()) + NodeCount(expr->right());
+    case ExprKind::kUnary:
+      return 1 + NodeCount(expr->operand());
+    case ExprKind::kCall: {
+      double n = 1;
+      for (const ExprPtr& a : expr->args()) n += NodeCount(a);
+      return n;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& predicate) {
+  std::vector<ExprPtr> out;
+  SplitInto(predicate, &out);
+  return out;
+}
+
+ExprPtr ConjunctionOf(const std::vector<ExprPtr>& clauses) {
+  ExprPtr out;
+  for (const ExprPtr& clause : clauses) {
+    out = out == nullptr ? clause : Expr::Binary(BinaryOp::kAnd, out, clause);
+  }
+  return out;
+}
+
+double EstimateClauseCost(const ExprPtr& clause) { return NodeCount(clause); }
+
+double EstimateClauseSelectivity(const ExprPtr& clause) {
+  if (clause == nullptr) return 1.0;
+  if (clause->is_binary()) {
+    switch (clause->binary_op()) {
+      case BinaryOp::kEq:
+        return 0.1;  // point predicates (port = 80, flags = 41)
+      case BinaryOp::kNe:
+        return 0.9;
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return 0.4;  // range predicates
+      case BinaryOp::kOr:
+        return 0.6;  // a disjunction passes more than either branch
+      default:
+        break;
+    }
+  }
+  if (clause->is_unary() && clause->unary_op() == UnaryOp::kNot) {
+    return 1.0 - EstimateClauseSelectivity(clause->operand());
+  }
+  return 0.5;
+}
+
+double MeasureClauseSelectivity(const ExprPtr& clause, TupleSpan sample) {
+  if (sample.empty()) return EstimateClauseSelectivity(clause);
+  size_t passed = 0;
+  for (const Tuple& t : sample) {
+    if (clause->Eval(t).Truthy()) ++passed;
+  }
+  return static_cast<double>(passed) / static_cast<double>(sample.size());
+}
+
+std::vector<ClauseWeight> WeighClauses(const std::vector<ExprPtr>& clauses,
+                                       TupleSpan sample) {
+  std::vector<ClauseWeight> out;
+  out.reserve(clauses.size());
+  for (const ExprPtr& clause : clauses) {
+    ClauseWeight w;
+    w.clause = clause;
+    w.cost = EstimateClauseCost(clause);
+    w.selectivity = MeasureClauseSelectivity(clause, sample);
+    w.weight = w.selectivity * w.cost;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<ExprPtr> OrderClauses(const ExprPtr& predicate, TupleSpan sample) {
+  std::vector<ClauseWeight> weighed =
+      WeighClauses(SplitConjuncts(predicate), sample);
+  std::stable_sort(
+      weighed.begin(), weighed.end(),
+      [](const ClauseWeight& a, const ClauseWeight& b) {
+        return a.weight < b.weight;
+      });
+  std::vector<ExprPtr> out;
+  out.reserve(weighed.size());
+  for (ClauseWeight& w : weighed) out.push_back(std::move(w.clause));
+  return out;
+}
+
+ExprPtr ReorderPredicate(const ExprPtr& predicate, TupleSpan sample) {
+  std::vector<ExprPtr> before = SplitConjuncts(predicate);
+  if (before.size() < 2) return predicate;
+  std::vector<ExprPtr> after = OrderClauses(predicate, sample);
+  if (std::equal(before.begin(), before.end(), after.begin())) {
+    return predicate;
+  }
+  return ConjunctionOf(after);
+}
+
+}  // namespace streampart

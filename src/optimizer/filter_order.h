@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file filter_order.h
+/// \brief Cost-ordered CNF filter clauses (the `optimize_filter`
+/// clause-weighting idiom).
+///
+/// A WHERE clause is a conjunction of clauses (CNF: AND-chains split at the
+/// top level). Filter semantics collapse NULL to false (Expr::Eval treats a
+/// NULL conjunct as a failed one), so the conjunction is truthy iff every
+/// conjunct is truthy and evaluation order cannot change the outcome —
+/// clause reordering is a pure cost transformation, and the property test
+/// (tests/columnar_property_test.cc) fuzzes exactly this invariant.
+///
+/// The weighting rule: each clause gets weight = selectivity × cost, where
+/// cost is the interpreter node count and selectivity the estimated pass
+/// fraction. Clauses run in ascending weight: cheap, selective clauses first
+/// so later (more expensive) clauses see fewer surviving rows. Selectivity
+/// is a per-comparison-operator heuristic by default, and is re-costed from
+/// measured pass rates when a trace sample is available (the optimizer
+/// passes one at plan time). The sort is stable, so equal-weight clauses
+/// keep their source order and plans stay deterministic.
+///
+/// This module depends only on the expression layer: the exec operators use
+/// it at construction for their columnar kernels, and the distributed
+/// optimizer applies it to plan nodes — without creating a dependency cycle
+/// through the partitioning layer.
+
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/tuple.h"
+
+namespace streampart {
+
+/// \brief Splits a (possibly null) predicate into its top-level AND
+/// conjuncts, in source order. A null predicate yields an empty vector; a
+/// non-AND predicate yields itself.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& predicate);
+
+/// \brief Rebuilds a left-deep AND chain from \p clauses (null when empty).
+ExprPtr ConjunctionOf(const std::vector<ExprPtr>& clauses);
+
+/// \brief Per-clause evaluation cost: the interpreter node count.
+double EstimateClauseCost(const ExprPtr& clause);
+
+/// \brief Heuristic pass fraction of one clause, keyed on its top-level
+/// comparison operator (equality is selective, inequality is not).
+double EstimateClauseSelectivity(const ExprPtr& clause);
+
+/// \brief Measured pass fraction of \p clause over \p sample (bound rows).
+/// Empty samples fall back to the heuristic.
+double MeasureClauseSelectivity(const ExprPtr& clause, TupleSpan sample);
+
+/// \brief One weighted clause.
+struct ClauseWeight {
+  ExprPtr clause;
+  double selectivity = 1.0;
+  double cost = 1.0;
+  /// selectivity × cost; clauses run in ascending weight.
+  double weight = 1.0;
+};
+
+/// \brief Weighs \p clauses, re-costing selectivity from \p sample when
+/// non-empty (pass \p sample = {} for the pure heuristic).
+std::vector<ClauseWeight> WeighClauses(const std::vector<ExprPtr>& clauses,
+                                       TupleSpan sample);
+
+/// \brief Splits \p predicate into conjuncts and stable-sorts them by
+/// ascending weight. The result evaluates identically to \p predicate in
+/// filter context for every clause order.
+std::vector<ExprPtr> OrderClauses(const ExprPtr& predicate, TupleSpan sample);
+
+/// \brief Convenience: OrderClauses rebuilt into a single predicate. Returns
+/// \p predicate unchanged when reordering is a no-op (0 or 1 clause, or the
+/// order did not change), preserving expression identity for plan printing.
+ExprPtr ReorderPredicate(const ExprPtr& predicate, TupleSpan sample);
+
+}  // namespace streampart

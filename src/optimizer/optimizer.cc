@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "optimizer/filter_order.h"
 #include "plan/query_graph.h"
 #include "sketch/sketch.h"
 
@@ -619,6 +620,32 @@ Result<DistPlan> DistributedOptimizer::Run() {
       if (!sketched &&
           options_.partial_agg != OptimizerOptions::PartialAggMode::kNone) {
         SP_RETURN_NOT_OK(TransformPartialAggregate(&plan, id));
+      }
+    }
+  }
+
+  // Cost-ordered predicates: reorder every placed operator's WHERE
+  // conjunction ascending by weight = selectivity × cost, re-costing
+  // selectivity over the trace sample for operators that read a source
+  // stream directly (the sample rows carry the source schema). Reordered
+  // nodes are shallow clones — the logical graph's nodes stay untouched, so
+  // reference (centralized) runs compile the original clause order and the
+  // differential battery checks the permutation invariance end to end.
+  if (options_.reorder_predicates) {
+    for (int id : plan.TopoOrder()) {
+      DistOperator& op = plan.op(id);
+      if (op.kind != DistOpKind::kQuery || op.query == nullptr) continue;
+      const QueryNodePtr& node = op.query;
+      if (node->where == nullptr) continue;
+      TupleSpan sample;
+      if (node->inputs.size() == 1 && graph_->IsSource(node->inputs[0])) {
+        sample = options_.predicate_sample;
+      }
+      ExprPtr reordered = ReorderPredicate(node->where, sample);
+      if (reordered != node->where) {
+        auto clone = std::make_shared<QueryNode>(*node);
+        clone->where = std::move(reordered);
+        op.query = std::move(clone);
       }
     }
   }

@@ -29,6 +29,7 @@
 #include "partition/compatibility.h"
 #include "partition/partition_set.h"
 #include "plan/query_graph.h"
+#include "types/tuple.h"
 
 namespace streampart {
 
@@ -66,6 +67,20 @@ struct OptimizerOptions {
   /// here as plain numbers so the optimizer does not depend on sp_metrics).
   double cycles_per_remote_tuple = 120000;
   double cycles_per_remote_byte = 100;
+
+  /// Cost-ordered predicates (optimizer/filter_order.h): a final pass
+  /// reorders every plan operator's WHERE conjunction ascending by estimated
+  /// evaluation weight (selectivity × per-clause cost). Filter semantics
+  /// collapse NULL to false, so clause order cannot change outcomes — this
+  /// is a pure cost transformation, and the stable sort keeps plans
+  /// deterministic (equal weights preserve source order).
+  bool reorder_predicates = true;
+  /// Bound source-stream rows to measure per-clause selectivities over
+  /// instead of the heuristic table (re-costing from trace stats). Applied
+  /// only to operators reading a source stream directly — downstream nodes
+  /// are bound to intermediate schemas the sample rows do not match. Must
+  /// outlive optimization; empty keeps the heuristics.
+  TupleSpan predicate_sample = {};
 };
 
 /// \brief Builds the partition-agnostic plan of §5.1 / Figure 3: all

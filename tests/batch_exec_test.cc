@@ -22,63 +22,14 @@
 namespace streampart {
 namespace {
 
+using ::streampart::testing::Drive;
+using ::streampart::testing::ExpectSameSequence;
+using ::streampart::testing::ExpectStatsEqual;
 using ::streampart::testing::MakePacket;
-
-void ExpectStatsEqual(const OpStats& expected, const OpStats& actual,
-                      const std::string& ctx) {
-  EXPECT_EQ(expected.tuples_in, actual.tuples_in) << ctx;
-  EXPECT_EQ(expected.tuples_out, actual.tuples_out) << ctx;
-  EXPECT_EQ(expected.bytes_out, actual.bytes_out) << ctx;
-  EXPECT_EQ(expected.group_probes, actual.group_probes) << ctx;
-  EXPECT_EQ(expected.group_inserts, actual.group_inserts) << ctx;
-  EXPECT_EQ(expected.join_probes, actual.join_probes) << ctx;
-  EXPECT_EQ(expected.predicate_evals, actual.predicate_evals) << ctx;
-  EXPECT_EQ(expected.late_tuples, actual.late_tuples) << ctx;
-}
-
-void ExpectSameSequence(const TupleBatch& expected, const TupleBatch& actual,
-                        const std::string& ctx) {
-  ASSERT_EQ(expected.size(), actual.size()) << ctx;
-  for (size_t i = 0; i < expected.size(); ++i) {
-    ASSERT_TRUE(expected[i] == actual[i])
-        << ctx << " first difference at row " << i
-        << "\nexpected: " << expected[i].ToString()
-        << "\nactual:   " << actual[i].ToString();
-  }
-}
-
-/// Output and counters of one operator run.
-struct Outcome {
-  TupleBatch out;
-  OpStats stats;
-};
-
-/// Drives \p input through \p op on port 0: tuple-at-a-time when
-/// \p batch_size is 0, otherwise PushBatch in batch_size chunks.
-Outcome Drive(Operator* op, const TupleBatch& input, size_t batch_size) {
-  Outcome outcome;
-  op->AddSink([&outcome](const Tuple& t) { outcome.out.push_back(t); });
-  if (batch_size == 0) {
-    for (const Tuple& t : input) op->Push(0, t);
-  } else {
-    TupleSpan all(input);
-    for (size_t off = 0; off < all.size(); off += batch_size) {
-      op->PushBatch(0,
-                    all.subspan(off, std::min(batch_size, all.size() - off)));
-    }
-  }
-  op->Finish(0);
-  outcome.stats = op->stats();
-  return outcome;
-}
+using ::streampart::testing::Outcome;
 
 TupleBatch SmallTrace(uint32_t duration_sec = 4, uint32_t pps = 2000) {
-  TraceConfig tc;
-  tc.duration_sec = duration_sec;
-  tc.packets_per_sec = pps;
-  tc.num_flows = 300;
-  PacketTraceGenerator gen(tc);
-  return gen.GenerateAll();
+  return testing::MakeSmallTrace(duration_sec, pps);
 }
 
 class BatchExecTest : public ::testing::Test {

@@ -104,31 +104,15 @@ TEST(SpscQueueTest, TwoThreadStressPreservesSequence) {
 
 ExperimentConfig Config(const std::string& name, const std::string& ps,
                         Mode partial, bool pushdown) {
-  ExperimentConfig config;
-  config.name = name;
-  if (!ps.empty()) {
-    auto parsed = PartitionSet::Parse(ps);
-    SP_CHECK(parsed.ok());
-    config.ps = *parsed;
-  }
-  config.optimizer.enable_compatible_pushdown = pushdown;
-  config.optimizer.partial_agg = partial;
-  return config;
+  return testing::MakeExperimentConfig(name, ps, partial, pushdown);
 }
 
 FaultPlan Plan(const std::string& text) {
-  auto plan = FaultPlan::Parse(text);
-  SP_CHECK(plan.ok()) << plan.status().ToString();
-  return *plan;
+  return testing::ParseFaultPlan(text);
 }
 
 TupleBatch SmallTrace(uint32_t duration_sec = 4, uint32_t pps = 1000) {
-  TraceConfig tc;
-  tc.duration_sec = duration_sec;
-  tc.packets_per_sec = pps;
-  tc.num_flows = 300;
-  PacketTraceGenerator gen(tc);
-  return gen.GenerateAll();
+  return testing::MakeSmallTrace(duration_sec, pps);
 }
 
 struct DirectRun {

@@ -455,15 +455,7 @@ class SketchLegTest : public ::testing::Test {
  protected:
   SketchLegTest() : catalog_(MakeDefaultCatalog()), graph_(&catalog_) {}
 
-  TupleBatch SmallTrace() {
-    TraceConfig tc;
-    tc.duration_sec = 150;
-    tc.packets_per_sec = 400;
-    tc.num_flows = 60;
-    tc.num_hosts = 64;
-    PacketTraceGenerator gen(tc);
-    return gen.GenerateAll();
-  }
+  TupleBatch SmallTrace() { return testing::MakeSmallTrace(150, 400, 60, 64); }
 
   Catalog catalog_;
   QueryGraph graph_;

@@ -11,6 +11,11 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "dist/experiment.h"
+#include "dist/fault.h"
+#include "exec/column_batch.h"
+#include "exec/operator.h"
+#include "trace/trace_gen.h"
 #include "types/tuple.h"
 
 namespace streampart {
@@ -92,6 +97,106 @@ inline void ExpectSameMultiset(const TupleBatch& expected,
       }
     }
   }
+}
+
+/// \brief Small deterministic packet trace shared by the differential
+/// batteries. Defaults match the batch/columnar suites; the sketch suite
+/// passes its longer, sparser shape.
+inline TupleBatch MakeSmallTrace(uint32_t duration_sec = 4, uint32_t pps = 2000,
+                                 uint32_t num_flows = 300,
+                                 uint32_t num_hosts = 0) {
+  TraceConfig tc;
+  tc.duration_sec = duration_sec;
+  tc.packets_per_sec = pps;
+  tc.num_flows = num_flows;
+  if (num_hosts != 0) tc.num_hosts = num_hosts;
+  PacketTraceGenerator gen(tc);
+  return gen.GenerateAll();
+}
+
+/// \brief Field-by-field OpStats comparison with context on failure.
+inline void ExpectStatsEqual(const OpStats& expected, const OpStats& actual,
+                             const std::string& ctx) {
+  EXPECT_EQ(expected.tuples_in, actual.tuples_in) << ctx;
+  EXPECT_EQ(expected.tuples_out, actual.tuples_out) << ctx;
+  EXPECT_EQ(expected.bytes_out, actual.bytes_out) << ctx;
+  EXPECT_EQ(expected.group_probes, actual.group_probes) << ctx;
+  EXPECT_EQ(expected.group_inserts, actual.group_inserts) << ctx;
+  EXPECT_EQ(expected.join_probes, actual.join_probes) << ctx;
+  EXPECT_EQ(expected.predicate_evals, actual.predicate_evals) << ctx;
+  EXPECT_EQ(expected.late_tuples, actual.late_tuples) << ctx;
+}
+
+/// \brief Exact (ordered) batch equality with context on failure.
+inline void ExpectSameSequence(const TupleBatch& expected,
+                               const TupleBatch& actual,
+                               const std::string& ctx) {
+  ASSERT_EQ(expected.size(), actual.size()) << ctx;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(expected[i] == actual[i])
+        << ctx << " first difference at row " << i
+        << "\nexpected: " << expected[i].ToString()
+        << "\nactual:   " << actual[i].ToString();
+  }
+}
+
+/// \brief Output and counters of one operator run.
+struct Outcome {
+  TupleBatch out;
+  OpStats stats;
+};
+
+/// \brief Drives \p input through \p op on port 0: tuple-at-a-time when
+/// \p batch_size is 0 (whatever \p mode says), otherwise in batch_size
+/// chunks via PushBatch (kBatch) or PushColumns (kColumnar; chunks that are
+/// not fixed-width representable fall back to PushBatch).
+inline Outcome Drive(Operator* op, const TupleBatch& input, size_t batch_size,
+                     ExecMode mode = ExecMode::kBatch) {
+  Outcome outcome;
+  op->AddSink([&outcome](const Tuple& t) { outcome.out.push_back(t); });
+  if (batch_size == 0 || mode == ExecMode::kTuple) {
+    for (const Tuple& t : input) op->Push(0, t);
+  } else {
+    TupleSpan all(input);
+    ColumnBatch columns;
+    SelectionVector sel;
+    for (size_t off = 0; off < all.size(); off += batch_size) {
+      TupleSpan chunk =
+          all.subspan(off, std::min(batch_size, all.size() - off));
+      if (mode == ExecMode::kColumnar && columns.FromTuples(chunk)) {
+        IdentitySelection(chunk.size(), &sel);
+        op->PushColumns(0, columns, sel);
+      } else {
+        op->PushBatch(0, chunk);
+      }
+    }
+  }
+  op->Finish(0);
+  outcome.stats = op->stats();
+  return outcome;
+}
+
+/// \brief One §6 experiment configuration (shared by the cluster batteries).
+inline ExperimentConfig MakeExperimentConfig(
+    const std::string& name, const std::string& ps,
+    OptimizerOptions::PartialAggMode partial, bool pushdown) {
+  ExperimentConfig config;
+  config.name = name;
+  if (!ps.empty()) {
+    auto parsed = PartitionSet::Parse(ps);
+    SP_CHECK(parsed.ok());
+    config.ps = *parsed;
+  }
+  config.optimizer.enable_compatible_pushdown = pushdown;
+  config.optimizer.partial_agg = partial;
+  return config;
+}
+
+/// \brief Parses a fault-plan script, aborting on syntax errors.
+inline FaultPlan ParseFaultPlan(const std::string& text) {
+  auto plan = FaultPlan::Parse(text);
+  SP_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
 }
 
 }  // namespace testing
