@@ -155,7 +155,10 @@ void PrintUsage(FILE* out, const char* prog) {
       "shedding\n"
       "                        (`shed m=...`); the run reports degradation "
       "and\n"
-      "                        overload accounting\n"
+      "                        overload accounting; adaptive placement\n"
+      "                        (`adapt warmup= hysteresis= cooldown= ...`)\n"
+      "                        re-plans operator placement under workload\n"
+      "                        drift (docs/ADAPTIVE.md)\n"
       "\n"
       "lossless recovery (docs/FAULTS.md, \"Lossless recovery\"):\n"
       "  --recover             enable epoch-aligned checkpoints, acked\n"
@@ -415,8 +418,7 @@ int main(int argc, char** argv) {
       fault_plan.checkpoint_interval = checkpoint_interval;
     }
     if (epoch_width > 0) fault_plan.epoch_width = epoch_width;
-    if (!fault_plan.empty() || fault_plan.checkpoint_interval > 0 ||
-        fault_plan.overload_enabled()) {
+    if (fault_plan.armed()) {
       runtime.set_fault_plan(std::move(fault_plan));
     }
     Status st = runtime.Build(ps);
@@ -540,6 +542,31 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(h.queue_dropped),
             static_cast<unsigned long long>(h.over_budget_epochs),
             h.max_epoch_cycles);
+      }
+    }
+    if (const AdaptiveController* adaptive = runtime.adaptive_controller()) {
+      AdaptiveSection ad = adaptive->section();
+      std::printf("\nAdaptive placement (%s):\n",
+                  ad.engaged ? "engaged" : "armed, never intervened");
+      std::printf(
+          "  epochs:            %llu observed, %llu drift events\n",
+          static_cast<unsigned long long>(ad.epochs),
+          static_cast<unsigned long long>(ad.drift_events));
+      std::printf(
+          "  moves:             %llu taken (%llu probes, %llu state bytes "
+          "migrated), %llu suppressed, %llu rolled back\n",
+          static_cast<unsigned long long>(ad.moves_taken),
+          static_cast<unsigned long long>(ad.probes),
+          static_cast<unsigned long long>(ad.moved_state_bytes),
+          static_cast<unsigned long long>(ad.moves_suppressed),
+          static_cast<unsigned long long>(ad.rollbacks));
+      std::printf("  candidates:        %llu projected\n",
+                  static_cast<unsigned long long>(ad.candidates_considered));
+      for (const AdaptiveDecisionRow& d : ad.decisions) {
+        std::printf(
+            "  epoch %llu: %s stage %d host %d->%d (gain %.1f%%): %s\n",
+            static_cast<unsigned long long>(d.epoch), d.action.c_str(),
+            d.stage, d.from_host, d.to_host, d.gain_pct, d.reason.c_str());
       }
     }
     if (const RecoveryCoordinator* rec = runtime.recovery_coordinator()) {

@@ -1,0 +1,450 @@
+#include "dist/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streampart {
+
+namespace {
+/// Fast EWMA tracks the last couple of epochs; slow remembers the regime.
+constexpr double kFastAlpha = 0.5;
+constexpr double kSlowAlpha = 0.1;
+/// Floor for relative-divergence denominators (avoids 0/0 on idle series).
+constexpr double kTiny = 1e-9;
+
+double Ewma(double prev, double sample, double alpha) {
+  return prev + alpha * (sample - prev);
+}
+
+double RelDivergence(double fast, double slow) {
+  return std::abs(fast - slow) / std::max(std::abs(slow), kTiny);
+}
+}  // namespace
+
+AdaptiveController::AdaptiveController(const FaultPlan& plan, int num_hosts)
+    : spec_(plan.adaptive),
+      epoch_width_(plan.epoch_width),
+      num_hosts_(std::max(num_hosts, 0)),
+      active_(plan.adaptive.enabled) {
+  host_fast_.assign(num_hosts_, 0.0);
+  host_slow_.assign(num_hosts_, 0.0);
+}
+
+Status AdaptiveController::Validate() const {
+  if (!active_) return Status::OK();
+  if (spec_.hysteresis < 0 || spec_.hysteresis >= 1) {
+    return Status::InvalidArgument("adapt hysteresis must be in [0, 1)");
+  }
+  if (spec_.drift_threshold <= 0) {
+    return Status::InvalidArgument("adapt drift threshold must be > 0");
+  }
+  if (spec_.rollback_epochs < 1 || spec_.amortize_epochs < 1) {
+    return Status::InvalidArgument(
+        "adapt rollback/amortize horizons must be >= 1 epoch");
+  }
+  if (spec_.max_cooldown_epochs < spec_.cooldown_epochs) {
+    return Status::InvalidArgument(
+        "adapt max_cooldown must be >= the base cooldown");
+  }
+  return Status::OK();
+}
+
+void AdaptiveController::SetTopology(std::vector<AdaptiveStage> stages,
+                                     std::vector<AdaptiveEdge> edges) {
+  stages_ = std::move(stages);
+  edges_ = std::move(edges);
+  stage_fast_.assign(stages_.size(), 0.0);
+  edge_tuples_fast_.assign(edges_.size(), 0.0);
+  edge_bytes_fast_.assign(edges_.size(), 0.0);
+}
+
+void AdaptiveController::EnsureInstruments() {
+  if (instruments_bound_) return;
+  instruments_bound_ = true;
+  StatsScope* scope = scope_maker_ ? scope_maker_() : nullptr;
+  if (scope == nullptr) return;
+  t_drift_ = scope->counter(stats::kAdaptDriftEvents);
+  t_moves_ = scope->counter(stats::kAdaptMovesTaken);
+  t_suppressed_ = scope->counter(stats::kAdaptMovesSuppressed);
+  t_rollbacks_ = scope->counter(stats::kAdaptRollbacks);
+}
+
+void AdaptiveController::Record(AdaptiveDecisionRow row) {
+  engaged_ = true;
+  EnsureInstruments();
+  decisions_.push_back(std::move(row));
+}
+
+double AdaptiveController::FastBottleneck() const {
+  return Bottleneck(host_fast_);
+}
+
+void AdaptiveController::Rebaseline(const AdaptiveSnapshot& snapshot) {
+  prev_host_cycles_ = snapshot.host_cycles;
+  prev_stage_cycles_ = snapshot.stage_cycles;
+  prev_edge_tuples_ = snapshot.edge_tuples;
+  prev_edge_bytes_ = snapshot.edge_bytes;
+  prev_ops_in_ = snapshot.ops_tuples_in;
+  prev_ops_out_ = snapshot.ops_tuples_out;
+  prev_source_ = snapshot.source_tuples;
+  have_prev_ = true;
+}
+
+void AdaptiveController::FoldRates(const AdaptiveSnapshot& snapshot,
+                                   double elapsed) {
+  // First delta after a (re)baseline seeds both EWMAs so the drift metric
+  // starts from zero divergence instead of comparing against a stale regime.
+  const bool seed = rate_epochs_ == 0;
+  auto fold = [&](double& fast, double& slow, double sample) {
+    if (seed) {
+      fast = slow = sample;
+    } else {
+      fast = Ewma(fast, sample, kFastAlpha);
+      slow = Ewma(slow, sample, kSlowAlpha);
+    }
+  };
+  for (int h = 0; h < num_hosts_; ++h) {
+    const double d =
+        (snapshot.host_cycles[h] - prev_host_cycles_[h]) / elapsed;
+    fold(host_fast_[h], host_slow_[h], d);
+  }
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const double d =
+        (snapshot.stage_cycles[s] - prev_stage_cycles_[s]) / elapsed;
+    stage_fast_[s] = seed ? d : Ewma(stage_fast_[s], d, kFastAlpha);
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const double dt =
+        (snapshot.edge_tuples[e] - prev_edge_tuples_[e]) / elapsed;
+    const double db = (snapshot.edge_bytes[e] - prev_edge_bytes_[e]) / elapsed;
+    edge_tuples_fast_[e] =
+        seed ? dt : Ewma(edge_tuples_fast_[e], dt, kFastAlpha);
+    edge_bytes_fast_[e] = seed ? db : Ewma(edge_bytes_fast_[e], db, kFastAlpha);
+  }
+  fold(intake_fast_, intake_slow_,
+       (snapshot.source_tuples - prev_source_) / elapsed);
+  const double din = snapshot.ops_tuples_in - prev_ops_in_;
+  const double dout = snapshot.ops_tuples_out - prev_ops_out_;
+  fold(pass_fast_, pass_slow_, din > 0 ? dout / din : pass_fast_);
+  ++rate_epochs_;
+}
+
+StageRates AdaptiveController::RatesOf(int stage,
+                                       const AdaptiveSnapshot& snapshot) const {
+  StageRates rates;
+  rates.host = snapshot.stage_host[stage];
+  rates.compute_cycles = stage_fast_[stage];
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const AdaptiveEdge& edge = edges_[e];
+    RecostEdge re;
+    re.tuples = edge_tuples_fast_[e];
+    re.bytes = edge_bytes_fast_[e];
+    if (edge.consumer_stage == stage) {
+      re.peer_host = snapshot.edge_from_host[e];
+      rates.inputs.push_back(re);
+    } else if (edge.producer_stage == stage) {
+      re.peer_host = snapshot.stage_host[edge.consumer_stage];
+      rates.outputs.push_back(re);
+    }
+  }
+  return rates;
+}
+
+std::vector<AdaptiveController::Candidate>
+AdaptiveController::EvaluateCandidates(const AdaptiveSnapshot& snapshot) {
+  std::vector<Candidate> out;
+  const double current = Bottleneck(host_fast_);
+  if (current <= kTiny) return out;
+  for (const AdaptiveStage& stage : stages_) {
+    const int from = snapshot.stage_host[stage.id];
+    if (from < 0) continue;
+    const StageRates rates = RatesOf(stage.id, snapshot);
+    for (int to = 0; to < num_hosts_; ++to) {
+      if (to == from) continue;
+      if (to < static_cast<int>(snapshot.host_alive.size()) &&
+          !snapshot.host_alive[to]) {
+        continue;
+      }
+      ++candidates_considered_;
+      Candidate cand;
+      cand.stage = stage.id;
+      cand.to_host = to;
+      cand.bottleneck =
+          Bottleneck(ProjectHostLoads(num_hosts_, host_fast_, rates, to,
+                                      weights_));
+      cand.gain_cycles = current - cand.bottleneck;
+      cand.gain = cand.gain_cycles / current;
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+AdaptiveAction AdaptiveController::OnEpoch(const AdaptiveSnapshot& snapshot) {
+  AdaptiveAction none;
+  if (!active_) return none;
+  const uint64_t eid = snapshot.eid;
+  const double elapsed =
+      last_eid_.has_value() ? static_cast<double>(eid - *last_eid_) : 0.0;
+  last_eid_ = eid;
+  ++epochs_;
+
+  // A kill or migration (by any controller) makes cumulative diffs
+  // meaningless across the boundary: skip this epoch's decision and
+  // re-baseline, letting the EWMAs re-seed from the next clean delta.
+  if (snapshot.topology_changed || !have_prev_ || elapsed <= 0) {
+    Rebaseline(snapshot);
+    rate_epochs_ = 0;
+    return none;
+  }
+
+  FoldRates(snapshot, elapsed);
+  Rebaseline(snapshot);
+
+  // Warmup: no drift events and no decisions until the EWMAs have seen
+  // enough epochs to mean something. Keeps short drift-free runs ledger-
+  // identical to runs without the controller. The latch means a mid-run
+  // re-baseline (after a migration) only needs one fresh delta, so watch
+  // verdicts are not postponed by a second warmup.
+  if (!warmed_) {
+    if (rate_epochs_ <= spec_.warmup_epochs) return none;
+    warmed_ = true;
+  }
+
+  const double drift = std::max(
+      {RelDivergence(intake_fast_, intake_slow_),
+       RelDivergence(pass_fast_, pass_slow_),
+       [&] {
+         double m = 0;
+         for (int h = 0; h < num_hosts_; ++h) {
+           m = std::max(m, RelDivergence(host_fast_[h], host_slow_[h]));
+         }
+         return m;
+       }()});
+  if (drift > spec_.drift_threshold) {
+    ++drift_events_;
+    engaged_ = true;
+    EnsureInstruments();
+    if (t_drift_ != nullptr) t_drift_->Inc();
+  }
+
+  // An open watch freezes new moves: either the deadline verdict fires now,
+  // or we keep measuring.
+  if (watch_.has_value()) {
+    if (eid < watch_->deadline) return none;
+    const double now = FastBottleneck();
+    const double improvement =
+        watch_->baseline > kTiny
+            ? (watch_->baseline - now) / watch_->baseline
+            : 0.0;
+    const Watch watch = *watch_;
+    watch_.reset();
+    if (improvement >= spec_.hysteresis / 2) {
+      // The move paid off: book the commit and reset the backoff.
+      AdaptiveDecisionRow row;
+      row.epoch = eid;
+      row.action = "commit";
+      row.stage = watch.action.stage;
+      row.from_host = watch.from_host;
+      row.to_host = watch.action.to_host;
+      row.gain_pct = improvement * 100.0;
+      row.move_cycles = watch.move_cycles;
+      row.reason = "measured improvement held";
+      Record(std::move(row));
+      cooldown_now_ = spec_.cooldown_epochs;
+      cooldown_until_ = eid + cooldown_now_;
+      return none;
+    }
+    // The measured bottleneck did not improve: revert. Rollbacks bypass
+    // hysteresis and the damper — they are the safety net, not a new bet.
+    AdaptiveAction rollback;
+    rollback.kind = AdaptiveAction::Kind::kRollback;
+    rollback.stage = watch.action.stage;
+    rollback.to_host = watch.from_host;
+    watch_rollback_row_ = AdaptiveDecisionRow{};
+    watch_rollback_row_->epoch = eid;
+    watch_rollback_row_->action = "rollback";
+    watch_rollback_row_->stage = watch.action.stage;
+    watch_rollback_row_->from_host = watch.action.to_host;
+    watch_rollback_row_->to_host = watch.from_host;
+    watch_rollback_row_->gain_pct = improvement * 100.0;
+    watch_rollback_row_->move_cycles = watch.move_cycles;
+    watch_rollback_row_->reason = "no measured improvement within watch";
+    return rollback;
+  }
+
+  std::vector<Candidate> candidates = EvaluateCandidates(snapshot);
+  if (candidates.empty()) return none;
+
+  // Probe hook: once, at probe_epoch, force the WORST candidate through.
+  // This deterministically exercises the rollback path in tests — the move
+  // is real, the watch is real, and the revert must be too.
+  if (spec_.probe_epoch > 0 && !probe_done_ && eid >= spec_.probe_epoch) {
+    probe_done_ = true;
+    const Candidate& worst = *std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) {
+          return a.bottleneck < b.bottleneck;
+        });
+    AdaptiveAction action;
+    action.kind = AdaptiveAction::Kind::kMove;
+    action.stage = worst.stage;
+    action.to_host = worst.to_host;
+    action.probe = true;
+    pending_gain_ = worst.gain;
+    pending_from_ = snapshot.stage_host[worst.stage];
+    return action;
+  }
+
+  const Candidate& best = *std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) {
+        return a.bottleneck < b.bottleneck;
+      });
+  if (best.gain <= 0) return none;
+
+  const int from = snapshot.stage_host[best.stage];
+  const double state_bytes =
+      static_cast<double>(snapshot.stage_state_bytes[best.stage]);
+  // Same pricing as the skew detector: state leaves the blob store once and
+  // lands once, both legs charged at the checkpoint byte rate.
+  const double move_cycles = 2.0 * state_bytes * ckpt_byte_cycles_;
+
+  auto suppressed = [&](const char* reason) {
+    AdaptiveDecisionRow row;
+    row.epoch = eid;
+    row.action = "suppressed";
+    row.stage = best.stage;
+    row.from_host = from;
+    row.to_host = best.to_host;
+    row.gain_pct = best.gain * 100.0;
+    row.move_cycles = move_cycles;
+    row.reason = reason;
+    Record(std::move(row));
+    ++moves_suppressed_;
+    if (t_suppressed_ != nullptr) t_suppressed_->Inc();
+    return none;
+  };
+
+  // Guard order: cheapest disqualifier first. Hysteresis bounds how big the
+  // win must look; amortization prices the migration; the damper kills
+  // oscillation; cooldown enforces quiet time after any executed move.
+  if (best.gain <= spec_.hysteresis) return suppressed("hysteresis");
+  if (move_cycles >
+      best.gain_cycles * static_cast<double>(spec_.amortize_epochs)) {
+    return suppressed("amortization");
+  }
+  for (const MoveRecord& past : move_history_) {
+    if (past.stage == best.stage && past.from_host == best.to_host &&
+        eid - past.eid < spec_.amortize_epochs) {
+      return suppressed("damper");
+    }
+  }
+  if (eid < cooldown_until_) return suppressed("cooldown");
+
+  AdaptiveAction action;
+  action.kind = AdaptiveAction::Kind::kMove;
+  action.stage = best.stage;
+  action.to_host = best.to_host;
+  pending_gain_ = best.gain;
+  pending_from_ = from;
+  return action;
+}
+
+void AdaptiveController::RecordExecuted(const AdaptiveAction& action,
+                                        uint64_t moved_state_bytes) {
+  const uint64_t eid = last_eid_.value_or(0);
+  const double move_cycles =
+      2.0 * static_cast<double>(moved_state_bytes) * ckpt_byte_cycles_;
+  if (action.kind == AdaptiveAction::Kind::kRollback) {
+    AdaptiveDecisionRow row =
+        watch_rollback_row_.value_or(AdaptiveDecisionRow{});
+    watch_rollback_row_.reset();
+    row.move_cycles = move_cycles;
+    Record(std::move(row));
+    ++rollbacks_;
+    moved_state_bytes_ += moved_state_bytes;
+    if (t_rollbacks_ != nullptr) t_rollbacks_->Inc();
+    // The reverted move still counts for the damper — the failed target must
+    // not be retried the next quiet epoch.
+    move_history_.push_back({action.stage, action.to_host, eid});
+    // Capped exponential backoff: each failed bet doubles the quiet time.
+    cooldown_now_ = std::min(std::max<uint64_t>(cooldown_now_, 1) * 2,
+                             spec_.max_cooldown_epochs);
+    cooldown_until_ = eid + cooldown_now_;
+    return;
+  }
+  // Executed move (organic or probe): book the row and open the watch. The
+  // epoch after the migration is measurement-dirty (the runtime re-baselines
+  // it away), so the verdict deadline starts one epoch later.
+  const int from = pending_from_;
+  AdaptiveDecisionRow row;
+  row.epoch = eid;
+  row.action = action.probe ? "probe" : "move";
+  row.stage = action.stage;
+  row.from_host = from;
+  row.to_host = action.to_host;
+  row.gain_pct = pending_gain_ * 100.0;
+  row.move_cycles = move_cycles;
+  row.reason = action.probe ? "forced worst candidate (probe_epoch)"
+                            : "projected gain cleared all guards";
+  Record(std::move(row));
+  ++moves_taken_;
+  if (action.probe) ++probes_;
+  moved_state_bytes_ += moved_state_bytes;
+  if (t_moves_ != nullptr) t_moves_->Inc();
+  move_history_.push_back({action.stage, from, eid});
+  if (cooldown_now_ == 0) cooldown_now_ = spec_.cooldown_epochs;
+  cooldown_until_ = eid + cooldown_now_;
+  Watch watch;
+  watch.action = action;
+  watch.from_host = from;
+  watch.deadline = eid + 1 + spec_.rollback_epochs;
+  watch.baseline = FastBottleneck();
+  watch.move_cycles = move_cycles;
+  watch_ = watch;
+}
+
+void AdaptiveController::RecordMoveUnavailable(const AdaptiveAction& action) {
+  const uint64_t eid = last_eid_.value_or(0);
+  if (action.kind == AdaptiveAction::Kind::kRollback) {
+    // Can't physically revert either; close the watch row as advice.
+    AdaptiveDecisionRow row =
+        watch_rollback_row_.value_or(AdaptiveDecisionRow{});
+    watch_rollback_row_.reset();
+    row.action = "advice";
+    row.reason = "rollback wanted, but no recovery machinery to migrate state";
+    Record(std::move(row));
+    cooldown_until_ = eid + std::max<uint64_t>(cooldown_now_, 1);
+    return;
+  }
+  AdaptiveDecisionRow row;
+  row.epoch = eid;
+  row.action = "advice";
+  row.stage = action.stage;
+  row.from_host = pending_from_;
+  row.to_host = action.to_host;
+  row.gain_pct = pending_gain_ * 100.0;
+  row.reason = "move wanted, but no recovery machinery to migrate state";
+  Record(std::move(row));
+  if (cooldown_now_ == 0) cooldown_now_ = spec_.cooldown_epochs;
+  cooldown_until_ = eid + cooldown_now_;
+}
+
+AdaptiveSection AdaptiveController::section() const {
+  AdaptiveSection section;
+  section.active = active_;
+  section.engaged = engaged_;
+  section.epochs = epochs_;
+  section.drift_events = drift_events_;
+  section.candidates_considered = candidates_considered_;
+  section.moves_taken = moves_taken_;
+  section.moves_suppressed = moves_suppressed_;
+  section.rollbacks = rollbacks_;
+  section.probes = probes_;
+  section.moved_state_bytes = moved_state_bytes_;
+  section.decisions = decisions_;
+  return section;
+}
+
+}  // namespace streampart

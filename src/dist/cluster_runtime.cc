@@ -116,6 +116,12 @@ void ClusterRuntime::set_fault_plan(FaultPlan plan) {
     // overload controller and no fault controller.
     overload_ = std::make_unique<OverloadController>(plan, config_.num_hosts);
   }
+  adaptive_.reset();
+  if (plan.adaptive.enabled) {
+    // The adapt directive arms feedback-driven placement on its own; with
+    // no checkpoint_interval its moves degrade to advice-only decisions.
+    adaptive_ = std::make_unique<AdaptiveController>(plan, config_.num_hosts);
+  }
   if (plan.empty()) {
     // An empty plan is inert by constraint: no controller exists, so every
     // execution path is byte-identical to a run without the call.
@@ -330,6 +336,24 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     BindShedWeights();
   }
 
+  if (adaptive_ != nullptr) {
+    SP_RETURN_NOT_OK(adaptive_->Validate());
+    // Re-costing uses the same cycle currency as budget enforcement and the
+    // ledger; migrations are priced at the checkpoint byte rate like the
+    // skew detector's partition moves.
+    adaptive_->set_cost_weights(
+        RecostWeights{cost_params_.cycles_per_remote_tuple,
+                      cost_params_.cycles_per_remote_byte},
+        cost_params_.cycles_per_checkpoint_byte);
+    if (telemetry_enabled_) {
+      // The controller is a cluster-wide decision maker, not a per-host one:
+      // its instruments live in host 0's registry under a single scope.
+      adaptive_->set_scope_maker(
+          [this]() { return host_stats_[0]->GetScope("adaptive"); });
+    }
+    BuildAdaptiveTopology();
+  }
+
   if (recovery_active()) {
     // Pre-create every delivery log, suppression window, and acked-edge
     // shard the run can touch. Present-but-empty entries are semantically
@@ -418,6 +442,175 @@ void ClusterRuntime::BindShedWeights() {
 void ClusterRuntime::RebindShedWeight(int id) {
   if (overload_ == nullptr || shed_bound_.empty() || !shed_bound_[id]) return;
   instances_[id]->BindShedWeight(overload_->shed_weight());
+}
+
+void ClusterRuntime::BuildAdaptiveTopology() {
+  const int n = static_cast<int>(plan_->size());
+  // Union-find over build-time local edges: a stage is a maximal group of
+  // same-host operators wired by direct links, so it can only move as a
+  // unit. Cross-stage edges are remote by construction (local edges connect
+  // same-host ops, and connectivity is transitive), so every stage-boundary
+  // delivery already re-resolves hosts at delivery time.
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [child, edges] : local_edges_) {
+    for (const Edge& e : edges) parent[find(child)] = find(e.consumer);
+  }
+  adaptive_stage_of_.assign(n, -1);
+  std::vector<int> root_stage(n, -1);
+  std::vector<AdaptiveStage> stages;
+  for (int id : plan_->TopoOrder()) {
+    if (instances_[id] == nullptr) continue;  // sources are not movable
+    int root = find(id);
+    if (root_stage[root] < 0) {
+      root_stage[root] = static_cast<int>(stages.size());
+      AdaptiveStage stage;
+      stage.id = root_stage[root];
+      stage.label = instances_[id]->label();
+      stages.push_back(std::move(stage));
+    }
+    adaptive_stage_of_[id] = root_stage[root];
+    stages[root_stage[root]].ops.push_back(id);
+  }
+
+  // Measured edges: capture intake into each consuming stage (one edge per
+  // consumer — every consumer receives its own copy of the partition's
+  // traffic), plus every cross-stage operator edge.
+  std::vector<AdaptiveEdge> edges;
+  adaptive_edge_src_.clear();
+  for (const auto& [name, partitions] : routing_) {
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      for (const Edge& e : partitions[p]) {
+        AdaptiveEdge ae;
+        ae.consumer_stage = adaptive_stage_of_[e.consumer];
+        ae.source_partition = static_cast<int>(p);
+        edges.push_back(ae);
+        adaptive_edge_src_.push_back({-1, static_cast<int>(p)});
+      }
+    }
+  }
+  for (const auto& [child, redges] : remote_edges_) {
+    for (const Edge& e : redges) {
+      AdaptiveEdge ae;
+      ae.producer_stage = adaptive_stage_of_[child];
+      ae.consumer_stage = adaptive_stage_of_[e.consumer];
+      edges.push_back(ae);
+      adaptive_edge_src_.push_back({child, -1});
+    }
+  }
+  adaptive_partition_tuples_.assign(partition_host_merged_.size(), 0);
+  adaptive_partition_bytes_.assign(partition_host_merged_.size(), 0);
+  adaptive_->SetTopology(std::move(stages), std::move(edges));
+}
+
+AdaptiveSnapshot ClusterRuntime::TakeAdaptiveSnapshot(uint64_t eid) {
+  AdaptiveSnapshot snap;
+  snap.eid = eid;
+  snap.topology_changed = adaptive_topology_dirty_;
+  adaptive_topology_dirty_ = false;
+  snap.host_cycles.resize(config_.num_hosts);
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    snap.host_cycles[h] = ModelCyclesNow(h);
+  }
+  const std::vector<AdaptiveStage>& stages = adaptive_->stages();
+  snap.stage_host.resize(stages.size());
+  snap.stage_cycles.resize(stages.size());
+  snap.stage_state_bytes.resize(stages.size());
+  for (const AdaptiveStage& stage : stages) {
+    snap.stage_host[stage.id] = op_host_[stage.ops.front()];
+    // Per-stage compute, priced like ModelCyclesNow but over this stage's
+    // live instances only (no capture/network/checkpoint terms — those
+    // belong to hosts, not stages).
+    HostMetrics m;
+    uint64_t state_bytes = 0;
+    for (int id : stage.ops) {
+      if (instances_[id] == nullptr) continue;
+      if (plan_->op(id).kind == DistOpKind::kMerge) {
+        m.merge_ops += instances_[id]->stats();
+      } else {
+        m.ops += instances_[id]->stats();
+      }
+      if (recovery_active() && recovery_->HasBlob(id)) {
+        state_bytes += recovery_->BlobStoredBytes(id);
+      }
+    }
+    snap.stage_cycles[stage.id] = HostCycles(m, cost_params_);
+    snap.stage_state_bytes[stage.id] = state_bytes;
+  }
+  const std::vector<AdaptiveEdge>& edges = adaptive_->edges();
+  snap.edge_from_host.resize(edges.size());
+  snap.edge_tuples.resize(edges.size());
+  snap.edge_bytes.resize(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const AdaptiveEdgeSrc& src = adaptive_edge_src_[i];
+    if (src.producer_op >= 0) {
+      const OpStats& st = instances_[src.producer_op]->stats();
+      snap.edge_from_host[i] = op_host_[src.producer_op];
+      snap.edge_tuples[i] = static_cast<double>(st.tuples_out);
+      snap.edge_bytes[i] = static_cast<double>(st.bytes_out);
+    } else {
+      snap.edge_from_host[i] = partition_host_merged_[src.partition];
+      snap.edge_tuples[i] =
+          static_cast<double>(adaptive_partition_tuples_[src.partition]);
+      snap.edge_bytes[i] =
+          static_cast<double>(adaptive_partition_bytes_[src.partition]);
+    }
+  }
+  double tuples_in = 0, tuples_out = 0;
+  for (const OperatorPtr& inst : instances_) {
+    if (inst == nullptr) continue;
+    tuples_in += static_cast<double>(inst->stats().tuples_in);
+    tuples_out += static_cast<double>(inst->stats().tuples_out);
+  }
+  snap.ops_tuples_in = tuples_in;
+  snap.ops_tuples_out = tuples_out;
+  snap.source_tuples = static_cast<double>(result_.source_tuples);
+  snap.host_alive.assign(config_.num_hosts, true);
+  if (faults_ != nullptr) {
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      snap.host_alive[h] = faults_->host_alive(h);
+    }
+  }
+  return snap;
+}
+
+void ClusterRuntime::AdaptiveOnTime(uint64_t time) {
+  uint64_t eid = time / adaptive_->epoch_width();
+  if (!adaptive_->EpochBoundary(eid)) return;
+  AdaptiveSnapshot snap = TakeAdaptiveSnapshot(eid);
+  AdaptiveAction action = adaptive_->OnEpoch(snap);
+  if (action.kind != AdaptiveAction::Kind::kNone) {
+    ExecuteAdaptiveAction(action);
+  }
+}
+
+void ClusterRuntime::ExecuteAdaptiveAction(const AdaptiveAction& action) {
+  const bool target_alive =
+      faults_ == nullptr || faults_->host_alive(action.to_host);
+  if (!recovery_active() || !target_alive) {
+    // No state-migration machinery (or no live target): record the advice
+    // instead of moving blind — a lossy move would invalidate open windows,
+    // which is worse than running a stale placement. Mirrors
+    // ExecuteSkewMove's advice-only degradation.
+    adaptive_->RecordMoveUnavailable(action);
+    return;
+  }
+  const AdaptiveStage& stage = adaptive_->stages()[action.stage];
+  uint64_t moved_bytes = 0;
+  if (MigrateStage(stage, action.to_host, &moved_bytes)) {
+    adaptive_->RecordExecuted(action, moved_bytes);
+    // The next snapshot diffs across the migration; re-baseline instead.
+    adaptive_topology_dirty_ = true;
+  } else {
+    adaptive_->RecordMoveUnavailable(action);
+  }
 }
 
 double ClusterRuntime::ModelCyclesNow(int host) const {
@@ -892,20 +1085,10 @@ void ClusterRuntime::MigrateHost(int host) {
     }
   }
 
-  // The dead instance's work folds into the dead host's ledger row (work it
-  // really performed); the replacement folds into the target at end of run.
-  // Replay re-emissions of outputs already published before the kill are
-  // suppressed by output index — the new instance's emission numbering
-  // restarts at the snapshot point.
-  for (int id : migrated) {
-    if (plan_->op(id).kind == DistOpKind::kMerge) {
-      result_.hosts[host].merge_ops += instances_[id]->stats();
-    } else {
-      result_.hosts[host].ops += instances_[id]->stats();
-    }
-    recovery_->SetSuppression(id, instances_[id]->stats().tuples_out -
-                                      recovery_->CheckpointTuplesOut(id));
-  }
+  // The dead instances' work folds into the dead host's ledger row (work
+  // they really performed); the replacements fold into the target at end of
+  // run.
+  FoldAndSuppress(migrated);
 
   // Re-home the dead host's source partitions: the tap keeps feeding the
   // same partitions, now served by the target.
@@ -918,7 +1101,31 @@ void ClusterRuntime::MigrateHost(int host) {
     if (h == host) h = target;
   }
 
-  // Rebuild each operator on the target from its last snapshot.
+  RebuildAndRestore(migrated, target);
+  RewireMigrated(migrated);
+  ReplayDeliveryLogs(migrated, target);
+}
+
+void ClusterRuntime::FoldAndSuppress(const std::vector<int>& migrated) {
+  // Each op's work so far folds into the host that actually ran it. Replay
+  // re-emissions of outputs already published since the last checkpoint are
+  // suppressed by output index — the rebuilt instance's emission numbering
+  // restarts at the snapshot point.
+  for (int id : migrated) {
+    int host = op_host_[id];
+    if (plan_->op(id).kind == DistOpKind::kMerge) {
+      result_.hosts[host].merge_ops += instances_[id]->stats();
+    } else {
+      result_.hosts[host].ops += instances_[id]->stats();
+    }
+    recovery_->SetSuppression(id, instances_[id]->stats().tuples_out -
+                                      recovery_->CheckpointTuplesOut(id));
+  }
+}
+
+uint64_t ClusterRuntime::RebuildAndRestore(const std::vector<int>& migrated,
+                                           int target) {
+  uint64_t restored_bytes = 0;
   for (int id : migrated) {
     instances_[id] = MakeInstance(id);
     op_host_[id] = target;
@@ -937,9 +1144,13 @@ void ClusterRuntime::MigrateHost(int host) {
       BumpCheckpointStat(target, stats::kCkptRestores, 1);
       BumpCheckpointStat(target, stats::kCkptRestoredBytes, bytes);
       recovery_->ResetCheckpointTuplesOut(id);
+      restored_bytes += bytes;
     }
   }
+  return restored_bytes;
+}
 
+void ClusterRuntime::RewireMigrated(const std::vector<int>& migrated) {
   // Rewire the replacements in exactly Build's per-producer order.
   for (int id : migrated) {
     if (auto it = local_edges_.find(id); it != local_edges_.end()) {
@@ -956,7 +1167,10 @@ void ClusterRuntime::MigrateHost(int host) {
       AttachResultSink(id);
     }
   }
+}
 
+void ClusterRuntime::ReplayDeliveryLogs(const std::vector<int>& migrated,
+                                        int target) {
   // Replay each operator's post-snapshot delivery suffix, in original
   // arrival order. Local-edge sinks are muted (each migrated consumer
   // replays its own log) and external re-emissions are suppressed by index,
@@ -985,7 +1199,8 @@ void ClusterRuntime::PushSource(const std::string& source,
   }
   auto it = routing_.find(source);
   if (it == routing_.end() || partitioner_ == nullptr) return;
-  if (faults_active() || recovery_active() || overload_active()) {
+  if (faults_active() || recovery_active() || overload_active() ||
+      adaptive_active()) {
     ObserveSourceTime(tuple);
   }
   int p = partitioner_->PartitionOf(tuple);
@@ -1040,6 +1255,13 @@ void ClusterRuntime::DeliverSource(const std::string& source, int p,
   auto it = routing_.find(source);
   result_.hosts[src_host].source_tuples++;
   result_.source_tuples++;
+  if (adaptive_active() &&
+      p < static_cast<int>(adaptive_partition_tuples_.size())) {
+    // Per-partition intake rates feed the controller's measured cost model
+    // (every consumer edge of partition p carries this traffic).
+    adaptive_partition_tuples_[p]++;
+    adaptive_partition_bytes_[p] += EncodedTupleSize(tuple);
+  }
   // Serialize at most once per tuple: traffic is accounted on every remote
   // edge, but all remote consumers share one decoded copy.
   std::optional<Tuple> decoded;
@@ -1094,11 +1316,13 @@ void ClusterRuntime::PushSourceBatch(const std::string& source,
     }
     return;
   }
-  if (faults_active() || recovery_active() || overload_active()) {
+  if (faults_active() || recovery_active() || overload_active() ||
+      adaptive_active()) {
     // Kills act at tuple granularity (a host can die mid-batch), channel
     // faults must draw the same deterministic sequence on both execution
-    // paths, acked edges sequence per tuple, and shed/budget admission is a
-    // per-tuple decision — so the batched route degenerates to per-tuple
+    // paths, acked edges sequence per tuple, shed/budget admission is a
+    // per-tuple decision, and adaptive epoch snapshots must observe every
+    // source-time boundary — so the batched route degenerates to per-tuple
     // delivery while any of them is live.
     for (const Tuple& tuple : batch) PushSource(source, tuple);
     return;
@@ -1269,7 +1493,8 @@ void ClusterRuntime::StartParallel() {
         "across worker threads";
     return;
   }
-  bool controllers = faults_active() || recovery_active() || overload_active();
+  bool controllers = faults_active() || recovery_active() ||
+                     overload_active() || adaptive_active();
   parallel_mode_ = controllers ? ParallelMode::kBarrier : ParallelMode::kPipeline;
   if (exec_mode_ == ExecMode::kColumnar) {
     // Workers move row morsels through SPSC rings; columnar delivery is a
@@ -1387,6 +1612,11 @@ void ClusterRuntime::ParallelPushSource(const std::string& source,
   // the per-edge delivery loop runs on the partition's host worker.
   result_.hosts[src_host].source_tuples++;
   result_.source_tuples++;
+  if (adaptive_active() &&
+      p < static_cast<int>(adaptive_partition_tuples_.size())) {
+    adaptive_partition_tuples_[p]++;
+    adaptive_partition_bytes_[p] += EncodedTupleSize(tuple);
+  }
   ParallelWorkItem item;
   item.edges = &it->second[p];
   item.partition = p;
@@ -1676,6 +1906,11 @@ void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
   // queues and due checkpoints charge the epoch they belong to) and before
   // kills, so a kill at the boundary sees the closed epoch's charges.
   if (overload_active()) OverloadOnTime(time);
+  // Adaptive placement decides last among the controllers: its snapshot
+  // sees settled epoch state (checkpoints stored, skew moves executed),
+  // and a kill due at the same boundary dirties the next snapshot instead
+  // of racing this one.
+  if (adaptive_active()) AdaptiveOnTime(time);
   for (int host : due_kills) KillHost(host);
 }
 
@@ -1781,19 +2016,7 @@ bool ClusterRuntime::MigratePartition(int partition, int target) {
   if (migrated.empty() && partition_host_merged_[partition] == target) {
     return false;
   }
-  // Work done so far folds into the host that actually did it; replay
-  // re-emissions of already-published outputs are suppressed by index,
-  // exactly as in MigrateHost.
-  for (int id : migrated) {
-    int old_host = op_host_[id];
-    if (plan_->op(id).kind == DistOpKind::kMerge) {
-      result_.hosts[old_host].merge_ops += instances_[id]->stats();
-    } else {
-      result_.hosts[old_host].ops += instances_[id]->stats();
-    }
-    recovery_->SetSuppression(id, instances_[id]->stats().tuples_out -
-                                      recovery_->CheckpointTuplesOut(id));
-  }
+  FoldAndSuppress(migrated);
   // Re-home the partition: the tap keeps feeding it, now on the target.
   for (auto& [name, hosts] : partition_hosts_) {
     if (partition < static_cast<int>(hosts.size())) {
@@ -1801,54 +2024,32 @@ bool ClusterRuntime::MigratePartition(int partition, int target) {
     }
   }
   partition_host_merged_[partition] = target;
-  // Rebuild each operator on the target from its last snapshot.
-  for (int id : migrated) {
-    instances_[id] = MakeInstance(id);
-    op_host_[id] = target;
-    BindInstanceTelemetry(id);
-    RebindShedWeight(id);
-    recovery_->CountMigratedOp();
-    if (recovery_->HasBlob(id)) {
-      Status restored =
-          instances_[id]->RestoreState(recovery_->BlobPayload(id));
-      SP_CHECK(restored.ok())
-          << "restoring op " << id
-          << " for partition move failed: " << restored.ToString();
-      uint64_t bytes = recovery_->BlobStoredBytes(id);
-      recovery_->CountRestore(bytes);
-      result_.hosts[target].ckpt_restored_bytes += bytes;
-      BumpCheckpointStat(target, stats::kCkptRestores, 1);
-      BumpCheckpointStat(target, stats::kCkptRestoredBytes, bytes);
-      recovery_->ResetCheckpointTuplesOut(id);
+  RebuildAndRestore(migrated, target);
+  RewireMigrated(migrated);
+  ReplayDeliveryLogs(migrated, target);
+  if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
+  return true;
+}
+
+bool ClusterRuntime::MigrateStage(const AdaptiveStage& stage, int target,
+                                  uint64_t* moved_bytes) {
+  // The stage's ops are already in topo order (BuildAdaptiveTopology walks
+  // TopoOrder), so upstream replacements exist before anything replays into
+  // their consumers — the same invariant MigrateHost relies on. Stages
+  // contain no sources, so no partition re-homing happens here: intake
+  // keeps landing on the tap hosts and the stage-boundary edges re-resolve
+  // the new host at delivery time.
+  std::vector<int> migrated;
+  for (int id : stage.ops) {
+    if (instances_[id] != nullptr && op_host_[id] != target) {
+      migrated.push_back(id);
     }
   }
-  // Rewire in exactly Build's per-producer order, then replay each
-  // operator's post-snapshot delivery suffix with side effects muted.
-  for (int id : migrated) {
-    if (auto it = local_edges_.find(id); it != local_edges_.end()) {
-      for (const Edge& e : it->second) WireLocalEdge(id, e.consumer, e.port);
-    }
-    if (auto it = remote_edges_.find(id); it != remote_edges_.end()) {
-      for (const Edge& e : it->second) {
-        AddRemoteFinishHook(id, e.consumer, e.port);
-      }
-      AttachRemoteSinks(id);
-    }
-    if (std::find(sink_ids_.begin(), sink_ids_.end(), id) !=
-        sink_ids_.end()) {
-      AttachResultSink(id);
-    }
-  }
-  replaying_ = true;
-  for (int id : migrated) {
-    const auto& log = recovery_->DeliveryLog(id);
-    for (const RecoveryCoordinator::Delivery& d : log) {
-      instances_[id]->Push(d.port, d.tuple);
-    }
-    recovery_->CountReplayedTuples(log.size());
-    BumpCheckpointStat(target, stats::kCkptReplayedTuples, log.size());
-  }
-  replaying_ = false;
+  if (migrated.empty()) return false;
+  FoldAndSuppress(migrated);
+  *moved_bytes = RebuildAndRestore(migrated, target);
+  RewireMigrated(migrated);
+  ReplayDeliveryLogs(migrated, target);
   return true;
 }
 
@@ -1860,6 +2061,7 @@ void ClusterRuntime::KillHost(int host) {
   faults_->FlushAll();
   if (recovery_active()) {
     MigrateHost(host);
+    if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
     return;
   }
   // Record window-invalidation markers for the open state the host loses,
@@ -1881,6 +2083,7 @@ void ClusterRuntime::KillHost(int host) {
   }
   faults_->MarkDead(host);
   result_.dead_hosts.push_back(host);
+  if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
   // Downstream ports fed by the dead host would otherwise wait for an EOS
   // that can never arrive: finish them now (Finish is idempotent per port,
   // so the end-of-run pass is unaffected).
@@ -1940,6 +2143,7 @@ void ClusterRuntime::Repartition() {
     state_tuples += instances_[id]->open_state().tuples;
   }
   faults_->RecordRepartition(state_tuples);
+  if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
 }
 
 RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
@@ -1974,6 +2178,11 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
     // SetOverload drops disengaged sections, so a run whose budget always
     // covered the load serializes byte-identically to a budget-free run.
     ledger.SetOverload(overload_->section());
+  }
+  if (adaptive_active()) {
+    // SetAdaptive drops never-engaged sections, so a drift-free run with the
+    // controller armed serializes byte-identically to an unarmed run.
+    ledger.SetAdaptive(adaptive_->section());
   }
   // SetSketch drops inactive sections, so exact plans stay byte-identical.
   ledger.SetSketch(MakeSketchSection());

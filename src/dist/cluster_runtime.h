@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/adaptive.h"
 #include "dist/checkpoint.h"
 #include "dist/fault.h"
 #include "dist/overload.h"
@@ -147,6 +148,11 @@ class ClusterRuntime {
   const OverloadController* overload_controller() const {
     return overload_.get();
   }
+  /// \brief The adaptive placement controller, or nullptr when the plan
+  /// carried no `adapt` directive.
+  const AdaptiveController* adaptive_controller() const {
+    return adaptive_.get();
+  }
 
   /// \brief Instantiates operators and channels; builds the partitioner for
   /// \p actual_ps (round-robin when empty).
@@ -218,6 +224,8 @@ class ClusterRuntime {
   bool recovery_active() const { return recovery_ != nullptr; }
   /// True when the plan armed budgets or shedding (dist/overload.h).
   bool overload_active() const { return overload_ != nullptr; }
+  /// True when the plan armed adaptive placement (dist/adaptive.h).
+  bool adaptive_active() const { return adaptive_ != nullptr; }
   /// Current host of plan operator \p id (build placement until migration).
   int OpHost(int id) const { return op_host_[id]; }
   /// Current host of an acked edge's producer: an operator's host, or the
@@ -278,6 +286,21 @@ class ClusterRuntime {
   /// Recovery flavor of a host kill: rebuild the dead host's operators on a
   /// survivor from the last checkpoint and replay their delivery logs.
   void MigrateHost(int host);
+  // Shared migration sequence (MigrateHost / MigratePartition /
+  // MigrateStage all run exactly these four phases over a topo-ordered id
+  // list; only who re-homes which partitions differs between callers).
+  /// Phase 1: fold each op's work into the host that actually ran it and
+  /// arm replay suppression for outputs already published since the last
+  /// checkpoint.
+  void FoldAndSuppress(const std::vector<int>& migrated);
+  /// Phase 2: rebuild each op on \p target from its last snapshot. Returns
+  /// the checkpoint bytes restored (the migration's state-transfer size).
+  uint64_t RebuildAndRestore(const std::vector<int>& migrated, int target);
+  /// Phase 3: rewire the replacements in exactly Build's per-producer order.
+  void RewireMigrated(const std::vector<int>& migrated);
+  /// Phase 4: replay each op's post-snapshot delivery suffix with side
+  /// effects muted.
+  void ReplayDeliveryLogs(const std::vector<int>& migrated, int target);
   /// Bumps a counter in the per-host `checkpoint#<host>` telemetry scope.
   void BumpCheckpointStat(int host, const StatDef& def, uint64_t n);
   /// Bumps a counter in the sender-side `channel#<from>-><to>` scope.
@@ -318,6 +341,25 @@ class ClusterRuntime {
   void BindShedWeights();
   /// Re-binds the shed weight on a rebuilt (migrated) instance.
   void RebindShedWeight(int id);
+
+  // --- Adaptive placement (dist/adaptive.h) ---
+  /// Decomposes the plan into movable stages (connected components of
+  /// same-host operators over local edges) and the cross-stage / intake
+  /// edges the controller measures; installs them on the controller.
+  void BuildAdaptiveTopology();
+  /// Assembles the epoch-boundary snapshot of cumulative counters.
+  AdaptiveSnapshot TakeAdaptiveSnapshot(uint64_t eid);
+  /// Epoch hook: snapshots, lets the controller decide, and executes any
+  /// resulting stage move or rollback.
+  void AdaptiveOnTime(uint64_t time);
+  /// Executes a controller action: MigrateStage when the recovery machinery
+  /// and a live target exist, advice-only otherwise.
+  void ExecuteAdaptiveAction(const AdaptiveAction& action);
+  /// Migrates every operator of \p stage onto \p target via the recovery
+  /// machinery (same four phases as MigrateHost). Returns false when
+  /// nothing needed to move; \p moved_bytes gets the restored state size.
+  bool MigrateStage(const AdaptiveStage& stage, int target,
+                    uint64_t* moved_bytes);
 
   // --- Parallel execution (dist/parallel_exec.h) ---
   /// Selects the mode, constructs the executor, and starts the pool (end of
@@ -458,6 +500,26 @@ class ClusterRuntime {
   /// Plan op ids whose instance consumed the shed weight at Build; a
   /// migrated rebuild must re-bind (empty when shedding is unarmed).
   std::vector<char> shed_bound_;
+
+  // --- Adaptive placement (null when the plan has no adapt directive) ---
+  std::unique_ptr<AdaptiveController> adaptive_;
+  /// Maps each plan op to its stage (-1 for sources); valid after
+  /// BuildAdaptiveTopology.
+  std::vector<int> adaptive_stage_of_;
+  /// How to measure each controller edge: the producing op (cross-stage
+  /// edges) or the source partition (intake edges, producer_op < 0).
+  struct AdaptiveEdgeSrc {
+    int producer_op = -1;
+    int partition = -1;
+  };
+  std::vector<AdaptiveEdgeSrc> adaptive_edge_src_;
+  /// Cumulative per-partition intake (driver-side capture sites), measured
+  /// only while adaptive placement is armed.
+  std::vector<uint64_t> adaptive_partition_tuples_;
+  std::vector<uint64_t> adaptive_partition_bytes_;
+  /// Set by any kill/migration/repartition: the next snapshot re-baselines
+  /// instead of diffing across the discontinuity.
+  bool adaptive_topology_dirty_ = false;
 
   // --- Lossless recovery (null when checkpoint_interval == 0) ---
   std::unique_ptr<RecoveryCoordinator> recovery_;

@@ -48,11 +48,10 @@ Result<ExperimentCell> ExperimentRunner::RunCell(
   runtime.set_exec_mode(exec_mode);
   // Budgets are charged in the same cycle currency the ledger reports.
   runtime.set_cost_params(cpu_params_);
-  // A checkpoint-only plan injects no faults (empty() is true) but still
-  // arms the recovery machinery; likewise a budget/shed-only plan arms the
-  // overload controller.
-  if (!config.faults.empty() || config.faults.checkpoint_interval > 0 ||
-      config.faults.overload_enabled()) {
+  // armed() covers every controller a plan can carry (fault injection,
+  // recovery, overload, adaptive placement) — a plan that looks "empty" to
+  // the fault controller can still arm one of the others.
+  if (config.faults.armed()) {
     runtime.set_fault_plan(config.faults);
   }
   SP_RETURN_NOT_OK(runtime.Build(config.ps));

@@ -230,6 +230,54 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
       } else {
         return bad("unknown shed key '" + std::string(key) + "'");
       }
+    } else if (directive == "adapt") {
+      if (tokens.size() < 2) {
+        return bad("expected 'adapt on' or 'adapt key=value ...'");
+      }
+      plan.adaptive.enabled = true;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        if (tokens[t] == "on") continue;  // bare arming, defaults apply
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected 'on' or key=value tokens after 'adapt'");
+        }
+        if (key == "warmup") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.warmup_epochs,
+                              ParseUint(line_no, key, value));
+        } else if (key == "hysteresis") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.hysteresis,
+                              ParseProbability(line_no, key, value));
+        } else if (key == "cooldown") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.cooldown_epochs,
+                              ParseUint(line_no, key, value));
+        } else if (key == "max_cooldown") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.max_cooldown_epochs,
+                              ParseUint(line_no, key, value));
+          if (plan.adaptive.max_cooldown_epochs == 0) {
+            return bad("'max_cooldown' must be >= 1 epoch");
+          }
+        } else if (key == "rollback") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.rollback_epochs,
+                              ParseUint(line_no, key, value));
+          if (plan.adaptive.rollback_epochs == 0) {
+            return bad("'rollback' must be >= 1 epoch");
+          }
+        } else if (key == "amortize") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.amortize_epochs,
+                              ParseUint(line_no, key, value));
+          if (plan.adaptive.amortize_epochs == 0) {
+            return bad("'amortize' must be >= 1 epoch");
+          }
+        } else if (key == "drift") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.drift_threshold,
+                              ParseProbability(line_no, key, value));
+        } else if (key == "probe_epoch") {
+          SP_ASSIGN_OR_RETURN(plan.adaptive.probe_epoch,
+                              ParseUint(line_no, key, value));
+        } else {
+          return bad("unknown adapt key '" + std::string(key) + "'");
+        }
+      }
     } else {
       return bad("unknown directive '" + std::string(directive) + "'");
     }
@@ -284,6 +332,37 @@ std::string FaultPlan::ToString() const {
   }
   if (shed.fixed_m > 0) out << "shed m=" << shed.fixed_m << "\n";
   if (shed.max_m > 0) out << "shed max_m=" << shed.max_m << "\n";
+  if (adaptive.enabled) {
+    const AdaptiveSpec defaults;
+    out << "adapt on";
+    if (adaptive.warmup_epochs != defaults.warmup_epochs) {
+      out << " warmup=" << adaptive.warmup_epochs;
+    }
+    if (adaptive.hysteresis != defaults.hysteresis) {
+      std::snprintf(num, sizeof(num), "%.17g", adaptive.hysteresis);
+      out << " hysteresis=" << num;
+    }
+    if (adaptive.cooldown_epochs != defaults.cooldown_epochs) {
+      out << " cooldown=" << adaptive.cooldown_epochs;
+    }
+    if (adaptive.max_cooldown_epochs != defaults.max_cooldown_epochs) {
+      out << " max_cooldown=" << adaptive.max_cooldown_epochs;
+    }
+    if (adaptive.rollback_epochs != defaults.rollback_epochs) {
+      out << " rollback=" << adaptive.rollback_epochs;
+    }
+    if (adaptive.amortize_epochs != defaults.amortize_epochs) {
+      out << " amortize=" << adaptive.amortize_epochs;
+    }
+    if (adaptive.drift_threshold != defaults.drift_threshold) {
+      std::snprintf(num, sizeof(num), "%.17g", adaptive.drift_threshold);
+      out << " drift=" << num;
+    }
+    if (adaptive.probe_epoch != defaults.probe_epoch) {
+      out << " probe_epoch=" << adaptive.probe_epoch;
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

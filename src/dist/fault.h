@@ -86,6 +86,35 @@ struct ShedSpec {
   bool enabled() const { return fixed_m > 0 || max_m > 0; }
 };
 
+/// \brief Knobs of the runtime-adaptive placement loop (dist/adaptive.h).
+/// `adapt on` arms the controller with these defaults; any `adapt key=value`
+/// line both arms it and overrides the named knob.
+struct AdaptiveSpec {
+  bool enabled = false;
+  /// Epochs observed before the first decision (EWMA warm-up).
+  uint64_t warmup_epochs = 3;
+  /// Minimum relative bottleneck improvement a move must project before it
+  /// is taken; candidates below the bar are recorded as suppressed.
+  double hysteresis = 0.15;
+  /// Epochs the controller stays quiet after executing a move. Doubles after
+  /// every rollback (capped-backoff) and resets on a committed improvement.
+  uint64_t cooldown_epochs = 2;
+  /// Cap for the backoff-doubled cooldown.
+  uint64_t max_cooldown_epochs = 16;
+  /// Epochs a move has to beat its pre-move baseline before it is rolled
+  /// back automatically.
+  uint64_t rollback_epochs = 3;
+  /// Amortization horizon: a move is taken only when its projected per-epoch
+  /// gain repays the migration cost within this many epochs, and the
+  /// oscillation damper forbids reversing a move inside the same horizon.
+  uint64_t amortize_epochs = 8;
+  /// Relative fast-vs-slow EWMA divergence that counts as a drift event.
+  double drift_threshold = 0.25;
+  /// When > 0, force the worst-projected candidate once at this epoch — a
+  /// deterministic way to exercise the rollback path in tests.
+  uint64_t probe_epoch = 0;
+};
+
 /// \brief A complete, seeded fault scenario.
 struct FaultPlan {
   uint64_t seed = 1;
@@ -111,6 +140,8 @@ struct FaultPlan {
   std::vector<HostBudgetSpec> budgets;
   /// Tap-level shedding policy (inert unless budgets force it or fixed).
   ShedSpec shed;
+  /// Runtime-adaptive placement loop (dist/adaptive.h).
+  AdaptiveSpec adaptive;
 
   /// \brief True when the plan injects nothing (controller stays inert).
   /// Budgets/shedding are deliberately excluded: a budget-only plan arms the
@@ -119,6 +150,17 @@ struct FaultPlan {
 
   /// \brief True when the plan arms the overload controller.
   bool overload_enabled() const { return !budgets.empty() || shed.enabled(); }
+
+  /// \brief True when installing the plan arms *any* controller — fault
+  /// injection, checkpoint/recovery, overload control, or adaptive
+  /// placement. Every install site must use this predicate (not empty()):
+  /// PR 4 silently dropped checkpoint-only plans and PR 5 budget-only plans
+  /// by testing empty() alone, and each new controller would re-open the
+  /// same gap.
+  bool armed() const {
+    return !empty() || checkpoint_interval > 0 || overload_enabled() ||
+           adaptive.enabled;
+  }
 
   /// \brief Parses the line-based plan format (docs/FAULTS.md):
   ///
@@ -131,6 +173,7 @@ struct FaultPlan {
   ///     channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64
   ///     budget host=1 cycles=5e8 queue=256 reserve=0.05
   ///     shed m=4            # or: shed max_m=64
+  ///     adapt on            # or: adapt warmup=3 hysteresis=0.15 ...
   static Result<FaultPlan> Parse(const std::string& text);
 
   /// \brief Reads and parses a plan file.

@@ -208,6 +208,35 @@ std::string OverloadSectionJson(const OverloadSection& o) {
   return out;
 }
 
+std::string AdaptiveSectionJson(const AdaptiveSection& a) {
+  std::string out = "{\"record\":\"adaptive\"";
+  out += ",\"epochs\":" + std::to_string(a.epochs);
+  out += ",\"drift_events\":" + std::to_string(a.drift_events);
+  out += ",\"candidates_considered\":" +
+         std::to_string(a.candidates_considered);
+  out += ",\"moves_taken\":" + std::to_string(a.moves_taken);
+  out += ",\"moves_suppressed\":" + std::to_string(a.moves_suppressed);
+  out += ",\"rollbacks\":" + std::to_string(a.rollbacks);
+  out += ",\"probes\":" + std::to_string(a.probes);
+  out += ",\"moved_state_bytes\":" + std::to_string(a.moved_state_bytes);
+  out += ",\"decisions\":[";
+  bool first = true;
+  for (const AdaptiveDecisionRow& row : a.decisions) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"epoch\":" + std::to_string(row.epoch);
+    out += ",\"action\":" + JsonStr(row.action);
+    out += ",\"stage\":" + std::to_string(row.stage);
+    out += ",\"from_host\":" + std::to_string(row.from_host);
+    out += ",\"to_host\":" + std::to_string(row.to_host);
+    out += ",\"gain_pct\":" + JsonDouble(row.gain_pct);
+    out += ",\"move_cycles\":" + JsonDouble(row.move_cycles);
+    out += ",\"reason\":" + JsonStr(row.reason) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string SketchSectionJson(const SketchSection& s) {
   std::string out = "{\"record\":\"sketch\"";
   out += ",\"eps\":" + JsonDouble(s.eps);
@@ -390,6 +419,11 @@ void RunLedger::SetOverload(OverloadSection overload) {
   overload_ = std::move(overload);
 }
 
+void RunLedger::SetAdaptive(AdaptiveSection adaptive) {
+  if (!adaptive.active || !adaptive.engaged) return;
+  adaptive_ = std::move(adaptive);
+}
+
 void RunLedger::SetSketch(SketchSection sketch) {
   if (!sketch.active) return;
   sketch_ = std::move(sketch);
@@ -429,6 +463,7 @@ std::string RunLedger::ToJsonl() const {
   if (faults_.active) out += FaultSectionJson(faults_) + "\n";
   if (recovery_.active) out += RecoverySectionJson(recovery_) + "\n";
   if (overload_.engaged) out += OverloadSectionJson(overload_) + "\n";
+  if (adaptive_.engaged) out += AdaptiveSectionJson(adaptive_) + "\n";
   if (sketch_.active) out += SketchSectionJson(sketch_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
@@ -514,6 +549,18 @@ std::string RunLedger::ToSummaryJson() const {
     out += std::string(",\"exact\":") + (overload_.exact ? "true" : "false");
     out += ",\"skew_repartitions\":" +
            std::to_string(overload_.skew_repartitions);
+    out += "}";
+  }
+  if (adaptive_.engaged) {
+    out += ",\n  \"adaptive\": {";
+    out += "\"drift_events\":" + std::to_string(adaptive_.drift_events);
+    out += ",\"moves_taken\":" + std::to_string(adaptive_.moves_taken);
+    out += ",\"moves_suppressed\":" +
+           std::to_string(adaptive_.moves_suppressed);
+    out += ",\"rollbacks\":" + std::to_string(adaptive_.rollbacks);
+    out += ",\"probes\":" + std::to_string(adaptive_.probes);
+    out += ",\"moved_state_bytes\":" +
+           std::to_string(adaptive_.moved_state_bytes);
     out += "}";
   }
   if (sketch_.active) {

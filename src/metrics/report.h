@@ -215,6 +215,51 @@ struct OverloadSection {
   std::vector<OverloadHostRow> hosts;  ///< budgeted hosts, id order
 };
 
+/// \brief One decision of the adaptive placement controller
+/// (dist/adaptive.h): something it took, rolled back, suppressed, or could
+/// only advise — with the projection that justified it.
+struct AdaptiveDecisionRow {
+  uint64_t epoch = 0;
+  /// "move" (stage migrated), "probe" (forced worst-candidate move),
+  /// "rollback" (move reverted after failing its watch window), "commit"
+  /// (move survived its watch window), "suppressed" (candidate beat the
+  /// status quo but a robustness guard vetoed it), or "advice" (winning move
+  /// not executable — no recovery machinery to migrate state through).
+  std::string action;
+  int stage = -1;      ///< stage id (component index, Build order)
+  int from_host = -1;
+  int to_host = -1;
+  /// Projected relative bottleneck improvement of the candidate (percent;
+  /// measured improvement for "commit", 0 when not applicable).
+  double gain_pct = 0;
+  /// Migration price: 2 * stage state bytes * cycles_per_checkpoint_byte
+  /// (serialize + restore), 0 for rows that moved nothing.
+  double move_cycles = 0;
+  /// Why ("hysteresis", "cooldown", "damper", "amortization", "watch-fail",
+  /// ...); empty for plain moves.
+  std::string reason;
+};
+
+/// \brief The `adaptive` section of a run ledger: every decision the
+/// feedback re-planner (dist/adaptive.h) made, plus the drift/stability
+/// counters around them. `active` means the controller was armed (`adapt`
+/// directive); `engaged` means it recorded at least one drift event or
+/// decision. Serialized only when engaged, so a run whose plan never needed
+/// adapting stays byte-identical to a run without the controller.
+struct AdaptiveSection {
+  bool active = false;
+  bool engaged = false;
+  uint64_t epochs = 0;        ///< epochs the controller observed
+  uint64_t drift_events = 0;  ///< epochs whose EWMAs diverged past threshold
+  uint64_t candidates_considered = 0;  ///< (stage, host) projections costed
+  uint64_t moves_taken = 0;   ///< stage migrations executed (probes included)
+  uint64_t moves_suppressed = 0;  ///< candidates vetoed by a guard
+  uint64_t rollbacks = 0;     ///< moves reverted by the watch window
+  uint64_t probes = 0;        ///< forced worst-candidate moves (probe_epoch)
+  uint64_t moved_state_bytes = 0;  ///< state bytes migrated across all moves
+  std::vector<AdaptiveDecisionRow> decisions;  ///< chronological
+};
+
 /// \brief One host's sketch-leg row: what its SketchOp folded and shipped.
 struct SketchHostRow {
   int host = 0;
@@ -294,6 +339,11 @@ class RunLedger {
   /// covered-budget runs byte-identical to budget-free runs.
   void SetOverload(OverloadSection overload);
 
+  /// \brief Attaches the adaptive-placement accounting. A section that
+  /// never engaged (no drift event, no decision) is ignored entirely,
+  /// keeping drift-free adaptive runs byte-identical to static runs.
+  void SetAdaptive(AdaptiveSection adaptive);
+
   /// \brief Attaches the sketch-leg accounting. A section with
   /// `active == false` is ignored entirely, keeping exact-plan ledgers
   /// byte-identical to runs without the sketch machinery.
@@ -303,11 +353,12 @@ class RunLedger {
   const FaultSection& faults() const { return faults_; }
   const RecoverySection& recovery() const { return recovery_; }
   const OverloadSection& overload() const { return overload_; }
+  const AdaptiveSection& adaptive() const { return adaptive_; }
   const SketchSection& sketch() const { return sketch_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
-  /// run, host*, operator*, event*, faults?, recovery?, overload?, sketch?,
-  /// output* (docs/METRICS.md schema).
+  /// run, host*, operator*, event*, faults?, recovery?, overload?,
+  /// adaptive?, sketch?, output* (docs/METRICS.md schema).
   std::string ToJsonl() const;
 
   /// \brief Single JSON object: meta + per-host derived quantities +
@@ -338,6 +389,7 @@ class RunLedger {
   FaultSection faults_;        // serialized only when faults_.active
   RecoverySection recovery_;   // serialized only when recovery_.active
   OverloadSection overload_;   // serialized only when overload_.engaged
+  AdaptiveSection adaptive_;   // serialized only when adaptive_.engaged
   SketchSection sketch_;       // serialized only when sketch_.active
 };
 

@@ -225,6 +225,25 @@ const StatDef kSkewMoves = {"skew_moves", StatKind::kCounter, "moves", false,
                             "hot partitions migrated off this host by the "
                             "skew detector"};
 
+const StatDef kAdaptDriftEvents = {"adapt_drift_events", StatKind::kCounter,
+                                   "epochs", false,
+                                   "epochs whose fast/slow EWMA rates "
+                                   "diverged past the drift threshold"};
+const StatDef kAdaptMovesTaken = {"adapt_moves_taken", StatKind::kCounter,
+                                  "moves", false,
+                                  "stage migrations the adaptive controller "
+                                  "executed (probes included)"};
+const StatDef kAdaptMovesSuppressed = {"adapt_moves_suppressed",
+                                       StatKind::kCounter, "moves", false,
+                                       "winning candidates vetoed by a "
+                                       "robustness guard (hysteresis, "
+                                       "cooldown, damper, amortization)"};
+const StatDef kAdaptRollbacks = {"adapt_rollbacks", StatKind::kCounter,
+                                 "moves", false,
+                                 "stage moves reverted after failing to "
+                                 "improve measured cost in their watch "
+                                 "window"};
+
 const StatDef kSchedThreads = {"sched_threads", StatKind::kCounter, "threads",
                                true,
                                "worker threads the parallel scheduler ran "
@@ -302,6 +321,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kCkptRestores,  &kCkptRestoredBytes, &kCkptReplayedTuples,
       &kShedTuples,    &kBudgetDeferrals, &kBudgetQueueDropped,
       &kBudgetOverEpochs, &kSkewMoves,
+      &kAdaptDriftEvents, &kAdaptMovesTaken, &kAdaptMovesSuppressed,
+      &kAdaptRollbacks,
       &kSchedThreads,  &kSchedBarriers, &kSchedMorsels, &kSchedWallMs,
       &kWorkerMorsels, &kWorkerTuples, &kWorkerStagedMsgs, &kWorkerSteals,
       &kSketchUpdates, &kSketchSummaries, &kSketchSummaryBytes,

@@ -282,6 +282,14 @@ extern const StatDef kBudgetQueueDropped;
 extern const StatDef kBudgetOverEpochs;
 extern const StatDef kSkewMoves;
 
+// Adaptive placement (dist/adaptive.h). Recorded under scope `adaptive` in
+// host 0's registry, bound lazily on the first drift event or decision so
+// disengaged runs create no scope.
+extern const StatDef kAdaptDriftEvents;
+extern const StatDef kAdaptMovesTaken;
+extern const StatDef kAdaptMovesSuppressed;
+extern const StatDef kAdaptRollbacks;
+
 // Morsel-driven parallel execution (dist/parallel_exec.h). Recorded in the
 // runtime's separate scheduler registry (ClusterRuntime::
 // scheduler_registry()) under scope `scheduler` (sched_*) and `worker#<h>`

@@ -1,0 +1,55 @@
+#include "optimizer/recost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streampart {
+namespace {
+
+double ReceiveCharge(const RecostEdge& edge, const RecostWeights& w) {
+  return edge.tuples * w.cycles_per_remote_tuple +
+         edge.bytes * w.cycles_per_remote_byte;
+}
+
+}  // namespace
+
+std::vector<double> ProjectHostLoads(int num_hosts,
+                                     const std::vector<double>& base_load,
+                                     const StageRates& moved, int to,
+                                     const RecostWeights& weights) {
+  SP_CHECK(static_cast<int>(base_load.size()) == num_hosts);
+  SP_CHECK(to >= 0 && to < num_hosts);
+  SP_CHECK(moved.host >= 0 && moved.host < num_hosts);
+  std::vector<double> loads = base_load;
+  int from = moved.host;
+  if (to == from) return loads;
+  // The stage's compute follows it.
+  loads[from] -= moved.compute_cycles;
+  loads[to] += moved.compute_cycles;
+  // Input edges charge their receiver; an edge whose producer shares the
+  // stage's host is local and free on that side of the move.
+  for (const RecostEdge& edge : moved.inputs) {
+    if (edge.peer_host != from) loads[from] -= ReceiveCharge(edge, weights);
+    if (edge.peer_host != to) loads[to] += ReceiveCharge(edge, weights);
+  }
+  // Output edges charge the consumer host; moving the producer only changes
+  // whether the edge is local at that consumer.
+  for (const RecostEdge& edge : moved.outputs) {
+    if (edge.peer_host < 0 || edge.peer_host >= num_hosts) continue;
+    if (edge.peer_host == from && edge.peer_host != to) {
+      loads[edge.peer_host] += ReceiveCharge(edge, weights);
+    } else if (edge.peer_host == to && edge.peer_host != from) {
+      loads[edge.peer_host] -= ReceiveCharge(edge, weights);
+    }
+  }
+  return loads;
+}
+
+double Bottleneck(const std::vector<double>& loads) {
+  double max = 0;
+  for (double load : loads) max = std::max(max, load);
+  return max;
+}
+
+}  // namespace streampart

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file recost.h
+/// \brief Re-costing the running placement from measured rates.
+///
+/// The §5 optimizer prices a plan once from static selectivity estimates;
+/// the adaptive controller (dist/adaptive.h) re-prices it every epoch from
+/// what the cluster actually measured. The currency is the same host-cycles
+/// model (metrics/cpu_model.h): a host pays for the compute of the stages it
+/// runs plus the receiver-side network charge of every tuple/byte shipped to
+/// it — senders pay nothing for egress, exactly like HostCycles.
+///
+/// Everything here is a pure function over plain numbers (mirroring
+/// optimizer.h's CostWeights: the optimizer layer must not depend on
+/// sp_metrics), so candidate placements can be projected and compared
+/// without touching the runtime.
+
+#include <cstdint>
+#include <vector>
+
+namespace streampart {
+
+/// \brief Network cycle weights, plain numbers so this layer stays free of
+/// sp_metrics (copy them from CpuCostParams at the call site).
+struct RecostWeights {
+  double cycles_per_remote_tuple = 0;
+  double cycles_per_remote_byte = 0;
+};
+
+/// \brief One input edge of a stage, with the rates measured over the
+/// costing window. `peer_host` is the host of the producing end (a source
+/// partition's host or the producing stage's host).
+struct RecostEdge {
+  int peer_host = -1;
+  double tuples = 0;
+  double bytes = 0;
+};
+
+/// \brief Measured per-window rates of one movable stage.
+struct StageRates {
+  int host = -1;          ///< where the stage currently runs
+  double compute_cycles = 0;  ///< stage operator compute per window
+  std::vector<RecostEdge> inputs;   ///< traffic arriving at the stage
+  std::vector<RecostEdge> outputs;  ///< traffic the stage ships downstream
+                                    ///< (peer_host = the consuming host)
+};
+
+/// \brief Projects per-host cycle loads with stage `moved` placed on host
+/// `to`. `base_load` is the measured per-window load of each host (size
+/// num_hosts); the projection adjusts only the deltas the move causes:
+/// the stage's compute and the receiver-side charge of its input edges
+/// leave the old host and land on the new one (edges whose producer sits on
+/// the stage's host are local and free, on either side of the move), and
+/// each output edge re-prices at its consumer once the producer moved.
+/// Pass `moved`'s current host as `to` to project the status quo.
+std::vector<double> ProjectHostLoads(int num_hosts,
+                                     const std::vector<double>& base_load,
+                                     const StageRates& moved, int to,
+                                     const RecostWeights& weights);
+
+/// \brief The bottleneck (max) host load — what the adaptive controller
+/// minimizes, because the slowest host paces a monitoring cluster.
+double Bottleneck(const std::vector<double>& loads);
+
+}  // namespace streampart

@@ -15,6 +15,15 @@ PacketTraceGenerator::PacketTraceGenerator(const TraceConfig& config)
   for (uint32_t i = 0; i < config_.num_flows; ++i) {
     flows_.push_back(MakeFlow());
   }
+  // Pin the drifted hot flows to one deterministic source address. The
+  // override happens after MakeFlow's RNG draws, so the rest of the flow
+  // table is unchanged versus a config without the override.
+  if (config_.drift_hot_src_ip != 0 && HotPinningActive()) {
+    size_t pinned = std::min<size_t>(config_.hot_flows, flows_.size());
+    for (size_t i = 0; i < pinned; ++i) {
+      flows_[i].src_ip = config_.drift_hot_src_ip;
+    }
+  }
   if (config_.bursty()) {
     for (uint32_t s = 0; s < config_.duration_sec; ++s) {
       total_packets_ += SecQuota(s);
@@ -37,14 +46,17 @@ PacketTraceGenerator::Flow PacketTraceGenerator::MakeFlow() {
   // Servers concentrate on a few well-known ports.
   static const uint16_t kServerPorts[] = {80, 443, 53, 25, 22, 8080};
   flow.dest_port = kServerPorts[rng_.Uniform(0, 5)];
-  flow.suspicious = rng_.Chance(config_.suspicious_fraction);
+  // Per-second fraction: Chance() burns one uniform whatever the
+  // probability, so selectivity drift leaves the RNG sequence — and with it
+  // every other field of every flow and packet — byte-identical.
+  flow.suspicious = rng_.Chance(config_.SuspiciousFractionAt(current_sec_));
   return flow;
 }
 
 void PacketTraceGenerator::RenewFlows() {
   // Hot flows are pinned at the front of the table and never renewed; with
   // the mode off, `pinned` is 0 and the draw below is the legacy one.
-  size_t pinned = config_.hot_mass > 0
+  size_t pinned = HotPinningActive()
                       ? std::min<size_t>(config_.hot_flows, flows_.size())
                       : 0;
   if (pinned >= flows_.size()) return;
@@ -54,14 +66,6 @@ void PacketTraceGenerator::RenewFlows() {
     size_t victim = pinned + rng_.Uniform(0, flows_.size() - 1 - pinned);
     flows_[victim] = MakeFlow();
   }
-}
-
-double PacketTraceGenerator::HotMass(uint32_t sec) const {
-  if (config_.hot_mass <= 0 || sec < config_.hot_start_sec) return 0;
-  if (config_.hot_ramp_sec == 0) return config_.hot_mass;
-  double t = static_cast<double>(sec - config_.hot_start_sec) /
-             static_cast<double>(config_.hot_ramp_sec);
-  return config_.hot_mass * std::min(1.0, t);
 }
 
 uint64_t PacketTraceGenerator::SecQuota(uint32_t sec) const {
@@ -74,7 +78,7 @@ uint64_t PacketTraceGenerator::SecQuota(uint32_t sec) const {
 
 std::vector<uint32_t> PacketTraceGenerator::hot_src_ips() const {
   std::vector<uint32_t> ips;
-  if (config_.hot_mass <= 0) return ips;
+  if (!HotPinningActive()) return ips;
   size_t pinned = std::min<size_t>(config_.hot_flows, flows_.size());
   for (size_t i = 0; i < pinned; ++i) ips.push_back(flows_[i].src_ip);
   return ips;
@@ -102,7 +106,7 @@ bool PacketTraceGenerator::Next(Tuple* out) {
   }
   uint32_t sec = current_sec_;
   const Flow* flow_ptr;
-  double mass = HotMass(sec);
+  double mass = config_.HotMassAt(sec);
   if (mass > 0 && rng_.Chance(mass)) {
     size_t pinned = std::min<size_t>(config_.hot_flows, flows_.size());
     flow_ptr = &flows_[rng_.Uniform(0, pinned - 1)];
@@ -112,6 +116,10 @@ bool PacketTraceGenerator::Next(Tuple* out) {
   }
   const Flow& flow = *flow_ptr;
 
+  // Both branches burn exactly one uniform draw, so a flow flipping its
+  // suspicious label (e.g. under selectivity drift) leaves every other field
+  // of the packet stream byte-identical.
+  const bool psh = rng_.Chance(0.3);
   uint64_t flags;
   if (flow.suspicious) {
     // Attack traffic: flags drawn from subsets of the attack pattern so the
@@ -119,7 +127,7 @@ bool PacketTraceGenerator::Next(Tuple* out) {
     // flows carry the full pattern.
     flags = config_.attack_flag_pattern;
   } else {
-    flags = rng_.Chance(0.3) ? 0x18 : 0x10;  // PSH|ACK or ACK
+    flags = psh ? 0x18 : 0x10;  // PSH|ACK or ACK
   }
   // Heavy-tailed packet sizes: many small ACKs, some MTU-size payloads.
   uint64_t len = rng_.Chance(0.4)

@@ -16,6 +16,7 @@
 /// pattern (OR of their flags matches TraceConfig::attack_flag_pattern);
 /// normal flows OR to ordinary ACK/PSH patterns.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/rng.h"
@@ -68,6 +69,64 @@ struct TraceConfig {
 
   /// \brief True when any heavy-hitter/burst knob is engaged.
   bool bursty() const { return hot_mass > 0 || burst_multiplier != 1.0; }
+
+  // --- Deterministic workload drift --------------------------------------
+  // A piecewise-linear ramp from the base mix toward a target mix: flat at
+  // the base before drift_start_sec, linear across drift_ramp_sec, flat at
+  // the target after. Negative targets (the default) turn each ramp off.
+  // Selectivity drift keeps the packet/flow RNG sequence identical to the
+  // undrifted trace (only the suspicious label flips — Chance() burns one
+  // uniform regardless of the probability); hot-mix drift adds hot-key
+  // draws, so it is its own trace by construction.
+
+  /// Target HAVING-selectivity (suspicious-flow fraction) after the ramp;
+  /// < 0 disables selectivity drift.
+  double drift_suspicious_to = -1;
+  /// Target hot-key packet mass after the ramp; < 0 disables hot-mix drift.
+  double drift_hot_mass_to = -1;
+  /// Second at which both drift ramps begin.
+  uint32_t drift_start_sec = 0;
+  /// Seconds over which the ramps run; 0 makes the targets arrive as a step.
+  uint32_t drift_ramp_sec = 0;
+  /// When nonzero, every pinned hot flow's srcIP is overridden to this
+  /// address (after its RNG draws), so hot-mix drift lands on one
+  /// deterministic source key regardless of the seed.
+  uint32_t drift_hot_src_ip = 0;
+
+  /// \brief True when either drift ramp is engaged.
+  bool drifting() const {
+    return drift_suspicious_to >= 0 || drift_hot_mass_to >= 0;
+  }
+
+  /// \brief Ramp progress in [0,1] at \p sec (shared by both drift ramps).
+  double DriftRamp(uint32_t sec) const {
+    if (sec < drift_start_sec) return 0;
+    if (drift_ramp_sec == 0) return 1;
+    return std::min(1.0, static_cast<double>(sec - drift_start_sec) /
+                             static_cast<double>(drift_ramp_sec));
+  }
+
+  /// \brief Suspicious-flow fraction in effect during \p sec.
+  double SuspiciousFractionAt(uint32_t sec) const {
+    if (drift_suspicious_to < 0) return suspicious_fraction;
+    return suspicious_fraction +
+           (drift_suspicious_to - suspicious_fraction) * DriftRamp(sec);
+  }
+
+  /// \brief Hot-key packet mass in effect during \p sec: the bursty-mode
+  /// ramp as the base, then the drift ramp toward drift_hot_mass_to.
+  double HotMassAt(uint32_t sec) const {
+    double base = 0;
+    if (hot_mass > 0 && sec >= hot_start_sec) {
+      base = hot_ramp_sec == 0
+                 ? hot_mass
+                 : hot_mass *
+                       std::min(1.0, static_cast<double>(sec - hot_start_sec) /
+                                         static_cast<double>(hot_ramp_sec));
+    }
+    if (drift_hot_mass_to < 0) return base;
+    return base + (drift_hot_mass_to - base) * DriftRamp(sec);
+  }
 };
 
 /// \brief Streaming generator of packet tuples in the canonical packet
@@ -97,7 +156,8 @@ class PacketTraceGenerator {
   /// TraceConfig::hot_mass > 0). Lets tests assert the configured mass.
   uint64_t hot_packets() const { return hot_emitted_; }
 
-  /// \brief Source IPs of the pinned hot flows (empty when hot_mass == 0).
+  /// \brief Source IPs of the pinned hot flows (empty unless hot_mass > 0
+  /// or drift_hot_mass_to > 0 pins them).
   std::vector<uint32_t> hot_src_ips() const;
 
  private:
@@ -111,8 +171,11 @@ class PacketTraceGenerator {
 
   Flow MakeFlow();
   void RenewFlows();
-  /// Hot-key probability mass in effect during \p sec (the linear ramp).
-  double HotMass(uint32_t sec) const;
+  /// True when the front-of-table hot flows are pinned against renewal
+  /// (bursty hot mass or hot-mix drift).
+  bool HotPinningActive() const {
+    return config_.hot_mass > 0 || config_.drift_hot_mass_to > 0;
+  }
   /// Packets scheduled for \p sec (burst multiplier applied in-window).
   uint64_t SecQuota(uint32_t sec) const;
 

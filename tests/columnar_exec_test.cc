@@ -409,8 +409,7 @@ ClusterRun RunClusterMode(const QueryGraph& graph,
   ClusterRuntime runtime(&graph, &*plan, cluster);
   if (threads > 1) runtime.set_parallel(threads);
   runtime.set_exec_mode(exec_mode);
-  if (!config.faults.empty() || config.faults.checkpoint_interval > 0 ||
-      config.faults.overload_enabled()) {
+  if (config.faults.armed()) {
     runtime.set_fault_plan(config.faults);
   }
   Status st = runtime.Build(config.ps);

@@ -42,7 +42,9 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
       "channel from=* to=* drop=0.5\n"
       "budget host=1 cycles=5e8 queue=256 reserve=0.1\n"
       "budget host=* cycles=1e9\n"
-      "shed max_m=64\n");
+      "shed max_m=64\n"
+      "adapt warmup=5 hysteresis=0.2 cooldown=3 max_cooldown=24 rollback=4 "
+      "amortize=10 drift=0.3 probe_epoch=7\n");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 42u);
   EXPECT_FALSE(plan->repartition);
@@ -69,6 +71,16 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
   EXPECT_EQ(plan->shed.max_m, 64u);
   EXPECT_TRUE(plan->overload_enabled());
   EXPECT_FALSE(plan->empty()) << "kills/channels still make the plan faulty";
+  EXPECT_TRUE(plan->adaptive.enabled);
+  EXPECT_EQ(plan->adaptive.warmup_epochs, 5u);
+  EXPECT_DOUBLE_EQ(plan->adaptive.hysteresis, 0.2);
+  EXPECT_EQ(plan->adaptive.cooldown_epochs, 3u);
+  EXPECT_EQ(plan->adaptive.max_cooldown_epochs, 24u);
+  EXPECT_EQ(plan->adaptive.rollback_epochs, 4u);
+  EXPECT_EQ(plan->adaptive.amortize_epochs, 10u);
+  EXPECT_DOUBLE_EQ(plan->adaptive.drift_threshold, 0.3);
+  EXPECT_EQ(plan->adaptive.probe_epoch, 7u);
+  EXPECT_TRUE(plan->armed());
 }
 
 TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
@@ -95,6 +107,13 @@ TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
       "shed m=1\n",                      // keep-1-in-1 is not shedding
       "shed max_m=1\n",
       "shed m=2 max_m=4\n",              // mutually exclusive forms
+      "adapt\n",                         // missing arming token
+      "adapt maybe\n",                   // neither 'on' nor key=value
+      "adapt hysteresis=1.5\n",          // probability out of range
+      "adapt rollback=0\n",              // watch window needs >= 1 epoch
+      "adapt amortize=0\n",
+      "adapt max_cooldown=0\n",
+      "adapt warp=2\n",                  // unknown adapt key
   };
   for (const char* text : bad) {
     auto plan = FaultPlan::Parse(text);
@@ -179,6 +198,19 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
         plan.shed.max_m = rng.Uniform(2, 64);
       }
     }
+    if (rng.Chance(0.5)) {
+      plan.adaptive.enabled = true;
+      plan.adaptive.warmup_epochs = rng.Uniform(0, 16);
+      // Arbitrary probabilities: the ToString precision must round-trip
+      // them bit-exactly, like the channel rates above.
+      plan.adaptive.hysteresis = rng.UniformReal() * 0.9;
+      plan.adaptive.cooldown_epochs = rng.Uniform(0, 8);
+      plan.adaptive.max_cooldown_epochs = rng.Uniform(8, 64);
+      plan.adaptive.rollback_epochs = rng.Uniform(1, 8);
+      plan.adaptive.amortize_epochs = rng.Uniform(1, 24);
+      plan.adaptive.drift_threshold = rng.UniformReal() * 0.9 + 0.01;
+      plan.adaptive.probe_epoch = rng.Chance(0.5) ? rng.Uniform(1, 32) : 0;
+    }
     auto parsed = FaultPlan::Parse(plan.ToString());
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\nplan:\n"
                              << plan.ToString();
@@ -211,6 +243,22 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
     }
     EXPECT_EQ(parsed->shed.fixed_m, plan.shed.fixed_m);
     EXPECT_EQ(parsed->shed.max_m, plan.shed.max_m);
+    EXPECT_EQ(parsed->adaptive.enabled, plan.adaptive.enabled);
+    if (plan.adaptive.enabled) {
+      EXPECT_EQ(parsed->adaptive.warmup_epochs, plan.adaptive.warmup_epochs);
+      EXPECT_EQ(parsed->adaptive.hysteresis, plan.adaptive.hysteresis);
+      EXPECT_EQ(parsed->adaptive.cooldown_epochs,
+                plan.adaptive.cooldown_epochs);
+      EXPECT_EQ(parsed->adaptive.max_cooldown_epochs,
+                plan.adaptive.max_cooldown_epochs);
+      EXPECT_EQ(parsed->adaptive.rollback_epochs,
+                plan.adaptive.rollback_epochs);
+      EXPECT_EQ(parsed->adaptive.amortize_epochs,
+                plan.adaptive.amortize_epochs);
+      EXPECT_EQ(parsed->adaptive.drift_threshold,
+                plan.adaptive.drift_threshold);
+      EXPECT_EQ(parsed->adaptive.probe_epoch, plan.adaptive.probe_epoch);
+    }
   }
 }
 

@@ -124,8 +124,8 @@ struct DirectRun {
 };
 
 /// Runs \p trace through a fresh cluster with \p threads workers. The plan is
-/// attached whenever it is non-trivial (injects faults, checkpoints, or
-/// overload control), mirroring ExperimentRunner::RunCell.
+/// attached whenever it arms any controller, mirroring
+/// ExperimentRunner::RunCell.
 DirectRun RunCluster(const QueryGraph& graph, const ExperimentConfig& config,
                      int num_hosts, const TupleBatch& trace, size_t batch_size,
                      int threads) {
@@ -137,8 +137,7 @@ DirectRun RunCluster(const QueryGraph& graph, const ExperimentConfig& config,
   SP_CHECK(plan.ok()) << plan.status().ToString();
   ClusterRuntime runtime(&graph, &*plan, cluster);
   if (threads > 1) runtime.set_parallel(threads);
-  if (!config.faults.empty() || config.faults.checkpoint_interval > 0 ||
-      config.faults.overload_enabled()) {
+  if (config.faults.armed()) {
     runtime.set_fault_plan(config.faults);
   }
   Status st = runtime.Build(config.ps);

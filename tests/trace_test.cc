@@ -307,5 +307,153 @@ TEST(TraceBurstyTest, BurstMultiplierScalesPerEpochQuota) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic workload drift (TraceConfig::drift_*): the piecewise-linear
+// ramps the adaptive-placement battery (adaptive_test.cc) drives against.
+// ---------------------------------------------------------------------------
+
+TEST(TraceDriftTest, DisengagedDriftKnobsLeaveTraceByteIdentical) {
+  TraceConfig base;
+  base.duration_sec = 3;
+  base.packets_per_sec = 1000;
+  TraceConfig off = base;
+  // Schedule knobs without a target engage nothing: the default negative
+  // targets disable both ramps, so the RNG sequence — and the trace — must
+  // be byte-identical to a config predating the drift fields.
+  off.drift_start_sec = 1;
+  off.drift_ramp_sec = 2;
+  off.drift_hot_src_ip = 0x0A00BEEF;
+  ASSERT_FALSE(off.drifting());
+  TupleBatch a = PacketTraceGenerator(base).GenerateAll();
+  TupleBatch b = PacketTraceGenerator(off).GenerateAll();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(TraceDriftTest, DeterministicForSameSeed) {
+  TraceConfig tc;
+  tc.duration_sec = 4;
+  tc.packets_per_sec = 1000;
+  tc.hot_flows = 1;
+  tc.drift_suspicious_to = 0.5;
+  tc.drift_hot_mass_to = 0.7;
+  tc.drift_start_sec = 1;
+  tc.drift_ramp_sec = 2;
+  tc.drift_hot_src_ip = 0x0A00BEEF;
+  ASSERT_TRUE(tc.drifting());
+  TupleBatch a = PacketTraceGenerator(tc).GenerateAll();
+  TupleBatch b = PacketTraceGenerator(tc).GenerateAll();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(TraceDriftTest, RampIsPiecewiseLinear) {
+  TraceConfig tc;
+  tc.suspicious_fraction = 0.1;
+  tc.drift_suspicious_to = 0.5;
+  tc.drift_hot_mass_to = 0.8;
+  tc.drift_start_sec = 4;
+  tc.drift_ramp_sec = 8;
+  // Flat at the base before the start...
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(0), 0.0);
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(3), 0.0);
+  EXPECT_DOUBLE_EQ(tc.SuspiciousFractionAt(3), 0.1);
+  EXPECT_DOUBLE_EQ(tc.HotMassAt(3), 0.0);
+  // ...linear across the ramp...
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(6), 0.25);
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(8), 0.5);
+  EXPECT_DOUBLE_EQ(tc.SuspiciousFractionAt(8), 0.1 + (0.5 - 0.1) * 0.5);
+  EXPECT_DOUBLE_EQ(tc.HotMassAt(8), 0.8 * 0.5);
+  // ...flat at the target after.
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(12), 1.0);
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(40), 1.0);
+  EXPECT_DOUBLE_EQ(tc.SuspiciousFractionAt(40), 0.5);
+  EXPECT_DOUBLE_EQ(tc.HotMassAt(40), 0.8);
+  // ramp_sec == 0 arrives as a step at the start second.
+  tc.drift_ramp_sec = 0;
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(3), 0.0);
+  EXPECT_DOUBLE_EQ(tc.DriftRamp(4), 1.0);
+}
+
+TEST(TraceDriftTest, SelectivityDriftFlipsOnlyTheFlagLabels) {
+  TraceConfig base;
+  base.duration_sec = 8;
+  base.packets_per_sec = 2000;
+  base.num_flows = 300;
+  base.flow_renewal = 0.3;  // relabeling happens at renewal
+  TraceConfig drifted = base;
+  drifted.drift_suspicious_to = 0.6;
+  drifted.drift_start_sec = 2;
+  drifted.drift_ramp_sec = 2;
+
+  TupleBatch a = PacketTraceGenerator(base).GenerateAll();
+  TupleBatch b = PacketTraceGenerator(drifted).GenerateAll();
+  // Chance() burns one uniform regardless of the probability, so the drift
+  // leaves the RNG sequence intact: every field of every packet except the
+  // flag label is byte-identical to the undrifted trace.
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t f = 0; f < a[i].size(); ++f) {
+      if (f == kPktFlags) continue;
+      ASSERT_EQ(a[i].at(f), b[i].at(f)) << "row " << i << " field " << f;
+    }
+  }
+  // The attack-pattern packet share climbs with the ramp: compare the
+  // pre-drift seconds against the post-ramp plateau.
+  auto attack_share = [&](const TupleBatch& t, uint64_t from, uint64_t to) {
+    uint64_t attack = 0, total = 0;
+    for (const Tuple& p : t) {
+      uint64_t sec = p.at(kPktTime).AsUint64();
+      if (sec < from || sec > to) continue;
+      ++total;
+      if (p.at(kPktFlags).AsUint64() == base.attack_flag_pattern) ++attack;
+    }
+    return static_cast<double>(attack) / static_cast<double>(total);
+  };
+  EXPECT_LT(attack_share(b, 0, 1), 0.15) << "pre-drift share stays near base";
+  EXPECT_GT(attack_share(b, 6, 7), attack_share(b, 0, 1) + 0.2)
+      << "post-ramp share reflects the drifted selectivity";
+  // The undrifted trace shows no such climb.
+  EXPECT_LT(attack_share(a, 6, 7), 0.15);
+}
+
+TEST(TraceDriftTest, HotMixDriftConcentratesMassOnThePinnedKey) {
+  TraceConfig tc;
+  tc.duration_sec = 8;
+  tc.packets_per_sec = 2000;
+  tc.num_flows = 300;
+  tc.hot_flows = 1;
+  tc.drift_hot_mass_to = 0.8;
+  tc.drift_start_sec = 2;
+  tc.drift_ramp_sec = 4;
+  tc.drift_hot_src_ip = 0x0A00BEEF;
+  PacketTraceGenerator gen(tc);
+  // The pinned flow is overridden to the deterministic hot address.
+  std::vector<uint32_t> ips = gen.hot_src_ips();
+  ASSERT_EQ(ips.size(), 1u);
+  EXPECT_EQ(ips[0], tc.drift_hot_src_ip);
+
+  TupleBatch trace = gen.GenerateAll();
+  auto hot_share = [&](uint64_t sec) {
+    uint64_t hot = 0, total = 0;
+    for (const Tuple& p : trace) {
+      if (p.at(kPktTime).AsUint64() != sec) continue;
+      ++total;
+      if (p.at(kPktSrcIp).AsUint64() == tc.drift_hot_src_ip) ++hot;
+    }
+    return static_cast<double>(hot) / static_cast<double>(total);
+  };
+  // Before the ramp the pinned flow only carries its ordinary Zipf share;
+  // after the ramp it owns (at least) the drifted mass. The ramp is
+  // monotone in expectation between well-separated points.
+  EXPECT_LT(hot_share(1), 0.25);
+  EXPECT_LT(hot_share(3), hot_share(7));
+  EXPECT_GT(hot_share(7), 0.7);
+}
+
 }  // namespace
 }  // namespace streampart
