@@ -1,0 +1,230 @@
+/// \file micro_membership.cc
+/// \brief Cost and fidelity of the cluster-membership lifecycle
+/// (dist/fault.h partition/heal/rejoin) on a kill-then-rejoin scenario.
+/// Three gates, mirroring the tests/membership_test.cc differential battery:
+///
+///  (a) fidelity — the kill-then-rejoin run's answers must be
+///      multiset-identical to the healthy run with zero source-tuple loss
+///      (checkpointed state migrates, results never change);
+///  (b) recovery — with the rejoin landing 3 epochs after the kill, the
+///      run's model throughput (trace tuples over bottleneck cycles) must
+///      recover to >= 90% of the healthy run's: the dead window plus the
+///      state-move cost may not linger as a permanent hotspot;
+///  (c) relief — the rejoin must actually move state back (moved_bytes > 0)
+///      and the returning host must shoulder work again: its model cycles
+///      in the rejoined run come in strictly above the kill-only run's,
+///      where it stays dead.
+///
+/// Results go to stdout and BENCH_membership.json; the run fails (exit 1)
+/// if any gate does not hold.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/figlib.h"
+#include "catalog/catalog.h"
+#include "dist/experiment.h"
+#include "dist/partitioner.h"
+#include "metrics/cpu_model.h"
+#include "plan/query_graph.h"
+#include "trace/trace_gen.h"
+
+namespace {
+
+using namespace streampart;
+using namespace streampart::bench;
+
+double BottleneckCycles(const ClusterRunResult& result,
+                        const CpuCostParams& params, int* host_out) {
+  double worst = 0;
+  *host_out = -1;
+  for (size_t h = 0; h < result.hosts.size(); ++h) {
+    double cycles = HostCycles(result.hosts[h], params);
+    if (cycles > worst) {
+      worst = cycles;
+      *host_out = static_cast<int>(h);
+    }
+  }
+  return worst;
+}
+
+bool SameMultiset(TupleBatch a, TupleBatch b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  Status st = graph.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP");
+  SP_CHECK(st.ok()) << st.ToString();
+
+  // A long trace so the gate measures steady state, not the dead window:
+  // host 2 dies at epoch 5 and rejoins at epoch 8 — 3 epochs of its load
+  // carried by the survivors, then the rebalance moves it back.
+  TraceConfig tc;
+  tc.duration_sec = 40;
+  tc.packets_per_sec = 1500;
+  tc.num_flows = 300;
+  ExperimentRunner runner(&graph, "TCP", tc, CpuCostParams());
+  constexpr int kHosts = 3;
+  constexpr int kKillEpoch = 5;
+  constexpr int kRejoinEpoch = 8;  // kill + 3: the gate's recovery window
+  const CpuCostParams params;
+
+  ExperimentConfig healthy;
+  healthy.name = "healthy";
+  healthy.optimizer.partial_agg = OptimizerOptions::PartialAggMode::kPerPartition;
+
+  ExperimentConfig kill_only = healthy;
+  kill_only.name = "kill_only";
+  auto kill_plan = FaultPlan::Parse("seed 42\nckpt 1\nkill host=2 epoch=5\n");
+  SP_CHECK(kill_plan.ok()) << kill_plan.status().ToString();
+  kill_only.faults = *kill_plan;
+
+  ExperimentConfig rejoined = healthy;
+  rejoined.name = "rejoined";
+  auto rejoin_plan = FaultPlan::Parse(
+      "seed 42\nckpt 1\nkill host=2 epoch=5\nrejoin host=2 at=8\n");
+  SP_CHECK(rejoin_plan.ok()) << rejoin_plan.status().ToString();
+  rejoined.faults = *rejoin_plan;
+
+  std::printf(
+      "Membership micro-benchmark: kill host 2 @ epoch %d, rejoin @ epoch "
+      "%d\n",
+      kKillEpoch, kRejoinEpoch);
+  PrintTraceNote(tc);
+  std::printf("hosts: %d, trace: %zu tuples\n\n", kHosts,
+              runner.trace().size());
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto healthy_cell = runner.RunCell(healthy, kHosts, 2, /*batch_size=*/0);
+  auto t1 = std::chrono::steady_clock::now();
+  auto kill_cell = runner.RunCell(kill_only, kHosts, 2, /*batch_size=*/0);
+  auto t2 = std::chrono::steady_clock::now();
+  auto rejoin_cell = runner.RunCell(rejoined, kHosts, 2, /*batch_size=*/0);
+  auto t3 = std::chrono::steady_clock::now();
+  SP_CHECK(healthy_cell.ok()) << healthy_cell.status().ToString();
+  SP_CHECK(kill_cell.ok()) << kill_cell.status().ToString();
+  SP_CHECK(rejoin_cell.ok()) << rejoin_cell.status().ToString();
+  double wall_healthy_s = std::chrono::duration<double>(t1 - t0).count();
+  double wall_kill_s = std::chrono::duration<double>(t2 - t1).count();
+  double wall_rejoin_s = std::chrono::duration<double>(t3 - t2).count();
+
+  int healthy_host = -1, kill_host = -1, rejoin_host = -1;
+  double healthy_cycles =
+      BottleneckCycles(healthy_cell->result, params, &healthy_host);
+  double kill_cycles = BottleneckCycles(kill_cell->result, params, &kill_host);
+  double rejoin_cycles =
+      BottleneckCycles(rejoin_cell->result, params, &rejoin_host);
+
+  // Model throughput is tuples over bottleneck cycles, so the ratio of
+  // healthy to rejoined bottlenecks IS the throughput recovery fraction.
+  double recovery =
+      rejoin_cycles > 0 ? healthy_cycles / rejoin_cycles : 1.0;
+  const double kGate = 0.90;
+  bool recovered = recovery >= kGate;
+
+  bool identical = false;
+  auto hit = healthy_cell->result.outputs.find("flows");
+  auto rit = rejoin_cell->result.outputs.find("flows");
+  if (hit != healthy_cell->result.outputs.end() &&
+      rit != rejoin_cell->result.outputs.end()) {
+    identical = SameMultiset(hit->second, rit->second);
+  }
+  bool lossless = rejoin_cell->ledger.faults().source_tuples_lost == 0;
+
+  const MembershipSection& ms = rejoin_cell->ledger.membership();
+  bool moved = ms.rejoins >= 1 && ms.moved_bytes > 0;
+  // The returning host's own model cycles: dead for the rest of the run in
+  // the kill-only cell, back under load after the rebalance in the rejoined
+  // cell.
+  double kill_host2_cycles = HostCycles(kill_cell->result.hosts[2], params);
+  double rejoin_host2_cycles =
+      HostCycles(rejoin_cell->result.hosts[2], params);
+  bool relieved = rejoin_host2_cycles > kill_host2_cycles;
+
+  std::printf("healthy:  bottleneck host %d, %.4g model cycles\n",
+              healthy_host, healthy_cycles);
+  std::printf("kill-only: bottleneck host %d, %.4g model cycles\n", kill_host,
+              kill_cycles);
+  std::printf("rejoined:  bottleneck host %d, %.4g model cycles\n",
+              rejoin_host, rejoin_cycles);
+  std::printf("throughput recovery: %.3f (gate: >= %.2f) — %s\n", recovery,
+              kGate, recovered ? "recovered" : "NOT RECOVERED");
+  std::printf(
+      "membership: %llu rejoins (%llu suppressed), %llu state bytes moved "
+      "back, %.4g rejoin cycles\n",
+      static_cast<unsigned long long>(ms.rejoins),
+      static_cast<unsigned long long>(ms.rejoins_suppressed),
+      static_cast<unsigned long long>(ms.moved_bytes), ms.rejoin_cost_cycles);
+  std::printf("answers multiset-identical: %s, source tuples lost: %llu\n",
+              identical ? "yes" : "NO",
+              static_cast<unsigned long long>(
+                  rejoin_cell->ledger.faults().source_tuples_lost));
+  std::printf(
+      "returning host cycles: kill-only %.4g, rejoined %.4g — %s\n",
+      kill_host2_cycles, rejoin_host2_cycles,
+      relieved ? "back under load" : "NOT carrying load");
+  std::printf("wall: healthy %.3f s, kill-only %.3f s, rejoined %.3f s\n\n",
+              wall_healthy_s, wall_kill_s, wall_rejoin_s);
+
+  const char* path = "BENCH_membership.json";
+  FILE* f = std::fopen(path, "w");
+  SP_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"workload\": \"flows count_sum kill_then_rejoin\",\n"
+      "  \"hosts\": %d,\n"
+      "  \"trace_tuples\": %zu,\n"
+      "  \"kill_epoch\": %d,\n"
+      "  \"rejoin_epoch\": %d,\n"
+      "  \"healthy\": {\"bottleneck_host\": %d, \"bottleneck_cycles\": %.6g, "
+      "\"wall_s\": %.4f},\n"
+      "  \"kill_only\": {\"bottleneck_host\": %d, \"bottleneck_cycles\": "
+      "%.6g, \"wall_s\": %.4f, \"returning_host_cycles\": %.6g},\n"
+      "  \"rejoined\": {\"bottleneck_host\": %d, \"bottleneck_cycles\": %.6g, "
+      "\"wall_s\": %.4f, \"returning_host_cycles\": %.6g, "
+      "\"rejoins\": %llu, \"rejoins_suppressed\": %llu, "
+      "\"moved_bytes\": %llu, \"rejoin_cost_cycles\": %.6g},\n"
+      "  \"throughput_recovery\": %.6f,\n"
+      "  \"gate\": %.2f,\n"
+      "  \"recovered\": %s,\n"
+      "  \"relieved\": %s,\n"
+      "  \"answers_identical\": %s,\n"
+      "  \"lossless\": %s\n"
+      "}\n",
+      kHosts, runner.trace().size(), kKillEpoch, kRejoinEpoch, healthy_host,
+      healthy_cycles, wall_healthy_s, kill_host, kill_cycles, wall_kill_s,
+      kill_host2_cycles, rejoin_host, rejoin_cycles, wall_rejoin_s,
+      rejoin_host2_cycles,
+      static_cast<unsigned long long>(ms.rejoins),
+      static_cast<unsigned long long>(ms.rejoins_suppressed),
+      static_cast<unsigned long long>(ms.moved_bytes), ms.rejoin_cost_cycles,
+      recovery, kGate, recovered ? "true" : "false",
+      relieved ? "true" : "false", identical ? "true" : "false",
+      lossless ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+
+  bool ok = recovered && relieved && identical && lossless && moved;
+  if (!ok) {
+    std::printf("\nFAILED: membership gates not met\n");
+    return 1;
+  }
+  std::printf("\nOK: all membership gates hold\n");
+  return 0;
+}

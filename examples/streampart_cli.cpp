@@ -148,6 +148,9 @@ void PrintUsage(FILE* out, const char* prog) {
       "\n"
       "fault injection and overload control (docs/FAULTS.md):\n"
       "  --fault-plan FILE     inject the fault scenario described by FILE:\n"
+      "                        membership lifecycle (`partition "
+      "groups=0,1|2,3\n"
+      "                        at=E`, `heal at=E`, `rejoin host=H at=E`),\n"
       "                        host kills (`kill host=H epoch=E`), lossy/\n"
       "                        reordering channels (`channel ... drop= dup=\n"
       "                        reorder= queue=`), per-host cycle budgets\n"
@@ -324,6 +327,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fail fast on a bad --fault-plan: a missing, unreadable, or unparseable
+  // plan file is a usage error, diagnosed (file name + reason) before any
+  // workload parsing or planning runs — and even when --run is absent, so a
+  // dry planning invocation still validates the scenario it names.
+  FaultPlan fault_plan;
+  if (!fault_plan_path.empty()) {
+    auto loaded = FaultPlan::Load(fault_plan_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: --fault-plan %s: %s\n",
+                   fault_plan_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    fault_plan = std::move(*loaded);
+  }
+
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -400,11 +419,8 @@ int main(int argc, char** argv) {
     if (threads > 1) runtime.set_parallel(static_cast<int>(threads));
     runtime.set_exec_mode(exec_mode);
     if (trace_events) runtime.set_trace_events_enabled(true);
-    FaultPlan fault_plan;
     if (!fault_plan_path.empty()) {
-      auto loaded = FaultPlan::Load(fault_plan_path);
-      if (!loaded.ok()) return Fail(loaded.status());
-      fault_plan = std::move(*loaded);
+      // Loaded and validated up front, right after flag parsing.
       std::printf("Fault plan (%s):\n%s\n", fault_plan_path.c_str(),
                   fault_plan.ToString().c_str());
     }
@@ -605,6 +621,43 @@ int main(int argc, char** argv) {
           rec->Quiesced() ? "yes" : "no");
       std::printf("  checkpoint cost:   %.3g model cycles\n",
                   r.checkpoint_cost_cycles);
+    }
+    if (const FaultController* faults = runtime.fault_controller()) {
+      MembershipSection ms =
+          faults->membership_section(cpu.cycles_per_checkpoint_byte);
+      if (ms.engaged) {
+        std::printf("\nMembership accounting:\n");
+        std::printf(
+            "  events:            %llu partitions, %llu heals, %llu rejoins "
+            "(%llu suppressed)\n",
+            static_cast<unsigned long long>(ms.partitions),
+            static_cast<unsigned long long>(ms.heals),
+            static_cast<unsigned long long>(ms.rejoins),
+            static_cast<unsigned long long>(ms.rejoins_suppressed));
+        std::printf("  sends refused:     %llu\n",
+                    static_cast<unsigned long long>(ms.sends_refused));
+        std::printf("  state moved back:  %llu bytes (%.3g model cycles)\n",
+                    static_cast<unsigned long long>(ms.moved_bytes),
+                    ms.rejoin_cost_cycles);
+        for (const MembershipEventRow& row : ms.events) {
+          std::printf("  epoch %llu: %s",
+                      static_cast<unsigned long long>(row.epoch),
+                      row.kind.c_str());
+          if (!row.hosts.empty()) {
+            std::printf(" hosts");
+            for (int h : row.hosts) std::printf(" %d", h);
+          }
+          if (row.refused > 0) {
+            std::printf(", %llu sends refused",
+                        static_cast<unsigned long long>(row.refused));
+          }
+          if (row.moved_bytes > 0) {
+            std::printf(", %llu bytes restored",
+                        static_cast<unsigned long long>(row.moved_bytes));
+          }
+          std::printf("\n");
+        }
+      }
     }
     if (SketchSection sk = runtime.MakeSketchSection(); sk.active) {
       std::printf("\nSketch accounting (eps %.4g, confidence %.4g, grid %llux"

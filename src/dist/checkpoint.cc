@@ -175,6 +175,26 @@ void RecoveryCoordinator::ScanRetransmits(uint64_t eid,
   for (const RetxItem& item : due) resend(item);
 }
 
+void RecoveryCoordinator::ForceRetransmits(const ResendFn& resend) {
+  // Same two-pass shape as ScanRetransmits: resending can synchronously
+  // deliver, ack, and erase pending entries, so the callback pass works over
+  // copies. No attempt is charged and escalate stays false — the heal-drain
+  // is a scheduling shortcut, not a delivery retry.
+  std::vector<RetxItem> due;
+  for (auto& [key, edge] : edges_) {
+    for (auto& [seq, pending] : edge.pending) {
+      RetxItem item;
+      item.key = key;
+      item.seq = seq;
+      item.tuple = pending.tuple;
+      item.bytes = pending.bytes;
+      item.escalate = false;
+      due.push_back(std::move(item));
+    }
+  }
+  for (const RetxItem& item : due) resend(item);
+}
+
 void RecoveryCoordinator::DrainEdgePending(const EdgeKey& key,
                                            const ResendFn& resend) {
   auto edge_it = edges_.find(key);

@@ -232,6 +232,13 @@ class RecoveryCoordinator {
   /// \brief DrainEdgePending over every edge (end of run).
   void DrainAllPending(const ResendFn& resend);
 
+  /// \brief Resends every pending send immediately, ignoring its backoff
+  /// schedule, without charging an attempt and without escalating — the
+  /// heal-drain: after a network partition heals, the backlog the severed
+  /// pairs accumulated redelivers through the restored channels right away
+  /// instead of waiting out backoffs inflated by refused retries.
+  void ForceRetransmits(const ResendFn& resend);
+
   /// \brief True when every edge has drained: no pending (unacked) sends,
   /// no buffered out-of-order arrivals, and every sent tuple was applied.
   /// The zero-unrecovered-loss identity of the recovery battery.

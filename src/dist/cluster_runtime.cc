@@ -5,6 +5,7 @@
 
 #include "exec/sketch_op.h"
 #include "metrics/stats.h"
+#include "optimizer/recost.h"
 #include "partition/advisor.h"
 #include "types/serde.h"
 
@@ -276,6 +277,10 @@ Status ClusterRuntime::Build(const PartitionSet& actual_ps) {
     source_time_idx_ =
         temporal.empty() ? -1 : static_cast<int>(temporal.front());
   }
+  // Snapshot the build-time placement before any kill or skew move re-homes
+  // partitions: a rejoining host reclaims exactly the partitions it owned
+  // when the cluster was healthy.
+  partition_host_build_ = partition_host_merged_;
   stats_folded_.assign(plan_->size(), 0);
 
   // Pass 2: collect edges per producer id. Cross-host edges are grouped so
@@ -855,6 +860,14 @@ FaultChannel* ClusterRuntime::ChannelForPair(int from_host, int to_host) {
 void ClusterRuntime::DeliverRemoteFaulty(int from_host, const Tuple& wire,
                                          const Tuple& decoded, int consumer,
                                          size_t port) {
+  if (faults_->PairSevered(from_host, op_host_[consumer])) {
+    // Network partition: the send is refused at the sender — the tuple never
+    // leaves the host, so neither net accounting nor the channel sees it.
+    // On this lossy path the tuple is gone until the heal (reliable edges
+    // keep it pending instead).
+    faults_->CountPartitionRefused();
+    return;
+  }
   size_t bytes = EncodedTupleSize(wire);
   // Sender-side accounting happens at send time — the tuple left the host
   // whether or not the channel later drops it. (The healthy path accounts
@@ -940,6 +953,13 @@ void ClusterRuntime::SendReliable(int producer_key, int from,
   }
   size_t bytes = EncodedTupleSize(wire);
   uint64_t seq = recovery_->RecordSend(key, decoded, bytes);
+  if (faults_ != nullptr && faults_->PairSevered(from, to)) {
+    // Network partition: refused at the sender after sequencing, so the
+    // entry stays pending and retransmission redelivers it once the
+    // partition heals — the exactly-once contract holds across the heal.
+    faults_->CountPartitionRefused();
+    return;
+  }
   result_.hosts[from].net_tuples_out += 1;
   result_.hosts[from].net_bytes_out += bytes;
   FaultChannel* channel = ChannelForPair(from, to);
@@ -989,6 +1009,13 @@ void ClusterRuntime::ResendEntry(const RecoveryCoordinator::RetxItem& item) {
     // channel copy can only arrive as a duplicate now. Deliver directly.
     recovery_->CountEscalated();
     DeliverReliable(item.key, item.seq, item.tuple, 0, false);
+    return;
+  }
+  if (faults_ != nullptr && faults_->PairSevered(from, to)) {
+    // The partition is absolute: even escalated retries are refused while
+    // the pair is severed. The entry stays pending; the post-heal drain
+    // (ForceRetransmits) redelivers it immediately.
+    faults_->CountPartitionRefused();
     return;
   }
   // A resend is a fresh transfer: the sender pays net-out again (the
@@ -1442,6 +1469,16 @@ void ClusterRuntime::FinishSources() {
           [this](int partition) { return partition_host_merged_[partition]; });
     }
   }
+  // A network partition cannot outlive the run: the drains below must leave
+  // nothing stranded, so a never-healed partition reconnects with an
+  // implicit heal first (recorded in the ledger like a plan-directed one,
+  // stamped with the last observed source time).
+  if (faults_active() && faults_->partition_active()) {
+    MembershipEvent heal;
+    heal.kind = MembershipEvent::Kind::kHeal;
+    heal.epoch = faults_->last_time();
+    ApplyMembershipEvent(heal);
+  }
   // Deliver everything degraded channels still hold before any port sees
   // end-of-stream (the per-edge finish hooks flush again, harmlessly, for
   // tuples emitted during the flush cascade itself), then escalate whatever
@@ -1492,6 +1529,19 @@ void ClusterRuntime::StartParallel() {
         "trace events record execution order, which is not deterministic "
         "across worker threads";
     return;
+  }
+  if (faults_active()) {
+    for (const RejoinSpec& rejoin : faults_->plan().rejoins) {
+      if (rejoin.host >= config_.num_hosts) {
+        // Worker rings are sized per host pair at start; a mid-run host-set
+        // growth would index past them. Known-host membership plans
+        // (partition/heal/rejoin of a killed host) still run in barrier mode.
+        parallel_fallback_reason_ =
+            "elastic rejoin grows the host set mid-run; worker rings are "
+            "sized at start";
+        return;
+      }
+    }
   }
   bool controllers = faults_active() || recovery_active() ||
                      overload_active() || adaptive_active();
@@ -1891,7 +1941,16 @@ void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
   // retransmits fire, then a due checkpoint snapshots the settled state,
   // then kills execute — a kill at epoch E sees E's checkpoint.
   std::vector<int> due_kills;
-  if (faults_active()) due_kills = faults_->OnSourceTime(time);
+  if (faults_active()) {
+    due_kills = faults_->OnSourceTime(time);
+    // Membership events apply right after the boundary drain and before the
+    // retransmit scan: a heal at epoch E force-drains the backlog that the
+    // partition accumulated, and a partition at E refuses this epoch's
+    // retransmits rather than last epoch's deliveries.
+    for (const MembershipEvent& event : faults_->DueMembershipEvents(time)) {
+      ApplyMembershipEvent(event);
+    }
+  }
   if (recovery_active()) {
     uint64_t eid = time / recovery_->config().epoch_width;
     if (recovery_->AdvanceEpoch(eid)) {
@@ -1911,7 +1970,10 @@ void ClusterRuntime::ObserveSourceTime(const Tuple& tuple) {
   // and a kill due at the same boundary dirties the next snapshot instead
   // of racing this one.
   if (adaptive_active()) AdaptiveOnTime(time);
-  for (int host : due_kills) KillHost(host);
+  for (int host : due_kills) {
+    Status st = KillHost(host);
+    SP_CHECK(st.ok()) << st.ToString();
+  }
 }
 
 void ClusterRuntime::OverloadOnTime(uint64_t time) {
@@ -1996,7 +2058,8 @@ void ClusterRuntime::ExecuteSkewMove(const SkewMove& move) {
   }
 }
 
-bool ClusterRuntime::MigratePartition(int partition, int target) {
+bool ClusterRuntime::MigratePartition(int partition, int target,
+                                      uint64_t* moved_bytes) {
   if (!recovery_active()) return false;
   if (partition < 0 ||
       partition >= static_cast<int>(partition_host_merged_.size())) {
@@ -2024,7 +2087,8 @@ bool ClusterRuntime::MigratePartition(int partition, int target) {
     }
   }
   partition_host_merged_[partition] = target;
-  RebuildAndRestore(migrated, target);
+  uint64_t restored = RebuildAndRestore(migrated, target);
+  if (moved_bytes != nullptr) *moved_bytes = restored;
   RewireMigrated(migrated);
   ReplayDeliveryLogs(migrated, target);
   if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
@@ -2053,16 +2117,29 @@ bool ClusterRuntime::MigrateStage(const AdaptiveStage& stage, int target,
   return true;
 }
 
-void ClusterRuntime::KillHost(int host) {
-  if (host < 0 || host >= config_.num_hosts) return;
-  if (!faults_->host_alive(host)) return;
+Status ClusterRuntime::KillHost(int host) {
+  // Out-of-range or already-dead targets stay silent no-ops (a plan can
+  // legitimately name the same host twice, or a host past the cluster);
+  // only killing the last survivor is an error — there would be nobody
+  // left to repartition onto or migrate state to, and every downstream
+  // answer would silently vanish.
+  if (host < 0 || host >= config_.num_hosts) return Status::OK();
+  if (!faults_->host_alive(host)) return Status::OK();
+  int alive = 0;
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    if (faults_->host_alive(h)) ++alive;
+  }
+  if (alive <= 1) {
+    return Status::RuntimeError("kill host ", host,
+                                ": cannot kill the last surviving host");
+  }
   // Deliver in-flight channel tuples while the host can still receive;
   // everything sent before the kill instant was already "on the wire".
   faults_->FlushAll();
   if (recovery_active()) {
     MigrateHost(host);
     if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
-    return;
+    return Status::OK();
   }
   // Record window-invalidation markers for the open state the host loses,
   // and fold its work ledger now — post-death flush work is suppressed and
@@ -2107,6 +2184,196 @@ void ClusterRuntime::KillHost(int host) {
     }
   }
   if (faults_->plan().repartition) Repartition();
+  return Status::OK();
+}
+
+void ClusterRuntime::ApplyMembershipEvent(const MembershipEvent& event) {
+  if (!membership_telemetry_bound_) {
+    membership_telemetry_bound_ = true;
+    if (telemetry_enabled_) {
+      // Membership is a cluster-wide lifecycle, not a per-host one: its
+      // instruments live in host 0's registry under a single scope, like the
+      // adaptive controller's. Binding on the first applied event keeps runs
+      // whose membership directives never fire byte-identical.
+      faults_->BindMembershipTelemetry(host_stats_[0]->GetScope("membership"));
+    }
+  }
+  switch (event.kind) {
+    case MembershipEvent::Kind::kPartition: {
+      PartitionSpec spec;
+      spec.groups = event.groups;
+      spec.epoch = event.epoch;
+      // No flush here: the epoch-boundary drain already delivered everything
+      // that was "on the wire" before the split; reorder-held tuples stay
+      // held and deliver after the heal.
+      faults_->ApplyPartition(spec);
+      break;
+    }
+    case MembershipEvent::Kind::kHeal:
+      faults_->ApplyHeal(event.epoch);
+      if (recovery_active()) {
+        // Drain the retransmit backlog immediately instead of waiting out
+        // each entry's backoff: the heal is a connectivity event, not a
+        // delivery failure, so no attempt is charged and nothing escalates.
+        recovery_->ForceRetransmits(
+            [this](const RecoveryCoordinator::RetxItem& item) {
+              ResendEntry(item);
+            });
+      }
+      break;
+    case MembershipEvent::Kind::kRejoin:
+      RejoinHost(event.host, event.epoch);
+      break;
+  }
+}
+
+void ClusterRuntime::RejoinHost(int host, uint64_t epoch) {
+  SP_CHECK(host >= 0) << "rejoin host must be explicit";
+  if (host < config_.num_hosts && faults_->host_alive(host)) {
+    // Already a live member: nothing to admit, no state to move.
+    faults_->RecordRejoinSuppressed(host, epoch);
+    return;
+  }
+  if (host >= config_.num_hosts) {
+    // Elastic scale-out: a never-before-seen host grows the cluster. The
+    // overload controller keeps its construction-time host count — budget
+    // rows are a plan property, and DrainDeferredQueues stays within the
+    // bounds the controller was sized for.
+    int old_hosts = config_.num_hosts;
+    config_.num_hosts = host + 1;
+    result_.hosts.resize(static_cast<size_t>(config_.num_hosts));
+    for (int h = old_hosts; h < config_.num_hosts; ++h) {
+      host_stats_.push_back(std::make_unique<StatsRegistry>());
+      host_stats_.back()->set_events_enabled(trace_events_enabled_);
+    }
+  }
+  faults_->MarkRejoined(host);
+  // The host is a live member again: its ledger row resumes accumulating
+  // and CheckedHost stops reporting it as killed.
+  auto& dead = result_.dead_hosts;
+  dead.erase(std::remove(dead.begin(), dead.end(), host), dead.end());
+  if (adaptive_ != nullptr) adaptive_topology_dirty_ = true;
+  if (!recovery_active()) {
+    // Lossy runs have no checkpointed state to move back — the kill folded
+    // the host's ledgers and finished its downstream ports, so re-admission
+    // is liveness-only. State rebalance requires the checkpoint machinery
+    // (docs/FAULTS.md "Membership lifecycle").
+    faults_->RecordRejoin(host, epoch, 0);
+    return;
+  }
+  // Cooldown guard, shared with the adaptive controller's rules: a storm of
+  // rejoin directives inside the cooldown window still admits every host,
+  // but only the first moves state — back-to-back full migrations would
+  // thrash the very stability a rejoin is meant to restore.
+  uint64_t width = std::max<uint64_t>(1, faults_->plan().epoch_width);
+  uint64_t eid = epoch / width;
+  uint64_t cooldown = faults_->plan().adaptive.cooldown_epochs;
+  if (rejoin_seen_ && eid < last_rejoin_epoch_ + cooldown) {
+    faults_->RecordRejoinSuppressed(host, epoch);
+    return;
+  }
+  rejoin_seen_ = true;
+  last_rejoin_epoch_ = eid;
+  uint64_t moved_total = 0;
+  for (int partition : RejoinPartitions(host)) {
+    uint64_t moved = 0;
+    if (MigratePartition(partition, host, &moved)) moved_total += moved;
+  }
+  faults_->RecordRejoin(host, epoch, moved_total);
+}
+
+std::vector<int> ClusterRuntime::RejoinPartitions(int host) const {
+  // Candidate set: a returning host reclaims the partitions it owned at
+  // build time (now re-homed elsewhere); an elastic newcomer peels
+  // partitions off the most loaded host, heaviest first.
+  //
+  // Loads are priced through the recost path in the adaptive controller's
+  // currency, but over partition-tagged compute only — the load a rejoin
+  // can actually move. Folded history (a returning host's pre-kill row)
+  // is sunk cost and would only bias the projection against restoration.
+  auto partition_cycles = [this](int partition) {
+    HostMetrics m;
+    for (int id : plan_->TopoOrder()) {
+      if (instances_[id] == nullptr) continue;
+      if (plan_->op(id).partition != partition) continue;
+      if (plan_->op(id).kind == DistOpKind::kMerge) {
+        m.merge_ops += instances_[id]->stats();
+      } else {
+        m.ops += instances_[id]->stats();
+      }
+    }
+    return HostCycles(m, cost_params_);
+  };
+  std::vector<double> loads(static_cast<size_t>(config_.num_hosts), 0.0);
+  for (size_t p = 0; p < partition_host_merged_.size(); ++p) {
+    int h = partition_host_merged_[p];
+    if (h >= 0 && h < config_.num_hosts && faults_->host_alive(h)) {
+      loads[h] += partition_cycles(static_cast<int>(p));
+    }
+  }
+  std::vector<int> candidates;
+  for (size_t p = 0; p < partition_host_build_.size(); ++p) {
+    int cur = partition_host_merged_[p];
+    if (partition_host_build_[p] == host && cur != host &&
+        faults_->host_alive(cur)) {
+      candidates.push_back(static_cast<int>(p));
+    }
+  }
+  bool returning = !candidates.empty();
+  if (!returning) {
+    int hot = -1;
+    double hot_load = 0;
+    for (int h = 0; h < config_.num_hosts; ++h) {
+      if (h == host || !faults_->host_alive(h)) continue;
+      if (loads[h] > hot_load) {
+        hot_load = loads[h];
+        hot = h;
+      }
+    }
+    if (hot < 0) return candidates;  // no load signal: nothing to rebalance
+    for (size_t p = 0; p < partition_host_merged_.size(); ++p) {
+      if (partition_host_merged_[p] == hot) {
+        candidates.push_back(static_cast<int>(p));
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](int a, int b) {
+                       return partition_cycles(a) > partition_cycles(b);
+                     });
+  }
+  // Hysteresis gate over the recost projection. The gate is pair-local on
+  // purpose — an unrelated global bottleneck must not veto restoring a
+  // returning host's partitions. A returning host reclaiming its own
+  // build-time partitions needs only strictly positive pair relief: the
+  // imbalance (loaded donor, idle returnee) is exactly what restoration
+  // fixes, and the donor's accumulated compute would otherwise dilute the
+  // relief fraction the longer the host stayed dead — thrash is bounded by
+  // the rejoin cooldown, not by this gate. An elastic newcomer peeling
+  // partitions off a stranger must clear the full adaptive hysteresis
+  // fraction. A returning host with no load signal yet restores its build
+  // placement unconditionally.
+  RecostWeights weights{cost_params_.cycles_per_remote_tuple,
+                        cost_params_.cycles_per_remote_byte};
+  double hysteresis = returning ? 0.0 : faults_->plan().adaptive.hysteresis;
+  std::vector<int> accepted;
+  for (int p : candidates) {
+    int donor = partition_host_merged_[p];
+    double before = std::max(loads[donor], loads[host]);
+    if (before <= 0) {
+      if (returning) accepted.push_back(p);
+      continue;
+    }
+    StageRates moved;
+    moved.host = donor;
+    moved.compute_cycles = partition_cycles(p);
+    std::vector<double> next =
+        ProjectHostLoads(config_.num_hosts, loads, moved, host, weights);
+    double after = std::max(next[donor], next[host]);
+    if ((before - after) / before <= hysteresis) continue;
+    accepted.push_back(p);
+    loads = std::move(next);
+  }
+  return accepted;
 }
 
 void ClusterRuntime::Repartition() {
@@ -2183,6 +2450,12 @@ RunLedger ClusterRuntime::MakeLedger(const CpuCostParams& params,
     // SetAdaptive drops never-engaged sections, so a drift-free run with the
     // controller armed serializes byte-identically to an unarmed run.
     ledger.SetAdaptive(adaptive_->section());
+  }
+  if (faults_active()) {
+    // SetMembership drops never-engaged sections, so a plan whose membership
+    // directives never fired serializes byte-identically to an unarmed run.
+    ledger.SetMembership(
+        faults_->membership_section(params.cycles_per_checkpoint_byte));
   }
   // SetSketch drops inactive sections, so exact plans stay byte-identical.
   ledger.SetSketch(MakeSketchSection());

@@ -334,7 +334,9 @@ class ClusterRuntime {
   /// Migrates every operator of source partition \p partition onto
   /// \p target via the recovery machinery (checkpoint restore + delivery-log
   /// replay, like MigrateHost). Returns false when recovery is not active.
-  bool MigratePartition(int partition, int target);
+  /// \p moved_bytes (optional) receives the restored state size.
+  bool MigratePartition(int partition, int target,
+                        uint64_t* moved_bytes = nullptr);
   /// Binds the controller's live Horvitz–Thompson weight to the first
   /// stateful operator downstream of each source (recording inexact reasons
   /// for operators that cannot consume it).
@@ -428,8 +430,25 @@ class ClusterRuntime {
 
   /// Kills \p host now. Lossy path: records window invalidations, folds its
   /// ledger, finishes downstream ports it feeds, and (if the plan allows)
-  /// repartitions over the survivors. Recovery path: MigrateHost.
-  void KillHost(int host);
+  /// repartitions over the survivors. Recovery path: MigrateHost. Fails with
+  /// kRuntimeError when \p host is the last survivor — a cluster with no
+  /// hosts cannot execute anything, so the kill is refused rather than
+  /// leaving an empty-survivor repartition behind.
+  Status KillHost(int host);
+  /// Applies one due membership event (partition / heal / rejoin) — called
+  /// from ObserveSourceTime before the retransmit scan and before any kill
+  /// due at the same boundary.
+  void ApplyMembershipEvent(const MembershipEvent& event);
+  /// Re-admits \p host at epoch \p epoch — the reverse of KillHost: marks it
+  /// alive, consults the advisor/recost projection for which partitions move
+  /// back, and migrates their state over the recovery machinery, guarded by
+  /// the hysteresis/cooldown rules so rejoin storms can't thrash. Hosts
+  /// beyond the configured cluster grow it (elastic scale-out).
+  void RejoinHost(int host, uint64_t epoch);
+  /// Picks the partitions to move back to a rejoining host: its build-time
+  /// partitions when it had any, else the recost-projected best peel off the
+  /// bottleneck host (elastic scale-out). Empty when nothing should move.
+  std::vector<int> RejoinPartitions(int host) const;
   /// Rebuilds the partitioner over the surviving partitions (lossy path).
   void Repartition();
   /// Source-time hook: drains channel queues at epoch boundaries, advances
@@ -487,6 +506,15 @@ class ClusterRuntime {
   /// Merged partition -> host map across streams (plan placement;
   /// migration re-homes).
   std::vector<int> partition_host_merged_;
+  /// Build-time snapshot of partition_host_merged_: a rejoining host's
+  /// original partitions are looked up here after migrations re-homed them.
+  std::vector<int> partition_host_build_;
+  /// Membership lifecycle: telemetry bound lazily on the first applied
+  /// event, and the cooldown guard against rejoin storms (two rebalancing
+  /// rejoins must sit >= plan.adaptive.cooldown_epochs epochs apart).
+  bool membership_telemetry_bound_ = false;
+  bool rejoin_seen_ = false;
+  uint64_t last_rejoin_epoch_ = 0;
   /// After a repartition: new partitioner index -> original partition.
   /// Empty while the original partitioner is in place.
   std::vector<int> survivor_map_;

@@ -72,6 +72,53 @@ Result<int> ParseHost(int line_no, std::string_view key,
   return static_cast<int>(v);
 }
 
+/// Parses `groups=0,1|2,3`: '|' separates groups, ',' separates hosts.
+/// Groups must number >= 2, be non-empty, and be pairwise disjoint; hosts
+/// must be explicit (no wildcard).
+Result<std::vector<std::vector<int>>> ParseGroups(int line_no,
+                                                  std::string_view value) {
+  auto bad = [&](const std::string& why) {
+    return Status::InvalidArgument("fault plan line ", line_no, ": ", why);
+  };
+  std::vector<std::vector<int>> groups;
+  std::vector<bool> seen;
+  size_t pos = 0;
+  while (true) {
+    size_t bar = value.find('|', pos);
+    std::string_view grp = value.substr(
+        pos, (bar == std::string_view::npos ? value.size() : bar) - pos);
+    if (grp.empty()) return bad("empty group in 'groups'");
+    std::vector<int> hosts;
+    size_t i = 0;
+    while (i <= grp.size()) {
+      size_t comma = grp.find(',', i);
+      std::string_view tok = grp.substr(
+          i, (comma == std::string_view::npos ? grp.size() : comma) - i);
+      if (tok.empty()) return bad("empty host in 'groups'");
+      SP_ASSIGN_OR_RETURN(int h, ParseHost(line_no, "groups", tok));
+      if (h < 0) {
+        return bad("'groups' hosts must be explicit ids (no wildcard)");
+      }
+      if (h >= static_cast<int>(seen.size())) seen.resize(h + 1, false);
+      if (seen[h]) {
+        return bad("host " + std::to_string(h) +
+                   " appears in more than one group");
+      }
+      seen[h] = true;
+      hosts.push_back(h);
+      if (comma == std::string_view::npos) break;
+      i = comma + 1;
+    }
+    groups.push_back(std::move(hosts));
+    if (bar == std::string_view::npos) break;
+    pos = bar + 1;
+  }
+  if (groups.size() < 2) {
+    return bad("'groups' needs at least two '|'-separated groups");
+  }
+  return groups;
+}
+
 }  // namespace
 
 Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
@@ -145,6 +192,71 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& text) {
         return bad("'kill' needs host= and epoch=");
       }
       plan.kills.push_back(kill);
+    } else if (directive == "partition") {
+      PartitionSpec part;
+      bool have_groups = false, have_at = false;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'partition'");
+        }
+        if (key == "groups") {
+          SP_ASSIGN_OR_RETURN(part.groups, ParseGroups(line_no, value));
+          have_groups = true;
+        } else if (key == "at") {
+          SP_ASSIGN_OR_RETURN(part.epoch, ParseUint(line_no, key, value));
+          have_at = true;
+        } else {
+          return bad("unknown partition key '" + std::string(key) + "'");
+        }
+      }
+      if (!have_groups || !have_at) {
+        return bad("'partition' needs groups= and at=");
+      }
+      plan.partitions.push_back(std::move(part));
+    } else if (directive == "heal") {
+      HealSpec heal;
+      bool have_at = false;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'heal'");
+        }
+        if (key == "at") {
+          SP_ASSIGN_OR_RETURN(heal.epoch, ParseUint(line_no, key, value));
+          have_at = true;
+        } else {
+          return bad("unknown heal key '" + std::string(key) + "'");
+        }
+      }
+      if (!have_at) return bad("'heal' needs at=");
+      plan.heals.push_back(heal);
+    } else if (directive == "rejoin") {
+      RejoinSpec rejoin;
+      bool have_host = false, have_at = false;
+      for (size_t t = 1; t < tokens.size(); ++t) {
+        std::string_view key, value;
+        if (!SplitKeyValue(tokens[t], &key, &value)) {
+          return bad("expected key=value tokens after 'rejoin'");
+        }
+        if (key == "host") {
+          SP_ASSIGN_OR_RETURN(int h, ParseHost(line_no, key, value));
+          if (h < 0) {
+            return bad("'rejoin' host must be an explicit id (no wildcard)");
+          }
+          rejoin.host = h;
+          have_host = true;
+        } else if (key == "at") {
+          SP_ASSIGN_OR_RETURN(rejoin.epoch, ParseUint(line_no, key, value));
+          have_at = true;
+        } else {
+          return bad("unknown rejoin key '" + std::string(key) + "'");
+        }
+      }
+      if (!have_host || !have_at) {
+        return bad("'rejoin' needs host= and at=");
+      }
+      plan.rejoins.push_back(rejoin);
     } else if (directive == "channel") {
       ChannelFaultSpec chan;
       for (size_t t = 1; t < tokens.size(); ++t) {
@@ -303,6 +415,21 @@ std::string FaultPlan::ToString() const {
   if (epoch_width != 1) out << "epoch_width " << epoch_width << "\n";
   for (const HostKillSpec& k : kills) {
     out << "kill host=" << k.host << " epoch=" << k.epoch << "\n";
+  }
+  for (const PartitionSpec& p : partitions) {
+    out << "partition groups=";
+    for (size_t g = 0; g < p.groups.size(); ++g) {
+      if (g > 0) out << "|";
+      for (size_t h = 0; h < p.groups[g].size(); ++h) {
+        if (h > 0) out << ",";
+        out << p.groups[g][h];
+      }
+    }
+    out << " at=" << p.epoch << "\n";
+  }
+  for (const HealSpec& h : heals) out << "heal at=" << h.epoch << "\n";
+  for (const RejoinSpec& r : rejoins) {
+    out << "rejoin host=" << r.host << " at=" << r.epoch << "\n";
   }
   auto host_str = [](int h) {
     return h < 0 ? std::string("*") : std::to_string(h);
@@ -481,6 +608,156 @@ FaultController::FaultController(FaultPlan plan, int num_hosts)
                    [](const HostKillSpec& a, const HostKillSpec& b) {
                      return a.epoch < b.epoch;
                    });
+  // Membership events merge into one epoch-ordered queue. At the same epoch
+  // heals apply first, then rejoins, then partitions: restore connectivity,
+  // re-admit hosts, then install the new split that may name them.
+  for (const HealSpec& h : plan_.heals) {
+    MembershipEvent e;
+    e.kind = MembershipEvent::Kind::kHeal;
+    e.epoch = h.epoch;
+    membership_.push_back(std::move(e));
+  }
+  for (const RejoinSpec& r : plan_.rejoins) {
+    MembershipEvent e;
+    e.kind = MembershipEvent::Kind::kRejoin;
+    e.epoch = r.epoch;
+    e.host = r.host;
+    membership_.push_back(std::move(e));
+  }
+  for (const PartitionSpec& p : plan_.partitions) {
+    MembershipEvent e;
+    e.kind = MembershipEvent::Kind::kPartition;
+    e.epoch = p.epoch;
+    e.groups = p.groups;
+    membership_.push_back(std::move(e));
+  }
+  std::stable_sort(membership_.begin(), membership_.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.epoch < b.epoch;
+                   });
+  member_section_.active = plan_.membership_enabled();
+}
+
+std::vector<MembershipEvent> FaultController::DueMembershipEvents(
+    uint64_t time) {
+  std::vector<MembershipEvent> due;
+  if (!active_) return due;
+  while (membership_done_ < membership_.size() &&
+         membership_[membership_done_].epoch <= time) {
+    due.push_back(membership_[membership_done_]);
+    ++membership_done_;
+  }
+  return due;
+}
+
+bool FaultController::PairSevered(int from_host, int to_host) const {
+  if (!partition_active_ || from_host == to_host) return false;
+  if (from_host < 0 || to_host < 0) return false;
+  auto f = partition_group_.find(from_host);
+  auto t = partition_group_.find(to_host);
+  int fg = f == partition_group_.end() ? -1 : f->second;
+  int tg = t == partition_group_.end() ? -1 : t->second;
+  // Hosts the directive did not name are isolated from everyone (including
+  // each other): two unnamed hosts share no network either.
+  if (fg < 0 || tg < 0) return true;
+  return fg != tg;
+}
+
+void FaultController::ApplyPartition(const PartitionSpec& spec) {
+  partition_active_ = true;
+  partition_group_.clear();
+  MembershipEventRow row;
+  row.epoch = spec.epoch;
+  row.kind = "partition";
+  for (size_t g = 0; g < spec.groups.size(); ++g) {
+    for (int h : spec.groups[g]) {
+      partition_group_[h] = static_cast<int>(g);
+      row.hosts.push_back(h);
+    }
+  }
+  ++member_section_.partitions;
+  member_section_.engaged = true;
+  open_partition_row_ = static_cast<int>(member_section_.events.size());
+  member_section_.events.push_back(std::move(row));
+  if (t_member_partitions_) t_member_partitions_->Inc();
+}
+
+void FaultController::ApplyHeal(uint64_t epoch) {
+  partition_active_ = false;
+  partition_group_.clear();
+  open_partition_row_ = -1;
+  MembershipEventRow row;
+  row.epoch = epoch;
+  row.kind = "heal";
+  ++member_section_.heals;
+  member_section_.engaged = true;
+  member_section_.events.push_back(std::move(row));
+  if (t_member_heals_) t_member_heals_->Inc();
+}
+
+void FaultController::MarkRejoined(int host) {
+  SP_CHECK(host >= 0);
+  if (host >= static_cast<int>(alive_.size())) {
+    // Elastic scale-out: a never-before-seen host grows the liveness table.
+    alive_.resize(static_cast<size_t>(host) + 1, true);
+  }
+  alive_[host] = true;
+}
+
+void FaultController::RecordRejoin(int host, uint64_t epoch,
+                                   uint64_t moved_bytes) {
+  MembershipEventRow row;
+  row.epoch = epoch;
+  row.kind = "rejoin";
+  row.hosts.push_back(host);
+  row.moved_bytes = moved_bytes;
+  ++member_section_.rejoins;
+  member_section_.moved_bytes += moved_bytes;
+  member_section_.engaged = true;
+  member_section_.events.push_back(std::move(row));
+  if (t_member_rejoins_) t_member_rejoins_->Inc();
+  if (t_member_moved_bytes_) t_member_moved_bytes_->Add(moved_bytes);
+}
+
+void FaultController::RecordRejoinSuppressed(int host, uint64_t epoch) {
+  MembershipEventRow row;
+  row.epoch = epoch;
+  row.kind = "rejoin_suppressed";
+  row.hosts.push_back(host);
+  ++member_section_.rejoins_suppressed;
+  member_section_.engaged = true;
+  member_section_.events.push_back(std::move(row));
+  if (t_member_suppressed_) t_member_suppressed_->Inc();
+}
+
+void FaultController::CountPartitionRefused() {
+  ++member_section_.sends_refused;
+  member_section_.engaged = true;
+  if (open_partition_row_ >= 0 &&
+      open_partition_row_ <
+          static_cast<int>(member_section_.events.size())) {
+    ++member_section_.events[open_partition_row_].refused;
+  }
+  if (t_member_refused_) t_member_refused_->Inc();
+}
+
+void FaultController::BindMembershipTelemetry(StatsScope* scope) {
+  if (scope == nullptr) return;
+  t_member_partitions_ = scope->counter(stats::kMemberPartitions);
+  t_member_heals_ = scope->counter(stats::kMemberHeals);
+  t_member_rejoins_ = scope->counter(stats::kMemberRejoins);
+  t_member_refused_ = scope->counter(stats::kMemberSendsRefused);
+  t_member_moved_bytes_ = scope->counter(stats::kMemberMovedBytes);
+  t_member_suppressed_ = scope->counter(stats::kMemberRejoinsSuppressed);
+}
+
+MembershipSection FaultController::membership_section(
+    double cycles_per_checkpoint_byte) const {
+  MembershipSection out = member_section_;
+  // Serialize + restore: each moved byte is written once and read once.
+  out.rejoin_cost_cycles = 2.0 * static_cast<double>(out.moved_bytes) *
+                           cycles_per_checkpoint_byte;
+  return out;
 }
 
 std::vector<int> FaultController::OnSourceTime(uint64_t time) {

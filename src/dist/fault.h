@@ -58,6 +58,32 @@ struct HostKillSpec {
   uint64_t epoch = 0;
 };
 
+/// \brief Network partition: the cluster splits into >= 2 disjoint host
+/// groups at the epoch boundary. While the partition holds, every cross-group
+/// send is refused at the sender (the tuple never reaches the channel).
+/// Hosts the directive does not name land in an implicit isolated group that
+/// can reach no one. A later `heal` restores full connectivity.
+struct PartitionSpec {
+  std::vector<std::vector<int>> groups;  ///< >= 2 disjoint, non-empty groups
+  uint64_t epoch = 0;
+};
+
+/// \brief Heals the partition in force (if any) at the epoch boundary: all
+/// severed pairs reconnect and the reliable-edge retransmit backlog drains.
+struct HealSpec {
+  uint64_t epoch = 0;
+};
+
+/// \brief Re-admits a host at the epoch boundary — the reverse of a kill.
+/// The host may have been killed earlier (rebooted machine) or never seen
+/// before (elastic scale-out); in both cases the runtime consults the
+/// advisor/recost path for which partitions to move back and migrates their
+/// state over the checkpoint machinery.
+struct RejoinSpec {
+  int host = 0;
+  uint64_t epoch = 0;
+};
+
 /// \brief Per-epoch CPU cycle budget for one host (or every host via the -1
 /// wildcard). When an epoch's charged model cycles would exceed the budget,
 /// the overload controller (dist/overload.h) defers the offending source
@@ -136,6 +162,10 @@ struct FaultPlan {
   uint64_t epoch_width = 1;
   std::vector<HostKillSpec> kills;
   std::vector<ChannelFaultSpec> channels;
+  /// Membership lifecycle events (docs/FAULTS.md "Membership lifecycle").
+  std::vector<PartitionSpec> partitions;
+  std::vector<HealSpec> heals;
+  std::vector<RejoinSpec> rejoins;
   /// Per-host per-epoch CPU budgets (overload control; dist/overload.h).
   std::vector<HostBudgetSpec> budgets;
   /// Tap-level shedding policy (inert unless budgets force it or fixed).
@@ -143,10 +173,20 @@ struct FaultPlan {
   /// Runtime-adaptive placement loop (dist/adaptive.h).
   AdaptiveSpec adaptive;
 
+  /// \brief True when the plan schedules membership lifecycle events
+  /// (partition/heal/rejoin).
+  bool membership_enabled() const {
+    return !partitions.empty() || !heals.empty() || !rejoins.empty();
+  }
+
   /// \brief True when the plan injects nothing (controller stays inert).
   /// Budgets/shedding are deliberately excluded: a budget-only plan arms the
-  /// overload controller but no fault controller.
-  bool empty() const { return kills.empty() && channels.empty(); }
+  /// overload controller but no fault controller. Membership events are
+  /// included — a partition/heal/rejoin-only plan needs the controller to
+  /// track connectivity and liveness.
+  bool empty() const {
+    return kills.empty() && channels.empty() && !membership_enabled();
+  }
 
   /// \brief True when the plan arms the overload controller.
   bool overload_enabled() const { return !budgets.empty() || shed.enabled(); }
@@ -170,6 +210,9 @@ struct FaultPlan {
   ///     ckpt 4
   ///     epoch_width 60
   ///     kill host=2 epoch=3
+  ///     partition groups=0,1|2,3 at=5
+  ///     heal at=8
+  ///     rejoin host=2 at=9
   ///     channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64
   ///     budget host=1 cycles=5e8 queue=256 reserve=0.05
   ///     shed m=4            # or: shed max_m=64
@@ -261,6 +304,16 @@ class FaultChannel {
   Counter* t_retransmitted_ = nullptr;
 };
 
+/// \brief One due membership lifecycle event, handed to the runtime by
+/// FaultController::DueMembershipEvents in (epoch, plan order).
+struct MembershipEvent {
+  enum class Kind { kPartition, kHeal, kRejoin };
+  Kind kind = Kind::kPartition;
+  uint64_t epoch = 0;
+  std::vector<std::vector<int>> groups;  ///< kPartition: the host groups
+  int host = -1;                         ///< kRejoin: the host to re-admit
+};
+
 /// \brief Executes a FaultPlan: tracks host liveness, owns the degraded
 /// channels, and accumulates the ledger FaultSection. ClusterRuntime calls
 /// into it from its routing and cross-host delivery paths.
@@ -291,6 +344,58 @@ class FaultController {
   /// `epoch_width` coarsens the stride — see docs/FAULTS.md ("What an
   /// 'epoch' is").
   std::vector<int> OnSourceTime(uint64_t time);
+
+  /// \brief Membership events whose epoch has arrived (`epoch <= time`, raw
+  /// timestamp — the same comparison kills use). Events are consumed in
+  /// (epoch, plan order). Call right after OnSourceTime for the same time:
+  /// membership events apply before the retransmit scan and before any kill
+  /// due at the same boundary.
+  std::vector<MembershipEvent> DueMembershipEvents(uint64_t time);
+
+  /// \brief True while a network partition is in force.
+  bool partition_active() const { return partition_active_; }
+
+  /// \brief Last observed source timestamp (0 before any tuple): the epoch
+  /// stamped on the implicit end-of-run heal of a never-healed partition.
+  uint64_t last_time() const { return current_time_.value_or(0); }
+
+  /// \brief True when the directed host pair is severed by the partition in
+  /// force: the endpoints sit in different groups. Hosts the directive did
+  /// not name land in an implicit isolated group (-1) severed from every
+  /// other host, including each other.
+  bool PairSevered(int from_host, int to_host) const;
+
+  /// \brief Applies a partition event: installs the group map and opens a
+  /// ledger event row. The runtime enforces the severing by consulting
+  /// PairSevered on every cross-host send.
+  void ApplyPartition(const PartitionSpec& spec);
+
+  /// \brief Heals the partition in force (recorded even when none is — the
+  /// plan said heal, the ledger shows it).
+  void ApplyHeal(uint64_t epoch);
+
+  /// \brief Re-admits a host — the reverse of MarkDead. Grows the liveness
+  /// table for never-before-seen hosts (elastic scale-out).
+  void MarkRejoined(int host);
+
+  /// \brief Records an executed rejoin (state moved back: \p moved_bytes).
+  void RecordRejoin(int host, uint64_t epoch, uint64_t moved_bytes);
+
+  /// \brief Records a rejoin suppressed by the cooldown guard.
+  void RecordRejoinSuppressed(int host, uint64_t epoch);
+
+  /// \brief Counts one cross-group send refused at the sender while a
+  /// partition holds (attributed to the open partition's event row).
+  void CountPartitionRefused();
+
+  /// \brief Binds the member_* instruments (scope `membership` in host 0's
+  /// registry). The runtime binds lazily when the first membership event
+  /// applies, so plans whose events never fire stay byte-identical.
+  void BindMembershipTelemetry(StatsScope* scope);
+
+  /// \brief Snapshot of the membership accounting.
+  /// \p cycles_per_checkpoint_byte prices the state rejoins moved back.
+  MembershipSection membership_section(double cycles_per_checkpoint_byte) const;
 
   /// \brief The degraded channel for the directed pair, or nullptr when no
   /// spec matches (healthy edge, zero overhead). Channels are created
@@ -351,6 +456,22 @@ class FaultController {
   std::map<std::pair<int, int>, std::unique_ptr<FaultChannel>> channels_;
   std::vector<FaultChannel*> channel_order_;  // creation order
   FaultSection section_;
+
+  // Membership lifecycle state (docs/FAULTS.md "Membership lifecycle").
+  size_t membership_done_ = 0;  // membership_ is consumed in epoch order
+  std::vector<MembershipEvent> membership_;  // sorted by (epoch, plan order)
+  bool partition_active_ = false;
+  std::map<int, int> partition_group_;  // host -> group while partitioned
+  MembershipSection member_section_;
+  int open_partition_row_ = -1;  // events index refusals attribute to
+
+  // Membership telemetry (null unless bound; see metrics/stats.h).
+  Counter* t_member_partitions_ = nullptr;
+  Counter* t_member_heals_ = nullptr;
+  Counter* t_member_rejoins_ = nullptr;
+  Counter* t_member_refused_ = nullptr;
+  Counter* t_member_moved_bytes_ = nullptr;
+  Counter* t_member_suppressed_ = nullptr;
 };
 
 }  // namespace streampart

@@ -133,7 +133,11 @@ OverloadController::Admission OverloadController::Admit(int host,
     if (rng_.Uniform(1, shed_weight_) != 1) {
       ++shed_tuples_;
       engaged_ = true;
-      if (Counter* c = Instruments(host).shed) c->Inc();
+      // Hosts past the construction-time count (elastic rejoin) shed like
+      // everyone else but carry no per-host instruments or budget row.
+      if (host >= 0 && host < static_cast<int>(instruments_.size())) {
+        if (Counter* c = Instruments(host).shed) c->Inc();
+      }
       return Admission::kShed;
     }
   }
@@ -163,6 +167,9 @@ void OverloadController::PushDeferred(int host, std::string source,
 }
 
 bool OverloadController::TakeDeferred(int host, DeferredTuple* out) {
+  // Hosts past the construction-time count (elastic rejoin) have no budget
+  // and therefore no deferred queue.
+  if (host < 0 || host >= static_cast<int>(defer_.size())) return false;
   std::deque<DeferredTuple>& q = defer_[host];
   if (q.empty() || GuardTripped(host)) return false;
   *out = std::move(q.front());

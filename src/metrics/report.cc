@@ -237,6 +237,37 @@ std::string AdaptiveSectionJson(const AdaptiveSection& a) {
   return out;
 }
 
+std::string MembershipSectionJson(const MembershipSection& m) {
+  std::string out = "{\"record\":\"membership\"";
+  out += ",\"partitions\":" + std::to_string(m.partitions);
+  out += ",\"heals\":" + std::to_string(m.heals);
+  out += ",\"rejoins\":" + std::to_string(m.rejoins);
+  out += ",\"rejoins_suppressed\":" + std::to_string(m.rejoins_suppressed);
+  out += ",\"sends_refused\":" + std::to_string(m.sends_refused);
+  out += ",\"moved_bytes\":" + std::to_string(m.moved_bytes);
+  out += ",\"rejoin_cost_cycles\":" + JsonDouble(m.rejoin_cost_cycles);
+  out += ",\"events\":[";
+  bool first = true;
+  for (const MembershipEventRow& row : m.events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"epoch\":" + std::to_string(row.epoch);
+    out += ",\"kind\":" + JsonStr(row.kind);
+    out += ",\"hosts\":[";
+    bool h_first = true;
+    for (int h : row.hosts) {
+      if (!h_first) out += ",";
+      h_first = false;
+      out += std::to_string(h);
+    }
+    out += "]";
+    out += ",\"moved_bytes\":" + std::to_string(row.moved_bytes);
+    out += ",\"refused\":" + std::to_string(row.refused) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string SketchSectionJson(const SketchSection& s) {
   std::string out = "{\"record\":\"sketch\"";
   out += ",\"eps\":" + JsonDouble(s.eps);
@@ -424,6 +455,11 @@ void RunLedger::SetAdaptive(AdaptiveSection adaptive) {
   adaptive_ = std::move(adaptive);
 }
 
+void RunLedger::SetMembership(MembershipSection membership) {
+  if (!membership.active || !membership.engaged) return;
+  membership_ = std::move(membership);
+}
+
 void RunLedger::SetSketch(SketchSection sketch) {
   if (!sketch.active) return;
   sketch_ = std::move(sketch);
@@ -464,6 +500,7 @@ std::string RunLedger::ToJsonl() const {
   if (recovery_.active) out += RecoverySectionJson(recovery_) + "\n";
   if (overload_.engaged) out += OverloadSectionJson(overload_) + "\n";
   if (adaptive_.engaged) out += AdaptiveSectionJson(adaptive_) + "\n";
+  if (membership_.engaged) out += MembershipSectionJson(membership_) + "\n";
   if (sketch_.active) out += SketchSectionJson(sketch_) + "\n";
   for (const auto& [stream, tuples] : outputs_) {
     out += "{\"record\":\"output\",\"stream\":" + JsonStr(stream);
@@ -561,6 +598,19 @@ std::string RunLedger::ToSummaryJson() const {
     out += ",\"probes\":" + std::to_string(adaptive_.probes);
     out += ",\"moved_state_bytes\":" +
            std::to_string(adaptive_.moved_state_bytes);
+    out += "}";
+  }
+  if (membership_.engaged) {
+    out += ",\n  \"membership\": {";
+    out += "\"partitions\":" + std::to_string(membership_.partitions);
+    out += ",\"heals\":" + std::to_string(membership_.heals);
+    out += ",\"rejoins\":" + std::to_string(membership_.rejoins);
+    out += ",\"rejoins_suppressed\":" +
+           std::to_string(membership_.rejoins_suppressed);
+    out += ",\"sends_refused\":" + std::to_string(membership_.sends_refused);
+    out += ",\"moved_bytes\":" + std::to_string(membership_.moved_bytes);
+    out += ",\"rejoin_cost_cycles\":" +
+           JsonDouble(membership_.rejoin_cost_cycles);
     out += "}";
   }
   if (sketch_.active) {

@@ -260,6 +260,49 @@ struct AdaptiveSection {
   std::vector<AdaptiveDecisionRow> decisions;  ///< chronological
 };
 
+/// \brief One membership lifecycle event in a run ledger, chronological.
+struct MembershipEventRow {
+  uint64_t epoch = 0;
+  /// "partition" (cluster split into groups), "heal" (connectivity
+  /// restored, retransmit backlog drained), "rejoin" (host re-admitted,
+  /// state migrated back), or "rejoin_suppressed" (cooldown guard vetoed
+  /// the rejoin's rebalance; the host is admitted but no state moves).
+  std::string kind;
+  /// Hosts the event names: partition rows list every grouped host in
+  /// directive order, rejoin rows the single rejoining host, heal rows none.
+  std::vector<int> hosts;
+  /// State bytes migrated back by a rejoin (serialize side; restore doubles
+  /// it in the cycle price). 0 for other kinds.
+  uint64_t moved_bytes = 0;
+  /// Cross-group sends refused while this partition row was in force.
+  /// 0 for non-partition kinds.
+  uint64_t refused = 0;
+};
+
+/// \brief The `membership` section of a run ledger: the cluster-membership
+/// lifecycle (dist/fault.h partition/heal/rejoin directives) — what was
+/// severed, refused, healed, re-admitted and moved back. `active` means the
+/// plan scheduled membership events; `engaged` means at least one actually
+/// applied. Serialized only when engaged, so plans whose events never fire
+/// stay byte-identical to membership-free runs.
+///
+/// Refusal identity (asserted by the membership battery): a refused send
+/// never reaches a channel, so attempted = channel-level sent + sends_refused
+/// and the channel conservation invariant is untouched.
+struct MembershipSection {
+  bool active = false;
+  bool engaged = false;
+  uint64_t partitions = 0;      ///< partition events applied
+  uint64_t heals = 0;           ///< heal events applied
+  uint64_t rejoins = 0;         ///< rejoins executed (state rebalanced)
+  uint64_t rejoins_suppressed = 0;  ///< rejoins vetoed by the cooldown guard
+  uint64_t sends_refused = 0;   ///< cross-group sends refused at the sender
+  uint64_t moved_bytes = 0;     ///< state bytes migrated back by rejoins
+  /// 2 * moved_bytes * cycles_per_checkpoint_byte (serialize + restore).
+  double rejoin_cost_cycles = 0;
+  std::vector<MembershipEventRow> events;  ///< chronological
+};
+
 /// \brief One host's sketch-leg row: what its SketchOp folded and shipped.
 struct SketchHostRow {
   int host = 0;
@@ -344,6 +387,12 @@ class RunLedger {
   /// keeping drift-free adaptive runs byte-identical to static runs.
   void SetAdaptive(AdaptiveSection adaptive);
 
+  /// \brief Attaches the membership-lifecycle accounting. A section that
+  /// never engaged (no event applied) is ignored entirely, keeping plans
+  /// whose membership events never fire byte-identical to membership-free
+  /// runs.
+  void SetMembership(MembershipSection membership);
+
   /// \brief Attaches the sketch-leg accounting. A section with
   /// `active == false` is ignored entirely, keeping exact-plan ledgers
   /// byte-identical to runs without the sketch machinery.
@@ -354,11 +403,12 @@ class RunLedger {
   const RecoverySection& recovery() const { return recovery_; }
   const OverloadSection& overload() const { return overload_; }
   const AdaptiveSection& adaptive() const { return adaptive_; }
+  const MembershipSection& membership() const { return membership_; }
   const SketchSection& sketch() const { return sketch_; }
 
   /// \brief Full ledger: one JSON object per line, in record order
   /// run, host*, operator*, event*, faults?, recovery?, overload?,
-  /// adaptive?, sketch?, output* (docs/METRICS.md schema).
+  /// adaptive?, membership?, sketch?, output* (docs/METRICS.md schema).
   std::string ToJsonl() const;
 
   /// \brief Single JSON object: meta + per-host derived quantities +
@@ -390,6 +440,7 @@ class RunLedger {
   RecoverySection recovery_;   // serialized only when recovery_.active
   OverloadSection overload_;   // serialized only when overload_.engaged
   AdaptiveSection adaptive_;   // serialized only when adaptive_.engaged
+  MembershipSection membership_;  // serialized only when membership_.engaged
   SketchSection sketch_;       // serialized only when sketch_.active
 };
 

@@ -244,6 +244,32 @@ const StatDef kAdaptRollbacks = {"adapt_rollbacks", StatKind::kCounter,
                                  "improve measured cost in their watch "
                                  "window"};
 
+const StatDef kMemberPartitions = {"member_partitions", StatKind::kCounter,
+                                   "events", false,
+                                   "network-partition events applied (the "
+                                   "cluster split into isolated groups)"};
+const StatDef kMemberHeals = {"member_heals", StatKind::kCounter, "events",
+                              false,
+                              "heal events applied (connectivity restored, "
+                              "retransmit backlog drained)"};
+const StatDef kMemberRejoins = {"member_rejoins", StatKind::kCounter,
+                                "events", false,
+                                "hosts re-admitted with state rebalanced "
+                                "back onto them"};
+const StatDef kMemberRejoinsSuppressed = {"member_rejoins_suppressed",
+                                          StatKind::kCounter, "events", false,
+                                          "rejoin rebalances vetoed by the "
+                                          "cooldown guard (host admitted, no "
+                                          "state moved)"};
+const StatDef kMemberSendsRefused = {"member_sends_refused",
+                                     StatKind::kCounter, "tuples", false,
+                                     "cross-group sends refused at the "
+                                     "sender while a partition held"};
+const StatDef kMemberMovedBytes = {"member_moved_bytes", StatKind::kCounter,
+                                   "bytes", false,
+                                   "serialized state bytes migrated back to "
+                                   "rejoining hosts"};
+
 const StatDef kSchedThreads = {"sched_threads", StatKind::kCounter, "threads",
                                true,
                                "worker threads the parallel scheduler ran "
@@ -323,6 +349,8 @@ const std::vector<const StatDef*>& EngineStatCatalog() {
       &kBudgetOverEpochs, &kSkewMoves,
       &kAdaptDriftEvents, &kAdaptMovesTaken, &kAdaptMovesSuppressed,
       &kAdaptRollbacks,
+      &kMemberPartitions, &kMemberHeals, &kMemberRejoins,
+      &kMemberRejoinsSuppressed, &kMemberSendsRefused, &kMemberMovedBytes,
       &kSchedThreads,  &kSchedBarriers, &kSchedMorsels, &kSchedWallMs,
       &kWorkerMorsels, &kWorkerTuples, &kWorkerStagedMsgs, &kWorkerSteals,
       &kSketchUpdates, &kSketchSummaries, &kSketchSummaryBytes,

@@ -290,6 +290,16 @@ extern const StatDef kAdaptMovesTaken;
 extern const StatDef kAdaptMovesSuppressed;
 extern const StatDef kAdaptRollbacks;
 
+// Membership lifecycle (dist/fault.h partition/heal/rejoin). Recorded under
+// scope `membership` in host 0's registry, bound lazily when the first
+// membership event applies so plans whose events never fire create no scope.
+extern const StatDef kMemberPartitions;
+extern const StatDef kMemberHeals;
+extern const StatDef kMemberRejoins;
+extern const StatDef kMemberRejoinsSuppressed;
+extern const StatDef kMemberSendsRefused;
+extern const StatDef kMemberMovedBytes;
+
 // Morsel-driven parallel execution (dist/parallel_exec.h). Recorded in the
 // runtime's separate scheduler registry (ClusterRuntime::
 // scheduler_registry()) under scope `scheduler` (sched_*) and `worker#<h>`

@@ -1,0 +1,97 @@
+/// \file cli_test.cc
+/// \brief End-to-end contract tests for the streampart_cli binary
+/// (examples/streampart_cli.cpp), driven through the shell.
+///
+/// The fail-fast contract: a bad --fault-plan aborts before any workload
+/// parsing or planning output, names the offending file and the parse
+/// reason on stderr, and exits non-zero — a malformed plan must never
+/// silently degrade to a healthy run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+/// Runs \p cmd with stderr folded into stdout; returns the exit code and
+/// captured output.
+int RunCommand(const std::string& cmd, std::string* output) {
+  std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[512];
+  output->clear();
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) *output += buf;
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();
+  return path;
+}
+
+std::string WorkloadPath() {
+  return WriteTempFile(
+      "cli_test_workload.sql",
+      "QUERY flows AS SELECT tb, srcIP, COUNT(*) as c FROM TCP "
+      "GROUP BY time as tb, srcIP;\n");
+}
+
+TEST(CliFaultPlanTest, MissingPlanFileFailsFastAndNamesTheFile) {
+  std::string workload = WorkloadPath();
+  std::string missing = ::testing::TempDir() + "cli_test_no_such_plan.txt";
+  std::remove(missing.c_str());
+  std::string output;
+  int code = RunCommand(std::string(SP_CLI_BIN) + " " + workload +
+                            " --fault-plan " + missing,
+                        &output);
+  EXPECT_NE(code, 0) << output;
+  EXPECT_NE(output.find(missing), std::string::npos)
+      << "error must name the offending file: " << output;
+  EXPECT_NE(output.find("--fault-plan"), std::string::npos) << output;
+  // Fail-fast: no planning output precedes the error.
+  EXPECT_EQ(output.find("Workload"), std::string::npos) << output;
+}
+
+TEST(CliFaultPlanTest, MalformedPlanFailsFastWithLineNumber) {
+  std::string workload = WorkloadPath();
+  std::string plan = WriteTempFile("cli_test_bad_plan.txt",
+                                   "partition groups=0,1 at=2\n");
+  std::string output;
+  int code = RunCommand(
+      std::string(SP_CLI_BIN) + " " + workload + " --fault-plan " + plan,
+      &output);
+  EXPECT_NE(code, 0) << output;
+  EXPECT_NE(output.find(plan), std::string::npos) << output;
+  EXPECT_NE(output.find("line 1"), std::string::npos)
+      << "parse error must carry the line number: " << output;
+}
+
+TEST(CliFaultPlanTest, MembershipPlanRunsAndEchoesThePlan) {
+  std::string workload = WorkloadPath();
+  std::string plan = WriteTempFile("cli_test_membership_plan.txt",
+                                   "seed 42\n"
+                                   "ckpt 1\n"
+                                   "partition groups=0,1|2 at=1\n"
+                                   "heal at=2\n"
+                                   "kill host=1 epoch=2\n"
+                                   "rejoin host=1 at=3\n");
+  std::string output;
+  int code = RunCommand(std::string(SP_CLI_BIN) + " " + workload +
+                            " --hosts 3 --run 4 --fault-plan " + plan,
+                        &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("Fault plan ("), std::string::npos) << output;
+  EXPECT_NE(output.find("partition groups=0,1|2 at=1"), std::string::npos)
+      << "echoed plan must round-trip the membership directives: " << output;
+}
+
+}  // namespace

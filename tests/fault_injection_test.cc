@@ -411,6 +411,43 @@ TEST(ClusterRunResultTest, CheckedHostRejectsOutOfRangeAndDeadHosts) {
   EXPECT_EQ(&result.aggregator(2), &result.hosts[2]);
 }
 
+TEST_F(FaultInjectionTest, KillAllButOneHostSurvivesCleanly) {
+  AddFlows();
+  TupleBatch trace = SmallTrace();
+  for (const char* recover : {"off", "on"}) {
+    ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+    config.faults = Plan(std::string("seed 42\nrecover ") + recover +
+                         "\nkill host=1 epoch=1\nkill host=2 epoch=2\n");
+    DirectRun run = RunCluster(graph_, config, 3, trace, 0, 4.0,
+                               /*attach_plan=*/true);
+    EXPECT_EQ(run.result.dead_hosts.size(), 2u) << "recover " << recover;
+    // The sole survivor finishes the run; its ledger row is still readable.
+    ASSERT_OK_AND_ASSIGN(const HostMetrics* survivor,
+                         run.result.CheckedHost(0));
+    EXPECT_NE(survivor, nullptr) << "recover " << recover;
+  }
+}
+
+TEST(FaultInjectionDeathTest, KillingTheLastSurvivorFailsLoudly) {
+  // Killing every host would leave nobody to migrate or repartition onto;
+  // the runtime refuses with a clean runtime error instead of executing an
+  // empty-survivor recovery. The fault-plan path surfaces it as SP_CHECK.
+  Catalog catalog = MakeDefaultCatalog();
+  QueryGraph graph(&catalog);
+  ASSERT_OK(graph.AddQuery(
+      "flows",
+      "SELECT tb, srcIP, COUNT(*) as c, SUM(len) as bytes FROM TCP "
+      "GROUP BY time as tb, srcIP"));
+  TupleBatch trace = SmallTrace();
+  ExperimentConfig config = Config("Naive", "", Mode::kPerPartition, false);
+  config.faults = Plan(
+      "seed 42\n"
+      "kill host=0 epoch=1\nkill host=1 epoch=1\nkill host=2 epoch=2\n");
+  EXPECT_DEATH(RunCluster(graph, config, 3, trace, 0, 4.0,
+                          /*attach_plan=*/true),
+               "cannot kill the last surviving host");
+}
+
 TEST(ClusterRunResultDeathTest, DeadAggregatorFailsLoudly) {
   ClusterRunResult result;
   result.hosts.resize(2);

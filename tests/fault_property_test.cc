@@ -38,6 +38,9 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
       "ckpt 4\n"
       "epoch_width 60\n"
       "kill host=2 epoch=3\n"
+      "partition groups=0,1|2,3 at=5\n"
+      "heal at=8\n"
+      "rejoin host=2 at=9\n"
       "channel from=1 to=0 drop=0.1 dup=0.05 reorder=0.2 queue=64\n"
       "channel from=* to=* drop=0.5\n"
       "budget host=1 cycles=5e8 queue=256 reserve=0.1\n"
@@ -53,6 +56,17 @@ TEST(FaultPlanParseTest, AcceptsTheDocumentedFormat) {
   ASSERT_EQ(plan->kills.size(), 1u);
   EXPECT_EQ(plan->kills[0].host, 2);
   EXPECT_EQ(plan->kills[0].epoch, 3u);
+  ASSERT_EQ(plan->partitions.size(), 1u);
+  ASSERT_EQ(plan->partitions[0].groups.size(), 2u);
+  EXPECT_EQ(plan->partitions[0].groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->partitions[0].groups[1], (std::vector<int>{2, 3}));
+  EXPECT_EQ(plan->partitions[0].epoch, 5u);
+  ASSERT_EQ(plan->heals.size(), 1u);
+  EXPECT_EQ(plan->heals[0].epoch, 8u);
+  ASSERT_EQ(plan->rejoins.size(), 1u);
+  EXPECT_EQ(plan->rejoins[0].host, 2);
+  EXPECT_EQ(plan->rejoins[0].epoch, 9u);
+  EXPECT_TRUE(plan->membership_enabled());
   ASSERT_EQ(plan->channels.size(), 2u);
   EXPECT_EQ(plan->channels[0].from_host, 1);
   EXPECT_EQ(plan->channels[0].to_host, 0);
@@ -103,6 +117,19 @@ TEST(FaultPlanParseTest, RejectsMalformedInputWithLineNumbers) {
       "budget cycles=0\n",               // budget must be positive
       "budget host=1 cycles=1e6 reserve=1\n",  // no usable budget left
       "budget host=1 cycles=1e6 warp=2\n",     // unknown budget key
+      "partition at=1\n",                // missing groups
+      "partition groups=0|1\n",          // missing at
+      "partition groups=0 at=1\n",       // fewer than two groups
+      "partition groups=0,1|1 at=2\n",   // host in more than one group
+      "partition groups=0,|1 at=2\n",    // empty host
+      "partition groups=*|1 at=2\n",     // wildcard host
+      "partition groups=0|1 at=2 warp=3\n",  // unknown key
+      "heal\n",                          // missing at
+      "heal at=2 warp=3\n",              // unknown key
+      "rejoin at=2\n",                   // missing host
+      "rejoin host=1\n",                 // missing at
+      "rejoin host=* at=2\n",            // wildcard host
+      "rejoin host=1 at=2 warp=3\n",     // unknown key
       "shed\n",                          // missing policy
       "shed m=1\n",                      // keep-1-in-1 is not shedding
       "shed max_m=1\n",
@@ -130,7 +157,9 @@ TEST(FaultPlanParseTest, RandomTextNeverCrashesAndAcceptedPlansRoundTrip) {
                           "epoch", "from=*",  "to=1",    "drop=",   "dup=0.5",
                           "queue", "=",       "0.25",    "-1",      "1e9",
                           "#",     "on",      "off",     "nan",
-                          "host=0x2", "epoch=18446744073709551615"};
+                          "host=0x2", "epoch=18446744073709551615",
+                          "partition", "heal", "rejoin",  "at=",     "at=3",
+                          "groups=",   "groups=0,1|2,3", "|",       ","};
   Rng rng(2026);
   for (int iter = 0; iter < 500; ++iter) {
     std::string text;
@@ -191,6 +220,31 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
       budget.reserve = rng.UniformReal() * 0.9;
       plan.budgets.push_back(budget);
     }
+    size_t partitions = rng.Uniform(0, 2);
+    for (size_t p = 0; p < partitions; ++p) {
+      PartitionSpec spec;
+      spec.epoch = rng.Uniform(0, 12);
+      // Disjoint groups over a shuffled host id range (the parser rejects a
+      // host named twice).
+      int next_host = 0;
+      size_t groups = rng.Uniform(2, 4);
+      for (size_t g = 0; g < groups; ++g) {
+        std::vector<int> hosts;
+        size_t members = rng.Uniform(1, 3);
+        for (size_t m = 0; m < members; ++m) hosts.push_back(next_host++);
+        spec.groups.push_back(std::move(hosts));
+      }
+      plan.partitions.push_back(std::move(spec));
+    }
+    size_t heals = rng.Uniform(0, 2);
+    for (size_t h = 0; h < heals; ++h) {
+      plan.heals.push_back(HealSpec{rng.Uniform(0, 12)});
+    }
+    size_t rejoins = rng.Uniform(0, 2);
+    for (size_t r = 0; r < rejoins; ++r) {
+      plan.rejoins.push_back(
+          RejoinSpec{static_cast<int>(rng.Uniform(0, 9)), rng.Uniform(0, 12)});
+    }
     if (rng.Chance(0.5)) {
       if (rng.Chance(0.5)) {
         plan.shed.fixed_m = rng.Uniform(2, 64);
@@ -223,6 +277,21 @@ TEST(FaultPlanParseTest, RandomValidPlansRoundTripExactly) {
       EXPECT_EQ(parsed->kills[k].host, plan.kills[k].host);
       EXPECT_EQ(parsed->kills[k].epoch, plan.kills[k].epoch);
     }
+    ASSERT_EQ(parsed->partitions.size(), plan.partitions.size());
+    for (size_t p = 0; p < plan.partitions.size(); ++p) {
+      EXPECT_EQ(parsed->partitions[p].groups, plan.partitions[p].groups);
+      EXPECT_EQ(parsed->partitions[p].epoch, plan.partitions[p].epoch);
+    }
+    ASSERT_EQ(parsed->heals.size(), plan.heals.size());
+    for (size_t h = 0; h < plan.heals.size(); ++h) {
+      EXPECT_EQ(parsed->heals[h].epoch, plan.heals[h].epoch);
+    }
+    ASSERT_EQ(parsed->rejoins.size(), plan.rejoins.size());
+    for (size_t r = 0; r < plan.rejoins.size(); ++r) {
+      EXPECT_EQ(parsed->rejoins[r].host, plan.rejoins[r].host);
+      EXPECT_EQ(parsed->rejoins[r].epoch, plan.rejoins[r].epoch);
+    }
+    EXPECT_EQ(parsed->membership_enabled(), plan.membership_enabled());
     ASSERT_EQ(parsed->channels.size(), plan.channels.size());
     for (size_t c = 0; c < plan.channels.size(); ++c) {
       EXPECT_EQ(parsed->channels[c].from_host, plan.channels[c].from_host);
@@ -329,6 +398,74 @@ TEST(FaultChannelPropertyTest, DeadReceiverConservesWithRefusals) {
     spec.queue_capacity = rng.Chance(0.5) ? 8 : 0;
     DriveChannel(spec, /*seed=*/rng.Uniform(1, 1u << 20), /*n=*/200,
                  /*receiver_alive=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership lifecycle: severance is symmetric and every attempt is either
+// delivered or refused, across random partition/heal cycles
+// ---------------------------------------------------------------------------
+
+TEST(FaultControllerMembershipTest, PartitionHealCyclesConserveAttempts) {
+  Rng rng(17);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int num_hosts = 4;
+    FaultPlan plan;
+    // One membership directive arms the controller; the cycles below are
+    // driven directly, the way ObserveSourceTime applies due events.
+    plan.partitions.push_back(PartitionSpec{{{0}, {1}}, 0});
+    FaultController controller(std::move(plan), num_hosts);
+    uint64_t attempted = 0, delivered = 0, refused = 0;
+    bool severed_phase = false;
+    uint64_t epoch = 1;
+    for (int step = 0; step < 400; ++step) {
+      if (rng.Chance(0.05)) {
+        if (severed_phase) {
+          controller.ApplyHeal(epoch++);
+          severed_phase = false;
+        } else {
+          // Random two-group split; hosts left unnamed (skipped) exercise
+          // the isolated-unless-grouped rule.
+          PartitionSpec spec;
+          spec.epoch = epoch++;
+          spec.groups.assign(2, {});
+          for (int h = 0; h < num_hosts; ++h) {
+            if (rng.Chance(0.2)) continue;  // unnamed: isolated from everyone
+            spec.groups[rng.Uniform(0, 1)].push_back(h);
+          }
+          controller.ApplyPartition(spec);
+          severed_phase = true;
+        }
+      }
+      int from = static_cast<int>(rng.Uniform(0, num_hosts - 1));
+      int to = static_cast<int>(rng.Uniform(0, num_hosts - 1));
+      EXPECT_EQ(controller.PairSevered(from, to),
+                controller.PairSevered(to, from));
+      EXPECT_FALSE(controller.PairSevered(from, from));
+      if (!severed_phase) EXPECT_FALSE(controller.PairSevered(from, to));
+      ++attempted;
+      if (controller.PairSevered(from, to)) {
+        controller.CountPartitionRefused();
+        ++refused;
+      } else {
+        ++delivered;
+      }
+    }
+    if (severed_phase) controller.ApplyHeal(epoch);
+    EXPECT_FALSE(controller.partition_active());
+    // Nothing severed after the final heal.
+    for (int a = 0; a < num_hosts; ++a) {
+      for (int b = 0; b < num_hosts; ++b) {
+        EXPECT_FALSE(controller.PairSevered(a, b));
+      }
+    }
+    // Conservation: every attempted send was delivered or refused, and the
+    // ledger section saw exactly the refusals.
+    MembershipSection section =
+        controller.membership_section(/*cycles_per_checkpoint_byte=*/0);
+    EXPECT_EQ(attempted, delivered + refused) << "iter " << iter;
+    EXPECT_EQ(section.sends_refused, refused) << "iter " << iter;
+    EXPECT_TRUE(section.engaged);
   }
 }
 
